@@ -1,0 +1,79 @@
+// Shared fixtures for the benchmark binaries: cached populated HotCRP
+// databases (one per scale factor) that individual iterations clone, plus
+// small helpers for engine construction.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/generator.h"
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/vault/offline_vault.h"
+#include "src/vault/table_vault.h"
+
+namespace benchutil {
+
+struct HotCrpWorld {
+  std::unique_ptr<edna::db::Database> db;
+  edna::hotcrp::Generated gen;
+};
+
+// Populates (once per scale, cached for the process) the paper's HotCRP
+// database: 430 users (30 PC), 450 papers, 1400 reviews at scale 1.0.
+inline const HotCrpWorld& BaseWorld(double scale = 1.0) {
+  static std::map<double, HotCrpWorld>* cache = new std::map<double, HotCrpWorld>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    HotCrpWorld world;
+    world.db = std::make_unique<edna::db::Database>();
+    edna::hotcrp::Config config;
+    auto generated = edna::hotcrp::Populate(world.db.get(), config.Scaled(scale));
+    if (!generated.ok()) {
+      std::fprintf(stderr, "populate failed: %s\n", generated.status().ToString().c_str());
+      std::abort();
+    }
+    world.gen = *generated;
+    it = cache->emplace(scale, std::move(world)).first;
+  }
+  return it->second;
+}
+
+// Fresh deep copy of the base database for one measurement.
+inline std::unique_ptr<edna::db::Database> FreshDb(double scale = 1.0) {
+  return BaseWorld(scale).db->Snapshot();
+}
+
+// Engine over `db` with all three HotCRP disguises registered.
+inline std::unique_ptr<edna::core::DisguiseEngine> MakeEngine(
+    edna::db::Database* db, edna::vault::Vault* vault, const edna::Clock* clock,
+    edna::core::EngineOptions options = {}) {
+  auto engine = std::make_unique<edna::core::DisguiseEngine>(db, vault, clock, options);
+  for (auto spec_fn : {edna::hotcrp::GdprSpec, edna::hotcrp::GdprPlusSpec,
+                       edna::hotcrp::ConfAnonSpec}) {
+    auto spec = spec_fn();
+    if (!spec.ok()) {
+      std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+      std::abort();
+    }
+    edna::Status st = engine->RegisterSpec(*std::move(spec));
+    if (!st.ok()) {
+      std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return engine;
+}
+
+inline void CheckOk(const edna::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace benchutil
+
+#endif  // BENCH_BENCH_COMMON_H_

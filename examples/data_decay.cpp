@@ -1,0 +1,145 @@
+// Data decay and expiration (§2), driven by the PolicyScheduler.
+//
+// A HotCRP deployment ages through five simulated years:
+//   * expiration: accounts inactive > 1 year are scrubbed (reversibly),
+//   * decay: all conference data decays in stages — reviews decorrelated
+//     after 2 years (ConfAnon), and vault entries themselves expire after
+//     4 years, making old disguises permanently irreversible.
+// Run: ./data_decay
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/generator.h"
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/core/scheduler.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+using edna::kDay;
+using edna::kYear;
+using edna::SimulatedClock;
+using edna::Status;
+using edna::TimePoint;
+using edna::sql::Value;
+namespace hotcrp = edna::hotcrp;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  edna::db::Database db;
+  hotcrp::Config config;
+  config.num_users = 100;
+  config.num_pc = 10;
+  config.num_papers = 60;
+  config.num_reviews = 200;
+  auto generated = hotcrp::Populate(&db, config);
+  Check(generated.status(), "populate");
+
+  edna::vault::OfflineVault vault;
+  const TimePoint data_epoch = 1'600'000'000;  // matches the generator
+  SimulatedClock clock(data_epoch);
+  edna::core::DisguiseEngine engine(&db, &vault, &clock);
+  Check(engine.RegisterSpec(*hotcrp::GdprPlusSpec()), "register GDPR+");
+  Check(engine.RegisterSpec(*hotcrp::ConfAnonSpec()), "register ConfAnon");
+
+  edna::core::PolicyScheduler scheduler(&engine, &clock);
+
+  // Expiration: scrub users inactive for more than a year, based on the
+  // lastLogin column. Placeholder accounts (lastLogin NULL) never expire.
+  edna::core::UserTimeSource last_login =
+      [&db]() -> edna::StatusOr<std::vector<edna::core::UserTime>> {
+    std::vector<edna::core::UserTime> out;
+    auto pred = edna::sql::ParseExpression("\"lastLogin\" IS NOT NULL");
+    auto rows = db.Select("ContactInfo", pred->get(), {});
+    RETURN_IF_ERROR(rows.status());
+    const edna::db::TableSchema* schema = db.schema().FindTable("ContactInfo");
+    int id_idx = schema->ColumnIndex("contactId");
+    int ll_idx = schema->ColumnIndex("lastLogin");
+    for (const edna::db::RowRef& ref : *rows) {
+      out.push_back(edna::core::UserTime{(*ref.row)[static_cast<size_t>(id_idx)],
+                                         (*ref.row)[static_cast<size_t>(ll_idx)].AsInt()});
+    }
+    return out;
+  };
+  Check(scheduler.AddExpirationPolicy({.name = "inactive-scrub",
+                                       .spec_name = hotcrp::kGdprPlusName,
+                                       .inactivity = kYear,
+                                       .last_active = last_login}),
+        "expiration policy");
+
+  size_t users_start = db.FindTable("ContactInfo")->num_rows();
+  std::printf("year 0: %zu accounts, %zu vault records\n", users_start,
+              vault.NumRecords());
+
+  size_t conf_anon_year = 0;
+  uint64_t conf_anon_id = 0;
+  for (int year = 1; year <= 5; ++year) {
+    clock.Advance(kYear);
+    auto tick = scheduler.Tick();
+    Check(tick.status(), "tick");
+
+    // Stage two of the decay chain: after two years, anonymize the whole
+    // conference. (Run directly — it is a global disguise, one shot.)
+    if (year == 2) {
+      auto anon = engine.Apply(hotcrp::kConfAnonName, {});
+      Check(anon.status(), "ConfAnon");
+      conf_anon_id = anon->disguise_id;
+      conf_anon_year = 2;
+      std::printf("year %d: ConfAnon decorrelated %zu rows (%zu placeholders)\n", year,
+                  anon->rows_decorrelated, anon->placeholders_created);
+    }
+
+    // Vault retention: entries older than 4 years expire, making their
+    // disguises irreversible (§4.2).
+    auto expired = vault.ExpireBefore(clock.Now() - 4 * kYear);
+    Check(expired.status(), "vault expiry");
+
+    std::printf("year %d: expirations=%zu vault_records=%zu expired_entries=%zu\n", year,
+                tick->expirations_applied, vault.NumRecords(), *expired);
+    Check(db.CheckIntegrity(), "integrity");
+  }
+
+  // A scrubbed user tries to return after the retention window: their
+  // expiration disguise may still be reversible, but ConfAnon applied since
+  // means their reviews stay anonymous.
+  const auto& entries = engine.log().entries();
+  uint64_t first_expiration = 0;
+  for (const auto& e : entries) {
+    if (e.spec_name == hotcrp::kGdprPlusName && e.id < conf_anon_id) {
+      first_expiration = e.id;
+      break;
+    }
+  }
+  if (first_expiration != 0) {
+    auto back = engine.Reveal(first_expiration);
+    if (back.ok()) {
+      std::printf(
+          "\nreveal of pre-ConfAnon expiration %llu: restored=%zu suppressed=%zu "
+          "redisguised=%zu (reviews stay anonymous per ConfAnon)\n",
+          static_cast<unsigned long long>(first_expiration), back->rows_restored,
+          back->rows_suppressed, back->values_redisguised);
+    } else {
+      std::printf("\nreveal of expiration %llu: %s (vault entry expired -> irreversible)\n",
+                  static_cast<unsigned long long>(first_expiration),
+                  back.status().ToString().c_str());
+    }
+  }
+  (void)conf_anon_year;
+
+  std::printf("\nfinal: %zu accounts (placeholders included), %zu log entries\n",
+              db.FindTable("ContactInfo")->num_rows(), engine.log().size());
+  Check(db.CheckIntegrity(), "integrity");
+  std::printf("data_decay complete.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Lobsters account deletion with encrypted per-user vaults.
+//
+// Demonstrates the strongest vault deployment model of §4.2: the reveal
+// function for a user's GDPR disguise is sealed under a key only the user
+// holds; the key is additionally escrowed 2-of-3 (user / application /
+// trusted third party) so a lost key is recoverable. Run: ./lobsters_gdpr
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/generator.h"
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/crypto/key.h"
+#include "src/sql/parser.h"
+#include "src/vault/encrypted_vault.h"
+
+using edna::Rng;
+using edna::SimulatedClock;
+using edna::Status;
+using edna::sql::Value;
+namespace lobsters = edna::lobsters;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+size_t CountWhere(edna::db::Database& db, const char* table, const std::string& pred_text) {
+  auto pred = edna::sql::ParseExpression(pred_text);
+  auto n = db.Count(table, pred->get(), {});
+  Check(n.status(), "count");
+  return *n;
+}
+
+}  // namespace
+
+int main() {
+  edna::db::Database db;
+  lobsters::Config config;
+  config.num_users = 80;
+  config.num_stories = 150;
+  config.num_comments = 400;
+  auto generated = lobsters::Populate(&db, config);
+  Check(generated.status(), "populate");
+
+  // Key management: every user holds their own vault key; the site keeps
+  // only fingerprints plus its escrow share.
+  Rng key_rng(0x5eed);
+  std::map<int64_t, edna::crypto::VaultKey> user_keys;            // user wallets
+  std::map<int64_t, edna::crypto::EscrowedKey> escrows;           // 2-of-3 shares
+  for (int64_t uid : generated->user_ids) {
+    edna::crypto::VaultKey key = edna::crypto::GenerateVaultKey(&key_rng);
+    auto escrow = edna::crypto::EscrowKey(key, &key_rng);
+    Check(escrow.status(), "escrow");
+    escrows.emplace(uid, *std::move(escrow));
+    user_keys.emplace(uid, std::move(key));
+  }
+
+  // The vault asks the "user" for their key on each access. Simulate a user
+  // who approves requests for their own data.
+  bool user_approves = true;
+  edna::vault::KeyProvider provider =
+      [&](const Value& uid) -> edna::StatusOr<std::vector<uint8_t>> {
+    if (!user_approves) {
+      return edna::PermissionDenied("user declined vault access");
+    }
+    auto it = user_keys.find(uid.AsInt());
+    if (it == user_keys.end()) {
+      return edna::NotFound("no key wallet for user");
+    }
+    return it->second.key;
+  };
+  edna::vault::EncryptedVault vault(std::vector<uint8_t>(32, 0x42), provider,
+                                    Rng(0xa11ce));
+  for (const auto& [uid, key] : user_keys) {
+    vault.RegisterUser(Value::Int(uid), key.fingerprint);
+  }
+
+  SimulatedClock clock(1'700'000'000);
+  edna::core::DisguiseEngine engine(&db, &vault, &clock);
+  Check(engine.RegisterSpec(*lobsters::GdprSpec()), "register spec");
+
+  int64_t uid = generated->user_ids[7];
+  std::string uid_pred = "\"user_id\" = " + std::to_string(uid);
+  std::printf("user %lld before deletion: %zu stories, %zu comments, %zu votes\n",
+              static_cast<long long>(uid), CountWhere(db, "stories", uid_pred),
+              CountWhere(db, "comments", uid_pred), CountWhere(db, "votes", uid_pred));
+
+  auto applied = engine.ApplyForUser(lobsters::kGdprName, Value::Int(uid));
+  Check(applied.status(), "apply GDPR");
+  std::printf("deleted: removed=%zu decorrelated=%zu; vault sealed %zu record(s) "
+              "(%llu crypto ops)\n",
+              applied->rows_removed, applied->rows_decorrelated, vault.NumRecords(),
+              static_cast<unsigned long long>(vault.stats().crypto_ops));
+  std::printf("after deletion: %zu stories, %zu comments, %zu votes attributed to user\n",
+              CountWhere(db, "stories", uid_pred), CountWhere(db, "comments", uid_pred),
+              CountWhere(db, "votes", uid_pred));
+
+  // Without the user's approval, even the operator cannot reverse.
+  user_approves = false;
+  auto denied = engine.Reveal(applied->disguise_id);
+  std::printf("reveal without user approval: %s\n", denied.status().ToString().c_str());
+
+  // The user lost their key! Recover it from the app + third-party escrow
+  // shares (2-of-3), then approve the reveal.
+  const edna::crypto::EscrowedKey& escrow = escrows.at(uid);
+  auto recovered = edna::crypto::RecoverKey(escrow.app_share, escrow.escrow_share,
+                                            escrow.fingerprint);
+  Check(recovered.status(), "escrow recovery");
+  user_keys[uid] = *recovered;
+  user_approves = true;
+
+  auto revealed = engine.Reveal(applied->disguise_id);
+  Check(revealed.status(), "reveal");
+  std::printf("revealed with recovered key: restored %zu rows, %zu columns\n",
+              revealed->rows_restored, revealed->columns_restored);
+  std::printf("after return: %zu stories, %zu comments, %zu votes attributed to user\n",
+              CountWhere(db, "stories", uid_pred), CountWhere(db, "comments", uid_pred),
+              CountWhere(db, "votes", uid_pred));
+  Check(db.CheckIntegrity(), "integrity");
+  std::printf("lobsters_gdpr complete.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Quickstart: the smallest complete data-disguising program.
+//
+// Builds a two-table application (users, notes), writes a disguise spec in
+// the Figure-3 text format, applies it for one user, inspects the result,
+// and reverses it. Run: ./quickstart
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+using edna::SimulatedClock;
+using edna::Status;
+using edna::sql::Value;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void DumpTable(edna::db::Database& db, const char* table) {
+  std::printf("  %s:\n", table);
+  auto rows = db.Select(table, nullptr, {});
+  Check(rows.status(), "select");
+  for (const edna::db::RowRef& ref : *rows) {
+    std::printf("    %s\n", edna::db::RowToString(*ref.row).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. An application database: users and their notes.
+  edna::db::Database db;
+  edna::db::TableSchema users("users");
+  users
+      .AddColumn({.name = "id", .type = edna::db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = edna::db::ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "email", .type = edna::db::ColumnType::kString, .nullable = true})
+      .AddColumn({.name = "disabled", .type = edna::db::ColumnType::kBool,
+                  .nullable = false, .default_value = Value::Bool(false)})
+      .SetPrimaryKey({"id"});
+  Check(db.CreateTable(std::move(users)), "create users");
+
+  edna::db::TableSchema notes("notes");
+  notes
+      .AddColumn({.name = "id", .type = edna::db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = edna::db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "text", .type = edna::db::ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id"});
+  Check(db.CreateTable(std::move(notes)), "create notes");
+
+  Check(db.InsertValues("users", {{"name", Value::String("Bea")},
+                                  {"email", Value::String("bea@uni.edu")}})
+            .status(),
+        "insert Bea");
+  Check(db.InsertValues("users", {{"name", Value::String("Axl")},
+                                  {"email", Value::String("axl@uni.edu")}})
+            .status(),
+        "insert Axl");
+  for (const char* text : {"first note", "second note"}) {
+    Check(db.InsertValues("notes", {{"user_id", Value::Int(1)},
+                                    {"text", Value::String(text)}})
+              .status(),
+          "insert note");
+  }
+
+  // 2. A disguise specification (Figure-3 style): delete Bea's account but
+  //    keep her notes, reattributed to fresh placeholder users.
+  auto spec = edna::disguise::ParseDisguiseSpec(R"(
+disguise_name: "UserScrub"
+user_to_disguise: $UID
+reversible: true
+
+table users:
+  generate_placeholder:
+    "name" <- Random
+    "email" <- Const(NULL)
+    "disabled" <- Const(TRUE)
+  transformations:
+    Remove(pred: "id" = $UID)
+
+table notes:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+
+assert_empty users: "id" = $UID
+assert_empty notes: "user_id" = $UID
+)");
+  Check(spec.status(), "parse spec");
+
+  // 3. A disguising engine with an offline vault for reveal functions.
+  edna::vault::OfflineVault vault;
+  SimulatedClock clock(0);
+  edna::core::DisguiseEngine engine(&db, &vault, &clock);
+  Check(engine.RegisterSpec(*std::move(spec)), "register spec");
+
+  std::printf("== before disguising ==\n");
+  DumpTable(db, "users");
+  DumpTable(db, "notes");
+
+  // 4. Bea (user id 1) deletes her account.
+  auto applied = engine.ApplyForUser("UserScrub", Value::Int(1));
+  Check(applied.status(), "apply");
+  std::printf(
+      "\napplied disguise %llu: removed=%zu decorrelated=%zu placeholders=%zu "
+      "queries=%llu\n",
+      static_cast<unsigned long long>(applied->disguise_id), applied->rows_removed,
+      applied->rows_decorrelated, applied->placeholders_created,
+      static_cast<unsigned long long>(applied->queries));
+
+  std::printf("\n== after disguising ==\n");
+  DumpTable(db, "users");
+  DumpTable(db, "notes");
+  Check(db.CheckIntegrity(), "integrity");
+
+  // 5. Bea returns: reverse the disguise from the vault.
+  auto revealed = engine.Reveal(applied->disguise_id);
+  Check(revealed.status(), "reveal");
+  std::printf("\nrevealed: rows_restored=%zu columns_restored=%zu placeholders_dropped=%zu\n",
+              revealed->rows_restored, revealed->columns_restored,
+              revealed->placeholders_dropped);
+
+  std::printf("\n== after reveal ==\n");
+  DumpTable(db, "users");
+  DumpTable(db, "notes");
+  Check(db.CheckIntegrity(), "integrity");
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "src/apps/hotcrp/disguises.h"
+
+#include "src/disguise/spec_parser.h"
+
+namespace edna::hotcrp {
+
+const std::string& GdprSpecText() {
+  static const std::string kText = R"SPEC(
+# HotCRP-GDPR: HotCRP's current account-deletion policy. "When a user
+# deletes their account in HotCRP today, the HotCRP code transitively
+# deletes all of the user's data, including their reviews." (paper, section 3)
+disguise_name: "HotCRP-GDPR"
+user_to_disguise: $UID
+reversible: true
+
+table PaperReview:
+  transformations:
+    # Deleting a review cascades to its ratings via the schema FK.
+    Remove(pred: "contactId" = $UID)
+
+table ReviewRating:
+  transformations:
+    # Ratings the user placed on other people's reviews.
+    Remove(pred: "contactId" = $UID)
+
+table PaperComment:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperConflict:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperReviewPreference:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table TopicInterest:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperWatch:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table Capability:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperReviewRefused:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table ReviewRequest:
+  transformations:
+    Remove(pred: "requestedBy" = $UID)
+
+table ActionLog:
+  transformations:
+    # The log keeps its rows but loses the user linkage (audit content stays).
+    Modify(pred: "contactId" = $UID, column: "contactId", value: Const(NULL))
+    Modify(pred: "destContactId" = $UID, column: "destContactId", value: Const(NULL))
+
+table ContactInfo:
+  transformations:
+    # Paper.leadContactId / shepherd / manager, Formula.createdBy, and
+    # Invitation references are nulled automatically by their SET NULL
+    # foreign keys when the account row is removed.
+    Remove(pred: "contactId" = $UID)
+
+# End-state assertions (section 7): the user must be fully gone.
+assert_empty ContactInfo: "contactId" = $UID
+assert_empty PaperReview: "contactId" = $UID
+assert_empty PaperComment: "contactId" = $UID
+assert_empty PaperConflict: "contactId" = $UID
+)SPEC";
+  return kText;
+}
+
+const std::string& GdprPlusSpecText() {
+  static const std::string kText = R"SPEC(
+# HotCRP-GDPR+: user scrubbing (paper, section 3). Deletes the account and
+# data only relevant to the user, but RETAINS reviews, comments, and review
+# ratings, decorrelated onto fresh placeholder users -- one placeholder per
+# retained row, so the contributions cannot be re-associated with each other
+# or with the departed user (Figure 2).
+disguise_name: "HotCRP-GDPR+"
+user_to_disguise: $UID
+reversible: true
+
+table ContactInfo:
+  generate_placeholder:
+    # Placeholder users have suitable defaults: disabled, no permissions,
+    # cannot log in (section 3).
+    "name" <- Random
+    "email" <- Const(NULL)
+    "affiliation" <- Const('[scrubbed]')
+    "passwordHash" <- Const('')
+    "country" <- Const(NULL)
+    "roles" <- Const(0)
+    "disabled" <- Const(TRUE)
+    "lastLogin" <- Const(NULL)
+    "creationTime" <- Const(0)
+    "collaborators" <- Const(NULL)
+    "defaultWatch" <- Const('none')
+  transformations:
+    # (1) Delete Bea's user account.
+    Remove(pred: "contactId" = $UID)
+
+# (2) Delete information only relevant to the user.
+table PaperReviewPreference:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table TopicInterest:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperWatch:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table Capability:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table PaperReviewRefused:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table ReviewRequest:
+  transformations:
+    Remove(pred: "requestedBy" = $UID)
+
+# (3) Delete the user's contact-author relationships to submissions. The
+# submissions themselves stay (a stricter policy might remove orphaned ones).
+table PaperConflict:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+# (4)+(5) Retained contributions move to placeholder users.
+table PaperReview:
+  transformations:
+    Decorrelate(pred: "contactId" = $UID, foreign_key: ("contactId", ContactInfo))
+
+table PaperComment:
+  transformations:
+    Decorrelate(pred: "contactId" = $UID, foreign_key: ("contactId", ContactInfo))
+
+table ReviewRating:
+  transformations:
+    Decorrelate(pred: "contactId" = $UID, foreign_key: ("contactId", ContactInfo))
+
+# End-state assertions: the account is gone and nothing visible links to it.
+assert_empty ContactInfo: "contactId" = $UID
+assert_empty PaperReview: "contactId" = $UID
+assert_empty PaperComment: "contactId" = $UID
+assert_empty ReviewRating: "contactId" = $UID
+assert_empty PaperConflict: "contactId" = $UID
+assert_empty PaperReviewPreference: "contactId" = $UID
+)SPEC";
+  return kText;
+}
+
+const std::string& ConfAnonSpecText() {
+  static const std::string kText = R"SPEC(
+# HotCRP-ConfAnon: anonymize all conference data (section 4.2), e.g. some
+# years after the conference. Every review, comment, and authorship
+# relationship is decorrelated onto per-row placeholders; identifying
+# columns are hashed or redacted; logs are dropped. Applies to every user
+# at once -- NOT a per-user disguise.
+disguise_name: "HotCRP-ConfAnon"
+reversible: true
+
+table ContactInfo:
+  generate_placeholder:
+    "name" <- Random
+    "email" <- Const(NULL)
+    "affiliation" <- Const('[scrubbed]')
+    "passwordHash" <- Const('')
+    "country" <- Const(NULL)
+    "roles" <- Const(0)
+    "disabled" <- Const(TRUE)
+    "lastLogin" <- Const(NULL)
+    "creationTime" <- Const(0)
+    "collaborators" <- Const(NULL)
+    "defaultWatch" <- Const('none')
+  transformations:
+    # Pseudonymize every real account (placeholders are disabled, so the
+    # predicate skips rows this very disguise creates).
+    Modify(pred: "disabled" = FALSE, column: "name", value: Hash)
+    Modify(pred: "disabled" = FALSE, column: "email", value: Hash)
+    Modify(pred: "disabled" = FALSE, column: "affiliation", value: Redact)
+    Modify(pred: "disabled" = FALSE, column: "collaborators", value: Const(NULL))
+
+table PaperReview:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: ("contactId", ContactInfo))
+
+table PaperComment:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: ("contactId", ContactInfo))
+
+table PaperConflict:
+  transformations:
+    # Authorship relationships also move to placeholders.
+    Decorrelate(pred: "conflictType" >= 0, foreign_key: ("contactId", ContactInfo))
+
+table Paper:
+  transformations:
+    Modify(pred: TRUE, column: "authorInformation", value: Redact)
+
+table ReviewRequest:
+  transformations:
+    Modify(pred: TRUE, column: "email", value: Hash)
+
+table ActionLog:
+  transformations:
+    Remove(pred: TRUE)
+
+table MailLog:
+  transformations:
+    Remove(pred: TRUE)
+
+assert_empty ActionLog: TRUE
+assert_empty MailLog: TRUE
+)SPEC";
+  return kText;
+}
+
+StatusOr<disguise::DisguiseSpec> GdprSpec() {
+  return disguise::ParseDisguiseSpec(GdprSpecText());
+}
+
+StatusOr<disguise::DisguiseSpec> GdprPlusSpec() {
+  return disguise::ParseDisguiseSpec(GdprPlusSpecText());
+}
+
+StatusOr<disguise::DisguiseSpec> ConfAnonSpec() {
+  return disguise::ParseDisguiseSpec(ConfAnonSpecText());
+}
+
+}  // namespace edna::hotcrp

@@ -1,0 +1,36 @@
+// The three HotCRP disguises evaluated in the paper (Figure 4, §6):
+//   * HotCRP-GDPR   — HotCRP's current account-deletion policy: transitively
+//                     delete all of the user's data, including reviews.
+//   * HotCRP-GDPR+  — user scrubbing (§3): delete the account and
+//                     user-only data, but retain reviews and comments,
+//                     decorrelated onto per-row placeholder users.
+//   * HotCRP-ConfAnon — anonymize the whole conference: decorrelate every
+//                     review/comment/conflict from real identities and
+//                     scrub identifying content. Global (not per-user).
+#ifndef SRC_APPS_HOTCRP_DISGUISES_H_
+#define SRC_APPS_HOTCRP_DISGUISES_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/disguise/spec.h"
+
+namespace edna::hotcrp {
+
+// Raw spec texts (the artifacts whose effective line counts Figure 4 reports).
+const std::string& GdprSpecText();
+const std::string& GdprPlusSpecText();
+const std::string& ConfAnonSpecText();
+
+// Parsed specs.
+StatusOr<disguise::DisguiseSpec> GdprSpec();
+StatusOr<disguise::DisguiseSpec> GdprPlusSpec();
+StatusOr<disguise::DisguiseSpec> ConfAnonSpec();
+
+inline constexpr char kGdprName[] = "HotCRP-GDPR";
+inline constexpr char kGdprPlusName[] = "HotCRP-GDPR+";
+inline constexpr char kConfAnonName[] = "HotCRP-ConfAnon";
+
+}  // namespace edna::hotcrp
+
+#endif  // SRC_APPS_HOTCRP_DISGUISES_H_

@@ -1,0 +1,388 @@
+#include "src/apps/hotcrp/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/apps/hotcrp/schema.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace edna::hotcrp {
+
+namespace {
+
+using sql::Value;
+
+Value S(std::string s) { return Value::String(std::move(s)); }
+Value I(int64_t v) { return Value::Int(v); }
+Value B(bool v) { return Value::Bool(v); }
+Value N() { return Value::Null(); }
+
+std::string Email(Rng* rng, const std::string& name) {
+  static const char* kDomains[] = {"uni.edu", "example.org", "lab.io", "inst.ac.uk",
+                                   "research.net"};
+  return AsciiLower(name) + "." + rng->NextAlphaString(3) + "@" +
+         kDomains[rng->NextBounded(5)];
+}
+
+std::string Sentence(Rng* rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += rng->NextPseudoword(3, 9);
+  }
+  out += '.';
+  return out;
+}
+
+}  // namespace
+
+Config Config::Scaled(double factor) const {
+  Config c = *this;
+  auto scale = [factor](size_t v) {
+    return static_cast<size_t>(std::max<double>(1.0, static_cast<double>(std::llround(static_cast<double>(v) * factor))));
+  };
+  c.num_users = scale(num_users);
+  c.num_pc = std::min(c.num_users, scale(num_pc));
+  c.num_papers = scale(num_papers);
+  c.num_reviews = scale(num_reviews);
+  return c;
+}
+
+StatusOr<Generated> Populate(db::Database* db, const Config& config) {
+  RETURN_IF_ERROR(db->AdoptSchema(BuildSchema()));
+  Rng rng(config.seed);
+  Generated gen;
+
+  const int64_t now = 1'600'000'000;
+
+  // --- Topics ---------------------------------------------------------------
+  std::vector<int64_t> topic_ids;
+  for (size_t i = 0; i < config.num_topics; ++i) {
+    ASSIGN_OR_RETURN(db::RowId rid,
+                     db->InsertValues("TopicArea",
+                                      {{"topicId", N()},
+                                       {"topicName", S(rng.NextPseudoword(6, 12))}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("TopicArea", rid, "topicId"));
+    topic_ids.push_back(v.AsInt());
+  }
+
+  // --- Users ------------------------------------------------------------------
+  for (size_t i = 0; i < config.num_users; ++i) {
+    bool is_pc = i < config.num_pc;
+    std::string name = rng.NextPseudoword(4, 8) + " " + rng.NextPseudoword(5, 10);
+    ASSIGN_OR_RETURN(
+        db::RowId rid,
+        db->InsertValues(
+            "ContactInfo",
+            {{"contactId", N()},
+             {"name", S(name)},
+             {"email", S(Email(&rng, rng.NextPseudoword(4, 7)))},
+             {"affiliation", S(rng.NextPseudoword(5, 12) + " University")},
+             {"passwordHash", S(rng.NextAlnumString(32))},
+             {"country", S(rng.NextPseudoword(4, 8))},
+             {"roles", I(is_pc ? kRolePc : kRoleAuthor)},
+             {"disabled", B(false)},
+             {"lastLogin", I(now - rng.NextInt(0, 300 * kDay))},
+             {"creationTime", I(now - rng.NextInt(300 * kDay, 900 * kDay))},
+             {"collaborators", S(Sentence(&rng, 4))},
+             {"defaultWatch", S("all")}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("ContactInfo", rid, "contactId"));
+    gen.all_contact_ids.push_back(v.AsInt());
+    if (is_pc) {
+      gen.pc_contact_ids.push_back(v.AsInt());
+    }
+  }
+
+  // --- Papers (each with 1-4 contact authors via PaperConflict) --------------
+  for (size_t i = 0; i < config.num_papers; ++i) {
+    ASSIGN_OR_RETURN(
+        db::RowId rid,
+        db->InsertValues("Paper", {{"paperId", N()},
+                                   {"title", S(Sentence(&rng, 6))},
+                                   {"abstract", S(Sentence(&rng, 40))},
+                                   {"authorInformation", S(Sentence(&rng, 8))},
+                                   {"timeSubmitted", I(now - rng.NextInt(0, 90 * kDay))},
+                                   {"timeWithdrawn", I(0)},
+                                   {"outcome", I(rng.NextInt(-1, 1))},
+                                   {"leadContactId", N()},
+                                   {"shepherdContactId", N()},
+                                   {"managerContactId", N()}}));
+    ASSIGN_OR_RETURN(Value pid, db->GetColumn("Paper", rid, "paperId"));
+    gen.paper_ids.push_back(pid.AsInt());
+
+    size_t num_authors = 1 + rng.NextBounded(4);
+    std::set<int64_t> authors;
+    while (authors.size() < num_authors) {
+      authors.insert(rng.Pick(gen.all_contact_ids));
+    }
+    for (int64_t author : authors) {
+      RETURN_IF_ERROR(db->InsertValues("PaperConflict", {{"paperId", pid},
+                                                         {"contactId", I(author)},
+                                                         {"conflictType",
+                                                          I(kConflictAuthor)}})
+                          .status());
+    }
+  }
+
+  // --- Reviews (PC members review papers) -------------------------------------
+  // Deterministic round-robin pairing with jitter keeps (paper, reviewer)
+  // pairs unique without rejection loops.
+  {
+    size_t made = 0;
+    size_t paper_idx = 0;
+    std::set<std::pair<int64_t, int64_t>> used;
+    // A (paper, reviewer) pair can appear once; cap the target so small or
+    // oddly-scaled configs cannot request more reviews than pairs exist.
+    size_t max_reviews = gen.paper_ids.size() * gen.pc_contact_ids.size();
+    size_t target_reviews = std::min(config.num_reviews, max_reviews);
+    while (made < target_reviews) {
+      int64_t paper = gen.paper_ids[paper_idx % gen.paper_ids.size()];
+      ++paper_idx;
+      int64_t reviewer = rng.Pick(gen.pc_contact_ids);
+      if (!used.insert({paper, reviewer}).second) {
+        continue;
+      }
+      int64_t requested_by = rng.NextBool(0.3)
+                                 ? rng.Pick(gen.pc_contact_ids)
+                                 : reviewer;
+      ASSIGN_OR_RETURN(
+          db::RowId rid,
+          db->InsertValues("PaperReview",
+                           {{"reviewId", N()},
+                            {"paperId", I(paper)},
+                            {"contactId", I(reviewer)},
+                            {"requestedBy", I(requested_by)},
+                            {"reviewType", I(rng.NextInt(1, 3))},
+                            {"reviewRound", I(rng.NextInt(0, 1))},
+                            {"overAllMerit", I(rng.NextInt(1, 5))},
+                            {"reviewerQualification", I(rng.NextInt(1, 4))},
+                            {"reviewText", S(Sentence(&rng, 80))},
+                            {"reviewSubmitted", I(now - rng.NextInt(0, 60 * kDay))},
+                            {"reviewModified", I(now - rng.NextInt(0, 30 * kDay))}}));
+      ASSIGN_OR_RETURN(Value v, db->GetColumn("PaperReview", rid, "reviewId"));
+      gen.review_ids.push_back(v.AsInt());
+      ++made;
+    }
+  }
+
+  // --- Comments on reviews' papers --------------------------------------------
+  {
+    size_t num_comments =
+        static_cast<size_t>(static_cast<double>(config.num_reviews) * config.comment_rate);
+    for (size_t i = 0; i < num_comments; ++i) {
+      RETURN_IF_ERROR(db->InsertValues("PaperComment",
+                                       {{"commentId", N()},
+                                        {"paperId", I(rng.Pick(gen.paper_ids))},
+                                        {"contactId", I(rng.Pick(gen.pc_contact_ids))},
+                                        {"comment", S(Sentence(&rng, 25))},
+                                        {"timeModified", I(now)},
+                                        {"commentType", I(rng.NextInt(0, 2))}})
+                          .status());
+    }
+  }
+
+  // --- Review preferences -------------------------------------------------------
+  for (int64_t pc : gen.pc_contact_ids) {
+    size_t prefs = static_cast<size_t>(config.preference_rate);
+    std::set<int64_t> pref_papers;
+    while (pref_papers.size() < prefs && pref_papers.size() < gen.paper_ids.size()) {
+      pref_papers.insert(rng.Pick(gen.paper_ids));
+    }
+    for (int64_t paper : pref_papers) {
+      RETURN_IF_ERROR(db->InsertValues("PaperReviewPreference",
+                                       {{"paperId", I(paper)},
+                                        {"contactId", I(pc)},
+                                        {"preference", I(rng.NextInt(-20, 20))},
+                                        {"expertise", I(rng.NextInt(-2, 2))}})
+                          .status());
+    }
+  }
+
+  // --- Topic links ----------------------------------------------------------------
+  for (int64_t paper : gen.paper_ids) {
+    std::set<int64_t> topics;
+    size_t n = 1 + rng.NextBounded(3);
+    while (topics.size() < n) {
+      topics.insert(rng.Pick(topic_ids));
+    }
+    for (int64_t topic : topics) {
+      RETURN_IF_ERROR(
+          db->InsertValues("PaperTopic", {{"paperId", I(paper)}, {"topicId", I(topic)}})
+              .status());
+    }
+  }
+  for (int64_t pc : gen.pc_contact_ids) {
+    std::set<int64_t> topics;
+    size_t n = 2 + rng.NextBounded(4);
+    while (topics.size() < n) {
+      topics.insert(rng.Pick(topic_ids));
+    }
+    for (int64_t topic : topics) {
+      RETURN_IF_ERROR(db->InsertValues("TopicInterest", {{"contactId", I(pc)},
+                                                         {"topicId", I(topic)},
+                                                         {"interest",
+                                                          I(rng.NextInt(-2, 4))}})
+                          .status());
+    }
+  }
+
+  // --- Watches, ratings, requests, refusals, tags ---------------------------------
+  for (size_t i = 0; i < config.num_papers / 3; ++i) {
+    int64_t paper = gen.paper_ids[i * 3 % gen.paper_ids.size()];
+    int64_t watcher = rng.Pick(gen.pc_contact_ids);
+    // Composite PK (paperId, contactId): skip duplicates quietly.
+    auto st = db->InsertValues(
+        "PaperWatch", {{"paperId", I(paper)}, {"contactId", I(watcher)}, {"watch", I(1)}});
+    if (!st.ok() && st.status().code() != StatusCode::kAlreadyExists) {
+      return st.status();
+    }
+  }
+  for (size_t i = 0; i < gen.review_ids.size() / 4; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("ReviewRating",
+                                     {{"ratingId", N()},
+                                      {"reviewId", I(rng.Pick(gen.review_ids))},
+                                      {"contactId", I(rng.Pick(gen.pc_contact_ids))},
+                                      {"rating", I(rng.NextInt(0, 1))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_papers / 10; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("ReviewRequest",
+                                     {{"requestId", N()},
+                                      {"paperId", I(rng.Pick(gen.paper_ids))},
+                                      {"email", S(Email(&rng, rng.NextPseudoword(4, 7)))},
+                                      {"reason", S(Sentence(&rng, 6))},
+                                      {"requestedBy", I(rng.Pick(gen.pc_contact_ids))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_papers / 20; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("PaperReviewRefused",
+                                     {{"refusedId", N()},
+                                      {"paperId", I(rng.Pick(gen.paper_ids))},
+                                      {"contactId", I(rng.Pick(gen.pc_contact_ids))},
+                                      {"refusedBy", I(rng.Pick(gen.pc_contact_ids))},
+                                      {"reason", S(Sentence(&rng, 5))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_papers / 2; ++i) {
+    int64_t paper = gen.paper_ids[i * 2 % gen.paper_ids.size()];
+    auto st = db->InsertValues("PaperTag", {{"paperId", I(paper)},
+                                            {"tag", S(rng.NextPseudoword(4, 8))},
+                                            {"tagIndex", I(rng.NextInt(0, 10))}});
+    if (!st.ok() && st.status().code() != StatusCode::kAlreadyExists) {
+      return st.status();
+    }
+  }
+
+  // --- Documents, logs, capabilities, misc ------------------------------------------
+  for (int64_t paper : gen.paper_ids) {
+    ASSIGN_OR_RETURN(db::RowId sid,
+                     db->InsertValues("PaperStorage",
+                                      {{"paperStorageId", N()},
+                                       {"paperId", I(paper)},
+                                       {"mimetype", S("application/pdf")},
+                                       {"size", I(rng.NextInt(50'000, 5'000'000))},
+                                       {"sha1", S(rng.NextAlnumString(40))}}));
+    ASSIGN_OR_RETURN(Value doc, db->GetColumn("PaperStorage", sid, "paperStorageId"));
+    RETURN_IF_ERROR(db->InsertValues("DocumentLink", {{"linkId", N()},
+                                                      {"paperId", I(paper)},
+                                                      {"documentId", doc},
+                                                      {"linkType", I(0)}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_users; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("ActionLog",
+                                     {{"logId", N()},
+                                      {"contactId", I(rng.Pick(gen.all_contact_ids))},
+                                      {"destContactId", N()},
+                                      {"paperId", I(rng.Pick(gen.paper_ids))},
+                                      {"action", S("paper/view")},
+                                      {"ipaddr", S(StrFormat("10.0.%d.%d",
+                                                             static_cast<int>(
+                                                                 rng.NextBounded(256)),
+                                                             static_cast<int>(
+                                                                 rng.NextBounded(256))))},
+                                      {"timestamp", I(now - rng.NextInt(0, 90 * kDay))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_users / 10; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("MailLog",
+                                     {{"mailId", N()},
+                                      {"recipients", S(Email(&rng, "pc"))},
+                                      {"paperIds", S(std::to_string(rng.Pick(gen.paper_ids)))},
+                                      {"subject", S(Sentence(&rng, 5))},
+                                      {"emailBody", S(Sentence(&rng, 30))},
+                                      {"timestamp", I(now)}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_users / 20; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("Capability",
+                                     {{"capabilityId", N()},
+                                      {"capabilityType", I(1)},
+                                      {"contactId", I(rng.Pick(gen.all_contact_ids))},
+                                      {"paperId", I(rng.Pick(gen.paper_ids))},
+                                      {"timeExpires", I(now + 30 * kDay)},
+                                      {"salt", S(rng.NextAlnumString(16))}})
+                        .status());
+  }
+  RETURN_IF_ERROR(db->InsertValues("Settings", {{"name", S("sub_open")},
+                                                {"value", I(1)},
+                                                {"data", N()}})
+                      .status());
+  RETURN_IF_ERROR(db->InsertValues("Settings", {{"name", S("rev_open")},
+                                                {"value", I(1)},
+                                                {"data", N()}})
+                      .status());
+  for (size_t i = 0; i < 3; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("Formula",
+                                     {{"formulaId", N()},
+                                      {"name", S("score-" + std::to_string(i))},
+                                      {"expression", S("avg(OveMer)")},
+                                      {"createdBy", I(rng.Pick(gen.pc_contact_ids))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_users / 20; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("Invitation",
+                                     {{"invitationId", N()},
+                                      {"email", S(Email(&rng, rng.NextPseudoword(4, 7)))},
+                                      {"contactId", N()},
+                                      {"invitedBy", I(rng.Pick(gen.pc_contact_ids))},
+                                      {"created", I(now - rng.NextInt(0, 60 * kDay))}})
+                        .status());
+  }
+  // Submission-form options for a third of the papers.
+  for (size_t i = 0; i < gen.paper_ids.size(); i += 3) {
+    auto st = db->InsertValues("PaperOption", {{"paperId", I(gen.paper_ids[i])},
+                                               {"optionId", I(1)},
+                                               {"value", S(Sentence(&rng, 3))}});
+    if (!st.ok() && st.status().code() != StatusCode::kAlreadyExists) {
+      return st.status();
+    }
+  }
+  // Tombstones of accounts deleted before this dataset's epoch.
+  for (size_t i = 0; i < std::max<size_t>(1, config.num_users / 40); ++i) {
+    RETURN_IF_ERROR(db->InsertValues("DeletedContactInfo",
+                                     {{"contactId", I(1'000'000 + static_cast<int64_t>(i))},
+                                      {"name", S(rng.NextPseudoword(4, 8))},
+                                      {"email", S(Email(&rng, rng.NextPseudoword(4, 7)))},
+                                      {"deletedAt", I(now - rng.NextInt(0, 300 * kDay))}})
+                        .status());
+  }
+  // A couple of tag annotations so the table is exercised.
+  for (size_t i = 0; i < 4; ++i) {
+    auto st = db->InsertValues("PaperTagAnno", {{"tag", S("session" + std::to_string(i))},
+                                                {"annoId", I(static_cast<int64_t>(i))},
+                                                {"annoText", S(Sentence(&rng, 3))}});
+    if (!st.ok() && st.status().code() != StatusCode::kAlreadyExists) {
+      return st.status();
+    }
+  }
+
+  return gen;
+}
+
+}  // namespace edna::hotcrp

@@ -1,0 +1,42 @@
+// Synthetic HotCRP workload generator. Default sizes reproduce the paper's
+// §6 experiment: "a HotCRP database with 430 users (30 PC members), 450
+// papers, and 1400 reviews". All content is deterministic in the seed.
+#ifndef SRC_APPS_HOTCRP_GENERATOR_H_
+#define SRC_APPS_HOTCRP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace edna::hotcrp {
+
+struct Config {
+  size_t num_users = 430;
+  size_t num_pc = 30;
+  size_t num_papers = 450;
+  size_t num_reviews = 1400;
+  size_t num_topics = 20;
+  double comment_rate = 0.4;     // comments per review
+  double preference_rate = 6.0;  // preferences per PC member
+  uint64_t seed = 42;
+
+  // Proportionally scaled config (for the linear-scaling experiment).
+  Config Scaled(double factor) const;
+};
+
+struct Generated {
+  std::vector<int64_t> all_contact_ids;
+  std::vector<int64_t> pc_contact_ids;
+  std::vector<int64_t> paper_ids;
+  std::vector<int64_t> review_ids;
+};
+
+// Creates all tables (BuildSchema) and fills them. The database must be
+// empty of HotCRP tables.
+StatusOr<Generated> Populate(db::Database* db, const Config& config);
+
+}  // namespace edna::hotcrp
+
+#endif  // SRC_APPS_HOTCRP_GENERATOR_H_

@@ -1,0 +1,396 @@
+#include "src/apps/hotcrp/schema.h"
+
+#include <cassert>
+
+namespace edna::hotcrp {
+
+namespace {
+
+using db::ColumnDef;
+using db::ColumnType;
+using db::FkAction;
+using db::ForeignKeyDef;
+using db::TableSchema;
+
+ColumnDef IntCol(const char* name, bool nullable = false) {
+  return {.name = name, .type = ColumnType::kInt, .nullable = nullable};
+}
+ColumnDef AutoPk(const char* name) {
+  return {.name = name, .type = ColumnType::kInt, .nullable = false, .auto_increment = true};
+}
+ColumnDef StrCol(const char* name, bool nullable = true) {
+  return {.name = name, .type = ColumnType::kString, .nullable = nullable};
+}
+ColumnDef BoolCol(const char* name, bool dflt = false) {
+  return {.name = name,
+          .type = ColumnType::kBool,
+          .nullable = false,
+          .default_value = sql::Value::Bool(dflt)};
+}
+ForeignKeyDef Fk(const char* col, const char* parent, const char* pcol,
+                 FkAction action = FkAction::kRestrict) {
+  return {.column = col, .parent_table = parent, .parent_column = pcol, .on_delete = action};
+}
+
+TableSchema ContactInfo() {
+  TableSchema t("ContactInfo");
+  t.AddColumn(AutoPk("contactId"))
+      .AddColumn(StrCol("name", false))
+      .AddColumn(StrCol("email"))
+      .AddColumn(StrCol("affiliation"))
+      .AddColumn(StrCol("passwordHash"))
+      .AddColumn(StrCol("country"))
+      .AddColumn(IntCol("roles"))
+      .AddColumn(BoolCol("disabled"))
+      .AddColumn(IntCol("lastLogin", true))
+      .AddColumn(IntCol("creationTime"))
+      .AddColumn(StrCol("collaborators"))
+      .AddColumn(StrCol("defaultWatch"))
+      .SetPrimaryKey({"contactId"});
+  return t;
+}
+
+TableSchema Paper() {
+  TableSchema t("Paper");
+  t.AddColumn(AutoPk("paperId"))
+      .AddColumn(StrCol("title", false))
+      .AddColumn(StrCol("abstract"))
+      .AddColumn(StrCol("authorInformation"))
+      .AddColumn(IntCol("timeSubmitted"))
+      .AddColumn(IntCol("timeWithdrawn"))
+      .AddColumn(IntCol("outcome"))
+      .AddColumn(IntCol("leadContactId", true))
+      .AddColumn(IntCol("shepherdContactId", true))
+      .AddColumn(IntCol("managerContactId", true))
+      .SetPrimaryKey({"paperId"})
+      .AddForeignKey(Fk("leadContactId", "ContactInfo", "contactId", FkAction::kSetNull))
+      .AddForeignKey(Fk("shepherdContactId", "ContactInfo", "contactId", FkAction::kSetNull))
+      .AddForeignKey(Fk("managerContactId", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema PaperConflict() {
+  TableSchema t("PaperConflict");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("conflictType"))
+      .SetPrimaryKey({"paperId", "contactId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+  return t;
+}
+
+TableSchema PaperReview() {
+  TableSchema t("PaperReview");
+  t.AddColumn(AutoPk("reviewId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("requestedBy", true))
+      .AddColumn(IntCol("reviewType"))
+      .AddColumn(IntCol("reviewRound"))
+      .AddColumn(IntCol("overAllMerit"))
+      .AddColumn(IntCol("reviewerQualification"))
+      .AddColumn(StrCol("reviewText"))
+      .AddColumn(IntCol("reviewSubmitted", true))
+      .AddColumn(IntCol("reviewModified", true))
+      .SetPrimaryKey({"reviewId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
+      .AddForeignKey(Fk("requestedBy", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema PaperReviewPreference() {
+  TableSchema t("PaperReviewPreference");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("preference"))
+      .AddColumn(IntCol("expertise", true))
+      .SetPrimaryKey({"paperId", "contactId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+  return t;
+}
+
+TableSchema PaperComment() {
+  TableSchema t("PaperComment");
+  t.AddColumn(AutoPk("commentId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(StrCol("comment"))
+      .AddColumn(IntCol("timeModified"))
+      .AddColumn(IntCol("commentType"))
+      .SetPrimaryKey({"commentId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+  return t;
+}
+
+TableSchema ReviewRating() {
+  TableSchema t("ReviewRating");
+  t.AddColumn(AutoPk("ratingId"))
+      .AddColumn(IntCol("reviewId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("rating"))
+      .SetPrimaryKey({"ratingId"})
+      .AddForeignKey(Fk("reviewId", "PaperReview", "reviewId", FkAction::kCascade))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+  return t;
+}
+
+TableSchema ReviewRequest() {
+  TableSchema t("ReviewRequest");
+  t.AddColumn(AutoPk("requestId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(StrCol("email", false))
+      .AddColumn(StrCol("reason"))
+      .AddColumn(IntCol("requestedBy", true))
+      .SetPrimaryKey({"requestId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("requestedBy", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema PaperReviewRefused() {
+  TableSchema t("PaperReviewRefused");
+  t.AddColumn(AutoPk("refusedId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("refusedBy", true))
+      .AddColumn(StrCol("reason"))
+      .SetPrimaryKey({"refusedId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
+      .AddForeignKey(Fk("refusedBy", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema PaperTag() {
+  TableSchema t("PaperTag");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(StrCol("tag", false))
+      .AddColumn(IntCol("tagIndex"))
+      .SetPrimaryKey({"paperId", "tag"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"));
+  return t;
+}
+
+TableSchema PaperTagAnno() {
+  TableSchema t("PaperTagAnno");
+  t.AddColumn(StrCol("tag", false))
+      .AddColumn(IntCol("annoId"))
+      .AddColumn(StrCol("annoText"))
+      .SetPrimaryKey({"tag", "annoId"});
+  return t;
+}
+
+TableSchema TopicArea() {
+  TableSchema t("TopicArea");
+  t.AddColumn(AutoPk("topicId"))
+      .AddColumn(StrCol("topicName", false))
+      .SetPrimaryKey({"topicId"});
+  return t;
+}
+
+TableSchema PaperTopic() {
+  TableSchema t("PaperTopic");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("topicId"))
+      .SetPrimaryKey({"paperId", "topicId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("topicId", "TopicArea", "topicId"));
+  return t;
+}
+
+TableSchema TopicInterest() {
+  TableSchema t("TopicInterest");
+  t.AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("topicId"))
+      .AddColumn(IntCol("interest"))
+      .SetPrimaryKey({"contactId", "topicId"})
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
+      .AddForeignKey(Fk("topicId", "TopicArea", "topicId"));
+  return t;
+}
+
+TableSchema PaperWatch() {
+  TableSchema t("PaperWatch");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("watch"))
+      .SetPrimaryKey({"paperId", "contactId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+  return t;
+}
+
+TableSchema PaperOption() {
+  TableSchema t("PaperOption");
+  t.AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("optionId"))
+      .AddColumn(StrCol("value"))
+      .SetPrimaryKey({"paperId", "optionId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"));
+  return t;
+}
+
+TableSchema PaperStorage() {
+  TableSchema t("PaperStorage");
+  t.AddColumn(AutoPk("paperStorageId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(StrCol("mimetype"))
+      .AddColumn(IntCol("size"))
+      .AddColumn(StrCol("sha1"))
+      .SetPrimaryKey({"paperStorageId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"));
+  return t;
+}
+
+TableSchema DocumentLink() {
+  TableSchema t("DocumentLink");
+  t.AddColumn(AutoPk("linkId"))
+      .AddColumn(IntCol("paperId"))
+      .AddColumn(IntCol("documentId"))
+      .AddColumn(IntCol("linkType"))
+      .SetPrimaryKey({"linkId"})
+      .AddForeignKey(Fk("paperId", "Paper", "paperId"))
+      .AddForeignKey(Fk("documentId", "PaperStorage", "paperStorageId", FkAction::kCascade));
+  return t;
+}
+
+TableSchema ActionLog() {
+  TableSchema t("ActionLog");
+  t.AddColumn(AutoPk("logId"))
+      .AddColumn(IntCol("contactId", true))
+      .AddColumn(IntCol("destContactId", true))
+      .AddColumn(IntCol("paperId", true))
+      .AddColumn(StrCol("action"))
+      .AddColumn(StrCol("ipaddr"))
+      .AddColumn(IntCol("timestamp"))
+      .SetPrimaryKey({"logId"})
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId", FkAction::kSetNull))
+      .AddForeignKey(Fk("destContactId", "ContactInfo", "contactId", FkAction::kSetNull))
+      .AddForeignKey(Fk("paperId", "Paper", "paperId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema MailLog() {
+  TableSchema t("MailLog");
+  t.AddColumn(AutoPk("mailId"))
+      .AddColumn(StrCol("recipients"))
+      .AddColumn(StrCol("paperIds"))
+      .AddColumn(StrCol("subject"))
+      .AddColumn(StrCol("emailBody"))
+      .AddColumn(IntCol("timestamp"))
+      .SetPrimaryKey({"mailId"});
+  return t;
+}
+
+TableSchema Capability() {
+  TableSchema t("Capability");
+  t.AddColumn(AutoPk("capabilityId"))
+      .AddColumn(IntCol("capabilityType"))
+      .AddColumn(IntCol("contactId"))
+      .AddColumn(IntCol("paperId", true))
+      .AddColumn(IntCol("timeExpires"))
+      .AddColumn(StrCol("salt"))
+      .SetPrimaryKey({"capabilityId"})
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
+      .AddForeignKey(Fk("paperId", "Paper", "paperId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema Settings() {
+  TableSchema t("Settings");
+  t.AddColumn(StrCol("name", false))
+      .AddColumn(IntCol("value"))
+      .AddColumn(StrCol("data"))
+      .SetPrimaryKey({"name"});
+  return t;
+}
+
+TableSchema Formula() {
+  TableSchema t("Formula");
+  t.AddColumn(AutoPk("formulaId"))
+      .AddColumn(StrCol("name", false))
+      .AddColumn(StrCol("expression"))
+      .AddColumn(IntCol("createdBy", true))
+      .SetPrimaryKey({"formulaId"})
+      .AddForeignKey(Fk("createdBy", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema DeletedContactInfo() {
+  TableSchema t("DeletedContactInfo");
+  t.AddColumn(IntCol("contactId"))
+      .AddColumn(StrCol("name"))
+      .AddColumn(StrCol("email"))
+      .AddColumn(IntCol("deletedAt"))
+      .SetPrimaryKey({"contactId"});
+  return t;
+}
+
+TableSchema Invitation() {
+  TableSchema t("Invitation");
+  t.AddColumn(AutoPk("invitationId"))
+      .AddColumn(StrCol("email", false))
+      .AddColumn(IntCol("contactId", true))
+      .AddColumn(IntCol("invitedBy", true))
+      .AddColumn(IntCol("created"))
+      .SetPrimaryKey({"invitationId"})
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId", FkAction::kSetNull))
+      .AddForeignKey(Fk("invitedBy", "ContactInfo", "contactId", FkAction::kSetNull));
+  return t;
+}
+
+}  // namespace
+
+db::Schema BuildSchema() {
+  db::Schema schema;
+  // Parents before children so AdoptSchema can FK-validate incrementally.
+  auto add = [&schema](TableSchema t) {
+    Status st = schema.AddTable(std::move(t));
+    assert(st.ok());
+    (void)st;
+  };
+  add(ContactInfo());
+  add(Paper());
+  add(PaperConflict());
+  add(PaperReview());
+  add(PaperReviewPreference());
+  add(PaperComment());
+  add(ReviewRating());
+  add(ReviewRequest());
+  add(PaperReviewRefused());
+  add(PaperTag());
+  add(PaperTagAnno());
+  add(TopicArea());
+  add(PaperTopic());
+  add(TopicInterest());
+  add(PaperWatch());
+  add(PaperOption());
+  add(PaperStorage());
+  add(DocumentLink());
+  add(ActionLog());
+  add(MailLog());
+  add(Capability());
+  add(Settings());
+  add(Formula());
+  add(DeletedContactInfo());
+  add(Invitation());
+  return schema;
+}
+
+const std::vector<std::string>& ObjectTypes() {
+  static const std::vector<std::string> kTypes = [] {
+    std::vector<std::string> out;
+    const db::Schema schema = BuildSchema();  // keep alive across the loop
+    for (const db::TableSchema& t : schema.tables()) {
+      out.push_back(t.name());
+    }
+    return out;
+  }();
+  return kTypes;
+}
+
+}  // namespace edna::hotcrp

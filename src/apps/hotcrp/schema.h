@@ -1,0 +1,30 @@
+// HotCRP application schema: a faithful subset of the conference review
+// system evaluated in the paper, sized at the 25 object types Figure 4
+// reports. Tables, keys, and delete actions mirror HotCRP's real schema
+// shape (ContactInfo / Paper / PaperReview / PaperConflict / ... ), trimmed
+// to the columns the disguises and workloads exercise.
+#ifndef SRC_APPS_HOTCRP_SCHEMA_H_
+#define SRC_APPS_HOTCRP_SCHEMA_H_
+
+#include "src/db/schema.h"
+
+namespace edna::hotcrp {
+
+// Role bits in ContactInfo.roles.
+inline constexpr int64_t kRolePc = 1;
+inline constexpr int64_t kRoleChair = 2;
+inline constexpr int64_t kRoleAuthor = 4;
+
+// Conflict types in PaperConflict.conflictType.
+inline constexpr int64_t kConflictAuthor = 32;  // contact author relationship
+inline constexpr int64_t kConflictCollaborator = 2;
+
+// Builds the full 25-table catalog.
+db::Schema BuildSchema();
+
+// Names of all 25 object types (stable order, for reporting).
+const std::vector<std::string>& ObjectTypes();
+
+}  // namespace edna::hotcrp
+
+#endif  // SRC_APPS_HOTCRP_SCHEMA_H_

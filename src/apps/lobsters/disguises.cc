@@ -1,0 +1,104 @@
+#include "src/apps/lobsters/disguises.h"
+
+#include "src/disguise/spec_parser.h"
+
+namespace edna::lobsters {
+
+const std::string& GdprSpecText() {
+  static const std::string kText = R"SPEC(
+# Lobsters-GDPR: account deletion as lobste.rs implements it. Stories and
+# comments remain public but are reattributed to disabled placeholder
+# accounts ("[deleted]"); everything private to the user is removed.
+disguise_name: "Lobsters-GDPR"
+user_to_disguise: $UID
+reversible: true
+
+table users:
+  generate_placeholder:
+    "username" <- Random
+    "email" <- Const(NULL)
+    "password_digest" <- Const('')
+    "about" <- Const('[deleted]')
+    "karma" <- Const(0)
+    "invited_by_user_id" <- Const(NULL)
+    "is_admin" <- Const(FALSE)
+    "is_moderator" <- Const(FALSE)
+    "deleted" <- Const(TRUE)
+    "session_token" <- Const('')
+    "rss_token" <- Const('')
+    "created_at" <- Const(0)
+    "last_login" <- Const(NULL)
+  transformations:
+    # invited_by_user_id back-references and moderation links are nulled
+    # automatically by their SET NULL foreign keys.
+    Remove(pred: "user_id" = $UID)
+
+# Public contributions survive, decorrelated per row.
+table stories:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+
+table comments:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+
+table suggested_titles:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+
+table suggested_taggings:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+
+# Private data is deleted outright.
+table votes:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table messages:
+  transformations:
+    Remove(pred: "author_user_id" = $UID)
+    Remove(pred: "recipient_user_id" = $UID)
+
+table tag_filters:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table read_ribbons:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table saved_stories:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table hidden_stories:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table hats:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table hat_requests:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+table invitations:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+
+assert_empty users: "user_id" = $UID
+assert_empty stories: "user_id" = $UID
+assert_empty comments: "user_id" = $UID
+assert_empty votes: "user_id" = $UID
+assert_empty messages: "author_user_id" = $UID OR "recipient_user_id" = $UID
+)SPEC";
+  return kText;
+}
+
+StatusOr<disguise::DisguiseSpec> GdprSpec() {
+  return disguise::ParseDisguiseSpec(GdprSpecText());
+}
+
+}  // namespace edna::lobsters

@@ -1,0 +1,23 @@
+// Lobsters-GDPR: the site's current account-deletion policy (Figure 4).
+// Public contributions (stories, comments) stay visible but are reattributed
+// to placeholder users -- the "[deleted]" pattern the paper describes for
+// Reddit/Lobsters -- while private data (votes, messages, filters, saved/
+// hidden stories) is removed along with the account itself.
+#ifndef SRC_APPS_LOBSTERS_DISGUISES_H_
+#define SRC_APPS_LOBSTERS_DISGUISES_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/disguise/spec.h"
+
+namespace edna::lobsters {
+
+const std::string& GdprSpecText();
+StatusOr<disguise::DisguiseSpec> GdprSpec();
+
+inline constexpr char kGdprName[] = "Lobsters-GDPR";
+
+}  // namespace edna::lobsters
+
+#endif  // SRC_APPS_LOBSTERS_DISGUISES_H_

@@ -1,0 +1,257 @@
+#include "src/apps/lobsters/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/apps/lobsters/schema.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace edna::lobsters {
+
+namespace {
+
+using sql::Value;
+
+Value S(std::string s) { return Value::String(std::move(s)); }
+Value I(int64_t v) { return Value::Int(v); }
+Value B(bool v) { return Value::Bool(v); }
+Value N() { return Value::Null(); }
+
+std::string Sentence(Rng* rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += rng->NextPseudoword(3, 9);
+  }
+  return out;
+}
+
+}  // namespace
+
+Config Config::Scaled(double factor) const {
+  Config c = *this;
+  auto scale = [factor](size_t v) {
+    return static_cast<size_t>(std::max<double>(1.0, static_cast<double>(std::llround(static_cast<double>(v) * factor))));
+  };
+  c.num_users = scale(num_users);
+  c.num_stories = scale(num_stories);
+  c.num_comments = scale(num_comments);
+  c.num_votes = scale(num_votes);
+  c.num_messages = scale(num_messages);
+  return c;
+}
+
+StatusOr<Generated> Populate(db::Database* db, const Config& config) {
+  RETURN_IF_ERROR(db->AdoptSchema(BuildSchema()));
+  Rng rng(config.seed);
+  Generated gen;
+  const int64_t now = 1'600'000'000;
+
+  // Tags and a few domains first (no dependencies).
+  std::vector<int64_t> tag_ids;
+  for (size_t i = 0; i < config.num_tags; ++i) {
+    ASSIGN_OR_RETURN(db::RowId rid,
+                     db->InsertValues("tags", {{"tag_id", N()},
+                                               {"tag", S(rng.NextPseudoword(3, 8))},
+                                               {"description", S(Sentence(&rng, 4))},
+                                               {"privileged", B(false)}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("tags", rid, "tag_id"));
+    tag_ids.push_back(v.AsInt());
+  }
+  std::vector<int64_t> domain_ids;
+  for (size_t i = 0; i < 12; ++i) {
+    ASSIGN_OR_RETURN(db::RowId rid,
+                     db->InsertValues("domains",
+                                      {{"domain_id", N()},
+                                       {"domain", S(rng.NextPseudoword(4, 9) + ".com")},
+                                       {"banned", B(false)}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("domains", rid, "domain_id"));
+    domain_ids.push_back(v.AsInt());
+  }
+
+  // Users; invitation chains reference earlier users.
+  for (size_t i = 0; i < config.num_users; ++i) {
+    Value invited_by =
+        gen.user_ids.empty() || rng.NextBool(0.2) ? N() : I(rng.Pick(gen.user_ids));
+    ASSIGN_OR_RETURN(
+        db::RowId rid,
+        db->InsertValues("users",
+                         {{"user_id", N()},
+                          {"username", S(rng.NextPseudoword(4, 10))},
+                          {"email", S(rng.NextPseudoword(4, 8) + "@example.org")},
+                          {"password_digest", S(rng.NextAlnumString(40))},
+                          {"about", S(Sentence(&rng, 8))},
+                          {"karma", I(rng.NextInt(0, 2000))},
+                          {"invited_by_user_id", invited_by},
+                          {"is_admin", B(i == 0)},
+                          {"is_moderator", B(i < 3)},
+                          {"deleted", B(false)},
+                          {"session_token", S(rng.NextAlnumString(24))},
+                          {"rss_token", S(rng.NextAlnumString(24))},
+                          {"created_at", I(now - rng.NextInt(100 * kDay, 1000 * kDay))},
+                          {"last_login", I(now - rng.NextInt(0, 400 * kDay))}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("users", rid, "user_id"));
+    gen.user_ids.push_back(v.AsInt());
+  }
+
+  // Stories.
+  for (size_t i = 0; i < config.num_stories; ++i) {
+    ASSIGN_OR_RETURN(
+        db::RowId rid,
+        db->InsertValues("stories",
+                         {{"story_id", N()},
+                          {"user_id", I(rng.Pick(gen.user_ids))},
+                          {"domain_id", rng.NextBool(0.8) ? I(rng.Pick(domain_ids)) : N()},
+                          {"title", S(Sentence(&rng, 7))},
+                          {"url", S("https://" + rng.NextPseudoword(5, 9) + ".com/p")},
+                          {"description", S(Sentence(&rng, 20))},
+                          {"upvotes", I(rng.NextInt(0, 100))},
+                          {"downvotes", I(rng.NextInt(0, 10))},
+                          {"created_at", I(now - rng.NextInt(0, 300 * kDay))}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("stories", rid, "story_id"));
+    gen.story_ids.push_back(v.AsInt());
+    // Tag every story once or twice.
+    std::set<int64_t> tags;
+    size_t n = 1 + rng.NextBounded(2);
+    while (tags.size() < n) {
+      tags.insert(rng.Pick(tag_ids));
+    }
+    for (int64_t tag : tags) {
+      RETURN_IF_ERROR(db->InsertValues("taggings", {{"tagging_id", N()},
+                                                    {"story_id", v},
+                                                    {"tag_id", I(tag)}})
+                          .status());
+    }
+  }
+
+  // Comments (some threaded).
+  for (size_t i = 0; i < config.num_comments; ++i) {
+    Value parent = (!gen.comment_ids.empty() && rng.NextBool(0.4))
+                       ? I(rng.Pick(gen.comment_ids))
+                       : N();
+    ASSIGN_OR_RETURN(
+        db::RowId rid,
+        db->InsertValues("comments", {{"comment_id", N()},
+                                      {"story_id", I(rng.Pick(gen.story_ids))},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"parent_comment_id", parent},
+                                      {"comment", S(Sentence(&rng, 25))},
+                                      {"upvotes", I(rng.NextInt(0, 50))},
+                                      {"downvotes", I(rng.NextInt(0, 5))},
+                                      {"created_at", I(now - rng.NextInt(0, 300 * kDay))}}));
+    ASSIGN_OR_RETURN(Value v, db->GetColumn("comments", rid, "comment_id"));
+    gen.comment_ids.push_back(v.AsInt());
+  }
+
+  // Votes: half on stories, half on comments.
+  for (size_t i = 0; i < config.num_votes; ++i) {
+    bool on_story = rng.NextBool(0.5);
+    RETURN_IF_ERROR(
+        db->InsertValues("votes",
+                         {{"vote_id", N()},
+                          {"user_id", I(rng.Pick(gen.user_ids))},
+                          {"story_id", on_story ? I(rng.Pick(gen.story_ids)) : N()},
+                          {"comment_id", on_story ? N() : I(rng.Pick(gen.comment_ids))},
+                          {"vote", I(rng.NextBool(0.85) ? 1 : -1)}})
+            .status());
+  }
+
+  // Messages between random user pairs.
+  for (size_t i = 0; i < config.num_messages; ++i) {
+    RETURN_IF_ERROR(db->InsertValues("messages",
+                                     {{"message_id", N()},
+                                      {"author_user_id", I(rng.Pick(gen.user_ids))},
+                                      {"recipient_user_id", I(rng.Pick(gen.user_ids))},
+                                      {"subject", S(Sentence(&rng, 4))},
+                                      {"body", S(Sentence(&rng, 30))},
+                                      {"deleted_by_author", B(false)},
+                                      {"deleted_by_recipient", B(false)},
+                                      {"created_at", I(now - rng.NextInt(0, 200 * kDay))}})
+                        .status());
+  }
+
+  // Sundry per-user rows so every table is populated.
+  for (size_t i = 0; i < config.num_users / 8; ++i) {
+    int64_t uid = gen.user_ids[i * 8 % gen.user_ids.size()];
+    RETURN_IF_ERROR(db->InsertValues("tag_filters", {{"tag_filter_id", N()},
+                                                     {"user_id", I(uid)},
+                                                     {"tag_id", I(rng.Pick(tag_ids))}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("read_ribbons",
+                                     {{"read_ribbon_id", N()},
+                                      {"user_id", I(uid)},
+                                      {"story_id", I(rng.Pick(gen.story_ids))},
+                                      {"updated_at", I(now)}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("saved_stories",
+                                     {{"saved_story_id", N()},
+                                      {"user_id", I(uid)},
+                                      {"story_id", I(rng.Pick(gen.story_ids))}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("hidden_stories",
+                                     {{"hidden_story_id", N()},
+                                      {"user_id", I(uid)},
+                                      {"story_id", I(rng.Pick(gen.story_ids))}})
+                        .status());
+  }
+  for (size_t i = 0; i < config.num_users / 20; ++i) {
+    int64_t uid = rng.Pick(gen.user_ids);
+    RETURN_IF_ERROR(db->InsertValues("hats",
+                                     {{"hat_id", N()},
+                                      {"user_id", I(uid)},
+                                      {"granted_by_user_id", I(gen.user_ids[0])},
+                                      {"hat", S(rng.NextPseudoword(4, 9))},
+                                      {"link", S("https://example.org")}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("hat_requests",
+                                     {{"hat_request_id", N()},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"hat", S(rng.NextPseudoword(4, 9))},
+                                      {"comment", S(Sentence(&rng, 6))}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("invitations",
+                                     {{"invitation_id", N()},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"email", S(rng.NextPseudoword(4, 8) + "@mail.net")},
+                                      {"code", S(rng.NextAlnumString(12))},
+                                      {"used_at", N()},
+                                      {"new_user_id", N()}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("invitation_requests",
+                                     {{"invitation_request_id", N()},
+                                      {"name", S(rng.NextPseudoword(4, 9))},
+                                      {"email", S(rng.NextPseudoword(4, 8) + "@mail.net")},
+                                      {"memo", S(Sentence(&rng, 8))}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("moderations",
+                                     {{"moderation_id", N()},
+                                      {"moderator_user_id", I(gen.user_ids[0])},
+                                      {"story_id", I(rng.Pick(gen.story_ids))},
+                                      {"comment_id", N()},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"action", S("edited")},
+                                      {"reason", S(Sentence(&rng, 5))},
+                                      {"created_at", I(now)}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("suggested_titles",
+                                     {{"suggested_title_id", N()},
+                                      {"story_id", I(rng.Pick(gen.story_ids))},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"title", S(Sentence(&rng, 7))}})
+                        .status());
+    RETURN_IF_ERROR(db->InsertValues("suggested_taggings",
+                                     {{"suggested_tagging_id", N()},
+                                      {"story_id", I(rng.Pick(gen.story_ids))},
+                                      {"user_id", I(rng.Pick(gen.user_ids))},
+                                      {"tag_id", I(rng.Pick(tag_ids))}})
+                        .status());
+  }
+
+  return gen;
+}
+
+}  // namespace edna::lobsters

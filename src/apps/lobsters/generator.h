@@ -1,0 +1,37 @@
+// Synthetic Lobsters workload generator, proportioned like a small community
+// news site. Deterministic in the seed.
+#ifndef SRC_APPS_LOBSTERS_GENERATOR_H_
+#define SRC_APPS_LOBSTERS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace edna::lobsters {
+
+struct Config {
+  size_t num_users = 400;
+  size_t num_stories = 800;
+  size_t num_comments = 2400;
+  size_t num_votes = 5000;
+  size_t num_tags = 25;
+  size_t num_messages = 300;
+  uint64_t seed = 7;
+
+  Config Scaled(double factor) const;
+};
+
+struct Generated {
+  std::vector<int64_t> user_ids;
+  std::vector<int64_t> story_ids;
+  std::vector<int64_t> comment_ids;
+};
+
+// Creates all tables (BuildSchema) and fills them.
+StatusOr<Generated> Populate(db::Database* db, const Config& config);
+
+}  // namespace edna::lobsters
+
+#endif  // SRC_APPS_LOBSTERS_GENERATOR_H_

@@ -1,0 +1,329 @@
+#include "src/apps/lobsters/schema.h"
+
+#include <cassert>
+
+namespace edna::lobsters {
+
+namespace {
+
+using db::ColumnDef;
+using db::ColumnType;
+using db::FkAction;
+using db::ForeignKeyDef;
+using db::TableSchema;
+
+ColumnDef IntCol(const char* name, bool nullable = false) {
+  return {.name = name, .type = ColumnType::kInt, .nullable = nullable};
+}
+ColumnDef AutoPk(const char* name) {
+  return {.name = name, .type = ColumnType::kInt, .nullable = false, .auto_increment = true};
+}
+ColumnDef StrCol(const char* name, bool nullable = true) {
+  return {.name = name, .type = ColumnType::kString, .nullable = nullable};
+}
+ColumnDef BoolCol(const char* name, bool dflt = false) {
+  return {.name = name,
+          .type = ColumnType::kBool,
+          .nullable = false,
+          .default_value = sql::Value::Bool(dflt)};
+}
+ForeignKeyDef Fk(const char* col, const char* parent, const char* pcol,
+                 FkAction action = FkAction::kRestrict) {
+  return {.column = col, .parent_table = parent, .parent_column = pcol, .on_delete = action};
+}
+
+TableSchema Users() {
+  TableSchema t("users");
+  t.AddColumn(AutoPk("user_id"))
+      .AddColumn(StrCol("username", false))
+      .AddColumn(StrCol("email"))
+      .AddColumn(StrCol("password_digest"))
+      .AddColumn(StrCol("about"))
+      .AddColumn(IntCol("karma"))
+      .AddColumn(IntCol("invited_by_user_id", true))
+      .AddColumn(BoolCol("is_admin"))
+      .AddColumn(BoolCol("is_moderator"))
+      .AddColumn(BoolCol("deleted"))
+      .AddColumn(StrCol("session_token"))
+      .AddColumn(StrCol("rss_token"))
+      .AddColumn(IntCol("created_at"))
+      .AddColumn(IntCol("last_login", true))
+      .SetPrimaryKey({"user_id"})
+      .AddForeignKey(Fk("invited_by_user_id", "users", "user_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema Domains() {
+  TableSchema t("domains");
+  t.AddColumn(AutoPk("domain_id"))
+      .AddColumn(StrCol("domain", false))
+      .AddColumn(BoolCol("banned"))
+      .SetPrimaryKey({"domain_id"});
+  return t;
+}
+
+TableSchema Stories() {
+  TableSchema t("stories");
+  t.AddColumn(AutoPk("story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("domain_id", true))
+      .AddColumn(StrCol("title", false))
+      .AddColumn(StrCol("url"))
+      .AddColumn(StrCol("description"))
+      .AddColumn(IntCol("upvotes"))
+      .AddColumn(IntCol("downvotes"))
+      .AddColumn(IntCol("created_at"))
+      .SetPrimaryKey({"story_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("domain_id", "domains", "domain_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema Comments() {
+  TableSchema t("comments");
+  t.AddColumn(AutoPk("comment_id"))
+      .AddColumn(IntCol("story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("parent_comment_id", true))
+      .AddColumn(StrCol("comment"))
+      .AddColumn(IntCol("upvotes"))
+      .AddColumn(IntCol("downvotes"))
+      .AddColumn(IntCol("created_at"))
+      .SetPrimaryKey({"comment_id"})
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade))
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("parent_comment_id", "comments", "comment_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema Votes() {
+  TableSchema t("votes");
+  t.AddColumn(AutoPk("vote_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("story_id", true))
+      .AddColumn(IntCol("comment_id", true))
+      .AddColumn(IntCol("vote"))
+      .SetPrimaryKey({"vote_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade))
+      .AddForeignKey(Fk("comment_id", "comments", "comment_id", FkAction::kCascade));
+  return t;
+}
+
+TableSchema Tags() {
+  TableSchema t("tags");
+  t.AddColumn(AutoPk("tag_id"))
+      .AddColumn(StrCol("tag", false))
+      .AddColumn(StrCol("description"))
+      .AddColumn(BoolCol("privileged"))
+      .SetPrimaryKey({"tag_id"});
+  return t;
+}
+
+TableSchema Taggings() {
+  TableSchema t("taggings");
+  t.AddColumn(AutoPk("tagging_id"))
+      .AddColumn(IntCol("story_id"))
+      .AddColumn(IntCol("tag_id"))
+      .SetPrimaryKey({"tagging_id"})
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade))
+      .AddForeignKey(Fk("tag_id", "tags", "tag_id"));
+  return t;
+}
+
+TableSchema TagFilters() {
+  TableSchema t("tag_filters");
+  t.AddColumn(AutoPk("tag_filter_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("tag_id"))
+      .SetPrimaryKey({"tag_filter_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("tag_id", "tags", "tag_id"));
+  return t;
+}
+
+TableSchema Messages() {
+  TableSchema t("messages");
+  t.AddColumn(AutoPk("message_id"))
+      .AddColumn(IntCol("author_user_id"))
+      .AddColumn(IntCol("recipient_user_id"))
+      .AddColumn(StrCol("subject"))
+      .AddColumn(StrCol("body"))
+      .AddColumn(BoolCol("deleted_by_author"))
+      .AddColumn(BoolCol("deleted_by_recipient"))
+      .AddColumn(IntCol("created_at"))
+      .SetPrimaryKey({"message_id"})
+      .AddForeignKey(Fk("author_user_id", "users", "user_id"))
+      .AddForeignKey(Fk("recipient_user_id", "users", "user_id"));
+  return t;
+}
+
+TableSchema Hats() {
+  TableSchema t("hats");
+  t.AddColumn(AutoPk("hat_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("granted_by_user_id", true))
+      .AddColumn(StrCol("hat", false))
+      .AddColumn(StrCol("link"))
+      .SetPrimaryKey({"hat_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("granted_by_user_id", "users", "user_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema HatRequests() {
+  TableSchema t("hat_requests");
+  t.AddColumn(AutoPk("hat_request_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(StrCol("hat", false))
+      .AddColumn(StrCol("comment"))
+      .SetPrimaryKey({"hat_request_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"));
+  return t;
+}
+
+TableSchema Invitations() {
+  TableSchema t("invitations");
+  t.AddColumn(AutoPk("invitation_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(StrCol("email"))
+      .AddColumn(StrCol("code"))
+      .AddColumn(IntCol("used_at", true))
+      .AddColumn(IntCol("new_user_id", true))
+      .SetPrimaryKey({"invitation_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("new_user_id", "users", "user_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema InvitationRequests() {
+  TableSchema t("invitation_requests");
+  t.AddColumn(AutoPk("invitation_request_id"))
+      .AddColumn(StrCol("name"))
+      .AddColumn(StrCol("email"))
+      .AddColumn(StrCol("memo"))
+      .SetPrimaryKey({"invitation_request_id"});
+  return t;
+}
+
+TableSchema Moderations() {
+  TableSchema t("moderations");
+  t.AddColumn(AutoPk("moderation_id"))
+      .AddColumn(IntCol("moderator_user_id", true))
+      .AddColumn(IntCol("story_id", true))
+      .AddColumn(IntCol("comment_id", true))
+      .AddColumn(IntCol("user_id", true))
+      .AddColumn(StrCol("action"))
+      .AddColumn(StrCol("reason"))
+      .AddColumn(IntCol("created_at"))
+      .SetPrimaryKey({"moderation_id"})
+      .AddForeignKey(Fk("moderator_user_id", "users", "user_id", FkAction::kSetNull))
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kSetNull))
+      .AddForeignKey(Fk("comment_id", "comments", "comment_id", FkAction::kSetNull))
+      .AddForeignKey(Fk("user_id", "users", "user_id", FkAction::kSetNull));
+  return t;
+}
+
+TableSchema ReadRibbons() {
+  TableSchema t("read_ribbons");
+  t.AddColumn(AutoPk("read_ribbon_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("story_id"))
+      .AddColumn(IntCol("updated_at"))
+      .SetPrimaryKey({"read_ribbon_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade));
+  return t;
+}
+
+TableSchema SavedStories() {
+  TableSchema t("saved_stories");
+  t.AddColumn(AutoPk("saved_story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("story_id"))
+      .SetPrimaryKey({"saved_story_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade));
+  return t;
+}
+
+TableSchema HiddenStories() {
+  TableSchema t("hidden_stories");
+  t.AddColumn(AutoPk("hidden_story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("story_id"))
+      .SetPrimaryKey({"hidden_story_id"})
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade));
+  return t;
+}
+
+TableSchema SuggestedTitles() {
+  TableSchema t("suggested_titles");
+  t.AddColumn(AutoPk("suggested_title_id"))
+      .AddColumn(IntCol("story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(StrCol("title", false))
+      .SetPrimaryKey({"suggested_title_id"})
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade))
+      .AddForeignKey(Fk("user_id", "users", "user_id"));
+  return t;
+}
+
+TableSchema SuggestedTaggings() {
+  TableSchema t("suggested_taggings");
+  t.AddColumn(AutoPk("suggested_tagging_id"))
+      .AddColumn(IntCol("story_id"))
+      .AddColumn(IntCol("user_id"))
+      .AddColumn(IntCol("tag_id"))
+      .SetPrimaryKey({"suggested_tagging_id"})
+      .AddForeignKey(Fk("story_id", "stories", "story_id", FkAction::kCascade))
+      .AddForeignKey(Fk("user_id", "users", "user_id"))
+      .AddForeignKey(Fk("tag_id", "tags", "tag_id"));
+  return t;
+}
+
+}  // namespace
+
+db::Schema BuildSchema() {
+  db::Schema schema;
+  auto add = [&schema](TableSchema t) {
+    Status st = schema.AddTable(std::move(t));
+    assert(st.ok());
+    (void)st;
+  };
+  add(Users());
+  add(Domains());
+  add(Stories());
+  add(Comments());
+  add(Votes());
+  add(Tags());
+  add(Taggings());
+  add(TagFilters());
+  add(Messages());
+  add(Hats());
+  add(HatRequests());
+  add(Invitations());
+  add(InvitationRequests());
+  add(Moderations());
+  add(ReadRibbons());
+  add(SavedStories());
+  add(HiddenStories());
+  add(SuggestedTitles());
+  add(SuggestedTaggings());
+  return schema;
+}
+
+const std::vector<std::string>& ObjectTypes() {
+  static const std::vector<std::string> kTypes = [] {
+    std::vector<std::string> out;
+    const db::Schema schema = BuildSchema();  // keep alive across the loop
+    for (const db::TableSchema& t : schema.tables()) {
+      out.push_back(t.name());
+    }
+    return out;
+  }();
+  return kTypes;
+}
+
+}  // namespace edna::lobsters

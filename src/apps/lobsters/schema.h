@@ -1,0 +1,18 @@
+// Lobsters application schema: a faithful subset of the open-source news
+// aggregator (lobste.rs), sized at the 19 object types Figure 4 reports.
+#ifndef SRC_APPS_LOBSTERS_SCHEMA_H_
+#define SRC_APPS_LOBSTERS_SCHEMA_H_
+
+#include "src/db/schema.h"
+
+namespace edna::lobsters {
+
+// Builds the full 19-table catalog.
+db::Schema BuildSchema();
+
+// Names of all 19 object types (stable order, for reporting).
+const std::vector<std::string>& ObjectTypes();
+
+}  // namespace edna::lobsters
+
+#endif  // SRC_APPS_LOBSTERS_SCHEMA_H_

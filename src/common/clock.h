@@ -1,0 +1,54 @@
+// Virtual time. The disguise log, vault-entry expiry, and the expiration /
+// data-decay policy scheduler all consume time through a Clock interface so
+// tests and benches can advance time synthetically.
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace edna {
+
+// Seconds since an arbitrary epoch. The library never interprets absolute
+// values, only orderings and differences.
+using TimePoint = int64_t;
+using Duration = int64_t;
+
+constexpr Duration kSecond = 1;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+constexpr Duration kYear = 365 * kDay;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+// Wall-clock time (unix seconds).
+class SystemClock : public Clock {
+ public:
+  TimePoint Now() const override {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// Manually-advanced clock for tests and policy simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,45 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace edna {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < GetLogLevel()) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace edna

@@ -1,0 +1,51 @@
+// Minimal leveled logging. Disabled below the global threshold at runtime;
+// the default threshold is kWarning so library internals stay quiet in
+// benches unless explicitly enabled.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace edna {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Sets/gets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if `level` >= threshold.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define EDNA_LOG(level)                                                           \
+  ::edna::log_internal::LogLine(::edna::LogLevel::level, __FILE__, __LINE__)
+
+#define EDNA_DLOG EDNA_LOG(kDebug)
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_LOGGING_H_

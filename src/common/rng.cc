@@ -1,0 +1,145 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+
+namespace edna {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : s_) {
+    s = SplitMix64(&sm);
+  }
+  // xoshiro's all-zero state is absorbing; splitmix cannot produce four zeros
+  // from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  if (p >= 1) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+std::string Rng::NextAlphaString(size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + NextBounded(26)));
+  }
+  return out;
+}
+
+std::string Rng::NextAlnumString(size_t len) {
+  static const char kAlnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlnum[NextBounded(sizeof(kAlnum) - 1)]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Rng::NextBytes(size_t len) {
+  std::vector<uint8_t> out(len);
+  size_t i = 0;
+  while (i + 8 <= len) {
+    uint64_t r = NextU64();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<uint8_t>(r >> (8 * b));
+    }
+  }
+  if (i < len) {
+    uint64_t r = NextU64();
+    while (i < len) {
+      out[i++] = static_cast<uint8_t>(r);
+      r >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string Rng::NextPseudoword(size_t min_len, size_t max_len) {
+  static const char kConsonants[] = "bcdfghjklmnprstvwxz";
+  static const char kVowels[] = "aeiou";
+  assert(min_len >= 1 && min_len <= max_len);
+  size_t len = min_len + NextBounded(max_len - min_len + 1);
+  std::string out;
+  out.reserve(len);
+  bool consonant = NextBool();
+  for (size_t i = 0; i < len; ++i) {
+    if (consonant) {
+      out.push_back(kConsonants[NextBounded(sizeof(kConsonants) - 1)]);
+    } else {
+      out.push_back(kVowels[NextBounded(sizeof(kVowels) - 1)]);
+    }
+    consonant = !consonant;
+  }
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+Rng Rng::Fork(uint64_t stream_id) {
+  // Derive a child seed from the parent stream plus the id; draws once from
+  // the parent so successive forks differ even with equal ids.
+  uint64_t mix = NextU64() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng(mix);
+}
+
+}  // namespace edna

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation. All randomness in the
+// library (data generators, placeholder identities, crypto nonces in tests)
+// flows through Rng so that experiments are reproducible from a seed.
+//
+// The core generator is xoshiro256**, a small, fast, high-quality PRNG.
+// It is NOT cryptographically secure; the crypto module keeps its own notion
+// of randomness (callers supply keys/nonces explicitly).
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edna {
+
+class Rng {
+ public:
+  // Seeds the state from `seed` via splitmix64 so that nearby seeds produce
+  // unrelated streams.
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound) for bound > 0 (debiased via rejection sampling).
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  // Random lowercase alphabetic string of length `len`.
+  std::string NextAlphaString(size_t len);
+
+  // Random alphanumeric string of length `len`.
+  std::string NextAlnumString(size_t len);
+
+  // `len` random bytes.
+  std::vector<uint8_t> NextBytes(size_t len);
+
+  // A pronounceable pseudoword (alternating consonant/vowel), for
+  // human-looking placeholder names such as "Axolotl"-style handles.
+  std::string NextPseudoword(size_t min_len, size_t max_len);
+
+  // Picks a uniform element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextBounded(v.size())];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Forks an independent deterministic stream (e.g. per table or per user) so
+  // that adding draws in one consumer does not perturb another.
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_RNG_H_

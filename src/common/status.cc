@@ -1,0 +1,64 @@
+#include "src/common/status.h"
+
+namespace edna {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kIntegrityViolation:
+      return "INTEGRITY_VIOLATION";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status IntegrityViolation(std::string msg) {
+  return Status(StatusCode::kIntegrityViolation, std::move(msg));
+}
+Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+}  // namespace edna

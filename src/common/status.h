@@ -1,0 +1,135 @@
+// Status and StatusOr: lightweight error-handling vocabulary used across the
+// library instead of exceptions. Every fallible public API returns a Status or
+// a StatusOr<T>; callers branch on ok() and propagate with RETURN_IF_ERROR.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace edna {
+
+// Error taxonomy. Codes are stable and coarse; detail lives in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad spec text, bad predicate, type error)
+  kNotFound,          // missing table / column / row / vault entry / disguise id
+  kAlreadyExists,     // duplicate table, duplicate primary key, duplicate disguise
+  kFailedPrecondition,// operation illegal in current state (e.g. reveal of expired vault)
+  kIntegrityViolation,// referential-integrity or constraint violation
+  kPermissionDenied,  // vault access without the required key/approval
+  kInternal,          // invariant broken inside the library (bug)
+  kUnimplemented,
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result with an optional message. Cheap to copy on the
+// success path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status IntegrityViolation(std::string msg);
+Status PermissionDenied(std::string msg);
+Status Internal(std::string msg);
+Status Unimplemented(std::string msg);
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Value-or-error. Accessing value() on an error status is a programming error
+// (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr from OK status must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate an error Status from the current function.
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::edna::Status _st = (expr);                \
+    if (!_st.ok()) {                            \
+      return _st;                               \
+    }                                           \
+  } while (0)
+
+// Evaluate a StatusOr expression, propagating errors, else bind the value.
+#define ASSIGN_OR_RETURN(lhs, expr)             \
+  ASSIGN_OR_RETURN_IMPL(                        \
+      EDNA_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                            \
+  if (!tmp.ok()) {                              \
+    return tmp.status();                        \
+  }                                             \
+  lhs = std::move(tmp).value()
+
+#define EDNA_STATUS_CONCAT_INNER(a, b) a##b
+#define EDNA_STATUS_CONCAT(a, b) EDNA_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,62 @@
+// Small string utilities shared across modules. Kept minimal and allocation-
+// conscious; nothing here depends on other edna modules.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edna {
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Splits and drops empty fields after trimming each piece.
+std::vector<std::string> StrSplitTrimmed(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+// ASCII case conversion.
+std::string AsciiLower(std::string_view s);
+std::string AsciiUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string StrReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// Lowercase hex of a byte buffer.
+std::string BytesToHex(const uint8_t* data, size_t len);
+std::string BytesToHex(const std::vector<uint8_t>& data);
+
+// Inverse of BytesToHex; returns false on odd length or non-hex characters.
+bool HexToBytes(std::string_view hex, std::vector<uint8_t>* out);
+
+// SQL-style LIKE matching: '%' matches any run, '_' matches one char.
+// Matching is case-sensitive, as in binary-collation SQL.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+// Quotes a string as a SQL literal: it's -> 'it''s'.
+std::string SqlQuote(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Counts the non-empty, non-comment ("#" or "--" prefixed) lines in `text`.
+// Used by the Figure-4 spec-complexity experiment.
+size_t CountEffectiveLines(std::string_view text);
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_STRINGS_H_

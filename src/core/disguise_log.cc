@@ -1,0 +1,123 @@
+#include "src/core/disguise_log.h"
+
+#include "src/sql/parser.h"
+
+namespace edna::core {
+
+namespace {
+
+db::TableSchema LogSchema() {
+  db::TableSchema t(kDisguiseLogTableName);
+  t.AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "specName", .type = db::ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "userId", .type = db::ColumnType::kString, .nullable = true})
+      .AddColumn({.name = "appliedAt", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "reversible", .type = db::ColumnType::kBool, .nullable = false})
+      .AddColumn({.name = "active", .type = db::ColumnType::kBool, .nullable = false})
+      .SetPrimaryKey({"id"});
+  return t;
+}
+
+}  // namespace
+
+DisguiseLog::DisguiseLog(db::Database* db) : db_(db) {}
+
+Status DisguiseLog::MirrorAppend(const LogEntry& e) {
+  if (db_ == nullptr) {
+    return OkStatus();
+  }
+  if (!db_->HasTable(kDisguiseLogTableName)) {
+    RETURN_IF_ERROR(db_->CreateTable(LogSchema()));
+  }
+  db::Row row;
+  row.push_back(sql::Value::Int(static_cast<int64_t>(e.id)));
+  row.push_back(sql::Value::String(e.spec_name));
+  row.push_back(e.user_id.is_null() ? sql::Value::Null()
+                                    : sql::Value::String(e.user_id.ToSqlString()));
+  row.push_back(sql::Value::Int(e.applied_at));
+  row.push_back(sql::Value::Bool(e.reversible));
+  row.push_back(sql::Value::Bool(e.active));
+  return db_->Insert(kDisguiseLogTableName, std::move(row)).status();
+}
+
+Status DisguiseLog::MirrorMarkRevealed(uint64_t id) {
+  if (db_ == nullptr || !db_->HasTable(kDisguiseLogTableName)) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"id\" = $ID"));
+  sql::ParamMap params;
+  params.emplace("ID", sql::Value::Int(static_cast<int64_t>(id)));
+  std::vector<db::Assignment> assigns;
+  assigns.push_back({.column = "active",
+                     .expr = sql::Expr::Literal(sql::Value::Bool(false))});
+  return db_->Update(kDisguiseLogTableName, pred.get(), params, assigns).status();
+}
+
+StatusOr<uint64_t> DisguiseLog::Append(std::string spec_name, sql::ParamMap params,
+                                       sql::Value user_id, TimePoint applied_at,
+                                       bool reversible) {
+  LogEntry e;
+  e.id = next_id_++;
+  e.spec_name = std::move(spec_name);
+  e.params = std::move(params);
+  e.user_id = std::move(user_id);
+  e.applied_at = applied_at;
+  e.reversible = reversible;
+  e.active = true;
+  RETURN_IF_ERROR(MirrorAppend(e));
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+Status DisguiseLog::MarkRevealed(uint64_t id) {
+  for (LogEntry& e : entries_) {
+    if (e.id == id) {
+      if (!e.active) {
+        return FailedPrecondition("disguise already revealed");
+      }
+      e.active = false;
+      return MirrorMarkRevealed(id);
+    }
+  }
+  return NotFound("no disguise log entry with id " + std::to_string(id));
+}
+
+Status DisguiseLog::Unappend(uint64_t id) {
+  if (entries_.empty() || entries_.back().id != id) {
+    return FailedPrecondition("Unappend: id is not the most recent entry");
+  }
+  entries_.pop_back();
+  next_id_ = id;
+  return OkStatus();
+}
+
+const LogEntry* DisguiseLog::Find(uint64_t id) const {
+  for (const LogEntry& e : entries_) {
+    if (e.id == id) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const LogEntry*> DisguiseLog::ActiveAfter(uint64_t after_id) const {
+  std::vector<const LogEntry*> out;
+  for (const LogEntry& e : entries_) {
+    if (e.id > after_id && e.active) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::vector<const LogEntry*> DisguiseLog::ActiveBefore(uint64_t before_id) const {
+  std::vector<const LogEntry*> out;
+  for (const LogEntry& e : entries_) {
+    if (e.id < before_id && e.active) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+}  // namespace edna::core

@@ -1,0 +1,73 @@
+// Persistent disguise log (§4.2): "the tool keeps a persistent log of all
+// disguises the application applied, and re-applies disguises from the
+// relevant log interval to the revealed data." Entries record which spec ran,
+// with which parameters, when, and whether it is still active (not yet
+// reverted). The log is mirrored into a reserved table of the application
+// database, matching Edna's "disguise history table".
+#ifndef SRC_CORE_DISGUISE_LOG_H_
+#define SRC_CORE_DISGUISE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/sql/eval.h"
+
+namespace edna::core {
+
+inline constexpr char kDisguiseLogTableName[] = "__edna_disguise_log";
+
+struct LogEntry {
+  uint64_t id = 0;
+  std::string spec_name;
+  sql::ParamMap params;     // bindings used at apply time ($UID etc.)
+  sql::Value user_id;       // Null for global disguises
+  TimePoint applied_at = 0;
+  bool reversible = false;
+  bool active = true;       // false once permanently revealed
+};
+
+class DisguiseLog {
+ public:
+  // Mirrors entries into `db` (reserved table created on demand); `db` may
+  // be nullptr for a purely in-memory log.
+  explicit DisguiseLog(db::Database* db);
+
+  StatusOr<uint64_t> Append(std::string spec_name, sql::ParamMap params, sql::Value user_id,
+                            TimePoint applied_at, bool reversible);
+
+  Status MarkRevealed(uint64_t id);
+
+  // Removes the most recent entry iff it has this id. Used to unwind a
+  // failed apply after the in-memory append (the DB mirror row is unwound by
+  // the enclosing transaction's rollback).
+  Status Unappend(uint64_t id);
+
+  const LogEntry* Find(uint64_t id) const;
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+  // Active entries with id > `after_id`, in apply order: the "relevant log
+  // interval" re-applied to revealed data.
+  std::vector<const LogEntry*> ActiveAfter(uint64_t after_id) const;
+
+  // Active entries with id < `before_id`, in apply order: the prior
+  // disguises a new application may need to compose with.
+  std::vector<const LogEntry*> ActiveBefore(uint64_t before_id) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  Status MirrorAppend(const LogEntry& e);
+  Status MirrorMarkRevealed(uint64_t id);
+
+  db::Database* db_;
+  std::vector<LogEntry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_DISGUISE_LOG_H_

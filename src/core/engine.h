@@ -1,0 +1,184 @@
+// DisguiseEngine: the disguising tool of Figure 1. Applications register
+// disguise specifications once, then invoke Apply/Reveal through this API;
+// the engine computes and executes the physical database changes, preserving
+// referential integrity, and manages vaults, the disguise log, composition,
+// and end-state assertions.
+//
+// Semantics implemented (paper section in parentheses):
+//  * Apply (§4.1): phase-ordered execution — Decorrelate, then Modify, then
+//    Remove in child-before-parent FK order — so a spec like Figure 3 never
+//    has to hand-order its operations around foreign keys. One transaction.
+//  * Reversibility (§4.2): reversible disguises emit a RevealRecord (the
+//    reveal function) into the configured vault.
+//  * Composition (§4.2, §6): before a per-user disguise runs, the engine
+//    consults prior active reversible disguises' reveal records, temporarily
+//    recorrelates rows that used to belong to the user, applies the new
+//    disguise, and re-disguises what remains. With the decorrelation-reuse
+//    optimization (§6's "manual optimization", here automated) rows the new
+//    disguise would merely re-decorrelate keep their existing placeholders.
+//  * Reveal (§4.2): restores vault state in reverse op order, filtering the
+//    revealed data through every active disguise applied in the interim so
+//    reversal never reintroduces data a later disguise hides.
+//  * Assertions (§7): after applying, declared end-state predicates must
+//    match zero rows, or the whole application rolls back.
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/disguise_log.h"
+#include "src/core/explain.h"
+#include "src/db/database.h"
+#include "src/disguise/spec.h"
+#include "src/vault/vault.h"
+
+namespace edna::core {
+
+struct ApplyResult {
+  uint64_t disguise_id = 0;
+  size_t rows_removed = 0;
+  size_t rows_modified = 0;
+  size_t rows_decorrelated = 0;
+  size_t placeholders_created = 0;
+  // Composition machinery:
+  bool composed = false;            // prior disguises had to be consulted
+  size_t rows_recorrelated = 0;     // temporarily recorrelated via reveal fns
+  size_t decorrelations_reused = 0; // placeholders kept by the optimization
+  size_t vault_records_scanned = 0;
+  // Database statement count attributable to this application.
+  uint64_t queries = 0;
+};
+
+struct RevealResult {
+  uint64_t disguise_id = 0;
+  size_t rows_restored = 0;
+  size_t columns_restored = 0;
+  size_t placeholders_dropped = 0;
+  // Interim-disguise filtering:
+  size_t rows_suppressed = 0;   // stayed hidden because a later Remove covers them
+  size_t values_redisguised = 0;  // restored through a later Modify/Decorrelate
+  uint64_t queries = 0;
+};
+
+struct EngineOptions {
+  // §6's optimization: reuse decorrelations already performed by a prior
+  // disguise instead of recorrelating and re-decorrelating.
+  bool reuse_decorrelation = false;
+  // Shard global disguises' reveal records per affected user (Edna's
+  // per-user vault tables). Off = one monolithic record per application,
+  // forcing composition to scan every user's reveal functions (ablation E).
+  bool shard_global_reveal_records = true;
+  // §7's "prohibit updates to disguised data": while a reversible disguise
+  // is active, application writes (updates and deletes) to the rows it
+  // transformed — and to its placeholder rows — are rejected with
+  // kFailedPrecondition. The engine's own apply/reveal operations are
+  // exempt. Reveal the disguise first, then modify.
+  bool protect_disguised_data = false;
+  // Batch row mutations through multi-row statements where possible
+  // (ablation B). Off = one statement per row, as Edna issues them.
+  bool batch_operations = false;
+  uint64_t rng_seed = 0x5eed;
+};
+
+class DisguiseEngine {
+ public:
+  // `db`, `vault`, and `clock` must outlive the engine.
+  DisguiseEngine(db::Database* db, vault::Vault* vault, const Clock* clock,
+                 EngineOptions options = {});
+
+  // Registers a spec after validating it against the database schema.
+  Status RegisterSpec(disguise::DisguiseSpec spec);
+  const disguise::DisguiseSpec* FindSpec(const std::string& name) const;
+  std::vector<std::string> SpecNames() const;
+
+  // Applies a registered disguise. Per-user specs require params["UID"].
+  StatusOr<ApplyResult> Apply(const std::string& spec_name, const sql::ParamMap& params);
+
+  // Convenience: binds $UID and applies.
+  StatusOr<ApplyResult> ApplyForUser(const std::string& spec_name, sql::Value uid);
+
+  // Permanently reverses a previously applied disguise (§4.2).
+  StatusOr<RevealResult> Reveal(uint64_t disguise_id);
+
+  // Read-only dry run: reports what applying the disguise would do to the
+  // current database contents (row counts per transformation, FK closure,
+  // placeholders, composition involvement). Mutates nothing.
+  StatusOr<ExplainReport> Explain(const std::string& spec_name, const sql::ParamMap& params);
+
+  const DisguiseLog& log() const { return log_; }
+  db::Database* database() { return db_; }
+  vault::Vault* vault() { return vault_; }
+
+  EngineOptions& options() { return options_; }
+
+ private:
+  struct ApplyContext;
+
+  // --- Apply phases ---------------------------------------------------------
+  Status RunDecorrelates(ApplyContext* ctx);
+  Status RunModifies(ApplyContext* ctx);
+  Status RunRemoves(ApplyContext* ctx);
+  Status FlushBatches(ApplyContext* ctx);
+  Status CheckAssertions(const disguise::DisguiseSpec& spec, const sql::ParamMap& params);
+
+  // Creates one placeholder row per the table's recipe; returns its PK
+  // value. `owner` tags the reveal op with the identity being detached (so
+  // global disguises can shard their reveal records per user).
+  StatusOr<sql::Value> CreatePlaceholder(ApplyContext* ctx, const std::string& table,
+                                         const sql::Value& owner);
+
+  // Removes one row plus its FK closure (children first), recording reveal
+  // ops for every removed row / nulled child reference.
+  Status RemoveWithClosure(ApplyContext* ctx, const std::string& table, db::RowId id,
+                           int depth);
+
+  // Tables of the spec's Removes in child-before-parent order.
+  StatusOr<std::vector<std::string>> RemoveOrder(const disguise::DisguiseSpec& spec) const;
+
+  // --- Composition ----------------------------------------------------------
+  // Scans prior active reversible disguises for rows formerly associated
+  // with ctx->uid, recorrelates them, and populates ctx->recorrelated.
+  Status RecorrelateForUser(ApplyContext* ctx);
+  // Re-disguises recorrelated rows the new disguise did not consume.
+  Status RedisguiseLeftovers(ApplyContext* ctx);
+  // Composition fallback when the identity row itself was removed by a prior
+  // disguise: act on the hypothetical recorrelated row without writing it.
+  Status VirtualRecorrelate(ApplyContext* ctx, const std::string& table, db::RowId row_id,
+                            const std::string& column);
+
+  // --- Reveal helpers ---------------------------------------------------------
+  struct InterimTransform;
+  std::vector<InterimTransform> CollectInterimTransforms(uint64_t disguise_id) const;
+
+  // --- Strict mode (§7) -------------------------------------------------------
+  // Rows owned by active reversible disguises; the installed WriteGuard
+  // rejects application writes to them while engine_ops_depth_ == 0.
+  void ProtectRows(uint64_t disguise_id, const vault::RevealRecord& record);
+  void UnprotectRows(uint64_t disguise_id);
+  void EnsureGuardInstalled();
+
+  class EngineOpScope;  // RAII: marks engine-internal mutations guard-exempt
+
+  db::Database* db_;
+  vault::Vault* vault_;
+  const Clock* clock_;
+  EngineOptions options_;
+  Rng rng_;
+  DisguiseLog log_;
+  std::map<std::string, disguise::DisguiseSpec> specs_;
+
+  int engine_ops_depth_ = 0;
+  bool guard_installed_ = false;
+  std::map<std::pair<std::string, db::RowId>, int> protected_rows_;  // refcount
+  std::map<uint64_t, std::vector<std::pair<std::string, db::RowId>>> protected_by_disguise_;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,300 @@
+// DisguiseEngine::Apply and the disguise-composition machinery (§4.2, §6).
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/engine_internal.h"
+
+namespace edna::core {
+
+using disguise::DisguiseSpec;
+using disguise::TransformKind;
+using disguise::Transformation;
+using vault::RevealOp;
+using vault::RevealRecord;
+
+namespace {
+
+// True if `spec` contains a Decorrelate transformation on (table, column)
+// whose predicate involves $UID — the signature of a per-user decorrelation
+// the reuse optimization can satisfy with an existing placeholder.
+bool SpecRedecorrelates(const DisguiseSpec& spec, const std::string& table,
+                        const std::string& column) {
+  const disguise::TableDisguise* td = spec.FindTable(table);
+  if (td == nullptr) {
+    return false;
+  }
+  for (const Transformation& tr : td->transformations) {
+    if (tr.kind() == TransformKind::kDecorrelate && tr.foreign_key().column == column) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<ApplyResult> DisguiseEngine::ApplyForUser(const std::string& spec_name,
+                                                   sql::Value uid) {
+  sql::ParamMap params;
+  params.emplace(disguise::kUidParam, std::move(uid));
+  return Apply(spec_name, params);
+}
+
+Status DisguiseEngine::RecorrelateForUser(ApplyContext* ctx) {
+  // Pull the reveal records holding transformations of this user's data.
+  // Because global disguises shard their reveal functions per affected user
+  // (see ShardRecordByOwner), ONE user's vault suffices — the engine never
+  // scans every user's reveal functions to compose, mirroring Edna's
+  // per-user vault tables. Vault entries exist only for *active* disguises
+  // (Reveal removes them), so no staleness filtering is needed.
+  ASSIGN_OR_RETURN(std::vector<RevealRecord> records, vault_->FetchForUser(ctx->uid));
+  if (!options_.shard_global_reveal_records) {
+    // Unsharded mode: global disguises left one monolithic record each; the
+    // user's ops hide inside them, so every global record must be scanned.
+    ASSIGN_OR_RETURN(std::vector<RevealRecord> global_records, vault_->FetchGlobal());
+    for (RevealRecord& r : global_records) {
+      records.push_back(std::move(r));
+    }
+  }
+  ctx->result.vault_records_scanned = records.size();
+
+  for (const RevealRecord& rec : records) {
+    for (const RevealOp& op : rec.ops) {
+      // A prior disguise rewrote a reference that used to point at this
+      // user: op.old_value == uid on some column. (Removed rows of the user
+      // need no recorrelation — they are already at least as private as any
+      // new disguise would make them.)
+      if (op.kind != RevealOp::Kind::kRestoreColumn || !op.old_value.SqlEquals(ctx->uid) ||
+          op.old_value.is_null()) {
+        continue;
+      }
+      const db::Table* t = db_->FindTable(op.table);
+      if (t == nullptr || !t->Contains(op.row_id)) {
+        continue;  // row has since been removed
+      }
+      ASSIGN_OR_RETURN(sql::Value current, db_->GetColumn(op.table, op.row_id, op.column));
+      if (!current.SqlEquals(op.new_value)) {
+        continue;  // value changed again since; that op no longer owns it
+      }
+      if (options_.reuse_decorrelation &&
+          SpecRedecorrelates(*ctx->spec, op.table, op.column)) {
+        // §6's optimization: the new disguise would only re-decorrelate this
+        // reference, and it already points at a placeholder. Keep it.
+        ++ctx->result.decorrelations_reused;
+        continue;
+      }
+      // If the original identity row no longer exists (a prior disguise
+      // removed the account itself), physical recorrelation would dangle the
+      // foreign key. Fall back to *virtual* recorrelation: evaluate the new
+      // spec against the hypothetical recorrelated row and act directly.
+      bool parent_alive = true;
+      const db::TableSchema* ts = db_->schema().FindTable(op.table);
+      if (const db::ForeignKeyDef* fk = ts->FindForeignKey(op.column); fk != nullptr) {
+        db::PkKey key;
+        key.values.push_back(ctx->uid);
+        parent_alive = db_->LookupPk(fk->parent_table, key).ok();
+      }
+      if (!parent_alive) {
+        RETURN_IF_ERROR(VirtualRecorrelate(ctx, op.table, op.row_id, op.column));
+        continue;
+      }
+      // Temporary recorrelation: restore the original reference so the new
+      // disguise's predicates see the pre-disguise world.
+      RETURN_IF_ERROR(db_->SetColumn(op.table, op.row_id, op.column, ctx->uid));
+      ctx->recorrelated.push_back(ApplyContext::Recorrelated{
+          op.table, op.row_id, op.column, current});
+      ++ctx->result.rows_recorrelated;
+    }
+  }
+  ctx->result.composed =
+      ctx->result.rows_recorrelated > 0 || ctx->result.decorrelations_reused > 0;
+  return OkStatus();
+}
+
+Status DisguiseEngine::VirtualRecorrelate(ApplyContext* ctx, const std::string& table,
+                                          db::RowId row_id, const std::string& column) {
+  const disguise::TableDisguise* td = ctx->spec->FindTable(table);
+  if (td == nullptr) {
+    return OkStatus();  // the new disguise does not touch this table
+  }
+  ASSIGN_OR_RETURN(db::Row hypothetical, db_->GetRow(table, row_id));
+  const db::TableSchema* ts = db_->schema().FindTable(table);
+  int col_idx = ts->ColumnIndex(column);
+  hypothetical[static_cast<size_t>(col_idx)] = ctx->uid;
+  sql::ColumnResolver resolver = db::MakeRowResolver(*ts, hypothetical);
+
+  ++ctx->result.rows_recorrelated;  // counted: we did consult/act on it
+  for (const Transformation& tr : td->transformations) {
+    ASSIGN_OR_RETURN(bool match,
+                     sql::EvaluatePredicate(*tr.predicate(), resolver, ctx->params));
+    if (!match) {
+      continue;
+    }
+    switch (tr.kind()) {
+      case TransformKind::kRemove:
+        // The new disguise would remove this formerly-owned row: do it.
+        return RemoveWithClosure(ctx, table, row_id, 0);
+      case TransformKind::kDecorrelate:
+        if (tr.foreign_key().column == column) {
+          // Already decorrelated by the prior disguise; nothing to add.
+          ++ctx->result.decorrelations_reused;
+          return OkStatus();
+        }
+        break;
+      case TransformKind::kModify:
+        // The reference is already hidden behind a placeholder; modifying
+        // the disguised row here could leak less, never more. Skip.
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+Status DisguiseEngine::RedisguiseLeftovers(ApplyContext* ctx) {
+  // Any temporarily recorrelated reference the new disguise did not consume
+  // (remove, re-decorrelate, or modify) must go back to its disguised state:
+  // revealing it permanently would violate the prior disguise's goal.
+  for (const ApplyContext::Recorrelated& r : ctx->recorrelated) {
+    const db::Table* t = db_->FindTable(r.table);
+    if (t == nullptr || !t->Contains(r.row_id)) {
+      continue;  // the new disguise removed the row
+    }
+    ASSIGN_OR_RETURN(sql::Value current, db_->GetColumn(r.table, r.row_id, r.column));
+    if (!current.SqlEquals(ctx->uid)) {
+      continue;  // the new disguise rewrote it (e.g. fresh placeholder)
+    }
+    RETURN_IF_ERROR(db_->SetColumn(r.table, r.row_id, r.column, r.placeholder_value));
+  }
+  return OkStatus();
+}
+
+StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
+                                            const sql::ParamMap& params) {
+  const DisguiseSpec* spec = FindSpec(spec_name);
+  if (spec == nullptr) {
+    return NotFound("no registered disguise \"" + spec_name + "\"");
+  }
+
+  ApplyContext ctx;
+  ctx.spec = spec;
+  ctx.params = params;
+  if (spec->per_user()) {
+    auto it = params.find(disguise::kUidParam);
+    if (it == params.end() || it->second.is_null()) {
+      return InvalidArgument("per-user disguise \"" + spec_name + "\" requires $UID");
+    }
+    ctx.uid = it->second;
+  } else {
+    ctx.uid = sql::Value::Null();
+  }
+  ctx.record.disguise_name = spec->name();
+  ctx.record.user_id = ctx.uid;
+  ctx.record.created = clock_->Now();
+
+  uint64_t queries_before = db_->stats().queries;
+
+  // Engine-internal mutations are exempt from the strict-mode write guard.
+  EngineOpScope engine_scope(this);
+
+  RETURN_IF_ERROR(db_->Begin());
+  Status status = [&]() -> Status {
+    // Composition pre-pass: only meaningful for per-user disguises layered
+    // on earlier disguises (§4.2).
+    if (spec->per_user() && vault_->NumRecords() > 0) {
+      RETURN_IF_ERROR(RecorrelateForUser(&ctx));
+    }
+    // Phase order guarantees referential integrity: references move to
+    // placeholders before identity rows can be removed.
+    RETURN_IF_ERROR(RunDecorrelates(&ctx));
+    RETURN_IF_ERROR(RunModifies(&ctx));
+    RETURN_IF_ERROR(RunRemoves(&ctx));
+    RETURN_IF_ERROR(RedisguiseLeftovers(&ctx));
+    RETURN_IF_ERROR(CheckAssertions(*spec, ctx.params));
+    return OkStatus();
+  }();
+  if (!status.ok()) {
+    Status rb = db_->Rollback();
+    if (!rb.ok()) {
+      EDNA_LOG(kError) << "rollback after failed apply also failed: " << rb;
+    }
+    return status;
+  }
+
+  // Log, then persist the reveal function, then commit. A failure in either
+  // unwinds everything (vault table writes live in the same transaction for
+  // the in-database vault model; external vaults see a Remove on failure).
+  ASSIGN_OR_RETURN(uint64_t disguise_id,
+                   log_.Append(spec->name(), ctx.params, ctx.uid, ctx.record.created,
+                               spec->reversible()));
+  ctx.result.disguise_id = disguise_id;
+  if (spec->reversible()) {
+    ctx.record.disguise_id = disguise_id;
+    if (options_.protect_disguised_data) {
+      // Capture before sharding moves the ops out of ctx.record.
+      ProtectRows(disguise_id, ctx.record);
+    }
+    Status stored = [&]() -> Status {
+      if (spec->per_user() || !options_.shard_global_reveal_records) {
+        return vault_->Store(ctx.record);
+      }
+      // Global disguise: shard reveal ops by owner into per-user records so
+      // later per-user disguises compose by reading one user's vault. The
+      // unattributed remainder (content modifications, log removals) stays
+      // in a single ownerless record, stored last so reversal (which walks
+      // records in reverse) undoes it first — preserving strict LIFO for
+      // the ops recorded after the decorrelation phase.
+      std::vector<sql::Value> owner_order;
+      std::map<std::string, RevealRecord> shards;
+      RevealRecord global;
+      global.disguise_id = ctx.record.disguise_id;
+      global.disguise_name = ctx.record.disguise_name;
+      global.user_id = sql::Value::Null();
+      global.created = ctx.record.created;
+      for (RevealOp& op : ctx.record.ops) {
+        if (op.owner.is_null()) {
+          global.ops.push_back(std::move(op));
+          continue;
+        }
+        std::string key = op.owner.ToSqlString();
+        auto it = shards.find(key);
+        if (it == shards.end()) {
+          RevealRecord shard;
+          shard.disguise_id = ctx.record.disguise_id;
+          shard.disguise_name = ctx.record.disguise_name;
+          shard.user_id = op.owner;
+          shard.created = ctx.record.created;
+          it = shards.emplace(key, std::move(shard)).first;
+          owner_order.push_back(op.owner);
+        }
+        it->second.ops.push_back(std::move(op));
+      }
+      for (const sql::Value& owner : owner_order) {
+        RETURN_IF_ERROR(vault_->Store(shards.at(owner.ToSqlString())));
+      }
+      return vault_->Store(global);
+    }();
+    if (!stored.ok()) {
+      UnprotectRows(disguise_id);
+      (void)log_.Unappend(disguise_id);
+      (void)vault_->Remove(disguise_id);  // drop any shards already stored
+      Status rb = db_->Rollback();
+      if (!rb.ok()) {
+        EDNA_LOG(kError) << "rollback after failed vault store also failed: " << rb;
+      }
+      return stored;
+    }
+  }
+  Status committed = db_->Commit();
+  if (!committed.ok()) {
+    UnprotectRows(disguise_id);
+    (void)log_.Unappend(disguise_id);
+    (void)vault_->Remove(disguise_id);
+    return committed;
+  }
+
+  ctx.result.queries = db_->stats().queries - queries_before;
+  return ctx.result;
+}
+
+}  // namespace edna::core

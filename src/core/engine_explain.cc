@@ -1,0 +1,169 @@
+// DisguiseEngine::Explain — read-only consequence analysis of a disguise.
+#include "src/common/strings.h"
+#include "src/core/engine_internal.h"
+#include "src/core/explain.h"
+
+namespace edna::core {
+
+using disguise::DisguiseSpec;
+using disguise::TableDisguise;
+using disguise::TransformKind;
+using disguise::Transformation;
+
+std::string ExplainReport::ToString() const {
+  std::string out = "disguise \"" + spec_name + "\" would:\n";
+  for (const ExplainEntry& e : entries) {
+    out += StrFormat("  %-12s %-24s %6zu row(s)", TransformKindName(e.kind),
+                     e.table.c_str(), e.matching_rows);
+    if (!e.detail.empty()) {
+      out += "  [" + e.detail + "]";
+    }
+    if (e.cascaded_rows > 0) {
+      out += StrFormat("  +%zu cascaded", e.cascaded_rows);
+    }
+    if (e.nulled_references > 0) {
+      out += StrFormat("  +%zu nulled ref(s)", e.nulled_references);
+    }
+    out += "\n";
+  }
+  out += StrFormat("  total: %zu row(s) affected, %zu placeholder(s) created\n",
+                   total_rows_affected, placeholders_to_create);
+  if (would_compose) {
+    out += StrFormat(
+        "  composition: %zu prior reveal record(s) hold this user's data and "
+        "would be consulted\n",
+        prior_records_involved);
+  }
+  return out;
+}
+
+namespace {
+
+// Counts the FK closure a delete of the rows in (table, ids) would touch,
+// without mutating anything. Depth-limited like the real walk.
+Status CountClosure(const db::Database& db, const std::string& table,
+                    const std::vector<db::RowId>& ids, int depth, size_t* cascaded,
+                    size_t* nulled) {
+  if (depth > 32 || ids.empty()) {
+    return OkStatus();
+  }
+  const db::TableSchema* ts = db.schema().FindTable(table);
+  if (ts->primary_key().size() != 1) {
+    return OkStatus();
+  }
+  const db::Table* t = db.FindTable(table);
+  int pk_idx = ts->ColumnIndex(ts->primary_key()[0]);
+  for (db::RowId id : ids) {
+    const db::Row* row = t->Find(id);
+    if (row == nullptr) {
+      continue;
+    }
+    const sql::Value& pk = (*row)[static_cast<size_t>(pk_idx)];
+    for (const db::TableSchema& child : db.schema().tables()) {
+      for (const db::ForeignKeyDef& fk : child.foreign_keys()) {
+        if (fk.parent_table != table) {
+          continue;
+        }
+        const db::Table* ct = db.FindTable(child.name());
+        std::vector<db::RowId> kids;
+        ct->IndexLookup(fk.column, pk, &kids);
+        if (kids.empty()) {
+          continue;
+        }
+        switch (fk.on_delete) {
+          case db::FkAction::kCascade:
+            *cascaded += kids.size();
+            RETURN_IF_ERROR(
+                CountClosure(db, child.name(), kids, depth + 1, cascaded, nulled));
+            break;
+          case db::FkAction::kSetNull:
+            *nulled += kids.size();
+            break;
+          case db::FkAction::kRestrict:
+            // The real apply may still succeed if the spec removes these
+            // first; Explain just reports them as part of the closure.
+            *cascaded += 0;
+            break;
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
+                                                const sql::ParamMap& params) {
+  const DisguiseSpec* spec = FindSpec(spec_name);
+  if (spec == nullptr) {
+    return NotFound("no registered disguise \"" + spec_name + "\"");
+  }
+  sql::Value uid = sql::Value::Null();
+  if (spec->per_user()) {
+    auto it = params.find(disguise::kUidParam);
+    if (it == params.end() || it->second.is_null()) {
+      return InvalidArgument("per-user disguise \"" + spec_name + "\" requires $UID");
+    }
+    uid = it->second;
+  }
+
+  ExplainReport report;
+  report.spec_name = spec->name();
+
+  for (const TableDisguise& td : spec->tables()) {
+    for (const Transformation& tr : td.transformations) {
+      ExplainEntry entry;
+      entry.table = td.table;
+      entry.kind = tr.kind();
+      ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
+                       db_->Select(td.table, tr.predicate(), params));
+      entry.matching_rows = rows.size();
+      switch (tr.kind()) {
+        case TransformKind::kRemove: {
+          std::vector<db::RowId> ids;
+          ids.reserve(rows.size());
+          for (const db::RowRef& ref : rows) {
+            ids.push_back(ref.id);
+          }
+          RETURN_IF_ERROR(CountClosure(*db_, td.table, ids, 0, &entry.cascaded_rows,
+                                       &entry.nulled_references));
+          break;
+        }
+        case TransformKind::kModify:
+          entry.detail = "column \"" + tr.column() + "\" <- " + tr.generator().ToText();
+          break;
+        case TransformKind::kDecorrelate: {
+          entry.detail = "\"" + tr.foreign_key().column + "\" -> fresh " +
+                         tr.foreign_key().parent_table + " placeholder per row";
+          // Placeholders are created only for rows whose FK is non-null.
+          const db::TableSchema* ts = db_->schema().FindTable(td.table);
+          int fk_idx = ts->ColumnIndex(tr.foreign_key().column);
+          size_t non_null = 0;
+          for (const db::RowRef& ref : rows) {
+            if (!(*ref.row)[static_cast<size_t>(fk_idx)].is_null()) {
+              ++non_null;
+            }
+          }
+          entry.matching_rows = non_null;
+          report.placeholders_to_create += non_null;
+          break;
+        }
+      }
+      report.total_rows_affected +=
+          entry.matching_rows + entry.cascaded_rows + entry.nulled_references;
+      report.entries.push_back(std::move(entry));
+    }
+  }
+
+  // Composition estimate: how many prior reveal records hold this user's
+  // data (per-user vault shards make this exact and cheap).
+  if (spec->per_user() && vault_->NumRecords() > 0) {
+    ASSIGN_OR_RETURN(std::vector<vault::RevealRecord> records, vault_->FetchForUser(uid));
+    report.prior_records_involved = records.size();
+    report.would_compose = !records.empty();
+  }
+  return report;
+}
+
+}  // namespace edna::core

@@ -1,0 +1,64 @@
+// Implementation-shared state for the DisguiseEngine translation units.
+// Not part of the public API.
+#ifndef SRC_CORE_ENGINE_INTERNAL_H_
+#define SRC_CORE_ENGINE_INTERNAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/vault/reveal_record.h"
+
+namespace edna::core {
+
+// Working state of one Apply() invocation.
+struct DisguiseEngine::ApplyContext {
+  const disguise::DisguiseSpec* spec = nullptr;
+  sql::ParamMap params;
+  sql::Value uid;  // Null for global disguises
+
+  ApplyResult result;
+  vault::RevealRecord record;  // accumulated reveal function (if reversible)
+
+  // Composition: rows temporarily recorrelated from prior disguises.
+  struct Recorrelated {
+    std::string table;
+    db::RowId row_id = db::kInvalidRowId;
+    std::string column;
+    sql::Value placeholder_value;  // value the prior disguise had written
+  };
+  std::vector<Recorrelated> recorrelated;
+
+  // Pending batched writes (flushed per transformation when batching is on).
+  std::map<std::string, std::vector<db::Database::BatchUpdate>> pending_batches;
+};
+
+// One transformation of a later active disguise, used by Reveal to filter
+// revealed data (§4.2).
+struct DisguiseEngine::InterimTransform {
+  uint64_t disguise_id = 0;
+  std::string table;
+  const disguise::Transformation* transform = nullptr;
+  const sql::ParamMap* params = nullptr;
+};
+
+// RAII scope marking engine-internal mutations as exempt from the
+// disguised-data write guard.
+class DisguiseEngine::EngineOpScope {
+ public:
+  explicit EngineOpScope(DisguiseEngine* engine) : engine_(engine) {
+    ++engine_->engine_ops_depth_;
+  }
+  ~EngineOpScope() { --engine_->engine_ops_depth_; }
+
+ private:
+  DisguiseEngine* engine_;
+};
+
+// `"col" = <literal>` predicate built programmatically.
+sql::ExprPtr MakeEqExpr(const std::string& column, const sql::Value& value);
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_ENGINE_INTERNAL_H_

@@ -1,0 +1,330 @@
+// DisguiseEngine::Reveal: permanent reversal of a disguise (§4.2), filtering
+// all revealed data through disguises applied in the interim so that reversal
+// never reintroduces data a later active disguise hides. ("Reversal of GDPR
+// must avoid reintroducing identifiable reviews if ConfAnon has occurred
+// since GDPR was applied.")
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/engine_internal.h"
+
+namespace edna::core {
+
+using disguise::DisguiseSpec;
+using disguise::TransformKind;
+using disguise::Transformation;
+using vault::RevealOp;
+using vault::RevealRecord;
+
+std::vector<DisguiseEngine::InterimTransform> DisguiseEngine::CollectInterimTransforms(
+    uint64_t disguise_id) const {
+  std::vector<InterimTransform> out;
+  for (const LogEntry* entry : log_.ActiveAfter(disguise_id)) {
+    const DisguiseSpec* spec = FindSpec(entry->spec_name);
+    if (spec == nullptr) {
+      EDNA_LOG(kWarning) << "log references unregistered spec \"" << entry->spec_name
+                         << "\"; its transformations cannot be re-applied";
+      continue;
+    }
+    for (const disguise::TableDisguise& td : spec->tables()) {
+      for (const Transformation& tr : td.transformations) {
+        out.push_back(InterimTransform{entry->id, td.table, &tr, &entry->params});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Evaluates an interim transformation's predicate against a hypothetical
+// (restored) row image.
+StatusOr<bool> PredicateMatches(const Transformation& tr, const db::TableSchema& schema,
+                                const db::Row& row, const sql::ParamMap& params) {
+  sql::ColumnResolver resolver = db::MakeRowResolver(schema, row);
+  return sql::EvaluatePredicate(*tr.predicate(), resolver, params);
+}
+
+}  // namespace
+
+StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
+  const LogEntry* entry = log_.Find(disguise_id);
+  if (entry == nullptr) {
+    return NotFound("no disguise with id " + std::to_string(disguise_id));
+  }
+  if (!entry->active) {
+    return FailedPrecondition("disguise " + std::to_string(disguise_id) +
+                              " was already revealed");
+  }
+  ASSIGN_OR_RETURN(std::vector<RevealRecord> records, vault_->FetchForDisguise(disguise_id));
+  if (records.empty()) {
+    return FailedPrecondition(
+        "no reveal records for disguise " + std::to_string(disguise_id) +
+        " (vault entry expired or inaccessible); the disguise is irreversible");
+  }
+
+  std::vector<InterimTransform> interim = CollectInterimTransforms(disguise_id);
+
+  RevealResult result;
+  result.disguise_id = disguise_id;
+  uint64_t queries_before = db_->stats().queries;
+
+  // Engine-internal mutations are exempt from the strict-mode write guard.
+  EngineOpScope engine_scope(this);
+
+  RETURN_IF_ERROR(db_->Begin());
+  Status status = [&]() -> Status {
+    // Records in reverse store order, ops in reverse apply order: the exact
+    // inverse of the original application.
+    for (auto rec_it = records.rbegin(); rec_it != records.rend(); ++rec_it) {
+      const RevealRecord& rec = *rec_it;
+      for (auto op_it = rec.ops.rbegin(); op_it != rec.ops.rend(); ++op_it) {
+        const RevealOp& op = *op_it;
+        const db::TableSchema* schema = db_->schema().FindTable(op.table);
+        if (schema == nullptr) {
+          return Internal("reveal record references missing table \"" + op.table + "\"");
+        }
+        switch (op.kind) {
+          case RevealOp::Kind::kRestoreColumn: {
+            const db::Table* t = db_->FindTable(op.table);
+            if (t == nullptr || !t->Contains(op.row_id)) {
+              ++result.rows_suppressed;  // row removed since; nothing to restore
+              break;
+            }
+            ASSIGN_OR_RETURN(sql::Value current,
+                             db_->GetColumn(op.table, op.row_id, op.column));
+            if (!current.SqlEquals(op.new_value) ||
+                current.is_null() != op.new_value.is_null()) {
+              // A later disguise (or the application) rewrote this value; it
+              // owns the cell now. Restoring would clobber its state.
+              ++result.rows_suppressed;
+              break;
+            }
+            // Build the hypothetical restored row and filter it through
+            // interim transformations.
+            ASSIGN_OR_RETURN(db::Row candidate_row, db_->GetRow(op.table, op.row_id));
+            int col_idx = schema->ColumnIndex(op.column);
+            candidate_row[static_cast<size_t>(col_idx)] = op.old_value;
+            sql::Value candidate = op.old_value;
+            bool suppress = false;
+            for (const InterimTransform& it : interim) {
+              if (it.table != op.table) {
+                continue;
+              }
+              ASSIGN_OR_RETURN(bool match, PredicateMatches(*it.transform, *schema,
+                                                            candidate_row, *it.params));
+              if (!match) {
+                continue;
+              }
+              switch (it.transform->kind()) {
+                case TransformKind::kRemove:
+                  // A later disguise removes rows like the restored one;
+                  // keep the current (disguised) value rather than reveal.
+                  suppress = true;
+                  break;
+                case TransformKind::kModify:
+                  if (it.transform->column() == op.column) {
+                    disguise::GenContext gen_ctx;
+                    gen_ctx.rng = &rng_;
+                    gen_ctx.original = &candidate;
+                    gen_ctx.row = db::MakeRowResolver(*schema, candidate_row);
+                    gen_ctx.params = it.params;
+                    ASSIGN_OR_RETURN(sql::Value next,
+                                     it.transform->generator().Generate(gen_ctx));
+                    candidate = next;
+                    candidate_row[static_cast<size_t>(col_idx)] = next;
+                    ++result.values_redisguised;
+                  }
+                  break;
+                case TransformKind::kDecorrelate:
+                  if (it.transform->foreign_key().column == op.column) {
+                    // The later disguise wants this reference decorrelated;
+                    // the current value already points at a placeholder.
+                    suppress = true;
+                    ++result.values_redisguised;
+                  }
+                  break;
+              }
+              if (suppress) {
+                break;
+              }
+            }
+            // If the restored value is a reference whose target has since
+            // been removed (by a later disguise or the application), the
+            // reveal must not resurrect the link.
+            if (!suppress && !candidate.is_null()) {
+              if (const db::ForeignKeyDef* fk = schema->FindForeignKey(op.column);
+                  fk != nullptr) {
+                db::PkKey key;
+                key.values.push_back(candidate);
+                if (!db_->LookupPk(fk->parent_table, key).ok()) {
+                  suppress = true;
+                }
+              }
+            }
+            if (suppress) {
+              ++result.rows_suppressed;
+              break;
+            }
+            RETURN_IF_ERROR(db_->SetColumn(op.table, op.row_id, op.column, candidate));
+            ++result.columns_restored;
+            break;
+          }
+          case RevealOp::Kind::kRestoreRow: {
+            const db::Table* t = db_->FindTable(op.table);
+            if (t != nullptr && t->Contains(op.row_id)) {
+              break;  // already present (should not happen)
+            }
+            db::Row candidate = op.row;
+            // Schema evolution (§7): the record may predate columns appended
+            // via AddColumnToTable. Pad with their declared defaults so
+            // pre-evolution disguises stay reversible.
+            while (candidate.size() < schema->num_columns()) {
+              const db::ColumnDef& added = schema->columns()[candidate.size()];
+              candidate.push_back(added.default_value.has_value() ? *added.default_value
+                                                                  : sql::Value::Null());
+            }
+            if (candidate.size() > schema->num_columns()) {
+              return FailedPrecondition(
+                  "reveal record for \"" + op.table +
+                  "\" is wider than the current schema; column drops are not supported");
+            }
+            bool suppress = false;
+            for (const InterimTransform& it : interim) {
+              if (it.table != op.table) {
+                continue;
+              }
+              ASSIGN_OR_RETURN(bool match, PredicateMatches(*it.transform, *schema,
+                                                            candidate, *it.params));
+              if (!match) {
+                continue;
+              }
+              switch (it.transform->kind()) {
+                case TransformKind::kRemove:
+                  suppress = true;  // stays deleted: later disguise removes it
+                  break;
+                case TransformKind::kModify: {
+                  int col_idx = schema->ColumnIndex(it.transform->column());
+                  sql::Value original = candidate[static_cast<size_t>(col_idx)];
+                  disguise::GenContext gen_ctx;
+                  gen_ctx.rng = &rng_;
+                  gen_ctx.original = &original;
+                  gen_ctx.row = db::MakeRowResolver(*schema, candidate);
+                  gen_ctx.params = it.params;
+                  ASSIGN_OR_RETURN(sql::Value next,
+                                   it.transform->generator().Generate(gen_ctx));
+                  candidate[static_cast<size_t>(col_idx)] = next;
+                  ++result.values_redisguised;
+                  break;
+                }
+                case TransformKind::kDecorrelate: {
+                  // Point the restored row's FK at a fresh placeholder made
+                  // from the *later* disguise's recipe.
+                  const DisguiseSpec* later = FindSpec(log_.Find(it.disguise_id)->spec_name);
+                  const disguise::TableDisguise* parent_td =
+                      later->FindTable(it.transform->foreign_key().parent_table);
+                  if (parent_td == nullptr || parent_td->placeholder.empty()) {
+                    return Internal("interim decorrelate lacks placeholder recipe");
+                  }
+                  std::map<std::string, sql::Value> values;
+                  disguise::GenContext gen_ctx;
+                  gen_ctx.rng = &rng_;
+                  gen_ctx.params = it.params;
+                  for (const disguise::PlaceholderColumn& pc : parent_td->placeholder) {
+                    ASSIGN_OR_RETURN(sql::Value v, pc.generator.Generate(gen_ctx));
+                    values.emplace(pc.column, std::move(v));
+                  }
+                  const std::string& parent = it.transform->foreign_key().parent_table;
+                  ASSIGN_OR_RETURN(db::RowId pid, db_->InsertValues(parent, values));
+                  const db::TableSchema* pts = db_->schema().FindTable(parent);
+                  ASSIGN_OR_RETURN(sql::Value ppk,
+                                   db_->GetColumn(parent, pid, pts->primary_key()[0]));
+                  int col_idx =
+                      schema->ColumnIndex(it.transform->foreign_key().column);
+                  candidate[static_cast<size_t>(col_idx)] = ppk;
+                  ++result.values_redisguised;
+                  break;
+                }
+              }
+              if (suppress) {
+                break;
+              }
+            }
+            // Re-apply FK delete actions to the revealed row: referenced
+            // rows may have been removed since this row was vaulted (e.g. a
+            // later GDPR deleted the account this log entry points at). A
+            // SET NULL reference is nulled, exactly as the later delete
+            // would have done; a RESTRICT/CASCADE reference whose parent is
+            // gone means the row itself would not have survived — suppress.
+            if (!suppress) {
+              for (const db::ForeignKeyDef& fk : schema->foreign_keys()) {
+                int fk_idx = schema->ColumnIndex(fk.column);
+                sql::Value& ref = candidate[static_cast<size_t>(fk_idx)];
+                if (ref.is_null()) {
+                  continue;
+                }
+                db::PkKey key;
+                key.values.push_back(ref);
+                if (db_->LookupPk(fk.parent_table, key).ok()) {
+                  continue;
+                }
+                if (fk.on_delete == db::FkAction::kSetNull) {
+                  ref = sql::Value::Null();
+                  ++result.values_redisguised;
+                } else {
+                  suppress = true;
+                  break;
+                }
+              }
+            }
+            if (suppress) {
+              ++result.rows_suppressed;
+              break;
+            }
+            RETURN_IF_ERROR(db_->RestoreRow(op.table, op.row_id, candidate));
+            ++result.rows_restored;
+            break;
+          }
+          case RevealOp::Kind::kDropPlaceholder: {
+            const db::Table* t = db_->FindTable(op.table);
+            if (t == nullptr || !t->Contains(op.row_id)) {
+              break;
+            }
+            Status dropped = db_->DeleteRow(op.table, op.row_id);
+            if (dropped.ok()) {
+              ++result.placeholders_dropped;
+            } else if (dropped.code() == StatusCode::kIntegrityViolation) {
+              // Something still references the placeholder (e.g. a later
+              // disguise reused it, or the restore above was suppressed).
+              // Keeping an orphan placeholder is harmless; removing it would
+              // break integrity.
+              EDNA_DLOG << "keeping referenced placeholder " << op.table << "/"
+                        << op.row_id;
+            } else {
+              return dropped;
+            }
+            break;
+          }
+        }
+      }
+    }
+    return OkStatus();
+  }();
+  if (!status.ok()) {
+    Status rb = db_->Rollback();
+    if (!rb.ok()) {
+      EDNA_LOG(kError) << "rollback after failed reveal also failed: " << rb;
+    }
+    return status;
+  }
+
+  RETURN_IF_ERROR(log_.MarkRevealed(disguise_id));
+  RETURN_IF_ERROR(vault_->Remove(disguise_id));
+  RETURN_IF_ERROR(db_->Commit());
+  UnprotectRows(disguise_id);
+  result.queries = db_->stats().queries - queries_before;
+  return result;
+}
+
+}  // namespace edna::core

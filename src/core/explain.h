@@ -1,0 +1,48 @@
+// Explain: a read-only dry run that reports the consequences of applying a
+// disguise — §1's "static analysis and other techniques may be required to
+// explain the consequences of a disguise", realized dynamically against the
+// current database contents. Nothing is mutated; no log entry or vault
+// record is produced.
+#ifndef SRC_CORE_EXPLAIN_H_
+#define SRC_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/disguise/spec.h"
+#include "src/sql/eval.h"
+
+namespace edna::core {
+
+class DisguiseEngine;
+
+// What one transformation would do.
+struct ExplainEntry {
+  std::string table;
+  disguise::TransformKind kind = disguise::TransformKind::kRemove;
+  std::string detail;       // column / foreign key description
+  size_t matching_rows = 0; // rows the predicate selects right now
+  // kRemove only: rows in other tables that the FK closure would also
+  // delete (CASCADE) or null out (SET NULL).
+  size_t cascaded_rows = 0;
+  size_t nulled_references = 0;
+};
+
+struct ExplainReport {
+  std::string spec_name;
+  std::vector<ExplainEntry> entries;
+  size_t total_rows_affected = 0;
+  size_t placeholders_to_create = 0;
+  // Composition: reveal records of prior active disguises that hold this
+  // user's data and would have to be consulted (per-user specs only).
+  size_t prior_records_involved = 0;
+  bool would_compose = false;
+
+  // Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_EXPLAIN_H_

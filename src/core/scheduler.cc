@@ -1,0 +1,108 @@
+#include "src/core/scheduler.h"
+
+#include "src/common/logging.h"
+
+namespace edna::core {
+
+Status PolicyScheduler::AddExpirationPolicy(ExpirationPolicy policy) {
+  if (engine_->FindSpec(policy.spec_name) == nullptr) {
+    return NotFound("expiration policy \"" + policy.name + "\" references unregistered spec \"" +
+                    policy.spec_name + "\"");
+  }
+  if (!policy.last_active) {
+    return InvalidArgument("expiration policy \"" + policy.name + "\" has no activity source");
+  }
+  if (policy.inactivity <= 0) {
+    return InvalidArgument("expiration policy \"" + policy.name +
+                           "\" needs a positive inactivity threshold");
+  }
+  expirations_.push_back(std::move(policy));
+  return OkStatus();
+}
+
+Status PolicyScheduler::AddDecayPolicy(DecayPolicy policy) {
+  if (policy.stages.empty()) {
+    return InvalidArgument("decay policy \"" + policy.name + "\" has no stages");
+  }
+  Duration prev = -1;
+  for (const DecayStage& stage : policy.stages) {
+    if (engine_->FindSpec(stage.spec_name) == nullptr) {
+      return NotFound("decay policy \"" + policy.name + "\" references unregistered spec \"" +
+                      stage.spec_name + "\"");
+    }
+    if (stage.age <= prev) {
+      return InvalidArgument("decay policy \"" + policy.name +
+                             "\" stages must have strictly increasing ages");
+    }
+    prev = stage.age;
+  }
+  if (!policy.created_at) {
+    return InvalidArgument("decay policy \"" + policy.name + "\" has no creation-time source");
+  }
+  decays_.push_back(std::move(policy));
+  return OkStatus();
+}
+
+StatusOr<TickResult> PolicyScheduler::Tick() {
+  TickResult result;
+  TimePoint now = clock_->Now();
+
+  for (const ExpirationPolicy& policy : expirations_) {
+    ASSIGN_OR_RETURN(std::vector<UserTime> activity, policy.last_active());
+    std::set<std::string>& fired = fired_expirations_[policy.name];
+    for (const UserTime& ut : activity) {
+      if (now - ut.when < policy.inactivity) {
+        continue;
+      }
+      std::string key = UserKey(ut.uid);
+      if (fired.count(key) > 0) {
+        continue;
+      }
+      auto applied = engine_->ApplyForUser(policy.spec_name, ut.uid);
+      if (!applied.ok()) {
+        EDNA_LOG(kWarning) << "expiration policy \"" << policy.name << "\" failed for "
+                           << key << ": " << applied.status();
+        continue;
+      }
+      fired.insert(key);
+      ++result.expirations_applied;
+      result.disguise_ids.push_back(applied->disguise_id);
+    }
+  }
+
+  for (const DecayPolicy& policy : decays_) {
+    ASSIGN_OR_RETURN(std::vector<UserTime> created, policy.created_at());
+    std::map<std::string, size_t>& fired = fired_decay_stages_[policy.name];
+    for (const UserTime& ut : created) {
+      std::string key = UserKey(ut.uid);
+      size_t next_stage = fired.count(key) > 0 ? fired[key] : 0;
+      while (next_stage < policy.stages.size() &&
+             now - ut.when >= policy.stages[next_stage].age) {
+        auto applied = engine_->ApplyForUser(policy.stages[next_stage].spec_name, ut.uid);
+        if (!applied.ok()) {
+          EDNA_LOG(kWarning) << "decay policy \"" << policy.name << "\" stage " << next_stage
+                             << " failed for " << key << ": " << applied.status();
+          break;
+        }
+        ++next_stage;
+        ++result.decay_stages_applied;
+        result.disguise_ids.push_back(applied->disguise_id);
+      }
+      fired[key] = next_stage;
+    }
+  }
+
+  return result;
+}
+
+void PolicyScheduler::ResetUser(const sql::Value& uid) {
+  std::string key = UserKey(uid);
+  for (auto& [name, fired] : fired_expirations_) {
+    fired.erase(key);
+  }
+  for (auto& [name, fired] : fired_decay_stages_) {
+    fired.erase(key);
+  }
+}
+
+}  // namespace edna::core

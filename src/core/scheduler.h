@@ -1,0 +1,91 @@
+// PolicyScheduler: automatic privacy transformations over time (§2).
+//
+//  * Expiration — "data expiration policies could proactively anonymize or
+//    sanitize user contributions for long-inactive users": a per-user
+//    disguise applied once a user has been inactive for a threshold.
+//    Reversible by default so a returning user can be restored.
+//  * Data decay — "gradual data decay policies could apply increasingly
+//    strict privacy transformations over time": an ordered chain of stages,
+//    each a disguise applied when data (here: the user's account) reaches a
+//    given age.
+//
+// The scheduler is driven by explicit Tick() calls against a Clock, so tests
+// and benches control time. Activity information comes from a callback the
+// application provides (e.g. a query over a lastLogin column).
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+
+namespace edna::core {
+
+// (user id, timestamp) pairs from the application.
+struct UserTime {
+  sql::Value uid;
+  TimePoint when = 0;
+};
+using UserTimeSource = std::function<StatusOr<std::vector<UserTime>>()>;
+
+struct ExpirationPolicy {
+  std::string name;
+  std::string spec_name;      // per-user disguise to apply
+  Duration inactivity = 0;    // threshold since last activity
+  UserTimeSource last_active; // per-user last-activity timestamps
+};
+
+struct DecayStage {
+  Duration age = 0;           // account age at which the stage fires
+  std::string spec_name;      // per-user disguise for this stage
+};
+
+struct DecayPolicy {
+  std::string name;
+  std::vector<DecayStage> stages;  // must be sorted by increasing age
+  UserTimeSource created_at;       // per-user account-creation timestamps
+};
+
+struct TickResult {
+  size_t expirations_applied = 0;
+  size_t decay_stages_applied = 0;
+  std::vector<uint64_t> disguise_ids;
+};
+
+class PolicyScheduler {
+ public:
+  PolicyScheduler(DisguiseEngine* engine, const Clock* clock)
+      : engine_(engine), clock_(clock) {}
+
+  Status AddExpirationPolicy(ExpirationPolicy policy);
+  Status AddDecayPolicy(DecayPolicy policy);
+
+  // Applies every policy that is due at clock->Now(). Idempotent per
+  // (policy, stage, user): each fires at most once unless reset.
+  StatusOr<TickResult> Tick();
+
+  // Forgets that policies fired for `uid` (call when a user returns and
+  // reveals, so that expiration can re-arm).
+  void ResetUser(const sql::Value& uid);
+
+ private:
+  static std::string UserKey(const sql::Value& uid) { return uid.ToSqlString(); }
+
+  DisguiseEngine* engine_;
+  const Clock* clock_;
+  std::vector<ExpirationPolicy> expirations_;
+  std::vector<DecayPolicy> decays_;
+  // policy name -> set of fired user keys (expiration) or
+  // user key -> highest fired stage index + 1 (decay).
+  std::map<std::string, std::set<std::string>> fired_expirations_;
+  std::map<std::string, std::map<std::string, size_t>> fired_decay_stages_;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_SCHEDULER_H_

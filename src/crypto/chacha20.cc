@@ -1,0 +1,92 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+
+namespace edna::crypto {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t state[16], int a, int b, int c, int d) {
+  state[a] += state[b];
+  state[d] = Rotl(state[d] ^ state[a], 16);
+  state[c] += state[d];
+  state[b] = Rotl(state[b] ^ state[c], 12);
+  state[a] += state[b];
+  state[d] = Rotl(state[d] ^ state[a], 8);
+  state[c] += state[d];
+  state[b] = Rotl(state[b] ^ state[c], 7);
+}
+
+uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void Store32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// One 64-byte keystream block.
+void ChaChaBlock(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 uint8_t out[64]) {
+  static const uint8_t kSigma[16] = {'e', 'x', 'p', 'a', 'n', 'd', ' ', '3',
+                                     '2', '-', 'b', 'y', 't', 'e', ' ', 'k'};
+  uint32_t state[16];
+  state[0] = Load32Le(kSigma);
+  state[1] = Load32Le(kSigma + 4);
+  state[2] = Load32Le(kSigma + 8);
+  state[3] = Load32Le(kSigma + 12);
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = Load32Le(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  state[13] = Load32Le(nonce.data());
+  state[14] = Load32Le(nonce.data() + 4);
+  state[15] = Load32Le(nonce.data() + 8);
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(working));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working, 0, 4, 8, 12);
+    QuarterRound(working, 1, 5, 9, 13);
+    QuarterRound(working, 2, 6, 10, 14);
+    QuarterRound(working, 3, 7, 11, 15);
+    QuarterRound(working, 0, 5, 10, 15);
+    QuarterRound(working, 1, 6, 11, 12);
+    QuarterRound(working, 2, 7, 8, 13);
+    QuarterRound(working, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) {
+    Store32Le(out + 4 * i, working[i] + state[i]);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 std::vector<uint8_t>* data) {
+  uint8_t block[64];
+  size_t offset = 0;
+  while (offset < data->size()) {
+    ChaChaBlock(key, nonce, counter++, block);
+    size_t take = std::min<size_t>(64, data->size() - offset);
+    for (size_t i = 0; i < take; ++i) {
+      (*data)[offset + i] ^= block[i];
+    }
+    offset += take;
+  }
+}
+
+std::vector<uint8_t> ChaCha20Keystream(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                       uint32_t counter, size_t len) {
+  std::vector<uint8_t> out(len, 0);
+  ChaCha20Xor(key, nonce, counter, &out);
+  return out;
+}
+
+}  // namespace edna::crypto

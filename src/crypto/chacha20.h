@@ -1,0 +1,31 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch. Combined with
+// HMAC-SHA-256 in aead.h it provides the encrypted-vault deployment model
+// of §4.2: vault contents encrypted under a user-held key.
+#ifndef SRC_CRYPTO_CHACHA20_H_
+#define SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edna::crypto {
+
+constexpr size_t kChaChaKeySize = 32;
+constexpr size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<uint8_t, kChaChaNonceSize>;
+
+// XORs `data` with the ChaCha20 keystream for (key, nonce) starting at block
+// `counter`. Encryption and decryption are the same operation.
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 std::vector<uint8_t>* data);
+
+// Produces `len` keystream bytes (used by tests against RFC 8439 vectors).
+std::vector<uint8_t> ChaCha20Keystream(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                       uint32_t counter, size_t len);
+
+}  // namespace edna::crypto
+
+#endif  // SRC_CRYPTO_CHACHA20_H_

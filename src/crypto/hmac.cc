@@ -1,0 +1,73 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace edna::crypto {
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const uint8_t* data, size_t len) {
+  uint8_t block_key[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(block_key, kd.data(), kd.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  uint8_t ipad[kSha256BlockSize];
+  uint8_t opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kSha256BlockSize);
+  inner.Update(data, len);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kSha256BlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, std::string_view data) {
+  return HmacSha256(key, reinterpret_cast<const uint8_t*>(data.data()), data.size());
+}
+
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const std::vector<uint8_t>& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+
+bool DigestEqualConstantTime(const Sha256Digest& a, const Sha256Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+std::vector<uint8_t> DeriveKey(const std::vector<uint8_t>& key, std::string_view label,
+                               size_t out_len) {
+  std::vector<uint8_t> out;
+  out.reserve(out_len);
+  Sha256Digest prev{};
+  uint8_t counter = 1;
+  bool first = true;
+  while (out.size() < out_len) {
+    std::vector<uint8_t> input;
+    if (!first) {
+      input.insert(input.end(), prev.begin(), prev.end());
+    }
+    input.insert(input.end(), label.begin(), label.end());
+    input.push_back(counter);
+    prev = HmacSha256(key, input);
+    size_t take = std::min(prev.size(), out_len - out.size());
+    out.insert(out.end(), prev.begin(), prev.begin() + static_cast<long>(take));
+    ++counter;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace edna::crypto

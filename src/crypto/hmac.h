@@ -1,0 +1,30 @@
+// HMAC-SHA-256 (RFC 2104) and HKDF-style key derivation, used to
+// authenticate encrypted vault entries and derive per-purpose subkeys from a
+// user's master vault key.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace edna::crypto {
+
+// HMAC-SHA-256 of `data` under `key` (any key length).
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const uint8_t* data, size_t len);
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, std::string_view data);
+Sha256Digest HmacSha256(const std::vector<uint8_t>& key, const std::vector<uint8_t>& data);
+
+// Constant-time digest comparison (avoids MAC-check timing leaks).
+bool DigestEqualConstantTime(const Sha256Digest& a, const Sha256Digest& b);
+
+// Simple HKDF-Expand-style derivation: out_len bytes derived from `key` and
+// a context `label` (counter-mode HMAC chain, RFC 5869 expand step).
+std::vector<uint8_t> DeriveKey(const std::vector<uint8_t>& key, std::string_view label,
+                               size_t out_len);
+
+}  // namespace edna::crypto
+
+#endif  // SRC_CRYPTO_HMAC_H_

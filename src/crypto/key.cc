@@ -1,0 +1,39 @@
+#include "src/crypto/key.h"
+
+namespace edna::crypto {
+
+VaultKey GenerateVaultKey(Rng* rng) {
+  VaultKey vk;
+  vk.key = rng->NextBytes(kVaultKeySize);
+  vk.fingerprint = KeyFingerprint(vk.key);
+  return vk;
+}
+
+std::string KeyFingerprint(const std::vector<uint8_t>& key) {
+  return DigestToHex(Sha256::Hash(key));
+}
+
+StatusOr<EscrowedKey> EscrowKey(const VaultKey& key, Rng* rng) {
+  ASSIGN_OR_RETURN(std::vector<SecretShare> shares, SplitSecret(key.key, 2, 3, rng));
+  EscrowedKey out;
+  out.user_share = std::move(shares[0]);
+  out.app_share = std::move(shares[1]);
+  out.escrow_share = std::move(shares[2]);
+  out.fingerprint = key.fingerprint;
+  return out;
+}
+
+StatusOr<VaultKey> RecoverKey(const SecretShare& a, const SecretShare& b,
+                              const std::string& expected_fingerprint) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> key, CombineShares({a, b}));
+  std::string fp = KeyFingerprint(key);
+  if (fp != expected_fingerprint) {
+    return PermissionDenied("recovered key fingerprint mismatch");
+  }
+  VaultKey vk;
+  vk.key = std::move(key);
+  vk.fingerprint = std::move(fp);
+  return vk;
+}
+
+}  // namespace edna::crypto

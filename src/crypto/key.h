@@ -1,0 +1,48 @@
+// Vault key management: generation, fingerprints, and the three-party
+// threshold escrow described in the paper's footnote (user + application +
+// trusted third party, any two of which can reconstruct).
+#ifndef SRC_CRYPTO_KEY_H_
+#define SRC_CRYPTO_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/secret_share.h"
+#include "src/crypto/sha256.h"
+
+namespace edna::crypto {
+
+constexpr size_t kVaultKeySize = 32;
+
+// A user's master vault key plus its public fingerprint.
+struct VaultKey {
+  std::vector<uint8_t> key;     // kVaultKeySize bytes
+  std::string fingerprint;      // hex SHA-256 of the key (safe to store)
+};
+
+// Generates a fresh key from `rng`.
+VaultKey GenerateVaultKey(Rng* rng);
+
+// Fingerprint of raw key bytes.
+std::string KeyFingerprint(const std::vector<uint8_t>& key);
+
+// Three shares (user, application, escrow/third party), threshold 2.
+struct EscrowedKey {
+  SecretShare user_share;
+  SecretShare app_share;
+  SecretShare escrow_share;
+  std::string fingerprint;  // of the original key, for recovery verification
+};
+
+StatusOr<EscrowedKey> EscrowKey(const VaultKey& key, Rng* rng);
+
+// Recovers the key from any two escrow shares; verifies the fingerprint and
+// fails with kPermissionDenied on mismatch.
+StatusOr<VaultKey> RecoverKey(const SecretShare& a, const SecretShare& b,
+                              const std::string& expected_fingerprint);
+
+}  // namespace edna::crypto
+
+#endif  // SRC_CRYPTO_KEY_H_

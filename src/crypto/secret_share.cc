@@ -1,0 +1,111 @@
+#include "src/crypto/secret_share.h"
+
+#include <set>
+
+namespace edna::crypto {
+
+uint8_t Gf256Mul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  while (b != 0) {
+    if (b & 1) {
+      p ^= a;
+    }
+    bool hi = (a & 0x80) != 0;
+    a <<= 1;
+    if (hi) {
+      a ^= 0x1b;  // reduce by x^8 + x^4 + x^3 + x + 1
+    }
+    b >>= 1;
+  }
+  return p;
+}
+
+uint8_t Gf256Inv(uint8_t a) {
+  // a^254 by square-and-multiply (Fermat in GF(2^8)); Inv(0) is defined as 0
+  // but never used on a valid code path.
+  uint8_t result = 1;
+  uint8_t base = a;
+  int exp = 254;
+  while (exp > 0) {
+    if (exp & 1) {
+      result = Gf256Mul(result, base);
+    }
+    base = Gf256Mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+StatusOr<std::vector<SecretShare>> SplitSecret(const std::vector<uint8_t>& secret,
+                                               int threshold, int num_shares, Rng* rng) {
+  if (threshold < 1 || num_shares < threshold || num_shares > 255) {
+    return InvalidArgument("require 1 <= threshold <= num_shares <= 255");
+  }
+  if (secret.empty()) {
+    return InvalidArgument("cannot share an empty secret");
+  }
+  std::vector<SecretShare> shares(static_cast<size_t>(num_shares));
+  for (int i = 0; i < num_shares; ++i) {
+    shares[static_cast<size_t>(i)].x = static_cast<uint8_t>(i + 1);
+    shares[static_cast<size_t>(i)].y.resize(secret.size());
+  }
+  // Independent random polynomial of degree threshold-1 per secret byte,
+  // with the constant term equal to the secret byte.
+  std::vector<uint8_t> coeffs(static_cast<size_t>(threshold));
+  for (size_t byte = 0; byte < secret.size(); ++byte) {
+    coeffs[0] = secret[byte];
+    for (int d = 1; d < threshold; ++d) {
+      coeffs[static_cast<size_t>(d)] = static_cast<uint8_t>(rng->NextBounded(256));
+    }
+    for (int i = 0; i < num_shares; ++i) {
+      uint8_t x = shares[static_cast<size_t>(i)].x;
+      // Horner evaluation.
+      uint8_t y = 0;
+      for (int d = threshold - 1; d >= 0; --d) {
+        y = static_cast<uint8_t>(Gf256Mul(y, x) ^ coeffs[static_cast<size_t>(d)]);
+      }
+      shares[static_cast<size_t>(i)].y[byte] = y;
+    }
+  }
+  return shares;
+}
+
+StatusOr<std::vector<uint8_t>> CombineShares(const std::vector<SecretShare>& shares) {
+  if (shares.empty()) {
+    return InvalidArgument("no shares supplied");
+  }
+  size_t len = shares[0].y.size();
+  std::set<uint8_t> xs;
+  for (const SecretShare& s : shares) {
+    if (s.x == 0) {
+      return InvalidArgument("share index 0 is invalid");
+    }
+    if (s.y.size() != len) {
+      return InvalidArgument("shares have inconsistent lengths");
+    }
+    if (!xs.insert(s.x).second) {
+      return InvalidArgument("duplicate share index");
+    }
+  }
+  std::vector<uint8_t> secret(len, 0);
+  // Lagrange interpolation at x = 0:
+  //   f(0) = sum_i y_i * prod_{j!=i} x_j / (x_j ^ x_i)
+  for (size_t i = 0; i < shares.size(); ++i) {
+    uint8_t num = 1;
+    uint8_t den = 1;
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      num = Gf256Mul(num, shares[j].x);
+      den = Gf256Mul(den, static_cast<uint8_t>(shares[i].x ^ shares[j].x));
+    }
+    uint8_t basis = Gf256Mul(num, Gf256Inv(den));
+    for (size_t b = 0; b < len; ++b) {
+      secret[b] ^= Gf256Mul(shares[i].y[b], basis);
+    }
+  }
+  return secret;
+}
+
+}  // namespace edna::crypto

@@ -1,0 +1,40 @@
+// Shamir secret sharing over GF(256), as proposed in the paper's footnote:
+// a vault key can be threshold-shared between the user, the web application,
+// and a trusted third party so that any `threshold` of them can reconstruct
+// it (protecting against lost user keys without giving any single party
+// unilateral access).
+#ifndef SRC_CRYPTO_SECRET_SHARE_H_
+#define SRC_CRYPTO_SECRET_SHARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace edna::crypto {
+
+struct SecretShare {
+  uint8_t x = 0;  // share index (1..255); 0 is the secret itself, never issued
+  std::vector<uint8_t> y;  // one byte per secret byte
+};
+
+// Splits `secret` into `num_shares` shares, any `threshold` of which
+// reconstruct it. Coefficient randomness comes from `rng` (callers that care
+// about real secrecy should seed it from a secure source; tests use fixed
+// seeds). Requires 1 <= threshold <= num_shares <= 255.
+StatusOr<std::vector<SecretShare>> SplitSecret(const std::vector<uint8_t>& secret,
+                                               int threshold, int num_shares, Rng* rng);
+
+// Reconstructs the secret from >= threshold distinct shares via Lagrange
+// interpolation at x = 0. With fewer than threshold shares the result is
+// garbage by design; callers verify by key fingerprint.
+StatusOr<std::vector<uint8_t>> CombineShares(const std::vector<SecretShare>& shares);
+
+// GF(256) arithmetic (AES polynomial x^8+x^4+x^3+x+1), exposed for tests.
+uint8_t Gf256Mul(uint8_t a, uint8_t b);
+uint8_t Gf256Inv(uint8_t a);
+
+}  // namespace edna::crypto
+
+#endif  // SRC_CRYPTO_SECRET_SHARE_H_

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the vault subsystem:
+// key fingerprints, HMAC (authenticated vault entries), and deterministic
+// pseudonym derivation in disguise generators.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edna::crypto {
+
+constexpr size_t kSha256DigestSize = 32;
+constexpr size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(std::string_view data);
+  void Update(const std::vector<uint8_t>& data);
+
+  // Finalizes and returns the digest; the hasher must not be reused after.
+  Sha256Digest Finish();
+
+  // One-shot helpers.
+  static Sha256Digest Hash(const uint8_t* data, size_t len);
+  static Sha256Digest Hash(std::string_view data);
+  static Sha256Digest Hash(const std::vector<uint8_t>& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kSha256BlockSize]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[kSha256BlockSize];
+  size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+// Lowercase hex of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+}  // namespace edna::crypto
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,761 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace edna::db {
+
+sql::ColumnResolver MakeRowResolver(const TableSchema& schema, const Row& row) {
+  return [&schema, &row](const std::string& table,
+                         const std::string& column) -> StatusOr<sql::Value> {
+    if (!table.empty() && table != schema.name()) {
+      return NotFound("unknown table qualifier \"" + table + "\" (row is from \"" +
+                      schema.name() + "\")");
+    }
+    int idx = schema.ColumnIndex(column);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + column + "\" in table \"" + schema.name() + "\"");
+    }
+    return row[static_cast<size_t>(idx)];
+  };
+}
+
+// RAII: wraps a single statement in an implicit transaction when no explicit
+// one is active, so a mid-statement failure (e.g. cascade hitting RESTRICT)
+// leaves the database unchanged.
+class Database::StatementScope {
+ public:
+  explicit StatementScope(Database* db) : db_(db), implicit_(!db->in_txn_) {
+    if (implicit_) {
+      db_->in_txn_ = true;
+    }
+    mark_ = db_->undo_log_.size();
+  }
+  ~StatementScope() {
+    if (!done_ && implicit_) {
+      // Statement failed: roll back just this statement's effects.
+      db_->ApplyUndo(mark_);
+      db_->in_txn_ = false;
+    } else if (!done_) {
+      // Inside an explicit transaction a failed statement also unwinds its
+      // own partial effects; the enclosing transaction stays open.
+      db_->ApplyUndo(mark_);
+    }
+  }
+  void Commit() {
+    done_ = true;
+    if (implicit_) {
+      db_->undo_log_.clear();
+      db_->in_txn_ = false;
+    }
+  }
+
+ private:
+  Database* db_;
+  bool implicit_;
+  bool done_ = false;
+  size_t mark_ = 0;
+};
+
+Status Database::CreateTable(TableSchema schema) {
+  RETURN_IF_ERROR(schema.Validate());
+  if (tables_.count(schema.name()) > 0) {
+    return AlreadyExists("table \"" + schema.name() + "\" already exists");
+  }
+  RETURN_IF_ERROR(schema_.AddTable(schema));
+  std::string name = schema.name();  // read before the move below
+  tables_.emplace(std::move(name), Table(std::move(schema)));
+  return OkStatus();
+}
+
+Status Database::AdoptSchema(const Schema& schema) {
+  RETURN_IF_ERROR(schema.Validate());
+  for (const TableSchema& t : schema.tables()) {
+    RETURN_IF_ERROR(CreateTable(t));
+  }
+  return OkStatus();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<Database::ChildRef> Database::ChildrenOf(const std::string& parent_table) const {
+  std::vector<ChildRef> out;
+  for (const TableSchema& t : schema_.tables()) {
+    for (const ForeignKeyDef& fk : t.foreign_keys()) {
+      if (fk.parent_table == parent_table) {
+        out.push_back(ChildRef{t.name(), fk});
+      }
+    }
+  }
+  return out;
+}
+
+Status Database::CheckFkTarget(const ForeignKeyDef& fk, const sql::Value& v) const {
+  if (v.is_null()) {
+    return OkStatus();
+  }
+  const Table* parent = FindTable(fk.parent_table);
+  if (parent == nullptr) {
+    return Internal("FK parent table \"" + fk.parent_table + "\" missing");
+  }
+  PkKey key;
+  key.values.push_back(v);
+  ++stats_.index_lookups;
+  if (!parent->LookupPk(key).ok()) {
+    return IntegrityViolation("foreign key violation: no \"" + fk.parent_table + "\" row with " +
+                              fk.parent_column + " = " + v.ToSqlString());
+  }
+  return OkStatus();
+}
+
+Status Database::CheckRowFks(const TableSchema& schema, const Row& row) const {
+  for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+    const sql::Value& v = row[static_cast<size_t>(schema.ColumnIndex(fk.column))];
+    RETURN_IF_ERROR(CheckFkTarget(fk, v));
+  }
+  return OkStatus();
+}
+
+void Database::LogInsert(const std::string& table, RowId id) {
+  UndoEntry e;
+  e.kind = UndoEntry::Kind::kInsert;
+  e.table = table;
+  e.id = id;
+  undo_log_.push_back(std::move(e));
+}
+
+void Database::LogDelete(const std::string& table, RowId id, Row row) {
+  UndoEntry e;
+  e.kind = UndoEntry::Kind::kDelete;
+  e.table = table;
+  e.id = id;
+  e.row = std::move(row);
+  undo_log_.push_back(std::move(e));
+}
+
+void Database::LogUpdate(const std::string& table, RowId id, size_t col_idx,
+                         sql::Value old_value) {
+  UndoEntry e;
+  e.kind = UndoEntry::Kind::kUpdate;
+  e.table = table;
+  e.id = id;
+  e.col_idx = col_idx;
+  e.old_value = std::move(old_value);
+  undo_log_.push_back(std::move(e));
+}
+
+void Database::ApplyUndo(size_t from_mark) {
+  while (undo_log_.size() > from_mark) {
+    UndoEntry e = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    Table* t = MutableTable(e.table);
+    if (t == nullptr) {
+      EDNA_LOG(kError) << "undo references missing table " << e.table;
+      continue;
+    }
+    switch (e.kind) {
+      case UndoEntry::Kind::kInsert: {
+        auto removed = t->Erase(e.id);
+        if (!removed.ok()) {
+          EDNA_LOG(kError) << "undo insert failed: " << removed.status();
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDelete: {
+        Status st = t->InsertWithId(e.id, std::move(e.row));
+        if (!st.ok()) {
+          EDNA_LOG(kError) << "undo delete failed: " << st;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kUpdate: {
+        auto st = t->UpdateColumn(e.id, e.col_idx, std::move(e.old_value));
+        if (!st.ok()) {
+          EDNA_LOG(kError) << "undo update failed: " << st.status();
+        }
+        break;
+      }
+    }
+  }
+}
+
+StatusOr<RowId> Database::Insert(const std::string& table, Row row) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  StatementScope scope(this);
+  ++stats_.queries;
+  RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
+  ASSIGN_OR_RETURN(RowId id, t->Insert(std::move(row)));
+  ++stats_.rows_inserted;
+  LogInsert(table, id);
+  scope.Commit();
+  return id;
+}
+
+StatusOr<RowId> Database::InsertValues(const std::string& table,
+                                       const std::map<std::string, sql::Value>& values) {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  const TableSchema& schema = t->schema();
+  Row row(schema.num_columns(), sql::Value::Null());
+  for (const auto& [name, value] : values) {
+    int idx = schema.ColumnIndex(name);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + name + "\" in table \"" + table + "\"");
+    }
+    row[static_cast<size_t>(idx)] = value;
+  }
+  // Fill defaults for unspecified columns.
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const ColumnDef& col = schema.columns()[i];
+    if (values.count(col.name) == 0 && col.default_value.has_value()) {
+      row[i] = *col.default_value;
+    }
+  }
+  return Insert(table, std::move(row));
+}
+
+StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::Expr* pred,
+                                                 const sql::ParamMap& params) const {
+  std::vector<RowId> candidates;
+  bool used_index = false;
+
+  // Planner: find an equality conjunct `col = <constant>` whose column is
+  // indexed; use it to seed candidates, then filter by the full predicate.
+  if (pred != nullptr) {
+    const sql::Expr* node = pred;
+    std::vector<const sql::Expr*> stack{node};
+    while (!stack.empty() && !used_index) {
+      const sql::Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind() == sql::ExprKind::kBinary && e->binary_op() == sql::BinaryOp::kAnd) {
+        stack.push_back(e->children()[0].get());
+        stack.push_back(e->children()[1].get());
+        continue;
+      }
+      if (e->kind() != sql::ExprKind::kBinary || e->binary_op() != sql::BinaryOp::kEq) {
+        continue;
+      }
+      const sql::Expr* lhs = e->children()[0].get();
+      const sql::Expr* rhs = e->children()[1].get();
+      if (lhs->kind() != sql::ExprKind::kColumnRef) {
+        std::swap(lhs, rhs);
+      }
+      if (lhs->kind() != sql::ExprKind::kColumnRef ||
+          !sql::IsConstantExpression(*rhs)) {
+        continue;
+      }
+      if (!table.HasIndexOn(lhs->column())) {
+        continue;
+      }
+      auto value = sql::EvaluateConstant(*rhs, params);
+      if (!value.ok()) {
+        return value.status();
+      }
+      if (table.IndexLookup(lhs->column(), *value, &candidates)) {
+        used_index = true;
+        ++stats_.index_lookups;
+      }
+    }
+  }
+
+  if (!used_index) {
+    candidates = table.AllRowIds();
+    ++stats_.full_scans;
+  }
+
+  if (pred == nullptr) {
+    stats_.rows_read += candidates.size();
+    return candidates;
+  }
+
+  std::vector<RowId> out;
+  for (RowId id : candidates) {
+    const Row* row = table.Find(id);
+    if (row == nullptr) {
+      continue;
+    }
+    ++stats_.rows_read;
+    sql::ColumnResolver resolver = MakeRowResolver(table.schema(), *row);
+    ASSIGN_OR_RETURN(bool match, sql::EvaluatePredicate(*pred, resolver, params));
+    if (match) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<RowRef>> Database::Select(const std::string& table, const sql::Expr* pred,
+                                               const sql::ParamMap& params) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  ++stats_.queries;
+  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+  std::vector<RowRef> out;
+  out.reserve(ids.size());
+  for (RowId id : ids) {
+    out.push_back(RowRef{id, t->Find(id)});
+  }
+  return out;
+}
+
+StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred,
+                                 const sql::ParamMap& params) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  ++stats_.queries;
+  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+  return ids.size();
+}
+
+StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pred,
+                                  const sql::ParamMap& params,
+                                  const std::vector<Assignment>& assignments) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  const TableSchema& schema = t->schema();
+  // Pre-validate assignment columns.
+  std::vector<size_t> col_indices;
+  col_indices.reserve(assignments.size());
+  for (const Assignment& a : assignments) {
+    int idx = schema.ColumnIndex(a.column);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + a.column + "\" in table \"" + table + "\"");
+    }
+    col_indices.push_back(static_cast<size_t>(idx));
+  }
+
+  StatementScope scope(this);
+  ++stats_.queries;  // the SELECT phase
+  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+
+  size_t updated = 0;
+  for (RowId id : ids) {
+    const Row* row = t->Find(id);
+    if (row == nullptr) {
+      continue;
+    }
+    // Evaluate all assignment expressions against the pre-update row.
+    std::vector<sql::Value> new_values;
+    new_values.reserve(assignments.size());
+    sql::ColumnResolver resolver = MakeRowResolver(schema, *row);
+    for (const Assignment& a : assignments) {
+      ASSIGN_OR_RETURN(sql::Value v, sql::Evaluate(*a.expr, resolver, params));
+      new_values.push_back(std::move(v));
+    }
+    for (size_t k = 0; k < assignments.size(); ++k) {
+      RETURN_IF_ERROR(SetColumnInTxn(table, t, id, col_indices[k], std::move(new_values[k])));
+    }
+    ++updated;
+    ++stats_.queries;  // one UPDATE statement per row, as Edna issues them
+  }
+  scope.Commit();
+  return updated;
+}
+
+// Private helper is declared inline here: performs an FK-checked single
+// column write assuming a StatementScope/transaction is already active.
+Status Database::SetColumnInTxn(const std::string& table_name, Table* t, RowId id,
+                                size_t col_idx, sql::Value value) {
+  const TableSchema& schema = t->schema();
+  const ColumnDef& col = schema.columns()[col_idx];
+  if (write_guard_) {
+    RETURN_IF_ERROR(write_guard_(table_name, id, col.name));
+  }
+
+  // FK on this column: new value must resolve.
+  if (const ForeignKeyDef* fk = schema.FindForeignKey(col.name); fk != nullptr) {
+    RETURN_IF_ERROR(CheckFkTarget(*fk, value));
+  }
+  // If this column is the referenced PK of children, block changes that
+  // would orphan them.
+  if (schema.IsPrimaryKeyColumn(col.name)) {
+    const Row* row = t->Find(id);
+    if (row == nullptr) {
+      return NotFound("row vanished during update");
+    }
+    const sql::Value& old = (*row)[col_idx];
+    if (!old.SqlEquals(value)) {
+      for (const ChildRef& child : ChildrenOf(table_name)) {
+        if (child.fk.parent_column != col.name) {
+          continue;
+        }
+        const Table* ct = FindTable(child.child_table);
+        std::vector<RowId> kids;
+        ++stats_.index_lookups;
+        ct->IndexLookup(child.fk.column, old, &kids);
+        if (!kids.empty()) {
+          return IntegrityViolation("cannot change \"" + table_name + "." + col.name +
+                                    "\": referenced by " + std::to_string(kids.size()) +
+                                    " row(s) of \"" + child.child_table + "\"");
+        }
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(sql::Value old, t->UpdateColumn(id, col_idx, std::move(value)));
+  ++stats_.rows_updated;
+  LogUpdate(table_name, id, col_idx, std::move(old));
+  return OkStatus();
+}
+
+StatusOr<size_t> Database::BatchSetColumns(const std::string& table,
+                                           const std::vector<BatchUpdate>& updates) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  StatementScope scope(this);
+  ++stats_.queries;  // one multi-row statement
+  for (const BatchUpdate& u : updates) {
+    int idx = t->schema().ColumnIndex(u.column);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + u.column + "\" in table \"" + table + "\"");
+    }
+    RETURN_IF_ERROR(SetColumnInTxn(table, t, u.id, static_cast<size_t>(idx), u.value));
+  }
+  scope.Commit();
+  return updates.size();
+}
+
+StatusOr<size_t> Database::Delete(const std::string& table, const sql::Expr* pred,
+                                  const sql::ParamMap& params) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  StatementScope scope(this);
+  ++stats_.queries;
+  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+  size_t deleted = 0;
+  for (RowId id : ids) {
+    if (!t->Contains(id)) {
+      continue;  // removed by an earlier cascade in this statement
+    }
+    RETURN_IF_ERROR(DeleteRowInternal(table, id, 0));
+    ++deleted;
+    ++stats_.queries;  // one DELETE statement per row
+  }
+  scope.Commit();
+  return deleted;
+}
+
+Status Database::DeleteRowInternal(const std::string& table, RowId id, int depth) {
+  if (depth > kMaxCascadeDepth) {
+    return IntegrityViolation("cascade depth limit exceeded (cycle in FK graph?)");
+  }
+  if (write_guard_) {
+    RETURN_IF_ERROR(write_guard_(table, id, ""));
+  }
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  const Row* row_ptr = t->Find(id);
+  if (row_ptr == nullptr) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), table.c_str()));
+  }
+  // Handle children referencing this row before removing it.
+  const TableSchema& schema = t->schema();
+  if (schema.primary_key().size() == 1) {
+    const std::string& pk_col = schema.primary_key()[0];
+    sql::Value pk_value = (*row_ptr)[static_cast<size_t>(schema.ColumnIndex(pk_col))];
+    for (const ChildRef& child : ChildrenOf(table)) {
+      Table* ct = MutableTable(child.child_table);
+      std::vector<RowId> kids;
+      ++stats_.index_lookups;
+      if (!ct->IndexLookup(child.fk.column, pk_value, &kids)) {
+        // Unindexed FK column (shouldn't happen: Table indexes FK columns).
+        kids.clear();
+        ct->Scan([&](RowId rid, const Row& r) {
+          const sql::Value& v =
+              r[static_cast<size_t>(ct->schema().ColumnIndex(child.fk.column))];
+          if (!v.is_null() && v.SqlEquals(pk_value)) {
+            kids.push_back(rid);
+          }
+        });
+        ++stats_.full_scans;
+      }
+      if (kids.empty()) {
+        continue;
+      }
+      switch (child.fk.on_delete) {
+        case FkAction::kRestrict:
+          return IntegrityViolation("cannot delete \"" + table + "\" row " +
+                                    pk_value.ToSqlString() + ": referenced by " +
+                                    std::to_string(kids.size()) + " row(s) of \"" +
+                                    child.child_table + "\"");
+        case FkAction::kCascade:
+          for (RowId kid : kids) {
+            if (ct->Contains(kid)) {
+              RETURN_IF_ERROR(DeleteRowInternal(child.child_table, kid, depth + 1));
+            }
+          }
+          break;
+        case FkAction::kSetNull: {
+          int col_idx = ct->schema().ColumnIndex(child.fk.column);
+          for (RowId kid : kids) {
+            ASSIGN_OR_RETURN(sql::Value old,
+                             ct->UpdateColumn(kid, static_cast<size_t>(col_idx),
+                                              sql::Value::Null()));
+            ++stats_.rows_updated;
+            LogUpdate(child.child_table, kid, static_cast<size_t>(col_idx), std::move(old));
+          }
+          break;
+        }
+      }
+    }
+  } else if (!ChildrenOf(table).empty()) {
+    return Internal("FK references a composite-PK table \"" + table + "\"");
+  }
+
+  ASSIGN_OR_RETURN(Row removed, t->Erase(id));
+  ++stats_.rows_deleted;
+  LogDelete(table, id, std::move(removed));
+  return OkStatus();
+}
+
+StatusOr<sql::Value> Database::GetColumn(const std::string& table, RowId id,
+                                         const std::string& column) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  const Row* row = t->Find(id);
+  if (row == nullptr) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), table.c_str()));
+  }
+  int idx = t->schema().ColumnIndex(column);
+  if (idx < 0) {
+    return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
+  }
+  ++stats_.rows_read;
+  return (*row)[static_cast<size_t>(idx)];
+}
+
+StatusOr<Row> Database::GetRow(const std::string& table, RowId id) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  const Row* row = t->Find(id);
+  if (row == nullptr) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), table.c_str()));
+  }
+  ++stats_.rows_read;
+  return *row;
+}
+
+Status Database::SetColumn(const std::string& table, RowId id, const std::string& column,
+                           sql::Value value) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  int idx = t->schema().ColumnIndex(column);
+  if (idx < 0) {
+    return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
+  }
+  StatementScope scope(this);
+  ++stats_.queries;
+  RETURN_IF_ERROR(SetColumnInTxn(table, t, id, static_cast<size_t>(idx), std::move(value)));
+  scope.Commit();
+  return OkStatus();
+}
+
+Status Database::DeleteRow(const std::string& table, RowId id) {
+  StatementScope scope(this);
+  ++stats_.queries;
+  RETURN_IF_ERROR(DeleteRowInternal(table, id, 0));
+  scope.Commit();
+  return OkStatus();
+}
+
+Status Database::RestoreRow(const std::string& table, RowId id, Row row) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  StatementScope scope(this);
+  ++stats_.queries;
+  RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
+  RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
+  ++stats_.rows_inserted;
+  LogInsert(table, id);
+  scope.Commit();
+  return OkStatus();
+}
+
+Status Database::BulkLoadRow(const std::string& table, RowId id, Row row) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
+  ++stats_.rows_inserted;
+  return OkStatus();
+}
+
+Status Database::EnsureAutoCounterAtLeast(const std::string& table, int64_t v) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  t->EnsureAutoCounterAtLeast(v);
+  return OkStatus();
+}
+
+StatusOr<RowId> Database::LookupPk(const std::string& table, const PkKey& key) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  ++stats_.index_lookups;
+  return t->LookupPk(key);
+}
+
+Status Database::AddColumnToTable(const std::string& table, ColumnDef col,
+                                  sql::Value fill) {
+  if (in_txn_) {
+    return FailedPrecondition("cannot evolve the schema inside a transaction");
+  }
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  // A default makes the column restorable for pre-evolution reveal records;
+  // require one (possibly NULL for nullable columns).
+  if (!col.default_value.has_value()) {
+    if (!col.nullable) {
+      return InvalidArgument("new NOT NULL column \"" + col.name +
+                             "\" needs a default value");
+    }
+    col.default_value = sql::Value::Null();
+  }
+  TableSchema* catalog = schema_.FindMutableTable(table);
+  RETURN_IF_ERROR(t->AddColumn(col, fill));
+  catalog->AddColumn(std::move(col));
+  return OkStatus();
+}
+
+Status Database::CreateIndex(const std::string& table, const std::string& column) {
+  Table* t = MutableTable(table);
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  RETURN_IF_ERROR(t->BuildIndex(column));
+  TableSchema* catalog = schema_.FindMutableTable(table);
+  if (!catalog->HasColumn(column)) {
+    return Internal("catalog desync after index build");
+  }
+  bool listed = false;
+  for (const IndexDef& idx : catalog->indexes()) {
+    if (idx.column == column) {
+      listed = true;
+    }
+  }
+  if (!listed) {
+    catalog->AddIndex(column);
+  }
+  return OkStatus();
+}
+
+Status Database::Begin() {
+  if (in_txn_) {
+    return FailedPrecondition("transaction already active");
+  }
+  in_txn_ = true;
+  undo_log_.clear();
+  return OkStatus();
+}
+
+Status Database::Commit() {
+  if (!in_txn_) {
+    return FailedPrecondition("no active transaction");
+  }
+  in_txn_ = false;
+  undo_log_.clear();
+  return OkStatus();
+}
+
+Status Database::Rollback() {
+  if (!in_txn_) {
+    return FailedPrecondition("no active transaction");
+  }
+  ApplyUndo(0);
+  in_txn_ = false;
+  return OkStatus();
+}
+
+Status Database::CheckIntegrity() const {
+  for (const auto& [name, table] : tables_) {
+    RETURN_IF_ERROR(table.CheckIndexConsistency());
+    const TableSchema& schema = table.schema();
+    for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+      const Table* parent = FindTable(fk.parent_table);
+      if (parent == nullptr) {
+        return IntegrityViolation("missing parent table \"" + fk.parent_table + "\"");
+      }
+      int col_idx = schema.ColumnIndex(fk.column);
+      Status bad = OkStatus();
+      table.Scan([&](RowId, const Row& row) {
+        if (!bad.ok()) {
+          return;
+        }
+        const sql::Value& v = row[static_cast<size_t>(col_idx)];
+        if (v.is_null()) {
+          return;
+        }
+        PkKey key;
+        key.values.push_back(v);
+        if (!parent->LookupPk(key).ok()) {
+          bad = IntegrityViolation("dangling foreign key \"" + name + "." + fk.column + "\" = " +
+                                   v.ToSqlString() + " -> \"" + fk.parent_table + "\"");
+        }
+      });
+      RETURN_IF_ERROR(bad);
+    }
+  }
+  return OkStatus();
+}
+
+std::unique_ptr<Database> Database::Snapshot() const {
+  auto copy = std::make_unique<Database>();
+  copy->schema_ = schema_;
+  for (const auto& [name, table] : tables_) {
+    copy->tables_.emplace(name, table.Clone());
+  }
+  return copy;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table.num_rows();
+  }
+  return total;
+}
+
+}  // namespace edna::db

@@ -1,0 +1,247 @@
+// Database: the application-facing relational engine.
+//
+// Responsibilities beyond Table:
+//  * cross-table referential integrity (FK existence on writes, delete
+//    actions RESTRICT / CASCADE / SET NULL),
+//  * predicate-driven DML (select / update / delete with SQL WHERE clauses,
+//    planned through equality indexes when possible),
+//  * transactions: explicit Begin/Commit/Rollback plus implicit per-statement
+//    atomicity, implemented with an undo log,
+//  * query statistics (statement and row-touch counters) used by the paper's
+//    linear-scaling experiment,
+//  * whole-database snapshot/restore for benchmarks.
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/schema.h"
+#include "src/db/table.h"
+#include "src/sql/ast.h"
+#include "src/sql/eval.h"
+
+namespace edna::db {
+
+// Statement / row-touch counters. "Queries" counts logical statements the
+// way a SQL client would issue them: one per select/insert/delete statement
+// and one per row-level update, mirroring how Edna talks to MySQL.
+struct DbStats {
+  uint64_t queries = 0;
+  uint64_t rows_read = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t index_lookups = 0;
+  uint64_t full_scans = 0;
+
+  void Reset() { *this = DbStats{}; }
+};
+
+// One column assignment in an UPDATE: column <- expression (evaluated per
+// row; the expression may reference the row's current columns and params).
+struct Assignment {
+  std::string column;
+  sql::ExprPtr expr;
+};
+
+// Pre-write hook consulted before any row mutation (update or delete).
+// Returning a non-OK status vetoes the mutation (and, through the statement
+// scope, unwinds the enclosing statement). Used by the disguise engine's
+// strict mode to prohibit application updates to disguised data (§7).
+// `column` is empty for whole-row operations (delete/restore).
+using WriteGuard = std::function<Status(const std::string& table, RowId id,
+                                        const std::string& column)>;
+
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL -----------------------------------------------------------------
+
+  // Adds a table. FK targets must already exist or arrive before first use;
+  // Validate() checks the full catalog.
+  Status CreateTable(TableSchema schema);
+
+  // Creates every table of `schema` (validated as a whole first).
+  Status AdoptSchema(const Schema& schema);
+
+  // Schema evolution (§7): appends a column to an existing table, filling
+  // current rows with `fill`. Disallowed inside a transaction and on
+  // reserved tables. Reveal records written before the evolution remain
+  // replayable: restored rows are padded with the new columns' defaults.
+  Status AddColumnToTable(const std::string& table, ColumnDef col, sql::Value fill);
+
+  // Builds (and backfills) a secondary equality index.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  const Schema& schema() const { return schema_; }
+  bool HasTable(const std::string& name) const { return FindTable(name) != nullptr; }
+  const Table* FindTable(const std::string& name) const;
+
+  // --- DML -----------------------------------------------------------------
+
+  // Positional insert; NULL auto-increment columns are assigned.
+  StatusOr<RowId> Insert(const std::string& table, Row row);
+
+  // Named-column insert; unspecified columns take their default (or NULL for
+  // nullable / auto-increment columns).
+  StatusOr<RowId> InsertValues(const std::string& table,
+                               const std::map<std::string, sql::Value>& values);
+
+  // Rows matching `pred` (nullptr = all rows). Results reference live storage
+  // and are invalidated by any mutation.
+  StatusOr<std::vector<RowRef>> Select(const std::string& table, const sql::Expr* pred,
+                                       const sql::ParamMap& params) const;
+
+  // Count of matching rows without materializing.
+  StatusOr<size_t> Count(const std::string& table, const sql::Expr* pred,
+                         const sql::ParamMap& params) const;
+
+  // Applies `assignments` to each matching row; returns rows updated.
+  StatusOr<size_t> Update(const std::string& table, const sql::Expr* pred,
+                          const sql::ParamMap& params,
+                          const std::vector<Assignment>& assignments);
+
+  // Deletes matching rows (running FK delete actions); returns rows deleted.
+  StatusOr<size_t> Delete(const std::string& table, const sql::Expr* pred,
+                          const sql::ParamMap& params);
+
+  // One pre-computed column write within a batch statement.
+  struct BatchUpdate {
+    RowId id;
+    std::string column;
+    sql::Value value;
+  };
+
+  // Applies many single-column writes as ONE logical statement (stats count
+  // one query, n row writes). Models the batched/multi-row UPDATE path the
+  // paper suggests as an optimization; FK checks still apply per write.
+  StatusOr<size_t> BatchSetColumns(const std::string& table,
+                                   const std::vector<BatchUpdate>& updates);
+
+  // --- Row-level operations (disguise engine fast paths) --------------------
+
+  StatusOr<sql::Value> GetColumn(const std::string& table, RowId id,
+                                 const std::string& column) const;
+  StatusOr<Row> GetRow(const std::string& table, RowId id) const;
+
+  // Single-column write with FK validation and undo logging.
+  Status SetColumn(const std::string& table, RowId id, const std::string& column,
+                   sql::Value value);
+
+  // Deletes one row, applying FK delete actions recursively.
+  Status DeleteRow(const std::string& table, RowId id);
+
+  // Re-inserts a row with a known id (reveal/restore path); FK-checked.
+  Status RestoreRow(const std::string& table, RowId id, Row row);
+
+  // Image-load path: inserts a row with a known id WITHOUT foreign-key
+  // checks (rows may forward-reference during a load). Callers MUST run
+  // CheckIntegrity() after the last BulkLoadRow; db/storage.cc does.
+  Status BulkLoadRow(const std::string& table, RowId id, Row row);
+
+  // Image-load path: raises a table's auto-increment counter.
+  Status EnsureAutoCounterAtLeast(const std::string& table, int64_t v);
+
+  // Primary-key lookup helper.
+  StatusOr<RowId> LookupPk(const std::string& table, const PkKey& key) const;
+
+  // --- Transactions ----------------------------------------------------------
+
+  // Explicit transaction; nesting is not supported.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool InTransaction() const { return in_txn_; }
+
+  // --- Integrity & maintenance ----------------------------------------------
+
+  // Full referential-integrity and index audit (test / property hook).
+  Status CheckIntegrity() const;
+
+  // Deep copy of all data (schema shared by value).
+  std::unique_ptr<Database> Snapshot() const;
+
+  // Total rows across all tables.
+  size_t TotalRows() const;
+
+  DbStats& stats() { return stats_; }
+  const DbStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Installs (or clears, with nullptr) the write guard. At most one guard;
+  // the engine toggles it around its own operations.
+  void SetWriteGuard(WriteGuard guard) { write_guard_ = std::move(guard); }
+  bool HasWriteGuard() const { return static_cast<bool>(write_guard_); }
+
+ private:
+  struct UndoEntry {
+    enum class Kind { kInsert, kDelete, kUpdate } kind;
+    std::string table;
+    RowId id = kInvalidRowId;
+    Row row;              // kDelete: full removed row
+    size_t col_idx = 0;   // kUpdate
+    sql::Value old_value; // kUpdate
+  };
+
+  Table* MutableTable(const std::string& name);
+
+  // Children referencing `parent_table`: (child table name, fk).
+  struct ChildRef {
+    std::string child_table;
+    ForeignKeyDef fk;
+  };
+  std::vector<ChildRef> ChildrenOf(const std::string& parent_table) const;
+
+  // FK existence check for one value (non-NULL) against the parent table.
+  Status CheckFkTarget(const ForeignKeyDef& fk, const sql::Value& v) const;
+
+  // Checks all FK columns of a row about to enter `table`.
+  Status CheckRowFks(const TableSchema& schema, const Row& row) const;
+
+  // Recursive delete honoring FK actions; appends undo entries.
+  Status DeleteRowInternal(const std::string& table, RowId id, int depth);
+
+  // FK-checked single-column write; assumes a transaction scope is active.
+  Status SetColumnInTxn(const std::string& table_name, Table* t, RowId id, size_t col_idx,
+                        sql::Value value);
+
+  // Predicate evaluation: builds the ColumnResolver for (schema,row).
+  StatusOr<std::vector<RowId>> MatchRows(const Table& table, const sql::Expr* pred,
+                                         const sql::ParamMap& params) const;
+
+  // Undo-log helpers.
+  void LogInsert(const std::string& table, RowId id);
+  void LogDelete(const std::string& table, RowId id, Row row);
+  void LogUpdate(const std::string& table, RowId id, size_t col_idx, sql::Value old_value);
+  void ApplyUndo(size_t from_mark);
+
+  // Implicit-transaction guard for single statements.
+  class StatementScope;
+
+  Schema schema_;
+  std::map<std::string, Table> tables_;
+  mutable DbStats stats_;
+
+  bool in_txn_ = false;
+  std::vector<UndoEntry> undo_log_;
+  WriteGuard write_guard_;
+
+  static constexpr int kMaxCascadeDepth = 32;
+};
+
+// Builds a ColumnResolver over one row of one table (shared with the
+// disguise engine, which evaluates Modify expressions against rows).
+sql::ColumnResolver MakeRowResolver(const TableSchema& schema, const Row& row);
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_DATABASE_H_

@@ -1,0 +1,30 @@
+// Row representation. A Row is a flat vector of Values positionally aligned
+// with its table's column list. RowId is a table-local, never-reused handle.
+#ifndef SRC_DB_ROW_H_
+#define SRC_DB_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sql/value.h"
+
+namespace edna::db {
+
+using Row = std::vector<sql::Value>;
+using RowId = uint64_t;
+
+constexpr RowId kInvalidRowId = 0;  // RowIds start at 1
+
+// Non-owning view of a stored row.
+struct RowRef {
+  RowId id = kInvalidRowId;
+  const Row* row = nullptr;
+};
+
+// Renders a row as a compact tuple string for logs/tests.
+std::string RowToString(const Row& row);
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_ROW_H_

@@ -1,0 +1,272 @@
+#include "src/db/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace edna::db {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kBool:
+      return "BOOL";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kBlob:
+      return "BLOB";
+  }
+  return "?";
+}
+
+bool ValueMatchesType(const sql::Value& v, ColumnType t) {
+  if (v.is_null()) {
+    return true;
+  }
+  switch (t) {
+    case ColumnType::kInt:
+      return v.is_int();
+    case ColumnType::kDouble:
+      return v.is_double() || v.is_int();  // int widens silently
+    case ColumnType::kBool:
+      return v.is_bool();
+    case ColumnType::kString:
+      return v.is_string();
+    case ColumnType::kBlob:
+      return v.is_blob();
+  }
+  return false;
+}
+
+const char* FkActionName(FkAction a) {
+  switch (a) {
+    case FkAction::kRestrict:
+      return "RESTRICT";
+    case FkAction::kCascade:
+      return "CASCADE";
+    case FkAction::kSetNull:
+      return "SET NULL";
+  }
+  return "?";
+}
+
+std::string ColumnDef::ToSql() const {
+  std::string out = "\"" + name + "\" " + ColumnTypeName(type);
+  out += nullable ? " NULL" : " NOT NULL";
+  if (auto_increment) {
+    out += " AUTO_INCREMENT";
+  }
+  if (default_value.has_value()) {
+    out += " DEFAULT " + default_value->ToSqlString();
+  }
+  return out;
+}
+
+TableSchema& TableSchema::AddColumn(ColumnDef col) {
+  columns_.push_back(std::move(col));
+  return *this;
+}
+
+TableSchema& TableSchema::SetPrimaryKey(std::vector<std::string> columns) {
+  primary_key_ = std::move(columns);
+  return *this;
+}
+
+TableSchema& TableSchema::AddForeignKey(ForeignKeyDef fk) {
+  foreign_keys_.push_back(std::move(fk));
+  return *this;
+}
+
+TableSchema& TableSchema::AddIndex(std::string column) {
+  indexes_.push_back(IndexDef{std::move(column)});
+  return *this;
+}
+
+int TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const ColumnDef* TableSchema::FindColumn(const std::string& name) const {
+  int i = ColumnIndex(name);
+  return i >= 0 ? &columns_[static_cast<size_t>(i)] : nullptr;
+}
+
+const ForeignKeyDef* TableSchema::FindForeignKey(const std::string& column) const {
+  for (const ForeignKeyDef& fk : foreign_keys_) {
+    if (fk.column == column) {
+      return &fk;
+    }
+  }
+  return nullptr;
+}
+
+bool TableSchema::IsPrimaryKeyColumn(const std::string& column) const {
+  return std::find(primary_key_.begin(), primary_key_.end(), column) != primary_key_.end();
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) {
+    return InvalidArgument("table has no name");
+  }
+  if (columns_.empty()) {
+    return InvalidArgument("table \"" + name_ + "\" has no columns");
+  }
+  std::set<std::string> seen;
+  for (const ColumnDef& col : columns_) {
+    if (col.name.empty()) {
+      return InvalidArgument("table \"" + name_ + "\" has an unnamed column");
+    }
+    if (!seen.insert(col.name).second) {
+      return InvalidArgument("table \"" + name_ + "\" duplicates column \"" + col.name + "\"");
+    }
+    if (col.auto_increment && col.type != ColumnType::kInt) {
+      return InvalidArgument("auto_increment column \"" + col.name + "\" in \"" + name_ +
+                             "\" must be INT");
+    }
+    if (col.default_value.has_value() && !ValueMatchesType(*col.default_value, col.type)) {
+      return InvalidArgument("default for column \"" + col.name + "\" in \"" + name_ +
+                             "\" does not match type " + ColumnTypeName(col.type));
+    }
+    if (col.default_value.has_value() && col.default_value->is_null() && !col.nullable) {
+      return InvalidArgument("NULL default on NOT NULL column \"" + col.name + "\" in \"" +
+                             name_ + "\"");
+    }
+  }
+  if (primary_key_.empty()) {
+    return InvalidArgument("table \"" + name_ + "\" has no primary key");
+  }
+  std::set<std::string> pk_seen;
+  for (const std::string& pk : primary_key_) {
+    const ColumnDef* col = FindColumn(pk);
+    if (col == nullptr) {
+      return InvalidArgument("primary key column \"" + pk + "\" missing in \"" + name_ + "\"");
+    }
+    if (col->nullable) {
+      return InvalidArgument("primary key column \"" + pk + "\" in \"" + name_ +
+                             "\" must be NOT NULL");
+    }
+    if (!pk_seen.insert(pk).second) {
+      return InvalidArgument("duplicate primary key column \"" + pk + "\" in \"" + name_ + "\"");
+    }
+  }
+  for (const ForeignKeyDef& fk : foreign_keys_) {
+    if (FindColumn(fk.column) == nullptr) {
+      return InvalidArgument("foreign key column \"" + fk.column + "\" missing in \"" + name_ +
+                             "\"");
+    }
+  }
+  for (const IndexDef& idx : indexes_) {
+    if (FindColumn(idx.column) == nullptr) {
+      return InvalidArgument("index column \"" + idx.column + "\" missing in \"" + name_ + "\"");
+    }
+  }
+  return OkStatus();
+}
+
+std::string TableSchema::ToCreateSql() const {
+  std::vector<std::string> lines;
+  for (const ColumnDef& col : columns_) {
+    lines.push_back("  " + col.ToSql());
+  }
+  {
+    std::vector<std::string> pk;
+    for (const std::string& c : primary_key_) {
+      pk.push_back("\"" + c + "\"");
+    }
+    lines.push_back("  PRIMARY KEY (" + StrJoin(pk, ", ") + ")");
+  }
+  for (const ForeignKeyDef& fk : foreign_keys_) {
+    lines.push_back("  FOREIGN KEY (\"" + fk.column + "\") REFERENCES \"" + fk.parent_table +
+                    "\" (\"" + fk.parent_column + "\") ON DELETE " +
+                    FkActionName(fk.on_delete));
+  }
+  for (const IndexDef& idx : indexes_) {
+    lines.push_back("  INDEX (\"" + idx.column + "\")");
+  }
+  std::string out = "CREATE TABLE \"" + name_ + "\" (\n";
+  out += StrJoin(lines, ",\n");
+  out += "\n);";
+  return out;
+}
+
+Status Schema::AddTable(TableSchema table) {
+  RETURN_IF_ERROR(table.Validate());
+  if (FindTable(table.name()) != nullptr) {
+    return AlreadyExists("table \"" + table.name() + "\" already in schema");
+  }
+  tables_.push_back(std::move(table));
+  return OkStatus();
+}
+
+const TableSchema* Schema::FindTable(const std::string& name) const {
+  for (const TableSchema& t : tables_) {
+    if (t.name() == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+TableSchema* Schema::FindMutableTable(const std::string& name) {
+  for (TableSchema& t : tables_) {
+    if (t.name() == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Status Schema::Validate() const {
+  for (const TableSchema& t : tables_) {
+    RETURN_IF_ERROR(t.Validate());
+    for (const ForeignKeyDef& fk : t.foreign_keys()) {
+      const TableSchema* parent = FindTable(fk.parent_table);
+      if (parent == nullptr) {
+        return InvalidArgument("table \"" + t.name() + "\" references missing table \"" +
+                               fk.parent_table + "\"");
+      }
+      const ColumnDef* pcol = parent->FindColumn(fk.parent_column);
+      if (pcol == nullptr) {
+        return InvalidArgument("table \"" + t.name() + "\" references missing column \"" +
+                               fk.parent_table + "." + fk.parent_column + "\"");
+      }
+      if (parent->primary_key().size() != 1 || parent->primary_key()[0] != fk.parent_column) {
+        return InvalidArgument("foreign key \"" + t.name() + "." + fk.column +
+                               "\" must reference the single-column primary key of \"" +
+                               fk.parent_table + "\"");
+      }
+      const ColumnDef* ccol = t.FindColumn(fk.column);
+      if (ccol->type != pcol->type) {
+        return InvalidArgument("foreign key type mismatch on \"" + t.name() + "." + fk.column +
+                               "\"");
+      }
+      if (fk.on_delete == FkAction::kSetNull && !ccol->nullable) {
+        return InvalidArgument("SET NULL foreign key on NOT NULL column \"" + t.name() + "." +
+                               fk.column + "\"");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::string Schema::ToSql() const {
+  std::string out;
+  for (const TableSchema& t : tables_) {
+    out += t.ToCreateSql();
+    out += "\n\n";
+  }
+  return out;
+}
+
+size_t Schema::SchemaLoc() const { return CountEffectiveLines(ToSql()); }
+
+}  // namespace edna::db

@@ -1,0 +1,213 @@
+#include "src/db/storage.h"
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/sql/codec.h"
+
+namespace edna::db {
+
+namespace {
+
+// Image header: magic + version. Bump kVersion on format changes.
+constexpr uint32_t kMagic = 0x45444201;  // "EDB" + 1
+constexpr uint32_t kVersion = 1;
+
+void WriteColumn(sql::ByteWriter* w, const ColumnDef& col) {
+  w->String(col.name);
+  w->U8(static_cast<uint8_t>(col.type));
+  w->U8(col.nullable ? 1 : 0);
+  w->U8(col.auto_increment ? 1 : 0);
+  w->U8(col.default_value.has_value() ? 1 : 0);
+  if (col.default_value.has_value()) {
+    w->Value(*col.default_value);
+  }
+}
+
+StatusOr<ColumnDef> ReadColumn(sql::ByteReader* r) {
+  ColumnDef col;
+  ASSIGN_OR_RETURN(col.name, r->String());
+  ASSIGN_OR_RETURN(uint8_t type, r->U8());
+  if (type > static_cast<uint8_t>(ColumnType::kBlob)) {
+    return InvalidArgument("bad column type in database image");
+  }
+  col.type = static_cast<ColumnType>(type);
+  ASSIGN_OR_RETURN(uint8_t nullable, r->U8());
+  col.nullable = nullable != 0;
+  ASSIGN_OR_RETURN(uint8_t auto_inc, r->U8());
+  col.auto_increment = auto_inc != 0;
+  ASSIGN_OR_RETURN(uint8_t has_default, r->U8());
+  if (has_default != 0) {
+    ASSIGN_OR_RETURN(sql::Value v, r->Value());
+    col.default_value = std::move(v);
+  }
+  return col;
+}
+
+void WriteTableSchema(sql::ByteWriter* w, const TableSchema& ts) {
+  w->String(ts.name());
+  w->U32(static_cast<uint32_t>(ts.columns().size()));
+  for (const ColumnDef& col : ts.columns()) {
+    WriteColumn(w, col);
+  }
+  w->U32(static_cast<uint32_t>(ts.primary_key().size()));
+  for (const std::string& pk : ts.primary_key()) {
+    w->String(pk);
+  }
+  w->U32(static_cast<uint32_t>(ts.foreign_keys().size()));
+  for (const ForeignKeyDef& fk : ts.foreign_keys()) {
+    w->String(fk.column);
+    w->String(fk.parent_table);
+    w->String(fk.parent_column);
+    w->U8(static_cast<uint8_t>(fk.on_delete));
+  }
+  w->U32(static_cast<uint32_t>(ts.indexes().size()));
+  for (const IndexDef& idx : ts.indexes()) {
+    w->String(idx.column);
+  }
+}
+
+StatusOr<TableSchema> ReadTableSchema(sql::ByteReader* r) {
+  ASSIGN_OR_RETURN(std::string name, r->String());
+  TableSchema ts(name);
+  ASSIGN_OR_RETURN(uint32_t num_cols, r->U32());
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    ASSIGN_OR_RETURN(ColumnDef col, ReadColumn(r));
+    ts.AddColumn(std::move(col));
+  }
+  ASSIGN_OR_RETURN(uint32_t num_pk, r->U32());
+  std::vector<std::string> pk;
+  for (uint32_t i = 0; i < num_pk; ++i) {
+    ASSIGN_OR_RETURN(std::string col, r->String());
+    pk.push_back(std::move(col));
+  }
+  ts.SetPrimaryKey(std::move(pk));
+  ASSIGN_OR_RETURN(uint32_t num_fks, r->U32());
+  for (uint32_t i = 0; i < num_fks; ++i) {
+    ForeignKeyDef fk;
+    ASSIGN_OR_RETURN(fk.column, r->String());
+    ASSIGN_OR_RETURN(fk.parent_table, r->String());
+    ASSIGN_OR_RETURN(fk.parent_column, r->String());
+    ASSIGN_OR_RETURN(uint8_t action, r->U8());
+    if (action > static_cast<uint8_t>(FkAction::kSetNull)) {
+      return InvalidArgument("bad FK action in database image");
+    }
+    fk.on_delete = static_cast<FkAction>(action);
+    ts.AddForeignKey(std::move(fk));
+  }
+  ASSIGN_OR_RETURN(uint32_t num_idx, r->U32());
+  for (uint32_t i = 0; i < num_idx; ++i) {
+    ASSIGN_OR_RETURN(std::string col, r->String());
+    ts.AddIndex(std::move(col));
+  }
+  return ts;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDatabase(const Database& db) {
+  sql::ByteWriter w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  const Schema& schema = db.schema();
+  w.U32(static_cast<uint32_t>(schema.num_tables()));
+  for (const TableSchema& ts : schema.tables()) {
+    WriteTableSchema(&w, ts);
+  }
+  for (const TableSchema& ts : schema.tables()) {
+    const Table* t = db.FindTable(ts.name());
+    w.U64(static_cast<uint64_t>(t->PeekAutoIncrement() - 1));
+    w.U64(t->num_rows());
+    t->Scan([&w](RowId id, const Row& row) {
+      w.U64(id);
+      w.U32(static_cast<uint32_t>(row.size()));
+      for (const sql::Value& v : row) {
+        w.Value(v);
+      }
+    });
+  }
+  return w.Take();
+}
+
+StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_t>& wire) {
+  sql::ByteReader r(wire);
+  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return InvalidArgument("not a database image (bad magic)");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kVersion) {
+    return InvalidArgument(StrFormat("unsupported database image version %u", version));
+  }
+  auto db = std::make_unique<Database>();
+  ASSIGN_OR_RETURN(uint32_t num_tables, r.U32());
+  std::vector<std::string> table_order;
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    ASSIGN_OR_RETURN(TableSchema ts, ReadTableSchema(&r));
+    table_order.push_back(ts.name());
+    RETURN_IF_ERROR(db->CreateTable(std::move(ts)));
+  }
+  RETURN_IF_ERROR(db->schema().Validate());
+
+  for (const std::string& table : table_order) {
+    ASSIGN_OR_RETURN(uint64_t auto_counter, r.U64());
+    ASSIGN_OR_RETURN(uint64_t num_rows, r.U64());
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      ASSIGN_OR_RETURN(uint64_t id, r.U64());
+      ASSIGN_OR_RETURN(uint32_t width, r.U32());
+      Row row;
+      row.reserve(width);
+      for (uint32_t c = 0; c < width; ++c) {
+        ASSIGN_OR_RETURN(sql::Value v, r.Value());
+        row.push_back(std::move(v));
+      }
+      // FK checks deferred: tables load in image order, and rows may
+      // forward-reference (self-referencing FKs). Integrity is audited once
+      // below.
+      RETURN_IF_ERROR(db->BulkLoadRow(table, id, std::move(row)));
+    }
+    db->EnsureAutoCounterAtLeast(table, static_cast<int64_t>(auto_counter));
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgument("trailing bytes in database image");
+  }
+  RETURN_IF_ERROR(db->CheckIntegrity());
+  return db;
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::vector<uint8_t> wire = SerializeDatabase(db);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return FailedPrecondition("cannot open \"" + path + "\" for writing");
+  }
+  size_t written = std::fwrite(wire.data(), 1, wire.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != wire.size() || close_rc != 0) {
+    return Internal("short write to \"" + path + "\"");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<Database>> LoadDatabaseFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFound("cannot open \"" + path + "\"");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Internal("cannot stat \"" + path + "\"");
+  }
+  std::vector<uint8_t> wire(static_cast<size_t>(size));
+  size_t got = std::fread(wire.data(), 1, wire.size(), f);
+  std::fclose(f);
+  if (got != wire.size()) {
+    return Internal("short read from \"" + path + "\"");
+  }
+  return DeserializeDatabase(wire);
+}
+
+}  // namespace edna::db

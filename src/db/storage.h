@@ -1,0 +1,36 @@
+// Whole-database serialization: schema, rows (with stable row ids), and
+// auto-increment counters, in the same little-endian wire format the vault
+// uses. Lets tools snapshot a database to a file and reload it, and gives
+// benches/CLI a way to ship prepared datasets.
+//
+// Loading validates referential integrity once after all rows are in (rows
+// arrive in table order, which need not be FK order — self-referencing
+// tables like lobsters' users.invited_by_user_id make per-row checking
+// impossible), so a corrupted image cannot produce a silently broken
+// database.
+#ifndef SRC_DB_STORAGE_H_
+#define SRC_DB_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace edna::db {
+
+// Serializes the full database state.
+std::vector<uint8_t> SerializeDatabase(const Database& db);
+
+// Reconstructs a database from `wire`. Fails (without partial state) on any
+// corruption, schema violation, or integrity violation.
+StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_t>& wire);
+
+// File convenience wrappers.
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+StatusOr<std::unique_ptr<Database>> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_STORAGE_H_

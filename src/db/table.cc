@@ -1,0 +1,428 @@
+#include "src/db/table.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace edna::db {
+
+namespace {
+std::string JoinValues(const std::vector<sql::Value>& vs) {
+  std::vector<std::string> parts;
+  parts.reserve(vs.size());
+  for (const sql::Value& v : vs) {
+    parts.push_back(v.ToSqlString());
+  }
+  return StrJoin(parts, ", ");
+}
+}  // namespace
+
+std::string RowToString(const Row& row) { return "(" + JoinValues(row) + ")"; }
+
+bool PkKey::operator<(const PkKey& other) const {
+  size_t n = std::min(values.size(), other.values.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values[i].Compare(other.values[i]);
+    if (c != 0) {
+      return c < 0;
+    }
+  }
+  return values.size() < other.values.size();
+}
+
+bool PkKey::operator==(const PkKey& other) const {
+  if (values.size() != other.values.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].Compare(other.values[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PkKey::ToString() const { return "[" + JoinValues(values) + "]"; }
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  for (const IndexDef& idx : schema_.indexes()) {
+    secondary_.emplace(idx.column, HashIndex{});
+  }
+  // Index every foreign-key column implicitly: child lookups during deletes
+  // and decorrelation are the engine's hottest operation.
+  for (const ForeignKeyDef& fk : schema_.foreign_keys()) {
+    secondary_.emplace(fk.column, HashIndex{});
+  }
+}
+
+Table Table::Clone() const {
+  Table copy(schema_);
+  copy.rows_ = rows_;
+  copy.next_row_id_ = next_row_id_;
+  copy.auto_counter_ = auto_counter_;
+  copy.pk_index_ = pk_index_;
+  copy.secondary_ = secondary_;
+  return copy;
+}
+
+Status Table::ValidateRowShape(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return InvalidArgument(StrFormat("row width %zu does not match table \"%s\" width %zu",
+                                     row.size(), schema_.name().c_str(),
+                                     schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.columns()[i];
+    if (!ValueMatchesType(row[i], col.type)) {
+      return InvalidArgument("value " + row[i].ToSqlString() + " does not match column \"" +
+                             schema_.name() + "." + col.name + "\" type " +
+                             ColumnTypeName(col.type));
+    }
+    if (row[i].is_null() && !col.nullable) {
+      return InvalidArgument("NULL in NOT NULL column \"" + schema_.name() + "." + col.name +
+                             "\"");
+    }
+  }
+  return OkStatus();
+}
+
+PkKey Table::ExtractPk(const Row& row) const {
+  PkKey key;
+  key.values.reserve(schema_.primary_key().size());
+  for (const std::string& col : schema_.primary_key()) {
+    key.values.push_back(row[static_cast<size_t>(schema_.ColumnIndex(col))]);
+  }
+  return key;
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    const sql::Value& v = row[static_cast<size_t>(schema_.ColumnIndex(column))];
+    if (!v.is_null()) {
+      index[v].insert(id);
+    }
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    const sql::Value& v = row[static_cast<size_t>(schema_.ColumnIndex(column))];
+    if (v.is_null()) {
+      continue;
+    }
+    auto it = index.find(v);
+    if (it != index.end()) {
+      it->second.erase(id);
+      if (it->second.empty()) {
+        index.erase(it);
+      }
+    }
+  }
+}
+
+StatusOr<RowId> Table::Insert(Row row) {
+  RETURN_IF_ERROR([&]() -> Status {
+    // Fill auto-increment before shape validation so NOT NULL passes.
+    if (row.size() != schema_.num_columns()) {
+      return InvalidArgument(StrFormat("row width %zu does not match table \"%s\" width %zu",
+                                       row.size(), schema_.name().c_str(),
+                                       schema_.num_columns()));
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      const ColumnDef& col = schema_.columns()[i];
+      if (col.auto_increment && row[i].is_null()) {
+        row[i] = sql::Value::Int(++auto_counter_);
+      } else if (col.auto_increment && row[i].is_int()) {
+        auto_counter_ = std::max(auto_counter_, row[i].AsInt());
+      }
+    }
+    return OkStatus();
+  }());
+  RETURN_IF_ERROR(ValidateRowShape(row));
+
+  PkKey key = ExtractPk(row);
+  if (pk_index_.count(key) > 0) {
+    return AlreadyExists("duplicate primary key " + key.ToString() + " in table \"" +
+                         schema_.name() + "\"");
+  }
+  RowId id = next_row_id_++;
+  pk_index_.emplace(key, id);
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Status Table::InsertWithId(RowId id, Row row) {
+  if (id == kInvalidRowId) {
+    return InvalidArgument("invalid row id");
+  }
+  if (rows_.count(id) > 0) {
+    return AlreadyExists(StrFormat("row id %llu already live in table \"%s\"",
+                                   static_cast<unsigned long long>(id),
+                                   schema_.name().c_str()));
+  }
+  RETURN_IF_ERROR(ValidateRowShape(row));
+  PkKey key = ExtractPk(row);
+  if (pk_index_.count(key) > 0) {
+    return AlreadyExists("duplicate primary key " + key.ToString() + " in table \"" +
+                         schema_.name() + "\"");
+  }
+  // Keep auto counters monotone across restores.
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (schema_.columns()[i].auto_increment && row[i].is_int()) {
+      auto_counter_ = std::max(auto_counter_, row[i].AsInt());
+    }
+  }
+  next_row_id_ = std::max(next_row_id_, id + 1);
+  pk_index_.emplace(key, id);
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  return OkStatus();
+}
+
+const Row* Table::Find(RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+StatusOr<RowId> Table::LookupPk(const PkKey& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return NotFound("no row with primary key " + key.ToString() + " in table \"" +
+                    schema_.name() + "\"");
+  }
+  return it->second;
+}
+
+StatusOr<Row> Table::Erase(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), schema_.name().c_str()));
+  }
+  Row row = std::move(it->second);
+  pk_index_.erase(ExtractPk(row));
+  IndexErase(id, row);
+  rows_.erase(it);
+  return row;
+}
+
+StatusOr<sql::Value> Table::UpdateColumn(RowId id, size_t col_idx, sql::Value value) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), schema_.name().c_str()));
+  }
+  if (col_idx >= schema_.num_columns()) {
+    return InvalidArgument("column index out of range");
+  }
+  const ColumnDef& col = schema_.columns()[col_idx];
+  if (!ValueMatchesType(value, col.type)) {
+    return InvalidArgument("value " + value.ToSqlString() + " does not match column \"" +
+                           schema_.name() + "." + col.name + "\" type " +
+                           ColumnTypeName(col.type));
+  }
+  if (value.is_null() && !col.nullable) {
+    return InvalidArgument("NULL in NOT NULL column \"" + schema_.name() + "." + col.name +
+                           "\"");
+  }
+  Row& row = it->second;
+  sql::Value old = row[col_idx];
+  if (old.SqlEquals(value) && old.is_null() == value.is_null()) {
+    row[col_idx] = std::move(value);
+    return old;
+  }
+
+  // PK maintenance (with uniqueness re-check).
+  if (schema_.IsPrimaryKeyColumn(col.name)) {
+    PkKey old_key = ExtractPk(row);
+    Row candidate = row;
+    candidate[col_idx] = value;
+    PkKey new_key = ExtractPk(candidate);
+    auto existing = pk_index_.find(new_key);
+    if (existing != pk_index_.end() && existing->second != id) {
+      return AlreadyExists("primary key update collides: " + new_key.ToString() +
+                           " in table \"" + schema_.name() + "\"");
+    }
+    pk_index_.erase(old_key);
+    pk_index_.emplace(new_key, id);
+  }
+
+  // Secondary index maintenance.
+  auto sec = secondary_.find(col.name);
+  if (sec != secondary_.end()) {
+    if (!old.is_null()) {
+      auto bucket = sec->second.find(old);
+      if (bucket != sec->second.end()) {
+        bucket->second.erase(id);
+        if (bucket->second.empty()) {
+          sec->second.erase(bucket);
+        }
+      }
+    }
+    if (!value.is_null()) {
+      sec->second[value].insert(id);
+    }
+  }
+
+  row[col_idx] = std::move(value);
+  return old;
+}
+
+Status Table::UpdateRow(RowId id, Row new_row) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return NotFound(StrFormat("row id %llu not in table \"%s\"",
+                              static_cast<unsigned long long>(id), schema_.name().c_str()));
+  }
+  RETURN_IF_ERROR(ValidateRowShape(new_row));
+  PkKey new_key = ExtractPk(new_row);
+  auto existing = pk_index_.find(new_key);
+  if (existing != pk_index_.end() && existing->second != id) {
+    return AlreadyExists("primary key update collides: " + new_key.ToString() + " in table \"" +
+                         schema_.name() + "\"");
+  }
+  Row& row = it->second;
+  pk_index_.erase(ExtractPk(row));
+  IndexErase(id, row);
+  pk_index_.emplace(new_key, id);
+  IndexInsert(id, new_row);
+  row = std::move(new_row);
+  return OkStatus();
+}
+
+bool Table::IndexLookup(const std::string& column, const sql::Value& value,
+                        std::vector<RowId>* out) const {
+  out->clear();
+  if (value.is_null()) {
+    return false;  // NULL never matches an equality predicate
+  }
+  // Whole-PK fast path.
+  if (schema_.primary_key().size() == 1 && schema_.primary_key()[0] == column) {
+    PkKey key;
+    key.values.push_back(value);
+    auto it = pk_index_.find(key);
+    if (it != pk_index_.end()) {
+      out->push_back(it->second);
+    }
+    return true;
+  }
+  auto sec = secondary_.find(column);
+  if (sec == secondary_.end()) {
+    return false;
+  }
+  auto bucket = sec->second.find(value);
+  if (bucket != sec->second.end()) {
+    out->assign(bucket->second.begin(), bucket->second.end());
+    std::sort(out->begin(), out->end());
+  }
+  return true;
+}
+
+bool Table::HasIndexOn(const std::string& column) const {
+  if (schema_.primary_key().size() == 1 && schema_.primary_key()[0] == column) {
+    return true;
+  }
+  return secondary_.count(column) > 0;
+}
+
+void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) {
+    fn(id, row);
+  }
+}
+
+std::vector<RowId> Table::AllRowIds() const {
+  std::vector<RowId> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+Status Table::AddColumn(ColumnDef col, const sql::Value& fill) {
+  if (schema_.HasColumn(col.name)) {
+    return AlreadyExists("column \"" + col.name + "\" already in table \"" +
+                         schema_.name() + "\"");
+  }
+  if (!ValueMatchesType(fill, col.type)) {
+    return InvalidArgument("fill value " + fill.ToSqlString() +
+                           " does not match new column type " + ColumnTypeName(col.type));
+  }
+  if (fill.is_null() && !col.nullable) {
+    return InvalidArgument("NULL fill for NOT NULL column \"" + col.name + "\"");
+  }
+  if (col.auto_increment) {
+    return InvalidArgument("cannot add an auto-increment column to a populated table");
+  }
+  schema_.AddColumn(std::move(col));
+  for (auto& [id, row] : rows_) {
+    row.push_back(fill);
+  }
+  return OkStatus();
+}
+
+Status Table::BuildIndex(const std::string& column) {
+  int idx = schema_.ColumnIndex(column);
+  if (idx < 0) {
+    return NotFound("no column \"" + column + "\" in table \"" + schema_.name() + "\"");
+  }
+  if (secondary_.count(column) > 0) {
+    return OkStatus();  // already indexed
+  }
+  schema_.AddIndex(column);
+  HashIndex& index = secondary_[column];
+  for (const auto& [id, row] : rows_) {
+    const sql::Value& v = row[static_cast<size_t>(idx)];
+    if (!v.is_null()) {
+      index[v].insert(id);
+    }
+  }
+  return OkStatus();
+}
+
+Status Table::CheckIndexConsistency() const {
+  // 1. Every row's PK is in pk_index_ and maps back to it.
+  for (const auto& [id, row] : rows_) {
+    auto it = pk_index_.find(ExtractPk(row));
+    if (it == pk_index_.end() || it->second != id) {
+      return Internal("pk_index missing/incorrect for row " + RowToString(row) +
+                      " in table \"" + schema_.name() + "\"");
+    }
+  }
+  if (pk_index_.size() != rows_.size()) {
+    return Internal("pk_index size mismatch in table \"" + schema_.name() + "\"");
+  }
+  // 2. Secondary indexes exactly cover non-null column values.
+  for (const auto& [column, index] : secondary_) {
+    size_t indexed = 0;
+    for (const auto& [value, ids] : index) {
+      for (RowId id : ids) {
+        const Row* row = Find(id);
+        if (row == nullptr) {
+          return Internal("secondary index on \"" + column + "\" holds dead row id");
+        }
+        const sql::Value& actual =
+            (*row)[static_cast<size_t>(schema_.ColumnIndex(column))];
+        if (!actual.SqlEquals(value)) {
+          return Internal("secondary index on \"" + column + "\" holds stale value");
+        }
+        ++indexed;
+      }
+    }
+    size_t expected = 0;
+    for (const auto& [id, row] : rows_) {
+      if (!row[static_cast<size_t>(schema_.ColumnIndex(column))].is_null()) {
+        ++expected;
+      }
+    }
+    if (indexed != expected) {
+      return Internal(StrFormat("secondary index on \"%s\" covers %zu rows, expected %zu",
+                                column.c_str(), indexed, expected));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace edna::db

@@ -1,0 +1,127 @@
+// Physical table storage: row heap plus primary-key and secondary indexes.
+//
+// Table enforces intra-table constraints (types, nullability, PK uniqueness,
+// auto-increment assignment). Cross-table (foreign key) integrity is the
+// Database's job. Mutations return enough information for the transaction
+// undo log to reverse them exactly.
+#ifndef SRC_DB_TABLE_H_
+#define SRC_DB_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/row.h"
+#include "src/db/schema.h"
+
+namespace edna::db {
+
+// Composite primary-key value with lexicographic ordering.
+struct PkKey {
+  std::vector<sql::Value> values;
+  bool operator<(const PkKey& other) const;
+  bool operator==(const PkKey& other) const;
+  std::string ToString() const;
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  // Tables own index structures; moving would invalidate nothing but copying
+  // must be explicit (see Clone) to avoid accidental deep copies.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  Table Clone() const;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  // Inserts a full-width row (values positionally aligned with the schema).
+  // NULL in an auto-increment column is replaced by the next counter value.
+  // Missing constraints => kInvalidArgument / kAlreadyExists (duplicate PK).
+  StatusOr<RowId> Insert(Row row);
+
+  // Inserts with an explicit RowId (transaction rollback path); the id must
+  // not be live.
+  Status InsertWithId(RowId id, Row row);
+
+  // Row access.
+  const Row* Find(RowId id) const;
+  bool Contains(RowId id) const { return Find(id) != nullptr; }
+
+  // Primary key lookup.
+  StatusOr<RowId> LookupPk(const PkKey& key) const;
+  PkKey ExtractPk(const Row& row) const;
+
+  // Removes a row; returns the removed contents for undo logging.
+  StatusOr<Row> Erase(RowId id);
+
+  // Replaces column `col_idx` of row `id`; returns the previous value.
+  // Enforces type/nullability and PK uniqueness if the column is in the PK.
+  StatusOr<sql::Value> UpdateColumn(RowId id, size_t col_idx, sql::Value value);
+
+  // Full-row replace (used by restore paths); same constraint checks.
+  Status UpdateRow(RowId id, Row row);
+
+  // Equality scan through the secondary or PK index on `column` if one
+  // exists; falls back to nullptr (caller must scan) when not indexed.
+  // The out parameter receives matching row ids.
+  bool IndexLookup(const std::string& column, const sql::Value& value,
+                   std::vector<RowId>* out) const;
+
+  // True if `column` has an exact-match index (secondary, or the whole
+  // single-column primary key).
+  bool HasIndexOn(const std::string& column) const;
+
+  // Iterates all rows in RowId order; callback may not mutate the table.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const;
+
+  // Stable list of all live row ids (ascending).
+  std::vector<RowId> AllRowIds() const;
+
+  // The next value the auto-increment counter would produce (for tests).
+  int64_t PeekAutoIncrement() const { return auto_counter_ + 1; }
+
+  // Raises the auto-increment counter to at least `v` (image-load path; the
+  // highest-valued row may have been deleted before the snapshot).
+  void EnsureAutoCounterAtLeast(int64_t v) { auto_counter_ = std::max(auto_counter_, v); }
+
+  // Schema evolution: appends a column, filling existing rows with `fill`
+  // (type- and nullability-checked). New columns carry no secondary index
+  // until BuildIndex is called.
+  Status AddColumn(ColumnDef col, const sql::Value& fill);
+
+  // Builds (and backfills) a secondary hash index on `column`.
+  Status BuildIndex(const std::string& column);
+
+  // Validates every internal index entry against the row heap (test hook).
+  Status CheckIndexConsistency() const;
+
+ private:
+  Status ValidateRowShape(const Row& row) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  TableSchema schema_;
+  std::map<RowId, Row> rows_;  // ordered so scans are deterministic
+  RowId next_row_id_ = 1;
+  int64_t auto_counter_ = 0;
+
+  std::map<PkKey, RowId> pk_index_;
+  // column name -> value -> row ids
+  using HashIndex =
+      std::unordered_map<sql::Value, std::unordered_set<RowId>, sql::ValueHash,
+                         sql::ValueSqlEq>;
+  std::unordered_map<std::string, HashIndex> secondary_;
+};
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_TABLE_H_

@@ -1,0 +1,225 @@
+#include "src/disguise/generator.h"
+
+#include "src/common/strings.h"
+#include "src/crypto/sha256.h"
+#include "src/sql/parser.h"
+
+namespace edna::disguise {
+
+Generator Generator::RandomName() {
+  Generator g;
+  g.kind_ = Kind::kRandomName;
+  return g;
+}
+
+Generator Generator::RandomString(int64_t length) {
+  Generator g;
+  g.kind_ = Kind::kRandomString;
+  g.int_a_ = length;
+  return g;
+}
+
+Generator Generator::RandomInt(int64_t lo, int64_t hi) {
+  Generator g;
+  g.kind_ = Kind::kRandomInt;
+  g.int_a_ = lo;
+  g.int_b_ = hi;
+  return g;
+}
+
+Generator Generator::Const(sql::Value value) {
+  Generator g;
+  g.kind_ = Kind::kConst;
+  g.const_value_ = std::move(value);
+  return g;
+}
+
+Generator Generator::Hash() {
+  Generator g;
+  g.kind_ = Kind::kHash;
+  return g;
+}
+
+Generator Generator::Redact() {
+  Generator g;
+  g.kind_ = Kind::kRedact;
+  return g;
+}
+
+Generator Generator::Keep() { return Generator(); }
+
+Generator Generator::Expr(sql::ExprPtr expr) {
+  Generator g;
+  g.kind_ = Kind::kExpr;
+  g.expr_ = std::move(expr);
+  return g;
+}
+
+Generator::Generator(const Generator& other)
+    : kind_(other.kind_),
+      const_value_(other.const_value_),
+      int_a_(other.int_a_),
+      int_b_(other.int_b_),
+      expr_(other.expr_ ? other.expr_->Clone() : nullptr) {}
+
+Generator& Generator::operator=(const Generator& other) {
+  if (this != &other) {
+    kind_ = other.kind_;
+    const_value_ = other.const_value_;
+    int_a_ = other.int_a_;
+    int_b_ = other.int_b_;
+    expr_ = other.expr_ ? other.expr_->Clone() : nullptr;
+  }
+  return *this;
+}
+
+StatusOr<sql::Value> Generator::Generate(const GenContext& ctx) const {
+  switch (kind_) {
+    case Kind::kRandomName: {
+      if (ctx.rng == nullptr) {
+        return InvalidArgument("Random generator requires an RNG");
+      }
+      return sql::Value::String(ctx.rng->NextPseudoword(5, 9));
+    }
+    case Kind::kRandomString: {
+      if (ctx.rng == nullptr) {
+        return InvalidArgument("RandomString generator requires an RNG");
+      }
+      if (int_a_ <= 0) {
+        return InvalidArgument("RandomString length must be positive");
+      }
+      return sql::Value::String(ctx.rng->NextAlnumString(static_cast<size_t>(int_a_)));
+    }
+    case Kind::kRandomInt: {
+      if (ctx.rng == nullptr) {
+        return InvalidArgument("RandomInt generator requires an RNG");
+      }
+      if (int_a_ > int_b_) {
+        return InvalidArgument("RandomInt bounds are inverted");
+      }
+      return sql::Value::Int(ctx.rng->NextInt(int_a_, int_b_));
+    }
+    case Kind::kConst:
+      return const_value_;
+    case Kind::kHash: {
+      if (ctx.original == nullptr) {
+        return InvalidArgument("Hash generator requires an original value (Modify only)");
+      }
+      std::string rendering = ctx.original->ToSqlString();
+      crypto::Sha256Digest d = crypto::Sha256::Hash(rendering);
+      // 16-hex-char pseudonym: collision-safe at application scale, short
+      // enough to fit name/email columns.
+      return sql::Value::String(crypto::DigestToHex(d).substr(0, 16));
+    }
+    case Kind::kRedact:
+      return sql::Value::String("[redacted]");
+    case Kind::kKeep: {
+      if (ctx.original == nullptr) {
+        return InvalidArgument("Keep generator requires an original value (Modify only)");
+      }
+      return *ctx.original;
+    }
+    case Kind::kExpr: {
+      static const sql::ParamMap kEmpty;
+      return sql::Evaluate(*expr_, ctx.row, ctx.params ? *ctx.params : kEmpty);
+    }
+  }
+  return Internal("bad generator kind");
+}
+
+std::string Generator::ToText() const {
+  switch (kind_) {
+    case Kind::kRandomName:
+      return "Random";
+    case Kind::kRandomString:
+      return StrFormat("RandomString(%lld)", static_cast<long long>(int_a_));
+    case Kind::kRandomInt:
+      return StrFormat("RandomInt(%lld, %lld)", static_cast<long long>(int_a_),
+                       static_cast<long long>(int_b_));
+    case Kind::kConst:
+      return "Const(" + const_value_.ToSqlString() + ")";
+    case Kind::kHash:
+      return "Hash";
+    case Kind::kRedact:
+      return "Redact";
+    case Kind::kKeep:
+      return "Keep";
+    case Kind::kExpr:
+      return "Expr(" + expr_->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+// Splits "Name(args)" into name and raw args; name-only terms get empty args.
+Status SplitCall(std::string_view text, std::string* name, std::string* args) {
+  std::string_view t = StrTrim(text);
+  size_t open = t.find('(');
+  if (open == std::string_view::npos) {
+    *name = std::string(t);
+    args->clear();
+    return OkStatus();
+  }
+  if (t.back() != ')') {
+    return InvalidArgument("unbalanced parentheses in generator: " + std::string(text));
+  }
+  *name = std::string(StrTrim(t.substr(0, open)));
+  *args = std::string(StrTrim(t.substr(open + 1, t.size() - open - 2)));
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<Generator> Generator::Parse(std::string_view text) {
+  std::string name;
+  std::string args;
+  RETURN_IF_ERROR(SplitCall(text, &name, &args));
+
+  if (EqualsIgnoreCase(name, "Random") || EqualsIgnoreCase(name, "RandomName")) {
+    return Generator::RandomName();
+  }
+  if (EqualsIgnoreCase(name, "Hash")) {
+    return Generator::Hash();
+  }
+  if (EqualsIgnoreCase(name, "Redact")) {
+    return Generator::Redact();
+  }
+  if (EqualsIgnoreCase(name, "Keep")) {
+    return Generator::Keep();
+  }
+  if (EqualsIgnoreCase(name, "RandomString")) {
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(args));
+    ASSIGN_OR_RETURN(sql::Value v, sql::EvaluateConstant(*e, {}));
+    if (!v.is_int() || v.AsInt() <= 0) {
+      return InvalidArgument("RandomString expects a positive integer length");
+    }
+    return Generator::RandomString(v.AsInt());
+  }
+  if (EqualsIgnoreCase(name, "RandomInt")) {
+    std::vector<std::string> parts = StrSplitTrimmed(args, ',');
+    if (parts.size() != 2) {
+      return InvalidArgument("RandomInt expects two arguments");
+    }
+    ASSIGN_OR_RETURN(sql::ExprPtr lo_e, sql::ParseExpression(parts[0]));
+    ASSIGN_OR_RETURN(sql::ExprPtr hi_e, sql::ParseExpression(parts[1]));
+    ASSIGN_OR_RETURN(sql::Value lo, sql::EvaluateConstant(*lo_e, {}));
+    ASSIGN_OR_RETURN(sql::Value hi, sql::EvaluateConstant(*hi_e, {}));
+    if (!lo.is_int() || !hi.is_int() || lo.AsInt() > hi.AsInt()) {
+      return InvalidArgument("RandomInt expects integer lo <= hi");
+    }
+    return Generator::RandomInt(lo.AsInt(), hi.AsInt());
+  }
+  if (EqualsIgnoreCase(name, "Const") || EqualsIgnoreCase(name, "Default")) {
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(args));
+    ASSIGN_OR_RETURN(sql::Value v, sql::EvaluateConstant(*e, {}));
+    return Generator::Const(std::move(v));
+  }
+  if (EqualsIgnoreCase(name, "Expr")) {
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(args));
+    return Generator::Expr(std::move(e));
+  }
+  return InvalidArgument("unknown generator: " + name);
+}
+
+}  // namespace edna::disguise

@@ -1,0 +1,83 @@
+// Value generators: the vocabulary used in disguise specifications for
+// placeholder columns ("generate_placeholder" in Figure 3) and Modify
+// transformations. Edna uses Rust closures here; we provide a declarative,
+// serializable subset with equivalent power for the paper's disguises, plus
+// an escape hatch into arbitrary SQL expressions over the original row.
+#ifndef SRC_DISGUISE_GENERATOR_H_
+#define SRC_DISGUISE_GENERATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+#include "src/sql/eval.h"
+
+namespace edna::disguise {
+
+// Evaluation context for one generated value.
+struct GenContext {
+  Rng* rng = nullptr;
+  // Original value of the column being modified (Modify only; null for
+  // placeholder generation where there is no original).
+  const sql::Value* original = nullptr;
+  // Resolver over the original row (Modify) — lets Expr generators read
+  // other columns of the row being transformed.
+  sql::ColumnResolver row;
+  const sql::ParamMap* params = nullptr;
+};
+
+class Generator {
+ public:
+  enum class Kind {
+    kRandomName,    // Random            : pseudoword identity ("Axolotl")
+    kRandomString,  // RandomString(n)   : n random alphanumerics
+    kRandomInt,     // RandomInt(lo, hi) : uniform integer
+    kConst,         // Const(lit) / Default(lit): fixed literal (incl. NULL)
+    kHash,          // Hash              : hex SHA-256 prefix of the original
+    kRedact,        // Redact            : the string "[redacted]"
+    kKeep,          // Keep              : original value unchanged
+    kExpr,          // Expr(sql)         : SQL expression over the row
+  };
+
+  Generator() : kind_(Kind::kKeep) {}
+
+  static Generator RandomName();
+  static Generator RandomString(int64_t length);
+  static Generator RandomInt(int64_t lo, int64_t hi);
+  static Generator Const(sql::Value value);
+  static Generator Hash();
+  static Generator Redact();
+  static Generator Keep();
+  static Generator Expr(sql::ExprPtr expr);
+
+  // Generators appear in spec containers; Expr holds a unique_ptr so copies
+  // clone the AST.
+  Generator(const Generator& other);
+  Generator& operator=(const Generator& other);
+  Generator(Generator&&) = default;
+  Generator& operator=(Generator&&) = default;
+
+  Kind kind() const { return kind_; }
+
+  StatusOr<sql::Value> Generate(const GenContext& ctx) const;
+
+  // Spec-text rendering, parseable by Parse: "Random", "Const(NULL)",
+  // "RandomInt(1, 10)", "Expr(LOWER(\"name\"))", ...
+  std::string ToText() const;
+
+  // Parses a generator term from spec text.
+  static StatusOr<Generator> Parse(std::string_view text);
+
+ private:
+  Kind kind_;
+  sql::Value const_value_;
+  int64_t int_a_ = 0;  // RandomString length / RandomInt lo
+  int64_t int_b_ = 0;  // RandomInt hi
+  sql::ExprPtr expr_;
+};
+
+}  // namespace edna::disguise
+
+#endif  // SRC_DISGUISE_GENERATOR_H_

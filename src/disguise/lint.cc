@@ -1,0 +1,242 @@
+#include "src/disguise/lint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace edna::disguise {
+
+const char* LintCodeName(LintCode code) {
+  switch (code) {
+    case LintCode::kBlockedRemoval:
+      return "blocked-removal";
+    case LintCode::kCoverageGap:
+      return "coverage-gap";
+    case LintCode::kGlobalRemoveAll:
+      return "global-remove-all";
+    case LintCode::kUnusedPlaceholder:
+      return "unused-placeholder";
+    case LintCode::kPlaceholderEnabled:
+      return "placeholder-enabled";
+    case LintCode::kNoAssertions:
+      return "no-assertions";
+    case LintCode::kNoopModify:
+      return "noop-modify";
+    case LintCode::kIrreversible:
+      return "irreversible";
+  }
+  return "?";
+}
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo:
+      return "info";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string LintFinding::ToString() const {
+  std::string out = StrFormat("[%s] %s", LintSeverityName(severity), LintCodeName(code));
+  if (!table.empty()) {
+    out += " (" + table + ")";
+  }
+  out += ": " + message;
+  return out;
+}
+
+namespace {
+
+// True if any transformation of kind `kind` exists on `table` in the spec.
+bool SpecTouches(const DisguiseSpec& spec, const std::string& table) {
+  const TableDisguise* td = spec.FindTable(table);
+  return td != nullptr && !td->transformations.empty();
+}
+
+// True if the spec transforms the given FK column of `table` specifically
+// (decorrelates it, modifies it, or removes rows of the table).
+bool SpecHandlesReference(const DisguiseSpec& spec, const std::string& table,
+                          const std::string& column) {
+  const TableDisguise* td = spec.FindTable(table);
+  if (td == nullptr) {
+    return false;
+  }
+  for (const Transformation& tr : td->transformations) {
+    switch (tr.kind()) {
+      case TransformKind::kRemove:
+        return true;  // removal covers all columns
+      case TransformKind::kDecorrelate:
+        if (tr.foreign_key().column == column) {
+          return true;
+        }
+        break;
+      case TransformKind::kModify:
+        if (tr.column() == column) {
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+// Column names that conventionally flag dead accounts.
+bool IsDisabledStyleColumn(const std::string& name) {
+  std::string lower = AsciiLower(name);
+  return lower == "disabled" || lower == "deleted" || lower == "banned" ||
+         lower == "is_deleted" || lower == "inactive";
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& schema) {
+  std::vector<LintFinding> findings;
+  auto add = [&findings](LintSeverity severity, LintCode code, std::string table,
+                         std::string message) {
+    findings.push_back(
+        LintFinding{severity, code, std::move(table), std::move(message)});
+  };
+
+  // --- Removal coverage: walk every table the spec removes from and audit
+  // its referencing tables.
+  for (const TableDisguise& td : spec.tables()) {
+    bool removes = std::any_of(
+        td.transformations.begin(), td.transformations.end(),
+        [](const Transformation& tr) { return tr.kind() == TransformKind::kRemove; });
+    if (!removes) {
+      continue;
+    }
+    for (const db::TableSchema& child : schema.tables()) {
+      for (const db::ForeignKeyDef& fk : child.foreign_keys()) {
+        if (fk.parent_table != td.table || child.name() == td.table) {
+          continue;
+        }
+        bool handled = SpecHandlesReference(spec, child.name(), fk.column);
+        switch (fk.on_delete) {
+          case db::FkAction::kRestrict:
+            if (!handled) {
+              add(LintSeverity::kError, LintCode::kBlockedRemoval, child.name(),
+                  "removing rows of \"" + td.table + "\" is blocked by RESTRICT foreign key \"" +
+                      child.name() + "." + fk.column +
+                      "\"; the spec must remove, decorrelate, or null those references first");
+            }
+            break;
+          case db::FkAction::kCascade:
+            if (!handled) {
+              add(LintSeverity::kWarning, LintCode::kCoverageGap, child.name(),
+                  "rows of \"" + child.name() + "\" will be CASCADE-deleted with \"" +
+                      td.table + "\" rows; add an explicit transformation if that is not " +
+                      "the intended policy");
+            }
+            break;
+          case db::FkAction::kSetNull:
+            if (!handled && !SpecTouches(spec, child.name())) {
+              add(LintSeverity::kWarning, LintCode::kCoverageGap, child.name(),
+                  "\"" + child.name() + "." + fk.column + "\" will be silently nulled when \"" +
+                      td.table + "\" rows are removed; the rows themselves are retained " +
+                      "un-transformed");
+            }
+            break;
+        }
+      }
+    }
+  }
+
+  // --- Per-user Removes whose predicate ignores $UID remove everyone's rows.
+  if (spec.per_user()) {
+    for (const TableDisguise& td : spec.tables()) {
+      for (const Transformation& tr : td.transformations) {
+        if (tr.kind() == TransformKind::kRemove &&
+            !tr.predicate()->ReferencesParam(kUidParam)) {
+          add(LintSeverity::kWarning, LintCode::kGlobalRemoveAll, td.table,
+              "Remove predicate " + tr.predicate()->ToString() +
+                  " does not mention $UID: it deletes matching rows of EVERY user");
+        }
+      }
+    }
+  }
+
+  // --- Placeholder hygiene.
+  for (const TableDisguise& td : spec.tables()) {
+    if (td.placeholder.empty()) {
+      continue;
+    }
+    bool targeted = false;
+    for (const TableDisguise& other : spec.tables()) {
+      for (const Transformation& tr : other.transformations) {
+        if (tr.kind() == TransformKind::kDecorrelate &&
+            tr.foreign_key().parent_table == td.table) {
+          targeted = true;
+        }
+      }
+    }
+    if (!targeted) {
+      add(LintSeverity::kWarning, LintCode::kUnusedPlaceholder, td.table,
+          "generate_placeholder recipe is never used: no Decorrelate targets \"" + td.table +
+              "\"");
+    }
+
+    const db::TableSchema* ts = schema.FindTable(td.table);
+    for (const db::ColumnDef& col : ts->columns()) {
+      if (col.type != db::ColumnType::kBool || !IsDisabledStyleColumn(col.name)) {
+        continue;
+      }
+      bool set_true = false;
+      for (const PlaceholderColumn& pc : td.placeholder) {
+        if (pc.column == col.name && pc.generator.kind() == Generator::Kind::kConst) {
+          // Probe the generator with an empty context: Const needs none.
+          auto v = pc.generator.Generate(GenContext{});
+          if (v.ok() && v->is_bool() && v->AsBool()) {
+            set_true = true;
+          }
+        }
+      }
+      if (!set_true) {
+        add(LintSeverity::kWarning, LintCode::kPlaceholderEnabled, td.table,
+            "placeholder recipe does not set \"" + col.name +
+                "\" to TRUE; placeholder identities should be disabled so they cannot log in");
+      }
+    }
+  }
+
+  // --- No-op modifies.
+  for (const TableDisguise& td : spec.tables()) {
+    for (const Transformation& tr : td.transformations) {
+      if (tr.kind() == TransformKind::kModify &&
+          tr.generator().kind() == Generator::Kind::kKeep) {
+        add(LintSeverity::kWarning, LintCode::kNoopModify, td.table,
+            "Modify of \"" + tr.column() + "\" uses Keep: it changes nothing");
+      }
+    }
+  }
+
+  // --- Policy-level nudges.
+  if (spec.assertions().empty()) {
+    add(LintSeverity::kInfo, LintCode::kNoAssertions, "",
+        "no end-state assertions declared; consider assert_empty checks for the "
+        "spec's privacy goal");
+  }
+  if (!spec.reversible()) {
+    add(LintSeverity::kInfo, LintCode::kIrreversible, "",
+        "spec is irreversible: no reveal functions will be stored, so users cannot return");
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+                   });
+  return findings;
+}
+
+bool HasLintErrors(const std::vector<LintFinding>& findings) {
+  return std::any_of(findings.begin(), findings.end(), [](const LintFinding& f) {
+    return f.severity == LintSeverity::kError;
+  });
+}
+
+}  // namespace edna::disguise

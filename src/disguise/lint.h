@@ -1,0 +1,74 @@
+// Disguise-spec linter: the "data analysis tools and heuristics [that] can
+// help developers improve or catch errors in disguise specifications" the
+// paper's §7 calls for. Validate() (spec.h) rejects specs that cannot run;
+// the linter flags specs that run but likely fail their privacy goal or
+// fail at apply time.
+//
+// Findings (by code):
+//   kBlockedRemoval    (error)   — the spec removes rows of a table that is
+//       referenced through an ON DELETE RESTRICT foreign key by a table the
+//       spec leaves untouched: Apply will abort with an integrity error.
+//   kCoverageGap       (warning) — the spec removes a user's identity row
+//       but a table referencing that identity is not transformed; the FK's
+//       SET NULL / CASCADE action will fire implicitly, which may be
+//       unintended (silent data loss or silent retention).
+//   kGlobalRemoveAll   (warning) — a per-user spec contains a Remove whose
+//       predicate does not mention $UID: it deletes those rows for EVERY
+//       user, not just the disguising one.
+//   kUnusedPlaceholder (warning) — a placeholder recipe no Decorrelate ever
+//       targets.
+//   kPlaceholderEnabled(warning) — a placeholder recipe for a table with a
+//       disabled/deleted-style flag column that is not set TRUE; §3 says
+//       placeholder users "should be disabled, ensuring they ... cannot
+//       log in".
+//   kNoAssertions      (info)    — the spec declares no end-state
+//       assertions; §7 recommends them.
+//   kNoopModify        (warning) — a Modify whose generator is Keep.
+//   kIrreversible      (info)    — the spec is irreversible; users cannot
+//       return (§2 argues for reversibility).
+#ifndef SRC_DISGUISE_LINT_H_
+#define SRC_DISGUISE_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/schema.h"
+#include "src/disguise/spec.h"
+
+namespace edna::disguise {
+
+enum class LintSeverity { kInfo, kWarning, kError };
+
+enum class LintCode {
+  kBlockedRemoval,
+  kCoverageGap,
+  kGlobalRemoveAll,
+  kUnusedPlaceholder,
+  kPlaceholderEnabled,
+  kNoAssertions,
+  kNoopModify,
+  kIrreversible,
+};
+
+const char* LintCodeName(LintCode code);
+const char* LintSeverityName(LintSeverity severity);
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kInfo;
+  LintCode code = LintCode::kNoAssertions;
+  std::string table;  // primary table involved (may be empty)
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Analyzes `spec` against `schema`. The spec must already Validate().
+// Findings are ordered errors first, then warnings, then infos.
+std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& schema);
+
+// True if any finding is an error.
+bool HasLintErrors(const std::vector<LintFinding>& findings);
+
+}  // namespace edna::disguise
+
+#endif  // SRC_DISGUISE_LINT_H_

@@ -1,0 +1,285 @@
+#include "src/disguise/spec.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace edna::disguise {
+
+namespace {
+std::string QuoteIdent(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  out.push_back('"');
+  for (char ch : name) {
+    if (ch == '"') {
+      out.push_back('"');
+    }
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+const char* TransformKindName(TransformKind k) {
+  switch (k) {
+    case TransformKind::kRemove:
+      return "Remove";
+    case TransformKind::kModify:
+      return "Modify";
+    case TransformKind::kDecorrelate:
+      return "Decorrelate";
+  }
+  return "?";
+}
+
+Transformation Transformation::Remove(sql::ExprPtr predicate) {
+  Transformation t;
+  t.kind_ = TransformKind::kRemove;
+  t.predicate_ = std::move(predicate);
+  return t;
+}
+
+Transformation Transformation::Modify(sql::ExprPtr predicate, std::string column,
+                                      Generator gen) {
+  Transformation t;
+  t.kind_ = TransformKind::kModify;
+  t.predicate_ = std::move(predicate);
+  t.column_ = std::move(column);
+  t.generator_ = std::move(gen);
+  return t;
+}
+
+Transformation Transformation::Decorrelate(sql::ExprPtr predicate, ForeignKeyRef fk) {
+  Transformation t;
+  t.kind_ = TransformKind::kDecorrelate;
+  t.predicate_ = std::move(predicate);
+  t.fk_ = std::move(fk);
+  return t;
+}
+
+Transformation::Transformation(const Transformation& other)
+    : kind_(other.kind_),
+      predicate_(other.predicate_ ? other.predicate_->Clone() : nullptr),
+      column_(other.column_),
+      generator_(other.generator_),
+      fk_(other.fk_) {}
+
+Transformation& Transformation::operator=(const Transformation& other) {
+  if (this != &other) {
+    kind_ = other.kind_;
+    predicate_ = other.predicate_ ? other.predicate_->Clone() : nullptr;
+    column_ = other.column_;
+    generator_ = other.generator_;
+    fk_ = other.fk_;
+  }
+  return *this;
+}
+
+std::string Transformation::ToText() const {
+  std::string pred = predicate_ ? predicate_->ToString() : "TRUE";
+  switch (kind_) {
+    case TransformKind::kRemove:
+      return "Remove(pred: " + pred + ")";
+    case TransformKind::kModify:
+      return "Modify(pred: " + pred + ", column: " + QuoteIdent(column_) +
+             ", value: " + generator_.ToText() + ")";
+    case TransformKind::kDecorrelate:
+      return "Decorrelate(pred: " + pred + ", foreign_key: (" + QuoteIdent(fk_.column) +
+             ", " + QuoteIdent(fk_.parent_table) + "))";
+  }
+  return "?";
+}
+
+TableDisguise* DisguiseSpec::FindTable(const std::string& name) {
+  for (TableDisguise& t : tables_) {
+    if (t.table == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+const TableDisguise* DisguiseSpec::FindTable(const std::string& name) const {
+  for (const TableDisguise& t : tables_) {
+    if (t.table == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Status DisguiseSpec::Validate(const db::Schema& schema) const {
+  if (name_.empty()) {
+    return InvalidArgument("disguise has no name");
+  }
+  if (tables_.empty()) {
+    return InvalidArgument("disguise \"" + name_ + "\" transforms no tables");
+  }
+
+  bool uses_uid = false;
+  std::set<std::string> seen_tables;
+  for (const TableDisguise& td : tables_) {
+    const db::TableSchema* ts = schema.FindTable(td.table);
+    if (ts == nullptr) {
+      return InvalidArgument("disguise \"" + name_ + "\" references unknown table \"" +
+                             td.table + "\"");
+    }
+    if (!seen_tables.insert(td.table).second) {
+      return InvalidArgument("disguise \"" + name_ + "\" lists table \"" + td.table +
+                             "\" twice");
+    }
+
+    std::set<std::string> ph_cols;
+    for (const PlaceholderColumn& pc : td.placeholder) {
+      if (!ts->HasColumn(pc.column)) {
+        return InvalidArgument("placeholder column \"" + td.table + "." + pc.column +
+                               "\" does not exist");
+      }
+      if (!ph_cols.insert(pc.column).second) {
+        return InvalidArgument("placeholder column \"" + td.table + "." + pc.column +
+                               "\" specified twice");
+      }
+    }
+
+    for (const Transformation& tr : td.transformations) {
+      if (tr.predicate() == nullptr) {
+        return InvalidArgument("transformation without predicate in \"" + td.table + "\"");
+      }
+      if (tr.predicate()->ReferencesParam(kUidParam)) {
+        uses_uid = true;
+      }
+      std::vector<std::string> cols;
+      tr.predicate()->CollectColumns(&cols);
+      for (const std::string& c : cols) {
+        if (!ts->HasColumn(c)) {
+          return InvalidArgument("predicate references unknown column \"" + td.table + "." +
+                                 c + "\" in disguise \"" + name_ + "\"");
+        }
+      }
+      switch (tr.kind()) {
+        case TransformKind::kRemove:
+          break;
+        case TransformKind::kModify: {
+          if (!ts->HasColumn(tr.column())) {
+            return InvalidArgument("Modify references unknown column \"" + td.table + "." +
+                                   tr.column() + "\"");
+          }
+          if (ts->IsPrimaryKeyColumn(tr.column())) {
+            return InvalidArgument("Modify may not rewrite primary key column \"" + td.table +
+                                   "." + tr.column() + "\"");
+          }
+          break;
+        }
+        case TransformKind::kDecorrelate: {
+          const db::ForeignKeyDef* fk = ts->FindForeignKey(tr.foreign_key().column);
+          if (fk == nullptr) {
+            return InvalidArgument("Decorrelate on \"" + td.table + "." +
+                                   tr.foreign_key().column +
+                                   "\" does not match a schema foreign key");
+          }
+          if (fk->parent_table != tr.foreign_key().parent_table) {
+            return InvalidArgument(
+                "Decorrelate foreign key on \"" + td.table + "." + tr.foreign_key().column +
+                "\" targets \"" + tr.foreign_key().parent_table +
+                "\" but the schema declares \"" + fk->parent_table + "\"");
+          }
+          // Placeholder recipe must exist for the parent table.
+          const TableDisguise* parent_td = FindTable(fk->parent_table);
+          if (parent_td == nullptr || parent_td->placeholder.empty()) {
+            return InvalidArgument("Decorrelate targets \"" + fk->parent_table +
+                                   "\" but the disguise has no generate_placeholder for it");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Placeholder recipes must be able to produce a valid row: every NOT NULL
+  // column without a default or auto-increment needs a generator.
+  for (const TableDisguise& td : tables_) {
+    if (td.placeholder.empty()) {
+      continue;
+    }
+    const db::TableSchema* ts = schema.FindTable(td.table);
+    for (const db::ColumnDef& col : ts->columns()) {
+      if (col.nullable || col.auto_increment || col.default_value.has_value()) {
+        continue;
+      }
+      bool covered = false;
+      for (const PlaceholderColumn& pc : td.placeholder) {
+        if (pc.column == col.name) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return InvalidArgument("placeholder recipe for \"" + td.table +
+                               "\" misses NOT NULL column \"" + col.name + "\"");
+      }
+    }
+  }
+
+  for (const Assertion& a : assertions_) {
+    const db::TableSchema* ts = schema.FindTable(a.table);
+    if (ts == nullptr) {
+      return InvalidArgument("assertion references unknown table \"" + a.table + "\"");
+    }
+    if (a.predicate == nullptr) {
+      return InvalidArgument("assertion without predicate on \"" + a.table + "\"");
+    }
+    std::vector<std::string> cols;
+    a.predicate->CollectColumns(&cols);
+    for (const std::string& c : cols) {
+      if (!ts->HasColumn(c)) {
+        return InvalidArgument("assertion references unknown column \"" + a.table + "." + c +
+                               "\"");
+      }
+    }
+  }
+
+  if (per_user_ && !uses_uid) {
+    return InvalidArgument("per-user disguise \"" + name_ +
+                           "\" never references $UID; mark it per_user: false");
+  }
+  return OkStatus();
+}
+
+std::string DisguiseSpec::ToText() const {
+  std::string out;
+  out += "disguise_name: \"" + name_ + "\"\n";
+  if (per_user_) {
+    out += "user_to_disguise: $UID\n";
+  }
+  out += StrFormat("reversible: %s\n", reversible_ ? "true" : "false");
+  for (const TableDisguise& td : tables_) {
+    out += "\ntable " + QuoteIdent(td.table) + ":\n";
+    if (!td.placeholder.empty()) {
+      out += "  generate_placeholder:\n";
+      for (const PlaceholderColumn& pc : td.placeholder) {
+        out += "    " + QuoteIdent(pc.column) + " <- " + pc.generator.ToText() + "\n";
+      }
+    }
+    if (!td.transformations.empty()) {
+      out += "  transformations:\n";
+      for (const Transformation& tr : td.transformations) {
+        out += "    " + tr.ToText() + "\n";
+      }
+    }
+  }
+  for (const Assertion& a : assertions_) {
+    out += "\nassert_empty " + QuoteIdent(a.table) + ": " + a.predicate->ToString() + "\n";
+  }
+  return out;
+}
+
+size_t DisguiseSpec::SpecLoc() const {
+  if (!source_text_.empty()) {
+    return CountEffectiveLines(source_text_);
+  }
+  return CountEffectiveLines(ToText());
+}
+
+}  // namespace edna::disguise

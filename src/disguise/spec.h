@@ -1,0 +1,163 @@
+// Disguise specifications: the structured privacy transformations of §4.1.
+//
+// A DisguiseSpec associates tables with predicated transformation operations
+// (the paper's three fundamentals: Remove, Modify, Decorrelate), declares how
+// to generate placeholder identities for decorrelation targets, and may carry
+// end-state assertions (§7's proposal) that the engine checks after applying.
+#ifndef SRC_DISGUISE_SPEC_H_
+#define SRC_DISGUISE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/schema.h"
+#include "src/disguise/generator.h"
+#include "src/sql/ast.h"
+
+namespace edna::disguise {
+
+// The parameter name conventionally bound to the disguising user's id.
+inline constexpr char kUidParam[] = "UID";
+
+enum class TransformKind {
+  kRemove,       // delete matching rows
+  kModify,       // rewrite one column of matching rows
+  kDecorrelate,  // repoint a foreign key of matching rows to a placeholder
+};
+
+const char* TransformKindName(TransformKind k);
+
+// A foreign key selector for Decorrelate: which column to repoint and which
+// table the placeholder identities live in.
+struct ForeignKeyRef {
+  std::string column;
+  std::string parent_table;
+};
+
+class Transformation {
+ public:
+  static Transformation Remove(sql::ExprPtr predicate);
+  static Transformation Modify(sql::ExprPtr predicate, std::string column, Generator gen);
+  static Transformation Decorrelate(sql::ExprPtr predicate, ForeignKeyRef fk);
+
+  Transformation(const Transformation& other);
+  Transformation& operator=(const Transformation& other);
+  Transformation(Transformation&&) = default;
+  Transformation& operator=(Transformation&&) = default;
+
+  TransformKind kind() const { return kind_; }
+  const sql::Expr* predicate() const { return predicate_.get(); }
+  const std::string& column() const { return column_; }
+  const Generator& generator() const { return generator_; }
+  const ForeignKeyRef& foreign_key() const { return fk_; }
+
+  // Spec-text rendering, e.g. Remove(pred: "contactId" = $UID).
+  std::string ToText() const;
+
+ private:
+  Transformation() = default;
+
+  TransformKind kind_ = TransformKind::kRemove;
+  sql::ExprPtr predicate_;
+  std::string column_;   // kModify
+  Generator generator_;  // kModify
+  ForeignKeyRef fk_;     // kDecorrelate
+};
+
+// Placeholder recipe for one column of a placeholder row.
+struct PlaceholderColumn {
+  std::string column;
+  Generator generator;
+};
+
+// All disguise operations targeting one table.
+struct TableDisguise {
+  std::string table;
+  // Non-empty iff this table hosts identities that decorrelation may target:
+  // recipes for synthesizing a fresh placeholder row.
+  std::vector<PlaceholderColumn> placeholder;
+  std::vector<Transformation> transformations;
+};
+
+// End-state assertion: after applying the disguise, `predicate` must match
+// zero rows of `table` (e.g. "user no longer has any reviews").
+struct Assertion {
+  std::string table;
+  sql::ExprPtr predicate;
+
+  Assertion() = default;
+  Assertion(std::string t, sql::ExprPtr p) : table(std::move(t)), predicate(std::move(p)) {}
+  Assertion(const Assertion& other)
+      : table(other.table),
+        predicate(other.predicate ? other.predicate->Clone() : nullptr) {}
+  Assertion& operator=(const Assertion& other) {
+    if (this != &other) {
+      table = other.table;
+      predicate = other.predicate ? other.predicate->Clone() : nullptr;
+    }
+    return *this;
+  }
+  Assertion(Assertion&&) = default;
+  Assertion& operator=(Assertion&&) = default;
+};
+
+class DisguiseSpec {
+ public:
+  DisguiseSpec() = default;
+  explicit DisguiseSpec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Reversible disguises write reveal records to vaults when applied.
+  bool reversible() const { return reversible_; }
+  void set_reversible(bool r) { reversible_ = r; }
+
+  // Per-user disguises bind $UID; global disguises (ConfAnon, decay) do not.
+  bool per_user() const { return per_user_; }
+  void set_per_user(bool p) { per_user_ = p; }
+
+  std::vector<TableDisguise>& tables() { return tables_; }
+  const std::vector<TableDisguise>& tables() const { return tables_; }
+  TableDisguise* FindTable(const std::string& name);
+  const TableDisguise* FindTable(const std::string& name) const;
+
+  std::vector<Assertion>& assertions() { return assertions_; }
+  const std::vector<Assertion>& assertions() const { return assertions_; }
+
+  // Source text, if this spec came from the parser (used for Figure 4 LoC).
+  const std::string& source_text() const { return source_text_; }
+  void set_source_text(std::string text) { source_text_ = std::move(text); }
+
+  // Validates the spec against an application schema:
+  //  * every table exists, every referenced column exists,
+  //  * Decorrelate foreign keys match a declared schema FK,
+  //  * placeholder recipes exist for every decorrelation target table and
+  //    cover all NOT NULL, non-auto-increment columns of it,
+  //  * per-user specs actually reference $UID somewhere.
+  Status Validate(const db::Schema& schema) const;
+
+  // Canonical spec-text rendering (parseable by ParseDisguiseSpec).
+  std::string ToText() const;
+
+  // The paper's "Disguise LoC" metric: effective lines of the source text
+  // (or of the canonical rendering when built programmatically).
+  size_t SpecLoc() const;
+
+  // Number of distinct tables the spec touches (transformations or
+  // placeholder recipes).
+  size_t NumObjectTypes() const { return tables_.size(); }
+
+ private:
+  std::string name_;
+  bool reversible_ = true;
+  bool per_user_ = true;
+  std::vector<TableDisguise> tables_;
+  std::vector<Assertion> assertions_;
+  std::string source_text_;
+};
+
+}  // namespace edna::disguise
+
+#endif  // SRC_DISGUISE_SPEC_H_

@@ -1,0 +1,324 @@
+#include "src/disguise/spec_parser.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/sql/parser.h"
+
+namespace edna::disguise {
+
+StatusOr<std::vector<std::string>> SplitTopLevel(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  char quote = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (quote != 0) {
+      current.push_back(c);
+      if (c == quote) {
+        // SQL doubles quotes to escape; treat '' / "" as staying quoted.
+        if (i + 1 < s.size() && s[i + 1] == quote) {
+          current.push_back(s[++i]);
+        } else {
+          quote = 0;
+        }
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"' || c == '`') {
+      quote = c;
+      current.push_back(c);
+      continue;
+    }
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+      if (depth < 0) {
+        return InvalidArgument("unbalanced ')' in: " + std::string(s));
+      }
+    } else if (c == sep && depth == 0) {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (depth != 0 || quote != 0) {
+    return InvalidArgument("unbalanced parentheses or quotes in: " + std::string(s));
+  }
+  out.push_back(current);
+  return out;
+}
+
+namespace {
+
+// Strips a trailing inline comment that begins with " #" or " --" outside
+// quotes. Leading-# lines are handled by the caller.
+std::string StripInlineComment(std::string_view line) {
+  char quote = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"' || c == '`') {
+      quote = c;
+      continue;
+    }
+    if (c == '#') {
+      return std::string(line.substr(0, i));
+    }
+    if (c == '-' && i + 1 < line.size() && line[i + 1] == '-') {
+      return std::string(line.substr(0, i));
+    }
+  }
+  return std::string(line);
+}
+
+// Unquotes "name" or 'name' or `name` (collapsing doubled quote escapes);
+// bare names pass through.
+std::string Unquote(std::string_view s) {
+  std::string_view t = StrTrim(s);
+  if (t.size() >= 2 && (t.front() == '"' || t.front() == '\'' || t.front() == '`') &&
+      t.back() == t.front()) {
+    char quote = t.front();
+    std::string_view body = t.substr(1, t.size() - 2);
+    std::string out;
+    out.reserve(body.size());
+    for (size_t i = 0; i < body.size(); ++i) {
+      out.push_back(body[i]);
+      if (body[i] == quote && i + 1 < body.size() && body[i + 1] == quote) {
+        ++i;  // collapse the doubled escape
+      }
+    }
+    return out;
+  }
+  return std::string(t);
+}
+
+// Parses `key: value` returning the trimmed pair.
+StatusOr<std::pair<std::string, std::string>> ParseKeyValue(std::string_view s) {
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    return InvalidArgument("expected 'key: value' in: " + std::string(s));
+  }
+  return std::make_pair(std::string(StrTrim(s.substr(0, colon))),
+                        std::string(StrTrim(s.substr(colon + 1))));
+}
+
+// Parses the body of a transformation call into a keyword map.
+StatusOr<std::map<std::string, std::string>> ParseCallArgs(std::string_view args) {
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitTopLevel(args, ','));
+  std::map<std::string, std::string> out;
+  for (const std::string& part : parts) {
+    if (StrTrim(part).empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(auto kv, ParseKeyValue(part));
+    if (!out.emplace(kv.first, kv.second).second) {
+      return InvalidArgument("duplicate argument \"" + kv.first + "\"");
+    }
+  }
+  return out;
+}
+
+StatusOr<Transformation> ParseTransformation(std::string_view line, size_t line_no) {
+  std::string_view t = StrTrim(line);
+  size_t open = t.find('(');
+  if (open == std::string_view::npos || t.back() != ')') {
+    return InvalidArgument(
+        StrFormat("line %zu: expected Kind(...) transformation", line_no));
+  }
+  std::string kind(StrTrim(t.substr(0, open)));
+  std::string_view body = t.substr(open + 1, t.size() - open - 2);
+  ASSIGN_OR_RETURN(auto args, ParseCallArgs(body));
+
+  auto take = [&](const char* key) -> StatusOr<std::string> {
+    auto it = args.find(key);
+    if (it == args.end()) {
+      return InvalidArgument(StrFormat("line %zu: %s requires '%s:'", line_no, kind.c_str(),
+                                       key));
+    }
+    std::string v = it->second;
+    args.erase(it);
+    return v;
+  };
+  auto no_extras = [&]() -> Status {
+    if (!args.empty()) {
+      return InvalidArgument(StrFormat("line %zu: unexpected argument '%s'", line_no,
+                                       args.begin()->first.c_str()));
+    }
+    return OkStatus();
+  };
+
+  if (EqualsIgnoreCase(kind, "Remove")) {
+    ASSIGN_OR_RETURN(std::string pred, take("pred"));
+    RETURN_IF_ERROR(no_extras());
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(pred));
+    return Transformation::Remove(std::move(e));
+  }
+  if (EqualsIgnoreCase(kind, "Modify")) {
+    ASSIGN_OR_RETURN(std::string pred, take("pred"));
+    ASSIGN_OR_RETURN(std::string column, take("column"));
+    ASSIGN_OR_RETURN(std::string value, take("value"));
+    RETURN_IF_ERROR(no_extras());
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(pred));
+    ASSIGN_OR_RETURN(Generator gen, Generator::Parse(value));
+    return Transformation::Modify(std::move(e), Unquote(column), std::move(gen));
+  }
+  if (EqualsIgnoreCase(kind, "Decorrelate")) {
+    ASSIGN_OR_RETURN(std::string pred, take("pred"));
+    ASSIGN_OR_RETURN(std::string fk_text, take("foreign_key"));
+    RETURN_IF_ERROR(no_extras());
+    ASSIGN_OR_RETURN(sql::ExprPtr e, sql::ParseExpression(pred));
+    std::string_view fk = StrTrim(fk_text);
+    if (fk.size() < 2 || fk.front() != '(' || fk.back() != ')') {
+      return InvalidArgument(
+          StrFormat("line %zu: foreign_key expects (\"column\", Table)", line_no));
+    }
+    ASSIGN_OR_RETURN(std::vector<std::string> fk_parts,
+                     SplitTopLevel(fk.substr(1, fk.size() - 2), ','));
+    if (fk_parts.size() != 2) {
+      return InvalidArgument(
+          StrFormat("line %zu: foreign_key expects (\"column\", Table)", line_no));
+    }
+    ForeignKeyRef ref;
+    ref.column = Unquote(fk_parts[0]);
+    ref.parent_table = Unquote(fk_parts[1]);
+    return Transformation::Decorrelate(std::move(e), std::move(ref));
+  }
+  return InvalidArgument(StrFormat("line %zu: unknown transformation '%s'", line_no,
+                                   kind.c_str()));
+}
+
+}  // namespace
+
+StatusOr<DisguiseSpec> ParseDisguiseSpec(std::string_view text) {
+  DisguiseSpec spec;
+  spec.set_source_text(std::string(text));
+  spec.set_per_user(false);  // flipped when user_to_disguise appears
+
+  enum class Section { kNone, kPlaceholder, kTransformations };
+  TableDisguise* current_table = nullptr;
+  Section section = Section::kNone;
+  bool saw_name = false;
+
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t line_no = i + 1;
+    std::string stripped = StripInlineComment(lines[i]);
+    std::string_view line = StrTrim(stripped);
+    if (line.empty()) {
+      continue;
+    }
+
+    // Top-level headers.
+    if (StartsWith(line, "disguise_name")) {
+      ASSIGN_OR_RETURN(auto kv, ParseKeyValue(line));
+      spec.set_name(Unquote(kv.second));
+      saw_name = true;
+      continue;
+    }
+    if (StartsWith(line, "user_to_disguise")) {
+      ASSIGN_OR_RETURN(auto kv, ParseKeyValue(line));
+      if (StrTrim(kv.second) != "$UID") {
+        return InvalidArgument(
+            StrFormat("line %zu: user_to_disguise must be $UID", line_no));
+      }
+      spec.set_per_user(true);
+      continue;
+    }
+    if (StartsWith(line, "reversible")) {
+      ASSIGN_OR_RETURN(auto kv, ParseKeyValue(line));
+      if (EqualsIgnoreCase(kv.second, "true")) {
+        spec.set_reversible(true);
+      } else if (EqualsIgnoreCase(kv.second, "false")) {
+        spec.set_reversible(false);
+      } else {
+        return InvalidArgument(StrFormat("line %zu: reversible must be true/false", line_no));
+      }
+      continue;
+    }
+    if (StartsWith(line, "assert_empty")) {
+      std::string_view rest = StrTrim(line.substr(strlen("assert_empty")));
+      size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) {
+        return InvalidArgument(
+            StrFormat("line %zu: expected 'assert_empty Table: predicate'", line_no));
+      }
+      std::string table = Unquote(rest.substr(0, colon));
+      ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression(rest.substr(colon + 1)));
+      spec.assertions().emplace_back(std::move(table), std::move(pred));
+      continue;
+    }
+    if (StartsWith(line, "table ")) {
+      std::string_view rest = StrTrim(line.substr(strlen("table ")));
+      if (rest.empty() || rest.back() != ':') {
+        return InvalidArgument(StrFormat("line %zu: expected 'table Name:'", line_no));
+      }
+      TableDisguise td;
+      td.table = Unquote(rest.substr(0, rest.size() - 1));
+      if (spec.FindTable(td.table) != nullptr) {
+        return InvalidArgument(
+            StrFormat("line %zu: table \"%s\" already declared", line_no, td.table.c_str()));
+      }
+      spec.tables().push_back(std::move(td));
+      current_table = &spec.tables().back();
+      section = Section::kNone;
+      continue;
+    }
+    if (StartsWith(line, "generate_placeholder")) {
+      if (current_table == nullptr) {
+        return InvalidArgument(
+            StrFormat("line %zu: generate_placeholder outside a table block", line_no));
+      }
+      section = Section::kPlaceholder;
+      continue;
+    }
+    if (StartsWith(line, "transformations")) {
+      if (current_table == nullptr) {
+        return InvalidArgument(
+            StrFormat("line %zu: transformations outside a table block", line_no));
+      }
+      section = Section::kTransformations;
+      continue;
+    }
+
+    // Section content.
+    switch (section) {
+      case Section::kPlaceholder: {
+        size_t arrow = line.find("<-");
+        if (arrow == std::string_view::npos) {
+          return InvalidArgument(
+              StrFormat("line %zu: expected '\"column\" <- Generator'", line_no));
+        }
+        PlaceholderColumn pc;
+        pc.column = Unquote(line.substr(0, arrow));
+        ASSIGN_OR_RETURN(pc.generator, Generator::Parse(line.substr(arrow + 2)));
+        current_table->placeholder.push_back(std::move(pc));
+        break;
+      }
+      case Section::kTransformations: {
+        ASSIGN_OR_RETURN(Transformation tr, ParseTransformation(line, line_no));
+        current_table->transformations.push_back(std::move(tr));
+        break;
+      }
+      case Section::kNone:
+        return InvalidArgument(
+            StrFormat("line %zu: unexpected content '%s'", line_no,
+                      std::string(line).c_str()));
+    }
+  }
+
+  if (!saw_name) {
+    return InvalidArgument("spec is missing disguise_name");
+  }
+  return spec;
+}
+
+}  // namespace edna::disguise

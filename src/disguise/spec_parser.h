@@ -1,0 +1,39 @@
+// Parser for the disguise specification text format (the concrete syntax of
+// the paper's Figure 3). Grammar, line-oriented:
+//
+//   disguise_name: "Name"
+//   user_to_disguise: $UID          (presence marks the spec per-user)
+//   reversible: true|false
+//
+//   table <TableName>:
+//     generate_placeholder:
+//       "<column>" <- <Generator>
+//     transformations:
+//       Remove(pred: <sql-predicate>)
+//       Modify(pred: <p>, column: "<col>", value: <Generator>)
+//       Decorrelate(pred: <p>, foreign_key: ("<col>", <ParentTable>))
+//
+//   assert_empty <TableName>: <sql-predicate>
+//
+// '#' and '--' start comments; indentation is not significant.
+#ifndef SRC_DISGUISE_SPEC_PARSER_H_
+#define SRC_DISGUISE_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/disguise/spec.h"
+
+namespace edna::disguise {
+
+// Parses a complete spec. The original text is retained in the returned
+// spec's source_text() for the Figure-4 LoC metric.
+StatusOr<DisguiseSpec> ParseDisguiseSpec(std::string_view text);
+
+// Splits `s` on `sep` at nesting depth zero (parentheses), honoring single-
+// and double-quoted regions. Exposed for tests.
+StatusOr<std::vector<std::string>> SplitTopLevel(std::string_view s, char sep);
+
+}  // namespace edna::disguise
+
+#endif  // SRC_DISGUISE_SPEC_PARSER_H_

@@ -1,0 +1,242 @@
+#include "src/sql/ast.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace edna::sql {
+
+namespace {
+// Renders an identifier with SQL doubling of embedded quotes, matching the
+// lexer's escape rule for quoted identifiers.
+std::string QuoteIdent(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 2);
+  out.push_back('"');
+  for (char ch : name) {
+    if (ch == '"') {
+      out.push_back('"');
+    }
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "NOT";
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kPlus:
+      return "+";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(std::string table, std::string column) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->table_ = std::move(table);
+  e->column_ = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Param(std::string name) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kParam;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->unary_op_ = op;
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->binary_op_ = op;
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr operand, bool negated) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kIsNull;
+  e->negated_ = negated;
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr needle, std::vector<ExprPtr> haystack, bool negated) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kIn;
+  e->negated_ = negated;
+  e->children_.push_back(std::move(needle));
+  for (ExprPtr& item : haystack) {
+    e->children_.push_back(std::move(item));
+  }
+  return e;
+}
+
+ExprPtr Expr::Between(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kBetween;
+  e->negated_ = negated;
+  e->children_.push_back(std::move(operand));
+  e->children_.push_back(std::move(lo));
+  e->children_.push_back(std::move(hi));
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr operand, ExprPtr pattern, bool negated) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->negated_ = negated;
+  e->children_.push_back(std::move(operand));
+  e->children_.push_back(std::move(pattern));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string function, std::vector<ExprPtr> args) {
+  ExprPtr e(new Expr());
+  e->kind_ = ExprKind::kCall;
+  e->column_ = std::move(function);
+  e->children_ = std::move(args);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.ToSqlString();
+    case ExprKind::kColumnRef: {
+      std::string out;
+      if (!table_.empty()) {
+        out += QuoteIdent(table_) + ".";
+      }
+      out += QuoteIdent(column_);
+      return out;
+    }
+    case ExprKind::kParam:
+      return "$" + column_;
+    case ExprKind::kUnary:
+      if (unary_op_ == UnaryOp::kNot) {
+        return std::string("NOT (") + children_[0]->ToString() + ")";
+      }
+      return std::string(UnaryOpName(unary_op_)) + "(" + children_[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children_[0]->ToString() + " " + BinaryOpName(binary_op_) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children_[0]->ToString() + (negated_ ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kIn: {
+      std::vector<std::string> items;
+      for (size_t i = 1; i < children_.size(); ++i) {
+        items.push_back(children_[i]->ToString());
+      }
+      return "(" + children_[0]->ToString() + (negated_ ? " NOT IN (" : " IN (") +
+             StrJoin(items, ", ") + "))";
+    }
+    case ExprKind::kBetween:
+      return "(" + children_[0]->ToString() + (negated_ ? " NOT BETWEEN " : " BETWEEN ") +
+             children_[1]->ToString() + " AND " + children_[2]->ToString() + ")";
+    case ExprKind::kLike:
+      return "(" + children_[0]->ToString() + (negated_ ? " NOT LIKE " : " LIKE ") +
+             children_[1]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::vector<std::string> args;
+      for (const ExprPtr& a : children_) {
+        args.push_back(a->ToString());
+      }
+      return column_ + "(" + StrJoin(args, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  ExprPtr e(new Expr());
+  e->kind_ = kind_;
+  e->literal_ = literal_;
+  e->table_ = table_;
+  e->column_ = column_;
+  e->unary_op_ = unary_op_;
+  e->binary_op_ = binary_op_;
+  e->negated_ = negated_;
+  e->children_.reserve(children_.size());
+  for (const ExprPtr& c : children_) {
+    e->children_.push_back(c->Clone());
+  }
+  return e;
+}
+
+bool Expr::ReferencesParam(const std::string& name) const {
+  if (kind_ == ExprKind::kParam && column_ == name) {
+    return true;
+  }
+  return std::any_of(children_.begin(), children_.end(),
+                     [&](const ExprPtr& c) { return c->ReferencesParam(name); });
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    if (std::find(out->begin(), out->end(), column_) == out->end()) {
+      out->push_back(column_);
+    }
+  }
+  for (const ExprPtr& c : children_) {
+    c->CollectColumns(out);
+  }
+}
+
+}  // namespace edna::sql

@@ -1,0 +1,114 @@
+// Expression AST produced by the parser and consumed by the evaluator.
+// Nodes are immutable after construction and owned through unique_ptr.
+#ifndef SRC_SQL_AST_H_
+#define SRC_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sql/value.h"
+
+namespace edna::sql {
+
+enum class ExprKind {
+  kLiteral,    // constant Value
+  kColumnRef,  // column (optionally table-qualified)
+  kParam,      // $NAME placeholder bound at evaluation time
+  kUnary,      // NOT x, -x, +x
+  kBinary,     // arithmetic / comparison / AND / OR / concat
+  kIsNull,     // x IS [NOT] NULL
+  kIn,         // x [NOT] IN (a, b, ...)
+  kBetween,    // x [NOT] BETWEEN lo AND hi
+  kLike,       // x [NOT] LIKE pattern
+  kCall,       // scalar function call: LOWER(x), COALESCE(a,b), ...
+};
+
+enum class UnaryOp { kNot, kNeg, kPlus };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kConcat,
+};
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(std::string table, std::string column);
+  static ExprPtr Param(std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr IsNull(ExprPtr operand, bool negated);
+  static ExprPtr In(ExprPtr needle, std::vector<ExprPtr> haystack, bool negated);
+  static ExprPtr Between(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated);
+  static ExprPtr Like(ExprPtr operand, ExprPtr pattern, bool negated);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+
+  ExprKind kind() const { return kind_; }
+
+  // kLiteral
+  const Value& literal() const { return literal_; }
+  // kColumnRef
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+  // kParam
+  const std::string& param_name() const { return column_; }
+  // kCall
+  const std::string& function() const { return column_; }
+  // kUnary / kBinary
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  // Children by role. For kUnary/kIsNull/kLike/kBetween/kIn the primary
+  // operand is children()[0]; for kBinary lhs/rhs are [0]/[1]; for kBetween
+  // lo/hi are [1]/[2]; for kLike the pattern is [1]; for kIn the list starts
+  // at [1]; for kCall all children are arguments.
+  const std::vector<ExprPtr>& children() const { return children_; }
+  bool negated() const { return negated_; }
+
+  // Re-renders the expression as parseable SQL text (used for spec
+  // round-tripping, logging, and the disguise log).
+  std::string ToString() const;
+
+  // Structural deep copy.
+  ExprPtr Clone() const;
+
+  // True if any subexpression references parameter `name`.
+  bool ReferencesParam(const std::string& name) const;
+
+  // Collects the distinct column names referenced (unqualified form).
+  void CollectColumns(std::vector<std::string>* out) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value literal_;
+  std::string table_;   // kColumnRef qualifier, may be empty
+  std::string column_;  // column / param / function name
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kEq;
+  bool negated_ = false;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_AST_H_

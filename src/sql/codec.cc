@@ -1,0 +1,157 @@
+#include "src/sql/codec.h"
+
+#include <cstring>
+
+namespace edna::sql {
+
+namespace {
+enum class Tag : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kBoolFalse = 3,
+  kBoolTrue = 4,
+  kString = 5,
+  kBlob = 6,
+};
+}  // namespace
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Bytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::String(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::Value(const class Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      U8(static_cast<uint8_t>(Tag::kNull));
+      break;
+    case ValueType::kInt:
+      U8(static_cast<uint8_t>(Tag::kInt));
+      I64(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      U8(static_cast<uint8_t>(Tag::kDouble));
+      F64(v.AsDouble());
+      break;
+    case ValueType::kBool:
+      U8(static_cast<uint8_t>(v.AsBool() ? Tag::kBoolTrue : Tag::kBoolFalse));
+      break;
+    case ValueType::kString:
+      U8(static_cast<uint8_t>(Tag::kString));
+      String(v.AsString());
+      break;
+    case ValueType::kBlob:
+      U8(static_cast<uint8_t>(Tag::kBlob));
+      U32(static_cast<uint32_t>(v.AsBlob().size()));
+      Bytes(v.AsBlob().data(), v.AsBlob().size());
+      break;
+  }
+}
+
+Status ByteReader::Need(size_t n) {
+  if (pos_ + n > buf_.size()) {
+    return InvalidArgument("vault payload truncated");
+  }
+  return OkStatus();
+}
+
+StatusOr<uint8_t> ByteReader::U8() {
+  RETURN_IF_ERROR(Need(1));
+  return buf_[pos_++];
+}
+
+StatusOr<uint32_t> ByteReader::U32() {
+  RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::U64() {
+  RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+StatusOr<int64_t> ByteReader::I64() {
+  ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ByteReader::F64() {
+  ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> ByteReader::String() {
+  ASSIGN_OR_RETURN(uint32_t len, U32());
+  RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+StatusOr<::edna::sql::Value> ByteReader::Value() {
+  ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kNull:
+      return Value::Null();
+    case Tag::kInt: {
+      ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int(v);
+    }
+    case Tag::kDouble: {
+      ASSIGN_OR_RETURN(double v, F64());
+      return Value::Double(v);
+    }
+    case Tag::kBoolFalse:
+      return Value::Bool(false);
+    case Tag::kBoolTrue:
+      return Value::Bool(true);
+    case Tag::kString: {
+      ASSIGN_OR_RETURN(std::string s, String());
+      return Value::String(std::move(s));
+    }
+    case Tag::kBlob: {
+      ASSIGN_OR_RETURN(uint32_t len, U32());
+      RETURN_IF_ERROR(Need(len));
+      std::vector<uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                             buf_.begin() + static_cast<long>(pos_ + len));
+      pos_ += len;
+      return Value::Blob(std::move(b));
+    }
+  }
+  return InvalidArgument("bad value tag in vault payload");
+}
+
+}  // namespace edna::sql

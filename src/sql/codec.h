@@ -1,0 +1,58 @@
+// Small binary codec for values and records that leave the process: vault
+// payloads (offline storage, third-party storage, encryption) and database
+// images serialize to a self-describing little-endian byte format.
+#ifndef SRC_SQL_CODEC_H_
+#define SRC_SQL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/value.h"
+
+namespace edna::sql {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Bytes(const uint8_t* data, size_t len);
+  void String(const std::string& s);
+  void Value(const class Value& v);
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  StatusOr<uint8_t> U8();
+  StatusOr<uint32_t> U32();
+  StatusOr<uint64_t> U64();
+  StatusOr<int64_t> I64();
+  StatusOr<double> F64();
+  StatusOr<std::string> String();
+  StatusOr<::edna::sql::Value> Value();
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_CODEC_H_

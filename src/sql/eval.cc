@@ -1,0 +1,488 @@
+#include "src/sql/eval.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace edna::sql {
+
+namespace {
+
+// Kleene truth value: FALSE / UNKNOWN / TRUE.
+enum class Truth { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+Truth TruthOf(const Value& v, Status* error) {
+  if (v.is_null()) {
+    return Truth::kUnknown;
+  }
+  if (v.is_bool()) {
+    return v.AsBool() ? Truth::kTrue : Truth::kFalse;
+  }
+  // Permit numeric truthiness (0 = false) to match common SQL dialects.
+  if (v.is_numeric()) {
+    return v.AsDouble() != 0.0 ? Truth::kTrue : Truth::kFalse;
+  }
+  *error = InvalidArgument("expected boolean, got " + v.ToSqlString());
+  return Truth::kUnknown;
+}
+
+Value TruthToValue(Truth t) {
+  switch (t) {
+    case Truth::kFalse:
+      return Value::Bool(false);
+    case Truth::kUnknown:
+      return Value::Null();
+    case Truth::kTrue:
+      return Value::Bool(true);
+  }
+  return Value::Null();
+}
+
+// Compares under SQL semantics; returns Null value if either side is NULL.
+// `op` is one of the six comparison BinaryOps.
+StatusOr<Value> CompareValues(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Value::Null();
+  }
+  // Cross-class comparisons (number vs string) are type errors, matching
+  // strict SQL modes; this catches schema/spec mistakes early.
+  bool a_num = a.is_numeric();
+  bool b_num = b.is_numeric();
+  if (a_num != b_num || (!a_num && a.type() != b.type())) {
+    return InvalidArgument(StrFormat("cannot compare %s with %s",
+                                     ValueTypeName(a.type()), ValueTypeName(b.type())));
+  }
+  int c = a.Compare(b);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      result = c == 0;
+      break;
+    case BinaryOp::kNe:
+      result = c != 0;
+      break;
+    case BinaryOp::kLt:
+      result = c < 0;
+      break;
+    case BinaryOp::kLe:
+      result = c <= 0;
+      break;
+    case BinaryOp::kGt:
+      result = c > 0;
+      break;
+    case BinaryOp::kGe:
+      result = c >= 0;
+      break;
+    default:
+      return Internal("CompareValues called with non-comparison op");
+  }
+  return Value::Bool(result);
+}
+
+StatusOr<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Value::Null();
+  }
+  // Integer-preserving paths.
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(x + y);
+      case BinaryOp::kSub:
+        return Value::Int(x - y);
+      case BinaryOp::kMul:
+        return Value::Int(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0) {
+          return InvalidArgument("division by zero");
+        }
+        return Value::Int(x / y);
+      case BinaryOp::kMod:
+        if (y == 0) {
+          return InvalidArgument("modulo by zero");
+        }
+        return Value::Int(x % y);
+      default:
+        break;
+    }
+  }
+  ASSIGN_OR_RETURN(double x, a.ToNumber());
+  ASSIGN_OR_RETURN(double y, b.ToNumber());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(x + y);
+    case BinaryOp::kSub:
+      return Value::Double(x - y);
+    case BinaryOp::kMul:
+      return Value::Double(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0) {
+        return InvalidArgument("division by zero");
+      }
+      return Value::Double(x / y);
+    case BinaryOp::kMod:
+      if (y == 0) {
+        return InvalidArgument("modulo by zero");
+      }
+      return Value::Double(std::fmod(x, y));
+    default:
+      return Internal("Arithmetic called with non-arithmetic op");
+  }
+}
+
+std::string Stringify(const Value& v) {
+  if (v.is_string()) {
+    return v.AsString();
+  }
+  if (v.is_null()) {
+    return "";
+  }
+  return v.ToSqlString();
+}
+
+StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& args) {
+  auto arity = [&](size_t want) -> Status {
+    if (args.size() != want) {
+      return InvalidArgument(
+          StrFormat("%s expects %zu argument(s), got %zu", name.c_str(), want, args.size()));
+    }
+    return OkStatus();
+  };
+
+  if (name == "LOWER") {
+    RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) {
+      return Value::Null();
+    }
+    return Value::String(AsciiLower(Stringify(args[0])));
+  }
+  if (name == "UPPER") {
+    RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) {
+      return Value::Null();
+    }
+    return Value::String(AsciiUpper(Stringify(args[0])));
+  }
+  if (name == "LENGTH") {
+    RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) {
+      return Value::Null();
+    }
+    if (args[0].is_blob()) {
+      return Value::Int(static_cast<int64_t>(args[0].AsBlob().size()));
+    }
+    return Value::Int(static_cast<int64_t>(Stringify(args[0]).size()));
+  }
+  if (name == "ABS") {
+    RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) {
+      return Value::Null();
+    }
+    if (args[0].is_int()) {
+      int64_t v = args[0].AsInt();
+      return Value::Int(v < 0 ? -v : v);
+    }
+    ASSIGN_OR_RETURN(double d, args[0].ToNumber());
+    return Value::Double(std::fabs(d));
+  }
+  if (name == "COALESCE") {
+    if (args.empty()) {
+      return InvalidArgument("COALESCE expects at least one argument");
+    }
+    for (const Value& a : args) {
+      if (!a.is_null()) {
+        return a;
+      }
+    }
+    return Value::Null();
+  }
+  if (name == "IFNULL") {
+    RETURN_IF_ERROR(arity(2));
+    return args[0].is_null() ? args[1] : args[0];
+  }
+  if (name == "SUBSTR" || name == "SUBSTRING") {
+    if (args.size() != 2 && args.size() != 3) {
+      return InvalidArgument("SUBSTR expects 2 or 3 arguments");
+    }
+    if (args[0].is_null() || args[1].is_null()) {
+      return Value::Null();
+    }
+    std::string s = Stringify(args[0]);
+    ASSIGN_OR_RETURN(double startd, args[1].ToNumber());
+    int64_t start = static_cast<int64_t>(startd);  // 1-based, SQL style
+    if (start < 1) {
+      start = 1;
+    }
+    size_t from = static_cast<size_t>(start - 1);
+    if (from >= s.size()) {
+      return Value::String("");
+    }
+    size_t len = s.size() - from;
+    if (args.size() == 3 && !args[2].is_null()) {
+      ASSIGN_OR_RETURN(double lend, args[2].ToNumber());
+      if (lend < 0) {
+        lend = 0;
+      }
+      len = std::min<size_t>(len, static_cast<size_t>(lend));
+    }
+    return Value::String(s.substr(from, len));
+  }
+  if (name == "REPLACE") {
+    RETURN_IF_ERROR(arity(3));
+    if (args[0].is_null()) {
+      return Value::Null();
+    }
+    return Value::String(
+        StrReplaceAll(Stringify(args[0]), Stringify(args[1]), Stringify(args[2])));
+  }
+  if (name == "CONCAT") {
+    std::string out;
+    for (const Value& a : args) {
+      if (!a.is_null()) {
+        out += Stringify(a);
+      }
+    }
+    return Value::String(std::move(out));
+  }
+  if (name == "MIN" || name == "MAX") {
+    // Scalar (non-aggregate) min/max over the argument list.
+    if (args.empty()) {
+      return InvalidArgument(name + " expects at least one argument");
+    }
+    Value best = args[0];
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i].is_null() || best.is_null()) {
+        return Value::Null();
+      }
+      int c = args[i].Compare(best);
+      if ((name == "MIN" && c < 0) || (name == "MAX" && c > 0)) {
+        best = args[i];
+      }
+    }
+    return best;
+  }
+  return InvalidArgument("unknown function: " + name);
+}
+
+class Evaluator {
+ public:
+  Evaluator(const ColumnResolver& columns, const ParamMap& params)
+      : columns_(columns), params_(params) {}
+
+  StatusOr<Value> Eval(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+        return e.literal();
+      case ExprKind::kColumnRef: {
+        if (!columns_) {
+          return InvalidArgument("expression references column \"" + e.column() +
+                                 "\" but no row context was provided");
+        }
+        return columns_(e.table(), e.column());
+      }
+      case ExprKind::kParam: {
+        auto it = params_.find(e.param_name());
+        if (it == params_.end()) {
+          return InvalidArgument("unbound parameter $" + e.param_name());
+        }
+        return it->second;
+      }
+      case ExprKind::kUnary: {
+        ASSIGN_OR_RETURN(Value v, Eval(*e.children()[0]));
+        switch (e.unary_op()) {
+          case UnaryOp::kNot: {
+            Status err = OkStatus();
+            Truth t = TruthOf(v, &err);
+            RETURN_IF_ERROR(err);
+            if (t == Truth::kUnknown) {
+              return Value::Null();
+            }
+            return Value::Bool(t == Truth::kFalse);
+          }
+          case UnaryOp::kNeg: {
+            if (v.is_null()) {
+              return Value::Null();
+            }
+            if (v.is_int()) {
+              return Value::Int(-v.AsInt());
+            }
+            ASSIGN_OR_RETURN(double d, v.ToNumber());
+            return Value::Double(-d);
+          }
+          case UnaryOp::kPlus: {
+            if (v.is_null()) {
+              return Value::Null();
+            }
+            RETURN_IF_ERROR(v.ToNumber().status());
+            return v;
+          }
+        }
+        return Internal("bad unary op");
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(e);
+      case ExprKind::kIsNull: {
+        ASSIGN_OR_RETURN(Value v, Eval(*e.children()[0]));
+        bool is_null = v.is_null();
+        return Value::Bool(e.negated() ? !is_null : is_null);
+      }
+      case ExprKind::kIn: {
+        ASSIGN_OR_RETURN(Value needle, Eval(*e.children()[0]));
+        if (needle.is_null()) {
+          return Value::Null();
+        }
+        bool saw_null = false;
+        for (size_t i = 1; i < e.children().size(); ++i) {
+          ASSIGN_OR_RETURN(Value item, Eval(*e.children()[i]));
+          if (item.is_null()) {
+            saw_null = true;
+            continue;
+          }
+          ASSIGN_OR_RETURN(Value eq, CompareValues(BinaryOp::kEq, needle, item));
+          if (!eq.is_null() && eq.AsBool()) {
+            return Value::Bool(!e.negated());
+          }
+        }
+        // SQL: x IN (..NULL..) is UNKNOWN when nothing matched but NULL seen.
+        if (saw_null) {
+          return Value::Null();
+        }
+        return Value::Bool(e.negated());
+      }
+      case ExprKind::kBetween: {
+        ASSIGN_OR_RETURN(Value v, Eval(*e.children()[0]));
+        ASSIGN_OR_RETURN(Value lo, Eval(*e.children()[1]));
+        ASSIGN_OR_RETURN(Value hi, Eval(*e.children()[2]));
+        ASSIGN_OR_RETURN(Value ge, CompareValues(BinaryOp::kGe, v, lo));
+        ASSIGN_OR_RETURN(Value le, CompareValues(BinaryOp::kLe, v, hi));
+        Status err = OkStatus();
+        Truth tg = TruthOf(ge, &err);
+        RETURN_IF_ERROR(err);
+        Truth tl = TruthOf(le, &err);
+        RETURN_IF_ERROR(err);
+        Truth both = std::min(tg, tl);  // Kleene AND
+        if (e.negated()) {
+          if (both == Truth::kUnknown) {
+            return Value::Null();
+          }
+          return Value::Bool(both == Truth::kFalse);
+        }
+        return TruthToValue(both);
+      }
+      case ExprKind::kLike: {
+        ASSIGN_OR_RETURN(Value v, Eval(*e.children()[0]));
+        ASSIGN_OR_RETURN(Value pat, Eval(*e.children()[1]));
+        if (v.is_null() || pat.is_null()) {
+          return Value::Null();
+        }
+        if (!v.is_string() || !pat.is_string()) {
+          return InvalidArgument("LIKE requires string operands");
+        }
+        bool m = LikeMatch(v.AsString(), pat.AsString());
+        return Value::Bool(e.negated() ? !m : m);
+      }
+      case ExprKind::kCall: {
+        std::vector<Value> args;
+        args.reserve(e.children().size());
+        for (const ExprPtr& c : e.children()) {
+          ASSIGN_OR_RETURN(Value v, Eval(*c));
+          args.push_back(std::move(v));
+        }
+        return CallFunction(e.function(), args);
+      }
+    }
+    return Internal("bad expression kind");
+  }
+
+ private:
+  StatusOr<Value> EvalBinary(const Expr& e) {
+    BinaryOp op = e.binary_op();
+    // Short-circuiting Kleene AND/OR.
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      ASSIGN_OR_RETURN(Value lv, Eval(*e.children()[0]));
+      Status err = OkStatus();
+      Truth lt = TruthOf(lv, &err);
+      RETURN_IF_ERROR(err);
+      if (op == BinaryOp::kAnd && lt == Truth::kFalse) {
+        return Value::Bool(false);
+      }
+      if (op == BinaryOp::kOr && lt == Truth::kTrue) {
+        return Value::Bool(true);
+      }
+      ASSIGN_OR_RETURN(Value rv, Eval(*e.children()[1]));
+      Truth rt = TruthOf(rv, &err);
+      RETURN_IF_ERROR(err);
+      Truth result = (op == BinaryOp::kAnd) ? std::min(lt, rt) : std::max(lt, rt);
+      return TruthToValue(result);
+    }
+
+    ASSIGN_OR_RETURN(Value a, Eval(*e.children()[0]));
+    ASSIGN_OR_RETURN(Value b, Eval(*e.children()[1]));
+    switch (op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        return Arithmetic(op, a, b);
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return CompareValues(op, a, b);
+      case BinaryOp::kConcat: {
+        if (a.is_null() || b.is_null()) {
+          return Value::Null();
+        }
+        return Value::String(Stringify(a) + Stringify(b));
+      }
+      default:
+        return Internal("bad binary op");
+    }
+  }
+
+  const ColumnResolver& columns_;
+  const ParamMap& params_;
+};
+
+}  // namespace
+
+StatusOr<Value> Evaluate(const Expr& expr, const ColumnResolver& columns,
+                         const ParamMap& params) {
+  Evaluator eval(columns, params);
+  return eval.Eval(expr);
+}
+
+StatusOr<bool> EvaluatePredicate(const Expr& expr, const ColumnResolver& columns,
+                                 const ParamMap& params) {
+  ASSIGN_OR_RETURN(Value v, Evaluate(expr, columns, params));
+  if (v.is_null()) {
+    return false;  // UNKNOWN filters out, as in SQL WHERE
+  }
+  Status err = OkStatus();
+  Truth t = TruthOf(v, &err);
+  RETURN_IF_ERROR(err);
+  return t == Truth::kTrue;
+}
+
+StatusOr<Value> EvaluateConstant(const Expr& expr, const ParamMap& params) {
+  return Evaluate(expr, ColumnResolver(), params);
+}
+
+bool IsConstantExpression(const Expr& expr) {
+  if (expr.kind() == ExprKind::kColumnRef) {
+    return false;
+  }
+  for (const ExprPtr& c : expr.children()) {
+    if (!IsConstantExpression(*c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace edna::sql

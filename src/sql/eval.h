@@ -1,0 +1,45 @@
+// Expression evaluation with SQL three-valued logic.
+//
+// Evaluation needs two bindings: a column resolver (supplied per row by the
+// relational engine) and a parameter map ($UID etc., supplied per disguise
+// invocation). NULL propagates through arithmetic and comparisons; AND/OR
+// follow Kleene logic; predicates treat NULL results as "not matched".
+#ifndef SRC_SQL_EVAL_H_
+#define SRC_SQL_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+#include "src/sql/value.h"
+
+namespace edna::sql {
+
+// Resolves an (optionally table-qualified) column reference to a value.
+using ColumnResolver =
+    std::function<StatusOr<Value>(const std::string& table, const std::string& column)>;
+
+// Named parameter bindings ($NAME -> value). Names are case-sensitive.
+using ParamMap = std::map<std::string, Value>;
+
+// Evaluates `expr` to a Value (which may be Null).
+StatusOr<Value> Evaluate(const Expr& expr, const ColumnResolver& columns,
+                         const ParamMap& params);
+
+// Evaluates `expr` as a predicate: NULL and FALSE are both "no match";
+// non-boolean non-null results are an error.
+StatusOr<bool> EvaluatePredicate(const Expr& expr, const ColumnResolver& columns,
+                                 const ParamMap& params);
+
+// Convenience: evaluates an expression with no column references (constants,
+// params, and functions only).
+StatusOr<Value> EvaluateConstant(const Expr& expr, const ParamMap& params);
+
+// True if the expression can be evaluated without resolving columns.
+bool IsConstantExpression(const Expr& expr);
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_EVAL_H_

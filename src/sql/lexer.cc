@@ -1,0 +1,351 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace edna::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "<end>";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kParameter:
+      return "parameter";
+    case TokenKind::kIntLiteral:
+      return "integer";
+    case TokenKind::kDoubleLiteral:
+      return "double";
+    case TokenKind::kStringLiteral:
+      return "string";
+    case TokenKind::kBlobLiteral:
+      return "blob";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kConcat:
+      return "||";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kIs:
+      return "IS";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kLike:
+      return "LIKE";
+    case TokenKind::kBetween:
+      return "BETWEEN";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+StatusOr<TokenKind> KeywordKind(std::string_view word) {
+  struct Entry {
+    const char* name;
+    TokenKind kind;
+  };
+  static const Entry kKeywords[] = {
+      {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},       {"is", TokenKind::kIs},
+      {"in", TokenKind::kIn},         {"like", TokenKind::kLike},
+      {"between", TokenKind::kBetween}, {"null", TokenKind::kNull},
+      {"true", TokenKind::kTrue},     {"false", TokenKind::kFalse},
+  };
+  for (const Entry& e : kKeywords) {
+    if (EqualsIgnoreCase(word, e.name)) {
+      return e.kind;
+    }
+  }
+  return NotFound("not a keyword");
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+
+    // Identifiers, keywords, and x'..' blob literals.
+    if (IsIdentStart(c)) {
+      // Blob literal: x'hex' / X'hex'.
+      if ((c == 'x' || c == 'X') && i + 1 < n && input[i + 1] == '\'') {
+        size_t j = i + 2;
+        while (j < n && input[j] != '\'') {
+          ++j;
+        }
+        if (j >= n) {
+          return InvalidArgument(StrFormat("unterminated blob literal at offset %zu", start));
+        }
+        std::string hex(input.substr(i + 2, j - i - 2));
+        std::vector<uint8_t> bytes;
+        if (!HexToBytes(hex, &bytes)) {
+          return InvalidArgument(StrFormat("bad blob literal at offset %zu", start));
+        }
+        push(TokenKind::kBlobLiteral, start, std::move(hex));
+        i = j + 1;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && IsIdentCont(input[j])) {
+        ++j;
+      }
+      std::string word(input.substr(i, j - i));
+      auto kw = KeywordKind(word);
+      if (kw.ok()) {
+        push(*kw, start);
+      } else {
+        push(TokenKind::kIdentifier, start, std::move(word));
+      }
+      i = j;
+      continue;
+    }
+
+    // Quoted identifiers: "col" or `col` (SQL / MySQL styles).
+    if (c == '"' || c == '`') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string name;
+      while (j < n) {
+        if (input[j] == quote) {
+          if (j + 1 < n && input[j + 1] == quote) {  // doubled quote escape
+            name.push_back(quote);
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        name.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return InvalidArgument(StrFormat("unterminated quoted identifier at offset %zu", start));
+      }
+      push(TokenKind::kIdentifier, start, std::move(name));
+      i = j + 1;
+      continue;
+    }
+
+    // Parameters: $NAME.
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && IsIdentCont(input[j])) {
+        ++j;
+      }
+      if (j == i + 1) {
+        return InvalidArgument(StrFormat("bare '$' at offset %zu", start));
+      }
+      push(TokenKind::kParameter, start, std::string(input.substr(i + 1, j - i - 1)));
+      i = j;
+      continue;
+    }
+
+    // Numeric literals.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j < n && input[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) {
+          ++k;
+        }
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+            ++j;
+          }
+        }
+      }
+      std::string text(input.substr(i, j - i));
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        errno = 0;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return InvalidArgument(StrFormat("integer literal out of range at offset %zu", start));
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // String literals with '' escaping.
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return InvalidArgument(StrFormat("unterminated string literal at offset %zu", start));
+      }
+      push(TokenKind::kStringLiteral, start, std::move(text));
+      i = j + 1;
+      continue;
+    }
+
+    // Operators / punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('<', '=')) {
+      push(TokenKind::kLe, start);
+      i += 2;
+    } else if (two('>', '=')) {
+      push(TokenKind::kGe, start);
+      i += 2;
+    } else if (two('<', '>')) {
+      push(TokenKind::kNe, start);
+      i += 2;
+    } else if (two('!', '=')) {
+      push(TokenKind::kNe, start);
+      i += 2;
+    } else if (two('=', '=')) {
+      push(TokenKind::kEq, start);
+      i += 2;
+    } else if (two('|', '|')) {
+      push(TokenKind::kConcat, start);
+      i += 2;
+    } else {
+      switch (c) {
+        case '(':
+          push(TokenKind::kLParen, start);
+          break;
+        case ')':
+          push(TokenKind::kRParen, start);
+          break;
+        case ',':
+          push(TokenKind::kComma, start);
+          break;
+        case '.':
+          push(TokenKind::kDot, start);
+          break;
+        case '+':
+          push(TokenKind::kPlus, start);
+          break;
+        case '-':
+          push(TokenKind::kMinus, start);
+          break;
+        case '*':
+          push(TokenKind::kStar, start);
+          break;
+        case '/':
+          push(TokenKind::kSlash, start);
+          break;
+        case '%':
+          push(TokenKind::kPercent, start);
+          break;
+        case '=':
+          push(TokenKind::kEq, start);
+          break;
+        case '<':
+          push(TokenKind::kLt, start);
+          break;
+        case '>':
+          push(TokenKind::kGt, start);
+          break;
+        default:
+          return InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, start));
+      }
+      ++i;
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return out;
+}
+
+}  // namespace edna::sql

@@ -1,0 +1,19 @@
+// Lexer for SQL scalar expressions (the WHERE-clause grammar used by
+// disguise predicates). One-shot: tokenizes a whole input string.
+#ifndef SRC_SQL_LEXER_H_
+#define SRC_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/token.h"
+
+namespace edna::sql {
+
+// Tokenizes `input`; the result always ends with a kEnd token on success.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_LEXER_H_

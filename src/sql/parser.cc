@@ -1,0 +1,296 @@
+#include "src/sql/parser.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/sql/lexer.h"
+
+namespace edna::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ExprPtr> Parse() {
+    ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return InvalidArgument(StrFormat("trailing input at offset %zu near '%s'",
+                                       Peek().offset, TokenKindName(Peek().kind)));
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Consume() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Consume();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind) {
+    if (!Match(kind)) {
+      return InvalidArgument(StrFormat("expected %s at offset %zu, found %s",
+                                       TokenKindName(kind), Peek().offset,
+                                       TokenKindName(Peek().kind)));
+    }
+    return OkStatus();
+  }
+
+  StatusOr<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Match(TokenKind::kOr)) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Match(TokenKind::kAnd)) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (Match(TokenKind::kNot)) {
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  StatusOr<ExprPtr> ParsePredicate() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseConcat());
+
+    // IS [NOT] NULL
+    if (Match(TokenKind::kIs)) {
+      bool negated = Match(TokenKind::kNot);
+      RETURN_IF_ERROR(Expect(TokenKind::kNull));
+      return Expr::IsNull(std::move(lhs), negated);
+    }
+
+    bool negated = false;
+    if (Peek().kind == TokenKind::kNot &&
+        (Peek(1).kind == TokenKind::kIn || Peek(1).kind == TokenKind::kBetween ||
+         Peek(1).kind == TokenKind::kLike)) {
+      Consume();
+      negated = true;
+    }
+
+    if (Match(TokenKind::kIn)) {
+      RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<ExprPtr> items;
+      if (Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          ASSIGN_OR_RETURN(ExprPtr item, ParseOr());
+          items.push_back(std::move(item));
+          if (!Match(TokenKind::kComma)) {
+            break;
+          }
+        }
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Expr::In(std::move(lhs), std::move(items), negated);
+    }
+
+    if (Match(TokenKind::kBetween)) {
+      ASSIGN_OR_RETURN(ExprPtr lo, ParseConcat());
+      RETURN_IF_ERROR(Expect(TokenKind::kAnd));
+      ASSIGN_OR_RETURN(ExprPtr hi, ParseConcat());
+      return Expr::Between(std::move(lhs), std::move(lo), std::move(hi), negated);
+    }
+
+    if (Match(TokenKind::kLike)) {
+      ASSIGN_OR_RETURN(ExprPtr pattern, ParseConcat());
+      return Expr::Like(std::move(lhs), std::move(pattern), negated);
+    }
+
+    if (negated) {
+      return InvalidArgument(StrFormat("dangling NOT at offset %zu", Peek().offset));
+    }
+
+    // Comparison operators.
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Consume();
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseConcat());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  StatusOr<ExprPtr> ParseConcat() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (Match(TokenKind::kConcat)) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::Binary(BinaryOp::kConcat, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      Consume();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      Consume();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (Match(TokenKind::kPlus)) {
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kPlus, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral: {
+        Token tok = Consume();
+        return Expr::Literal(Value::Int(tok.int_value));
+      }
+      case TokenKind::kDoubleLiteral: {
+        Token tok = Consume();
+        return Expr::Literal(Value::Double(tok.double_value));
+      }
+      case TokenKind::kStringLiteral: {
+        Token tok = Consume();
+        return Expr::Literal(Value::String(std::move(tok.text)));
+      }
+      case TokenKind::kBlobLiteral: {
+        Token tok = Consume();
+        std::vector<uint8_t> bytes;
+        HexToBytes(tok.text, &bytes);  // validated by lexer
+        return Expr::Literal(Value::Blob(std::move(bytes)));
+      }
+      case TokenKind::kNull:
+        Consume();
+        return Expr::Literal(Value::Null());
+      case TokenKind::kTrue:
+        Consume();
+        return Expr::Literal(Value::Bool(true));
+      case TokenKind::kFalse:
+        Consume();
+        return Expr::Literal(Value::Bool(false));
+      case TokenKind::kParameter: {
+        Token tok = Consume();
+        return Expr::Param(std::move(tok.text));
+      }
+      case TokenKind::kLParen: {
+        Consume();
+        ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        Token name = Consume();
+        // Function call?
+        if (Peek().kind == TokenKind::kLParen) {
+          Consume();
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(std::move(arg));
+              if (!Match(TokenKind::kComma)) {
+                break;
+              }
+            }
+          }
+          RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return Expr::Call(AsciiUpper(name.text), std::move(args));
+        }
+        // Qualified column: table.column.
+        if (Match(TokenKind::kDot)) {
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return InvalidArgument(
+                StrFormat("expected column name after '.' at offset %zu", Peek().offset));
+          }
+          Token col = Consume();
+          return Expr::ColumnRef(std::move(name.text), std::move(col.text));
+        }
+        return Expr::ColumnRef("", std::move(name.text));
+      }
+      default:
+        return InvalidArgument(StrFormat("unexpected %s at offset %zu",
+                                         TokenKindName(t.kind), t.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseExpression(std::string_view input) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace edna::sql

@@ -1,0 +1,33 @@
+// Recursive-descent / Pratt parser for SQL scalar expressions.
+//
+// Grammar (lowest to highest precedence):
+//   or_expr     := and_expr (OR and_expr)*
+//   and_expr    := not_expr (AND not_expr)*
+//   not_expr    := NOT not_expr | predicate
+//   predicate   := concat ( IS [NOT] NULL
+//                         | [NOT] IN '(' expr (',' expr)* ')'
+//                         | [NOT] BETWEEN concat AND concat
+//                         | [NOT] LIKE concat
+//                         | cmp_op concat )?
+//   concat      := additive ('||' additive)*
+//   additive    := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/'|'%') unary)*
+//   unary       := ('-'|'+') unary | primary
+//   primary     := literal | param | column | function '(' args ')' | '(' or_expr ')'
+//   column      := identifier ('.' identifier)?
+#ifndef SRC_SQL_PARSER_H_
+#define SRC_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+
+namespace edna::sql {
+
+// Parses a complete expression; trailing tokens are an error.
+StatusOr<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_PARSER_H_

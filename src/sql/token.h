@@ -1,0 +1,59 @@
+// Token model for the SQL-expression lexer.
+#ifndef SRC_SQL_TOKEN_H_
+#define SRC_SQL_TOKEN_H_
+
+#include <string>
+
+namespace edna::sql {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // column names; bare or "quoted" / `quoted`
+  kParameter,    // $NAME, e.g. $UID
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // 'text' with '' escaping
+  kBlobLiteral,    // x'hex'
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,        // = or ==
+  kNe,        // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,    // ||
+  // Keywords (case-insensitive).
+  kAnd,
+  kOr,
+  kNot,
+  kIs,
+  kIn,
+  kLike,
+  kBetween,
+  kNull,
+  kTrue,
+  kFalse,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/parameter name or literal spelling
+  int64_t int_value = 0;  // for kIntLiteral
+  double double_value = 0.0;
+  size_t offset = 0;      // byte offset in the source, for error messages
+};
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_TOKEN_H_

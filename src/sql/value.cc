@@ -1,0 +1,204 @@
+#include "src/sql/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "src/common/strings.h"
+
+namespace edna::sql {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBlob:
+      return "BLOB";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kBool;
+    case 4:
+      return ValueType::kString;
+    case 5:
+      return ValueType::kBlob;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  if (is_bool()) {
+    return std::get<bool>(data_) ? 1.0 : 0.0;
+  }
+  assert(is_double());
+  return std::get<double>(data_);
+}
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return std::get<bool>(data_);
+}
+
+const std::string& Value::AsString() const {
+  assert(is_string());
+  return std::get<std::string>(data_);
+}
+
+const std::vector<uint8_t>& Value::AsBlob() const {
+  assert(is_blob());
+  return std::get<std::vector<uint8_t>>(data_);
+}
+
+StatusOr<double> Value::ToNumber() const {
+  if (is_numeric()) {
+    return AsDouble();
+  }
+  return InvalidArgument(std::string("value is not numeric: ") + ToSqlString());
+}
+
+std::string Value::ToSqlString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%.17g", std::get<double>(data_));
+      // Make integral doubles visibly doubles.
+      if (s.find_first_of(".eEn") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "TRUE" : "FALSE";
+    case ValueType::kString:
+      return SqlQuote(std::get<std::string>(data_));
+    case ValueType::kBlob:
+      return "x'" + BytesToHex(std::get<std::vector<uint8_t>>(data_)) + "'";
+  }
+  return "?";
+}
+
+namespace {
+// Type class for the cross-type total order: NULL < numeric < string < blob.
+int TypeClass(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kString:
+      return 2;
+    case ValueType::kBlob:
+      return 3;
+  }
+  return 4;
+}
+
+template <typename T>
+int Cmp3(const T& a, const T& b) {
+  if (a < b) {
+    return -1;
+  }
+  if (b < a) {
+    return 1;
+  }
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ca = TypeClass(type());
+  int cb = TypeClass(other.type());
+  if (ca != cb) {
+    return ca < cb ? -1 : 1;
+  }
+  switch (ca) {
+    case 0:  // both NULL
+      return 0;
+    case 1: {  // numeric family: compare by value; exact int path when possible
+      if (is_int() && other.is_int()) {
+        return Cmp3(AsInt(), other.AsInt());
+      }
+      return Cmp3(AsDouble(), other.AsDouble());
+    }
+    case 2:
+      return Cmp3(AsString(), other.AsString());
+    case 3:
+      return Cmp3(AsBlob(), other.AsBlob());
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over a canonical byte rendering so Compare-equal values collide.
+  auto mix = [](uint64_t h, const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  };
+  uint64_t h = 0xcbf29ce484222325ULL;
+  int cls = TypeClass(type());
+  h = mix(h, &cls, sizeof(cls));
+  switch (cls) {
+    case 0:
+      break;
+    case 1: {
+      // Canonicalize numerics: integral values hash as int64, others as the
+      // double bit pattern. Guarantees Int(1), Bool(true), Double(1.0) agree.
+      double d = AsDouble();
+      if (std::floor(d) == d && std::abs(d) < 9.2e18) {
+        int64_t i = static_cast<int64_t>(d);
+        h = mix(h, &i, sizeof(i));
+      } else {
+        h = mix(h, &d, sizeof(d));
+      }
+      break;
+    }
+    case 2:
+      h = mix(h, AsString().data(), AsString().size());
+      break;
+    case 3:
+      h = mix(h, AsBlob().data(), AsBlob().size());
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToSqlString();
+}
+
+}  // namespace edna::sql

@@ -1,0 +1,100 @@
+// The dynamic value model shared by the SQL expression evaluator and the
+// relational engine. A Value is one of: NULL, 64-bit integer, double, bool,
+// string, or a byte blob. Semantics follow SQL conventions where they matter
+// (three-valued logic lives in the evaluator; comparisons here are total for
+// use in indexes, with NULL ordered first).
+#ifndef SRC_SQL_VALUE_H_
+#define SRC_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace edna::sql {
+
+enum class ValueType { kNull = 0, kInt, kDouble, kBool, kString, kBlob };
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Blob(std::vector<uint8_t> v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_blob() const { return type() == ValueType::kBlob; }
+  bool is_numeric() const { return is_int() || is_double() || is_bool(); }
+
+  // Accessors assert the type in debug builds.
+  int64_t AsInt() const;
+  double AsDouble() const;       // accepts int/double/bool
+  bool AsBool() const;
+  const std::string& AsString() const;
+  const std::vector<uint8_t>& AsBlob() const;
+
+  // Numeric coercion used by comparisons/arithmetic: int & bool widen to
+  // double. Error if not numeric.
+  StatusOr<double> ToNumber() const;
+
+  // SQL-literal rendering: NULL, 42, 3.5, TRUE, 'text', x'0aff'.
+  std::string ToSqlString() const;
+
+  // Total order over all values for index keys and deterministic sorting:
+  // NULL < numerics/bools (by numeric value; ties broken by type) < strings
+  // < blobs. Returns -1/0/+1.
+  int Compare(const Value& other) const;
+
+  // SQL equality ignoring the NULL question (NULL handling is the
+  // evaluator's job): 1 == 1.0, TRUE == 1.
+  bool SqlEquals(const Value& other) const { return Compare(other) == 0; }
+
+  // Exact structural equality (type-sensitive): Int(1) != Double(1.0).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Stable 64-bit hash consistent with Compare-equality for use in hash
+  // indexes (values that Compare equal hash equal).
+  uint64_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(std::vector<uint8_t> v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, bool, std::string,
+               std::vector<uint8_t>>
+      data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
+// Equality functor matching ValueHash (Compare-based).
+struct ValueSqlEq {
+  bool operator()(const Value& a, const Value& b) const { return a.SqlEquals(b); }
+};
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_VALUE_H_

@@ -1,0 +1,127 @@
+#include "src/vault/encrypted_vault.h"
+
+namespace edna::vault {
+
+EncryptedVault::EncryptedVault(std::vector<uint8_t> app_key, KeyProvider keys, Rng rng)
+    : app_key_(std::move(app_key)), keys_(std::move(keys)), rng_(rng) {}
+
+std::string EncryptedVault::RenderOwner(const sql::Value& uid) {
+  return uid.is_null() ? std::string() : uid.ToSqlString();
+}
+
+void EncryptedVault::RegisterUser(const sql::Value& uid, const std::string& fingerprint) {
+  fingerprints_[RenderOwner(uid)] = fingerprint;
+}
+
+const std::string* EncryptedVault::FindFingerprint(const sql::Value& uid) const {
+  auto it = fingerprints_.find(RenderOwner(uid));
+  return it == fingerprints_.end() ? nullptr : &it->second;
+}
+
+StatusOr<std::vector<uint8_t>> EncryptedVault::KeyFor(const sql::Value& uid) {
+  if (uid.is_null()) {
+    return app_key_;
+  }
+  if (!keys_) {
+    return PermissionDenied("no key provider configured");
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> key, keys_(uid));
+  // Verify against the registered fingerprint when one exists, so a wrong
+  // key fails loudly instead of producing a MAC error deep in a reveal.
+  const std::string* fp = FindFingerprint(uid);
+  if (fp != nullptr && crypto::KeyFingerprint(key) != *fp) {
+    return PermissionDenied("supplied key does not match registered fingerprint for " +
+                            uid.ToSqlString());
+  }
+  return key;
+}
+
+Status EncryptedVault::Store(const RevealRecord& record) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(record.user_id));
+  Entry e;
+  e.disguise_id = record.disguise_id;
+  e.user_id = record.user_id;
+  e.created = record.created;
+  crypto::ChaChaNonce nonce{};
+  std::vector<uint8_t> nbytes = rng_.NextBytes(nonce.size());
+  std::copy(nbytes.begin(), nbytes.end(), nonce.begin());
+  // Owner + disguise id are authenticated-but-visible metadata: the vault
+  // must route records without decrypting them.
+  std::string aad = RenderOwner(e.user_id) + "#" + std::to_string(e.disguise_id);
+  e.box = crypto::Seal(key, nonce, record.Serialize(), aad);
+  ++stats_.crypto_ops;
+  ++stats_.stores;
+  stats_.bytes_stored += e.box.ciphertext.size() + e.box.nonce.size() + e.box.mac.size();
+  entries_.push_back(std::move(e));
+  return OkStatus();
+}
+
+StatusOr<RevealRecord> EncryptedVault::OpenEntry(const Entry& e,
+                                                 const std::vector<uint8_t>& key) {
+  std::string aad = RenderOwner(e.user_id) + "#" + std::to_string(e.disguise_id);
+  ++stats_.crypto_ops;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> plain, crypto::Open(key, e.box, aad));
+  return RevealRecord::Deserialize(plain);
+}
+
+StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForUser(const sql::Value& uid) {
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  bool any = false;
+  std::vector<uint8_t> key;
+  for (const Entry& e : entries_) {
+    if (e.user_id.is_null() || uid.is_null() || !e.user_id.SqlEquals(uid)) {
+      continue;
+    }
+    if (!any) {
+      ASSIGN_OR_RETURN(key, KeyFor(uid));  // one approval per fetch, not per record
+      any = true;
+    }
+    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, key));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
+  }
+  return out;
+}
+
+StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForDisguise(uint64_t disguise_id) {
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  for (const Entry& e : entries_) {
+    if (e.disguise_id != disguise_id) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(e.user_id));
+    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, key));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
+  }
+  return out;
+}
+
+StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchGlobal() {
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  for (const Entry& e : entries_) {
+    if (!e.user_id.is_null()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, app_key_));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
+  }
+  return out;
+}
+
+Status EncryptedVault::Remove(uint64_t disguise_id) {
+  std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
+  return OkStatus();
+}
+
+StatusOr<size_t> EncryptedVault::ExpireBefore(TimePoint cutoff) {
+  size_t before = entries_.size();
+  std::erase_if(entries_, [&](const Entry& e) { return e.created < cutoff; });
+  return before - entries_.size();
+}
+
+}  // namespace edna::vault

@@ -1,0 +1,85 @@
+#include "src/vault/offline_vault.h"
+
+#include <chrono>
+
+namespace edna::vault {
+
+void OfflineVault::SimulateAccess() const {
+  if (access_delay_us_ == 0) {
+    return;
+  }
+  auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(access_delay_us_);
+  while (std::chrono::steady_clock::now() < until) {
+    // Busy-wait: models synchronous storage latency without descheduling
+    // noise skewing small benchmark intervals.
+  }
+}
+
+Status OfflineVault::Store(const RevealRecord& record) {
+  SimulateAccess();
+  Entry e;
+  e.disguise_id = record.disguise_id;
+  e.user_id = record.user_id;
+  e.created = record.created;
+  e.wire = record.Serialize();
+  stats_.bytes_stored += e.wire.size();
+  ++stats_.stores;
+  entries_.push_back(std::move(e));
+  return OkStatus();
+}
+
+StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForUser(const sql::Value& uid) {
+  SimulateAccess();
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  for (const Entry& e : entries_) {
+    if (!e.user_id.is_null() && e.user_id.SqlEquals(uid)) {
+      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
+      out.push_back(std::move(rec));
+      ++stats_.records_fetched;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForDisguise(uint64_t disguise_id) {
+  SimulateAccess();
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  for (const Entry& e : entries_) {
+    if (e.disguise_id == disguise_id) {
+      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
+      out.push_back(std::move(rec));
+      ++stats_.records_fetched;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<RevealRecord>> OfflineVault::FetchGlobal() {
+  SimulateAccess();
+  ++stats_.fetches;
+  std::vector<RevealRecord> out;
+  for (const Entry& e : entries_) {
+    if (e.user_id.is_null()) {
+      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
+      out.push_back(std::move(rec));
+      ++stats_.records_fetched;
+    }
+  }
+  return out;
+}
+
+Status OfflineVault::Remove(uint64_t disguise_id) {
+  SimulateAccess();
+  std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
+  return OkStatus();
+}
+
+StatusOr<size_t> OfflineVault::ExpireBefore(TimePoint cutoff) {
+  size_t before = entries_.size();
+  std::erase_if(entries_, [&](const Entry& e) { return e.created < cutoff; });
+  return before - entries_.size();
+}
+
+}  // namespace edna::vault

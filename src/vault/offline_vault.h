@@ -1,0 +1,48 @@
+// Offline vault: models the "vaults in offline storage" deployment of §4.2.
+// Records are held as serialized wire bytes (as they would sit in a file or
+// object store) and decoded on every fetch; an optional simulated access
+// latency models the extra cost of leaving the database process. This is a
+// SIMULATION of offline storage — see DESIGN.md, substitutions table.
+#ifndef SRC_VAULT_OFFLINE_VAULT_H_
+#define SRC_VAULT_OFFLINE_VAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vault/vault.h"
+
+namespace edna::vault {
+
+class OfflineVault : public Vault {
+ public:
+  // `access_delay_us`: simulated per-operation storage latency (0 = none).
+  explicit OfflineVault(uint64_t access_delay_us = 0)
+      : access_delay_us_(access_delay_us) {}
+
+  std::string ModelName() const override { return "offline"; }
+
+  Status Store(const RevealRecord& record) override;
+  StatusOr<std::vector<RevealRecord>> FetchForUser(const sql::Value& uid) override;
+  StatusOr<std::vector<RevealRecord>> FetchForDisguise(uint64_t disguise_id) override;
+  StatusOr<std::vector<RevealRecord>> FetchGlobal() override;
+  Status Remove(uint64_t disguise_id) override;
+  StatusOr<size_t> ExpireBefore(TimePoint cutoff) override;
+  size_t NumRecords() const override { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t disguise_id;
+    sql::Value user_id;
+    TimePoint created;
+    std::vector<uint8_t> wire;
+  };
+
+  void SimulateAccess() const;
+
+  uint64_t access_delay_us_;
+  std::vector<Entry> entries_;  // insertion (= time) order
+};
+
+}  // namespace edna::vault
+
+#endif  // SRC_VAULT_OFFLINE_VAULT_H_

@@ -1,0 +1,113 @@
+#include "src/vault/reveal_record.h"
+
+#include "src/sql/codec.h"
+
+namespace edna::vault {
+
+RevealOp RevealOp::RestoreRow(std::string table, db::RowId id, db::Row row) {
+  RevealOp op;
+  op.kind = Kind::kRestoreRow;
+  op.table = std::move(table);
+  op.row_id = id;
+  op.row = std::move(row);
+  return op;
+}
+
+RevealOp RevealOp::RestoreColumn(std::string table, db::RowId id, std::string column,
+                                 sql::Value old_value, sql::Value new_value) {
+  RevealOp op;
+  op.kind = Kind::kRestoreColumn;
+  op.table = std::move(table);
+  op.row_id = id;
+  op.column = std::move(column);
+  op.old_value = std::move(old_value);
+  op.new_value = std::move(new_value);
+  return op;
+}
+
+RevealOp RevealOp::DropPlaceholder(std::string table, db::RowId id) {
+  RevealOp op;
+  op.kind = Kind::kDropPlaceholder;
+  op.table = std::move(table);
+  op.row_id = id;
+  return op;
+}
+
+std::vector<uint8_t> RevealRecord::Serialize() const {
+  sql::ByteWriter w;
+  w.U64(disguise_id);
+  w.String(disguise_name);
+  w.Value(user_id);
+  w.I64(created);
+  w.U32(static_cast<uint32_t>(ops.size()));
+  for (const RevealOp& op : ops) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.String(op.table);
+    w.U64(op.row_id);
+    w.Value(op.owner);
+    switch (op.kind) {
+      case RevealOp::Kind::kRestoreRow:
+        w.U32(static_cast<uint32_t>(op.row.size()));
+        for (const sql::Value& v : op.row) {
+          w.Value(v);
+        }
+        break;
+      case RevealOp::Kind::kRestoreColumn:
+        w.String(op.column);
+        w.Value(op.old_value);
+        w.Value(op.new_value);
+        break;
+      case RevealOp::Kind::kDropPlaceholder:
+        break;
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<RevealRecord> RevealRecord::Deserialize(const std::vector<uint8_t>& wire) {
+  sql::ByteReader r(wire);
+  RevealRecord rec;
+  ASSIGN_OR_RETURN(rec.disguise_id, r.U64());
+  ASSIGN_OR_RETURN(rec.disguise_name, r.String());
+  ASSIGN_OR_RETURN(rec.user_id, r.Value());
+  ASSIGN_OR_RETURN(rec.created, r.I64());
+  ASSIGN_OR_RETURN(uint32_t num_ops, r.U32());
+  rec.ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    RevealOp op;
+    ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    if (kind < 1 || kind > 3) {
+      return InvalidArgument("bad reveal op kind");
+    }
+    op.kind = static_cast<RevealOp::Kind>(kind);
+    ASSIGN_OR_RETURN(op.table, r.String());
+    ASSIGN_OR_RETURN(op.row_id, r.U64());
+    ASSIGN_OR_RETURN(op.owner, r.Value());
+    switch (op.kind) {
+      case RevealOp::Kind::kRestoreRow: {
+        ASSIGN_OR_RETURN(uint32_t width, r.U32());
+        op.row.reserve(width);
+        for (uint32_t c = 0; c < width; ++c) {
+          ASSIGN_OR_RETURN(sql::Value v, r.Value());
+          op.row.push_back(std::move(v));
+        }
+        break;
+      }
+      case RevealOp::Kind::kRestoreColumn: {
+        ASSIGN_OR_RETURN(op.column, r.String());
+        ASSIGN_OR_RETURN(op.old_value, r.Value());
+        ASSIGN_OR_RETURN(op.new_value, r.Value());
+        break;
+      }
+      case RevealOp::Kind::kDropPlaceholder:
+        break;
+    }
+    rec.ops.push_back(std::move(op));
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgument("trailing bytes in reveal record");
+  }
+  return rec;
+}
+
+}  // namespace edna::vault

@@ -1,0 +1,66 @@
+// Reveal records: the "reveal functions" of §4.2, reified as data. When a
+// reversible disguise runs, the engine emits one RevealRecord per disguise
+// application; each record carries the exact inverse operations (in apply
+// order) needed to restore the pre-disguise state:
+//   * kRestoreRow      — re-insert a removed row,
+//   * kRestoreColumn   — put back an overwritten column value (undoes both
+//                        Modify and the FK rewrite of Decorrelate),
+//   * kDropPlaceholder — delete a placeholder identity the disguise created.
+// Reversal applies the ops in reverse order inside one transaction.
+#ifndef SRC_VAULT_REVEAL_RECORD_H_
+#define SRC_VAULT_REVEAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/db/row.h"
+#include "src/sql/value.h"
+
+namespace edna::vault {
+
+struct RevealOp {
+  enum class Kind : uint8_t {
+    kRestoreRow = 1,
+    kRestoreColumn = 2,
+    kDropPlaceholder = 3,
+  };
+
+  Kind kind = Kind::kRestoreRow;
+  std::string table;
+  db::RowId row_id = db::kInvalidRowId;
+  db::Row row;           // kRestoreRow: the full removed row
+  std::string column;    // kRestoreColumn
+  sql::Value old_value;  // kRestoreColumn: pre-disguise value
+  sql::Value new_value;  // kRestoreColumn: what the disguise wrote (lets the
+                         // composition path map placeholder -> original)
+  // The user this op's data belonged to, when attributable (decorrelation
+  // ops know the identity they detached). Global disguises shard their
+  // reveal records by this owner into per-user vault entries, so that
+  // composing a later per-user disguise only reads ONE user's vault — Edna's
+  // "per-user database tables" vault model. Null = unattributed.
+  sql::Value owner;
+
+  static RevealOp RestoreRow(std::string table, db::RowId id, db::Row row);
+  static RevealOp RestoreColumn(std::string table, db::RowId id, std::string column,
+                                sql::Value old_value, sql::Value new_value);
+  static RevealOp DropPlaceholder(std::string table, db::RowId id);
+};
+
+struct RevealRecord {
+  uint64_t disguise_id = 0;    // id in the persistent disguise log
+  std::string disguise_name;
+  sql::Value user_id;          // owner; Null for global (non-per-user) disguises
+  TimePoint created = 0;
+  std::vector<RevealOp> ops;   // in apply order
+
+  // Wire form for offline / encrypted vault backends.
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<RevealRecord> Deserialize(const std::vector<uint8_t>& wire);
+};
+
+}  // namespace edna::vault
+
+#endif  // SRC_VAULT_REVEAL_RECORD_H_

@@ -1,0 +1,113 @@
+#include "src/vault/table_vault.h"
+
+#include "src/sql/parser.h"
+
+namespace edna::vault {
+
+namespace {
+
+// Column order of the reserved table (kept in one place).
+constexpr size_t kColId = 0;
+constexpr size_t kColDisguiseId = 1;
+constexpr size_t kColUserId = 2;    // rendered text of the owner id; NULL = global
+constexpr size_t kColCreated = 3;
+constexpr size_t kColPayload = 4;
+
+db::TableSchema VaultSchema() {
+  db::TableSchema t(kVaultTableName);
+  t.AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+               .auto_increment = true})
+      .AddColumn({.name = "disguiseId", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "userId", .type = db::ColumnType::kString, .nullable = true})
+      .AddColumn({.name = "created", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "payload", .type = db::ColumnType::kBlob, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddIndex("disguiseId")
+      .AddIndex("userId");
+  return t;
+}
+
+// Owner ids are stored as their SQL rendering so one STRING column can hold
+// int or string user keys uniformly.
+sql::Value RenderUid(const sql::Value& uid) {
+  if (uid.is_null()) {
+    return sql::Value::Null();
+  }
+  return sql::Value::String(uid.ToSqlString());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TableVault>> TableVault::Create(db::Database* db) {
+  if (!db->HasTable(kVaultTableName)) {
+    RETURN_IF_ERROR(db->CreateTable(VaultSchema()));
+  }
+  return std::unique_ptr<TableVault>(new TableVault(db));
+}
+
+Status TableVault::Store(const RevealRecord& record) {
+  std::vector<uint8_t> wire = record.Serialize();
+  stats_.bytes_stored += wire.size();
+  ++stats_.stores;
+  db::Row row(5, sql::Value::Null());
+  row[kColId] = sql::Value::Null();  // auto-increment
+  row[kColDisguiseId] = sql::Value::Int(static_cast<int64_t>(record.disguise_id));
+  row[kColUserId] = RenderUid(record.user_id);
+  row[kColCreated] = sql::Value::Int(record.created);
+  row[kColPayload] = sql::Value::Blob(std::move(wire));
+  return db_->Insert(kVaultTableName, std::move(row)).status();
+}
+
+StatusOr<std::vector<RevealRecord>> TableVault::FetchWhere(const std::string& predicate,
+                                                           const sql::ParamMap& params) {
+  ++stats_.fetches;
+  ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression(predicate));
+  ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
+                   db_->Select(kVaultTableName, pred.get(), params));
+  std::vector<RevealRecord> out;
+  out.reserve(rows.size());
+  for (const db::RowRef& ref : rows) {
+    const sql::Value& payload = (*ref.row)[kColPayload];
+    ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(payload.AsBlob()));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
+  }
+  return out;
+}
+
+StatusOr<std::vector<RevealRecord>> TableVault::FetchForUser(const sql::Value& uid) {
+  sql::ParamMap params;
+  params.emplace("OWNER", RenderUid(uid));
+  return FetchWhere("\"userId\" = $OWNER", params);
+}
+
+StatusOr<std::vector<RevealRecord>> TableVault::FetchForDisguise(uint64_t disguise_id) {
+  sql::ParamMap params;
+  params.emplace("DID", sql::Value::Int(static_cast<int64_t>(disguise_id)));
+  return FetchWhere("\"disguiseId\" = $DID", params);
+}
+
+StatusOr<std::vector<RevealRecord>> TableVault::FetchGlobal() {
+  return FetchWhere("\"userId\" IS NULL", {});
+}
+
+Status TableVault::Remove(uint64_t disguise_id) {
+  ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"disguiseId\" = $DID"));
+  sql::ParamMap params;
+  params.emplace("DID", sql::Value::Int(static_cast<int64_t>(disguise_id)));
+  return db_->Delete(kVaultTableName, pred.get(), params).status();
+}
+
+StatusOr<size_t> TableVault::ExpireBefore(TimePoint cutoff) {
+  ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"created\" < $CUTOFF"));
+  sql::ParamMap params;
+  params.emplace("CUTOFF", sql::Value::Int(cutoff));
+  return db_->Delete(kVaultTableName, pred.get(), params);
+}
+
+size_t TableVault::NumRecords() const {
+  const db::Table* t = db_->FindTable(kVaultTableName);
+  return t == nullptr ? 0 : t->num_rows();
+}
+
+}  // namespace edna::vault

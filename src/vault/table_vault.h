@@ -1,0 +1,44 @@
+// Table vault: Edna's implementation — reveal records stored as rows of a
+// reserved table inside the application database itself. Cheapest to access
+// (same storage engine, same transaction), but the weakest deployment model:
+// disguised data survives in the application database, so it neither
+// protects against breaches nor satisfies GDPR (§4.2's discussion).
+#ifndef SRC_VAULT_TABLE_VAULT_H_
+#define SRC_VAULT_TABLE_VAULT_H_
+
+#include "src/db/database.h"
+#include "src/vault/vault.h"
+
+namespace edna::vault {
+
+// Name of the reserved table; application specs must not touch it.
+inline constexpr char kVaultTableName[] = "__edna_vault";
+
+class TableVault : public Vault {
+ public:
+  // Creates the reserved table in `db` if it does not exist. `db` must
+  // outlive the vault.
+  static StatusOr<std::unique_ptr<TableVault>> Create(db::Database* db);
+
+  std::string ModelName() const override { return "table"; }
+
+  Status Store(const RevealRecord& record) override;
+  StatusOr<std::vector<RevealRecord>> FetchForUser(const sql::Value& uid) override;
+  StatusOr<std::vector<RevealRecord>> FetchForDisguise(uint64_t disguise_id) override;
+  StatusOr<std::vector<RevealRecord>> FetchGlobal() override;
+  Status Remove(uint64_t disguise_id) override;
+  StatusOr<size_t> ExpireBefore(TimePoint cutoff) override;
+  size_t NumRecords() const override;
+
+ private:
+  explicit TableVault(db::Database* db) : db_(db) {}
+
+  StatusOr<std::vector<RevealRecord>> FetchWhere(const std::string& predicate,
+                                                 const sql::ParamMap& params);
+
+  db::Database* db_;
+};
+
+}  // namespace edna::vault
+
+#endif  // SRC_VAULT_TABLE_VAULT_H_

@@ -1,0 +1,92 @@
+// Two-tier vault: the multi-tier design sketched in §4.2. Reveal records of
+// global (non-user-invoked) disguises such as ConfAnon go to a first-tier
+// vault freely accessible to the disguising tool; records of user-invoked
+// disguises go to a second-tier per-user (typically encrypted) vault. This
+// keeps complete reversal of a global disguise feasible while keeping user
+// data under user-held keys.
+#ifndef SRC_VAULT_TWO_TIER_VAULT_H_
+#define SRC_VAULT_TWO_TIER_VAULT_H_
+
+#include <memory>
+
+#include "src/vault/vault.h"
+
+namespace edna::vault {
+
+class TwoTierVault : public Vault {
+ public:
+  // Takes ownership of both tiers.
+  TwoTierVault(std::unique_ptr<Vault> global_tier, std::unique_ptr<Vault> user_tier)
+      : global_tier_(std::move(global_tier)), user_tier_(std::move(user_tier)) {}
+
+  std::string ModelName() const override {
+    return "two-tier(" + global_tier_->ModelName() + "," + user_tier_->ModelName() + ")";
+  }
+
+  Status Store(const RevealRecord& record) override {
+    ++stats_.stores;
+    if (record.user_id.is_null()) {
+      return global_tier_->Store(record);
+    }
+    return user_tier_->Store(record);
+  }
+
+  StatusOr<std::vector<RevealRecord>> FetchForUser(const sql::Value& uid) override {
+    ++stats_.fetches;
+    return user_tier_->FetchForUser(uid);
+  }
+
+  StatusOr<std::vector<RevealRecord>> FetchForDisguise(uint64_t disguise_id) override {
+    ++stats_.fetches;
+    // A disguise application writes to exactly one tier; probe global first
+    // (cheap), then the user tier.
+    ASSIGN_OR_RETURN(std::vector<RevealRecord> global,
+                     global_tier_->FetchForDisguise(disguise_id));
+    if (!global.empty()) {
+      return global;
+    }
+    return user_tier_->FetchForDisguise(disguise_id);
+  }
+
+  StatusOr<std::vector<RevealRecord>> FetchGlobal() override {
+    ++stats_.fetches;
+    return global_tier_->FetchGlobal();
+  }
+
+  Status Remove(uint64_t disguise_id) override {
+    RETURN_IF_ERROR(global_tier_->Remove(disguise_id));
+    return user_tier_->Remove(disguise_id);
+  }
+
+  StatusOr<size_t> ExpireBefore(TimePoint cutoff) override {
+    ASSIGN_OR_RETURN(size_t a, global_tier_->ExpireBefore(cutoff));
+    ASSIGN_OR_RETURN(size_t b, user_tier_->ExpireBefore(cutoff));
+    return a + b;
+  }
+
+  size_t NumRecords() const override {
+    return global_tier_->NumRecords() + user_tier_->NumRecords();
+  }
+
+  VaultStats CombinedStats() const override {
+    VaultStats out = stats_;
+    for (const Vault* tier : {global_tier_.get(), user_tier_.get()}) {
+      VaultStats s = tier->CombinedStats();
+      out.records_fetched += s.records_fetched;
+      out.bytes_stored += s.bytes_stored;
+      out.crypto_ops += s.crypto_ops;
+    }
+    return out;
+  }
+
+  Vault* global_tier() { return global_tier_.get(); }
+  Vault* user_tier() { return user_tier_.get(); }
+
+ private:
+  std::unique_ptr<Vault> global_tier_;
+  std::unique_ptr<Vault> user_tier_;
+};
+
+}  // namespace edna::vault
+
+#endif  // SRC_VAULT_TWO_TIER_VAULT_H_

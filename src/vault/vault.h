@@ -1,0 +1,70 @@
+// Vault interface (§4.2): a storage location, not accessible to application
+// queries, holding the reveal records of applied disguises. Deployment
+// models differ in where records live and who can read them; all implement
+// this interface so the disguise engine is backend-agnostic.
+#ifndef SRC_VAULT_VAULT_H_
+#define SRC_VAULT_VAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/vault/reveal_record.h"
+
+namespace edna::vault {
+
+// Access-cost accounting so the vault-model ablation can compare backends.
+struct VaultStats {
+  uint64_t stores = 0;
+  uint64_t fetches = 0;
+  uint64_t records_fetched = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t crypto_ops = 0;  // seal/open operations (encrypted backends)
+
+  void Reset() { *this = VaultStats{}; }
+};
+
+class Vault {
+ public:
+  virtual ~Vault() = default;
+
+  // Human-readable deployment model name ("table", "offline", ...).
+  virtual std::string ModelName() const = 0;
+
+  // Persists one reveal record.
+  virtual Status Store(const RevealRecord& record) = 0;
+
+  // All records owned by `uid` (per-user disguises), oldest first.
+  virtual StatusOr<std::vector<RevealRecord>> FetchForUser(const sql::Value& uid) = 0;
+
+  // All records of one disguise application.
+  virtual StatusOr<std::vector<RevealRecord>> FetchForDisguise(uint64_t disguise_id) = 0;
+
+  // All global (ownerless) records, oldest first.
+  virtual StatusOr<std::vector<RevealRecord>> FetchGlobal() = 0;
+
+  // Drops the records of a disguise (after permanent reveal).
+  virtual Status Remove(uint64_t disguise_id) = 0;
+
+  // Drops every record created before `cutoff`: entries "configured to
+  // expire after some time, making the corresponding disguises irreversible".
+  // Returns the number of records dropped.
+  virtual StatusOr<size_t> ExpireBefore(TimePoint cutoff) = 0;
+
+  virtual size_t NumRecords() const = 0;
+
+  VaultStats& stats() { return stats_; }
+  const VaultStats& stats() const { return stats_; }
+
+  // Aggregated view for composite vaults (default: own stats).
+  virtual VaultStats CombinedStats() const { return stats_; }
+
+ protected:
+  VaultStats stats_;
+};
+
+}  // namespace edna::vault
+
+#endif  // SRC_VAULT_VAULT_H_

@@ -1,0 +1,151 @@
+// Sanity tests for the synthetic workload generators: schemas have the
+// Figure-4 object-type counts, generated data matches the configured sizes,
+// respects referential integrity, and is deterministic in the seed.
+#include <gtest/gtest.h>
+
+#include "src/apps/hotcrp/generator.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/lobsters/generator.h"
+#include "src/apps/lobsters/schema.h"
+#include "src/sql/parser.h"
+
+namespace edna {
+namespace {
+
+TEST(HotCrpSchemaTest, TwentyFiveObjectTypes) {
+  db::Schema schema = hotcrp::BuildSchema();
+  EXPECT_EQ(schema.num_tables(), 25u);
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(hotcrp::ObjectTypes().size(), 25u);
+  // The §3/Figure-2 tables exist with the expected key columns.
+  const db::TableSchema* reviews = schema.FindTable("PaperReview");
+  ASSERT_NE(reviews, nullptr);
+  EXPECT_TRUE(reviews->HasColumn("contactId"));
+  ASSERT_NE(reviews->FindForeignKey("contactId"), nullptr);
+  EXPECT_EQ(reviews->FindForeignKey("contactId")->parent_table, "ContactInfo");
+}
+
+TEST(LobstersSchemaTest, NineteenObjectTypes) {
+  db::Schema schema = lobsters::BuildSchema();
+  EXPECT_EQ(schema.num_tables(), 19u);
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(lobsters::ObjectTypes().size(), 19u);
+}
+
+TEST(HotCrpGeneratorTest, PaperSizesAtDefaultConfig) {
+  db::Database db;
+  hotcrp::Config config;  // the paper's 430/30/450/1400
+  auto gen = hotcrp::Populate(&db, config);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  EXPECT_EQ(gen->all_contact_ids.size(), 430u);
+  EXPECT_EQ(gen->pc_contact_ids.size(), 30u);
+  EXPECT_EQ(gen->paper_ids.size(), 450u);
+  EXPECT_EQ(gen->review_ids.size(), 1400u);
+  EXPECT_EQ(db.FindTable("ContactInfo")->num_rows(), 430u);
+  EXPECT_EQ(db.FindTable("Paper")->num_rows(), 450u);
+  EXPECT_EQ(db.FindTable("PaperReview")->num_rows(), 1400u);
+  // Every table is populated (nothing is a dead schema).
+  for (const db::TableSchema& ts : db.schema().tables()) {
+    EXPECT_GT(db.FindTable(ts.name())->num_rows(), 0u) << ts.name();
+  }
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+TEST(HotCrpGeneratorTest, ReviewsComeFromPcMembers) {
+  db::Database db;
+  hotcrp::Config config;
+  config.num_users = 50;
+  config.num_pc = 5;
+  config.num_papers = 30;
+  config.num_reviews = 80;
+  auto gen = hotcrp::Populate(&db, config);
+  ASSERT_TRUE(gen.ok());
+  auto pred = sql::ParseExpression("\"roles\" = 1");  // kRolePc
+  auto pc = db.Count("ContactInfo", pred->get(), {});
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(*pc, 5u);
+  // Each review's contact is a PC member.
+  auto rows = db.Select("PaperReview", nullptr, {});
+  ASSERT_TRUE(rows.ok());
+  const db::TableSchema* ts = db.schema().FindTable("PaperReview");
+  int idx = ts->ColumnIndex("contactId");
+  for (const db::RowRef& ref : *rows) {
+    int64_t reviewer = (*ref.row)[static_cast<size_t>(idx)].AsInt();
+    EXPECT_TRUE(std::find(gen->pc_contact_ids.begin(), gen->pc_contact_ids.end(),
+                          reviewer) != gen->pc_contact_ids.end());
+  }
+}
+
+TEST(HotCrpGeneratorTest, DeterministicInSeed) {
+  auto dump = [](uint64_t seed) {
+    db::Database db;
+    hotcrp::Config config;
+    config.num_users = 30;
+    config.num_pc = 4;
+    config.num_papers = 15;
+    config.num_reviews = 40;
+    config.seed = seed;
+    EXPECT_TRUE(hotcrp::Populate(&db, config).ok());
+    std::string out;
+    db.FindTable("ContactInfo")->Scan([&out](db::RowId id, const db::Row& row) {
+      out += std::to_string(id) + db::RowToString(row);
+    });
+    return out;
+  };
+  EXPECT_EQ(dump(1), dump(1));
+  EXPECT_NE(dump(1), dump(2));
+}
+
+TEST(HotCrpGeneratorTest, ScaledConfigScalesProportionally) {
+  hotcrp::Config config;
+  hotcrp::Config half = config.Scaled(0.5);
+  EXPECT_EQ(half.num_users, 215u);
+  EXPECT_EQ(half.num_papers, 225u);
+  EXPECT_EQ(half.num_reviews, 700u);
+  hotcrp::Config tiny = config.Scaled(0.0001);
+  EXPECT_GE(tiny.num_users, 1u);  // never degenerates to zero
+  EXPECT_LE(tiny.num_pc, tiny.num_users);
+}
+
+TEST(LobstersGeneratorTest, SizesAndIntegrity) {
+  db::Database db;
+  lobsters::Config config;
+  config.num_users = 60;
+  config.num_stories = 100;
+  config.num_comments = 250;
+  config.num_votes = 400;
+  config.num_messages = 50;
+  auto gen = lobsters::Populate(&db, config);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  EXPECT_EQ(db.FindTable("users")->num_rows(), 60u);
+  EXPECT_EQ(db.FindTable("stories")->num_rows(), 100u);
+  EXPECT_EQ(db.FindTable("comments")->num_rows(), 250u);
+  EXPECT_EQ(db.FindTable("votes")->num_rows(), 400u);
+  for (const db::TableSchema& ts : db.schema().tables()) {
+    EXPECT_GT(db.FindTable(ts.name())->num_rows(), 0u) << ts.name();
+  }
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+TEST(LobstersGeneratorTest, VotesReferenceExactlyOneTarget) {
+  db::Database db;
+  lobsters::Config config;
+  config.num_users = 30;
+  config.num_stories = 40;
+  config.num_comments = 80;
+  config.num_votes = 150;
+  ASSERT_TRUE(lobsters::Populate(&db, config).ok());
+  auto rows = db.Select("votes", nullptr, {});
+  ASSERT_TRUE(rows.ok());
+  const db::TableSchema* ts = db.schema().FindTable("votes");
+  int sidx = ts->ColumnIndex("story_id");
+  int cidx = ts->ColumnIndex("comment_id");
+  for (const db::RowRef& ref : *rows) {
+    bool on_story = !(*ref.row)[static_cast<size_t>(sidx)].is_null();
+    bool on_comment = !(*ref.row)[static_cast<size_t>(cidx)].is_null();
+    EXPECT_NE(on_story, on_comment);  // exactly one
+  }
+}
+
+}  // namespace
+}  // namespace edna

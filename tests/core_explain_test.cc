@@ -1,0 +1,128 @@
+// Tests for Explain: the read-only consequence report of a disguise.
+#include <gtest/gtest.h>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/generator.h"
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+namespace edna::core {
+namespace {
+
+using sql::Value;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hotcrp::Config config;
+    config.num_users = 60;
+    config.num_pc = 8;
+    config.num_papers = 40;
+    config.num_reviews = 120;
+    auto generated = hotcrp::Populate(&db_, config);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+    gen_ = *generated;
+    engine_ = std::make_unique<DisguiseEngine>(&db_, &vault_, &clock_);
+    ASSERT_TRUE(engine_->RegisterSpec(*hotcrp::GdprPlusSpec()).ok());
+    ASSERT_TRUE(engine_->RegisterSpec(*hotcrp::ConfAnonSpec()).ok());
+  }
+
+  size_t CountReviews(int64_t uid) {
+    auto pred = sql::ParseExpression("\"contactId\" = " + std::to_string(uid));
+    return *db_.Count("PaperReview", pred->get(), {});
+  }
+
+  db::Database db_;
+  hotcrp::Generated gen_;
+  vault::OfflineVault vault_;
+  SimulatedClock clock_{0};
+  std::unique_ptr<DisguiseEngine> engine_;
+};
+
+TEST_F(ExplainTest, ReportsMatchActualApply) {
+  int64_t uid = gen_.pc_contact_ids[1];
+  auto report = engine_->Explain(hotcrp::kGdprPlusName, {{disguise::kUidParam,
+                                                          Value::Int(uid)}});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->would_compose);
+  EXPECT_GT(report->total_rows_affected, 0u);
+  EXPECT_GT(report->placeholders_to_create, 0u);
+
+  auto applied = engine_->ApplyForUser(hotcrp::kGdprPlusName, Value::Int(uid));
+  ASSERT_TRUE(applied.ok());
+  // The dry run predicted exactly the placeholders the apply created.
+  EXPECT_EQ(report->placeholders_to_create, applied->placeholders_created);
+}
+
+TEST_F(ExplainTest, MutatesNothing) {
+  int64_t uid = gen_.pc_contact_ids[1];
+  size_t reviews = CountReviews(uid);
+  size_t total = db_.TotalRows();
+  auto report = engine_->Explain(hotcrp::kGdprPlusName, {{disguise::kUidParam,
+                                                          Value::Int(uid)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(CountReviews(uid), reviews);
+  EXPECT_EQ(db_.TotalRows(), total);
+  EXPECT_EQ(engine_->log().size(), 0u);
+  EXPECT_EQ(vault_.NumRecords(), 0u);
+}
+
+TEST_F(ExplainTest, DetectsCompositionInvolvement) {
+  int64_t uid = gen_.pc_contact_ids[1];
+  ASSERT_TRUE(engine_->Apply(hotcrp::kConfAnonName, {}).ok());
+  auto report = engine_->Explain(hotcrp::kGdprPlusName, {{disguise::kUidParam,
+                                                          Value::Int(uid)}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->would_compose);
+  EXPECT_GT(report->prior_records_involved, 0u);
+  // ConfAnon decorrelated everything, so the per-user predicates now match
+  // nothing directly.
+  for (const ExplainEntry& e : report->entries) {
+    if (e.table == "PaperReview" && e.kind == disguise::TransformKind::kDecorrelate) {
+      EXPECT_EQ(e.matching_rows, 0u);
+    }
+  }
+}
+
+TEST_F(ExplainTest, CountsFkClosureOfRemoves) {
+  // Removing the user's reviews cascades into ReviewRating.
+  int64_t uid = gen_.pc_contact_ids[1];
+  auto spec = disguise::ParseDisguiseSpec(R"(
+disguise_name: "JustReviews"
+user_to_disguise: $UID
+table PaperReview:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(engine_->RegisterSpec(*std::move(spec)).ok());
+  auto report = engine_->Explain("JustReviews", {{disguise::kUidParam, Value::Int(uid)}});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->entries.size(), 1u);
+  EXPECT_GT(report->entries[0].matching_rows, 0u);
+  // Some of this PC member's reviews should carry ratings.
+  EXPECT_GT(report->entries[0].cascaded_rows, 0u);
+}
+
+TEST_F(ExplainTest, ErrorsMatchApply) {
+  EXPECT_EQ(engine_->Explain("NoSuch", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_->Explain(hotcrp::kGdprPlusName, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainTest, ToStringRendersAllEntries) {
+  int64_t uid = gen_.pc_contact_ids[1];
+  auto report = engine_->Explain(hotcrp::kGdprPlusName, {{disguise::kUidParam,
+                                                          Value::Int(uid)}});
+  ASSERT_TRUE(report.ok());
+  std::string s = report->ToString();
+  EXPECT_NE(s.find("PaperReview"), std::string::npos);
+  EXPECT_NE(s.find("Decorrelate"), std::string::npos);
+  EXPECT_NE(s.find("placeholder"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edna::core

@@ -1,0 +1,249 @@
+// Tests for the PolicyScheduler: expiration of inactive users and staged
+// data decay (§2), including reversibility of expiration on user return.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/core/scheduler.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+namespace edna::core {
+namespace {
+
+using sql::Value;
+
+constexpr char kExpireSpec[] = R"(
+disguise_name: "Expire"
+user_to_disguise: $UID
+reversible: true
+table users:
+  transformations:
+    Modify(pred: "id" = $UID, column: "email", value: Const(NULL))
+    Modify(pred: "id" = $UID, column: "name", value: Hash)
+)";
+
+constexpr char kDecayStage1[] = R"(
+disguise_name: "Decay1"
+user_to_disguise: $UID
+reversible: true
+table users:
+  transformations:
+    Modify(pred: "id" = $UID, column: "email", value: Hash)
+)";
+
+constexpr char kDecayStage2[] = R"(
+disguise_name: "Decay2"
+user_to_disguise: $UID
+reversible: true
+table users:
+  transformations:
+    Modify(pred: "id" = $UID, column: "email", value: Const(NULL))
+    Modify(pred: "id" = $UID, column: "name", value: Redact)
+)";
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::TableSchema users("users");
+    users
+        .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                    .auto_increment = true})
+        .AddColumn({.name = "name", .type = db::ColumnType::kString, .nullable = false})
+        .AddColumn({.name = "email", .type = db::ColumnType::kString, .nullable = true})
+        .AddColumn({.name = "lastLogin", .type = db::ColumnType::kInt, .nullable = false})
+        .AddColumn({.name = "createdAt", .type = db::ColumnType::kInt, .nullable = false})
+        .SetPrimaryKey({"id"});
+    ASSERT_TRUE(db_.CreateTable(std::move(users)).ok());
+
+    engine_ = std::make_unique<DisguiseEngine>(&db_, &vault_, &clock_);
+    for (const char* text : {kExpireSpec, kDecayStage1, kDecayStage2}) {
+      auto spec = disguise::ParseDisguiseSpec(text);
+      ASSERT_TRUE(spec.ok()) << spec.status();
+      ASSERT_TRUE(engine_->RegisterSpec(*std::move(spec)).ok());
+    }
+    scheduler_ = std::make_unique<PolicyScheduler>(engine_.get(), &clock_);
+
+    AddUser("Bea", "bea@x", /*last_login=*/0, /*created=*/0);
+    AddUser("Axl", "axl@x", /*last_login=*/900 * kDay, /*created=*/0);
+  }
+
+  void AddUser(const std::string& name, const std::string& email, TimePoint last_login,
+               TimePoint created) {
+    ASSERT_TRUE(db_.InsertValues("users", {{"name", Value::String(name)},
+                                           {"email", Value::String(email)},
+                                           {"lastLogin", Value::Int(last_login)},
+                                           {"createdAt", Value::Int(created)}})
+                    .ok());
+  }
+
+  UserTimeSource SourceFromColumn(const std::string& column) {
+    return [this, column]() -> StatusOr<std::vector<UserTime>> {
+      std::vector<UserTime> out;
+      auto rows = db_.Select("users", nullptr, {});
+      RETURN_IF_ERROR(rows.status());
+      const db::TableSchema* schema = db_.schema().FindTable("users");
+      int id_idx = schema->ColumnIndex("id");
+      int col_idx = schema->ColumnIndex(column);
+      for (const db::RowRef& ref : *rows) {
+        out.push_back(UserTime{(*ref.row)[static_cast<size_t>(id_idx)],
+                               (*ref.row)[static_cast<size_t>(col_idx)].AsInt()});
+      }
+      return out;
+    };
+  }
+
+  std::string Email(int64_t uid) {
+    auto v = db_.GetColumn("users", static_cast<db::RowId>(uid), "email");
+    EXPECT_TRUE(v.ok());
+    return v->is_null() ? "<null>" : v->AsString();
+  }
+
+  db::Database db_;
+  vault::OfflineVault vault_;
+  SimulatedClock clock_{0};
+  std::unique_ptr<DisguiseEngine> engine_;
+  std::unique_ptr<PolicyScheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, ExpirationFiresOnlyAfterThreshold) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(100 * kDay);
+  auto r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expirations_applied, 0u);
+
+  clock_.Set(400 * kDay);  // Bea (lastLogin 0) is now inactive; Axl is not
+  r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->expirations_applied, 1u);
+  EXPECT_EQ(Email(1), "<null>");
+  EXPECT_EQ(Email(2), "axl@x");
+}
+
+TEST_F(SchedulerTest, ExpirationIsIdempotentPerUser) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(400 * kDay);
+  ASSERT_TRUE(scheduler_->Tick().ok());
+  auto again = scheduler_->Tick();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->expirations_applied, 0u);
+  EXPECT_EQ(engine_->log().size(), 1u);
+}
+
+TEST_F(SchedulerTest, ExpirationIsReversibleOnReturn) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(400 * kDay);
+  auto r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->disguise_ids.size(), 1u);
+
+  // Bea returns: the application reveals and re-arms the policy.
+  ASSERT_TRUE(engine_->Reveal(r->disguise_ids[0]).ok());
+  EXPECT_EQ(Email(1), "bea@x");
+  scheduler_->ResetUser(Value::Int(1));
+  // She is still inactive by timestamp, so the next tick re-expires her.
+  auto r2 = scheduler_->Tick();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->expirations_applied, 1u);
+}
+
+TEST_F(SchedulerTest, DecayAppliesStagesInOrder) {
+  ASSERT_TRUE(scheduler_
+                  ->AddDecayPolicy({.name = "decay",
+                                    .stages = {{.age = 365 * kDay, .spec_name = "Decay1"},
+                                               {.age = 730 * kDay, .spec_name = "Decay2"}},
+                                    .created_at = SourceFromColumn("createdAt")})
+                  .ok());
+  clock_.Set(400 * kDay);
+  auto r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decay_stages_applied, 2u);  // both users hit stage 1
+  EXPECT_NE(Email(1), "bea@x");            // hashed
+  EXPECT_NE(Email(1), "<null>");
+
+  clock_.Set(800 * kDay);
+  r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decay_stages_applied, 2u);  // stage 2 for both
+  EXPECT_EQ(Email(1), "<null>");
+  // Four disguises in the log: two users x two stages.
+  EXPECT_EQ(engine_->log().size(), 4u);
+}
+
+TEST_F(SchedulerTest, DecayCatchesUpAcrossMultipleStages) {
+  ASSERT_TRUE(scheduler_
+                  ->AddDecayPolicy({.name = "decay",
+                                    .stages = {{.age = 365 * kDay, .spec_name = "Decay1"},
+                                               {.age = 730 * kDay, .spec_name = "Decay2"}},
+                                    .created_at = SourceFromColumn("createdAt")})
+                  .ok());
+  clock_.Set(1000 * kDay);  // both stages due at once
+  auto r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decay_stages_applied, 4u);
+  EXPECT_EQ(Email(1), "<null>");
+}
+
+TEST_F(SchedulerTest, PolicyValidation) {
+  EXPECT_FALSE(scheduler_
+                   ->AddExpirationPolicy({.name = "bad",
+                                          .spec_name = "NoSuch",
+                                          .inactivity = kDay,
+                                          .last_active = SourceFromColumn("lastLogin")})
+                   .ok());
+  EXPECT_FALSE(scheduler_
+                   ->AddExpirationPolicy({.name = "bad",
+                                          .spec_name = "Expire",
+                                          .inactivity = 0,
+                                          .last_active = SourceFromColumn("lastLogin")})
+                   .ok());
+  EXPECT_FALSE(scheduler_
+                   ->AddExpirationPolicy(
+                       {.name = "bad", .spec_name = "Expire", .inactivity = kDay})
+                   .ok());
+  EXPECT_FALSE(scheduler_->AddDecayPolicy({.name = "bad", .stages = {}}).ok());
+  EXPECT_FALSE(scheduler_
+                   ->AddDecayPolicy({.name = "bad",
+                                     .stages = {{.age = 10, .spec_name = "Decay1"},
+                                                {.age = 5, .spec_name = "Decay2"}},
+                                     .created_at = SourceFromColumn("createdAt")})
+                   .ok());
+}
+
+TEST_F(SchedulerTest, ExpiredDisguisesBecomeIrreversibleViaVaultExpiry) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(400 * kDay);
+  auto r = scheduler_->Tick();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->disguise_ids.size(), 1u);
+  // Vault entries themselves expire after a retention window (§4.2).
+  clock_.Advance(5 * 365 * kDay);
+  ASSERT_TRUE(vault_.ExpireBefore(clock_.Now() - 2 * 365 * kDay).ok());
+  EXPECT_EQ(engine_->Reveal(r->disguise_ids[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace edna::core

@@ -1,0 +1,331 @@
+// Unit tests for the crypto substrate, including published test vectors:
+// SHA-256 (FIPS 180-4), HMAC-SHA-256 (RFC 4231), ChaCha20 (RFC 8439),
+// plus AEAD round-trips and Shamir secret sharing properties.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/key.h"
+#include "src/crypto/secret_share.h"
+#include "src/crypto/sha256.h"
+
+namespace edna::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST vectors) --------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  std::string msg(64, 'a');
+  EXPECT_EQ(DigestToHex(Sha256::Hash(msg)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) {
+    h.Update(std::string(1, c));
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(msg));
+}
+
+// --- HMAC-SHA-256 (RFC 4231) ----------------------------------------------------
+
+std::vector<uint8_t> HexKey(const std::string& hex) {
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(HexToBytes(hex, &out));
+  return out;
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  EXPECT_EQ(BytesToHex(HmacSha256(key, "Hi There").data(), 32),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  std::vector<uint8_t> key = {'J', 'e', 'f', 'e'};
+  EXPECT_EQ(BytesToHex(HmacSha256(key, "what do ya want for nothing?").data(), 32),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::vector<uint8_t> data(50, 0xdd);
+  EXPECT_EQ(BytesToHex(HmacSha256(key, data).data(), 32),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::vector<uint8_t> key(131, 0xaa);  // key longer than block: hashed first
+  EXPECT_EQ(BytesToHex(
+                HmacSha256(key, "Test Using Larger Than Block-Size Key - Hash Key First")
+                    .data(),
+                32),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, ConstantTimeCompare) {
+  Sha256Digest a = Sha256::Hash("x");
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEqualConstantTime(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqualConstantTime(a, b));
+}
+
+TEST(HmacTest, DeriveKeyIsDeterministicAndLabelSeparated) {
+  std::vector<uint8_t> master(32, 0x42);
+  auto k1 = DeriveKey(master, "enc", 32);
+  auto k2 = DeriveKey(master, "enc", 32);
+  auto k3 = DeriveKey(master, "mac", 32);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(DeriveKey(master, "x", 100).size(), 100u);  // multi-round expand
+}
+
+// --- ChaCha20 (RFC 8439 §2.4.2 test vector) -----------------------------------
+
+TEST(ChaCha20Test, Rfc8439KeystreamVector) {
+  ChaChaKey key{};
+  for (int i = 0; i < 32; ++i) {
+    key[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  }
+  ChaChaNonce nonce{};
+  nonce[3] = 0x00;
+  nonce[7] = 0x4a;
+  // RFC nonce: 00:00:00:00 00:00:00:4a 00:00:00:00
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<uint8_t> data(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, nonce, 1, &data);
+  EXPECT_EQ(BytesToHex(data.data(), 16), "6e2e359a2568f98041ba0728dd0d6981");
+  EXPECT_EQ(data.size(), plaintext.size());
+  // Decrypt = re-encrypt.
+  ChaCha20Xor(key, nonce, 1, &data);
+  EXPECT_EQ(std::string(data.begin(), data.end()), plaintext);
+}
+
+TEST(ChaCha20Test, KeystreamDependsOnCounterAndNonce) {
+  ChaChaKey key{};
+  ChaChaNonce n1{};
+  ChaChaNonce n2{};
+  n2[0] = 1;
+  EXPECT_NE(ChaCha20Keystream(key, n1, 0, 64), ChaCha20Keystream(key, n2, 0, 64));
+  EXPECT_NE(ChaCha20Keystream(key, n1, 0, 64), ChaCha20Keystream(key, n1, 1, 64));
+}
+
+TEST(ChaCha20Test, PartialBlockLengths) {
+  ChaChaKey key{};
+  ChaChaNonce nonce{};
+  for (size_t len : {0u, 1u, 63u, 64u, 65u, 130u}) {
+    std::vector<uint8_t> data(len, 0xab);
+    std::vector<uint8_t> orig = data;
+    ChaCha20Xor(key, nonce, 7, &data);
+    ChaCha20Xor(key, nonce, 7, &data);
+    EXPECT_EQ(data, orig) << len;
+  }
+}
+
+// --- AEAD ---------------------------------------------------------------------
+
+TEST(AeadTest, SealOpenRoundTrip) {
+  std::vector<uint8_t> key(32, 0x11);
+  ChaChaNonce nonce{};
+  nonce[0] = 9;
+  std::vector<uint8_t> plaintext{1, 2, 3, 4, 5};
+  SealedBox box = Seal(key, nonce, plaintext, "meta");
+  auto opened = Open(key, box, "meta");
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AeadTest, WrongKeyFails) {
+  std::vector<uint8_t> key(32, 0x11);
+  std::vector<uint8_t> other(32, 0x22);
+  SealedBox box = Seal(key, {}, {1, 2, 3}, "");
+  EXPECT_EQ(Open(other, box, "").status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(AeadTest, TamperedCiphertextFails) {
+  std::vector<uint8_t> key(32, 0x11);
+  SealedBox box = Seal(key, {}, {1, 2, 3}, "aad");
+  box.ciphertext[1] ^= 0x80;
+  EXPECT_FALSE(Open(key, box, "aad").ok());
+}
+
+TEST(AeadTest, WrongAadFails) {
+  std::vector<uint8_t> key(32, 0x11);
+  SealedBox box = Seal(key, {}, {1, 2, 3}, "user19");
+  EXPECT_FALSE(Open(key, box, "user20").ok());
+}
+
+TEST(AeadTest, CiphertextDiffersFromPlaintext) {
+  std::vector<uint8_t> key(32, 0x11);
+  std::vector<uint8_t> plaintext(100, 0x00);
+  SealedBox box = Seal(key, {}, plaintext, "");
+  EXPECT_NE(box.ciphertext, plaintext);
+}
+
+TEST(AeadTest, SerializeRoundTrip) {
+  std::vector<uint8_t> key(32, 0x33);
+  ChaChaNonce nonce{};
+  nonce[5] = 7;
+  SealedBox box = Seal(key, nonce, {9, 8, 7}, "x");
+  auto wire = box.Serialize();
+  auto back = SealedBox::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  auto opened = Open(key, *back, "x");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_FALSE(SealedBox::Deserialize({1, 2, 3}).ok());  // too short
+}
+
+// --- GF(256) & Shamir -----------------------------------------------------------
+
+TEST(Gf256Test, MulBasics) {
+  EXPECT_EQ(Gf256Mul(0, 77), 0);
+  EXPECT_EQ(Gf256Mul(1, 77), 77);
+  EXPECT_EQ(Gf256Mul(2, 0x80), 0x1b);  // reduction case
+  // Commutativity spot check.
+  for (int a = 1; a < 20; ++a) {
+    for (int b = 1; b < 20; ++b) {
+      EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                Gf256Mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, InverseIsInverse) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(Gf256Mul(static_cast<uint8_t>(a), Gf256Inv(static_cast<uint8_t>(a))), 1)
+        << a;
+  }
+}
+
+TEST(SecretShareTest, SplitCombineRoundTrip) {
+  Rng rng(1);
+  std::vector<uint8_t> secret = rng.NextBytes(32);
+  auto shares = SplitSecret(secret, 3, 5, &rng);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), 5u);
+
+  // Any 3 of 5 reconstruct.
+  auto combined = CombineShares({(*shares)[0], (*shares)[2], (*shares)[4]});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, secret);
+  // All 5 also work.
+  combined = CombineShares(*shares);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, secret);
+}
+
+TEST(SecretShareTest, BelowThresholdRevealsNothing) {
+  Rng rng(2);
+  std::vector<uint8_t> secret = rng.NextBytes(16);
+  auto shares = SplitSecret(secret, 3, 5, &rng);
+  ASSERT_TRUE(shares.ok());
+  auto combined = CombineShares({(*shares)[0], (*shares)[1]});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NE(*combined, secret);  // wrong with overwhelming probability
+}
+
+TEST(SecretShareTest, ParameterValidation) {
+  Rng rng(3);
+  std::vector<uint8_t> secret{1, 2, 3};
+  EXPECT_FALSE(SplitSecret(secret, 0, 3, &rng).ok());
+  EXPECT_FALSE(SplitSecret(secret, 4, 3, &rng).ok());
+  EXPECT_FALSE(SplitSecret({}, 2, 3, &rng).ok());
+  EXPECT_FALSE(CombineShares({}).ok());
+
+  auto shares = SplitSecret(secret, 2, 3, &rng);
+  ASSERT_TRUE(shares.ok());
+  // Duplicate share index rejected.
+  EXPECT_FALSE(CombineShares({(*shares)[0], (*shares)[0]}).ok());
+  // Inconsistent lengths rejected.
+  SecretShare bad = (*shares)[1];
+  bad.y.pop_back();
+  EXPECT_FALSE(CombineShares({(*shares)[0], bad}).ok());
+}
+
+TEST(SecretShareTest, ThresholdOneIsPlainCopyAtEveryShare) {
+  Rng rng(4);
+  std::vector<uint8_t> secret{9, 9, 9};
+  auto shares = SplitSecret(secret, 1, 3, &rng);
+  ASSERT_TRUE(shares.ok());
+  for (const SecretShare& s : *shares) {
+    auto combined = CombineShares({s});
+    ASSERT_TRUE(combined.ok());
+    EXPECT_EQ(*combined, secret);
+  }
+}
+
+// --- Vault keys & escrow ---------------------------------------------------------
+
+TEST(KeyTest, GenerateAndFingerprint) {
+  Rng rng(5);
+  VaultKey key = GenerateVaultKey(&rng);
+  EXPECT_EQ(key.key.size(), kVaultKeySize);
+  EXPECT_EQ(key.fingerprint, KeyFingerprint(key.key));
+  EXPECT_EQ(key.fingerprint.size(), 64u);
+}
+
+TEST(KeyTest, EscrowAnyTwoOfThreeRecovers) {
+  Rng rng(6);
+  VaultKey key = GenerateVaultKey(&rng);
+  auto escrow = EscrowKey(key, &rng);
+  ASSERT_TRUE(escrow.ok());
+
+  for (auto [a, b] : {std::pair{&escrow->user_share, &escrow->app_share},
+                      std::pair{&escrow->user_share, &escrow->escrow_share},
+                      std::pair{&escrow->app_share, &escrow->escrow_share}}) {
+    auto recovered = RecoverKey(*a, *b, key.fingerprint);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_EQ(recovered->key, key.key);
+  }
+}
+
+TEST(KeyTest, EscrowRecoveryVerifiesFingerprint) {
+  Rng rng(7);
+  VaultKey key = GenerateVaultKey(&rng);
+  VaultKey other = GenerateVaultKey(&rng);
+  auto escrow = EscrowKey(key, &rng);
+  ASSERT_TRUE(escrow.ok());
+  EXPECT_EQ(RecoverKey(escrow->user_share, escrow->app_share, other.fingerprint)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace edna::crypto

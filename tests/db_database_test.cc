@@ -1,0 +1,369 @@
+// Unit tests for Database: DDL, predicate DML, referential integrity
+// (RESTRICT / CASCADE / SET NULL), transactions, statistics, snapshots.
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "src/sql/parser.h"
+
+namespace edna::db {
+namespace {
+
+using sql::Value;
+
+sql::ExprPtr Pred(const std::string& text) {
+  auto e = sql::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status();
+  return std::move(*e);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema users("users");
+    users
+        .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                    .auto_increment = true})
+        .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+        .AddColumn({.name = "karma", .type = ColumnType::kInt, .nullable = false,
+                    .default_value = sql::Value::Int(0)})
+        .SetPrimaryKey({"id"});
+    ASSERT_TRUE(db_.CreateTable(std::move(users)).ok());
+
+    TableSchema posts("posts");
+    posts
+        .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                    .auto_increment = true})
+        .AddColumn({.name = "user_id", .type = ColumnType::kInt, .nullable = false})
+        .AddColumn({.name = "body", .type = ColumnType::kString})
+        .SetPrimaryKey({"id"})
+        .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                        .on_delete = FkAction::kRestrict});
+    ASSERT_TRUE(db_.CreateTable(std::move(posts)).ok());
+
+    TableSchema likes("likes");
+    likes
+        .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                    .auto_increment = true})
+        .AddColumn({.name = "post_id", .type = ColumnType::kInt, .nullable = false})
+        .AddColumn({.name = "fan_id", .type = ColumnType::kInt, .nullable = true})
+        .SetPrimaryKey({"id"})
+        .AddForeignKey({.column = "post_id", .parent_table = "posts", .parent_column = "id",
+                        .on_delete = FkAction::kCascade})
+        .AddForeignKey({.column = "fan_id", .parent_table = "users", .parent_column = "id",
+                        .on_delete = FkAction::kSetNull});
+    ASSERT_TRUE(db_.CreateTable(std::move(likes)).ok());
+  }
+
+  RowId AddUser(const std::string& name) {
+    auto id = db_.InsertValues("users", {{"name", Value::String(name)}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return *id;
+  }
+  RowId AddPost(int64_t user_id, const std::string& body) {
+    auto id = db_.InsertValues("posts", {{"user_id", Value::Int(user_id)},
+                                         {"body", Value::String(body)}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return *id;
+  }
+  RowId AddLike(int64_t post_id, int64_t fan_id) {
+    auto id = db_.InsertValues("likes", {{"post_id", Value::Int(post_id)},
+                                         {"fan_id", Value::Int(fan_id)}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return *id;
+  }
+  size_t Count(const std::string& table, const std::string& pred) {
+    auto e = Pred(pred);
+    auto n = db_.Count(table, e.get(), {});
+    EXPECT_TRUE(n.ok()) << n.status();
+    return n.ok() ? *n : 0;
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, InsertValuesFillsDefaultsAndAutoIncrement) {
+  RowId id = AddUser("bea");
+  auto karma = db_.GetColumn("users", id, "karma");
+  ASSERT_TRUE(karma.ok());
+  EXPECT_EQ(*karma, Value::Int(0));  // default applied
+  auto uid = db_.GetColumn("users", id, "id");
+  ASSERT_TRUE(uid.ok());
+  EXPECT_EQ(*uid, Value::Int(1));
+}
+
+TEST_F(DatabaseTest, InsertValuesRejectsUnknownColumn) {
+  auto bad = db_.InsertValues("users", {{"ghost", Value::Int(1)}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, InsertEnforcesForeignKeys) {
+  auto bad = db_.InsertValues("posts", {{"user_id", Value::Int(99)},
+                                        {"body", Value::String("x")}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIntegrityViolation);
+  AddUser("bea");
+  EXPECT_TRUE(db_.InsertValues("posts", {{"user_id", Value::Int(1)},
+                                         {"body", Value::String("x")}})
+                  .ok());
+}
+
+TEST_F(DatabaseTest, NullFkIsAllowed) {
+  AddUser("bea");
+  RowId post = AddPost(1, "p");
+  (void)post;
+  EXPECT_TRUE(db_.InsertValues("likes", {{"post_id", Value::Int(1)},
+                                         {"fan_id", Value::Null()}})
+                  .ok());
+}
+
+TEST_F(DatabaseTest, SelectWithPredicate) {
+  AddUser("bea");
+  AddUser("axl");
+  AddUser("bob");
+  auto pred = Pred("\"name\" LIKE 'b%'");
+  auto rows = db_.Select("users", pred.get(), {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(DatabaseTest, SelectAllWithNullPredicate) {
+  AddUser("a");
+  AddUser("b");
+  auto rows = db_.Select("users", nullptr, {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(DatabaseTest, SelectWithParams) {
+  AddUser("bea");
+  auto pred = Pred("\"id\" = $UID");
+  sql::ParamMap params;
+  params.emplace("UID", Value::Int(1));
+  auto rows = db_.Select("users", pred.get(), params);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(DatabaseTest, PlannerUsesPkIndex) {
+  for (int i = 0; i < 20; ++i) {
+    AddUser("u" + std::to_string(i));
+  }
+  db_.ResetStats();
+  auto pred = Pred("\"id\" = 5");
+  auto rows = db_.Select("users", pred.get(), {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ(db_.stats().full_scans, 0u);
+  EXPECT_GE(db_.stats().index_lookups, 1u);
+  EXPECT_EQ(db_.stats().rows_read, 1u);  // only the matching row touched
+}
+
+TEST_F(DatabaseTest, PlannerFallsBackToScan) {
+  for (int i = 0; i < 5; ++i) {
+    AddUser("u" + std::to_string(i));
+  }
+  db_.ResetStats();
+  auto pred = Pred("\"name\" = 'u3'");  // name not indexed in this schema
+  auto rows = db_.Select("users", pred.get(), {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ(db_.stats().full_scans, 1u);
+}
+
+TEST_F(DatabaseTest, UpdateEvaluatesPerRow) {
+  AddUser("bea");
+  AddUser("axl");
+  std::vector<Assignment> assigns;
+  assigns.push_back({.column = "karma", .expr = std::move(*sql::ParseExpression("\"karma\" + 10"))});
+  auto n = db_.Update("users", nullptr, {}, assigns);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(*db_.GetColumn("users", 1, "karma"), Value::Int(10));
+}
+
+TEST_F(DatabaseTest, UpdateRejectsUnknownColumn) {
+  AddUser("bea");
+  std::vector<Assignment> assigns;
+  assigns.push_back({.column = "ghost", .expr = std::move(*sql::ParseExpression("1"))});
+  EXPECT_FALSE(db_.Update("users", nullptr, {}, assigns).ok());
+}
+
+TEST_F(DatabaseTest, UpdateFkColumnValidated) {
+  AddUser("bea");
+  AddPost(1, "p");
+  std::vector<Assignment> assigns;
+  assigns.push_back({.column = "user_id", .expr = std::move(*sql::ParseExpression("42"))});
+  auto n = db_.Update("posts", nullptr, {}, assigns);
+  EXPECT_EQ(n.status().code(), StatusCode::kIntegrityViolation);
+  // Failed statement rolled back: original value intact.
+  EXPECT_EQ(*db_.GetColumn("posts", 1, "user_id"), Value::Int(1));
+}
+
+TEST_F(DatabaseTest, DeleteRestrictBlocksParent) {
+  AddUser("bea");
+  AddPost(1, "p");
+  auto pred = Pred("\"id\" = 1");
+  auto n = db_.Delete("users", pred.get(), {});
+  EXPECT_EQ(n.status().code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(Count("users", "TRUE"), 1u);  // unchanged
+}
+
+TEST_F(DatabaseTest, DeleteCascadesThroughChain) {
+  AddUser("bea");
+  AddUser("fan");
+  RowId post = AddPost(1, "p");
+  AddLike(1, 2);
+  AddLike(1, 2);
+  (void)post;
+  auto pred = Pred("\"id\" = 1");
+  auto n = db_.Delete("posts", pred.get(), {});
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(Count("likes", "TRUE"), 0u);  // cascaded
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, DeleteSetsNullOnChildren) {
+  AddUser("bea");
+  AddUser("fan");
+  AddPost(1, "p");
+  AddLike(1, 2);
+  auto pred = Pred("\"id\" = 2");  // delete the fan
+  auto n = db_.Delete("users", pred.get(), {});
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_TRUE(db_.GetColumn("likes", 1, "fan_id")->is_null());
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, SetColumnChecksFkAndChildren) {
+  AddUser("bea");
+  AddPost(1, "p");
+  // Changing the referenced PK while children exist is blocked.
+  EXPECT_EQ(db_.SetColumn("users", 1, "id", Value::Int(9)).code(),
+            StatusCode::kIntegrityViolation);
+  // Changing an FK to a dangling value is blocked.
+  EXPECT_EQ(db_.SetColumn("posts", 1, "user_id", Value::Int(9)).code(),
+            StatusCode::kIntegrityViolation);
+  // Valid moves work.
+  AddUser("axl");
+  EXPECT_TRUE(db_.SetColumn("posts", 1, "user_id", Value::Int(2)).ok());
+  EXPECT_TRUE(db_.SetColumn("users", 1, "id", Value::Int(9)).ok());  // no children now
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, TransactionRollbackRestoresEverything) {
+  AddUser("bea");
+  AddPost(1, "p");
+  ASSERT_TRUE(db_.Begin().ok());
+  AddUser("temp");
+  ASSERT_TRUE(db_.SetColumn("users", 1, "name", Value::String("changed")).ok());
+  auto pred = Pred("\"id\" = 1");
+  ASSERT_TRUE(db_.Delete("posts", pred.get(), {}).ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+
+  EXPECT_EQ(Count("users", "TRUE"), 1u);
+  EXPECT_EQ(*db_.GetColumn("users", 1, "name"), Value::String("bea"));
+  EXPECT_EQ(Count("posts", "TRUE"), 1u);
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, TransactionCommitKeepsChanges) {
+  ASSERT_TRUE(db_.Begin().ok());
+  AddUser("bea");
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_EQ(Count("users", "TRUE"), 1u);
+}
+
+TEST_F(DatabaseTest, NestedBeginRejected) {
+  ASSERT_TRUE(db_.Begin().ok());
+  EXPECT_EQ(db_.Begin().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_EQ(db_.Commit().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_.Rollback().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, FailedStatementInsideTransactionUnwindsItselfOnly) {
+  AddUser("bea");
+  ASSERT_TRUE(db_.Begin().ok());
+  AddUser("inside");
+  // This delete fails midway (RESTRICT); its partial effects must unwind
+  // without killing the surrounding transaction's earlier work.
+  AddPost(1, "p");
+  auto pred = Pred("TRUE");
+  EXPECT_FALSE(db_.Delete("users", pred.get(), {}).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_EQ(Count("users", "TRUE"), 2u);
+  EXPECT_EQ(Count("posts", "TRUE"), 1u);
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, BatchSetColumnsCountsOneQuery) {
+  AddUser("a");
+  AddUser("b");
+  AddUser("c");
+  db_.ResetStats();
+  std::vector<Database::BatchUpdate> updates;
+  for (RowId id = 1; id <= 3; ++id) {
+    updates.push_back({id, "karma", Value::Int(5)});
+  }
+  auto n = db_.BatchSetColumns("users", updates);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(db_.stats().queries, 1u);
+  EXPECT_EQ(db_.stats().rows_updated, 3u);
+}
+
+TEST_F(DatabaseTest, RestoreRowReinsertsWithSameId) {
+  AddUser("bea");
+  auto row = db_.GetRow("users", 1);
+  ASSERT_TRUE(row.ok());
+  auto pred = Pred("\"id\" = 1");
+  ASSERT_TRUE(db_.Delete("users", pred.get(), {}).ok());
+  ASSERT_TRUE(db_.RestoreRow("users", 1, *row).ok());
+  EXPECT_EQ(*db_.GetColumn("users", 1, "name"), Value::String("bea"));
+}
+
+TEST_F(DatabaseTest, StatsCountQueriesAndRows) {
+  db_.ResetStats();
+  AddUser("bea");            // 1 query, 1 insert
+  auto pred = Pred("TRUE");
+  ASSERT_TRUE(db_.Select("users", pred.get(), {}).ok());  // 1 query, 1 read
+  EXPECT_EQ(db_.stats().queries, 2u);
+  EXPECT_EQ(db_.stats().rows_inserted, 1u);
+  EXPECT_EQ(db_.stats().rows_read, 1u);
+}
+
+TEST_F(DatabaseTest, SnapshotIsDeepCopy) {
+  AddUser("bea");
+  auto snap = db_.Snapshot();
+  AddUser("axl");
+  EXPECT_EQ(snap->FindTable("users")->num_rows(), 1u);
+  EXPECT_EQ(db_.FindTable("users")->num_rows(), 2u);
+  EXPECT_TRUE(snap->CheckIntegrity().ok());
+  // Snapshot continues auto-increment correctly.
+  auto id = snap->InsertValues("users", {{"name", Value::String("new")}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*snap->GetColumn("users", *id, "id"), Value::Int(2));
+}
+
+TEST_F(DatabaseTest, TotalRowsSumsTables) {
+  AddUser("bea");
+  AddPost(1, "p");
+  AddLike(1, 1);
+  EXPECT_EQ(db_.TotalRows(), 3u);
+}
+
+TEST_F(DatabaseTest, CheckIntegrityDetectsNothingOnCleanDb) {
+  AddUser("bea");
+  AddPost(1, "p");
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(DatabaseTest, UnknownTableErrors) {
+  EXPECT_EQ(db_.Select("ghost", nullptr, {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.Insert("ghost", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.Delete("ghost", nullptr, {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.DeleteRow("ghost", 1).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace edna::db

@@ -1,0 +1,155 @@
+// Tests for schema evolution (§7): adding columns and indexes to a live
+// database, and keeping pre-evolution disguises reversible.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/db/database.h"
+#include "src/db/storage.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+namespace edna::db {
+namespace {
+
+using sql::Value;
+
+class EvolutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema users("users");
+    users
+        .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                    .auto_increment = true})
+        .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+        .SetPrimaryKey({"id"});
+    ASSERT_TRUE(db_.CreateTable(std::move(users)).ok());
+    for (const char* name : {"bea", "axl", "bob"}) {
+      ASSERT_TRUE(db_.InsertValues("users", {{"name", Value::String(name)}}).ok());
+    }
+  }
+
+  db::Database db_;
+};
+
+TEST_F(EvolutionTest, AddColumnFillsExistingRows) {
+  ASSERT_TRUE(db_.AddColumnToTable("users",
+                                   {.name = "karma", .type = ColumnType::kInt,
+                                    .nullable = false,
+                                    .default_value = Value::Int(0)},
+                                   Value::Int(10))
+                  .ok());
+  // Catalog and storage agree on the new shape.
+  EXPECT_TRUE(db_.schema().FindTable("users")->HasColumn("karma"));
+  EXPECT_EQ(*db_.GetColumn("users", 1, "karma"), Value::Int(10));
+  // New inserts see the default.
+  auto id = db_.InsertValues("users", {{"name", Value::String("new")}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*db_.GetColumn("users", *id, "karma"), Value::Int(0));
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+TEST_F(EvolutionTest, AddColumnValidation) {
+  // Duplicate name.
+  EXPECT_FALSE(db_.AddColumnToTable("users", {.name = "name",
+                                              .type = ColumnType::kString},
+                                    Value::Null())
+                   .ok());
+  // NOT NULL without a default.
+  EXPECT_FALSE(db_.AddColumnToTable("users",
+                                    {.name = "x", .type = ColumnType::kInt,
+                                     .nullable = false},
+                                    Value::Int(1))
+                   .ok());
+  // Fill type mismatch.
+  EXPECT_FALSE(db_.AddColumnToTable("users",
+                                    {.name = "x", .type = ColumnType::kInt,
+                                     .nullable = true},
+                                    Value::String("oops"))
+                   .ok());
+  // Auto-increment addition unsupported.
+  EXPECT_FALSE(db_.AddColumnToTable("users",
+                                    {.name = "x", .type = ColumnType::kInt,
+                                     .nullable = false, .auto_increment = true,
+                                     .default_value = Value::Int(0)},
+                                    Value::Int(0))
+                   .ok());
+  // Unknown table.
+  EXPECT_FALSE(db_.AddColumnToTable("ghost", {.name = "x", .type = ColumnType::kInt},
+                                    Value::Null())
+                   .ok());
+  // Inside a transaction.
+  ASSERT_TRUE(db_.Begin().ok());
+  EXPECT_EQ(db_.AddColumnToTable("users", {.name = "x", .type = ColumnType::kInt},
+                                 Value::Null())
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db_.Rollback().ok());
+}
+
+TEST_F(EvolutionTest, CreateIndexBackfillsAndPlansThroughIt) {
+  ASSERT_TRUE(db_.CreateIndex("users", "name").ok());
+  EXPECT_TRUE(db_.FindTable("users")->HasIndexOn("name"));
+  EXPECT_TRUE(db_.FindTable("users")->CheckIndexConsistency().ok());
+
+  db_.ResetStats();
+  auto pred = sql::ParseExpression("\"name\" = 'axl'");
+  auto rows = db_.Select("users", pred->get(), {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ(db_.stats().full_scans, 0u);  // planner uses the new index
+
+  // Idempotent.
+  EXPECT_TRUE(db_.CreateIndex("users", "name").ok());
+  EXPECT_FALSE(db_.CreateIndex("users", "ghost").ok());
+}
+
+TEST_F(EvolutionTest, EvolvedDatabaseSerializes) {
+  ASSERT_TRUE(db_.AddColumnToTable("users",
+                                   {.name = "bio", .type = ColumnType::kString,
+                                    .nullable = true},
+                                   Value::String("hi"))
+                  .ok());
+  ASSERT_TRUE(db_.CreateIndex("users", "name").ok());
+  auto loaded = DeserializeDatabase(SerializeDatabase(db_));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*(*loaded)->GetColumn("users", 1, "bio"), Value::String("hi"));
+  EXPECT_TRUE((*loaded)->FindTable("users")->HasIndexOn("name"));
+}
+
+TEST_F(EvolutionTest, PreEvolutionDisguiseStaysReversible) {
+  // Apply a removing disguise, evolve the schema, then reveal: the restored
+  // rows must be padded with the new column's default.
+  vault::OfflineVault vault;
+  SimulatedClock clock(0);
+  core::DisguiseEngine engine(&db_, &vault, &clock);
+  auto spec = disguise::ParseDisguiseSpec(R"(
+disguise_name: "Purge"
+user_to_disguise: $UID
+reversible: true
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(engine.RegisterSpec(*std::move(spec)).ok());
+  auto applied = engine.ApplyForUser("Purge", Value::Int(1));
+  ASSERT_TRUE(applied.ok()) << applied.status();
+
+  ASSERT_TRUE(db_.AddColumnToTable("users",
+                                   {.name = "pronouns", .type = ColumnType::kString,
+                                    .nullable = true,
+                                    .default_value = Value::String("unset")},
+                                   Value::String("unset"))
+                  .ok());
+
+  auto revealed = engine.Reveal(applied->disguise_id);
+  ASSERT_TRUE(revealed.ok()) << revealed.status();
+  EXPECT_EQ(*db_.GetColumn("users", 1, "name"), Value::String("bea"));
+  EXPECT_EQ(*db_.GetColumn("users", 1, "pronouns"), Value::String("unset"));
+  EXPECT_TRUE(db_.CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace edna::db

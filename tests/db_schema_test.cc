@@ -1,0 +1,208 @@
+// Unit tests for schema model and validation.
+#include <gtest/gtest.h>
+
+#include "src/db/schema.h"
+
+namespace edna::db {
+namespace {
+
+TableSchema SimpleUsers() {
+  TableSchema t("users");
+  t.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+               .auto_increment = true})
+      .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "email", .type = ColumnType::kString, .nullable = true})
+      .SetPrimaryKey({"id"});
+  return t;
+}
+
+TableSchema SimplePosts() {
+  TableSchema t("posts");
+  t.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+               .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "body", .type = ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id"});
+  return t;
+}
+
+TEST(TableSchemaTest, ValidTableValidates) {
+  EXPECT_TRUE(SimpleUsers().Validate().ok());
+}
+
+TEST(TableSchemaTest, ColumnLookup) {
+  TableSchema t = SimpleUsers();
+  EXPECT_EQ(t.ColumnIndex("id"), 0);
+  EXPECT_EQ(t.ColumnIndex("email"), 2);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+  EXPECT_TRUE(t.HasColumn("name"));
+  ASSERT_NE(t.FindColumn("email"), nullptr);
+  EXPECT_TRUE(t.FindColumn("email")->nullable);
+}
+
+TEST(TableSchemaTest, PrimaryKeyQueries) {
+  TableSchema t = SimpleUsers();
+  EXPECT_TRUE(t.IsPrimaryKeyColumn("id"));
+  EXPECT_FALSE(t.IsPrimaryKeyColumn("name"));
+}
+
+TEST(TableSchemaTest, RejectsEmptyName) {
+  TableSchema t;
+  t.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false});
+  t.SetPrimaryKey({"x"});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableSchemaTest, RejectsNoColumns) {
+  TableSchema t("empty");
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableSchemaTest, RejectsDuplicateColumns) {
+  TableSchema t("t");
+  t.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false});
+  t.AddColumn({.name = "x", .type = ColumnType::kInt});
+  t.SetPrimaryKey({"x"});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableSchemaTest, RejectsMissingOrNullablePk) {
+  TableSchema t("t");
+  t.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = true});
+  t.SetPrimaryKey({"x"});
+  EXPECT_FALSE(t.Validate().ok());  // nullable pk
+
+  TableSchema t2("t2");
+  t2.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false});
+  t2.SetPrimaryKey({"y"});
+  EXPECT_FALSE(t2.Validate().ok());  // missing pk column
+
+  TableSchema t3("t3");
+  t3.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false});
+  EXPECT_FALSE(t3.Validate().ok());  // no pk at all
+}
+
+TEST(TableSchemaTest, RejectsAutoIncrementNonInt) {
+  TableSchema t("t");
+  t.AddColumn({.name = "x", .type = ColumnType::kString, .nullable = false,
+               .auto_increment = true});
+  t.SetPrimaryKey({"x"});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableSchemaTest, RejectsBadDefaults) {
+  TableSchema t("t");
+  t.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false,
+               .default_value = sql::Value::String("oops")});
+  t.SetPrimaryKey({"x"});
+  EXPECT_FALSE(t.Validate().ok());
+
+  TableSchema t2("t2");
+  t2.AddColumn({.name = "k", .type = ColumnType::kInt, .nullable = false});
+  t2.AddColumn({.name = "x", .type = ColumnType::kInt, .nullable = false,
+                .default_value = sql::Value::Null()});
+  t2.SetPrimaryKey({"k"});
+  EXPECT_FALSE(t2.Validate().ok());  // NULL default on NOT NULL column
+}
+
+TEST(TableSchemaTest, RejectsBadFkAndIndexColumns) {
+  TableSchema t = SimpleUsers();
+  t.AddForeignKey({.column = "ghost", .parent_table = "users", .parent_column = "id"});
+  EXPECT_FALSE(t.Validate().ok());
+
+  TableSchema t2 = SimpleUsers();
+  t2.AddIndex("ghost");
+  EXPECT_FALSE(t2.Validate().ok());
+}
+
+TEST(TableSchemaTest, CreateSqlMentionsEverything) {
+  TableSchema t = SimplePosts();
+  t.AddIndex("user_id");
+  std::string sql = t.ToCreateSql();
+  EXPECT_NE(sql.find("CREATE TABLE \"posts\""), std::string::npos);
+  EXPECT_NE(sql.find("PRIMARY KEY (\"id\")"), std::string::npos);
+  EXPECT_NE(sql.find("FOREIGN KEY (\"user_id\") REFERENCES \"users\""), std::string::npos);
+  EXPECT_NE(sql.find("INDEX (\"user_id\")"), std::string::npos);
+}
+
+TEST(SchemaTest, ValidCatalog) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  ASSERT_TRUE(s.AddTable(SimplePosts()).ok());
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.num_tables(), 2u);
+  EXPECT_NE(s.FindTable("users"), nullptr);
+  EXPECT_EQ(s.FindTable("ghost"), nullptr);
+}
+
+TEST(SchemaTest, RejectsDuplicateTable) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  EXPECT_EQ(s.AddTable(SimpleUsers()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsDanglingFkTable) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimplePosts()).ok());  // users missing
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsFkToNonPkColumn) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  TableSchema bad("bad");
+  bad.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "user_name", .type = ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_name", .parent_table = "users",
+                      .parent_column = "name"});
+  ASSERT_TRUE(s.AddTable(bad).ok());
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsFkTypeMismatch) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  TableSchema bad("bad");
+  bad.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "user_id", .type = ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id"});
+  ASSERT_TRUE(s.AddTable(bad).ok());
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsSetNullOnNotNullColumn) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  TableSchema bad("bad");
+  bad.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "user_id", .type = ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = FkAction::kSetNull});
+  ASSERT_TRUE(s.AddTable(bad).ok());
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, SchemaLocCountsEffectiveLines) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable(SimpleUsers()).ok());
+  // 3 columns + 1 PK + CREATE + ");" = 6 effective lines.
+  EXPECT_EQ(s.SchemaLoc(), 6u);
+}
+
+TEST(ValueMatchesTypeTest, Rules) {
+  EXPECT_TRUE(ValueMatchesType(sql::Value::Null(), ColumnType::kInt));
+  EXPECT_TRUE(ValueMatchesType(sql::Value::Int(1), ColumnType::kInt));
+  EXPECT_FALSE(ValueMatchesType(sql::Value::String("x"), ColumnType::kInt));
+  EXPECT_TRUE(ValueMatchesType(sql::Value::Int(1), ColumnType::kDouble));  // widening
+  EXPECT_FALSE(ValueMatchesType(sql::Value::Double(1.0), ColumnType::kInt));
+  EXPECT_TRUE(ValueMatchesType(sql::Value::Bool(true), ColumnType::kBool));
+  EXPECT_FALSE(ValueMatchesType(sql::Value::Int(1), ColumnType::kBool));
+  EXPECT_TRUE(ValueMatchesType(sql::Value::Blob({1}), ColumnType::kBlob));
+}
+
+}  // namespace
+}  // namespace edna::db

@@ -1,0 +1,168 @@
+// Tests for whole-database serialization (db/storage): round trips, format
+// robustness, and FK-order independence (self-referencing tables).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/apps/lobsters/generator.h"
+#include "src/db/storage.h"
+#include "src/sql/parser.h"
+
+namespace edna::db {
+namespace {
+
+using sql::Value;
+
+// Canonical content dump used for equality.
+std::string Dump(const Database& db) {
+  std::string out;
+  for (const TableSchema& ts : db.schema().tables()) {
+    out += ts.ToCreateSql() + "\n";
+    const Table* t = db.FindTable(ts.name());
+    out += "auto=" + std::to_string(t->PeekAutoIncrement()) + "\n";
+    t->Scan([&out](RowId id, const Row& row) {
+      out += std::to_string(id) + RowToString(row) + "\n";
+    });
+  }
+  return out;
+}
+
+void FillSmallDb(Database* dbp) {
+  Database& db = *dbp;
+  TableSchema users("users");
+  users
+      .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "boss_id", .type = ColumnType::kInt, .nullable = true})
+      .AddColumn({.name = "score", .type = ColumnType::kDouble, .nullable = true})
+      .AddColumn({.name = "active", .type = ColumnType::kBool, .nullable = false,
+                  .default_value = Value::Bool(true)})
+      .AddColumn({.name = "avatar", .type = ColumnType::kBlob, .nullable = true})
+      .SetPrimaryKey({"id"})
+      .AddIndex("name")
+      // Self-referencing FK: serialized rows can forward-reference.
+      .AddForeignKey({.column = "boss_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = FkAction::kSetNull});
+  EXPECT_TRUE(db.CreateTable(std::move(users)).ok());
+  // Row 1 references row 2 (forward reference when loading in id order).
+  EXPECT_TRUE(db.Insert("users", {Value::Null(), Value::String("a"), Value::Null(),
+                                  Value::Double(1.5), Value::Bool(true),
+                                  Value::Blob({1, 2})})
+                  .ok());
+  EXPECT_TRUE(db.Insert("users", {Value::Null(), Value::String("b"), Value::Null(),
+                                  Value::Null(), Value::Bool(false), Value::Null()})
+                  .ok());
+  EXPECT_TRUE(db.SetColumn("users", 1, "boss_id", Value::Int(2)).ok());
+}
+
+TEST(StorageTest, RoundTripPreservesEverything) {
+  Database db;
+  FillSmallDb(&db);
+  auto wire = SerializeDatabase(db);
+  auto loaded = DeserializeDatabase(wire);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(Dump(**loaded), Dump(db));
+  EXPECT_TRUE((*loaded)->CheckIntegrity().ok());
+}
+
+TEST(StorageTest, AutoIncrementSurvivesEvenAfterDeletes) {
+  Database db;
+  FillSmallDb(&db);
+  // Delete the max-id row: the counter must NOT regress on reload.
+  auto pred = sql::ParseExpression("\"id\" = 2");
+  ASSERT_TRUE(db.Delete("users", pred->get(), {}).ok());
+  int64_t next_before = db.FindTable("users")->PeekAutoIncrement();
+
+  auto loaded = DeserializeDatabase(SerializeDatabase(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->FindTable("users")->PeekAutoIncrement(), next_before);
+  auto id = (*loaded)->InsertValues("users", {{"name", Value::String("c")}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*(*loaded)->GetColumn("users", *id, "id"), Value::Int(3));
+}
+
+TEST(StorageTest, LoadedDatabaseIsFullyOperational) {
+  Database db;
+  FillSmallDb(&db);
+  auto loaded = DeserializeDatabase(SerializeDatabase(db));
+  ASSERT_TRUE(loaded.ok());
+  // Secondary index works.
+  auto pred = sql::ParseExpression("\"name\" = 'a'");
+  (*loaded)->ResetStats();
+  auto rows = (*loaded)->Select("users", pred->get(), {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*loaded)->stats().full_scans, 0u);
+  // FK enforcement works.
+  EXPECT_FALSE((*loaded)->SetColumn("users", 1, "boss_id", Value::Int(99)).ok());
+}
+
+TEST(StorageTest, CorruptionRejected) {
+  Database db;
+  FillSmallDb(&db);
+  std::vector<uint8_t> wire = SerializeDatabase(db);
+
+  // Bad magic.
+  std::vector<uint8_t> bad = wire;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeDatabase(bad).ok());
+
+  // Truncations at various points never crash.
+  for (size_t cut : std::vector<size_t>{4, 16, wire.size() / 2, wire.size() - 1}) {
+    std::vector<uint8_t> truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DeserializeDatabase(truncated).ok()) << cut;
+  }
+
+  // Trailing garbage detected.
+  std::vector<uint8_t> padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializeDatabase(padded).ok());
+}
+
+TEST(StorageTest, IntegrityViolationInImageRejected) {
+  Database db;
+  FillSmallDb(&db);
+  // Build an image whose row data dangles: remove the referenced boss row
+  // from the serialized form by hand is brittle; instead serialize a valid
+  // db, load it, and verify CheckIntegrity is what gates acceptance by
+  // breaking a copy through BulkLoadRow.
+  auto loaded = DeserializeDatabase(SerializeDatabase(db));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)
+                  ->BulkLoadRow("users", 77,
+                                Row{Value::Int(77), Value::String("x"), Value::Int(500),
+                                    Value::Null(), Value::Bool(true), Value::Null()})
+                  .ok());
+  EXPECT_EQ((*loaded)->CheckIntegrity().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  Database db;
+  FillSmallDb(&db);
+  std::string path = ::testing::TempDir() + "/edna_storage_test.edb";
+  ASSERT_TRUE(SaveDatabaseToFile(db, path).ok());
+  auto loaded = LoadDatabaseFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(Dump(**loaded), Dump(db));
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadDatabaseFromFile(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StorageTest, FullLobstersDatabaseRoundTrips) {
+  Database db;
+  lobsters::Config config;
+  config.num_users = 40;
+  config.num_stories = 60;
+  config.num_comments = 150;
+  config.num_votes = 200;
+  auto gen = lobsters::Populate(&db, config);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  auto loaded = DeserializeDatabase(SerializeDatabase(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(Dump(**loaded), Dump(db));
+  EXPECT_TRUE((*loaded)->CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace edna::db

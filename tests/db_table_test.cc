@@ -1,0 +1,260 @@
+// Unit tests for Table: storage, primary-key and secondary indexes,
+// auto-increment, update paths, and index consistency auditing.
+#include <gtest/gtest.h>
+
+#include "src/db/table.h"
+
+namespace edna::db {
+namespace {
+
+using sql::Value;
+
+TableSchema UsersSchema() {
+  TableSchema t("users");
+  t.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+               .auto_increment = true})
+      .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "age", .type = ColumnType::kInt, .nullable = true})
+      .SetPrimaryKey({"id"})
+      .AddIndex("name");
+  return t;
+}
+
+Row UserRow(Value id, const std::string& name, Value age) {
+  return Row{std::move(id), Value::String(name), std::move(age)};
+}
+
+TEST(TableTest, InsertAssignsAutoIncrement) {
+  Table t(UsersSchema());
+  auto id1 = t.Insert(UserRow(Value::Null(), "a", Value::Int(30)));
+  ASSERT_TRUE(id1.ok()) << id1.status();
+  auto id2 = t.Insert(UserRow(Value::Null(), "b", Value::Null()));
+  ASSERT_TRUE(id2.ok());
+  const Row* r1 = t.Find(*id1);
+  const Row* r2 = t.Find(*id2);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ((*r1)[0], Value::Int(1));
+  EXPECT_EQ((*r2)[0], Value::Int(2));
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ExplicitIdAdvancesCounter) {
+  Table t(UsersSchema());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Int(10), "a", Value::Null())).ok());
+  auto id = t.Insert(UserRow(Value::Null(), "b", Value::Null()));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ((*t.Find(*id))[0], Value::Int(11));
+}
+
+TEST(TableTest, RejectsDuplicatePk) {
+  Table t(UsersSchema());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Int(1), "a", Value::Null())).ok());
+  auto dup = t.Insert(UserRow(Value::Int(1), "b", Value::Null()));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, RejectsWrongShape) {
+  Table t(UsersSchema());
+  EXPECT_FALSE(t.Insert(Row{Value::Int(1)}).ok());                       // too narrow
+  EXPECT_FALSE(t.Insert(Row{Value::Int(1), Value::Int(2),               // type error
+                            Value::Null()})
+                   .ok());
+  EXPECT_FALSE(t.Insert(Row{Value::Int(1), Value::Null(),               // NOT NULL
+                            Value::Null()})
+                   .ok());
+}
+
+TEST(TableTest, PkLookup) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "bea", Value::Int(30)));
+  ASSERT_TRUE(id.ok());
+  PkKey key;
+  key.values.push_back(Value::Int(1));
+  auto found = t.LookupPk(key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+
+  key.values[0] = Value::Int(99);
+  EXPECT_EQ(t.LookupPk(key).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t(UsersSchema());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Null(), "bea", Value::Int(30))).ok());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Null(), "axl", Value::Int(25))).ok());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Null(), "bea", Value::Int(40))).ok());
+
+  std::vector<RowId> ids;
+  EXPECT_TRUE(t.IndexLookup("name", Value::String("bea"), &ids));
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(t.IndexLookup("name", Value::String("zzz"), &ids));
+  EXPECT_TRUE(ids.empty());
+  // Unindexed column: returns false (caller must scan).
+  EXPECT_FALSE(t.IndexLookup("age", Value::Int(30), &ids));
+  // PK fast path counts as an index.
+  EXPECT_TRUE(t.IndexLookup("id", Value::Int(1), &ids));
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(TableTest, NullNeverMatchesIndex) {
+  Table t(UsersSchema());
+  ASSERT_TRUE(t.Insert(UserRow(Value::Null(), "a", Value::Null())).ok());
+  std::vector<RowId> ids;
+  EXPECT_FALSE(t.IndexLookup("name", Value::Null(), &ids));
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(TableTest, HasIndexOn) {
+  Table t(UsersSchema());
+  EXPECT_TRUE(t.HasIndexOn("id"));
+  EXPECT_TRUE(t.HasIndexOn("name"));
+  EXPECT_FALSE(t.HasIndexOn("age"));
+}
+
+TEST(TableTest, EraseReturnsRowAndCleansIndexes) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "bea", Value::Int(30)));
+  ASSERT_TRUE(id.ok());
+  auto removed = t.Erase(*id);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ((*removed)[1], Value::String("bea"));
+  EXPECT_EQ(t.num_rows(), 0u);
+  std::vector<RowId> ids;
+  t.IndexLookup("name", Value::String("bea"), &ids);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(t.Erase(*id).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(t.CheckIndexConsistency().ok());
+}
+
+TEST(TableTest, UpdateColumnMaintainsSecondaryIndex) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "bea", Value::Int(30)));
+  ASSERT_TRUE(id.ok());
+  auto old = t.UpdateColumn(*id, 1, Value::String("ghost"));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, Value::String("bea"));
+  std::vector<RowId> ids;
+  t.IndexLookup("name", Value::String("bea"), &ids);
+  EXPECT_TRUE(ids.empty());
+  t.IndexLookup("name", Value::String("ghost"), &ids);
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(t.CheckIndexConsistency().ok());
+}
+
+TEST(TableTest, UpdatePkColumnMaintainsPkIndex) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "a", Value::Null()));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(t.UpdateColumn(*id, 0, Value::Int(50)).ok());
+  PkKey key;
+  key.values.push_back(Value::Int(50));
+  EXPECT_TRUE(t.LookupPk(key).ok());
+  key.values[0] = Value::Int(1);
+  EXPECT_FALSE(t.LookupPk(key).ok());
+  EXPECT_TRUE(t.CheckIndexConsistency().ok());
+}
+
+TEST(TableTest, UpdatePkCollisionRejected) {
+  Table t(UsersSchema());
+  auto a = t.Insert(UserRow(Value::Null(), "a", Value::Null()));
+  auto b = t.Insert(UserRow(Value::Null(), "b", Value::Null()));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(t.UpdateColumn(*b, 0, Value::Int(1)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, UpdateColumnTypeChecked) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "a", Value::Null()));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(t.UpdateColumn(*id, 1, Value::Int(3)).ok());       // type
+  EXPECT_FALSE(t.UpdateColumn(*id, 1, Value::Null()).ok());       // NOT NULL
+  EXPECT_FALSE(t.UpdateColumn(*id, 9, Value::Int(3)).ok());       // out of range
+}
+
+TEST(TableTest, UpdateRowReplacesEverything) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "a", Value::Int(1)));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(t.UpdateRow(*id, UserRow(Value::Int(7), "b", Value::Int(2))).ok());
+  const Row* r = t.Find(*id);
+  EXPECT_EQ((*r)[0], Value::Int(7));
+  EXPECT_EQ((*r)[1], Value::String("b"));
+  EXPECT_TRUE(t.CheckIndexConsistency().ok());
+}
+
+TEST(TableTest, InsertWithIdRestoresExactIdentity) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "a", Value::Null()));
+  ASSERT_TRUE(id.ok());
+  Row row = *t.Find(*id);
+  ASSERT_TRUE(t.Erase(*id).ok());
+  ASSERT_TRUE(t.InsertWithId(*id, row).ok());
+  EXPECT_EQ(*t.Find(*id), row);
+  // Reusing a live id fails.
+  EXPECT_EQ(t.InsertWithId(*id, row).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, ScanIsOrderedAndComplete) {
+  Table t(UsersSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Insert(UserRow(Value::Null(), "u" + std::to_string(i),
+                                 Value::Int(i)))
+                    .ok());
+  }
+  std::vector<RowId> seen;
+  t.Scan([&](RowId id, const Row&) { seen.push_back(id); });
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(t.AllRowIds(), seen);
+}
+
+TEST(TableTest, CloneIsIndependent) {
+  Table t(UsersSchema());
+  auto id = t.Insert(UserRow(Value::Null(), "a", Value::Null()));
+  ASSERT_TRUE(id.ok());
+  Table copy = t.Clone();
+  ASSERT_TRUE(t.Erase(*id).ok());
+  EXPECT_EQ(copy.num_rows(), 1u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_TRUE(copy.CheckIndexConsistency().ok());
+}
+
+TEST(PkKeyTest, CompositeOrdering) {
+  PkKey a{{Value::Int(1), Value::String("a")}};
+  PkKey b{{Value::Int(1), Value::String("b")}};
+  PkKey c{{Value::Int(2), Value::String("a")}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(b < a);
+  PkKey a2{{Value::Int(1), Value::String("a")}};
+  EXPECT_TRUE(a == a2);
+}
+
+TEST(TableTest, CompositePkUniqueness) {
+  TableSchema s("pairs");
+  s.AddColumn({.name = "a", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "b", .type = ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"a", "b"});
+  Table t(std::move(s));
+  ASSERT_TRUE(t.Insert(Row{Value::Int(1), Value::Int(1)}).ok());
+  ASSERT_TRUE(t.Insert(Row{Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_EQ(t.Insert(Row{Value::Int(1), Value::Int(1)}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, FkColumnsImplicitlyIndexed) {
+  TableSchema s("posts");
+  s.AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+               .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id"});
+  Table t(std::move(s));
+  EXPECT_TRUE(t.HasIndexOn("user_id"));
+}
+
+}  // namespace
+}  // namespace edna::db

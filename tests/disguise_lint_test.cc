@@ -1,0 +1,217 @@
+// Tests for the spec linter (§7's spec-error heuristics).
+#include <gtest/gtest.h>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/schema.h"
+#include "src/disguise/lint.h"
+#include "src/disguise/spec_parser.h"
+
+namespace edna::disguise {
+namespace {
+
+bool HasFinding(const std::vector<LintFinding>& findings, LintCode code,
+                const std::string& table = "") {
+  for (const LintFinding& f : findings) {
+    if (f.code == code && (table.empty() || f.table == table)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+db::Schema TinySchema() {
+  db::Schema schema;
+  db::TableSchema users("users");
+  users
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = db::ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "deleted", .type = db::ColumnType::kBool, .nullable = false,
+                  .default_value = sql::Value::Bool(false)})
+      .SetPrimaryKey({"id"});
+  EXPECT_TRUE(schema.AddTable(std::move(users)).ok());
+
+  db::TableSchema notes("notes");
+  notes
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = db::ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = db::FkAction::kRestrict});
+  EXPECT_TRUE(schema.AddTable(std::move(notes)).ok());
+
+  db::TableSchema logs("logs");
+  logs.AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = db::ColumnType::kInt, .nullable = true})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = db::FkAction::kSetNull});
+  EXPECT_TRUE(schema.AddTable(std::move(logs)).ok());
+  return schema;
+}
+
+DisguiseSpec Parse(const char* text) {
+  auto spec = ParseDisguiseSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *std::move(spec);
+}
+
+TEST(LintTest, BlockedRemovalIsAnError) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, LintCode::kBlockedRemoval, "notes"));
+  EXPECT_TRUE(HasLintErrors(findings));
+  // Errors sort first.
+  EXPECT_EQ(findings.front().severity, LintSeverity::kError);
+}
+
+TEST(LintTest, HandlingTheReferenceSilencesBlockedRemoval) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table notes:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_FALSE(HasFinding(findings, LintCode::kBlockedRemoval));
+  EXPECT_FALSE(HasLintErrors(findings));
+}
+
+TEST(LintTest, SetNullCoverageGapIsWarned) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table notes:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, LintCode::kCoverageGap, "logs"));
+}
+
+TEST(LintTest, GlobalRemoveAllInPerUserSpec) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table notes:
+  transformations:
+    Remove(pred: TRUE)
+table logs:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, LintCode::kGlobalRemoveAll, "notes"));
+  EXPECT_FALSE(HasFinding(findings, LintCode::kGlobalRemoveAll, "logs"));
+}
+
+TEST(LintTest, UnusedPlaceholderWarned) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  generate_placeholder:
+    "name" <- Random
+    "deleted" <- Const(TRUE)
+  transformations:
+    Modify(pred: "id" = $UID, column: "name", value: Hash)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, LintCode::kUnusedPlaceholder, "users"));
+}
+
+TEST(LintTest, EnabledPlaceholderWarned) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  generate_placeholder:
+    "name" <- Random
+  transformations:
+    Remove(pred: "id" = $UID)
+table notes:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  // The recipe never sets the "deleted" flag TRUE.
+  EXPECT_TRUE(HasFinding(findings, LintCode::kPlaceholderEnabled, "users"));
+
+  DisguiseSpec good = Parse(R"(
+disguise_name: "Y"
+user_to_disguise: $UID
+table users:
+  generate_placeholder:
+    "name" <- Random
+    "deleted" <- Const(TRUE)
+  transformations:
+    Remove(pred: "id" = $UID)
+table notes:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)");
+  EXPECT_FALSE(HasFinding(LintSpec(good, TinySchema()), LintCode::kPlaceholderEnabled));
+}
+
+TEST(LintTest, NoopModifyAndPolicyNudges) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+reversible: false
+table logs:
+  transformations:
+    Modify(pred: TRUE, column: "user_id", value: Keep)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, LintCode::kNoopModify, "logs"));
+  EXPECT_TRUE(HasFinding(findings, LintCode::kNoAssertions));
+  EXPECT_TRUE(HasFinding(findings, LintCode::kIrreversible));
+}
+
+TEST(LintTest, FindingToStringIsInformative) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  ASSERT_FALSE(findings.empty());
+  std::string s = findings.front().ToString();
+  EXPECT_NE(s.find("error"), std::string::npos);
+  EXPECT_NE(s.find("blocked-removal"), std::string::npos);
+}
+
+TEST(LintTest, ShippedSpecsHaveNoErrors) {
+  db::Schema hotcrp_schema = hotcrp::BuildSchema();
+  for (auto fn : {hotcrp::GdprSpec, hotcrp::GdprPlusSpec, hotcrp::ConfAnonSpec}) {
+    auto spec = fn();
+    ASSERT_TRUE(spec.ok());
+    auto findings = LintSpec(*spec, hotcrp_schema);
+    EXPECT_FALSE(HasLintErrors(findings)) << spec->name() << ":\n"
+                                          << findings.front().ToString();
+  }
+  auto lob = lobsters::GdprSpec();
+  ASSERT_TRUE(lob.ok());
+  EXPECT_FALSE(HasLintErrors(LintSpec(*lob, lobsters::BuildSchema())));
+}
+
+}  // namespace
+}  // namespace edna::disguise

@@ -1,0 +1,412 @@
+// Unit tests for the disguise model: generators, spec objects, validation,
+// and the spec text parser.
+#include <gtest/gtest.h>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/schema.h"
+#include "src/disguise/generator.h"
+#include "src/disguise/spec.h"
+#include "src/disguise/spec_parser.h"
+
+namespace edna::disguise {
+namespace {
+
+using sql::Value;
+
+// --- Generators -----------------------------------------------------------------
+
+GenContext Ctx(Rng* rng, const Value* original = nullptr) {
+  GenContext ctx;
+  ctx.rng = rng;
+  ctx.original = original;
+  return ctx;
+}
+
+TEST(GeneratorTest, RandomNameIsPseudoword) {
+  Rng rng(1);
+  auto v = Generator::RandomName().Generate(Ctx(&rng));
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_string());
+  EXPECT_GE(v->AsString().size(), 5u);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(v->AsString()[0])));
+}
+
+TEST(GeneratorTest, RandomStringHasLength) {
+  Rng rng(1);
+  auto v = Generator::RandomString(10).Generate(Ctx(&rng));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString().size(), 10u);
+}
+
+TEST(GeneratorTest, RandomIntInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto v = Generator::RandomInt(5, 9).Generate(Ctx(&rng));
+    ASSERT_TRUE(v.ok());
+    EXPECT_GE(v->AsInt(), 5);
+    EXPECT_LE(v->AsInt(), 9);
+  }
+}
+
+TEST(GeneratorTest, ConstReturnsLiteral) {
+  Rng rng(1);
+  EXPECT_EQ(*Generator::Const(Value::Bool(true)).Generate(Ctx(&rng)), Value::Bool(true));
+  EXPECT_TRUE(Generator::Const(Value::Null()).Generate(Ctx(&rng))->is_null());
+}
+
+TEST(GeneratorTest, HashIsDeterministicPseudonym) {
+  Rng rng(1);
+  Value original = Value::String("bea@uni.edu");
+  auto v1 = Generator::Hash().Generate(Ctx(&rng, &original));
+  auto v2 = Generator::Hash().Generate(Ctx(&rng, &original));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, *v2);  // same input, same pseudonym
+  EXPECT_EQ(v1->AsString().size(), 16u);
+  EXPECT_NE(v1->AsString(), "bea@uni.edu");
+  Value other = Value::String("axl@uni.edu");
+  EXPECT_NE(*Generator::Hash().Generate(Ctx(&rng, &other)), *v1);
+}
+
+TEST(GeneratorTest, HashWithoutOriginalFails) {
+  Rng rng(1);
+  EXPECT_FALSE(Generator::Hash().Generate(Ctx(&rng)).ok());
+}
+
+TEST(GeneratorTest, KeepAndRedact) {
+  Rng rng(1);
+  Value original = Value::Int(5);
+  EXPECT_EQ(*Generator::Keep().Generate(Ctx(&rng, &original)), Value::Int(5));
+  EXPECT_EQ(*Generator::Redact().Generate(Ctx(&rng, &original)),
+            Value::String("[redacted]"));
+}
+
+TEST(GeneratorTest, ExprReadsRowColumns) {
+  Rng rng(1);
+  auto gen = Generator::Parse("Expr(UPPER(\"name\") || '!')");
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  GenContext ctx = Ctx(&rng);
+  ctx.row = [](const std::string&, const std::string& col) -> StatusOr<Value> {
+    if (col == "name") {
+      return Value::String("bea");
+    }
+    return NotFound("no col");
+  };
+  auto v = gen->Generate(ctx);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(*v, Value::String("BEA!"));
+}
+
+TEST(GeneratorTest, ParseRoundTrip) {
+  for (const char* text :
+       {"Random", "Hash", "Redact", "Keep", "RandomString(8)", "RandomInt(1, 5)",
+        "Const(NULL)", "Const(TRUE)", "Const('x')", "Const(-3)"}) {
+    auto gen = Generator::Parse(text);
+    ASSERT_TRUE(gen.ok()) << text << ": " << gen.status();
+    auto again = Generator::Parse(gen->ToText());
+    ASSERT_TRUE(again.ok()) << gen->ToText();
+    EXPECT_EQ(again->ToText(), gen->ToText());
+  }
+}
+
+TEST(GeneratorTest, ParseDefaultIsConstAlias) {
+  auto gen = Generator::Parse("Default(NULL)");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->kind(), Generator::Kind::kConst);
+}
+
+TEST(GeneratorTest, ParseErrors) {
+  EXPECT_FALSE(Generator::Parse("Nonsense").ok());
+  EXPECT_FALSE(Generator::Parse("RandomString(-1)").ok());
+  EXPECT_FALSE(Generator::Parse("RandomString('x')").ok());
+  EXPECT_FALSE(Generator::Parse("RandomInt(5, 1)").ok());
+  EXPECT_FALSE(Generator::Parse("RandomInt(1)").ok());
+  EXPECT_FALSE(Generator::Parse("Const(").ok());
+  EXPECT_FALSE(Generator::Parse("Expr(\"col\" +)").ok());
+}
+
+TEST(GeneratorTest, CopyClonesExprDeeply) {
+  auto gen = Generator::Parse("Expr(1 + 2)");
+  ASSERT_TRUE(gen.ok());
+  Generator copy = *gen;
+  EXPECT_EQ(copy.ToText(), gen->ToText());
+}
+
+// --- SplitTopLevel -----------------------------------------------------------------
+
+TEST(SplitTopLevelTest, RespectsNestingAndQuotes) {
+  auto parts = SplitTopLevel("a, b(c, d), 'x,y', \"q,r\"", ',');
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 4u);
+  EXPECT_EQ((*parts)[1], " b(c, d)");
+  EXPECT_EQ((*parts)[2], " 'x,y'");
+  EXPECT_FALSE(SplitTopLevel("a)(", ',').ok());
+  EXPECT_FALSE(SplitTopLevel("'unterminated", ',').ok());
+}
+
+// --- Spec parser ---------------------------------------------------------------------
+
+constexpr char kMiniSpec[] = R"(
+# A miniature Figure-3-style spec.
+disguise_name: "UserScrub"
+user_to_disguise: $UID
+reversible: true
+
+table ContactInfo:
+  generate_placeholder:
+    "name" <- Random
+    "email" <- Default(NULL)
+    "disabled" <- Default(TRUE)
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table ReviewPreference:
+  transformations:
+    Remove(pred: "contactId" = $UID)
+
+table Review:
+  transformations:
+    Decorrelate(pred: "contactId" = $UID, foreign_key: ("contactId", ContactInfo))
+    Modify(pred: "reviewText" LIKE '%secret%', column: "reviewText", value: Redact)
+
+assert_empty Review: "contactId" = $UID
+)";
+
+TEST(SpecParserTest, ParsesFigure3StyleSpec) {
+  auto spec = ParseDisguiseSpec(kMiniSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name(), "UserScrub");
+  EXPECT_TRUE(spec->per_user());
+  EXPECT_TRUE(spec->reversible());
+  ASSERT_EQ(spec->tables().size(), 3u);
+
+  const TableDisguise* contact = spec->FindTable("ContactInfo");
+  ASSERT_NE(contact, nullptr);
+  EXPECT_EQ(contact->placeholder.size(), 3u);
+  EXPECT_EQ(contact->placeholder[0].column, "name");
+  ASSERT_EQ(contact->transformations.size(), 1u);
+  EXPECT_EQ(contact->transformations[0].kind(), TransformKind::kRemove);
+
+  const TableDisguise* review = spec->FindTable("Review");
+  ASSERT_NE(review, nullptr);
+  ASSERT_EQ(review->transformations.size(), 2u);
+  EXPECT_EQ(review->transformations[0].kind(), TransformKind::kDecorrelate);
+  EXPECT_EQ(review->transformations[0].foreign_key().column, "contactId");
+  EXPECT_EQ(review->transformations[0].foreign_key().parent_table, "ContactInfo");
+  EXPECT_EQ(review->transformations[1].kind(), TransformKind::kModify);
+  EXPECT_EQ(review->transformations[1].column(), "reviewText");
+
+  ASSERT_EQ(spec->assertions().size(), 1u);
+  EXPECT_EQ(spec->assertions()[0].table, "Review");
+  EXPECT_GT(spec->SpecLoc(), 10u);
+}
+
+TEST(SpecParserTest, ToTextRoundTrips) {
+  auto spec = ParseDisguiseSpec(kMiniSpec);
+  ASSERT_TRUE(spec.ok());
+  std::string rendered = spec->ToText();
+  auto again = ParseDisguiseSpec(rendered);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << rendered;
+  EXPECT_EQ(again->name(), spec->name());
+  EXPECT_EQ(again->tables().size(), spec->tables().size());
+  EXPECT_EQ(again->assertions().size(), spec->assertions().size());
+  // Second rendering is a fixed point.
+  EXPECT_EQ(again->ToText(), rendered);
+}
+
+TEST(SpecParserTest, GlobalSpecHasNoUid) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "Anon"
+reversible: false
+table T:
+  transformations:
+    Remove(pred: TRUE)
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_FALSE(spec->per_user());
+  EXPECT_FALSE(spec->reversible());
+}
+
+TEST(SpecParserTest, InlineCommentsStripped) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"   # trailing comment
+table T: -- another
+  transformations:
+    Remove(pred: "a" = 1)  # comment after transformation
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name(), "X");
+}
+
+TEST(SpecParserTest, CommentCharactersInsideStringsSurvive) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table T:
+  transformations:
+    Modify(pred: TRUE, column: "c", value: Const('#not -- a comment'))
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  const Transformation& tr = spec->tables()[0].transformations[0];
+  Rng rng(1);
+  GenContext ctx;
+  ctx.rng = &rng;
+  EXPECT_EQ(*tr.generator().Generate(ctx), Value::String("#not -- a comment"));
+}
+
+TEST(SpecParserTest, Errors) {
+  EXPECT_FALSE(ParseDisguiseSpec("").ok());                       // no name
+  EXPECT_FALSE(ParseDisguiseSpec("disguise_name \"X\"").ok());    // missing colon
+  EXPECT_FALSE(ParseDisguiseSpec("disguise_name: \"X\"\nRemove(pred: TRUE)").ok());
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+table T:
+  transformations:
+    Explode(pred: TRUE)
+)").ok());
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+table T:
+  transformations:
+    Remove(pred: "unterminated)
+)").ok());
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+table T:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: bad)
+)").ok());
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+table T:
+table T:
+)").ok());  // duplicate table
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+user_to_disguise: $OTHER
+)").ok());
+  EXPECT_FALSE(ParseDisguiseSpec(R"(
+disguise_name: "X"
+reversible: maybe
+)").ok());
+}
+
+// --- Spec validation against schemas ----------------------------------------------
+
+TEST(SpecValidationTest, ShippedSpecsValidate) {
+  db::Schema hotcrp_schema = hotcrp::BuildSchema();
+  for (auto spec_fn : {hotcrp::GdprSpec, hotcrp::GdprPlusSpec, hotcrp::ConfAnonSpec}) {
+    auto spec = spec_fn();
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    EXPECT_TRUE(spec->Validate(hotcrp_schema).ok())
+        << spec->name() << ": " << spec->Validate(hotcrp_schema).ToString();
+  }
+  db::Schema lobsters_schema = lobsters::BuildSchema();
+  auto spec = lobsters::GdprSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->Validate(lobsters_schema).ok())
+      << spec->Validate(lobsters_schema).ToString();
+}
+
+TEST(SpecValidationTest, RejectsUnknownTable) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table Ghost:
+  transformations:
+    Remove(pred: TRUE)
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->set_per_user(false);
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsUnknownPredicateColumn) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table ContactInfo:
+  transformations:
+    Remove(pred: "ghostColumn" = 1)
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->set_per_user(false);
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsModifyOfPrimaryKey) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table ContactInfo:
+  transformations:
+    Modify(pred: TRUE, column: "contactId", value: Const(1))
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->set_per_user(false);
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsDecorrelateWithoutSchemaFk) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table ContactInfo:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: ("name", ContactInfo))
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->set_per_user(false);
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsDecorrelateWithoutPlaceholderRecipe) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table PaperReview:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: ("contactId", ContactInfo))
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->set_per_user(false);
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsIncompletePlaceholderRecipe) {
+  // ContactInfo.name is NOT NULL without default: the recipe must cover it.
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+table ContactInfo:
+  generate_placeholder:
+    "email" <- Const(NULL)
+  transformations:
+    Remove(pred: "contactId" = $UID)
+table PaperReview:
+  transformations:
+    Decorrelate(pred: "contactId" = $UID, foreign_key: ("contactId", ContactInfo))
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecValidationTest, RejectsPerUserSpecWithoutUid) {
+  auto spec = ParseDisguiseSpec(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table ContactInfo:
+  transformations:
+    Remove(pred: TRUE)
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->Validate(hotcrp::BuildSchema()).ok());
+}
+
+TEST(SpecStatsTest, Figure4Metrics) {
+  // Shape check of the Figure-4 inputs: object-type counts are exact;
+  // spec/schema LoC are measured (values reported by bench/fig4).
+  EXPECT_EQ(hotcrp::BuildSchema().num_tables(), 25u);
+  EXPECT_EQ(lobsters::BuildSchema().num_tables(), 19u);
+  auto spec = hotcrp::GdprPlusSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_GT(spec->SpecLoc(), 30u);
+  EXPECT_LT(spec->SpecLoc(), hotcrp::BuildSchema().SchemaLoc());
+}
+
+}  // namespace
+}  // namespace edna::disguise

@@ -1,0 +1,335 @@
+// Property-based suites (parameterized sweeps over seeds / users / scales):
+//  * the relational engine preserves index & referential integrity under
+//    randomized workloads,
+//  * apply ∘ reveal is the identity on the whole database, for every
+//    disguise and many users,
+//  * reveal-record serialization round-trips under fuzzed inputs,
+//  * composition preserves the new disguise's privacy goal regardless of
+//    which disguise ran first.
+#include <gtest/gtest.h>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/generator.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+#include "src/vault/reveal_record.h"
+
+namespace edna {
+namespace {
+
+using sql::Value;
+
+// --- Randomized relational workload keeps integrity ---------------------------
+
+class DbFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbFuzzProperty, RandomOpsNeverBreakIntegrity) {
+  Rng rng(GetParam());
+  db::Database db;
+
+  db::TableSchema parent("parent");
+  parent
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "tag", .type = db::ColumnType::kString, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddIndex("tag");
+  ASSERT_TRUE(db.CreateTable(std::move(parent)).ok());
+
+  db::TableSchema child("child");
+  child
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "parent_id", .type = db::ColumnType::kInt, .nullable = true})
+      .AddColumn({.name = "kind", .type = db::ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "parent_id", .parent_table = "parent",
+                      .parent_column = "id",
+                      .on_delete = rng.NextBool() ? db::FkAction::kCascade
+                                                  : db::FkAction::kSetNull});
+  ASSERT_TRUE(db.CreateTable(std::move(child)).ok());
+
+  std::vector<int64_t> parent_ids;
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.NextBounded(6)) {
+      case 0: {  // insert parent
+        auto id = db.InsertValues("parent", {{"tag", Value::String(rng.NextAlphaString(3))}});
+        ASSERT_TRUE(id.ok());
+        auto pk = db.GetColumn("parent", *id, "id");
+        parent_ids.push_back(pk->AsInt());
+        break;
+      }
+      case 1: {  // insert child (sometimes orphan attempt)
+        Value pid = Value::Null();
+        if (!parent_ids.empty() && rng.NextBool(0.8)) {
+          pid = Value::Int(rng.Pick(parent_ids));
+        } else if (rng.NextBool(0.3)) {
+          pid = Value::Int(999999);  // must be rejected
+        }
+        auto id = db.InsertValues(
+            "child", {{"parent_id", pid}, {"kind", Value::Int(rng.NextInt(0, 5))}});
+        if (pid.is_int() && pid.AsInt() == 999999) {
+          EXPECT_FALSE(id.ok());
+        }
+        break;
+      }
+      case 2: {  // delete a random parent (cascade or setnull)
+        if (parent_ids.empty()) {
+          break;
+        }
+        size_t idx = rng.NextBounded(parent_ids.size());
+        auto pred = sql::ParseExpression("\"id\" = " + std::to_string(parent_ids[idx]));
+        auto n = db.Delete("parent", pred->get(), {});
+        ASSERT_TRUE(n.ok()) << n.status();
+        parent_ids.erase(parent_ids.begin() + static_cast<long>(idx));
+        break;
+      }
+      case 3: {  // predicate update
+        auto pred = sql::ParseExpression("\"kind\" < 3");
+        std::vector<db::Assignment> assigns;
+        assigns.push_back(
+            {.column = "kind", .expr = std::move(*sql::ParseExpression("\"kind\" + 1"))});
+        ASSERT_TRUE(db.Update("child", pred->get(), {}, assigns).ok());
+        break;
+      }
+      case 4: {  // predicate delete of children
+        auto pred = sql::ParseExpression("\"kind\" > 4");
+        ASSERT_TRUE(db.Delete("child", pred->get(), {}).ok());
+        break;
+      }
+      case 5: {  // transaction that randomly commits or rolls back
+        ASSERT_TRUE(db.Begin().ok());
+        if (!parent_ids.empty()) {
+          auto pred =
+              sql::ParseExpression("\"id\" = " + std::to_string(rng.Pick(parent_ids)));
+          (void)db.Delete("parent", pred->get(), {});
+        }
+        if (rng.NextBool()) {
+          ASSERT_TRUE(db.Commit().ok());
+          // Resync parent_ids with reality.
+          parent_ids.clear();
+          auto rows = db.Select("parent", nullptr, {});
+          for (const db::RowRef& ref : *rows) {
+            parent_ids.push_back((*ref.row)[0].AsInt());
+          }
+        } else {
+          ASSERT_TRUE(db.Rollback().ok());
+        }
+        break;
+      }
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(db.CheckIntegrity().ok()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbFuzzProperty, ::testing::Range<uint64_t>(1, 9));
+
+// --- Apply/Reveal is identity, across disguises and users -----------------------
+
+struct RoundTripCase {
+  const char* spec_name;
+  size_t user_index;  // index into PC members
+};
+
+class ApplyRevealProperty : public ::testing::TestWithParam<RoundTripCase> {};
+
+// Canonical serialization of the application's tables for equality checking.
+// Reserved engine tables (the persistent disguise log) are excluded: the log
+// is durable across reveals by design (§4.2).
+std::string Fingerprint(const db::Database& db) {
+  std::string out;
+  for (const db::TableSchema& ts : db.schema().tables()) {
+    if (ts.name().rfind("__edna", 0) == 0) {
+      continue;
+    }
+    const db::Table* t = db.FindTable(ts.name());
+    out += "#" + ts.name() + "\n";
+    t->Scan([&](db::RowId id, const db::Row& row) {
+      out += std::to_string(id) + ":" + db::RowToString(row) + "\n";
+    });
+  }
+  return out;
+}
+
+TEST_P(ApplyRevealProperty, RoundTripRestoresFingerprint) {
+  db::Database db;
+  hotcrp::Config config;
+  config.num_users = 40;
+  config.num_pc = 6;
+  config.num_papers = 25;
+  config.num_reviews = 70;
+  auto gen = hotcrp::Populate(&db, config);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+
+  vault::OfflineVault vault;
+  SimulatedClock clock(5);
+  core::DisguiseEngine engine(&db, &vault, &clock);
+  ASSERT_TRUE(engine.RegisterSpec(*hotcrp::GdprSpec()).ok());
+  ASSERT_TRUE(engine.RegisterSpec(*hotcrp::GdprPlusSpec()).ok());
+  ASSERT_TRUE(engine.RegisterSpec(*hotcrp::ConfAnonSpec()).ok());
+
+  std::string before = Fingerprint(db);
+
+  const RoundTripCase& c = GetParam();
+  StatusOr<core::ApplyResult> applied = [&]() -> StatusOr<core::ApplyResult> {
+    if (std::string(c.spec_name) == hotcrp::kConfAnonName) {
+      return engine.Apply(c.spec_name, {});
+    }
+    int64_t uid = gen->pc_contact_ids[c.user_index % gen->pc_contact_ids.size()];
+    return engine.ApplyForUser(c.spec_name, Value::Int(uid));
+  }();
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_NE(Fingerprint(db), before);  // the disguise did something
+
+  auto revealed = engine.Reveal(applied->disguise_id);
+  ASSERT_TRUE(revealed.ok()) << revealed.status();
+  EXPECT_EQ(Fingerprint(db), before);  // ...and reveal undid all of it
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecsAndUsers, ApplyRevealProperty,
+    ::testing::Values(RoundTripCase{"HotCRP-GDPR", 0}, RoundTripCase{"HotCRP-GDPR", 3},
+                      RoundTripCase{"HotCRP-GDPR+", 0}, RoundTripCase{"HotCRP-GDPR+", 1},
+                      RoundTripCase{"HotCRP-GDPR+", 4}, RoundTripCase{"HotCRP-ConfAnon", 0}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      std::string name = info.param.spec_name;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) {
+          ch = '_';
+        }
+      }
+      return name + "_u" + std::to_string(info.param.user_index);
+    });
+
+// --- Reveal-record codec fuzz -----------------------------------------------------
+
+class CodecFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecFuzzProperty, RandomRecordsRoundTrip) {
+  Rng rng(GetParam());
+  vault::RevealRecord rec;
+  rec.disguise_id = rng.NextU64();
+  rec.disguise_name = rng.NextAlnumString(rng.NextBounded(30));
+  rec.user_id = rng.NextBool() ? Value::Int(rng.NextInt(-100, 100)) : Value::Null();
+  rec.created = rng.NextInt(0, 1'000'000);
+  size_t num_ops = rng.NextBounded(40);
+  for (size_t i = 0; i < num_ops; ++i) {
+    auto random_value = [&]() -> Value {
+      switch (rng.NextBounded(5)) {
+        case 0:
+          return Value::Null();
+        case 1:
+          return Value::Int(rng.NextInt(INT32_MIN, INT32_MAX));
+        case 2:
+          return Value::Double(rng.NextDouble() * 1e6);
+        case 3:
+          return Value::Bool(rng.NextBool());
+        default:
+          return Value::String(rng.NextAlnumString(rng.NextBounded(20)));
+      }
+    };
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        db::Row row;
+        size_t width = rng.NextBounded(8);
+        for (size_t c = 0; c < width; ++c) {
+          row.push_back(random_value());
+        }
+        rec.ops.push_back(vault::RevealOp::RestoreRow(rng.NextAlphaString(6),
+                                                      rng.NextU64() % 1000, row));
+        break;
+      }
+      case 1:
+        rec.ops.push_back(vault::RevealOp::RestoreColumn(
+            rng.NextAlphaString(6), rng.NextU64() % 1000, rng.NextAlphaString(4),
+            random_value(), random_value()));
+        break;
+      case 2:
+        rec.ops.push_back(
+            vault::RevealOp::DropPlaceholder(rng.NextAlphaString(6), rng.NextU64() % 1000));
+        break;
+    }
+  }
+
+  std::vector<uint8_t> wire = rec.Serialize();
+  auto back = vault::RevealRecord::Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->Serialize(), wire);  // canonical form is a fixed point
+  ASSERT_EQ(back->ops.size(), rec.ops.size());
+  for (size_t i = 0; i < rec.ops.size(); ++i) {
+    EXPECT_EQ(back->ops[i].kind, rec.ops[i].kind);
+    EXPECT_EQ(back->ops[i].table, rec.ops[i].table);
+    EXPECT_EQ(back->ops[i].row_id, rec.ops[i].row_id);
+    EXPECT_EQ(back->ops[i].row, rec.ops[i].row);
+    EXPECT_EQ(back->ops[i].old_value, rec.ops[i].old_value);
+  }
+
+  // Truncations never crash, always error.
+  for (size_t cut : {wire.size() / 4, wire.size() / 2, wire.size() - 1}) {
+    if (cut < wire.size()) {
+      std::vector<uint8_t> truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(vault::RevealRecord::Deserialize(truncated).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzProperty, ::testing::Range<uint64_t>(1, 17));
+
+// --- Composition preserves privacy goals in either order -------------------------
+
+class CompositionOrderProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CompositionOrderProperty, UserIsGoneWhicheverOrderDisguisesRan) {
+  bool anon_first = GetParam();
+  db::Database db;
+  hotcrp::Config config;
+  config.num_users = 40;
+  config.num_pc = 6;
+  config.num_papers = 25;
+  config.num_reviews = 70;
+  auto gen = hotcrp::Populate(&db, config);
+  ASSERT_TRUE(gen.ok());
+  vault::OfflineVault vault;
+  SimulatedClock clock(5);
+  core::DisguiseEngine engine(&db, &vault, &clock);
+  ASSERT_TRUE(engine.RegisterSpec(*hotcrp::GdprPlusSpec()).ok());
+  ASSERT_TRUE(engine.RegisterSpec(*hotcrp::ConfAnonSpec()).ok());
+
+  int64_t uid = gen->pc_contact_ids[1];
+  if (anon_first) {
+    ASSERT_TRUE(engine.Apply(hotcrp::kConfAnonName, {}).ok());
+    ASSERT_TRUE(engine.ApplyForUser(hotcrp::kGdprPlusName, Value::Int(uid)).ok());
+  } else {
+    ASSERT_TRUE(engine.ApplyForUser(hotcrp::kGdprPlusName, Value::Int(uid)).ok());
+    ASSERT_TRUE(engine.Apply(hotcrp::kConfAnonName, {}).ok());
+  }
+
+  // In both orders, the privacy goals of BOTH disguises hold afterwards.
+  for (const char* table : {"ContactInfo", "PaperReview", "PaperComment", "PaperConflict",
+                            "PaperReviewPreference"}) {
+    std::string col = std::string(table) == "ContactInfo" ? "contactId" : "contactId";
+    auto pred = sql::ParseExpression("\"" + col + "\" = " + std::to_string(uid));
+    auto n = db.Count(table, pred->get(), {});
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u) << table;
+  }
+  auto logs = db.Count("ActionLog", nullptr, {});
+  ASSERT_TRUE(logs.ok());
+  EXPECT_EQ(*logs, 0u);  // ConfAnon's goal
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CompositionOrderProperty, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "AnonThenGdpr" : "GdprThenAnon";
+                         });
+
+}  // namespace
+}  // namespace edna

@@ -1,0 +1,196 @@
+// Property tests for the disguise-spec language: randomly generated specs
+// render to text and parse back to an equivalent spec (ToText is a fixed
+// point), and the parser never crashes on mutated spec text.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+
+namespace edna::disguise {
+namespace {
+
+// Builds a random but well-formed spec.
+DisguiseSpec RandomSpec(Rng* rng) {
+  DisguiseSpec spec("Fuzz" + rng->NextAlnumString(6));
+  bool per_user = rng->NextBool();
+  spec.set_per_user(per_user);
+  spec.set_reversible(rng->NextBool());
+
+  auto random_pred = [&](bool force_uid) -> sql::ExprPtr {
+    std::string col = rng->NextAlphaString(5);
+    std::string text;
+    switch (force_uid ? 0 : rng->NextBounded(5)) {
+      case 0:
+        text = "\"" + col + "\" = $UID";
+        break;
+      case 1:
+        text = "\"" + col + "\" LIKE '" + rng->NextAlphaString(3) + "%'";
+        break;
+      case 2:
+        text = "\"" + col + "\" IS NOT NULL AND \"" + rng->NextAlphaString(4) + "\" > " +
+               std::to_string(rng->NextInt(-50, 50));
+        break;
+      case 3:
+        text = "\"" + col + "\" IN (1, 2, 3) OR \"" + col + "\" BETWEEN 10 AND 20";
+        break;
+      default:
+        text = "TRUE";
+        break;
+    }
+    auto parsed = sql::ParseExpression(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    return *std::move(parsed);
+  };
+
+  auto random_generator = [&]() -> Generator {
+    switch (rng->NextBounded(7)) {
+      case 0:
+        return Generator::RandomName();
+      case 1:
+        return Generator::RandomString(1 + static_cast<int64_t>(rng->NextBounded(20)));
+      case 2: {
+        int64_t lo = rng->NextInt(-100, 50);
+        return Generator::RandomInt(lo, lo + static_cast<int64_t>(rng->NextBounded(100)));
+      }
+      case 3: {
+        switch (rng->NextBounded(4)) {
+          case 0:
+            return Generator::Const(sql::Value::Null());
+          case 1:
+            return Generator::Const(sql::Value::Bool(rng->NextBool()));
+          case 2:
+            return Generator::Const(sql::Value::Int(rng->NextInt(-1000, 1000)));
+          default:
+            return Generator::Const(sql::Value::String(rng->NextAlphaString(6)));
+        }
+      }
+      case 4:
+        return Generator::Hash();
+      case 5:
+        return Generator::Redact();
+      default:
+        return Generator::Keep();
+    }
+  };
+
+  size_t num_tables = 1 + rng->NextBounded(5);
+  bool used_uid = false;
+  for (size_t t = 0; t < num_tables; ++t) {
+    TableDisguise td;
+    td.table = "T" + rng->NextAlphaString(4) + std::to_string(t);
+    if (rng->NextBool(0.4)) {
+      size_t cols = 1 + rng->NextBounded(4);
+      for (size_t c = 0; c < cols; ++c) {
+        td.placeholder.push_back(
+            PlaceholderColumn{"p" + rng->NextAlphaString(3) + std::to_string(c),
+                              random_generator()});
+      }
+    }
+    size_t num_tr = 1 + rng->NextBounded(3);
+    for (size_t i = 0; i < num_tr; ++i) {
+      bool force_uid = per_user && !used_uid;
+      switch (rng->NextBounded(3)) {
+        case 0:
+          td.transformations.push_back(Transformation::Remove(random_pred(force_uid)));
+          break;
+        case 1:
+          td.transformations.push_back(Transformation::Modify(
+              random_pred(force_uid), "c" + rng->NextAlphaString(4), random_generator()));
+          break;
+        default:
+          td.transformations.push_back(Transformation::Decorrelate(
+              random_pred(force_uid),
+              ForeignKeyRef{"fk" + rng->NextAlphaString(3), "P" + rng->NextAlphaString(4)}));
+          break;
+      }
+      used_uid = used_uid || force_uid;
+    }
+    spec.tables().push_back(std::move(td));
+  }
+  if (rng->NextBool(0.5)) {
+    spec.assertions().emplace_back("T" + rng->NextAlphaString(4), random_pred(false));
+  }
+  return spec;
+}
+
+class SpecFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpecFuzzProperty, RenderParseRenderIsFixedPoint) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    DisguiseSpec spec = RandomSpec(&rng);
+    std::string text = spec.ToText();
+    auto parsed = ParseDisguiseSpec(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n--- spec text ---\n" << text;
+    EXPECT_EQ(parsed->name(), spec.name());
+    EXPECT_EQ(parsed->per_user(), spec.per_user());
+    EXPECT_EQ(parsed->reversible(), spec.reversible());
+    ASSERT_EQ(parsed->tables().size(), spec.tables().size());
+    for (size_t t = 0; t < spec.tables().size(); ++t) {
+      EXPECT_EQ(parsed->tables()[t].table, spec.tables()[t].table);
+      EXPECT_EQ(parsed->tables()[t].placeholder.size(), spec.tables()[t].placeholder.size());
+      ASSERT_EQ(parsed->tables()[t].transformations.size(),
+                spec.tables()[t].transformations.size());
+      for (size_t i = 0; i < spec.tables()[t].transformations.size(); ++i) {
+        EXPECT_EQ(parsed->tables()[t].transformations[i].ToText(),
+                  spec.tables()[t].transformations[i].ToText());
+      }
+    }
+    EXPECT_EQ(parsed->assertions().size(), spec.assertions().size());
+    // ToText of the parse is byte-identical: a true fixed point.
+    EXPECT_EQ(parsed->ToText(), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecFuzzProperty, ::testing::Range<uint64_t>(1, 9));
+
+class SpecMutationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpecMutationProperty, MutatedTextNeverCrashesParser) {
+  Rng rng(GetParam());
+  DisguiseSpec spec = RandomSpec(&rng);
+  std::string text = spec.ToText();
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    switch (rng.NextBounded(4)) {
+      case 0: {  // flip a byte
+        if (!mutated.empty()) {
+          size_t pos = rng.NextBounded(mutated.size());
+          mutated[pos] = static_cast<char>(32 + rng.NextBounded(95));
+        }
+        break;
+      }
+      case 1: {  // delete a chunk
+        if (mutated.size() > 2) {
+          size_t pos = rng.NextBounded(mutated.size() - 1);
+          size_t len = 1 + rng.NextBounded(std::min<size_t>(20, mutated.size() - pos));
+          mutated.erase(pos, len);
+        }
+        break;
+      }
+      case 2: {  // duplicate a chunk
+        size_t pos = rng.NextBounded(mutated.size());
+        size_t len = rng.NextBounded(std::min<size_t>(30, mutated.size() - pos));
+        mutated.insert(pos, mutated.substr(pos, len));
+        break;
+      }
+      case 3: {  // truncate
+        mutated.resize(rng.NextBounded(mutated.size() + 1));
+        break;
+      }
+    }
+    // Must either parse or fail cleanly — no crash, no exception escape.
+    auto parsed = ParseDisguiseSpec(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must re-render and re-parse.
+      auto again = ParseDisguiseSpec(parsed->ToText());
+      EXPECT_TRUE(again.ok()) << parsed->ToText();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecMutationProperty, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace edna::disguise

@@ -1,0 +1,205 @@
+// Unit tests for expression evaluation: three-valued logic, arithmetic,
+// predicates, scalar functions, and parameter/column binding.
+#include <gtest/gtest.h>
+
+#include "src/sql/eval.h"
+#include "src/sql/parser.h"
+
+namespace edna::sql {
+namespace {
+
+Value EvalConst(const std::string& expr, const ParamMap& params = {}) {
+  auto e = ParseExpression(expr);
+  EXPECT_TRUE(e.ok()) << e.status();
+  auto v = EvaluateConstant(**e, params);
+  EXPECT_TRUE(v.ok()) << expr << " -> " << v.status();
+  return v.ok() ? *v : Value::Null();
+}
+
+Status EvalError(const std::string& expr) {
+  auto e = ParseExpression(expr);
+  EXPECT_TRUE(e.ok()) << e.status();
+  auto v = EvaluateConstant(**e, {});
+  EXPECT_FALSE(v.ok()) << expr << " unexpectedly evaluated to " << v->ToSqlString();
+  return v.ok() ? OkStatus() : v.status();
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(EvalConst("1 + 2"), Value::Int(3));
+  EXPECT_EQ(EvalConst("7 / 2"), Value::Int(3));      // integer division
+  EXPECT_EQ(EvalConst("7.0 / 2"), Value::Double(3.5));
+  EXPECT_EQ(EvalConst("7 % 3"), Value::Int(1));
+  EXPECT_EQ(EvalConst("2 * 3 + 1"), Value::Int(7));
+  EXPECT_EQ(EvalConst("-5"), Value::Int(-5));
+  EXPECT_EQ(EvalConst("+5"), Value::Int(5));
+}
+
+TEST(EvalTest, DivisionByZeroIsError) {
+  EXPECT_EQ(EvalError("1 / 0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalError("1 % 0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalError("1.5 / 0").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(EvalConst("1 + NULL").is_null());
+  EXPECT_TRUE(EvalConst("NULL * 3").is_null());
+  EXPECT_TRUE(EvalConst("-(NULL)").is_null());
+  EXPECT_TRUE(EvalConst("NULL || 'x'").is_null());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(EvalConst("1 < 2"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("2 <= 2"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("'a' < 'b'"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("1 = 1.0"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("1 != 2"), Value::Bool(true));
+}
+
+TEST(EvalTest, NullComparisonsAreUnknown) {
+  EXPECT_TRUE(EvalConst("NULL = NULL").is_null());
+  EXPECT_TRUE(EvalConst("1 = NULL").is_null());
+  EXPECT_TRUE(EvalConst("NULL < 5").is_null());
+}
+
+TEST(EvalTest, CrossTypeComparisonIsError) {
+  EXPECT_EQ(EvalError("1 = 'one'").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalError("'a' < 1").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, KleeneAndOr) {
+  EXPECT_EQ(EvalConst("TRUE AND TRUE"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("TRUE AND FALSE"), Value::Bool(false));
+  EXPECT_TRUE(EvalConst("TRUE AND NULL").is_null());
+  EXPECT_EQ(EvalConst("FALSE AND NULL"), Value::Bool(false));  // short-circuit
+  EXPECT_EQ(EvalConst("TRUE OR NULL"), Value::Bool(true));
+  EXPECT_TRUE(EvalConst("FALSE OR NULL").is_null());
+  EXPECT_EQ(EvalConst("NOT TRUE"), Value::Bool(false));
+  EXPECT_TRUE(EvalConst("NOT NULL").is_null());
+}
+
+TEST(EvalTest, ShortCircuitSkipsErrors) {
+  // RHS would divide by zero; short-circuit must prevent evaluation.
+  EXPECT_EQ(EvalConst("FALSE AND (1/0 = 1)"), Value::Bool(false));
+  EXPECT_EQ(EvalConst("TRUE OR (1/0 = 1)"), Value::Bool(true));
+}
+
+TEST(EvalTest, IsNull) {
+  EXPECT_EQ(EvalConst("NULL IS NULL"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("1 IS NULL"), Value::Bool(false));
+  EXPECT_EQ(EvalConst("1 IS NOT NULL"), Value::Bool(true));
+}
+
+TEST(EvalTest, InListSemantics) {
+  EXPECT_EQ(EvalConst("2 IN (1, 2, 3)"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("5 IN (1, 2, 3)"), Value::Bool(false));
+  EXPECT_EQ(EvalConst("5 NOT IN (1, 2)"), Value::Bool(true));
+  // SQL subtlety: no match but NULL present -> UNKNOWN.
+  EXPECT_TRUE(EvalConst("5 IN (1, NULL)").is_null());
+  EXPECT_EQ(EvalConst("1 IN (1, NULL)"), Value::Bool(true));
+  EXPECT_TRUE(EvalConst("NULL IN (1, 2)").is_null());
+}
+
+TEST(EvalTest, Between) {
+  EXPECT_EQ(EvalConst("2 BETWEEN 1 AND 3"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("0 BETWEEN 1 AND 3"), Value::Bool(false));
+  EXPECT_EQ(EvalConst("0 NOT BETWEEN 1 AND 3"), Value::Bool(true));
+  EXPECT_TRUE(EvalConst("NULL BETWEEN 1 AND 3").is_null());
+  // Lower bound fails => FALSE even with NULL upper (Kleene AND).
+  EXPECT_EQ(EvalConst("0 BETWEEN 1 AND NULL"), Value::Bool(false));
+}
+
+TEST(EvalTest, Like) {
+  EXPECT_EQ(EvalConst("'hello' LIKE 'h%'"), Value::Bool(true));
+  EXPECT_EQ(EvalConst("'hello' NOT LIKE '%z%'"), Value::Bool(true));
+  EXPECT_TRUE(EvalConst("NULL LIKE 'x'").is_null());
+  EXPECT_EQ(EvalError("1 LIKE 'x'").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, Concat) {
+  EXPECT_EQ(EvalConst("'a' || 'b' || 'c'"), Value::String("abc"));
+  EXPECT_EQ(EvalConst("'n=' || 5"), Value::String("n=5"));
+}
+
+TEST(EvalTest, Functions) {
+  EXPECT_EQ(EvalConst("LOWER('AbC')"), Value::String("abc"));
+  EXPECT_EQ(EvalConst("UPPER('AbC')"), Value::String("ABC"));
+  EXPECT_EQ(EvalConst("LENGTH('abcd')"), Value::Int(4));
+  EXPECT_EQ(EvalConst("ABS(-3)"), Value::Int(3));
+  EXPECT_EQ(EvalConst("ABS(-2.5)"), Value::Double(2.5));
+  EXPECT_EQ(EvalConst("COALESCE(NULL, NULL, 7)"), Value::Int(7));
+  EXPECT_TRUE(EvalConst("COALESCE(NULL, NULL)").is_null());
+  EXPECT_EQ(EvalConst("IFNULL(NULL, 3)"), Value::Int(3));
+  EXPECT_EQ(EvalConst("IFNULL(1, 3)"), Value::Int(1));
+  EXPECT_EQ(EvalConst("SUBSTR('hello', 2, 3)"), Value::String("ell"));
+  EXPECT_EQ(EvalConst("SUBSTR('hello', 4)"), Value::String("lo"));
+  EXPECT_EQ(EvalConst("SUBSTR('hi', 9)"), Value::String(""));
+  EXPECT_EQ(EvalConst("REPLACE('aXbX', 'X', 'y')"), Value::String("ayby"));
+  EXPECT_EQ(EvalConst("CONCAT('a', NULL, 'b')"), Value::String("ab"));
+  EXPECT_EQ(EvalConst("MIN(3, 1, 2)"), Value::Int(1));
+  EXPECT_EQ(EvalConst("MAX(3, 1, 2)"), Value::Int(3));
+}
+
+TEST(EvalTest, FunctionErrors) {
+  EXPECT_FALSE(EvaluateConstant(**ParseExpression("NOSUCHFN(1)"), {}).ok());
+  EXPECT_FALSE(EvaluateConstant(**ParseExpression("LOWER()"), {}).ok());
+  EXPECT_FALSE(EvaluateConstant(**ParseExpression("LOWER('a','b')"), {}).ok());
+}
+
+TEST(EvalTest, Parameters) {
+  ParamMap params;
+  params.emplace("UID", Value::Int(19));
+  EXPECT_EQ(EvalConst("$UID + 1", params), Value::Int(20));
+  auto e = ParseExpression("$MISSING = 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(EvaluateConstant(**e, params).ok());
+}
+
+TEST(EvalTest, ColumnResolution) {
+  auto e = ParseExpression("\"age\" >= 18 AND \"name\" LIKE 'B%'");
+  ASSERT_TRUE(e.ok());
+  ColumnResolver resolver = [](const std::string&,
+                               const std::string& col) -> StatusOr<Value> {
+    if (col == "age") {
+      return Value::Int(21);
+    }
+    if (col == "name") {
+      return Value::String("Bea");
+    }
+    return NotFound("no column " + col);
+  };
+  auto match = EvaluatePredicate(**e, resolver, {});
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_TRUE(*match);
+}
+
+TEST(EvalTest, PredicateTreatsUnknownAsNoMatch) {
+  auto e = ParseExpression("NULL = 1");
+  ASSERT_TRUE(e.ok());
+  auto match = EvaluatePredicate(**e, ColumnResolver(), {});
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(*match);
+}
+
+TEST(EvalTest, PredicateAllowsNumericTruthiness) {
+  auto e = ParseExpression("1");
+  ASSERT_TRUE(e.ok());
+  auto match = EvaluatePredicate(**e, ColumnResolver(), {});
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(*match);
+}
+
+TEST(EvalTest, MissingColumnContextIsError) {
+  auto e = ParseExpression("\"col\" = 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(EvaluateConstant(**e, {}).ok());
+}
+
+TEST(EvalTest, IsConstantExpression) {
+  EXPECT_TRUE(IsConstantExpression(**ParseExpression("1 + 2")));
+  EXPECT_TRUE(IsConstantExpression(**ParseExpression("$UID + 1")));
+  EXPECT_FALSE(IsConstantExpression(**ParseExpression("\"a\" + 1")));
+  EXPECT_FALSE(IsConstantExpression(**ParseExpression("LOWER(\"a\")")));
+}
+
+}  // namespace
+}  // namespace edna::sql

@@ -1,0 +1,197 @@
+// Unit tests for the SQL-expression lexer and parser: token shapes,
+// precedence, predicate forms, round-tripping, and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace edna::sql {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+std::vector<TokenKind> Kinds(const std::string& input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> out;
+  for (const Token& t : *tokens) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  EXPECT_EQ(Kinds("a = 1"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kEq,
+                                    TokenKind::kIntLiteral, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  EXPECT_EQ(Kinds("AND and AnD"),
+            (std::vector<TokenKind>{TokenKind::kAnd, TokenKind::kAnd, TokenKind::kAnd,
+                                    TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("null TRUE false"),
+            (std::vector<TokenKind>{TokenKind::kNull, TokenKind::kTrue, TokenKind::kFalse,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  EXPECT_EQ(Kinds("<= >= <> != == ||"),
+            (std::vector<TokenKind>{TokenKind::kLe, TokenKind::kGe, TokenKind::kNe,
+                                    TokenKind::kNe, TokenKind::kEq, TokenKind::kConcat,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = Tokenize("\"contactId\" `backtick`");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "contactId");
+  EXPECT_EQ((*tokens)[1].text, "backtick");
+}
+
+TEST(LexerTest, QuotedIdentifierWithEscapedQuote) {
+  auto tokens = Tokenize("\"we\"\"ird\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "we\"ird");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'it''s fine'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's fine");
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto tokens = Tokenize("42 3.5 1e3 2.5e-2 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 0.5);
+}
+
+TEST(LexerTest, Parameters) {
+  auto tokens = Tokenize("$UID $other_1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kParameter);
+  EXPECT_EQ((*tokens)[0].text, "UID");
+  EXPECT_EQ((*tokens)[1].text, "other_1");
+}
+
+TEST(LexerTest, BlobLiterals) {
+  auto tokens = Tokenize("x'0aff'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kBlobLiteral);
+  EXPECT_EQ((*tokens)[0].text, "0aff");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("$").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+  EXPECT_FALSE(Tokenize("x'zz'").ok());
+  EXPECT_FALSE(Tokenize("99999999999999999999999").ok());
+}
+
+// --- Parser ------------------------------------------------------------------
+
+std::string Reparse(const std::string& input) {
+  auto e = ParseExpression(input);
+  EXPECT_TRUE(e.ok()) << input << " -> " << e.status();
+  if (!e.ok()) {
+    return "<error>";
+  }
+  return (*e)->ToString();
+}
+
+TEST(ParserTest, PrecedenceArithmetic) {
+  EXPECT_EQ(Reparse("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Reparse("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(Reparse("1 - 2 - 3"), "((1 - 2) - 3)");  // left associative
+  EXPECT_EQ(Reparse("-x + 1"), "(-(\"x\") + 1)");
+}
+
+TEST(ParserTest, PrecedenceBoolean) {
+  EXPECT_EQ(Reparse("a = 1 OR b = 2 AND c = 3"),
+            "((\"a\" = 1) OR ((\"b\" = 2) AND (\"c\" = 3)))");
+  EXPECT_EQ(Reparse("NOT a = 1 AND b = 2"),
+            "(NOT ((\"a\" = 1)) AND (\"b\" = 2))");
+}
+
+TEST(ParserTest, ComparisonAndConcat) {
+  EXPECT_EQ(Reparse("a || b = 'ab'"), "((\"a\" || \"b\") = 'ab')");
+  EXPECT_EQ(Reparse("1 + 1 >= 2"), "((1 + 1) >= 2)");
+}
+
+TEST(ParserTest, PredicateForms) {
+  EXPECT_EQ(Reparse("x IS NULL"), "(\"x\" IS NULL)");
+  EXPECT_EQ(Reparse("x IS NOT NULL"), "(\"x\" IS NOT NULL)");
+  EXPECT_EQ(Reparse("x IN (1, 2, 3)"), "(\"x\" IN (1, 2, 3))");
+  EXPECT_EQ(Reparse("x NOT IN (1)"), "(\"x\" NOT IN (1))");
+  EXPECT_EQ(Reparse("x BETWEEN 1 AND 5"), "(\"x\" BETWEEN 1 AND 5)");
+  EXPECT_EQ(Reparse("x NOT BETWEEN 1 AND 5"), "(\"x\" NOT BETWEEN 1 AND 5)");
+  EXPECT_EQ(Reparse("name LIKE 'a%'"), "(\"name\" LIKE 'a%')");
+  EXPECT_EQ(Reparse("name NOT LIKE 'a%'"), "(\"name\" NOT LIKE 'a%')");
+}
+
+TEST(ParserTest, QualifiedColumnsAndParams) {
+  EXPECT_EQ(Reparse("Review.contactId = $UID"), "(\"Review\".\"contactId\" = $UID)");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  EXPECT_EQ(Reparse("lower(name)"), "LOWER(\"name\")");
+  EXPECT_EQ(Reparse("COALESCE(a, b, 1)"), "COALESCE(\"a\", \"b\", 1)");
+  EXPECT_EQ(Reparse("length('x') = 1"), "(LENGTH('x') = 1)");
+}
+
+TEST(ParserTest, RoundTripIsStable) {
+  // Rendering then reparsing must be a fixed point.
+  for (const char* expr :
+       {"(\"a\" = 1)", "(\"x\" IN (1, 2))", "(\"t\".\"c\" BETWEEN 1 AND 2)",
+        "(NOT ((\"b\" LIKE 'x%')))", "COALESCE(\"a\", NULL)",
+        "((\"a\" + 2.5) >= $UID)"}) {
+    std::string once = Reparse(expr);
+    EXPECT_EQ(Reparse(once), once) << expr;
+  }
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1").ok());
+  EXPECT_FALSE(ParseExpression("a = ").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());  // trailing input
+  EXPECT_FALSE(ParseExpression("x IN 1").ok());
+  EXPECT_FALSE(ParseExpression("x BETWEEN 1").ok());
+  EXPECT_FALSE(ParseExpression("NOT").ok());
+  EXPECT_FALSE(ParseExpression("a.").ok());
+}
+
+TEST(ParserTest, HelperQueries) {
+  auto e = ParseExpression("a = $UID AND b = $OTHER");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->ReferencesParam("UID"));
+  EXPECT_TRUE((*e)->ReferencesParam("OTHER"));
+  EXPECT_FALSE((*e)->ReferencesParam("NOPE"));
+  std::vector<std::string> cols;
+  (*e)->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, CloneIsDeep) {
+  auto e = ParseExpression("a = 1 AND b IN (2, 3)");
+  ASSERT_TRUE(e.ok());
+  ExprPtr clone = (*e)->Clone();
+  EXPECT_EQ(clone->ToString(), (*e)->ToString());
+  EXPECT_NE(clone.get(), e->get());
+}
+
+}  // namespace
+}  // namespace edna::sql

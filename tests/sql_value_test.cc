@@ -1,0 +1,107 @@
+// Unit tests for the SQL value model: typing, comparison order, hashing,
+// rendering.
+#include <gtest/gtest.h>
+
+#include "src/sql/value.h"
+
+namespace edna::sql {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, ConstructorsSetTypes) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(3.5).is_double());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Blob({1, 2}).is_blob());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.25).AsDouble(), 2.25);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Blob({9}).AsBlob(), std::vector<uint8_t>{9});
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(false).AsDouble(), 0.0);
+}
+
+TEST(ValueTest, ToNumberRejectsNonNumeric) {
+  EXPECT_FALSE(Value::String("3").ToNumber().ok());
+  EXPECT_FALSE(Value::Null().ToNumber().ok());
+  EXPECT_TRUE(Value::Int(3).ToNumber().ok());
+}
+
+TEST(ValueTest, SqlRendering) {
+  EXPECT_EQ(Value::Null().ToSqlString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToSqlString(), "42");
+  EXPECT_EQ(Value::Bool(true).ToSqlString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToSqlString(), "FALSE");
+  EXPECT_EQ(Value::String("it's").ToSqlString(), "'it''s'");
+  EXPECT_EQ(Value::Blob({0x0a, 0xff}).ToSqlString(), "x'0aff'");
+  EXPECT_EQ(Value::Double(2.0).ToSqlString(), "2.0");  // visibly a double
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Blob({1}).Compare(Value::Blob({1, 0})), 0);
+}
+
+TEST(ValueTest, CompareAcrossNumericFamily) {
+  // 1 == 1.0 == TRUE under SQL comparison.
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_EQ(Value::Int(1).Compare(Value::Bool(true)), 0);
+  EXPECT_LT(Value::Double(0.5).Compare(Value::Int(1)), 0);
+}
+
+TEST(ValueTest, CrossTypeClassOrderIsTotal) {
+  // NULL < numeric < string < blob.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Int(1'000'000).Compare(Value::String("")), 0);
+  EXPECT_LT(Value::String("zzz").Compare(Value::Blob({})), 0);
+}
+
+TEST(ValueTest, SqlEqualsVsStructuralEquals) {
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Double(1.0)));
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));  // structural differs
+  EXPECT_TRUE(Value::Int(1) == Value::Int(1));
+}
+
+TEST(ValueTest, HashConsistentWithSqlEquals) {
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::String("abd").Hash());
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, HashSeparatesTypeClasses) {
+  // "1" (string) must not collide with 1 (int) by design.
+  EXPECT_NE(Value::String("1").Hash(), Value::Int(1).Hash());
+}
+
+TEST(ValueTest, LargeIntsCompareExactly) {
+  // Values beyond double's 53-bit mantissa must still compare exactly.
+  int64_t big = (1LL << 60) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+  EXPECT_EQ(Value::Int(big).Compare(Value::Int(big)), 0);
+}
+
+TEST(ValueTest, NullsCompareEqual) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+}  // namespace
+}  // namespace edna::sql

@@ -1,0 +1,439 @@
+// disguisectl: command-line front end to the disguising library.
+//
+//   disguisectl demo <hotcrp|lobsters> --out <db.edb> [--scale F] [--seed N]
+//       Generate a synthetic application database and save it.
+//   disguisectl info <db.edb>
+//       Print per-table row counts.
+//   disguisectl schema <db.edb>
+//       Print the database's DDL.
+//   disguisectl query <db.edb> --table T [--where PRED] [--limit N]
+//       Count and show matching rows.
+//   disguisectl specs <hotcrp|lobsters>
+//       Print the application's shipped disguise specifications.
+//   disguisectl lint <hotcrp|lobsters> [spec-file]
+//       Lint a spec (shipped specs when no file is given) against the
+//       application schema.
+//   disguisectl explain <db.edb> --spec NAME|FILE [--uid N]
+//       Dry-run: report what applying the disguise would touch.
+//   disguisectl apply <db.edb> --spec NAME|FILE [--uid N] [--optimize]
+//                     [--reveal] [--no-save]
+//       Apply a disguise (optionally reveal it again immediately to
+//       demonstrate reversibility) and save the database back.
+//
+// Shipped spec names: HotCRP-GDPR, HotCRP-GDPR+, HotCRP-ConfAnon,
+// Lobsters-GDPR. Exit code 0 on success, 1 on error, 2 on usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/hotcrp/generator.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/schema.h"
+#include "src/apps/lobsters/generator.h"
+#include "src/common/clock.h"
+#include "src/core/engine.h"
+#include "src/db/storage.h"
+#include "src/disguise/lint.h"
+#include "src/disguise/spec_parser.h"
+#include "src/sql/parser.h"
+#include "src/vault/offline_vault.h"
+
+namespace {
+
+using edna::Status;
+using edna::StatusOr;
+using edna::sql::Value;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: disguisectl <demo|info|schema|query|specs|lint|explain|apply> ...\n"
+               "run with a command and no arguments for per-command help; see the\n"
+               "header of tools/disguisectl.cc for the full synopsis.\n");
+  return 2;
+}
+
+// Minimal flag parser: positionals plus --key value / --switch.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? dflt : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, const std::vector<std::string>& value_flags) {
+  Args args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      bool takes_value =
+          std::find(value_flags.begin(), value_flags.end(), name) != value_flags.end();
+      if (takes_value && i + 1 < argc) {
+        args.flags[name] = argv[++i];
+      } else {
+        args.flags[name] = "1";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return edna::NotFound("cannot open \"" + path + "\"");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Resolves a spec argument: a shipped name or a path to a spec file.
+StatusOr<edna::disguise::DisguiseSpec> ResolveSpec(const std::string& arg) {
+  if (arg == edna::hotcrp::kGdprName) {
+    return edna::hotcrp::GdprSpec();
+  }
+  if (arg == edna::hotcrp::kGdprPlusName) {
+    return edna::hotcrp::GdprPlusSpec();
+  }
+  if (arg == edna::hotcrp::kConfAnonName) {
+    return edna::hotcrp::ConfAnonSpec();
+  }
+  if (arg == edna::lobsters::kGdprName) {
+    return edna::lobsters::GdprSpec();
+  }
+  ASSIGN_OR_RETURN(std::string text, ReadFile(arg));
+  return edna::disguise::ParseDisguiseSpec(text);
+}
+
+int CmdDemo(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("out")) {
+    std::fprintf(stderr, "usage: disguisectl demo <hotcrp|lobsters> --out <db.edb> "
+                         "[--scale F] [--seed N]\n");
+    return 2;
+  }
+  double scale = args.Has("scale") ? std::strtod(args.Get("scale").c_str(), nullptr) : 1.0;
+  uint64_t seed = args.Has("seed") ? std::strtoull(args.Get("seed").c_str(), nullptr, 10)
+                                   : 42;
+  edna::db::Database db;
+  const std::string& app = args.positional[0];
+  if (app == "hotcrp") {
+    edna::hotcrp::Config config;
+    config.seed = seed;
+    auto gen = edna::hotcrp::Populate(&db, config.Scaled(scale));
+    if (!gen.ok()) {
+      return Fail(gen.status());
+    }
+  } else if (app == "lobsters") {
+    edna::lobsters::Config config;
+    config.seed = seed;
+    auto gen = edna::lobsters::Populate(&db, config.Scaled(scale));
+    if (!gen.ok()) {
+      return Fail(gen.status());
+    }
+  } else {
+    std::fprintf(stderr, "unknown application \"%s\"\n", app.c_str());
+    return 2;
+  }
+  Status saved = edna::db::SaveDatabaseToFile(db, args.Get("out"));
+  if (!saved.ok()) {
+    return Fail(saved);
+  }
+  std::printf("wrote %s: %zu tables, %zu rows\n", args.Get("out").c_str(),
+              db.schema().num_tables(), db.TotalRows());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: disguisectl info <db.edb>\n");
+    return 2;
+  }
+  auto db = edna::db::LoadDatabaseFromFile(args.positional[0]);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  std::printf("%-28s %10s\n", "table", "rows");
+  for (const edna::db::TableSchema& ts : (*db)->schema().tables()) {
+    std::printf("%-28s %10zu\n", ts.name().c_str(),
+                (*db)->FindTable(ts.name())->num_rows());
+  }
+  std::printf("%-28s %10zu\n", "(total)", (*db)->TotalRows());
+  return 0;
+}
+
+int CmdSchema(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: disguisectl schema <db.edb>\n");
+    return 2;
+  }
+  auto db = edna::db::LoadDatabaseFromFile(args.positional[0]);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  std::printf("%s", (*db)->schema().ToSql().c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("table")) {
+    std::fprintf(stderr,
+                 "usage: disguisectl query <db.edb> --table T [--where PRED] [--limit N]\n");
+    return 2;
+  }
+  auto db = edna::db::LoadDatabaseFromFile(args.positional[0]);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  edna::sql::ExprPtr pred;
+  if (args.Has("where")) {
+    auto parsed = edna::sql::ParseExpression(args.Get("where"));
+    if (!parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    pred = *std::move(parsed);
+  }
+  auto rows = (*db)->Select(args.Get("table"), pred.get(), {});
+  if (!rows.ok()) {
+    return Fail(rows.status());
+  }
+  size_t limit = args.Has("limit")
+                     ? std::strtoull(args.Get("limit").c_str(), nullptr, 10)
+                     : 10;
+  std::printf("%zu row(s) match\n", rows->size());
+  for (size_t i = 0; i < rows->size() && i < limit; ++i) {
+    std::printf("  %s\n", edna::db::RowToString(*(*rows)[i].row).c_str());
+  }
+  if (rows->size() > limit) {
+    std::printf("  ... %zu more\n", rows->size() - limit);
+  }
+  return 0;
+}
+
+int CmdSpecs(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: disguisectl specs <hotcrp|lobsters>\n");
+    return 2;
+  }
+  if (args.positional[0] == "hotcrp") {
+    std::printf("%s\n%s\n%s\n", edna::hotcrp::GdprSpecText().c_str(),
+                edna::hotcrp::GdprPlusSpecText().c_str(),
+                edna::hotcrp::ConfAnonSpecText().c_str());
+    return 0;
+  }
+  if (args.positional[0] == "lobsters") {
+    std::printf("%s\n", edna::lobsters::GdprSpecText().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
+  return 2;
+}
+
+int CmdLint(const Args& args) {
+  if (args.positional.empty() || args.positional.size() > 2) {
+    std::fprintf(stderr, "usage: disguisectl lint <hotcrp|lobsters> [spec-file]\n");
+    return 2;
+  }
+  edna::db::Schema schema;
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  if (args.positional[0] == "hotcrp") {
+    schema = edna::hotcrp::BuildSchema();
+    if (args.positional.size() == 1) {
+      specs.push_back(*edna::hotcrp::GdprSpec());
+      specs.push_back(*edna::hotcrp::GdprPlusSpec());
+      specs.push_back(*edna::hotcrp::ConfAnonSpec());
+    }
+  } else if (args.positional[0] == "lobsters") {
+    schema = edna::lobsters::BuildSchema();
+    if (args.positional.size() == 1) {
+      specs.push_back(*edna::lobsters::GdprSpec());
+    }
+  } else {
+    std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
+    return 2;
+  }
+  if (args.positional.size() == 2) {
+    auto spec = ResolveSpec(args.positional[1]);
+    if (!spec.ok()) {
+      return Fail(spec.status());
+    }
+    specs.clear();
+    specs.push_back(*std::move(spec));
+  }
+
+  bool any_errors = false;
+  for (const edna::disguise::DisguiseSpec& spec : specs) {
+    Status valid = spec.Validate(schema);
+    std::printf("== %s ==\n", spec.name().c_str());
+    if (!valid.ok()) {
+      std::printf("[error] validation: %s\n", valid.ToString().c_str());
+      any_errors = true;
+      continue;
+    }
+    auto findings = edna::disguise::LintSpec(spec, schema);
+    if (findings.empty()) {
+      std::printf("clean\n");
+    }
+    for (const edna::disguise::LintFinding& f : findings) {
+      std::printf("%s\n", f.ToString().c_str());
+    }
+    any_errors = any_errors || edna::disguise::HasLintErrors(findings);
+  }
+  return any_errors ? 1 : 0;
+}
+
+// Shared setup for explain/apply: load db, build engine, register spec.
+struct EngineSetup {
+  std::unique_ptr<edna::db::Database> db;
+  std::unique_ptr<edna::vault::OfflineVault> vault;
+  std::unique_ptr<edna::SystemClock> clock;
+  std::unique_ptr<edna::core::DisguiseEngine> engine;
+  std::string spec_name;
+};
+
+StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize) {
+  EngineSetup setup;
+  ASSIGN_OR_RETURN(setup.db, edna::db::LoadDatabaseFromFile(args.positional[0]));
+  setup.vault = std::make_unique<edna::vault::OfflineVault>();
+  setup.clock = std::make_unique<edna::SystemClock>();
+  edna::core::EngineOptions options;
+  options.reuse_decorrelation = optimize;
+  setup.engine = std::make_unique<edna::core::DisguiseEngine>(
+      setup.db.get(), setup.vault.get(), setup.clock.get(), options);
+  ASSIGN_OR_RETURN(edna::disguise::DisguiseSpec spec, ResolveSpec(args.Get("spec")));
+  setup.spec_name = spec.name();
+  RETURN_IF_ERROR(setup.engine->RegisterSpec(std::move(spec)));
+  return setup;
+}
+
+edna::sql::ParamMap ParamsFromArgs(const Args& args) {
+  edna::sql::ParamMap params;
+  if (args.Has("uid")) {
+    params.emplace(edna::disguise::kUidParam,
+                   Value::Int(std::strtoll(args.Get("uid").c_str(), nullptr, 10)));
+  }
+  return params;
+}
+
+int CmdExplain(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("spec")) {
+    std::fprintf(stderr, "usage: disguisectl explain <db.edb> --spec NAME|FILE [--uid N]\n");
+    return 2;
+  }
+  auto setup = SetUpEngine(args, /*optimize=*/false);
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+  auto report = setup->engine->Explain(setup->spec_name, ParamsFromArgs(args));
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("%s", report->ToString().c_str());
+  return 0;
+}
+
+int CmdApply(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("spec")) {
+    std::fprintf(stderr, "usage: disguisectl apply <db.edb> --spec NAME|FILE [--uid N] "
+                         "[--optimize] [--reveal] [--no-save]\n");
+    return 2;
+  }
+  auto setup = SetUpEngine(args, args.Has("optimize"));
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+  auto applied = setup->engine->Apply(setup->spec_name, ParamsFromArgs(args));
+  if (!applied.ok()) {
+    return Fail(applied.status());
+  }
+  std::printf("applied \"%s\" (disguise id %llu): removed=%zu modified=%zu "
+              "decorrelated=%zu placeholders=%zu queries=%llu%s\n",
+              setup->spec_name.c_str(),
+              static_cast<unsigned long long>(applied->disguise_id), applied->rows_removed,
+              applied->rows_modified, applied->rows_decorrelated,
+              applied->placeholders_created,
+              static_cast<unsigned long long>(applied->queries),
+              applied->composed ? " (composed with prior disguises)" : "");
+
+  if (args.Has("reveal")) {
+    auto revealed = setup->engine->Reveal(applied->disguise_id);
+    if (!revealed.ok()) {
+      return Fail(revealed.status());
+    }
+    std::printf("revealed: rows_restored=%zu columns_restored=%zu "
+                "placeholders_dropped=%zu\n",
+                revealed->rows_restored, revealed->columns_restored,
+                revealed->placeholders_dropped);
+  }
+
+  Status integrity = setup->db->CheckIntegrity();
+  if (!integrity.ok()) {
+    return Fail(integrity);
+  }
+  if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+    if (!saved.ok()) {
+      return Fail(saved);
+    }
+    std::printf("saved %s\n", args.positional[0].c_str());
+    if (!args.Has("reveal") && setup->engine->FindSpec(setup->spec_name)->reversible()) {
+      std::printf("note: the reveal record lives only in this process's vault; to keep "
+                  "the disguise reversible across runs, use --reveal in the same "
+                  "invocation or an application-embedded vault.\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  Args args = ParseArgs(argc - 2, argv + 2,
+                        {"out", "scale", "seed", "table", "where", "limit", "spec", "uid"});
+  if (cmd == "demo") {
+    return CmdDemo(args);
+  }
+  if (cmd == "info") {
+    return CmdInfo(args);
+  }
+  if (cmd == "schema") {
+    return CmdSchema(args);
+  }
+  if (cmd == "query") {
+    return CmdQuery(args);
+  }
+  if (cmd == "specs") {
+    return CmdSpecs(args);
+  }
+  if (cmd == "lint") {
+    return CmdLint(args);
+  }
+  if (cmd == "explain") {
+    return CmdExplain(args);
+  }
+  if (cmd == "apply") {
+    return CmdApply(args);
+  }
+  return Usage();
+}
