@@ -1,0 +1,169 @@
+#include "src/common/failpoint.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace edna {
+
+namespace {
+
+constexpr char kCrashPrefix[] = "simulated crash at ";
+
+}  // namespace
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+FailPoints::FailPoints() {
+  const char* env = std::getenv("EDNA_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status parsed = EnableFromSpec(env);
+    if (!parsed.ok()) {
+      EDNA_LOG(kError) << "ignoring malformed EDNA_FAILPOINTS: " << parsed;
+    }
+  }
+}
+
+void FailPoints::Enable(const std::string& site, FailPointConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  s.armed = true;
+  s.config = config;
+  s.hits_since_armed = 0;
+}
+
+void FailPoints::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    it->second.armed = false;
+  }
+}
+
+void FailPoints::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : sites_) {
+    s.armed = false;
+  }
+}
+
+Status FailPoints::EnableFromSpec(const std::string& spec) {
+  for (const std::string& clause : StrSplitTrimmed(spec, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgument("fail-point clause \"" + clause + "\" is not SITE=ACTION");
+    }
+    std::string site = clause.substr(0, eq);
+    std::vector<std::string> parts = StrSplit(clause.substr(eq + 1), ':');
+    FailPointConfig config;
+    if (parts.empty()) {
+      return InvalidArgument("fail-point clause \"" + clause + "\" has no action");
+    }
+    if (parts[0] == "error") {
+      config.action = FailPointAction::kReturnError;
+    } else if (parts[0] == "crash") {
+      config.action = FailPointAction::kCrash;
+    } else {
+      return InvalidArgument("unknown fail-point action \"" + parts[0] + "\"");
+    }
+    if (parts.size() >= 2) {
+      if (parts[1] == "always") {
+        config.trigger = FailPointTrigger::kAlways;
+      } else if (parts[1] == "oneshot") {
+        config.trigger = FailPointTrigger::kOneShot;
+      } else if (parts[1] == "everynth") {
+        config.trigger = FailPointTrigger::kEveryNth;
+      } else {
+        return InvalidArgument("unknown fail-point trigger \"" + parts[1] + "\"");
+      }
+    }
+    if (parts.size() >= 3) {
+      config.n = std::strtoull(parts[2].c_str(), nullptr, 10);
+      if (config.n == 0) {
+        return InvalidArgument("fail-point count must be >= 1 in \"" + clause + "\"");
+      }
+    }
+    if (parts.size() > 3) {
+      return InvalidArgument("trailing fields in fail-point clause \"" + clause + "\"");
+    }
+    Enable(site, config);
+  }
+  return OkStatus();
+}
+
+Status FailPoints::Check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& s = sites_[site];
+  ++s.hits;
+  if (!s.armed) {
+    return OkStatus();
+  }
+  ++s.hits_since_armed;
+  bool fire = false;
+  switch (s.config.trigger) {
+    case FailPointTrigger::kAlways:
+      fire = true;
+      break;
+    case FailPointTrigger::kOneShot:
+      if (s.hits_since_armed == s.config.n) {
+        fire = true;
+        s.armed = false;
+      }
+      break;
+    case FailPointTrigger::kEveryNth:
+      fire = s.hits_since_armed % s.config.n == 0;
+      break;
+  }
+  if (!fire) {
+    return OkStatus();
+  }
+  ++s.fires;
+  if (s.config.action == FailPointAction::kCrash) {
+    return Internal(std::string(kCrashPrefix) + site);
+  }
+  return Internal("injected failure at " + site);
+}
+
+std::vector<std::string> FailPoints::RegisteredSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, s] : sites_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t FailPoints::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::Fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+void FailPoints::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : sites_) {
+    s.hits = 0;
+    s.fires = 0;
+    s.hits_since_armed = 0;
+  }
+}
+
+bool FailPoints::IsSimulatedCrash(const Status& s) {
+  return !s.ok() && StartsWith(s.message(), kCrashPrefix);
+}
+
+}  // namespace edna

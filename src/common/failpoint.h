@@ -1,0 +1,121 @@
+// Deterministic fail-point injection for crash-consistency testing.
+//
+// A fail point is a named site compiled into a fallible code path:
+//
+//   Status Database::Commit() {
+//     EDNA_FAIL_POINT(failpoints::kDbCommit);
+//     ...
+//   }
+//
+// Sites are inert by default (one registry lookup per evaluation; nothing is
+// enabled in production builds). Tests — or an operator via the
+// EDNA_FAILPOINTS environment variable — arm individual sites with a trigger
+// mode and an action:
+//
+//   triggers:  kAlways        fire on every hit
+//              kOneShot       fire on the n-th hit, then disarm
+//              kEveryNth      fire on every n-th hit
+//   actions:   kReturnError   the site returns an injected error Status
+//              kCrash         the site returns a *simulated-crash* Status;
+//                             cooperating callers (the disguise engine)
+//                             propagate it without running any compensation,
+//                             freezing state exactly as a process death would
+//
+// Crash statuses are recognized with FailPoints::IsSimulatedCrash(); after a
+// simulated crash, DisguiseEngine::Recover() repairs the frozen state from
+// the commit journal (see src/core/recovery.h).
+//
+// Environment grammar (';'-separated): SITE=ACTION[:TRIGGER[:N]]
+//   EDNA_FAILPOINTS="db.commit=crash;vault.store=error:everynth:2"
+#ifndef SRC_COMMON_FAILPOINT_H_
+#define SRC_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace edna {
+
+// Canonical site names, one per cross-store step of the apply/reveal
+// protocol. Keeping them in one place lets the fault-injection sweep
+// enumerate every site without scraping source.
+namespace failpoints {
+inline constexpr char kDbBegin[] = "db.begin";
+inline constexpr char kDbCommit[] = "db.commit";
+inline constexpr char kDbRollback[] = "db.rollback";
+inline constexpr char kVaultStore[] = "vault.store";
+inline constexpr char kVaultRemove[] = "vault.remove";
+inline constexpr char kLogAppend[] = "log.append";
+inline constexpr char kLogUnappend[] = "log.unappend";
+inline constexpr char kLogMarkRevealed[] = "log.mark_revealed";
+inline constexpr char kStorageSave[] = "storage.save";
+inline constexpr char kStorageLoad[] = "storage.load";
+inline constexpr char kApplyBeforeCommit[] = "apply.before_commit";
+inline constexpr char kApplyAfterCommit[] = "apply.after_commit";
+inline constexpr char kRevealBeforeCommit[] = "reveal.before_commit";
+inline constexpr char kRevealAfterCommit[] = "reveal.after_commit";
+}  // namespace failpoints
+
+enum class FailPointAction : uint8_t { kReturnError, kCrash };
+enum class FailPointTrigger : uint8_t { kAlways, kOneShot, kEveryNth };
+
+struct FailPointConfig {
+  FailPointAction action = FailPointAction::kReturnError;
+  FailPointTrigger trigger = FailPointTrigger::kAlways;
+  // kOneShot: fire on the n-th hit after arming; kEveryNth: every n-th hit.
+  uint64_t n = 1;
+};
+
+class FailPoints {
+ public:
+  // Process-wide registry. Reads EDNA_FAILPOINTS once on first use.
+  static FailPoints& Instance();
+
+  void Enable(const std::string& site, FailPointConfig config);
+  void Disable(const std::string& site);
+  void DisableAll();
+
+  // Parses the environment grammar above and arms the named sites.
+  Status EnableFromSpec(const std::string& spec);
+
+  // Site evaluation: counts the hit and, if the site is armed and its
+  // trigger matches, returns the injected error / simulated-crash status.
+  Status Check(const std::string& site);
+
+  // Every site evaluated at least once this process, sorted.
+  std::vector<std::string> RegisteredSites() const;
+
+  uint64_t Hits(const std::string& site) const;   // evaluations
+  uint64_t Fires(const std::string& site) const;  // injected failures
+  void ResetCounters();
+
+  // True iff `s` was produced by a kCrash action (and must be propagated
+  // without compensation).
+  static bool IsSimulatedCrash(const Status& s);
+
+ private:
+  struct SiteState {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    bool armed = false;
+    FailPointConfig config;
+    uint64_t hits_since_armed = 0;
+  };
+
+  FailPoints();
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+// Evaluates a fail point; on a triggered site, returns the injected status
+// from the enclosing function.
+#define EDNA_FAIL_POINT(site) RETURN_IF_ERROR(::edna::FailPoints::Instance().Check(site))
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_FAILPOINT_H_

@@ -1,5 +1,8 @@
 #include "src/core/disguise_log.h"
 
+#include <algorithm>
+
+#include "src/common/failpoint.h"
 #include "src/sql/parser.h"
 
 namespace edna::core {
@@ -56,6 +59,7 @@ Status DisguiseLog::MirrorMarkRevealed(uint64_t id) {
 StatusOr<uint64_t> DisguiseLog::Append(std::string spec_name, sql::ParamMap params,
                                        sql::Value user_id, TimePoint applied_at,
                                        bool reversible) {
+  EDNA_FAIL_POINT(failpoints::kLogAppend);
   LogEntry e;
   e.id = next_id_++;
   e.spec_name = std::move(spec_name);
@@ -70,6 +74,7 @@ StatusOr<uint64_t> DisguiseLog::Append(std::string spec_name, sql::ParamMap para
 }
 
 Status DisguiseLog::MarkRevealed(uint64_t id) {
+  EDNA_FAIL_POINT(failpoints::kLogMarkRevealed);
   for (LogEntry& e : entries_) {
     if (e.id == id) {
       if (!e.active) {
@@ -83,11 +88,93 @@ Status DisguiseLog::MarkRevealed(uint64_t id) {
 }
 
 Status DisguiseLog::Unappend(uint64_t id) {
+  EDNA_FAIL_POINT(failpoints::kLogUnappend);
   if (entries_.empty() || entries_.back().id != id) {
     return FailedPrecondition("Unappend: id is not the most recent entry");
   }
   entries_.pop_back();
   next_id_ = id;
+  return OkStatus();
+}
+
+Status DisguiseLog::DropEntry(uint64_t id) {
+  EDNA_FAIL_POINT(failpoints::kLogUnappend);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const LogEntry& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    return NotFound("no disguise log entry with id " + std::to_string(id));
+  }
+  bool was_last = &*it == &entries_.back();
+  entries_.erase(it);
+  if (was_last) {
+    next_id_ = id;  // keep ids dense for the common unwind-the-tail case
+  }
+  if (db_ != nullptr && db_->HasTable(kDisguiseLogTableName)) {
+    ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"id\" = $ID"));
+    sql::ParamMap params;
+    params.emplace("ID", sql::Value::Int(static_cast<int64_t>(id)));
+    RETURN_IF_ERROR(db_->Delete(kDisguiseLogTableName, pred.get(), params).status());
+  }
+  return OkStatus();
+}
+
+Status DisguiseLog::MarkIrreversible(uint64_t id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const LogEntry& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    return NotFound("no disguise log entry with id " + std::to_string(id));
+  }
+  it->reversible = false;
+  if (db_ == nullptr || !db_->HasTable(kDisguiseLogTableName)) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"id\" = $ID"));
+  sql::ParamMap params;
+  params.emplace("ID", sql::Value::Int(static_cast<int64_t>(id)));
+  std::vector<db::Assignment> assigns;
+  assigns.push_back({.column = "reversible",
+                     .expr = sql::Expr::Literal(sql::Value::Bool(false))});
+  return db_->Update(kDisguiseLogTableName, pred.get(), params, assigns).status();
+}
+
+Status DisguiseLog::LoadFromMirror() {
+  if (!entries_.empty()) {
+    return FailedPrecondition("LoadFromMirror: log already has in-memory entries");
+  }
+  if (db_ == nullptr || !db_->HasTable(kDisguiseLogTableName)) {
+    return OkStatus();
+  }
+  const db::Table* t = db_->FindTable(kDisguiseLogTableName);
+  Status parse_status = OkStatus();
+  t->Scan([&](db::RowId, const db::Row& row) {
+    LogEntry e;
+    e.id = static_cast<uint64_t>(row[0].AsInt());
+    e.spec_name = row[1].AsString();
+    if (row[2].is_null()) {
+      e.user_id = sql::Value::Null();
+    } else {
+      // userId is mirrored as a SQL literal; parse it back to a value.
+      auto parsed = sql::ParseExpression(row[2].AsString());
+      if (!parsed.ok()) {
+        parse_status = parsed.status();
+        return;
+      }
+      auto value = sql::EvaluateConstant(**parsed, {});
+      if (!value.ok()) {
+        parse_status = value.status();
+        return;
+      }
+      e.user_id = *std::move(value);
+    }
+    e.applied_at = row[3].AsInt();
+    e.reversible = row[4].AsBool();
+    e.active = row[5].AsBool();
+    entries_.push_back(std::move(e));
+  });
+  RETURN_IF_ERROR(parse_status);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.id < b.id; });
+  next_id_ = entries_.empty() ? 1 : entries_.back().id + 1;
   return OkStatus();
 }
 

@@ -46,6 +46,23 @@ class DisguiseLog {
   // the enclosing transaction's rollback).
   Status Unappend(uint64_t id);
 
+  // Recovery-path removal: erases the entry wherever it sits and deletes its
+  // DB mirror row if one survived (the transaction rollback usually already
+  // unwound it). Unlike Unappend, never leaves the mirror out of sync.
+  Status DropEntry(uint64_t id);
+
+  // Recovery-path demotion: clears the reversible flag of an entry whose
+  // vault records are gone (expired or dropped by crash recovery), so the
+  // consistency audit no longer expects reveal records for it.
+  Status MarkIrreversible(uint64_t id);
+
+  // Rebuilds the in-memory log from the DB mirror table, for processes that
+  // load a previously saved database image. Apply-time parameter bindings are
+  // not mirrored and come back empty; everything the consistency audit and
+  // recovery need (ids, spec names, flags) round-trips. No-op without a
+  // mirror table. Fails if the log already has in-memory entries.
+  Status LoadFromMirror();
+
   const LogEntry* Find(uint64_t id) const;
   const std::vector<LogEntry>& entries() const { return entries_; }
 

@@ -23,6 +23,14 @@ sql::ExprPtr MakeEqExpr(const std::string& column, const sql::Value& value) {
                            sql::Expr::Literal(value));
 }
 
+Status FoldStatus(Status primary, const Status& secondary, const char* what) {
+  if (secondary.ok()) {
+    return primary;
+  }
+  return Status(primary.code(), primary.message() + " (additionally, " + what +
+                                    " failed: " + secondary.ToString() + ")");
+}
+
 DisguiseEngine::DisguiseEngine(db::Database* db, vault::Vault* vault, const Clock* clock,
                                EngineOptions options)
     : db_(db), vault_(vault), clock_(clock), options_(options), rng_(options.rng_seed),

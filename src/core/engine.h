@@ -34,6 +34,7 @@
 #include "src/common/status.h"
 #include "src/core/disguise_log.h"
 #include "src/core/explain.h"
+#include "src/core/recovery.h"
 #include "src/db/database.h"
 #include "src/disguise/spec.h"
 #include "src/vault/vault.h"
@@ -111,7 +112,29 @@ class DisguiseEngine {
   // placeholders, composition involvement). Mutates nothing.
   StatusOr<ExplainReport> Explain(const std::string& spec_name, const sql::ParamMap& params);
 
+  // --- Crash consistency (see src/core/recovery.h) -------------------------
+
+  // Repairs the database / vault / log / journal after a crash (simulated or
+  // real): rolls back any open transaction, rolls half-applied operations
+  // back or forward per their journal phase, drops orphan vault records,
+  // demotes reversible log entries whose vault data is gone, and rebuilds
+  // the strict-mode protected-row map. Idempotent; call at startup and
+  // after any Apply/Reveal that returned a simulated-crash status.
+  StatusOr<RecoveryReport> Recover();
+
+  // Standalone invariant check across all four stores. Repairs nothing.
+  // After Recover(), reports zero violations. (Non-const only because vault
+  // fetches update access statistics.)
+  StatusOr<ConsistencyReport> AuditConsistency();
+
+  // Rebuilds the in-memory disguise log from its DB mirror table; call once
+  // after constructing an engine over a loaded database image so the audit
+  // and recovery see the persisted disguise history.
+  Status LoadLogFromMirror() { return log_.LoadFromMirror(); }
+
   const DisguiseLog& log() const { return log_; }
+  const CommitJournal& journal() const { return journal_; }
+  CommitJournal& journal() { return journal_; }
   db::Database* database() { return db_; }
   vault::Vault* vault() { return vault_; }
 
@@ -121,6 +144,14 @@ class DisguiseEngine {
   struct ApplyContext;
 
   // --- Apply phases ---------------------------------------------------------
+  // Clean-abort compensation: drops stored vault shards, the log entry, and
+  // row protection for a failed apply, rolls the transaction back, completes
+  // the journal entry, and returns `cause` annotated with any secondary
+  // failures (double faults are logged and surfaced, never swallowed). If a
+  // compensation step reports a simulated crash, returns immediately with
+  // the journal entry left pending for Recover().
+  Status UnwindFailedApply(uint64_t journal_id, uint64_t disguise_id, Status cause);
+
   Status RunDecorrelates(ApplyContext* ctx);
   Status RunModifies(ApplyContext* ctx);
   Status RunRemoves(ApplyContext* ctx);
@@ -171,6 +202,7 @@ class DisguiseEngine {
   EngineOptions options_;
   Rng rng_;
   DisguiseLog log_;
+  CommitJournal journal_;
   std::map<std::string, disguise::DisguiseSpec> specs_;
 
   int engine_ops_depth_ = 0;

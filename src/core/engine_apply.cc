@@ -1,6 +1,8 @@
 // DisguiseEngine::Apply and the disguise-composition machinery (§4.2, §6).
 #include <algorithm>
+#include <utility>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/engine_internal.h"
@@ -197,7 +199,20 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
   // Engine-internal mutations are exempt from the strict-mode write guard.
   EngineOpScope engine_scope(this);
 
-  RETURN_IF_ERROR(db_->Begin());
+  // Crash consistency (recovery.h): journal the intent before any store
+  // mutates. A simulated crash anywhere below returns immediately WITHOUT
+  // compensation — state freezes as a process death would leave it, and
+  // Recover() repairs from the journal's phase marker.
+  uint64_t journal_id = journal_.Begin(JournalOp::kApply, spec->name(), ctx.params,
+                                       ctx.uid, /*disguise_id=*/0, ctx.record.created);
+
+  Status begun = db_->Begin();
+  if (!begun.ok()) {
+    if (!FailPoints::IsSimulatedCrash(begun)) {
+      journal_.Complete(journal_id);  // nothing mutated; clean abort
+    }
+    return begun;
+  }
   Status status = [&]() -> Status {
     // Composition pre-pass: only meaningful for per-user disguises layered
     // on earlier disguises (§4.2).
@@ -214,20 +229,27 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
     return OkStatus();
   }();
   if (!status.ok()) {
-    Status rb = db_->Rollback();
-    if (!rb.ok()) {
-      EDNA_LOG(kError) << "rollback after failed apply also failed: " << rb;
+    if (FailPoints::IsSimulatedCrash(status)) {
+      return status;
     }
-    return status;
+    return UnwindFailedApply(journal_id, /*disguise_id=*/0, std::move(status));
   }
 
   // Log, then persist the reveal function, then commit. A failure in either
   // unwinds everything (vault table writes live in the same transaction for
   // the in-database vault model; external vaults see a Remove on failure).
-  ASSIGN_OR_RETURN(uint64_t disguise_id,
-                   log_.Append(spec->name(), ctx.params, ctx.uid, ctx.record.created,
-                               spec->reversible()));
+  StatusOr<uint64_t> appended =
+      log_.Append(spec->name(), ctx.params, ctx.uid, ctx.record.created,
+                  spec->reversible());
+  if (!appended.ok()) {
+    if (FailPoints::IsSimulatedCrash(appended.status())) {
+      return appended.status();
+    }
+    return UnwindFailedApply(journal_id, /*disguise_id=*/0, appended.status());
+  }
+  uint64_t disguise_id = *appended;
   ctx.result.disguise_id = disguise_id;
+  journal_.SetDisguiseId(journal_id, disguise_id);
   if (spec->reversible()) {
     ctx.record.disguise_id = disguise_id;
     if (options_.protect_disguised_data) {
@@ -275,26 +297,96 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
       return vault_->Store(global);
     }();
     if (!stored.ok()) {
-      UnprotectRows(disguise_id);
-      (void)log_.Unappend(disguise_id);
-      (void)vault_->Remove(disguise_id);  // drop any shards already stored
-      Status rb = db_->Rollback();
-      if (!rb.ok()) {
-        EDNA_LOG(kError) << "rollback after failed vault store also failed: " << rb;
+      if (FailPoints::IsSimulatedCrash(stored)) {
+        return stored;
       }
-      return stored;
+      return UnwindFailedApply(journal_id, disguise_id, std::move(stored));
     }
   }
+  journal_.Advance(journal_id, JournalPhase::kVaultStored);
+
+  {
+    Status pre = FailPoints::Instance().Check(failpoints::kApplyBeforeCommit);
+    if (!pre.ok()) {
+      if (FailPoints::IsSimulatedCrash(pre)) {
+        return pre;
+      }
+      return UnwindFailedApply(journal_id, disguise_id, std::move(pre));
+    }
+  }
+
   Status committed = db_->Commit();
   if (!committed.ok()) {
-    UnprotectRows(disguise_id);
-    (void)log_.Unappend(disguise_id);
-    (void)vault_->Remove(disguise_id);
-    return committed;
+    if (FailPoints::IsSimulatedCrash(committed)) {
+      return committed;
+    }
+    // Commit refused: the transaction is still open, so compensation must
+    // roll it back rather than strand it (which would poison the next op).
+    return UnwindFailedApply(journal_id, disguise_id, std::move(committed));
   }
+  journal_.Advance(journal_id, JournalPhase::kCommitted);
+
+  {
+    // Past this point the disguise is durable; a crash here leaves a
+    // committed journal entry that Recover() simply rolls forward.
+    Status post = FailPoints::Instance().Check(failpoints::kApplyAfterCommit);
+    if (!post.ok()) {
+      return post;
+    }
+  }
+  journal_.Complete(journal_id);
 
   ctx.result.queries = db_->stats().queries - queries_before;
   return ctx.result;
+}
+
+Status DisguiseEngine::UnwindFailedApply(uint64_t journal_id, uint64_t disguise_id,
+                                         Status cause) {
+  // Compensation order matters: the rollback must run first so that
+  // in-transaction state (log mirror rows, table-vault rows) unwinds before
+  // we repair the stores that live outside the transaction. A simulated
+  // crash during compensation aborts it mid-way — the journal entry stays
+  // pending and Recover() finishes the job.
+  bool compensated = true;
+  if (disguise_id != 0) {
+    UnprotectRows(disguise_id);
+  }
+  Status rb = db_->Rollback();
+  if (!rb.ok()) {
+    if (FailPoints::IsSimulatedCrash(rb)) {
+      return rb;
+    }
+    EDNA_LOG(kError) << "rollback while unwinding failed apply also failed: " << rb;
+    cause = FoldStatus(std::move(cause), rb, "rollback");
+    compensated = false;
+  }
+  if (disguise_id != 0) {
+    Status removed = vault_->Remove(disguise_id);  // drop any shards already stored
+    if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+      if (FailPoints::IsSimulatedCrash(removed)) {
+        return removed;
+      }
+      EDNA_LOG(kError) << "vault remove while unwinding failed apply failed: "
+                       << removed;
+      cause = FoldStatus(std::move(cause), removed, "vault remove");
+      compensated = false;
+    }
+    Status dropped = log_.DropEntry(disguise_id);
+    if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+      if (FailPoints::IsSimulatedCrash(dropped)) {
+        return dropped;
+      }
+      EDNA_LOG(kError) << "log drop while unwinding failed apply failed: " << dropped;
+      cause = FoldStatus(std::move(cause), dropped, "log drop");
+      compensated = false;
+    }
+  }
+  // Only a fully compensated abort retires the journal entry; a double
+  // fault leaves it pending so Recover() can finish the repair.
+  if (compensated) {
+    journal_.Complete(journal_id);
+  }
+  return cause;
 }
 
 }  // namespace edna::core

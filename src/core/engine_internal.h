@@ -59,6 +59,10 @@ class DisguiseEngine::EngineOpScope {
 // `"col" = <literal>` predicate built programmatically.
 sql::ExprPtr MakeEqExpr(const std::string& column, const sql::Value& value);
 
+// Folds a secondary (compensation) failure into `primary`'s message, so
+// double-fault situations reach the caller instead of being discarded.
+Status FoldStatus(Status primary, const Status& secondary, const char* what);
+
 }  // namespace edna::core
 
 #endif  // SRC_CORE_ENGINE_INTERNAL_H_

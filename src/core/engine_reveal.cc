@@ -4,7 +4,9 @@
 // must avoid reintroducing identifiable reviews if ConfAnon has occurred
 // since GDPR was applied.")
 #include <algorithm>
+#include <utility>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/engine_internal.h"
@@ -73,7 +75,21 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
   // Engine-internal mutations are exempt from the strict-mode write guard.
   EngineOpScope engine_scope(this);
 
-  RETURN_IF_ERROR(db_->Begin());
+  // Crash consistency (recovery.h): journal the intent before touching any
+  // store. For reveals the commit point is the database transaction; the
+  // log/vault bookkeeping after it rolls FORWARD on recovery, everything
+  // before it rolls BACK.
+  uint64_t journal_id = journal_.Begin(JournalOp::kReveal, entry->spec_name,
+                                       entry->params, entry->user_id, disguise_id,
+                                       clock_->Now());
+
+  Status begun = db_->Begin();
+  if (!begun.ok()) {
+    if (!FailPoints::IsSimulatedCrash(begun)) {
+      journal_.Complete(journal_id);  // nothing mutated; clean abort
+    }
+    return begun;
+  }
   Status status = [&]() -> Status {
     // Records in reverse store order, ops in reverse apply order: the exact
     // inverse of the original application.
@@ -311,18 +327,62 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
     }
     return OkStatus();
   }();
+  if (status.ok()) {
+    status = FailPoints::Instance().Check(failpoints::kRevealBeforeCommit);
+  }
   if (!status.ok()) {
+    if (FailPoints::IsSimulatedCrash(status)) {
+      return status;  // journal stays pending; Recover() rolls the reveal back
+    }
     Status rb = db_->Rollback();
     if (!rb.ok()) {
       EDNA_LOG(kError) << "rollback after failed reveal also failed: " << rb;
+      status = FoldStatus(std::move(status), rb, "rollback");
     }
+    journal_.Complete(journal_id);
     return status;
   }
 
-  RETURN_IF_ERROR(log_.MarkRevealed(disguise_id));
-  RETURN_IF_ERROR(vault_->Remove(disguise_id));
-  RETURN_IF_ERROR(db_->Commit());
+  // Commit the database restoration FIRST. The old order (log/vault
+  // bookkeeping before commit) let a refused commit strand vault mutations
+  // that the rollback could not undo for external vaults. With commit first,
+  // any post-commit failure leaves the journal entry pending at kCommitted
+  // and Recover() rolls the bookkeeping forward.
+  Status committed = db_->Commit();
+  if (!committed.ok()) {
+    if (FailPoints::IsSimulatedCrash(committed)) {
+      return committed;
+    }
+    Status rb = db_->Rollback();
+    if (!rb.ok()) {
+      EDNA_LOG(kError) << "rollback after failed reveal commit also failed: " << rb;
+      committed = FoldStatus(std::move(committed), rb, "rollback");
+    }
+    journal_.Complete(journal_id);
+    return committed;
+  }
+  journal_.Advance(journal_id, JournalPhase::kCommitted);
+
+  {
+    Status post = FailPoints::Instance().Check(failpoints::kRevealAfterCommit);
+    if (!post.ok()) {
+      return post;  // pending at kCommitted; Recover() finishes the bookkeeping
+    }
+  }
+  Status marked = log_.MarkRevealed(disguise_id);
+  if (!marked.ok()) {
+    EDNA_LOG(kError) << "reveal committed but marking the log entry failed: "
+                     << marked;
+    return marked;  // journal pending; Recover() retries the bookkeeping
+  }
+  Status removed = vault_->Remove(disguise_id);
+  if (!removed.ok()) {
+    EDNA_LOG(kError) << "reveal committed but dropping vault records failed: "
+                     << removed;
+    return removed;  // journal pending; Recover() retries the bookkeeping
+  }
   UnprotectRows(disguise_id);
+  journal_.Complete(journal_id);
   result.queries = db_->stats().queries - queries_before;
   return result;
 }

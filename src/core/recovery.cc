@@ -1,0 +1,432 @@
+// Commit journal, crash recovery (DisguiseEngine::Recover), and the
+// standalone cross-store consistency audit. See recovery.h for the protocol.
+#include "src/core/recovery.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/engine_internal.h"
+#include "src/sql/codec.h"
+
+namespace edna::core {
+
+using vault::RevealRecord;
+
+const char* JournalOpName(JournalOp op) {
+  switch (op) {
+    case JournalOp::kApply:
+      return "apply";
+    case JournalOp::kReveal:
+      return "reveal";
+  }
+  return "?";
+}
+
+const char* JournalPhaseName(JournalPhase phase) {
+  switch (phase) {
+    case JournalPhase::kIntent:
+      return "intent";
+    case JournalPhase::kVaultStored:
+      return "vault-stored";
+    case JournalPhase::kCommitted:
+      return "committed";
+  }
+  return "?";
+}
+
+// --- CommitJournal -----------------------------------------------------------
+
+uint64_t CommitJournal::Begin(JournalOp op, std::string spec_name, sql::ParamMap params,
+                              sql::Value user_id, uint64_t disguise_id, TimePoint now) {
+  JournalEntry e;
+  e.journal_id = next_id_++;
+  e.op = op;
+  e.spec_name = std::move(spec_name);
+  e.params = std::move(params);
+  e.user_id = std::move(user_id);
+  e.disguise_id = disguise_id;
+  e.phase = JournalPhase::kIntent;
+  e.created = now;
+  pending_.push_back(std::move(e));
+  return pending_.back().journal_id;
+}
+
+void CommitJournal::SetDisguiseId(uint64_t journal_id, uint64_t disguise_id) {
+  for (JournalEntry& e : pending_) {
+    if (e.journal_id == journal_id) {
+      e.disguise_id = disguise_id;
+      return;
+    }
+  }
+}
+
+void CommitJournal::Advance(uint64_t journal_id, JournalPhase phase) {
+  for (JournalEntry& e : pending_) {
+    if (e.journal_id == journal_id) {
+      if (static_cast<uint8_t>(phase) > static_cast<uint8_t>(e.phase)) {
+        e.phase = phase;
+      }
+      return;
+    }
+  }
+}
+
+void CommitJournal::Complete(uint64_t journal_id) {
+  std::erase_if(pending_,
+                [&](const JournalEntry& e) { return e.journal_id == journal_id; });
+}
+
+const JournalEntry* CommitJournal::Find(uint64_t journal_id) const {
+  for (const JournalEntry& e : pending_) {
+    if (e.journal_id == journal_id) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Journal wire format (documented in docs/FORMATS.md):
+//   "EDNJ" magic, u8 version, u64 next_id, u32 entry count, then per entry:
+//   u64 journal_id, u8 op, u8 phase, string spec_name, value user_id,
+//   u64 disguise_id, i64 created, u32 param count, (string, value) pairs.
+constexpr char kJournalMagic[] = "EDNJ";
+constexpr uint8_t kJournalVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> CommitJournal::Serialize() const {
+  sql::ByteWriter w;
+  w.Bytes(reinterpret_cast<const uint8_t*>(kJournalMagic), 4);
+  w.U8(kJournalVersion);
+  w.U64(next_id_);
+  w.U32(static_cast<uint32_t>(pending_.size()));
+  for (const JournalEntry& e : pending_) {
+    w.U64(e.journal_id);
+    w.U8(static_cast<uint8_t>(e.op));
+    w.U8(static_cast<uint8_t>(e.phase));
+    w.String(e.spec_name);
+    w.Value(e.user_id);
+    w.U64(e.disguise_id);
+    w.I64(e.created);
+    w.U32(static_cast<uint32_t>(e.params.size()));
+    for (const auto& [name, value] : e.params) {
+      w.String(name);
+      w.Value(value);
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<CommitJournal> CommitJournal::Deserialize(const std::vector<uint8_t>& wire) {
+  sql::ByteReader r(wire);
+  if (wire.size() < 4 || std::string(wire.begin(), wire.begin() + 4) != kJournalMagic) {
+    return InvalidArgument("not a commit journal image (bad magic)");
+  }
+  for (int i = 0; i < 4; ++i) {
+    RETURN_IF_ERROR(r.U8().status());
+  }
+  ASSIGN_OR_RETURN(uint8_t version, r.U8());
+  if (version != kJournalVersion) {
+    return InvalidArgument("unsupported journal version " + std::to_string(version));
+  }
+  CommitJournal journal;
+  ASSIGN_OR_RETURN(journal.next_id_, r.U64());
+  ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    JournalEntry e;
+    ASSIGN_OR_RETURN(e.journal_id, r.U64());
+    ASSIGN_OR_RETURN(uint8_t op, r.U8());
+    if (op != static_cast<uint8_t>(JournalOp::kApply) &&
+        op != static_cast<uint8_t>(JournalOp::kReveal)) {
+      return InvalidArgument("bad journal op " + std::to_string(op));
+    }
+    e.op = static_cast<JournalOp>(op);
+    ASSIGN_OR_RETURN(uint8_t phase, r.U8());
+    if (phase < static_cast<uint8_t>(JournalPhase::kIntent) ||
+        phase > static_cast<uint8_t>(JournalPhase::kCommitted)) {
+      return InvalidArgument("bad journal phase " + std::to_string(phase));
+    }
+    e.phase = static_cast<JournalPhase>(phase);
+    ASSIGN_OR_RETURN(e.spec_name, r.String());
+    ASSIGN_OR_RETURN(e.user_id, r.Value());
+    ASSIGN_OR_RETURN(e.disguise_id, r.U64());
+    ASSIGN_OR_RETURN(e.created, r.I64());
+    ASSIGN_OR_RETURN(uint32_t nparams, r.U32());
+    for (uint32_t p = 0; p < nparams; ++p) {
+      ASSIGN_OR_RETURN(std::string name, r.String());
+      ASSIGN_OR_RETURN(sql::Value value, r.Value());
+      e.params.emplace(std::move(name), std::move(value));
+    }
+    journal.pending_.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgument("trailing bytes in commit journal image");
+  }
+  return journal;
+}
+
+// --- Reports -----------------------------------------------------------------
+
+size_t RecoveryReport::TotalRepairs() const {
+  return transactions_rolled_back + applies_rolled_back + applies_rolled_forward +
+         reveals_rolled_back + reveals_rolled_forward + orphan_vault_disguises_dropped +
+         entries_marked_irreversible;
+}
+
+std::string RecoveryReport::ToString() const {
+  return StrFormat(
+      "recovery: txn_rollbacks=%zu applies_back=%zu applies_fwd=%zu reveals_back=%zu "
+      "reveals_fwd=%zu orphan_vault_dropped=%zu log_dropped=%zu irreversible=%zu "
+      "protected_rebuilt=%zu\n",
+      transactions_rolled_back, applies_rolled_back, applies_rolled_forward,
+      reveals_rolled_back, reveals_rolled_forward, orphan_vault_disguises_dropped,
+      log_entries_dropped, entries_marked_irreversible, protected_rows_rebuilt);
+}
+
+std::string ConsistencyReport::ToString() const {
+  if (ok()) {
+    return "consistent: no violations\n";
+  }
+  std::string out = StrFormat("INCONSISTENT: %zu violation(s)\n", violations.size());
+  for (const std::string& v : violations) {
+    out += "  - " + v + "\n";
+  }
+  return out;
+}
+
+// --- DisguiseEngine::Recover -------------------------------------------------
+
+StatusOr<RecoveryReport> DisguiseEngine::Recover() {
+  RecoveryReport report;
+  // Recovery writes are engine-internal: exempt from the strict-mode guard.
+  EngineOpScope engine_scope(this);
+
+  // 1. An open transaction means the crash hit mid-mutation; the undo log
+  //    still holds the inverses of everything uncommitted (including the
+  //    log's mirror row and, for the in-database vault model, vault rows).
+  if (db_->InTransaction()) {
+    RETURN_IF_ERROR(db_->Rollback());
+    ++report.transactions_rolled_back;
+  }
+
+  // 2. Unwind pending journal entries, newest first (LIFO, like the apply
+  //    stack they model).
+  std::vector<JournalEntry> pending = journal_.pending();
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    const JournalEntry& e = *it;
+    if (e.op == JournalOp::kApply) {
+      if (e.phase == JournalPhase::kCommitted) {
+        // Everything durable; only the journal completion was lost.
+        ++report.applies_rolled_forward;
+      } else {
+        // Not committed: the transaction rollback above undid the database
+        // side; drop whatever reached the other two stores.
+        if (e.disguise_id != 0) {
+          RETURN_IF_ERROR(vault_->Remove(e.disguise_id));
+          if (log_.Find(e.disguise_id) != nullptr) {
+            RETURN_IF_ERROR(log_.DropEntry(e.disguise_id));
+            ++report.log_entries_dropped;
+          }
+          UnprotectRows(e.disguise_id);
+        }
+        ++report.applies_rolled_back;
+      }
+    } else {
+      if (e.phase == JournalPhase::kCommitted) {
+        // The restore is durable; finish the bookkeeping it crashed before:
+        // deactivate the log entry and drop the consumed reveal records.
+        const LogEntry* entry = log_.Find(e.disguise_id);
+        if (entry != nullptr && entry->active) {
+          RETURN_IF_ERROR(log_.MarkRevealed(e.disguise_id));
+        }
+        RETURN_IF_ERROR(vault_->Remove(e.disguise_id));
+        UnprotectRows(e.disguise_id);
+        ++report.reveals_rolled_forward;
+      } else {
+        // Rollback already restored the disguised state; the disguise stays
+        // applied and revealable.
+        ++report.reveals_rolled_back;
+      }
+    }
+    journal_.Complete(e.journal_id);
+  }
+
+  // 3. Orphan vault records: a disguise id the log does not know (or knows
+  //    as revealed) can never be revealed through the API; its records are
+  //    dead weight that also violates the audit invariants.
+  ASSIGN_OR_RETURN(std::vector<uint64_t> vault_ids, vault_->ListDisguiseIds());
+  std::set<uint64_t> vaulted(vault_ids.begin(), vault_ids.end());
+  for (uint64_t id : vault_ids) {
+    const LogEntry* entry = log_.Find(id);
+    if (entry == nullptr || !entry->active) {
+      RETURN_IF_ERROR(vault_->Remove(id));
+      vaulted.erase(id);
+      ++report.orphan_vault_disguises_dropped;
+      EDNA_LOG(kWarning) << "recovery dropped orphan vault records of disguise " << id;
+    }
+  }
+
+  // 4. Active reversible entries whose vault records are gone (expiry, or a
+  //    crash that destroyed external storage): demote to irreversible so the
+  //    log stops promising a reveal that cannot happen.
+  std::vector<uint64_t> demote;
+  for (const LogEntry& entry : log_.entries()) {
+    if (entry.active && entry.reversible && vaulted.count(entry.id) == 0) {
+      demote.push_back(entry.id);
+    }
+  }
+  for (uint64_t id : demote) {
+    RETURN_IF_ERROR(log_.MarkIrreversible(id));
+    ++report.entries_marked_irreversible;
+    EDNA_LOG(kWarning) << "recovery marked disguise " << id
+                       << " irreversible (no vault records)";
+  }
+
+  // 5. Strict mode: the protected-row map is process state; rebuild it from
+  //    the surviving vault records so the write guard matches reality.
+  protected_rows_.clear();
+  protected_by_disguise_.clear();
+  if (options_.protect_disguised_data) {
+    for (const LogEntry& entry : log_.entries()) {
+      if (!entry.active || !entry.reversible) {
+        continue;
+      }
+      auto records = vault_->FetchForDisguise(entry.id);
+      if (!records.ok()) {
+        // Encrypted vaults may refuse to open records without the user's
+        // key; protection for that disguise cannot be reconstructed.
+        EDNA_LOG(kWarning) << "cannot rebuild write protection for disguise " << entry.id
+                           << ": " << records.status();
+        continue;
+      }
+      for (const RevealRecord& rec : *records) {
+        ProtectRows(entry.id, rec);
+      }
+      report.protected_rows_rebuilt += protected_by_disguise_[entry.id].size();
+    }
+  }
+  return report;
+}
+
+// --- DisguiseEngine::AuditConsistency ----------------------------------------
+
+StatusOr<ConsistencyReport> DisguiseEngine::AuditConsistency() {
+  ConsistencyReport report;
+  auto violation = [&](std::string msg) { report.violations.push_back(std::move(msg)); };
+
+  // 1. No transaction may be open between API calls.
+  if (db_->InTransaction()) {
+    violation("a database transaction is open outside any engine operation");
+  }
+
+  // 2. The journal must be empty: a pending entry is an interrupted
+  //    operation nobody recovered.
+  for (const JournalEntry& e : journal_.pending()) {
+    violation(StrFormat("journal entry %llu (%s \"%s\", phase %s) was never completed",
+                        static_cast<unsigned long long>(e.journal_id), JournalOpName(e.op),
+                        e.spec_name.c_str(), JournalPhaseName(e.phase)));
+  }
+
+  // 3. Referential integrity and index health of the database itself.
+  if (Status integrity = db_->CheckIntegrity(); !integrity.ok()) {
+    violation("database integrity: " + integrity.ToString());
+  }
+
+  // 4. Every vault record belongs to an active reversible log entry.
+  ASSIGN_OR_RETURN(std::vector<uint64_t> vault_ids, vault_->ListDisguiseIds());
+  std::set<uint64_t> vaulted(vault_ids.begin(), vault_ids.end());
+  for (uint64_t id : vault_ids) {
+    const LogEntry* entry = log_.Find(id);
+    if (entry == nullptr) {
+      violation(StrFormat("vault holds records for disguise %llu, which the log "
+                          "does not know",
+                          static_cast<unsigned long long>(id)));
+    } else if (!entry->active) {
+      violation(StrFormat("vault holds records for disguise %llu, which was "
+                          "already revealed",
+                          static_cast<unsigned long long>(id)));
+    } else if (!entry->reversible) {
+      violation(StrFormat("vault holds records for disguise %llu, which the log "
+                          "lists as irreversible",
+                          static_cast<unsigned long long>(id)));
+    }
+  }
+
+  // 5. Every active reversible log entry has vault records (the §4.2
+  //    guarantee: a reversible disguise can actually be reversed).
+  for (const LogEntry& entry : log_.entries()) {
+    if (entry.active && entry.reversible && vaulted.count(entry.id) == 0) {
+      violation(StrFormat("active reversible disguise %llu (\"%s\") has no vault "
+                          "records; it cannot be revealed",
+                          static_cast<unsigned long long>(entry.id),
+                          entry.spec_name.c_str()));
+    }
+  }
+
+  // 6. The in-memory log and its database mirror agree.
+  if (db_->HasTable(kDisguiseLogTableName)) {
+    struct MirrorRow {
+      bool reversible;
+      bool active;
+    };
+    std::map<uint64_t, MirrorRow> mirror;
+    db_->FindTable(kDisguiseLogTableName)
+        ->Scan([&](db::RowId, const db::Row& row) {
+          mirror[static_cast<uint64_t>(row[0].AsInt())] =
+              MirrorRow{row[4].AsBool(), row[5].AsBool()};
+        });
+    for (const LogEntry& entry : log_.entries()) {
+      auto it = mirror.find(entry.id);
+      if (it == mirror.end()) {
+        violation(StrFormat("log entry %llu has no mirror row in %s",
+                            static_cast<unsigned long long>(entry.id),
+                            kDisguiseLogTableName));
+        continue;
+      }
+      if (it->second.active != entry.active || it->second.reversible != entry.reversible) {
+        violation(StrFormat("log entry %llu disagrees with its mirror row "
+                            "(memory: active=%d reversible=%d, mirror: active=%d "
+                            "reversible=%d)",
+                            static_cast<unsigned long long>(entry.id), entry.active ? 1 : 0,
+                            entry.reversible ? 1 : 0, it->second.active ? 1 : 0,
+                            it->second.reversible ? 1 : 0));
+      }
+      mirror.erase(it);
+    }
+    for (const auto& [id, row] : mirror) {
+      violation(StrFormat("%s row %llu has no in-memory log entry", kDisguiseLogTableName,
+                          static_cast<unsigned long long>(id)));
+    }
+  } else if (!log_.entries().empty()) {
+    violation("log has entries but no mirror table exists");
+  }
+
+  // 7. Strict mode: the protected-row map names exactly the active
+  //    reversible disguises (no stale protection, no unprotected disguise).
+  for (const auto& [disguise_id, rows] : protected_by_disguise_) {
+    const LogEntry* entry = log_.Find(disguise_id);
+    if (entry == nullptr || !entry->active) {
+      violation(StrFormat("write protection still installed for %s disguise %llu",
+                          entry == nullptr ? "unknown" : "revealed",
+                          static_cast<unsigned long long>(disguise_id)));
+    }
+  }
+  if (options_.protect_disguised_data) {
+    for (const LogEntry& entry : log_.entries()) {
+      if (entry.active && entry.reversible &&
+          protected_by_disguise_.count(entry.id) == 0) {
+        violation(StrFormat("strict mode is on but active reversible disguise %llu has "
+                            "no write protection",
+                            static_cast<unsigned long long>(entry.id)));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace edna::core

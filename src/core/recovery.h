@@ -1,0 +1,130 @@
+// Commit journal + crash recovery for the apply/reveal protocol.
+//
+// The paper's reversibility guarantee (§4.2) only holds if the database
+// mutation, the vault's reveal records, and the disguise-log entry commit or
+// abort *together* — but they live in three different stores (the database
+// transaction, a possibly-external vault, and the log with its in-database
+// mirror). The engine therefore write-ahead journals every Apply/Reveal:
+//
+//   Apply:   intent ──(log appended, vault stored)──► vault-stored
+//                   ──(db commit)──► committed ──► entry removed
+//   Reveal:  intent ──(db commit)──► committed
+//                   ──(log marked, vault dropped)──► entry removed
+//
+// A journal entry still present at startup marks an operation interrupted by
+// a crash. DisguiseEngine::Recover() consults the phase marker to pick the
+// repair direction:
+//
+//   * apply interrupted before commit   → roll BACK: rollback the open
+//     transaction, drop orphan vault shards, drop the log entry;
+//   * apply interrupted after commit    → roll FORWARD: the disguise is
+//     fully durable, only the journal completion was lost;
+//   * reveal interrupted before commit  → roll BACK: rollback the open
+//     transaction, the disguise stays applied and revealable;
+//   * reveal interrupted after commit   → roll FORWARD: finish marking the
+//     log entry revealed and drop the now-dead vault records.
+//
+// AuditConsistency() checks the cross-store invariants standalone (no
+// repairs); Recover() leaves the system in a state where the audit reports
+// zero violations. Fault-injection tests sweep every fail point in
+// src/common/failpoint.h and assert exactly that.
+//
+// The journal is deliberately NOT stored in the application database: its
+// records must survive a transaction rollback. It models a sidecar journal
+// file; Serialize()/Deserialize() give it the same little-endian wire form
+// the vault and database images use (documented in docs/FORMATS.md).
+#ifndef SRC_CORE_RECOVERY_H_
+#define SRC_CORE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sql/eval.h"
+#include "src/sql/value.h"
+
+namespace edna::core {
+
+enum class JournalOp : uint8_t { kApply = 1, kReveal = 2 };
+enum class JournalPhase : uint8_t {
+  kIntent = 1,       // journaled, mutations may be in flight
+  kVaultStored = 2,  // apply only: log appended and reveal records persisted
+  kCommitted = 3,    // database transaction committed
+};
+
+const char* JournalOpName(JournalOp op);
+const char* JournalPhaseName(JournalPhase phase);
+
+struct JournalEntry {
+  uint64_t journal_id = 0;
+  JournalOp op = JournalOp::kApply;
+  std::string spec_name;
+  sql::ParamMap params;      // bindings the operation ran with ($UID etc.)
+  sql::Value user_id;        // Null for global disguises
+  uint64_t disguise_id = 0;  // 0 until the log assigns one (apply intent)
+  JournalPhase phase = JournalPhase::kIntent;
+  TimePoint created = 0;
+};
+
+// Write-ahead intent journal. In-memory with a defined wire form: the
+// process model of this library keeps all stores in memory, so "durable"
+// means "survives a simulated crash", which freezes (rather than destroys)
+// process state. See DESIGN.md, "Crash consistency".
+class CommitJournal {
+ public:
+  // Journals the intent to run `op`; returns the journal id.
+  uint64_t Begin(JournalOp op, std::string spec_name, sql::ParamMap params,
+                 sql::Value user_id, uint64_t disguise_id, TimePoint now);
+
+  // Records the disguise id once the log assigns it (apply path).
+  void SetDisguiseId(uint64_t journal_id, uint64_t disguise_id);
+
+  // Advances the phase marker. Phases only move forward.
+  void Advance(uint64_t journal_id, JournalPhase phase);
+
+  // Removes the entry: the operation finished (or was cleanly aborted with
+  // all compensation applied).
+  void Complete(uint64_t journal_id);
+
+  const JournalEntry* Find(uint64_t journal_id) const;
+  const std::vector<JournalEntry>& pending() const { return pending_; }
+  size_t size() const { return pending_.size(); }
+
+  std::vector<uint8_t> Serialize() const;
+  static StatusOr<CommitJournal> Deserialize(const std::vector<uint8_t>& wire);
+
+ private:
+  std::vector<JournalEntry> pending_;  // operations not yet completed
+  uint64_t next_id_ = 1;
+};
+
+// What Recover() did, per repair class.
+struct RecoveryReport {
+  size_t transactions_rolled_back = 0;  // open txn found and rolled back
+  size_t applies_rolled_back = 0;       // half-applied disguises undone
+  size_t applies_rolled_forward = 0;    // committed applies finalized
+  size_t reveals_rolled_back = 0;       // half-done reveals undone
+  size_t reveals_rolled_forward = 0;    // committed reveals finalized
+  size_t orphan_vault_disguises_dropped = 0;  // vault records without log entry
+  size_t log_entries_dropped = 0;             // log entries of undone applies
+  size_t entries_marked_irreversible = 0;     // reversible entries w/o vault data
+  size_t protected_rows_rebuilt = 0;          // strict-mode map reconstruction
+
+  size_t TotalRepairs() const;
+  std::string ToString() const;
+};
+
+// Result of the standalone invariant check. `violations` is empty iff the
+// database / vault / log / journal quadruple is mutually consistent.
+struct ConsistencyReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_RECOVERY_H_

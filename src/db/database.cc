@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
@@ -683,6 +684,7 @@ Status Database::CreateIndex(const std::string& table, const std::string& column
 }
 
 Status Database::Begin() {
+  EDNA_FAIL_POINT(failpoints::kDbBegin);
   if (in_txn_) {
     return FailedPrecondition("transaction already active");
   }
@@ -692,6 +694,7 @@ Status Database::Begin() {
 }
 
 Status Database::Commit() {
+  EDNA_FAIL_POINT(failpoints::kDbCommit);
   if (!in_txn_) {
     return FailedPrecondition("no active transaction");
   }
@@ -701,6 +704,7 @@ Status Database::Commit() {
 }
 
 Status Database::Rollback() {
+  EDNA_FAIL_POINT(failpoints::kDbRollback);
   if (!in_txn_) {
     return FailedPrecondition("no active transaction");
   }

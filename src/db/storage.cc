@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/common/failpoint.h"
 #include "src/common/strings.h"
 #include "src/sql/codec.h"
 
@@ -176,6 +177,7 @@ StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_
 }
 
 Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  EDNA_FAIL_POINT(failpoints::kStorageSave);
   std::vector<uint8_t> wire = SerializeDatabase(db);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -190,6 +192,7 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path) {
 }
 
 StatusOr<std::unique_ptr<Database>> LoadDatabaseFromFile(const std::string& path) {
+  EDNA_FAIL_POINT(failpoints::kStorageLoad);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return NotFound("cannot open \"" + path + "\"");

@@ -1,5 +1,9 @@
 #include "src/vault/encrypted_vault.h"
 
+#include <set>
+
+#include "src/common/failpoint.h"
+
 namespace edna::vault {
 
 EncryptedVault::EncryptedVault(std::vector<uint8_t> app_key, KeyProvider keys, Rng rng)
@@ -37,6 +41,7 @@ StatusOr<std::vector<uint8_t>> EncryptedVault::KeyFor(const sql::Value& uid) {
 }
 
 Status EncryptedVault::Store(const RevealRecord& record) {
+  EDNA_FAIL_POINT(failpoints::kVaultStore);
   ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(record.user_id));
   Entry e;
   e.disguise_id = record.disguise_id;
@@ -114,8 +119,17 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchGlobal() {
 }
 
 Status EncryptedVault::Remove(uint64_t disguise_id) {
+  EDNA_FAIL_POINT(failpoints::kVaultRemove);
   std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
   return OkStatus();
+}
+
+StatusOr<std::vector<uint64_t>> EncryptedVault::ListDisguiseIds() const {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries_) {
+    ids.insert(e.disguise_id);
+  }
+  return std::vector<uint64_t>(ids.begin(), ids.end());
 }
 
 StatusOr<size_t> EncryptedVault::ExpireBefore(TimePoint cutoff) {

@@ -1,6 +1,9 @@
 #include "src/vault/offline_vault.h"
 
 #include <chrono>
+#include <set>
+
+#include "src/common/failpoint.h"
 
 namespace edna::vault {
 
@@ -16,6 +19,7 @@ void OfflineVault::SimulateAccess() const {
 }
 
 Status OfflineVault::Store(const RevealRecord& record) {
+  EDNA_FAIL_POINT(failpoints::kVaultStore);
   SimulateAccess();
   Entry e;
   e.disguise_id = record.disguise_id;
@@ -71,9 +75,18 @@ StatusOr<std::vector<RevealRecord>> OfflineVault::FetchGlobal() {
 }
 
 Status OfflineVault::Remove(uint64_t disguise_id) {
+  EDNA_FAIL_POINT(failpoints::kVaultRemove);
   SimulateAccess();
   std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
   return OkStatus();
+}
+
+StatusOr<std::vector<uint64_t>> OfflineVault::ListDisguiseIds() const {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries_) {
+    ids.insert(e.disguise_id);
+  }
+  return std::vector<uint64_t>(ids.begin(), ids.end());
 }
 
 StatusOr<size_t> OfflineVault::ExpireBefore(TimePoint cutoff) {

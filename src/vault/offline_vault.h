@@ -26,6 +26,7 @@ class OfflineVault : public Vault {
   StatusOr<std::vector<RevealRecord>> FetchForDisguise(uint64_t disguise_id) override;
   StatusOr<std::vector<RevealRecord>> FetchGlobal() override;
   Status Remove(uint64_t disguise_id) override;
+  StatusOr<std::vector<uint64_t>> ListDisguiseIds() const override;
   StatusOr<size_t> ExpireBefore(TimePoint cutoff) override;
   size_t NumRecords() const override { return entries_.size(); }
 

@@ -1,5 +1,8 @@
 #include "src/vault/table_vault.h"
 
+#include <set>
+
+#include "src/common/failpoint.h"
 #include "src/sql/parser.h"
 
 namespace edna::vault {
@@ -46,6 +49,7 @@ StatusOr<std::unique_ptr<TableVault>> TableVault::Create(db::Database* db) {
 }
 
 Status TableVault::Store(const RevealRecord& record) {
+  EDNA_FAIL_POINT(failpoints::kVaultStore);
   std::vector<uint8_t> wire = record.Serialize();
   stats_.bytes_stored += wire.size();
   ++stats_.stores;
@@ -92,10 +96,23 @@ StatusOr<std::vector<RevealRecord>> TableVault::FetchGlobal() {
 }
 
 Status TableVault::Remove(uint64_t disguise_id) {
+  EDNA_FAIL_POINT(failpoints::kVaultRemove);
   ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression("\"disguiseId\" = $DID"));
   sql::ParamMap params;
   params.emplace("DID", sql::Value::Int(static_cast<int64_t>(disguise_id)));
   return db_->Delete(kVaultTableName, pred.get(), params).status();
+}
+
+StatusOr<std::vector<uint64_t>> TableVault::ListDisguiseIds() const {
+  const db::Table* t = db_->FindTable(kVaultTableName);
+  if (t == nullptr) {
+    return std::vector<uint64_t>{};
+  }
+  std::set<uint64_t> ids;
+  t->Scan([&](db::RowId, const db::Row& row) {
+    ids.insert(static_cast<uint64_t>(row[kColDisguiseId].AsInt()));
+  });
+  return std::vector<uint64_t>(ids.begin(), ids.end());
 }
 
 StatusOr<size_t> TableVault::ExpireBefore(TimePoint cutoff) {

@@ -7,6 +7,7 @@
 #ifndef SRC_VAULT_TWO_TIER_VAULT_H_
 #define SRC_VAULT_TWO_TIER_VAULT_H_
 
+#include <algorithm>
 #include <memory>
 
 #include "src/vault/vault.h"
@@ -56,6 +57,15 @@ class TwoTierVault : public Vault {
   Status Remove(uint64_t disguise_id) override {
     RETURN_IF_ERROR(global_tier_->Remove(disguise_id));
     return user_tier_->Remove(disguise_id);
+  }
+
+  StatusOr<std::vector<uint64_t>> ListDisguiseIds() const override {
+    ASSIGN_OR_RETURN(std::vector<uint64_t> ids, global_tier_->ListDisguiseIds());
+    ASSIGN_OR_RETURN(std::vector<uint64_t> user_ids, user_tier_->ListDisguiseIds());
+    ids.insert(ids.end(), user_ids.begin(), user_ids.end());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
   }
 
   StatusOr<size_t> ExpireBefore(TimePoint cutoff) override {

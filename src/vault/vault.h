@@ -48,6 +48,11 @@ class Vault {
   // Drops the records of a disguise (after permanent reveal).
   virtual Status Remove(uint64_t disguise_id) = 0;
 
+  // Distinct disguise ids with at least one stored record, ascending. Used
+  // by the recovery/audit subsystem to find vault records orphaned by a
+  // crash (no matching disguise-log entry).
+  virtual StatusOr<std::vector<uint64_t>> ListDisguiseIds() const = 0;
+
   // Drops every record created before `cutoff`: entries "configured to
   // expire after some time, making the corresponding disguises irreversible".
   // Returns the number of records dropped.

@@ -17,8 +17,9 @@ struct RunResult {
   std::string output;  // stdout + stderr
 };
 
-RunResult RunCli(const std::string& args) {
-  std::string cmd = std::string(DISGUISECTL_PATH) + " " + args + " 2>&1";
+RunResult RunCli(const std::string& args, const std::string& env = "") {
+  std::string cmd = (env.empty() ? "" : env + " ") + std::string(DISGUISECTL_PATH) +
+                    " " + args + " 2>&1";
   RunResult result;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) {
@@ -112,6 +113,39 @@ TEST(DisguisectlTest, ApplyWithRevealRestores) {
 
   RunResult after = RunCli("query " + db + " --table PaperReview --where '\"contactId\" = 2'");
   EXPECT_EQ(after.output, before.output);  // identical counts and rows
+  std::remove(db.c_str());
+}
+
+TEST(DisguisectlTest, AuditAndRecoverOnPersistedVault) {
+  std::string db = TempDbPath("cli_audit");
+  ASSERT_EQ(RunCli("demo hotcrp --out " + db + " --scale 0.1 --seed 7").exit_code, 0);
+
+  // A fresh image is consistent, and so is one with a table-vault disguise.
+  RunResult clean = RunCli("audit " + db);
+  ASSERT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("consistent"), std::string::npos);
+
+  RunResult apply = RunCli("apply " + db + " --spec HotCRP-GDPR+ --uid 2 --vault table");
+  ASSERT_EQ(apply.exit_code, 0) << apply.output;
+  RunResult audit = RunCli("audit " + db);
+  ASSERT_EQ(audit.exit_code, 0) << audit.output;
+
+  // Recovery on a healthy image is a no-op that still exits 0 and saves.
+  RunResult recover = RunCli("recover " + db);
+  ASSERT_EQ(recover.exit_code, 0) << recover.output;
+  EXPECT_NE(recover.output.find("recovery:"), std::string::npos);
+  EXPECT_NE(recover.output.find("consistent"), std::string::npos);
+
+  // A crash mid-apply (via the env fail-point grammar) must not corrupt the
+  // saved image: the transaction never commits, so the last good image
+  // stays on disk and still audits clean.
+  RunResult crashed = RunCli("apply " + db +
+                             " --spec HotCRP-GDPR --uid 5 --vault table",
+                             "EDNA_FAILPOINTS=db.commit=crash");
+  EXPECT_EQ(crashed.exit_code, 1) << crashed.output;
+  EXPECT_NE(crashed.output.find("simulated crash"), std::string::npos);
+  RunResult after = RunCli("audit " + db);
+  EXPECT_EQ(after.exit_code, 0) << after.output;
   std::remove(db.c_str());
 }
 

@@ -16,9 +16,17 @@
 //   disguisectl explain <db.edb> --spec NAME|FILE [--uid N]
 //       Dry-run: report what applying the disguise would touch.
 //   disguisectl apply <db.edb> --spec NAME|FILE [--uid N] [--optimize]
-//                     [--reveal] [--no-save]
+//                     [--reveal] [--no-save] [--vault offline|table]
 //       Apply a disguise (optionally reveal it again immediately to
-//       demonstrate reversibility) and save the database back.
+//       demonstrate reversibility) and save the database back. With
+//       --vault table the reveal records live in the database's reserved
+//       vault table and survive in the saved image.
+//   disguisectl audit <db.edb>
+//       Check the cross-store consistency invariants (database, vault
+//       table, disguise log, commit journal). Exit 1 if violations found.
+//   disguisectl recover <db.edb> [--no-save]
+//       Run crash recovery on the image: repair half-applied disguises,
+//       drop orphan vault records, then re-audit and save the result.
 //
 // Shipped spec names: HotCRP-GDPR, HotCRP-GDPR+, HotCRP-ConfAnon,
 // Lobsters-GDPR. Exit code 0 on success, 1 on error, 2 on usage error.
@@ -43,6 +51,7 @@
 #include "src/disguise/spec_parser.h"
 #include "src/sql/parser.h"
 #include "src/vault/offline_vault.h"
+#include "src/vault/table_vault.h"
 
 namespace {
 
@@ -52,7 +61,8 @@ using edna::sql::Value;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: disguisectl <demo|info|schema|query|specs|lint|explain|apply> ...\n"
+               "usage: disguisectl "
+               "<demo|info|schema|query|specs|lint|explain|apply|audit|recover> ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
   return 2;
@@ -299,27 +309,38 @@ int CmdLint(const Args& args) {
   return any_errors ? 1 : 0;
 }
 
-// Shared setup for explain/apply: load db, build engine, register spec.
+// Shared setup for explain/apply/audit/recover: load db, build engine.
 struct EngineSetup {
   std::unique_ptr<edna::db::Database> db;
-  std::unique_ptr<edna::vault::OfflineVault> vault;
+  std::unique_ptr<edna::vault::Vault> vault;
   std::unique_ptr<edna::SystemClock> clock;
   std::unique_ptr<edna::core::DisguiseEngine> engine;
   std::string spec_name;
 };
 
-StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize) {
+StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize, bool want_spec) {
   EngineSetup setup;
   ASSIGN_OR_RETURN(setup.db, edna::db::LoadDatabaseFromFile(args.positional[0]));
-  setup.vault = std::make_unique<edna::vault::OfflineVault>();
+  std::string vault_kind = args.Get("vault", want_spec ? "offline" : "table");
+  if (vault_kind == "table") {
+    ASSIGN_OR_RETURN(setup.vault, edna::vault::TableVault::Create(setup.db.get()));
+  } else if (vault_kind == "offline") {
+    setup.vault = std::make_unique<edna::vault::OfflineVault>();
+  } else {
+    return edna::InvalidArgument("unknown vault kind \"" + vault_kind +
+                                 "\" (expected offline or table)");
+  }
   setup.clock = std::make_unique<edna::SystemClock>();
   edna::core::EngineOptions options;
   options.reuse_decorrelation = optimize;
   setup.engine = std::make_unique<edna::core::DisguiseEngine>(
       setup.db.get(), setup.vault.get(), setup.clock.get(), options);
-  ASSIGN_OR_RETURN(edna::disguise::DisguiseSpec spec, ResolveSpec(args.Get("spec")));
-  setup.spec_name = spec.name();
-  RETURN_IF_ERROR(setup.engine->RegisterSpec(std::move(spec)));
+  RETURN_IF_ERROR(setup.engine->LoadLogFromMirror());
+  if (want_spec) {
+    ASSIGN_OR_RETURN(edna::disguise::DisguiseSpec spec, ResolveSpec(args.Get("spec")));
+    setup.spec_name = spec.name();
+    RETURN_IF_ERROR(setup.engine->RegisterSpec(std::move(spec)));
+  }
   return setup;
 }
 
@@ -337,7 +358,7 @@ int CmdExplain(const Args& args) {
     std::fprintf(stderr, "usage: disguisectl explain <db.edb> --spec NAME|FILE [--uid N]\n");
     return 2;
   }
-  auto setup = SetUpEngine(args, /*optimize=*/false);
+  auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/true);
   if (!setup.ok()) {
     return Fail(setup.status());
   }
@@ -355,7 +376,7 @@ int CmdApply(const Args& args) {
                          "[--optimize] [--reveal] [--no-save]\n");
     return 2;
   }
-  auto setup = SetUpEngine(args, args.Has("optimize"));
+  auto setup = SetUpEngine(args, args.Has("optimize"), /*want_spec=*/true);
   if (!setup.ok()) {
     return Fail(setup.status());
   }
@@ -393,11 +414,61 @@ int CmdApply(const Args& args) {
       return Fail(saved);
     }
     std::printf("saved %s\n", args.positional[0].c_str());
-    if (!args.Has("reveal") && setup->engine->FindSpec(setup->spec_name)->reversible()) {
+    if (!args.Has("reveal") && args.Get("vault", "offline") == "offline" &&
+        setup->engine->FindSpec(setup->spec_name)->reversible()) {
       std::printf("note: the reveal record lives only in this process's vault; to keep "
                   "the disguise reversible across runs, use --reveal in the same "
-                  "invocation or an application-embedded vault.\n");
+                  "invocation or --vault table.\n");
     }
+  }
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: disguisectl audit <db.edb>\n");
+    return 2;
+  }
+  auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/false);
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+  auto report = setup->engine->AuditConsistency();
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("%s", report->ToString().c_str());
+  return report->ok() ? 0 : 1;
+}
+
+int CmdRecover(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: disguisectl recover <db.edb> [--no-save]\n");
+    return 2;
+  }
+  auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/false);
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+  auto report = setup->engine->Recover();
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  std::printf("%s", report->ToString().c_str());
+  auto audit = setup->engine->AuditConsistency();
+  if (!audit.ok()) {
+    return Fail(audit.status());
+  }
+  std::printf("%s", audit->ToString().c_str());
+  if (!audit->ok()) {
+    return 1;
+  }
+  if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+    if (!saved.ok()) {
+      return Fail(saved);
+    }
+    std::printf("saved %s\n", args.positional[0].c_str());
   }
   return 0;
 }
@@ -409,8 +480,8 @@ int main(int argc, char** argv) {
     return Usage();
   }
   std::string cmd = argv[1];
-  Args args = ParseArgs(argc - 2, argv + 2,
-                        {"out", "scale", "seed", "table", "where", "limit", "spec", "uid"});
+  Args args = ParseArgs(argc - 2, argv + 2, {"out", "scale", "seed", "table", "where",
+                                             "limit", "spec", "uid", "vault"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
@@ -434,6 +505,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "apply") {
     return CmdApply(args);
+  }
+  if (cmd == "audit") {
+    return CmdAudit(args);
+  }
+  if (cmd == "recover") {
+    return CmdRecover(args);
   }
   return Usage();
 }
