@@ -1,0 +1,129 @@
+// Ablation F: static analyzer runtime. §7 calls for "data analysis tools and
+// heuristics [to] help developers improve or catch errors in disguise
+// specifications"; this ablation measures what the symbolic analyzer costs on
+// the two real application schemas, per pass (lint, PII taint flow,
+// composition conflicts) and end to end, so EXPERIMENTS.md can report that
+// the check is cheap enough to gate CI on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/conflicts.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/taint.h"
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/schema.h"
+
+namespace {
+
+namespace analysis = edna::analysis;
+namespace hotcrp = edna::hotcrp;
+namespace lobsters = edna::lobsters;
+
+std::vector<edna::disguise::DisguiseSpec> HotcrpSpecs() {
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  for (auto fn : {hotcrp::GdprSpec, hotcrp::GdprPlusSpec, hotcrp::ConfAnonSpec}) {
+    auto spec = fn();
+    if (spec.ok()) {
+      specs.push_back(*std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<edna::disguise::DisguiseSpec> LobstersSpecs() {
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  auto spec = lobsters::GdprSpec();
+  if (spec.ok()) {
+    specs.push_back(*std::move(spec));
+  }
+  return specs;
+}
+
+// Full `disguisectl analyze` pipeline: validation + lint + taint + conflicts.
+void BM_AnalyzeHotcrp(benchmark::State& state) {
+  edna::db::Schema schema = hotcrp::BuildSchema();
+  std::vector<edna::disguise::DisguiseSpec> specs = HotcrpSpecs();
+  size_t findings = 0;
+  for (auto _ : state) {
+    analysis::AnalysisReport report = analysis::Analyze(specs, schema);
+    findings = report.findings.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["specs"] = static_cast<double>(specs.size());
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_AnalyzeHotcrp)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeLobsters(benchmark::State& state) {
+  edna::db::Schema schema = lobsters::BuildSchema();
+  std::vector<edna::disguise::DisguiseSpec> specs = LobstersSpecs();
+  size_t findings = 0;
+  for (auto _ : state) {
+    analysis::AnalysisReport report = analysis::Analyze(specs, schema);
+    findings = report.findings.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["specs"] = static_cast<double>(specs.size());
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_AnalyzeLobsters)->Unit(benchmark::kMillisecond);
+
+// Per-pass breakdown on HotCRP (the larger schema: 25 tables).
+void BM_PassLint(benchmark::State& state) {
+  edna::db::Schema schema = hotcrp::BuildSchema();
+  std::vector<edna::disguise::DisguiseSpec> specs = HotcrpSpecs();
+  for (auto _ : state) {
+    for (const auto& spec : specs) {
+      auto findings = analysis::LintSpec(spec, schema);
+      benchmark::DoNotOptimize(findings);
+    }
+  }
+}
+BENCHMARK(BM_PassLint)->Unit(benchmark::kMicrosecond);
+
+void BM_PassTaint(benchmark::State& state) {
+  edna::db::Schema schema = hotcrp::BuildSchema();
+  std::vector<edna::disguise::DisguiseSpec> specs = HotcrpSpecs();
+  for (auto _ : state) {
+    for (const auto& spec : specs) {
+      auto findings = analysis::AnalyzeTaint(spec, schema);
+      benchmark::DoNotOptimize(findings);
+    }
+  }
+}
+BENCHMARK(BM_PassTaint)->Unit(benchmark::kMicrosecond);
+
+void BM_PassConflicts(benchmark::State& state) {
+  std::vector<edna::disguise::DisguiseSpec> specs = HotcrpSpecs();
+  std::vector<const edna::disguise::DisguiseSpec*> ptrs;
+  for (const auto& spec : specs) {
+    ptrs.push_back(&spec);
+  }
+  for (auto _ : state) {
+    auto findings = analysis::AnalyzeConflicts(ptrs);
+    benchmark::DoNotOptimize(findings);
+  }
+}
+BENCHMARK(BM_PassConflicts)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Ablation F: static analyzer runtime on the shipped application schemas.\n"
+      "Full pipeline (validate + lint + taint + conflicts) per app, then per-pass\n"
+      "breakdown on HotCRP (25 tables, 3 specs).\n"
+      "expected shape: milliseconds end to end -- cheap enough to gate CI on.\n\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "src/analysis/analyzer.h"
+
+#include <utility>
+
+#include "src/analysis/conflicts.h"
+#include "src/analysis/lint.h"
+#include "src/common/strings.h"
+
+namespace edna::analysis {
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.ToString();
+    out += "\n";
+  }
+  FindingCounts counts = Counts();
+  out += StrFormat("%zu error(s), %zu warning(s), %zu info(s)\n", counts.errors,
+                   counts.warnings, counts.infos);
+  return out;
+}
+
+std::string AnalysisReport::ToJson() const {
+  FindingCounts counts = Counts();
+  std::string out = "{\"findings\": ";
+  out += FindingsToJson(findings);
+  out += StrFormat(",\n \"errors\": %zu, \"warnings\": %zu, \"infos\": %zu}\n",
+                   counts.errors, counts.warnings, counts.infos);
+  return out;
+}
+
+AnalysisReport Analyze(const std::vector<disguise::DisguiseSpec>& specs,
+                       const db::Schema& schema, const AnalyzerOptions& options) {
+  AnalysisReport report;
+  std::vector<const disguise::DisguiseSpec*> valid;
+  for (const disguise::DisguiseSpec& spec : specs) {
+    Status st = spec.Validate(schema);
+    if (!st.ok()) {
+      report.findings.push_back(Finding{Severity::kError, "invalid-spec", spec.name(), "",
+                                        "", std::string(st.message())});
+      continue;
+    }
+    valid.push_back(&spec);
+  }
+
+  for (const disguise::DisguiseSpec* spec : valid) {
+    if (options.run_lint) {
+      std::vector<Finding> lint = LintSpec(*spec, schema);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(lint.begin()),
+                             std::make_move_iterator(lint.end()));
+    }
+    if (options.run_taint) {
+      std::vector<Finding> taint = AnalyzeTaint(*spec, schema, options.taint);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(taint.begin()),
+                             std::make_move_iterator(taint.end()));
+    }
+  }
+
+  if (options.run_conflicts && valid.size() > 1) {
+    std::vector<Finding> conflicts = AnalyzeConflicts(valid);
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(conflicts.begin()),
+                           std::make_move_iterator(conflicts.end()));
+  }
+
+  SortFindings(&report.findings);
+  return report;
+}
+
+}  // namespace edna::analysis

@@ -1,0 +1,46 @@
+// Static analyzer entry point: runs every pass (validation, lint, PII taint
+// flow, composition conflicts) over a set of disguise specs against one
+// application schema and aggregates the findings into a single report.
+// `disguisectl analyze` is a thin wrapper around this.
+#ifndef SRC_ANALYSIS_ANALYZER_H_
+#define SRC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/analysis/taint.h"
+#include "src/db/schema.h"
+#include "src/disguise/spec.h"
+
+namespace edna::analysis {
+
+struct AnalyzerOptions {
+  TaintOptions taint;
+  bool run_lint = true;
+  bool run_taint = true;
+  bool run_conflicts = true;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;
+
+  FindingCounts Counts() const { return CountFindings(findings); }
+  bool HasErrors() const { return Counts().errors > 0; }
+
+  // Human-readable report: one finding per line plus a summary line.
+  std::string ToString() const;
+
+  // {"findings": [...], "errors": N, "warnings": N, "infos": N}
+  std::string ToJson() const;
+};
+
+// Analyzes all `specs` against `schema`. A spec that fails Validate() gets
+// an error finding ("invalid-spec") and is excluded from the other passes;
+// analysis never aborts.
+AnalysisReport Analyze(const std::vector<disguise::DisguiseSpec>& specs,
+                       const db::Schema& schema, const AnalyzerOptions& options = {});
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_ANALYZER_H_

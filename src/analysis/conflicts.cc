@@ -1,0 +1,114 @@
+#include "src/analysis/conflicts.h"
+
+#include <string>
+
+#include "src/analysis/predicate.h"
+
+namespace edna::analysis {
+
+namespace {
+
+using disguise::DisguiseSpec;
+using disguise::TableDisguise;
+using disguise::Transformation;
+using disguise::TransformKind;
+using disguise::TransformKindName;
+
+// The column a transformation rewrites, for overlap purposes ("" = whole row).
+std::string TouchedColumn(const Transformation& tr) {
+  switch (tr.kind()) {
+    case TransformKind::kRemove:
+      return "";
+    case TransformKind::kModify:
+      return tr.column();
+    case TransformKind::kDecorrelate:
+      return tr.foreign_key().column;
+  }
+  return "";
+}
+
+void CheckPair(const DisguiseSpec& a, const DisguiseSpec& b, const std::string& table,
+               const Transformation& ta, const Transformation& tb,
+               std::vector<Finding>* findings) {
+  const std::string pair = a.name() + "+" + b.name();
+  auto add = [&](Severity severity, const char* code, std::string column,
+                 std::string message) {
+    findings->push_back(
+        Finding{severity, code, pair, table, std::move(column), std::move(message)});
+  };
+
+  Tri overlap = Intersects(*ta.predicate(), *tb.predicate());
+  if (overlap == Tri::kNo) {
+    return;  // provably disjoint row sets cannot interact
+  }
+  const char* certainty = overlap == Tri::kYes ? "" : " (possible, not proven)";
+
+  const TransformKind ka = ta.kind(), kb = tb.kind();
+
+  if (ka == TransformKind::kModify && kb == TransformKind::kModify &&
+      ta.column() == tb.column()) {
+    add(overlap == Tri::kYes ? Severity::kError : Severity::kWarning,
+        "conflicting-modify", ta.column(),
+        "\"" + a.name() + "\" and \"" + b.name() + "\" both Modify \"" + table + "." +
+            ta.column() + "\" on intersecting rows" + certainty +
+            ": whichever applies second overwrites the first, and revealing them out "
+            "of application order restores the wrong value");
+    return;
+  }
+
+  if (ka == TransformKind::kRemove || kb == TransformKind::kRemove) {
+    if (ka == TransformKind::kRemove && kb == TransformKind::kRemove) {
+      add(Severity::kInfo, "remove-overlap", "",
+          "\"" + a.name() + "\" and \"" + b.name() + "\" both Remove intersecting rows of \"" +
+              table + "\"" + certainty +
+              ": the second Remove stores no reveal rows, so reveals must run in "
+              "reverse application order");
+      return;
+    }
+    const DisguiseSpec& remover = ka == TransformKind::kRemove ? a : b;
+    const DisguiseSpec& other = ka == TransformKind::kRemove ? b : a;
+    const Transformation& other_tr = ka == TransformKind::kRemove ? tb : ta;
+    add(Severity::kWarning, "remove-shadows-transform", TouchedColumn(other_tr),
+        "\"" + remover.name() + "\" Removes rows of \"" + table + "\" that \"" +
+            other.name() + "\" " + TransformKindName(other_tr.kind()) + "s" + certainty +
+            ": applied Remove-first the other transformation no-ops; applied "
+            "Remove-last its reveal can resurrect disguised data");
+    return;
+  }
+
+  if (ka == TransformKind::kDecorrelate && kb == TransformKind::kDecorrelate &&
+      ta.foreign_key().column == tb.foreign_key().column) {
+    add(Severity::kInfo, "decorrelate-overlap", ta.foreign_key().column,
+        "\"" + a.name() + "\" and \"" + b.name() + "\" both re-point \"" + table + "." +
+            ta.foreign_key().column + "\"" + certainty +
+            ": reveal order decides which original correlation is restored");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeConflicts(const std::vector<const DisguiseSpec*>& specs) {
+  std::vector<Finding> findings;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = i + 1; j < specs.size(); ++j) {
+      if (specs[i] == nullptr || specs[j] == nullptr) {
+        continue;
+      }
+      for (const TableDisguise& ta : specs[i]->tables()) {
+        const TableDisguise* tb = specs[j]->FindTable(ta.table);
+        if (tb == nullptr) {
+          continue;
+        }
+        for (const Transformation& tra : ta.transformations) {
+          for (const Transformation& trb : tb->transformations) {
+            CheckPair(*specs[i], *specs[j], ta.table, tra, trb, &findings);
+          }
+        }
+      }
+    }
+  }
+  SortFindings(&findings);
+  return findings;
+}
+
+}  // namespace edna::analysis

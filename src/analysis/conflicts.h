@@ -1,0 +1,45 @@
+// Composition conflict analysis: predicts interactions between registered
+// disguise specs before any of them is applied (the paper's §5 composition
+// problem). Two specs conflict when their transformations can touch the same
+// (table, column) cells: a later disguise may overwrite an earlier one's
+// work, and revealing them out of application order can resurrect data the
+// other spec still wants hidden.
+//
+// Detection is symbolic: for each pair of transformations on the same table,
+// the predicate engine decides whether their match sets can intersect
+// (Intersects, predicate.h). Same-named parameters are shared across the
+// pair, so "contactId = $UID" in two specs means the same user disguised by
+// both -- the composition case that actually happens.
+//
+// Findings:
+//   conflicting-modify       (error if provable, warning if possible) — two
+//       specs Modify the same column of intersecting rows: the second apply
+//       destroys the first's placeholder values and reveal order matters.
+//   remove-shadows-transform (warning) — one spec Removes rows another spec
+//       Modifies/Decorrelates: if the Remove applies first the other spec
+//       silently no-ops; if last, its reveal may resurrect transformed data.
+//   decorrelate-overlap      (info) — two specs re-point the same FK column;
+//       benign for placeholder-fresh decorrelation but reveal-order
+//       sensitive.
+//   remove-overlap           (info) — two specs Remove intersecting rows;
+//       idempotent at apply time but the second Remove records no reveal
+//       rows, so reveal ordering matters.
+#ifndef SRC_ANALYSIS_CONFLICTS_H_
+#define SRC_ANALYSIS_CONFLICTS_H_
+
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/disguise/spec.h"
+
+namespace edna::analysis {
+
+// Pairwise analysis over all registered specs (i < j). Findings carry
+// `spec` = "specA+specB" and the shared table/column. Null entries are
+// skipped.
+std::vector<Finding> AnalyzeConflicts(
+    const std::vector<const disguise::DisguiseSpec*>& specs);
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_CONFLICTS_H_

@@ -1,0 +1,131 @@
+#include "src/analysis/findings.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/common/strings.h"
+
+namespace edna::analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Finding::ToString() const {
+  std::string out = std::string(SeverityName(severity)) + "[" + code + "]";
+  std::string where;
+  if (!spec.empty()) {
+    where = spec;
+  }
+  if (!table.empty()) {
+    if (!where.empty()) {
+      where += "/";
+    }
+    where += table;
+    if (!column.empty()) {
+      where += "." + column;
+    }
+  }
+  if (!where.empty()) {
+    out += " " + where;
+  }
+  out += ": " + message;
+  return out;
+}
+
+bool HasErrors(const std::vector<Finding>& findings) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.severity == Severity::kError; });
+}
+
+FindingCounts CountFindings(const std::vector<Finding>& findings) {
+  FindingCounts counts;
+  for (const Finding& f : findings) {
+    switch (f.severity) {
+      case Severity::kError:
+        ++counts.errors;
+        break;
+      case Severity::kWarning:
+        ++counts.warnings;
+        break;
+      case Severity::kInfo:
+        ++counts.infos;
+        break;
+    }
+  }
+  return counts;
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::stable_sort(findings->begin(), findings->end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::make_tuple(-static_cast<int>(a.severity), a.spec, a.table,
+                                            a.column, a.code) <
+                            std::make_tuple(-static_cast<int>(b.severity), b.spec, b.table,
+                                            b.column, b.code);
+                   });
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\n  {";
+    out += "\"severity\":\"" + std::string(SeverityName(f.severity)) + "\",";
+    out += "\"code\":\"" + JsonEscape(f.code) + "\",";
+    out += "\"spec\":\"" + JsonEscape(f.spec) + "\",";
+    out += "\"table\":\"" + JsonEscape(f.table) + "\",";
+    out += "\"column\":\"" + JsonEscape(f.column) + "\",";
+    out += "\"message\":\"" + JsonEscape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace edna::analysis

@@ -1,0 +1,52 @@
+// Shared findings model for the disguise static analyzer: every pass (lint,
+// PII taint flow, composition conflicts) reports Finding records with a
+// severity, a stable machine-readable code, and the spec/table/column the
+// finding anchors to. `disguisectl lint --json` and `disguisectl analyze
+// --json` both serialize this shape, so CI tooling parses one format.
+#ifndef SRC_ANALYSIS_FINDINGS_H_
+#define SRC_ANALYSIS_FINDINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace edna::analysis {
+
+enum class Severity { kInfo = 0, kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+struct Finding {
+  Severity severity = Severity::kInfo;
+  std::string code;     // stable kebab-case identifier, e.g. "pii-retained"
+  std::string spec;     // disguise spec name ("" if cross-spec or global)
+  std::string table;    // table the finding anchors to ("" if none)
+  std::string column;   // column the finding anchors to ("" if none)
+  std::string message;  // human-readable explanation
+
+  // One text line: "error[pii-retained] spec/table.column: message".
+  std::string ToString() const;
+};
+
+// Counts by severity; `HasErrors` drives the CLI exit code.
+struct FindingCounts {
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t infos = 0;
+};
+
+FindingCounts CountFindings(const std::vector<Finding>& findings);
+
+// True if any finding is an error.
+bool HasErrors(const std::vector<Finding>& findings);
+
+// Sorts by severity (errors first), then spec, table, column, code.
+void SortFindings(std::vector<Finding>* findings);
+
+// JSON array of finding objects, e.g.
+//   [{"severity":"error","code":"pii-retained","spec":"gdpr",...}]
+// Deterministic key order; strings escaped per RFC 8259.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_FINDINGS_H_

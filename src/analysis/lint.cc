@@ -1,58 +1,25 @@
-#include "src/disguise/lint.h"
+#include "src/analysis/lint.h"
 
 #include <algorithm>
-#include <set>
+#include <string>
 
+#include "src/analysis/predicate.h"
 #include "src/common/strings.h"
 
-namespace edna::disguise {
-
-const char* LintCodeName(LintCode code) {
-  switch (code) {
-    case LintCode::kBlockedRemoval:
-      return "blocked-removal";
-    case LintCode::kCoverageGap:
-      return "coverage-gap";
-    case LintCode::kGlobalRemoveAll:
-      return "global-remove-all";
-    case LintCode::kUnusedPlaceholder:
-      return "unused-placeholder";
-    case LintCode::kPlaceholderEnabled:
-      return "placeholder-enabled";
-    case LintCode::kNoAssertions:
-      return "no-assertions";
-    case LintCode::kNoopModify:
-      return "noop-modify";
-    case LintCode::kIrreversible:
-      return "irreversible";
-  }
-  return "?";
-}
-
-const char* LintSeverityName(LintSeverity severity) {
-  switch (severity) {
-    case LintSeverity::kInfo:
-      return "info";
-    case LintSeverity::kWarning:
-      return "warning";
-    case LintSeverity::kError:
-      return "error";
-  }
-  return "?";
-}
-
-std::string LintFinding::ToString() const {
-  std::string out = StrFormat("[%s] %s", LintSeverityName(severity), LintCodeName(code));
-  if (!table.empty()) {
-    out += " (" + table + ")";
-  }
-  out += ": " + message;
-  return out;
-}
+namespace edna::analysis {
 
 namespace {
 
-// True if any transformation of kind `kind` exists on `table` in the spec.
+using disguise::DisguiseSpec;
+using disguise::GenContext;
+using disguise::Generator;
+using disguise::kUidParam;
+using disguise::PlaceholderColumn;
+using disguise::TableDisguise;
+using disguise::Transformation;
+using disguise::TransformKind;
+
+// True if any transformation exists on `table` in the spec.
 bool SpecTouches(const DisguiseSpec& spec, const std::string& table) {
   const TableDisguise* td = spec.FindTable(table);
   return td != nullptr && !td->transformations.empty();
@@ -94,12 +61,12 @@ bool IsDisabledStyleColumn(const std::string& name) {
 
 }  // namespace
 
-std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& schema) {
-  std::vector<LintFinding> findings;
-  auto add = [&findings](LintSeverity severity, LintCode code, std::string table,
-                         std::string message) {
-    findings.push_back(
-        LintFinding{severity, code, std::move(table), std::move(message)});
+std::vector<Finding> LintSpec(const DisguiseSpec& spec, const db::Schema& schema) {
+  std::vector<Finding> findings;
+  auto add = [&findings, &spec](Severity severity, const char* code, std::string table,
+                                std::string message) {
+    findings.push_back(Finding{severity, code, spec.name(), std::move(table),
+                               /*column=*/"", std::move(message)});
   };
 
   // --- Removal coverage: walk every table the spec removes from and audit
@@ -120,7 +87,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
         switch (fk.on_delete) {
           case db::FkAction::kRestrict:
             if (!handled) {
-              add(LintSeverity::kError, LintCode::kBlockedRemoval, child.name(),
+              add(Severity::kError, "blocked-removal", child.name(),
                   "removing rows of \"" + td.table + "\" is blocked by RESTRICT foreign key \"" +
                       child.name() + "." + fk.column +
                       "\"; the spec must remove, decorrelate, or null those references first");
@@ -128,7 +95,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
             break;
           case db::FkAction::kCascade:
             if (!handled) {
-              add(LintSeverity::kWarning, LintCode::kCoverageGap, child.name(),
+              add(Severity::kWarning, "coverage-gap", child.name(),
                   "rows of \"" + child.name() + "\" will be CASCADE-deleted with \"" +
                       td.table + "\" rows; add an explicit transformation if that is not " +
                       "the intended policy");
@@ -136,7 +103,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
             break;
           case db::FkAction::kSetNull:
             if (!handled && !SpecTouches(spec, child.name())) {
-              add(LintSeverity::kWarning, LintCode::kCoverageGap, child.name(),
+              add(Severity::kWarning, "coverage-gap", child.name(),
                   "\"" + child.name() + "." + fk.column + "\" will be silently nulled when \"" +
                       td.table + "\" rows are removed; the rows themselves are retained " +
                       "un-transformed");
@@ -147,15 +114,21 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
     }
   }
 
-  // --- Per-user Removes whose predicate ignores $UID remove everyone's rows.
+  // --- Per-user Removes must be provably scoped to the disguising user.
+  // Syntactic $UID mention is not enough: "user_id = $UID OR TRUE" matches
+  // every row. BindsParamEquality proves that every satisfiable branch of
+  // the predicate forces some column = $UID.
   if (spec.per_user()) {
     for (const TableDisguise& td : spec.tables()) {
       for (const Transformation& tr : td.transformations) {
-        if (tr.kind() == TransformKind::kRemove &&
-            !tr.predicate()->ReferencesParam(kUidParam)) {
-          add(LintSeverity::kWarning, LintCode::kGlobalRemoveAll, td.table,
+        if (tr.kind() != TransformKind::kRemove) {
+          continue;
+        }
+        if (!BindsParamEquality(*tr.predicate(), kUidParam)) {
+          add(Severity::kWarning, "global-remove-all", td.table,
               "Remove predicate " + tr.predicate()->ToString() +
-                  " does not mention $UID: it deletes matching rows of EVERY user");
+                  " is not scoped to $UID on every branch: it deletes matching rows of "
+                  "EVERY user");
         }
       }
     }
@@ -176,7 +149,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
       }
     }
     if (!targeted) {
-      add(LintSeverity::kWarning, LintCode::kUnusedPlaceholder, td.table,
+      add(Severity::kWarning, "unused-placeholder", td.table,
           "generate_placeholder recipe is never used: no Decorrelate targets \"" + td.table +
               "\"");
     }
@@ -197,7 +170,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
         }
       }
       if (!set_true) {
-        add(LintSeverity::kWarning, LintCode::kPlaceholderEnabled, td.table,
+        add(Severity::kWarning, "placeholder-enabled", td.table,
             "placeholder recipe does not set \"" + col.name +
                 "\" to TRUE; placeholder identities should be disabled so they cannot log in");
       }
@@ -209,7 +182,7 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
     for (const Transformation& tr : td.transformations) {
       if (tr.kind() == TransformKind::kModify &&
           tr.generator().kind() == Generator::Kind::kKeep) {
-        add(LintSeverity::kWarning, LintCode::kNoopModify, td.table,
+        add(Severity::kWarning, "noop-modify", td.table,
             "Modify of \"" + tr.column() + "\" uses Keep: it changes nothing");
       }
     }
@@ -217,26 +190,17 @@ std::vector<LintFinding> LintSpec(const DisguiseSpec& spec, const db::Schema& sc
 
   // --- Policy-level nudges.
   if (spec.assertions().empty()) {
-    add(LintSeverity::kInfo, LintCode::kNoAssertions, "",
+    add(Severity::kInfo, "no-assertions", "",
         "no end-state assertions declared; consider assert_empty checks for the "
         "spec's privacy goal");
   }
   if (!spec.reversible()) {
-    add(LintSeverity::kInfo, LintCode::kIrreversible, "",
+    add(Severity::kInfo, "irreversible", "",
         "spec is irreversible: no reveal functions will be stored, so users cannot return");
   }
 
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const LintFinding& a, const LintFinding& b) {
-                     return static_cast<int>(a.severity) > static_cast<int>(b.severity);
-                   });
+  SortFindings(&findings);
   return findings;
 }
 
-bool HasLintErrors(const std::vector<LintFinding>& findings) {
-  return std::any_of(findings.begin(), findings.end(), [](const LintFinding& f) {
-    return f.severity == LintSeverity::kError;
-  });
-}
-
-}  // namespace edna::disguise
+}  // namespace edna::analysis

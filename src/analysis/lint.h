@@ -1,0 +1,51 @@
+// Disguise-spec linter: the "data analysis tools and heuristics [that] can
+// help developers improve or catch errors in disguise specifications" the
+// paper's §7 calls for. Validate() (spec.h) rejects specs that cannot run;
+// the linter flags specs that run but likely fail their privacy goal or
+// fail at apply time. Lives in src/analysis (moved from src/disguise) so it
+// can lean on the symbolic predicate engine (predicate.h).
+//
+// Findings (by code):
+//   blocked-removal     (error)   — the spec removes rows of a table that is
+//       referenced through an ON DELETE RESTRICT foreign key by a table the
+//       spec leaves untouched: Apply will abort with an integrity error.
+//   coverage-gap        (warning) — the spec removes a user's identity row
+//       but a table referencing that identity is not transformed; the FK's
+//       SET NULL / CASCADE action will fire implicitly, which may be
+//       unintended (silent data loss or silent retention).
+//   global-remove-all   (warning) — a per-user spec contains a Remove whose
+//       predicate is not provably scoped to the disguising user: unless every
+//       satisfiable branch forces some column = $UID, it deletes matching
+//       rows of EVERY user. (Checked semantically with BindsParamEquality,
+//       so "user_id = $UID OR TRUE" is flagged even though it mentions $UID.)
+//   unused-placeholder  (warning) — a placeholder recipe no Decorrelate ever
+//       targets.
+//   placeholder-enabled (warning) — a placeholder recipe for a table with a
+//       disabled/deleted-style flag column that is not set TRUE; §3 says
+//       placeholder users "should be disabled, ensuring they ... cannot
+//       log in".
+//   no-assertions       (info)    — the spec declares no end-state
+//       assertions; §7 recommends them.
+//   noop-modify         (warning) — a Modify whose generator is Keep.
+//   irreversible        (info)    — the spec is irreversible; users cannot
+//       return (§2 argues for reversibility).
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/db/schema.h"
+#include "src/disguise/spec.h"
+
+namespace edna::analysis {
+
+// Analyzes `spec` against `schema`. The spec must already Validate().
+// Findings are ordered errors first, then warnings, then infos; `spec` is
+// filled in on every finding.
+std::vector<Finding> LintSpec(const disguise::DisguiseSpec& spec,
+                              const db::Schema& schema);
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_LINT_H_

@@ -1,0 +1,782 @@
+#include "src/analysis/predicate.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/sql/value.h"
+
+namespace edna::analysis {
+
+const char* TriName(Tri t) {
+  switch (t) {
+    case Tri::kNo:
+      return "no";
+    case Tri::kMaybe:
+      return "maybe";
+    case Tri::kYes:
+      return "yes";
+  }
+  return "?";
+}
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::UnaryOp;
+using sql::Value;
+
+// DNF expansion budget: beyond this many conjuncts every answer degrades to
+// kMaybe rather than risking exponential blowup.
+constexpr size_t kMaxConjuncts = 256;
+
+// Atomic constraint in negation normal form. Variables are column names
+// (unqualified) or "$"-prefixed parameter names.
+struct Atom {
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kCmp,     // var (op) literal; op in Eq/Ne/Lt/Le/Gt/Ge; literal non-NULL
+    kVarEq,   // a = b
+    kVarNe,   // a <> b
+    kVarCmp,  // a (op) b, ordering comparison -- approximated
+    kIsNull,  // a IS NULL (negated=false) / a IS NOT NULL (negated=true)
+    kTouch,   // opaque condition that requires a non-NULL (LIKE with wildcards)
+    kOpaque,  // condition outside the domain (calls, arithmetic, bare params)
+  };
+  Kind kind = Kind::kOpaque;
+  std::string a, b;
+  BinaryOp op = BinaryOp::kEq;
+  Value value;
+  bool negated = false;
+
+  static Atom True() { return {.kind = Kind::kTrue}; }
+  static Atom False() { return {.kind = Kind::kFalse}; }
+  static Atom Opaque() { return {.kind = Kind::kOpaque}; }
+};
+
+// NNF tree: atoms combined with AND/OR only.
+struct Node {
+  enum class Kind { kAtom, kAnd, kOr };
+  Kind kind = Kind::kAtom;
+  Atom atom;
+  std::vector<Node> children;
+
+  static Node Leaf(Atom a) { return Node{Kind::kAtom, std::move(a), {}}; }
+  static Node And(std::vector<Node> ch) { return Node{Kind::kAnd, {}, std::move(ch)}; }
+  static Node Or(std::vector<Node> ch) { return Node{Kind::kOr, {}, std::move(ch)}; }
+};
+
+// The complementary comparison: NOT (x op y) under SQL three-valued logic is
+// TRUE exactly when (x comp(op) y) is TRUE (both require non-NULL operands).
+BinaryOp Complement(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return BinaryOp::kNe;
+    case BinaryOp::kNe:
+      return BinaryOp::kEq;
+    case BinaryOp::kLt:
+      return BinaryOp::kGe;
+    case BinaryOp::kLe:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLt;
+    default:
+      return op;
+  }
+}
+
+// Mirror for swapped operands: (x op y) == (y Flip(op) x).
+BinaryOp Flip(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // Eq/Ne are symmetric
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Classifies an operand of a comparison.
+struct Operand {
+  enum class Kind { kVar, kLiteral, kOther };
+  Kind kind = Kind::kOther;
+  std::string var;
+  const Value* literal = nullptr;
+};
+
+Operand ClassifyOperand(const Expr& e) {
+  Operand out;
+  switch (e.kind()) {
+    case ExprKind::kColumnRef:
+      out.kind = Operand::Kind::kVar;
+      out.var = e.column();
+      break;
+    case ExprKind::kParam:
+      out.kind = Operand::Kind::kVar;
+      out.var = "$" + e.param_name();
+      break;
+    case ExprKind::kLiteral:
+      out.kind = Operand::Kind::kLiteral;
+      out.literal = &e.literal();
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool EvalLiteralCmp(const Value& lhs, BinaryOp op, const Value& rhs) {
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0;
+    case BinaryOp::kNe:
+      return c != 0;
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+// Lowers `e` to NNF. `neg` false asks for "e is TRUE", true for "e is FALSE"
+// (Kleene negation: rows where e is NULL satisfy neither).
+Node Nnf(const Expr& e, bool neg) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = e.literal();
+      if (v.is_bool()) {
+        return Node::Leaf(v.AsBool() != neg ? Atom::True() : Atom::False());
+      }
+      if (v.is_null()) {
+        return Node::Leaf(Atom::False());  // NULL is neither TRUE nor FALSE
+      }
+      return Node::Leaf(Atom::Opaque());
+    }
+    case ExprKind::kColumnRef: {
+      // A bare boolean column as predicate: TRUE iff col = TRUE.
+      Atom a{.kind = Atom::Kind::kCmp, .a = e.column(), .op = BinaryOp::kEq,
+             .value = Value::Bool(!neg)};
+      return Node::Leaf(std::move(a));
+    }
+    case ExprKind::kParam:
+      return Node::Leaf(Atom::Opaque());
+    case ExprKind::kUnary:
+      if (e.unary_op() == UnaryOp::kNot) {
+        return Nnf(*e.children()[0], !neg);
+      }
+      return Node::Leaf(Atom::Opaque());
+    case ExprKind::kBinary: {
+      BinaryOp op = e.binary_op();
+      const Expr& lhs = *e.children()[0];
+      const Expr& rhs = *e.children()[1];
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        std::vector<Node> ch;
+        ch.push_back(Nnf(lhs, neg));
+        ch.push_back(Nnf(rhs, neg));
+        bool conjunction = (op == BinaryOp::kAnd) != neg;  // De Morgan
+        return conjunction ? Node::And(std::move(ch)) : Node::Or(std::move(ch));
+      }
+      if (!IsComparison(op)) {
+        return Node::Leaf(Atom::Opaque());
+      }
+      if (neg) {
+        op = Complement(op);
+      }
+      Operand l = ClassifyOperand(lhs);
+      Operand r = ClassifyOperand(rhs);
+      if (l.kind == Operand::Kind::kLiteral && r.kind == Operand::Kind::kLiteral) {
+        if (l.literal->is_null() || r.literal->is_null()) {
+          return Node::Leaf(Atom::False());
+        }
+        return Node::Leaf(EvalLiteralCmp(*l.literal, op, *r.literal) ? Atom::True()
+                                                                     : Atom::False());
+      }
+      if (l.kind == Operand::Kind::kVar && r.kind == Operand::Kind::kLiteral) {
+        if (r.literal->is_null()) {
+          return Node::Leaf(Atom::False());
+        }
+        return Node::Leaf(Atom{.kind = Atom::Kind::kCmp, .a = l.var, .op = op,
+                               .value = *r.literal});
+      }
+      if (l.kind == Operand::Kind::kLiteral && r.kind == Operand::Kind::kVar) {
+        if (l.literal->is_null()) {
+          return Node::Leaf(Atom::False());
+        }
+        return Node::Leaf(Atom{.kind = Atom::Kind::kCmp, .a = r.var, .op = Flip(op),
+                               .value = *l.literal});
+      }
+      if (l.kind == Operand::Kind::kVar && r.kind == Operand::Kind::kVar) {
+        Atom a{.a = l.var, .b = r.var, .op = op};
+        a.kind = op == BinaryOp::kEq   ? Atom::Kind::kVarEq
+                 : op == BinaryOp::kNe ? Atom::Kind::kVarNe
+                                       : Atom::Kind::kVarCmp;
+        return Node::Leaf(std::move(a));
+      }
+      return Node::Leaf(Atom::Opaque());
+    }
+    case ExprKind::kIsNull: {
+      // IS NULL never yields SQL NULL, so Kleene negation is plain negation:
+      // the AST flag and the NNF polarity cancel when both are set.
+      bool want_null = (e.negated() == neg);
+      const Expr& operand = *e.children()[0];
+      Operand o = ClassifyOperand(operand);
+      if (o.kind == Operand::Kind::kLiteral) {
+        return Node::Leaf(o.literal->is_null() == want_null ? Atom::True()
+                                                            : Atom::False());
+      }
+      if (o.kind == Operand::Kind::kVar) {
+        return Node::Leaf(
+            Atom{.kind = Atom::Kind::kIsNull, .a = o.var, .negated = !want_null});
+      }
+      return Node::Leaf(Atom::Opaque());
+    }
+    case ExprKind::kIn: {
+      bool negated = e.negated() != neg;
+      Operand needle = ClassifyOperand(*e.children()[0]);
+      if (needle.kind != Operand::Kind::kVar) {
+        return Node::Leaf(Atom::Opaque());
+      }
+      std::vector<Node> ch;
+      if (!negated) {
+        // x IN (a, b, NULL) is TRUE iff x = a OR x = b; the NULL never hits.
+        for (size_t i = 1; i < e.children().size(); ++i) {
+          Operand o = ClassifyOperand(*e.children()[i]);
+          if (o.kind == Operand::Kind::kLiteral) {
+            if (o.literal->is_null()) {
+              continue;
+            }
+            ch.push_back(Node::Leaf(Atom{.kind = Atom::Kind::kCmp, .a = needle.var,
+                                         .op = BinaryOp::kEq, .value = *o.literal}));
+          } else {
+            ch.push_back(Node::Leaf(Atom::Opaque()));
+          }
+        }
+        if (ch.empty()) {
+          return Node::Leaf(Atom::False());
+        }
+        return Node::Or(std::move(ch));
+      }
+      // x NOT IN (..) with a NULL element is never TRUE.
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        Operand o = ClassifyOperand(*e.children()[i]);
+        if (o.kind == Operand::Kind::kLiteral) {
+          if (o.literal->is_null()) {
+            return Node::Leaf(Atom::False());
+          }
+          ch.push_back(Node::Leaf(Atom{.kind = Atom::Kind::kCmp, .a = needle.var,
+                                       .op = BinaryOp::kNe, .value = *o.literal}));
+        } else {
+          ch.push_back(Node::Leaf(Atom::Opaque()));
+        }
+      }
+      if (ch.empty()) {
+        return Node::Leaf(Atom::True());
+      }
+      return Node::And(std::move(ch));
+    }
+    case ExprKind::kBetween: {
+      bool negated = e.negated() != neg;
+      Operand x = ClassifyOperand(*e.children()[0]);
+      Operand lo = ClassifyOperand(*e.children()[1]);
+      Operand hi = ClassifyOperand(*e.children()[2]);
+      if (x.kind != Operand::Kind::kVar || lo.kind != Operand::Kind::kLiteral ||
+          hi.kind != Operand::Kind::kLiteral) {
+        return Node::Leaf(Atom::Opaque());
+      }
+      if (lo.literal->is_null() || hi.literal->is_null()) {
+        return Node::Leaf(Atom::False());  // comparisons with NULL never hold
+      }
+      Atom ge{.kind = Atom::Kind::kCmp, .a = x.var, .op = BinaryOp::kGe,
+              .value = *lo.literal};
+      Atom le{.kind = Atom::Kind::kCmp, .a = x.var, .op = BinaryOp::kLe,
+              .value = *hi.literal};
+      if (!negated) {
+        std::vector<Node> ch;
+        ch.push_back(Node::Leaf(std::move(ge)));
+        ch.push_back(Node::Leaf(std::move(le)));
+        return Node::And(std::move(ch));
+      }
+      Atom lt{.kind = Atom::Kind::kCmp, .a = x.var, .op = BinaryOp::kLt,
+              .value = *lo.literal};
+      Atom gt{.kind = Atom::Kind::kCmp, .a = x.var, .op = BinaryOp::kGt,
+              .value = *hi.literal};
+      std::vector<Node> ch;
+      ch.push_back(Node::Leaf(std::move(lt)));
+      ch.push_back(Node::Leaf(std::move(gt)));
+      return Node::Or(std::move(ch));
+    }
+    case ExprKind::kLike: {
+      bool negated = e.negated() != neg;
+      Operand x = ClassifyOperand(*e.children()[0]);
+      Operand pat = ClassifyOperand(*e.children()[1]);
+      if (x.kind != Operand::Kind::kVar || pat.kind != Operand::Kind::kLiteral) {
+        return Node::Leaf(Atom::Opaque());
+      }
+      if (pat.literal->is_null()) {
+        return Node::Leaf(Atom::False());
+      }
+      if (pat.literal->is_string()) {
+        const std::string& p = pat.literal->AsString();
+        if (p.find('%') == std::string::npos && p.find('_') == std::string::npos) {
+          // Wildcard-free LIKE is plain equality.
+          return Node::Leaf(Atom{.kind = Atom::Kind::kCmp, .a = x.var,
+                                 .op = negated ? BinaryOp::kNe : BinaryOp::kEq,
+                                 .value = *pat.literal});
+        }
+      }
+      // [NOT] LIKE with wildcards: opaque, but requires a non-NULL operand.
+      return Node::Leaf(Atom{.kind = Atom::Kind::kTouch, .a = x.var});
+    }
+    case ExprKind::kCall:
+      return Node::Leaf(Atom::Opaque());
+  }
+  return Node::Leaf(Atom::Opaque());
+}
+
+// Collects the column variables (non-'$') referenced anywhere in `e`, and
+// whether `e` contains subexpressions outside the abstract domain.
+void CollectVarsAndOpacity(const Expr& e, std::set<std::string>* columns, bool* opaque) {
+  switch (e.kind()) {
+    case ExprKind::kColumnRef:
+      columns->insert(e.column());
+      return;
+    case ExprKind::kCall:
+      *opaque = true;
+      break;
+    case ExprKind::kBinary:
+      if (!IsComparison(e.binary_op()) && e.binary_op() != BinaryOp::kAnd &&
+          e.binary_op() != BinaryOp::kOr) {
+        *opaque = true;
+      }
+      break;
+    case ExprKind::kUnary:
+      if (e.unary_op() != UnaryOp::kNot) {
+        *opaque = true;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const sql::ExprPtr& child : e.children()) {
+    CollectVarsAndOpacity(*child, columns, opaque);
+  }
+}
+
+// "e is not TRUE" (FALSE or NULL): the complement of the matched set. Built
+// as F(e) OR (some referenced column IS NULL) OR opaque -- an
+// over-approximation, which keeps Implies' kYes answers sound. Parameters
+// are assumed non-NULL, so they do not contribute NULL branches.
+Node NotMatched(const Expr& e) {
+  std::vector<Node> ch;
+  ch.push_back(Nnf(e, /*neg=*/true));
+  std::set<std::string> columns;
+  bool opaque = false;
+  CollectVarsAndOpacity(e, &columns, &opaque);
+  for (const std::string& c : columns) {
+    ch.push_back(Node::Leaf(Atom{.kind = Atom::Kind::kIsNull, .a = c, .negated = false}));
+  }
+  if (opaque) {
+    ch.push_back(Node::Leaf(Atom::Opaque()));
+  }
+  return Node::Or(std::move(ch));
+}
+
+using Conjunct = std::vector<Atom>;
+
+// Expands `n` to DNF; false on budget overflow.
+bool ToDnf(const Node& n, std::vector<Conjunct>* out) {
+  switch (n.kind) {
+    case Node::Kind::kAtom:
+      out->push_back({n.atom});
+      return true;
+    case Node::Kind::kOr:
+      for (const Node& child : n.children) {
+        if (!ToDnf(child, out)) {
+          return false;
+        }
+        if (out->size() > kMaxConjuncts) {
+          return false;
+        }
+      }
+      return true;
+    case Node::Kind::kAnd: {
+      std::vector<Conjunct> acc = {{}};
+      for (const Node& child : n.children) {
+        std::vector<Conjunct> rhs;
+        if (!ToDnf(child, &rhs)) {
+          return false;
+        }
+        std::vector<Conjunct> next;
+        if (acc.size() * rhs.size() > kMaxConjuncts) {
+          return false;
+        }
+        for (const Conjunct& a : acc) {
+          for (const Conjunct& b : rhs) {
+            Conjunct merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), acc.begin(), acc.end());
+      return out->size() <= kMaxConjuncts;
+    }
+  }
+  return false;
+}
+
+// --- Conjunct solving: union-find over variables with an interval +
+// disequality + nullability state per equivalence class.
+
+enum class Nullness { kUnknown, kNonNull, kNull };
+
+struct ClassState {
+  std::optional<Value> lo, hi;
+  bool lo_strict = false, hi_strict = false;
+  std::vector<Value> neq;
+  Nullness nullness = Nullness::kUnknown;
+};
+
+class ConjunctSolver {
+ public:
+  enum class Result { kUnsat, kSatExact, kSatApprox };
+
+  Result Solve(const Conjunct& atoms) {
+    for (const Atom& atom : atoms) {
+      if (!Apply(atom)) {
+        return Result::kUnsat;
+      }
+    }
+    // Deferred checks: disequality pairs that collapsed into one class, or
+    // two point-valued classes pinned to the same value.
+    for (const auto& [a, b] : var_ne_) {
+      int ra = Find(vars_.at(a)), rb = Find(vars_.at(b));
+      if (ra == rb) {
+        return Result::kUnsat;
+      }
+      std::optional<Value> pa = PointValue(ra), pb = PointValue(rb);
+      if (pa.has_value() && pb.has_value() && pa->SqlEquals(*pb)) {
+        return Result::kUnsat;
+      }
+    }
+    // Point values vs. collected disequalities.
+    for (size_t i = 0; i < states_.size(); ++i) {
+      if (Find(static_cast<int>(i)) != static_cast<int>(i)) {
+        continue;
+      }
+      std::optional<Value> p = PointValue(static_cast<int>(i));
+      if (!p.has_value()) {
+        continue;
+      }
+      for (const Value& v : states_[i].neq) {
+        if (p->SqlEquals(v)) {
+          return Result::kUnsat;
+        }
+      }
+    }
+    return approx_ ? Result::kSatApprox : Result::kSatExact;
+  }
+
+  // Post-Solve query: are the two variables in the same equivalence class?
+  // Unseen variables are never equal to anything.
+  bool SameClass(const std::string& a, const std::string& b) {
+    auto ia = vars_.find(a), ib = vars_.find(b);
+    if (ia == vars_.end() || ib == vars_.end()) {
+      return false;
+    }
+    return Find(ia->second) == Find(ib->second);
+  }
+
+  const std::map<std::string, int>& vars() const { return vars_; }
+
+ private:
+  int Intern(const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) {
+      return it->second;
+    }
+    int id = static_cast<int>(states_.size());
+    vars_.emplace(name, id);
+    states_.emplace_back();
+    parent_.push_back(id);
+    return id;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  ClassState& State(const std::string& name) { return states_[Find(Intern(name))]; }
+
+  std::optional<Value> PointValue(int root) const {
+    const ClassState& s = states_[root];
+    if (s.lo.has_value() && s.hi.has_value() && !s.lo_strict && !s.hi_strict &&
+        s.lo->SqlEquals(*s.hi)) {
+      return s.lo;
+    }
+    return std::nullopt;
+  }
+
+  bool RequireNonNull(ClassState& s) {
+    if (s.nullness == Nullness::kNull) {
+      return false;
+    }
+    s.nullness = Nullness::kNonNull;
+    return true;
+  }
+
+  bool TightenLo(ClassState& s, const Value& v, bool strict) {
+    int c = s.lo.has_value() ? v.Compare(*s.lo) : 1;
+    if (!s.lo.has_value() || c > 0 || (c == 0 && strict)) {
+      s.lo = v;
+      s.lo_strict = strict;
+    }
+    return IntervalConsistent(s);
+  }
+
+  bool TightenHi(ClassState& s, const Value& v, bool strict) {
+    int c = s.hi.has_value() ? v.Compare(*s.hi) : -1;
+    if (!s.hi.has_value() || c < 0 || (c == 0 && strict)) {
+      s.hi = v;
+      s.hi_strict = strict;
+    }
+    return IntervalConsistent(s);
+  }
+
+  static bool IntervalConsistent(const ClassState& s) {
+    if (!s.lo.has_value() || !s.hi.has_value()) {
+      return true;
+    }
+    int c = s.lo->Compare(*s.hi);
+    if (c > 0) {
+      return false;
+    }
+    if (c == 0 && (s.lo_strict || s.hi_strict)) {
+      return false;
+    }
+    return true;
+  }
+
+  bool Union(const std::string& a, const std::string& b) {
+    int ra = Find(Intern(a)), rb = Find(Intern(b));
+    if (ra == rb) {
+      return true;
+    }
+    ClassState& sa = states_[ra];
+    ClassState& sb = states_[rb];
+    // Merge b into a.
+    if (sb.nullness != Nullness::kUnknown) {
+      if (sa.nullness != Nullness::kUnknown && sa.nullness != sb.nullness) {
+        return false;
+      }
+      sa.nullness = sb.nullness;
+    }
+    if (sb.lo.has_value() && !TightenLo(sa, *sb.lo, sb.lo_strict)) {
+      return false;
+    }
+    if (sb.hi.has_value() && !TightenHi(sa, *sb.hi, sb.hi_strict)) {
+      return false;
+    }
+    sa.neq.insert(sa.neq.end(), sb.neq.begin(), sb.neq.end());
+    parent_[rb] = ra;
+    return true;
+  }
+
+  bool Apply(const Atom& atom) {
+    switch (atom.kind) {
+      case Atom::Kind::kTrue:
+        return true;
+      case Atom::Kind::kFalse:
+        return false;
+      case Atom::Kind::kOpaque:
+        approx_ = true;
+        return true;
+      case Atom::Kind::kTouch:
+        approx_ = true;
+        return RequireNonNull(State(atom.a));
+      case Atom::Kind::kIsNull: {
+        ClassState& s = State(atom.a);
+        if (atom.negated) {
+          return RequireNonNull(s);
+        }
+        if (s.nullness == Nullness::kNonNull) {
+          return false;
+        }
+        s.nullness = Nullness::kNull;
+        return true;
+      }
+      case Atom::Kind::kCmp: {
+        ClassState& s = State(atom.a);
+        if (!RequireNonNull(s)) {
+          return false;
+        }
+        switch (atom.op) {
+          case BinaryOp::kEq:
+            return TightenLo(s, atom.value, false) && TightenHi(s, atom.value, false);
+          case BinaryOp::kNe:
+            s.neq.push_back(atom.value);
+            return true;
+          case BinaryOp::kLt:
+            return TightenHi(s, atom.value, true);
+          case BinaryOp::kLe:
+            return TightenHi(s, atom.value, false);
+          case BinaryOp::kGt:
+            return TightenLo(s, atom.value, true);
+          case BinaryOp::kGe:
+            return TightenLo(s, atom.value, false);
+          default:
+            approx_ = true;
+            return true;
+        }
+      }
+      case Atom::Kind::kVarEq:
+        if (!RequireNonNull(State(atom.a)) || !RequireNonNull(State(atom.b))) {
+          return false;
+        }
+        return Union(atom.a, atom.b);
+      case Atom::Kind::kVarNe:
+        if (!RequireNonNull(State(atom.a)) || !RequireNonNull(State(atom.b))) {
+          return false;
+        }
+        var_ne_.emplace_back(atom.a, atom.b);
+        return true;
+      case Atom::Kind::kVarCmp:
+        if (!RequireNonNull(State(atom.a)) || !RequireNonNull(State(atom.b))) {
+          return false;
+        }
+        approx_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  std::map<std::string, int> vars_;
+  std::vector<ClassState> states_;
+  std::vector<int> parent_;
+  std::vector<std::pair<std::string, std::string>> var_ne_;
+  bool approx_ = false;
+};
+
+// Solves a whole NNF formula: kNo if every conjunct is unsat, kYes if some
+// conjunct is satisfiable within the exact fragment, else kMaybe.
+Tri Solve(const Node& root) {
+  std::vector<Conjunct> dnf;
+  if (!ToDnf(root, &dnf)) {
+    return Tri::kMaybe;
+  }
+  bool any_maybe = false;
+  for (const Conjunct& conjunct : dnf) {
+    ConjunctSolver solver;
+    switch (solver.Solve(conjunct)) {
+      case ConjunctSolver::Result::kUnsat:
+        break;
+      case ConjunctSolver::Result::kSatExact:
+        return Tri::kYes;
+      case ConjunctSolver::Result::kSatApprox:
+        any_maybe = true;
+        break;
+    }
+  }
+  return any_maybe ? Tri::kMaybe : Tri::kNo;
+}
+
+}  // namespace
+
+Tri IsSatisfiable(const sql::Expr& pred) { return Solve(Nnf(pred, false)); }
+
+Tri Intersects(const sql::Expr& a, const sql::Expr& b) {
+  std::vector<Node> ch;
+  ch.push_back(Nnf(a, false));
+  ch.push_back(Nnf(b, false));
+  return Solve(Node::And(std::move(ch)));
+}
+
+Tri Implies(const sql::Expr& premise, const sql::Expr& conclusion) {
+  std::vector<Node> ch;
+  ch.push_back(Nnf(premise, false));
+  ch.push_back(NotMatched(conclusion));
+  switch (Solve(Node::And(std::move(ch)))) {
+    case Tri::kNo:
+      return Tri::kYes;  // no counterexample row exists
+    case Tri::kYes:
+      return Tri::kNo;
+    case Tri::kMaybe:
+      return Tri::kMaybe;
+  }
+  return Tri::kMaybe;
+}
+
+bool BindsParamEquality(const sql::Expr& pred, const std::string& param,
+                        std::vector<std::string>* columns) {
+  std::vector<Conjunct> dnf;
+  if (!ToDnf(Nnf(pred, false), &dnf)) {
+    return false;  // cannot prove scoping on overflow
+  }
+  const std::string pvar = "$" + param;
+  std::set<std::string> bound;
+  for (const Conjunct& conjunct : dnf) {
+    ConjunctSolver solver;
+    if (solver.Solve(conjunct) == ConjunctSolver::Result::kUnsat) {
+      continue;  // an impossible branch matches nothing
+    }
+    bool this_bound = false;
+    for (const auto& [name, id] : solver.vars()) {
+      (void)id;
+      if (name.empty() || name[0] == '$') {
+        continue;
+      }
+      if (solver.SameClass(name, pvar)) {
+        bound.insert(name);
+        this_bound = true;
+      }
+    }
+    if (!this_bound) {
+      return false;
+    }
+  }
+  if (columns != nullptr) {
+    columns->assign(bound.begin(), bound.end());
+  }
+  return true;
+}
+
+}  // namespace edna::analysis

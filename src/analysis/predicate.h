@@ -1,0 +1,58 @@
+// Symbolic predicate engine: abstract interpretation over the SQL predicate
+// AST (src/sql/ast.h) used by the disguise static analyzer. Predicates are
+// lowered to negation normal form over atomic constraints, expanded to a
+// bounded DNF, and each conjunct is solved with an interval + equality
+// abstract domain per variable (columns and $params share one variable
+// space; equalities are tracked with a union-find).
+//
+// Answers are three-valued. The engine is conservative in the directions
+// its clients rely on:
+//   * kNo from IsSatisfiable/Intersects means "provably no matching row
+//     over the untyped value domain" (so also none over any typed domain);
+//   * kYes from Implies means "provably every row matched by the premise is
+//     matched by the conclusion", with SQL three-valued semantics: rows
+//     where the conclusion evaluates to NULL count as NOT matched.
+// kYes from IsSatisfiable means a witness exists in the untyped value
+// domain; column types and NOT NULL constraints are not consulted (see
+// DESIGN.md "Static analysis" for the soundness caveats).
+//
+// Parameters ($UID, ...) are treated as free non-NULL symbolic constants.
+// The same parameter name appearing in both arguments of Implies/Intersects
+// denotes the same value (the same user).
+#ifndef SRC_ANALYSIS_PREDICATE_H_
+#define SRC_ANALYSIS_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sql/ast.h"
+
+namespace edna::analysis {
+
+// Three-valued verdict: kNo / kYes are proofs, kMaybe means the predicate
+// escapes the abstract domain (opaque functions, arithmetic, DNF overflow).
+enum class Tri { kNo, kMaybe, kYes };
+
+const char* TriName(Tri t);
+
+// Can `pred` evaluate to TRUE for some row and parameter binding?
+Tri IsSatisfiable(const sql::Expr& pred);
+
+// Does every row matched by `premise` get matched by `conclusion`?
+// (Rows where `conclusion` is NULL count as unmatched.)
+Tri Implies(const sql::Expr& premise, const sql::Expr& conclusion);
+
+// Can some row be matched by both `a` and `b` (same parameter binding)?
+Tri Intersects(const sql::Expr& a, const sql::Expr& b);
+
+// True iff every satisfiable branch of `pred` forces `column = $param` for
+// at least one column, i.e. the predicate's match set is scoped to the
+// user bound to `param` (a Remove with such a predicate is per-user). A
+// provably unsatisfiable predicate binds vacuously. If `columns` is
+// non-null it receives the distinct bound column names across branches.
+bool BindsParamEquality(const sql::Expr& pred, const std::string& param,
+                        std::vector<std::string>* columns = nullptr);
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_PREDICATE_H_

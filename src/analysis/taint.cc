@@ -1,0 +1,419 @@
+#include "src/analysis/taint.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/analysis/predicate.h"
+#include "src/common/strings.h"
+#include "src/sql/ast.h"
+
+namespace edna::analysis {
+
+namespace {
+
+using disguise::DisguiseSpec;
+using disguise::Generator;
+using disguise::kUidParam;
+using disguise::TableDisguise;
+using disguise::Transformation;
+using disguise::TransformKind;
+
+// Builds the linkage predicate `column = $UID`.
+sql::ExprPtr ColumnEqualsUid(const std::string& column) {
+  return sql::Expr::Binary(sql::BinaryOp::kEq, sql::Expr::ColumnRef("", column),
+                           sql::Expr::Param(kUidParam));
+}
+
+sql::ExprPtr TautologyTrue() { return sql::Expr::Literal(sql::Value::Bool(true)); }
+
+// Does `tr`'s predicate provably match every row satisfying `linkage`?
+bool PredicateCoversLinkage(const Transformation& tr, const sql::Expr& linkage) {
+  return Implies(linkage, *tr.predicate()) == Tri::kYes;
+}
+
+bool IsRealModify(const Transformation& tr) {
+  return tr.kind() == TransformKind::kModify &&
+         tr.generator().kind() != Generator::Kind::kKeep;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SensitivityAnnotation>> ParseSensitivityAnnotations(
+    std::string_view text) {
+  std::vector<SensitivityAnnotation> out;
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    // Strip comments ('#' or '--' to end of line) outside quotes.
+    bool in_quote = false;
+    size_t cut = line.size();
+    for (size_t j = 0; j < line.size(); ++j) {
+      if (line[j] == '"') {
+        in_quote = !in_quote;
+      } else if (!in_quote &&
+                 (line[j] == '#' ||
+                  (line[j] == '-' && j + 1 < line.size() && line[j + 1] == '-'))) {
+        cut = j;
+        break;
+      }
+    }
+    line = StrTrim(line.substr(0, cut));
+    if (line.empty()) {
+      continue;
+    }
+    auto fail = [&i](const std::string& why) {
+      return InvalidArgument(
+          StrFormat("sensitivity annotation line %zu: %s", i + 1, why.c_str()));
+    };
+    size_t colon = line.rfind(':');
+    if (colon == std::string_view::npos) {
+      return fail("expected `Table.\"column\": level`");
+    }
+    std::string_view target = StrTrim(line.substr(0, colon));
+    std::string_view level = StrTrim(line.substr(colon + 1));
+    SensitivityAnnotation ann;
+    if (!db::ParseSensitivity(level, &ann.sensitivity)) {
+      return fail("unknown sensitivity \"" + std::string(level) +
+                  "\" (expected public, quasi, or pii)");
+    }
+    size_t dot = target.find('.');
+    if (dot == std::string_view::npos || dot == 0 || dot + 1 >= target.size()) {
+      return fail("expected `Table.\"column\"` before the colon");
+    }
+    ann.table = std::string(StrTrim(target.substr(0, dot)));
+    std::string_view col = StrTrim(target.substr(dot + 1));
+    if (col.size() >= 2 && col.front() == '"' && col.back() == '"') {
+      col = col.substr(1, col.size() - 2);
+    }
+    if (col.empty()) {
+      return fail("empty column name");
+    }
+    ann.column = std::string(col);
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+Status ApplySensitivityAnnotations(const std::vector<SensitivityAnnotation>& annotations,
+                                   db::Schema* schema) {
+  for (const SensitivityAnnotation& ann : annotations) {
+    db::TableSchema* table = schema->FindMutableTable(ann.table);
+    if (table == nullptr) {
+      return InvalidArgument("sensitivity annotation names unknown table \"" + ann.table +
+                             "\"");
+    }
+    db::ColumnDef* col = table->FindMutableColumn(ann.column);
+    if (col == nullptr) {
+      return InvalidArgument("sensitivity annotation names unknown column \"" + ann.table +
+                             "." + ann.column + "\"");
+    }
+    col->sensitivity = ann.sensitivity;
+  }
+  return OkStatus();
+}
+
+std::string DeriveIdentityTable(const DisguiseSpec& spec, const db::Schema& schema) {
+  // Candidates: tables with a single-column PK that some transformation of
+  // the spec pins to $UID (its predicate only ever matches the user's own
+  // row: pred implies pk = $UID).
+  std::string best;
+  size_t best_in_degree = 0;
+  for (const TableDisguise& td : spec.tables()) {
+    const db::TableSchema* ts = schema.FindTable(td.table);
+    if (ts == nullptr || ts->primary_key().size() != 1) {
+      continue;
+    }
+    sql::ExprPtr pk_eq_uid = ColumnEqualsUid(ts->primary_key()[0]);
+    bool pinned = std::any_of(td.transformations.begin(), td.transformations.end(),
+                              [&pk_eq_uid](const Transformation& tr) {
+                                return Implies(*tr.predicate(), *pk_eq_uid) == Tri::kYes;
+                              });
+    if (!pinned) {
+      continue;
+    }
+    size_t in_degree = 0;
+    for (const db::TableSchema& other : schema.tables()) {
+      for (const db::ForeignKeyDef& fk : other.foreign_keys()) {
+        if (fk.parent_table == td.table) {
+          ++in_degree;
+        }
+      }
+    }
+    if (best.empty() || in_degree > best_in_degree) {
+      best = td.table;
+      best_in_degree = in_degree;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// One FK hop: `child`.`column` references `parent`.
+struct Edge {
+  std::string child;
+  std::string column;
+  std::string parent;
+  db::FkAction on_delete = db::FkAction::kRestrict;
+};
+
+class TaintPass {
+ public:
+  TaintPass(const DisguiseSpec& spec, const db::Schema& schema, const TaintOptions& options)
+      : spec_(spec), schema_(schema), options_(options) {}
+
+  std::vector<Finding> Run() {
+    identity_ = options_.identity_table.empty() ? DeriveIdentityTable(spec_, schema_)
+                                                : options_.identity_table;
+    if (identity_.empty()) {
+      Add(Severity::kWarning, "no-identity-anchor", "", "",
+          "cannot derive the identity table (no transformation pins a single-column "
+          "primary key to $UID); taint analysis skipped -- pass an explicit identity "
+          "table to analyze this spec");
+      return std::move(findings_);
+    }
+    const db::TableSchema* identity_ts = schema_.FindTable(identity_);
+    if (identity_ts == nullptr || identity_ts->primary_key().size() != 1) {
+      Add(Severity::kWarning, "no-identity-anchor", identity_, "",
+          "identity table must exist and have a single-column primary key; taint "
+          "analysis skipped");
+      return std::move(findings_);
+    }
+    identity_pk_ = identity_ts->primary_key()[0];
+    identity_removed_ = IdentityRowRemoved();
+
+    for (const db::TableSchema& ts : schema_.tables()) {
+      for (const db::ColumnDef& col : ts.columns()) {
+        if (col.sensitivity == db::Sensitivity::kPublic) {
+          continue;
+        }
+        CheckColumn(ts, col);
+      }
+    }
+    SortFindings(&findings_);
+    return std::move(findings_);
+  }
+
+ private:
+  void Add(Severity severity, const char* code, std::string table, std::string column,
+           std::string message) {
+    findings_.push_back(Finding{severity, code, spec_.name(), std::move(table),
+                                std::move(column), std::move(message)});
+  }
+
+  // Is the user's identity row itself deleted? True when some Remove on the
+  // identity table matches the row with pk = $UID.
+  bool IdentityRowRemoved() const {
+    const TableDisguise* td = spec_.FindTable(identity_);
+    if (td == nullptr) {
+      return false;
+    }
+    sql::ExprPtr linkage = ColumnEqualsUid(identity_pk_);
+    for (const Transformation& tr : td->transformations) {
+      if (tr.kind() == TransformKind::kRemove && PredicateCoversLinkage(tr, *linkage)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Is the FK edge severed for the disguising user's rows? `linkage` is the
+  // predicate known to hold on child rows that link to the user THROUGH THIS
+  // EDGE (column = $UID for edges into the identity table, TRUE -- i.e. no
+  // usable knowledge -- for interior edges of longer paths).
+  bool EdgeSevered(const Edge& edge, const sql::Expr& linkage) const {
+    // Implicit severing: deleting the identity row fires the FK action.
+    // SET NULL breaks the link; CASCADE deletes the child row outright.
+    if (edge.parent == identity_ && identity_removed_ &&
+        (edge.on_delete == db::FkAction::kSetNull ||
+         edge.on_delete == db::FkAction::kCascade)) {
+      return true;
+    }
+    const TableDisguise* td = spec_.FindTable(edge.child);
+    if (td == nullptr) {
+      return false;
+    }
+    for (const Transformation& tr : td->transformations) {
+      bool hits_column = false;
+      switch (tr.kind()) {
+        case TransformKind::kRemove:
+          hits_column = true;  // deletes the whole row, link included
+          break;
+        case TransformKind::kDecorrelate:
+          hits_column = tr.foreign_key().column == edge.column;
+          break;
+        case TransformKind::kModify:
+          hits_column = tr.column() == edge.column && IsRealModify(tr);
+          break;
+      }
+      if (hits_column && PredicateCoversLinkage(tr, linkage)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Is the sensitive column itself destroyed on rows satisfying `linkage`
+  // (rows removed, or the column rewritten)?
+  bool ColumnCovered(const std::string& table, const std::string& column,
+                     const sql::Expr& linkage) const {
+    const TableDisguise* td = spec_.FindTable(table);
+    if (td == nullptr) {
+      return false;
+    }
+    for (const Transformation& tr : td->transformations) {
+      bool hits = tr.kind() == TransformKind::kRemove ||
+                  (IsRealModify(tr) && tr.column() == column);
+      if (hits && PredicateCoversLinkage(tr, linkage)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Enumerates FK paths from `start` to the identity table (DFS over FK
+  // edges child -> parent; cycles cut on the current path). Each path is a
+  // list of edges; an empty path means start == identity.
+  void EnumeratePaths(const std::string& start, std::vector<Edge>* current,
+                      std::set<std::string>* on_path, std::vector<std::vector<Edge>>* out,
+                      bool* truncated) const {
+    if (out->size() >= options_.max_paths) {
+      *truncated = true;
+      return;
+    }
+    if (start == identity_ && !current->empty()) {
+      out->push_back(*current);
+      return;
+    }
+    if (current->size() >= options_.max_depth) {
+      *truncated = true;
+      return;
+    }
+    const db::TableSchema* ts = schema_.FindTable(start);
+    if (ts == nullptr) {
+      return;
+    }
+    for (const db::ForeignKeyDef& fk : ts->foreign_keys()) {
+      if (on_path->count(fk.parent_table) != 0 && fk.parent_table != identity_) {
+        continue;  // cycle
+      }
+      Edge edge{start, fk.column, fk.parent_table, fk.on_delete};
+      current->push_back(edge);
+      on_path->insert(fk.parent_table);
+      EnumeratePaths(fk.parent_table, current, on_path, out, truncated);
+      on_path->erase(fk.parent_table);
+      current->pop_back();
+    }
+  }
+
+  static std::string RenderPath(const std::string& table, const std::string& column,
+                                const std::vector<Edge>& path) {
+    std::string out = table + "." + column;
+    for (const Edge& e : path) {
+      out += " -[" + e.child + "." + e.column + "]-> " + e.parent;
+    }
+    return out;
+  }
+
+  void CheckColumn(const db::TableSchema& ts, const db::ColumnDef& col) {
+    const bool pii = col.sensitivity == db::Sensitivity::kPii;
+
+    if (ts.name() == identity_) {
+      // The column sits on the identity row itself; linkage is pk = $UID.
+      sql::ExprPtr linkage = ColumnEqualsUid(identity_pk_);
+      if (identity_removed_ || ColumnCovered(ts.name(), col.name, *linkage)) {
+        return;
+      }
+      Add(pii ? Severity::kError : Severity::kWarning,
+          pii ? "pii-retained" : "quasi-retained", ts.name(), col.name,
+          std::string(db::SensitivityName(col.sensitivity)) + " column \"" + ts.name() +
+              "." + col.name +
+              "\" on the identity row is neither removed nor modified by this spec");
+      return;
+    }
+
+    std::vector<std::vector<Edge>> paths;
+    std::vector<Edge> current;
+    std::set<std::string> on_path = {ts.name()};
+    bool truncated = false;
+    EnumeratePaths(ts.name(), &current, &on_path, &paths, &truncated);
+
+    if (paths.empty()) {
+      if (truncated) {
+        Add(Severity::kWarning, "taint-truncated", ts.name(), col.name,
+            "FK-path enumeration hit analysis bounds before reaching the identity "
+            "table; retention of \"" + ts.name() + "." + col.name + "\" is unverified");
+      } else if (pii) {
+        Add(Severity::kInfo, "pii-unlinked", ts.name(), col.name,
+            "pii column \"" + ts.name() + "." + col.name +
+                "\" has no FK path to \"" + identity_ +
+                "\": not linkable to a user through the schema (verify no identity is "
+                "embedded in values)");
+      }
+      return;
+    }
+
+    for (const std::vector<Edge>& path : paths) {
+      // Rows of ts linked through this path satisfy firstEdge.column = $UID
+      // only when the path is one hop; for longer paths the linkage is
+      // transitive and row-level knowledge degrades to TRUE.
+      sql::ExprPtr linkage = path.size() == 1 ? ColumnEqualsUid(path[0].column)
+                                              : TautologyTrue();
+      if (ColumnCovered(ts.name(), col.name, *linkage)) {
+        continue;
+      }
+      bool severed = false;
+      for (size_t i = 0; i < path.size(); ++i) {
+        // The final hop's child rows point straight at the user's identity
+        // row, so column = $UID is known there; interior hops get no
+        // row-level knowledge (TRUE).
+        sql::ExprPtr edge_linkage = i == path.size() - 1
+                                        ? ColumnEqualsUid(path[i].column)
+                                        : TautologyTrue();
+        if (EdgeSevered(path[i], *edge_linkage)) {
+          severed = true;
+          break;
+        }
+      }
+      if (severed) {
+        continue;
+      }
+      Add(pii ? Severity::kError : Severity::kWarning,
+          pii ? "pii-retained" : "quasi-retained", ts.name(), col.name,
+          std::string(db::SensitivityName(col.sensitivity)) + " column \"" + ts.name() +
+              "." + col.name + "\" stays linked to the user via " +
+              RenderPath(ts.name(), col.name, path) +
+              "; no transformation severs this path");
+      return;  // one retention path per column is enough to act on
+    }
+
+    if (truncated) {
+      Add(Severity::kWarning, "taint-truncated", ts.name(), col.name,
+          "some FK paths from \"" + ts.name() + "." + col.name +
+              "\" exceeded analysis bounds and were not verified");
+    }
+  }
+
+  const DisguiseSpec& spec_;
+  const db::Schema& schema_;
+  const TaintOptions& options_;
+  std::string identity_;
+  std::string identity_pk_;
+  bool identity_removed_ = false;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> AnalyzeTaint(const DisguiseSpec& spec, const db::Schema& schema,
+                                  const TaintOptions& options) {
+  if (!spec.per_user()) {
+    return {Finding{Severity::kInfo, "taint-skipped", spec.name(), "", "",
+                    "spec is not per-user; PII taint flow is defined relative to one "
+                    "disguising user and was skipped"}};
+  }
+  return TaintPass(spec, schema, options).Run();
+}
+
+}  // namespace edna::analysis

@@ -1,0 +1,80 @@
+// PII taint-flow analysis: verifies that a per-user disguise spec actually
+// unlinks every sensitive column reachable from the user's identity row.
+//
+// The schema's FK graph is the data-linkage graph: a row of table X is
+// linked to the disguising user iff some FK path X -> ... -> identity table
+// resolves to the user's identity row. For every column annotated kPii or
+// kQuasi (db::Sensitivity), the analysis enumerates those paths and checks
+// that the spec severs each one -- by removing the linked rows, modifying
+// the column, decorrelating an FK hop to a placeholder, or deleting the
+// identity row so SET NULL / CASCADE actions fire. A pii column with a
+// surviving path is reported as an error ("pii-retained") naming the
+// concrete retention path; quasi columns degrade to warnings.
+//
+// Predicate reasoning uses the symbolic engine (predicate.h): a
+// transformation only counts as covering the user's rows when its predicate
+// provably matches them (e.g. Implies(author_id = $UID, pred) == kYes for
+// rows linked through the author_id edge). Syntactic $UID matching is never
+// trusted.
+//
+// Sensitivity comes from the schema (applications annotate in code) plus an
+// optional sidecar annotation file (docs/FORMATS.md):
+//   ContactInfo."email": pii
+//   Paper."authorInformation": pii    # comments with '#' or '--'
+#ifndef SRC_ANALYSIS_TAINT_H_
+#define SRC_ANALYSIS_TAINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/common/status.h"
+#include "src/db/schema.h"
+#include "src/disguise/spec.h"
+
+namespace edna::analysis {
+
+// One parsed line of a sensitivity sidecar file.
+struct SensitivityAnnotation {
+  std::string table;
+  std::string column;
+  db::Sensitivity sensitivity = db::Sensitivity::kPublic;
+};
+
+// Parses the sidecar format: one `Table."column": level` entry per line,
+// blank lines and '#'/'--' comments ignored. Column quotes are optional.
+StatusOr<std::vector<SensitivityAnnotation>> ParseSensitivityAnnotations(
+    std::string_view text);
+
+// Applies annotations onto the schema (overriding in-code sensitivities).
+// Fails on unknown tables or columns -- a misspelled annotation silently
+// protecting nothing is exactly the bug class this analyzer exists for.
+Status ApplySensitivityAnnotations(const std::vector<SensitivityAnnotation>& annotations,
+                                   db::Schema* schema);
+
+struct TaintOptions {
+  // Identity table override; empty = derive it from the spec (the most
+  // FK-referenced table whose single-column PK the spec pins to $UID).
+  std::string identity_table;
+  // FK-path enumeration bounds; paths beyond these are not explored and the
+  // analysis reports that coverage was truncated.
+  size_t max_depth = 8;
+  size_t max_paths = 64;
+};
+
+// Returns the derived identity-table name, or "" when no table qualifies.
+std::string DeriveIdentityTable(const disguise::DisguiseSpec& spec,
+                                const db::Schema& schema);
+
+// Runs the taint-flow analysis for one spec. The spec must already
+// Validate() against `schema`. Non-per-user specs are skipped with an info
+// finding (their transformations are not scoped to one user, so per-user
+// retention is not well-defined).
+std::vector<Finding> AnalyzeTaint(const disguise::DisguiseSpec& spec,
+                                  const db::Schema& schema,
+                                  const TaintOptions& options = {});
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_TAINT_H_

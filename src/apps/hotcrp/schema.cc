@@ -10,7 +10,20 @@ using db::ColumnDef;
 using db::ColumnType;
 using db::FkAction;
 using db::ForeignKeyDef;
+using db::Sensitivity;
 using db::TableSchema;
+
+// Sensitivity annotations for the PII taint analysis (src/analysis/taint.h):
+// Pii marks direct identifiers and secrets, Quasi marks free text and
+// attributes that deanonymize in combination.
+ColumnDef Pii(ColumnDef col) {
+  col.sensitivity = Sensitivity::kPii;
+  return col;
+}
+ColumnDef Quasi(ColumnDef col) {
+  col.sensitivity = Sensitivity::kQuasi;
+  return col;
+}
 
 ColumnDef IntCol(const char* name, bool nullable = false) {
   return {.name = name, .type = ColumnType::kInt, .nullable = nullable};
@@ -35,16 +48,16 @@ ForeignKeyDef Fk(const char* col, const char* parent, const char* pcol,
 TableSchema ContactInfo() {
   TableSchema t("ContactInfo");
   t.AddColumn(AutoPk("contactId"))
-      .AddColumn(StrCol("name", false))
-      .AddColumn(StrCol("email"))
-      .AddColumn(StrCol("affiliation"))
-      .AddColumn(StrCol("passwordHash"))
-      .AddColumn(StrCol("country"))
+      .AddColumn(Pii(StrCol("name", false)))
+      .AddColumn(Pii(StrCol("email")))
+      .AddColumn(Quasi(StrCol("affiliation")))
+      .AddColumn(Pii(StrCol("passwordHash")))
+      .AddColumn(Quasi(StrCol("country")))
       .AddColumn(IntCol("roles"))
       .AddColumn(BoolCol("disabled"))
       .AddColumn(IntCol("lastLogin", true))
       .AddColumn(IntCol("creationTime"))
-      .AddColumn(StrCol("collaborators"))
+      .AddColumn(Pii(StrCol("collaborators")))
       .AddColumn(StrCol("defaultWatch"))
       .SetPrimaryKey({"contactId"});
   return t;
@@ -55,7 +68,7 @@ TableSchema Paper() {
   t.AddColumn(AutoPk("paperId"))
       .AddColumn(StrCol("title", false))
       .AddColumn(StrCol("abstract"))
-      .AddColumn(StrCol("authorInformation"))
+      .AddColumn(Pii(StrCol("authorInformation")))
       .AddColumn(IntCol("timeSubmitted"))
       .AddColumn(IntCol("timeWithdrawn"))
       .AddColumn(IntCol("outcome"))
@@ -90,7 +103,7 @@ TableSchema PaperReview() {
       .AddColumn(IntCol("reviewRound"))
       .AddColumn(IntCol("overAllMerit"))
       .AddColumn(IntCol("reviewerQualification"))
-      .AddColumn(StrCol("reviewText"))
+      .AddColumn(Quasi(StrCol("reviewText")))
       .AddColumn(IntCol("reviewSubmitted", true))
       .AddColumn(IntCol("reviewModified", true))
       .SetPrimaryKey({"reviewId"})
@@ -117,7 +130,7 @@ TableSchema PaperComment() {
   t.AddColumn(AutoPk("commentId"))
       .AddColumn(IntCol("paperId"))
       .AddColumn(IntCol("contactId"))
-      .AddColumn(StrCol("comment"))
+      .AddColumn(Quasi(StrCol("comment")))
       .AddColumn(IntCol("timeModified"))
       .AddColumn(IntCol("commentType"))
       .SetPrimaryKey({"commentId"})
@@ -142,8 +155,8 @@ TableSchema ReviewRequest() {
   TableSchema t("ReviewRequest");
   t.AddColumn(AutoPk("requestId"))
       .AddColumn(IntCol("paperId"))
-      .AddColumn(StrCol("email", false))
-      .AddColumn(StrCol("reason"))
+      .AddColumn(Pii(StrCol("email", false)))
+      .AddColumn(Quasi(StrCol("reason")))
       .AddColumn(IntCol("requestedBy", true))
       .SetPrimaryKey({"requestId"})
       .AddForeignKey(Fk("paperId", "Paper", "paperId"))
@@ -157,7 +170,7 @@ TableSchema PaperReviewRefused() {
       .AddColumn(IntCol("paperId"))
       .AddColumn(IntCol("contactId"))
       .AddColumn(IntCol("refusedBy", true))
-      .AddColumn(StrCol("reason"))
+      .AddColumn(Quasi(StrCol("reason")))
       .SetPrimaryKey({"refusedId"})
       .AddForeignKey(Fk("paperId", "Paper", "paperId"))
       .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
@@ -265,7 +278,7 @@ TableSchema ActionLog() {
       .AddColumn(IntCol("destContactId", true))
       .AddColumn(IntCol("paperId", true))
       .AddColumn(StrCol("action"))
-      .AddColumn(StrCol("ipaddr"))
+      .AddColumn(Pii(StrCol("ipaddr")))
       .AddColumn(IntCol("timestamp"))
       .SetPrimaryKey({"logId"})
       .AddForeignKey(Fk("contactId", "ContactInfo", "contactId", FkAction::kSetNull))
@@ -277,10 +290,10 @@ TableSchema ActionLog() {
 TableSchema MailLog() {
   TableSchema t("MailLog");
   t.AddColumn(AutoPk("mailId"))
-      .AddColumn(StrCol("recipients"))
+      .AddColumn(Pii(StrCol("recipients")))
       .AddColumn(StrCol("paperIds"))
       .AddColumn(StrCol("subject"))
-      .AddColumn(StrCol("emailBody"))
+      .AddColumn(Pii(StrCol("emailBody")))
       .AddColumn(IntCol("timestamp"))
       .SetPrimaryKey({"mailId"});
   return t;
@@ -293,7 +306,7 @@ TableSchema Capability() {
       .AddColumn(IntCol("contactId"))
       .AddColumn(IntCol("paperId", true))
       .AddColumn(IntCol("timeExpires"))
-      .AddColumn(StrCol("salt"))
+      .AddColumn(Pii(StrCol("salt")))
       .SetPrimaryKey({"capabilityId"})
       .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
       .AddForeignKey(Fk("paperId", "Paper", "paperId", FkAction::kSetNull));
@@ -323,8 +336,8 @@ TableSchema Formula() {
 TableSchema DeletedContactInfo() {
   TableSchema t("DeletedContactInfo");
   t.AddColumn(IntCol("contactId"))
-      .AddColumn(StrCol("name"))
-      .AddColumn(StrCol("email"))
+      .AddColumn(Pii(StrCol("name")))
+      .AddColumn(Pii(StrCol("email")))
       .AddColumn(IntCol("deletedAt"))
       .SetPrimaryKey({"contactId"});
   return t;
@@ -333,7 +346,7 @@ TableSchema DeletedContactInfo() {
 TableSchema Invitation() {
   TableSchema t("Invitation");
   t.AddColumn(AutoPk("invitationId"))
-      .AddColumn(StrCol("email", false))
+      .AddColumn(Pii(StrCol("email", false)))
       .AddColumn(IntCol("contactId", true))
       .AddColumn(IntCol("invitedBy", true))
       .AddColumn(IntCol("created"))

@@ -10,7 +10,18 @@ using db::ColumnDef;
 using db::ColumnType;
 using db::FkAction;
 using db::ForeignKeyDef;
+using db::Sensitivity;
 using db::TableSchema;
+
+// Sensitivity annotations for the PII taint analysis (src/analysis/taint.h).
+ColumnDef Pii(ColumnDef col) {
+  col.sensitivity = Sensitivity::kPii;
+  return col;
+}
+ColumnDef Quasi(ColumnDef col) {
+  col.sensitivity = Sensitivity::kQuasi;
+  return col;
+}
 
 ColumnDef IntCol(const char* name, bool nullable = false) {
   return {.name = name, .type = ColumnType::kInt, .nullable = nullable};
@@ -35,17 +46,17 @@ ForeignKeyDef Fk(const char* col, const char* parent, const char* pcol,
 TableSchema Users() {
   TableSchema t("users");
   t.AddColumn(AutoPk("user_id"))
-      .AddColumn(StrCol("username", false))
-      .AddColumn(StrCol("email"))
-      .AddColumn(StrCol("password_digest"))
-      .AddColumn(StrCol("about"))
+      .AddColumn(Pii(StrCol("username", false)))
+      .AddColumn(Pii(StrCol("email")))
+      .AddColumn(Pii(StrCol("password_digest")))
+      .AddColumn(Quasi(StrCol("about")))
       .AddColumn(IntCol("karma"))
       .AddColumn(IntCol("invited_by_user_id", true))
       .AddColumn(BoolCol("is_admin"))
       .AddColumn(BoolCol("is_moderator"))
       .AddColumn(BoolCol("deleted"))
-      .AddColumn(StrCol("session_token"))
-      .AddColumn(StrCol("rss_token"))
+      .AddColumn(Pii(StrCol("session_token")))
+      .AddColumn(Pii(StrCol("rss_token")))
       .AddColumn(IntCol("created_at"))
       .AddColumn(IntCol("last_login", true))
       .SetPrimaryKey({"user_id"})
@@ -69,7 +80,7 @@ TableSchema Stories() {
       .AddColumn(IntCol("domain_id", true))
       .AddColumn(StrCol("title", false))
       .AddColumn(StrCol("url"))
-      .AddColumn(StrCol("description"))
+      .AddColumn(Quasi(StrCol("description")))
       .AddColumn(IntCol("upvotes"))
       .AddColumn(IntCol("downvotes"))
       .AddColumn(IntCol("created_at"))
@@ -85,7 +96,7 @@ TableSchema Comments() {
       .AddColumn(IntCol("story_id"))
       .AddColumn(IntCol("user_id"))
       .AddColumn(IntCol("parent_comment_id", true))
-      .AddColumn(StrCol("comment"))
+      .AddColumn(Quasi(StrCol("comment")))
       .AddColumn(IntCol("upvotes"))
       .AddColumn(IntCol("downvotes"))
       .AddColumn(IntCol("created_at"))
@@ -147,8 +158,8 @@ TableSchema Messages() {
   t.AddColumn(AutoPk("message_id"))
       .AddColumn(IntCol("author_user_id"))
       .AddColumn(IntCol("recipient_user_id"))
-      .AddColumn(StrCol("subject"))
-      .AddColumn(StrCol("body"))
+      .AddColumn(Pii(StrCol("subject")))
+      .AddColumn(Pii(StrCol("body")))
       .AddColumn(BoolCol("deleted_by_author"))
       .AddColumn(BoolCol("deleted_by_recipient"))
       .AddColumn(IntCol("created_at"))
@@ -176,7 +187,7 @@ TableSchema HatRequests() {
   t.AddColumn(AutoPk("hat_request_id"))
       .AddColumn(IntCol("user_id"))
       .AddColumn(StrCol("hat", false))
-      .AddColumn(StrCol("comment"))
+      .AddColumn(Quasi(StrCol("comment")))
       .SetPrimaryKey({"hat_request_id"})
       .AddForeignKey(Fk("user_id", "users", "user_id"));
   return t;
@@ -186,8 +197,8 @@ TableSchema Invitations() {
   TableSchema t("invitations");
   t.AddColumn(AutoPk("invitation_id"))
       .AddColumn(IntCol("user_id"))
-      .AddColumn(StrCol("email"))
-      .AddColumn(StrCol("code"))
+      .AddColumn(Pii(StrCol("email")))
+      .AddColumn(Pii(StrCol("code")))
       .AddColumn(IntCol("used_at", true))
       .AddColumn(IntCol("new_user_id", true))
       .SetPrimaryKey({"invitation_id"})
@@ -199,9 +210,9 @@ TableSchema Invitations() {
 TableSchema InvitationRequests() {
   TableSchema t("invitation_requests");
   t.AddColumn(AutoPk("invitation_request_id"))
-      .AddColumn(StrCol("name"))
-      .AddColumn(StrCol("email"))
-      .AddColumn(StrCol("memo"))
+      .AddColumn(Pii(StrCol("name")))
+      .AddColumn(Pii(StrCol("email")))
+      .AddColumn(Quasi(StrCol("memo")))
       .SetPrimaryKey({"invitation_request_id"});
   return t;
 }
@@ -214,7 +225,7 @@ TableSchema Moderations() {
       .AddColumn(IntCol("comment_id", true))
       .AddColumn(IntCol("user_id", true))
       .AddColumn(StrCol("action"))
-      .AddColumn(StrCol("reason"))
+      .AddColumn(Quasi(StrCol("reason")))
       .AddColumn(IntCol("created_at"))
       .SetPrimaryKey({"moderation_id"})
       .AddForeignKey(Fk("moderator_user_id", "users", "user_id", FkAction::kSetNull))

@@ -5,6 +5,7 @@
 namespace edna::core {
 
 Status PolicyScheduler::AddExpirationPolicy(ExpirationPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (engine_->FindSpec(policy.spec_name) == nullptr) {
     return NotFound("expiration policy \"" + policy.name + "\" references unregistered spec \"" +
                     policy.spec_name + "\"");
@@ -21,6 +22,7 @@ Status PolicyScheduler::AddExpirationPolicy(ExpirationPolicy policy) {
 }
 
 Status PolicyScheduler::AddDecayPolicy(DecayPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (policy.stages.empty()) {
     return InvalidArgument("decay policy \"" + policy.name + "\" has no stages");
   }
@@ -44,6 +46,7 @@ Status PolicyScheduler::AddDecayPolicy(DecayPolicy policy) {
 }
 
 StatusOr<TickResult> PolicyScheduler::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
   TickResult result;
   TimePoint now = clock_->Now();
 
@@ -96,6 +99,7 @@ StatusOr<TickResult> PolicyScheduler::Tick() {
 }
 
 void PolicyScheduler::ResetUser(const sql::Value& uid) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = UserKey(uid);
   for (auto& [name, fired] : fired_expirations_) {
     fired.erase(key);

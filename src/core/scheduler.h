@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -67,6 +68,10 @@ class PolicyScheduler {
 
   // Applies every policy that is due at clock->Now(). Idempotent per
   // (policy, stage, user): each fires at most once unless reset.
+  //
+  // Thread-safe: concurrent Tick/ResetUser/Add* calls serialize on an
+  // internal mutex (timer threads and user-facing reveal paths race in real
+  // deployments), so each (policy, user) still fires at most once.
   StatusOr<TickResult> Tick();
 
   // Forgets that policies fired for `uid` (call when a user returns and
@@ -76,6 +81,7 @@ class PolicyScheduler {
  private:
   static std::string UserKey(const sql::Value& uid) { return uid.ToSqlString(); }
 
+  std::mutex mu_;
   DisguiseEngine* engine_;
   const Clock* clock_;
   std::vector<ExpirationPolicy> expirations_;

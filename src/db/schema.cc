@@ -42,6 +42,31 @@ bool ValueMatchesType(const sql::Value& v, ColumnType t) {
   return false;
 }
 
+const char* SensitivityName(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kPublic:
+      return "public";
+    case Sensitivity::kQuasi:
+      return "quasi";
+    case Sensitivity::kPii:
+      return "pii";
+  }
+  return "?";
+}
+
+bool ParseSensitivity(std::string_view name, Sensitivity* out) {
+  if (EqualsIgnoreCase(name, "public")) {
+    *out = Sensitivity::kPublic;
+  } else if (EqualsIgnoreCase(name, "quasi")) {
+    *out = Sensitivity::kQuasi;
+  } else if (EqualsIgnoreCase(name, "pii")) {
+    *out = Sensitivity::kPii;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 const char* FkActionName(FkAction a) {
   switch (a) {
     case FkAction::kRestrict:
@@ -62,6 +87,9 @@ std::string ColumnDef::ToSql() const {
   }
   if (default_value.has_value()) {
     out += " DEFAULT " + default_value->ToSqlString();
+  }
+  if (sensitivity != Sensitivity::kPublic) {
+    out += std::string(" /* ") + SensitivityName(sensitivity) + " */";
   }
   return out;
 }
@@ -96,6 +124,11 @@ int TableSchema::ColumnIndex(const std::string& name) const {
 }
 
 const ColumnDef* TableSchema::FindColumn(const std::string& name) const {
+  int i = ColumnIndex(name);
+  return i >= 0 ? &columns_[static_cast<size_t>(i)] : nullptr;
+}
+
+ColumnDef* TableSchema::FindMutableColumn(const std::string& name) {
   int i = ColumnIndex(name);
   return i >= 0 ? &columns_[static_cast<size_t>(i)] : nullptr;
 }

@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -18,6 +19,19 @@ enum class ColumnType { kInt, kDouble, kBool, kString, kBlob };
 
 const char* ColumnTypeName(ColumnType t);
 
+// Data-sensitivity classification of a column, consumed by the static
+// analyzer's PII taint-flow analysis (src/analysis/taint.h). kPii marks
+// direct identifiers or secrets (emails, password hashes, tokens); kQuasi
+// marks quasi-identifiers that deanonymize in combination (free text,
+// affiliations). Applications annotate their schemas in code; sidecar
+// annotation files (docs/FORMATS.md) can override at analysis time.
+enum class Sensitivity { kPublic = 0, kQuasi, kPii };
+
+const char* SensitivityName(Sensitivity s);
+
+// Parses "public" / "quasi" / "pii" (case-insensitive); false on anything else.
+bool ParseSensitivity(std::string_view name, Sensitivity* out);
+
 // True if `v` is storable in a column of type `t` (NULL is always storable
 // type-wise; nullability is checked separately).
 bool ValueMatchesType(const sql::Value& v, ColumnType t);
@@ -28,6 +42,7 @@ struct ColumnDef {
   bool nullable = true;
   bool auto_increment = false;  // INT columns only; filled on insert if NULL
   std::optional<sql::Value> default_value;
+  Sensitivity sensitivity = Sensitivity::kPublic;
 
   // Rendered as one line of CREATE TABLE body, e.g.
   //   "email" STRING NULL DEFAULT NULL
@@ -75,6 +90,8 @@ class TableSchema {
   // Index of a column by name; -1 if absent.
   int ColumnIndex(const std::string& name) const;
   const ColumnDef* FindColumn(const std::string& name) const;
+  // Mutable access for sensitivity-annotation overlays (src/analysis/taint.h).
+  ColumnDef* FindMutableColumn(const std::string& name);
   bool HasColumn(const std::string& name) const { return ColumnIndex(name) >= 0; }
 
   size_t num_columns() const { return columns_.size(); }

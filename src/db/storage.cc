@@ -12,11 +12,13 @@ namespace {
 
 // Image header: magic + version. Bump kVersion on format changes.
 constexpr uint32_t kMagic = 0x45444201;  // "EDB" + 1
-constexpr uint32_t kVersion = 1;
+// Version history: 1 = initial; 2 = per-column sensitivity byte.
+constexpr uint32_t kVersion = 2;
 
 void WriteColumn(sql::ByteWriter* w, const ColumnDef& col) {
   w->String(col.name);
   w->U8(static_cast<uint8_t>(col.type));
+  w->U8(static_cast<uint8_t>(col.sensitivity));
   w->U8(col.nullable ? 1 : 0);
   w->U8(col.auto_increment ? 1 : 0);
   w->U8(col.default_value.has_value() ? 1 : 0);
@@ -33,6 +35,11 @@ StatusOr<ColumnDef> ReadColumn(sql::ByteReader* r) {
     return InvalidArgument("bad column type in database image");
   }
   col.type = static_cast<ColumnType>(type);
+  ASSIGN_OR_RETURN(uint8_t sensitivity, r->U8());
+  if (sensitivity > static_cast<uint8_t>(Sensitivity::kPii)) {
+    return InvalidArgument("bad column sensitivity in database image");
+  }
+  col.sensitivity = static_cast<Sensitivity>(sensitivity);
   ASSIGN_OR_RETURN(uint8_t nullable, r->U8());
   col.nullable = nullable != 0;
   ASSIGN_OR_RETURN(uint8_t auto_inc, r->U8());

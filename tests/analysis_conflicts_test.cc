@@ -1,0 +1,210 @@
+// Tests for the composition conflict analyzer: pairwise predicate
+// intersection across registered disguise specs (§5 reveal ordering).
+#include <gtest/gtest.h>
+
+#include "src/analysis/conflicts.h"
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/disguise/spec_parser.h"
+
+namespace edna::analysis {
+namespace {
+
+using disguise::DisguiseSpec;
+using disguise::ParseDisguiseSpec;
+
+DisguiseSpec Parse(const char* text) {
+  auto spec = ParseDisguiseSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *std::move(spec);
+}
+
+const Finding* FindByCode(const std::vector<Finding>& findings,
+                          const std::string& code) {
+  for (const Finding& f : findings) {
+    if (f.code == code) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Finding> Pairwise(const DisguiseSpec& a, const DisguiseSpec& b) {
+  return AnalyzeConflicts({&a, &b});
+}
+
+TEST(ConflictsTest, ProvenModifyOverlapIsAnError) {
+  // Same user ($UID is shared across the pair), same column, intersecting
+  // predicates: the later apply clobbers the earlier placeholder.
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+user_to_disguise: $UID
+table logs:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "ip", value: Redact)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+user_to_disguise: $UID
+table logs:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "ip", value: Hash)
+)");
+  auto findings = Pairwise(a, b);
+  const Finding* f = FindByCode(findings, "conflicting-modify");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->spec, "A+B");
+  EXPECT_EQ(f->table, "logs");
+  EXPECT_EQ(f->column, "ip");
+}
+
+TEST(ConflictsTest, PossibleOverlapDegradesToWarning) {
+  // Opaque predicate on one side: the intersection is kMaybe, not proven.
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+user_to_disguise: $UID
+table logs:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "ip", value: Redact)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+table logs:
+  transformations:
+    Modify(pred: LOWER("kind") = 'audit', column: "ip", value: Hash)
+)");
+  auto findings = Pairwise(a, b);
+  const Finding* f = FindByCode(findings, "conflicting-modify");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_NE(f->message.find("possible, not proven"), std::string::npos);
+}
+
+TEST(ConflictsTest, DisjointPredicatesDoNotConflict) {
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+table logs:
+  transformations:
+    Modify(pred: "kind" = 1, column: "ip", value: Redact)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+table logs:
+  transformations:
+    Modify(pred: "kind" = 2, column: "ip", value: Hash)
+)");
+  EXPECT_TRUE(Pairwise(a, b).empty());
+}
+
+TEST(ConflictsTest, DifferentColumnsDoNotConflict) {
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+table logs:
+  transformations:
+    Modify(pred: TRUE, column: "ip", value: Redact)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+table logs:
+  transformations:
+    Modify(pred: TRUE, column: "agent", value: Redact)
+)");
+  EXPECT_TRUE(Pairwise(a, b).empty());
+}
+
+TEST(ConflictsTest, RemoveShadowsTransform) {
+  DisguiseSpec a = Parse(R"(
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "Anon"
+table posts:
+  transformations:
+    Modify(pred: TRUE, column: "content", value: Redact)
+)");
+  auto findings = Pairwise(a, b);
+  const Finding* f = FindByCode(findings, "remove-shadows-transform");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->column, "content");
+  // Order of the pair does not matter.
+  EXPECT_NE(FindByCode(Pairwise(b, a), "remove-shadows-transform"), nullptr);
+}
+
+TEST(ConflictsTest, RemoveAndDecorrelateOverlapsAreInfo) {
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+user_to_disguise: $UID
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+user_to_disguise: $UID
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)");
+  auto findings = Pairwise(a, b);
+  const Finding* remove_overlap = FindByCode(findings, "remove-overlap");
+  ASSERT_NE(remove_overlap, nullptr);
+  EXPECT_EQ(remove_overlap->severity, Severity::kInfo);
+  const Finding* deco = FindByCode(findings, "decorrelate-overlap");
+  ASSERT_NE(deco, nullptr);
+  EXPECT_EQ(deco->severity, Severity::kInfo);
+  EXPECT_EQ(deco->column, "user_id");
+  EXPECT_EQ(CountFindings(findings).errors, 0u);
+}
+
+TEST(ConflictsTest, DisjointUserScopedSpecsViaDistinctConstants) {
+  // Specs pinned to different concrete users cannot intersect; with a shared
+  // $UID they would. Here the constants differ, so no finding.
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+table posts:
+  transformations:
+    Modify(pred: "user_id" = 1, column: "content", value: Redact)
+)");
+  DisguiseSpec b = Parse(R"(
+disguise_name: "B"
+table posts:
+  transformations:
+    Modify(pred: "user_id" = 2, column: "content", value: Redact)
+)");
+  EXPECT_TRUE(Pairwise(a, b).empty());
+}
+
+TEST(ConflictsTest, NullEntriesAndSingletonsAreFine) {
+  DisguiseSpec a = Parse(R"(
+disguise_name: "A"
+table posts:
+  transformations:
+    Modify(pred: TRUE, column: "content", value: Redact)
+)");
+  EXPECT_TRUE(AnalyzeConflicts({&a}).empty());
+  EXPECT_TRUE(AnalyzeConflicts({&a, nullptr}).empty());
+  EXPECT_TRUE(AnalyzeConflicts({}).empty());
+}
+
+TEST(ConflictsTest, ShippedSpecsHaveNoConflictErrors) {
+  auto gdpr = hotcrp::GdprSpec();
+  auto gdpr_plus = hotcrp::GdprPlusSpec();
+  auto anon = hotcrp::ConfAnonSpec();
+  ASSERT_TRUE(gdpr.ok() && gdpr_plus.ok() && anon.ok());
+  auto findings = AnalyzeConflicts({&*gdpr, &*gdpr_plus, &*anon});
+  EXPECT_EQ(CountFindings(findings).errors, 0u)
+      << (findings.empty() ? "" : findings.front().ToString());
+  // But the composition is not silent: GDPR and GDPR+ overlap on removes.
+  EXPECT_FALSE(findings.empty());
+}
+
+}  // namespace
+}  // namespace edna::analysis

@@ -1,19 +1,23 @@
-// Tests for the spec linter (§7's spec-error heuristics).
+// Tests for the spec linter (§7's spec-error heuristics), now living in
+// src/analysis and backed by the symbolic predicate engine.
 #include <gtest/gtest.h>
 
+#include "src/analysis/lint.h"
 #include "src/apps/hotcrp/disguises.h"
 #include "src/apps/hotcrp/schema.h"
 #include "src/apps/lobsters/disguises.h"
 #include "src/apps/lobsters/schema.h"
-#include "src/disguise/lint.h"
 #include "src/disguise/spec_parser.h"
 
-namespace edna::disguise {
+namespace edna::analysis {
 namespace {
 
-bool HasFinding(const std::vector<LintFinding>& findings, LintCode code,
+using disguise::DisguiseSpec;
+using disguise::ParseDisguiseSpec;
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& code,
                 const std::string& table = "") {
-  for (const LintFinding& f : findings) {
+  for (const Finding& f : findings) {
     if (f.code == code && (table.empty() || f.table == table)) {
       return true;
     }
@@ -69,10 +73,10 @@ table users:
     Remove(pred: "id" = $UID)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_TRUE(HasFinding(findings, LintCode::kBlockedRemoval, "notes"));
-  EXPECT_TRUE(HasLintErrors(findings));
+  EXPECT_TRUE(HasFinding(findings, "blocked-removal", "notes"));
+  EXPECT_TRUE(HasErrors(findings));
   // Errors sort first.
-  EXPECT_EQ(findings.front().severity, LintSeverity::kError);
+  EXPECT_EQ(findings.front().severity, Severity::kError);
 }
 
 TEST(LintTest, HandlingTheReferenceSilencesBlockedRemoval) {
@@ -87,8 +91,8 @@ table notes:
     Remove(pred: "user_id" = $UID)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_FALSE(HasFinding(findings, LintCode::kBlockedRemoval));
-  EXPECT_FALSE(HasLintErrors(findings));
+  EXPECT_FALSE(HasFinding(findings, "blocked-removal"));
+  EXPECT_FALSE(HasErrors(findings));
 }
 
 TEST(LintTest, SetNullCoverageGapIsWarned) {
@@ -103,7 +107,7 @@ table notes:
     Remove(pred: "user_id" = $UID)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_TRUE(HasFinding(findings, LintCode::kCoverageGap, "logs"));
+  EXPECT_TRUE(HasFinding(findings, "coverage-gap", "logs"));
 }
 
 TEST(LintTest, GlobalRemoveAllInPerUserSpec) {
@@ -118,8 +122,36 @@ table logs:
     Remove(pred: "user_id" = $UID)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_TRUE(HasFinding(findings, LintCode::kGlobalRemoveAll, "notes"));
-  EXPECT_FALSE(HasFinding(findings, LintCode::kGlobalRemoveAll, "logs"));
+  EXPECT_TRUE(HasFinding(findings, "global-remove-all", "notes"));
+  EXPECT_FALSE(HasFinding(findings, "global-remove-all", "logs"));
+}
+
+TEST(LintTest, GlobalRemoveAllSeesThroughUidMention) {
+  // The predicate mentions $UID but matches every row: the old syntactic
+  // check ("does the predicate reference $UID?") was blind to this.
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table logs:
+  transformations:
+    Remove(pred: "user_id" = $UID OR TRUE)
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_TRUE(HasFinding(findings, "global-remove-all", "logs"));
+}
+
+TEST(LintTest, ScopedDisjunctionIsNotGlobalRemove) {
+  // Every branch pins a column to $UID, so the Remove stays per-user even
+  // though it is a disjunction.
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table logs:
+  transformations:
+    Remove(pred: ("user_id" = $UID AND "id" > 10) OR ("user_id" = $UID AND "id" <= 10))
+)");
+  auto findings = LintSpec(spec, TinySchema());
+  EXPECT_FALSE(HasFinding(findings, "global-remove-all", "logs"));
 }
 
 TEST(LintTest, UnusedPlaceholderWarned) {
@@ -134,7 +166,7 @@ table users:
     Modify(pred: "id" = $UID, column: "name", value: Hash)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_TRUE(HasFinding(findings, LintCode::kUnusedPlaceholder, "users"));
+  EXPECT_TRUE(HasFinding(findings, "unused-placeholder", "users"));
 }
 
 TEST(LintTest, EnabledPlaceholderWarned) {
@@ -152,7 +184,7 @@ table notes:
 )");
   auto findings = LintSpec(spec, TinySchema());
   // The recipe never sets the "deleted" flag TRUE.
-  EXPECT_TRUE(HasFinding(findings, LintCode::kPlaceholderEnabled, "users"));
+  EXPECT_TRUE(HasFinding(findings, "placeholder-enabled", "users"));
 
   DisguiseSpec good = Parse(R"(
 disguise_name: "Y"
@@ -167,7 +199,7 @@ table notes:
   transformations:
     Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
 )");
-  EXPECT_FALSE(HasFinding(LintSpec(good, TinySchema()), LintCode::kPlaceholderEnabled));
+  EXPECT_FALSE(HasFinding(LintSpec(good, TinySchema()), "placeholder-enabled"));
 }
 
 TEST(LintTest, NoopModifyAndPolicyNudges) {
@@ -179,9 +211,9 @@ table logs:
     Modify(pred: TRUE, column: "user_id", value: Keep)
 )");
   auto findings = LintSpec(spec, TinySchema());
-  EXPECT_TRUE(HasFinding(findings, LintCode::kNoopModify, "logs"));
-  EXPECT_TRUE(HasFinding(findings, LintCode::kNoAssertions));
-  EXPECT_TRUE(HasFinding(findings, LintCode::kIrreversible));
+  EXPECT_TRUE(HasFinding(findings, "noop-modify", "logs"));
+  EXPECT_TRUE(HasFinding(findings, "no-assertions"));
+  EXPECT_TRUE(HasFinding(findings, "irreversible"));
 }
 
 TEST(LintTest, FindingToStringIsInformative) {
@@ -197,6 +229,20 @@ table users:
   std::string s = findings.front().ToString();
   EXPECT_NE(s.find("error"), std::string::npos);
   EXPECT_NE(s.find("blocked-removal"), std::string::npos);
+  EXPECT_NE(s.find("X"), std::string::npos);  // spec name is part of the line
+}
+
+TEST(LintTest, FindingsCarryTheSpecName) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "MySpec"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  for (const Finding& f : LintSpec(spec, TinySchema())) {
+    EXPECT_EQ(f.spec, "MySpec");
+  }
 }
 
 TEST(LintTest, ShippedSpecsHaveNoErrors) {
@@ -205,13 +251,30 @@ TEST(LintTest, ShippedSpecsHaveNoErrors) {
     auto spec = fn();
     ASSERT_TRUE(spec.ok());
     auto findings = LintSpec(*spec, hotcrp_schema);
-    EXPECT_FALSE(HasLintErrors(findings)) << spec->name() << ":\n"
-                                          << findings.front().ToString();
+    EXPECT_FALSE(HasErrors(findings)) << spec->name() << ":\n"
+                                      << findings.front().ToString();
   }
   auto lob = lobsters::GdprSpec();
   ASSERT_TRUE(lob.ok());
-  EXPECT_FALSE(HasLintErrors(LintSpec(*lob, lobsters::BuildSchema())));
+  EXPECT_FALSE(HasErrors(LintSpec(*lob, lobsters::BuildSchema())));
+}
+
+TEST(FindingsTest, JsonSerializationEscapesAndCounts) {
+  std::vector<Finding> findings = {
+      {Severity::kError, "pii-retained", "spec\"quoted", "t", "c", "line1\nline2"},
+      {Severity::kWarning, "coverage-gap", "s", "t2", "", "plain"},
+  };
+  std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"pii-retained\""), std::string::npos);
+  EXPECT_NE(json.find("spec\\\"quoted"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  FindingCounts counts = CountFindings(findings);
+  EXPECT_EQ(counts.errors, 1u);
+  EXPECT_EQ(counts.warnings, 1u);
+  EXPECT_EQ(counts.infos, 0u);
+  EXPECT_EQ(FindingsToJson({}), "[]");
 }
 
 }  // namespace
-}  // namespace edna::disguise
+}  // namespace edna::analysis

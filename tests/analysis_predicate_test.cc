@@ -1,0 +1,173 @@
+// Tests for the symbolic predicate engine: satisfiability, implication,
+// intersection, and $UID-equality binding, with emphasis on SQL
+// three-valued (NULL) semantics.
+#include <gtest/gtest.h>
+
+#include "src/analysis/predicate.h"
+#include "src/sql/parser.h"
+
+namespace edna::analysis {
+namespace {
+
+sql::ExprPtr P(const char* text) {
+  auto parsed = sql::ParseExpression(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status();
+  return *std::move(parsed);
+}
+
+Tri Sat(const char* text) { return IsSatisfiable(*P(text)); }
+Tri Imp(const char* a, const char* b) { return Implies(*P(a), *P(b)); }
+Tri Meet(const char* a, const char* b) { return Intersects(*P(a), *P(b)); }
+
+TEST(PredicateSat, Basics) {
+  EXPECT_EQ(Sat("TRUE"), Tri::kYes);
+  EXPECT_EQ(Sat("FALSE"), Tri::kNo);
+  EXPECT_EQ(Sat("x = 1"), Tri::kYes);
+  EXPECT_EQ(Sat("x = 1 AND x = 2"), Tri::kNo);
+  EXPECT_EQ(Sat("x = 1 OR x = 2"), Tri::kYes);
+  EXPECT_EQ(Sat("x = 1 AND x <> 1"), Tri::kNo);
+  EXPECT_EQ(Sat("x > 5 AND x < 3"), Tri::kNo);
+  EXPECT_EQ(Sat("x > 5 AND x < 6"), Tri::kYes);  // untyped domain: 5.5 exists
+  EXPECT_EQ(Sat("x >= 5 AND x <= 5"), Tri::kYes);
+  EXPECT_EQ(Sat("x > 5 AND x <= 5"), Tri::kNo);
+}
+
+TEST(PredicateSat, NullSemantics) {
+  // A comparison forces its operand non-NULL.
+  EXPECT_EQ(Sat("x = 1 AND x IS NULL"), Tri::kNo);
+  EXPECT_EQ(Sat("x IS NULL"), Tri::kYes);
+  EXPECT_EQ(Sat("x IS NULL AND x IS NOT NULL"), Tri::kNo);
+  // NOT (x = 1) requires x non-NULL too (Kleene: NULL is not FALSE).
+  EXPECT_EQ(Sat("NOT (x = 1) AND x IS NULL"), Tri::kNo);
+  // Comparisons against a NULL literal never match.
+  EXPECT_EQ(Sat("x = NULL"), Tri::kNo);
+  // NOT IN with a NULL element is never TRUE.
+  EXPECT_EQ(Sat("x NOT IN (1, NULL)"), Tri::kNo);
+  // IN just skips a NULL element.
+  EXPECT_EQ(Sat("x IN (1, NULL)"), Tri::kYes);
+  EXPECT_EQ(Sat("x IN (1, NULL) AND x = 2"), Tri::kNo);
+}
+
+TEST(PredicateSat, InBetweenLike) {
+  EXPECT_EQ(Sat("x IN (1, 2) AND x = 3"), Tri::kNo);
+  EXPECT_EQ(Sat("x IN (1, 2) AND x = 2"), Tri::kYes);
+  EXPECT_EQ(Sat("x BETWEEN 1 AND 10 AND x = 20"), Tri::kNo);
+  EXPECT_EQ(Sat("x NOT BETWEEN 1 AND 10 AND x = 5"), Tri::kNo);
+  EXPECT_EQ(Sat("x BETWEEN 10 AND 1"), Tri::kNo);  // empty interval
+  // Wildcard-free LIKE folds to equality.
+  EXPECT_EQ(Sat("name LIKE 'bob' AND name = 'alice'"), Tri::kNo);
+  // LIKE with wildcards is opaque but forces non-NULL.
+  EXPECT_EQ(Sat("name LIKE 'a%' AND name IS NULL"), Tri::kNo);
+  EXPECT_EQ(Sat("name LIKE 'a%'"), Tri::kMaybe);
+}
+
+TEST(PredicateSat, ParamsAndVariableEqualities) {
+  EXPECT_EQ(Sat("user_id = $UID"), Tri::kYes);
+  EXPECT_EQ(Sat("x = $UID AND y = $UID AND x <> y"), Tri::kNo);
+  EXPECT_EQ(Sat("x = $UID AND x <> $UID"), Tri::kNo);
+  EXPECT_EQ(Sat("x = $A AND x = $B"), Tri::kYes);  // distinct params may agree
+  // Equality propagates bounds through the union-find.
+  EXPECT_EQ(Sat("x = y AND x > 5 AND y < 3"), Tri::kNo);
+  EXPECT_EQ(Sat("x = y AND y = 1 AND x = 2"), Tri::kNo);
+}
+
+TEST(PredicateSat, OpaqueEscapesToMaybe) {
+  EXPECT_EQ(Sat("LOWER(name) = 'bob'"), Tri::kMaybe);
+  EXPECT_EQ(Sat("x + 1 = 2"), Tri::kMaybe);
+  // But a contradiction in the tractable part still proves unsat.
+  EXPECT_EQ(Sat("LOWER(name) = 'bob' AND x = 1 AND x = 2"), Tri::kNo);
+}
+
+TEST(PredicateImplies, Basics) {
+  EXPECT_EQ(Imp("x = 1", "x = 1"), Tri::kYes);
+  EXPECT_EQ(Imp("x = 1", "x >= 1"), Tri::kYes);
+  EXPECT_EQ(Imp("x = 1 AND y = 2", "x = 1"), Tri::kYes);
+  EXPECT_EQ(Imp("x = 1", "x = 1 AND y = 2"), Tri::kNo);
+  EXPECT_EQ(Imp("x = 1", "x = 2"), Tri::kNo);
+  EXPECT_EQ(Imp("x > 5", "x > 3"), Tri::kYes);
+  EXPECT_EQ(Imp("x > 3", "x > 5"), Tri::kNo);
+  EXPECT_EQ(Imp("FALSE", "x = 1"), Tri::kYes);  // vacuous
+  EXPECT_EQ(Imp("x = 1 OR x = 2", "x >= 1 AND x <= 2"), Tri::kYes);
+}
+
+TEST(PredicateImplies, NullCounterexamples) {
+  // x IS NULL matches rows where "x = 5" is NULL, not TRUE: no implication.
+  // (A Kleene-negation-only engine gets this wrong.)
+  EXPECT_EQ(Imp("x IS NULL", "x = 5"), Tri::kNo);
+  EXPECT_EQ(Imp("y = 1", "x = x"), Tri::kNo);  // x NULL makes x = x unmatched
+  // When the premise pins the column non-NULL the implication can hold.
+  EXPECT_EQ(Imp("x = 5", "x = x"), Tri::kYes);
+  EXPECT_EQ(Imp("x = 5", "x IS NOT NULL"), Tri::kYes);
+}
+
+TEST(PredicateImplies, WithParams) {
+  EXPECT_EQ(Imp("user_id = $UID", "user_id = $UID"), Tri::kYes);
+  EXPECT_EQ(Imp("user_id = $UID AND karma > 10", "user_id = $UID"), Tri::kYes);
+  EXPECT_EQ(Imp("user_id = $UID OR TRUE", "user_id = $UID"), Tri::kNo);
+  EXPECT_EQ(Imp("TRUE", "user_id = $UID"), Tri::kNo);
+  // Transitive through a variable equality.
+  EXPECT_EQ(Imp("a = $UID AND b = a", "b = $UID"), Tri::kYes);
+}
+
+TEST(PredicateIntersects, Basics) {
+  EXPECT_EQ(Meet("x = 1", "x = 2"), Tri::kNo);
+  EXPECT_EQ(Meet("x = 1", "x >= 1"), Tri::kYes);
+  EXPECT_EQ(Meet("x < 3", "x > 5"), Tri::kNo);
+  // Shared params denote the same value on both sides.
+  EXPECT_EQ(Meet("user_id = $UID", "user_id = $UID"), Tri::kYes);
+  EXPECT_EQ(Meet("user_id = $UID AND role = 1", "user_id = $UID AND role = 2"),
+            Tri::kNo);
+  // Opaque parts degrade to kMaybe, never to a wrong kNo.
+  EXPECT_EQ(Meet("LOWER(a) = 'x'", "a = 'y'"), Tri::kMaybe);
+}
+
+TEST(BindsParamEquality, Basics) {
+  std::vector<std::string> columns;
+  EXPECT_TRUE(BindsParamEquality(*P("user_id = $UID"), "UID", &columns));
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns[0], "user_id");
+
+  EXPECT_FALSE(BindsParamEquality(*P("TRUE"), "UID"));
+  EXPECT_FALSE(BindsParamEquality(*P("user_id = 5"), "UID"));
+  // The satisfiable TRUE branch is not bound: the classic false negative.
+  EXPECT_FALSE(BindsParamEquality(*P("user_id = $UID OR TRUE"), "UID"));
+  // Mentioning the param without an equality is not binding.
+  EXPECT_FALSE(BindsParamEquality(*P("user_id > $UID"), "UID"));
+  // Unsat predicates bind vacuously (they match nothing).
+  EXPECT_TRUE(BindsParamEquality(*P("user_id = $UID AND 1 = 2"), "UID"));
+}
+
+TEST(BindsParamEquality, Branches) {
+  std::vector<std::string> columns;
+  // Every branch binds some column to $UID.
+  EXPECT_TRUE(BindsParamEquality(
+      *P("(author_id = $UID AND kind = 1) OR (recipient_id = $UID AND kind = 2)"),
+      "UID", &columns));
+  EXPECT_EQ(columns.size(), 2u);
+  // One branch escapes.
+  EXPECT_FALSE(BindsParamEquality(
+      *P("author_id = $UID OR recipient_id > 3"), "UID"));
+  // Unsat branches are ignored.
+  EXPECT_TRUE(BindsParamEquality(
+      *P("author_id = $UID OR (recipient_id = 1 AND recipient_id = 2)"), "UID"));
+  // Indirect binding through a variable equality chain still counts.
+  EXPECT_TRUE(BindsParamEquality(*P("a = b AND b = $UID"), "UID", &columns));
+  EXPECT_EQ(columns.size(), 2u);
+}
+
+TEST(PredicateEngine, BoolColumnsAndLiteralFolding) {
+  EXPECT_EQ(Sat("deleted = TRUE AND deleted = FALSE"), Tri::kNo);
+  EXPECT_EQ(Sat("1 = 1"), Tri::kYes);
+  EXPECT_EQ(Sat("1 = 2"), Tri::kNo);
+  EXPECT_EQ(Imp("deleted = FALSE", "deleted = FALSE"), Tri::kYes);
+  EXPECT_EQ(Sat("NOT (x = 1 OR x = 2) AND x = 1"), Tri::kNo);
+}
+
+TEST(PredicateEngine, TriName) {
+  EXPECT_STREQ(TriName(Tri::kNo), "no");
+  EXPECT_STREQ(TriName(Tri::kMaybe), "maybe");
+  EXPECT_STREQ(TriName(Tri::kYes), "yes");
+}
+
+}  // namespace
+}  // namespace edna::analysis

@@ -1,0 +1,345 @@
+// Tests for the PII taint-flow analysis: identity derivation, FK-path
+// retention checks, sensitivity sidecar parsing, and the shipped specs.
+#include <gtest/gtest.h>
+
+#include "src/analysis/taint.h"
+#include "src/apps/hotcrp/disguises.h"
+#include "src/apps/hotcrp/schema.h"
+#include "src/apps/lobsters/disguises.h"
+#include "src/apps/lobsters/schema.h"
+#include "src/disguise/spec_parser.h"
+
+namespace edna::analysis {
+namespace {
+
+using disguise::DisguiseSpec;
+using disguise::ParseDisguiseSpec;
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& code,
+                const std::string& table = "", const std::string& column = "") {
+  for (const Finding& f : findings) {
+    if (f.code == code && (table.empty() || f.table == table) &&
+        (column.empty() || f.column == column)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// users <- posts (RESTRICT) <- replies (RESTRICT); users <- logs (SET NULL);
+// secrets floats free (no FK). Sensitive columns on every level.
+db::Schema TaintSchema() {
+  db::Schema schema;
+  db::TableSchema users("users");
+  users
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = db::ColumnType::kString, .nullable = false,
+                  .sensitivity = db::Sensitivity::kPii})
+      .AddColumn({.name = "email", .type = db::ColumnType::kString, .nullable = false,
+                  .sensitivity = db::Sensitivity::kPii})
+      .AddColumn({.name = "bio", .type = db::ColumnType::kString, .nullable = true,
+                  .sensitivity = db::Sensitivity::kQuasi})
+      .SetPrimaryKey({"id"});
+  EXPECT_TRUE(schema.AddTable(std::move(users)).ok());
+
+  db::TableSchema posts("posts");
+  posts
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "content", .type = db::ColumnType::kString, .nullable = true,
+                  .sensitivity = db::Sensitivity::kPii})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = db::FkAction::kRestrict});
+  EXPECT_TRUE(schema.AddTable(std::move(posts)).ok());
+
+  db::TableSchema replies("replies");
+  replies
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "post_id", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "body", .type = db::ColumnType::kString, .nullable = true,
+                  .sensitivity = db::Sensitivity::kQuasi})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "post_id", .parent_table = "posts", .parent_column = "id",
+                      .on_delete = db::FkAction::kRestrict});
+  EXPECT_TRUE(schema.AddTable(std::move(replies)).ok());
+
+  db::TableSchema logs("logs");
+  logs.AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = db::ColumnType::kInt, .nullable = true})
+      .AddColumn({.name = "ip", .type = db::ColumnType::kString, .nullable = true,
+                  .sensitivity = db::Sensitivity::kPii})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users", .parent_column = "id",
+                      .on_delete = db::FkAction::kSetNull});
+  EXPECT_TRUE(schema.AddTable(std::move(logs)).ok());
+
+  db::TableSchema secrets("secrets");
+  secrets
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "token", .type = db::ColumnType::kString, .nullable = false,
+                  .sensitivity = db::Sensitivity::kPii})
+      .SetPrimaryKey({"id"});
+  EXPECT_TRUE(schema.AddTable(std::move(secrets)).ok());
+  return schema;
+}
+
+DisguiseSpec Parse(const char* text) {
+  auto spec = ParseDisguiseSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return *std::move(spec);
+}
+
+TEST(TaintTest, DeriveIdentityTable) {
+  db::Schema schema = TaintSchema();
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  EXPECT_EQ(DeriveIdentityTable(spec, schema), "users");
+
+  // A spec whose predicates never pin a PK to $UID has no anchor.
+  DisguiseSpec unpinned = Parse(R"(
+disguise_name: "X"
+user_to_disguise: $UID
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  EXPECT_EQ(DeriveIdentityTable(unpinned, schema), "");
+}
+
+TEST(TaintTest, CleanSpecHasNoErrors) {
+  // Identity removed (implicitly severs the SET NULL logs edge), posts removed
+  // per-user (implicitly severs the replies->posts->users chain by deleting
+  // the interior rows).
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Clean"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_FALSE(HasErrors(findings)) << findings.front().ToString();
+  // The free-floating pii table is surfaced for a human to double-check.
+  EXPECT_TRUE(HasFinding(findings, "pii-unlinked", "secrets", "token"));
+}
+
+TEST(TaintTest, RetainedPiiPathIsAnError) {
+  // Identity removed but posts untouched: posts.content stays linked through
+  // the RESTRICT edge (which does not fire on delete anyway).
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Leaky"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_TRUE(HasErrors(findings));
+  EXPECT_TRUE(HasFinding(findings, "pii-retained", "posts", "content"));
+  // The finding names the concrete retention path.
+  for (const Finding& f : findings) {
+    if (f.code == "pii-retained" && f.table == "posts") {
+      EXPECT_NE(f.message.find("posts.content -[posts.user_id]-> users"),
+                std::string::npos)
+          << f.message;
+    }
+  }
+  // The quasi column downstream of the leak is only a warning.
+  EXPECT_TRUE(HasFinding(findings, "quasi-retained", "replies", "body"));
+  EXPECT_FALSE(HasFinding(findings, "pii-retained", "logs"));  // SET NULL fired
+}
+
+TEST(TaintTest, ModifyAndDecorrelateSeverPaths) {
+  // posts.content is rewritten and the FK hop decorrelated instead of the
+  // rows being removed; both count as severing when the predicates provably
+  // cover the user's rows.
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Rewrite"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table posts:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "content", value: Const(NULL))
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_FALSE(HasErrors(findings)) << findings.front().ToString();
+  EXPECT_FALSE(HasFinding(findings, "quasi-retained", "replies"));
+}
+
+TEST(TaintTest, KeepModifyDoesNotCountAsSevering) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Noop"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table posts:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "content", value: Keep)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_TRUE(HasFinding(findings, "pii-retained", "posts", "content"));
+}
+
+TEST(TaintTest, PredicateScopeIsVerifiedNotPatternMatched) {
+  // The Remove mentions $UID but only covers a slice of the user's rows
+  // ("id" > 10 on top of the linkage), so the path is NOT provably severed.
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Partial"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID AND "id" > 10)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_TRUE(HasFinding(findings, "pii-retained", "posts", "content"));
+}
+
+TEST(TaintTest, IdentityRowColumnsMustBeHandled) {
+  // Identity not removed; name is hashed but email survives on the row.
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "HalfScrub"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Modify(pred: "id" = $UID, column: "name", value: Hash)
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+table logs:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "user_id", value: Const(NULL))
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_FALSE(HasFinding(findings, "pii-retained", "users", "name"));
+  EXPECT_TRUE(HasFinding(findings, "pii-retained", "users", "email"));
+  EXPECT_TRUE(HasFinding(findings, "quasi-retained", "users", "bio"));
+}
+
+TEST(TaintTest, GlobalSpecIsSkipped) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Global"
+table logs:
+  transformations:
+    Remove(pred: TRUE)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "taint-skipped");
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+}
+
+TEST(TaintTest, MissingAnchorIsAWarningAndOverridable) {
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "NoAnchor"
+user_to_disguise: $UID
+table posts:
+  transformations:
+    Remove(pred: "user_id" = $UID)
+)");
+  auto findings = AnalyzeTaint(spec, TaintSchema());
+  EXPECT_TRUE(HasFinding(findings, "no-identity-anchor"));
+  EXPECT_FALSE(HasErrors(findings));
+
+  // With an explicit identity table the real analysis runs and reports the
+  // untouched identity-row PII.
+  TaintOptions options;
+  options.identity_table = "users";
+  auto anchored = AnalyzeTaint(spec, TaintSchema(), options);
+  EXPECT_FALSE(HasFinding(anchored, "no-identity-anchor"));
+  EXPECT_TRUE(HasFinding(anchored, "pii-retained", "users", "email"));
+}
+
+TEST(TaintTest, AnnotationParsing) {
+  auto anns = ParseSensitivityAnnotations(R"(
+# sidecar for the test schema
+users."email": pii
+users.bio: quasi        -- quotes optional
+posts."content": PUBLIC # levels are case-insensitive
+)");
+  ASSERT_TRUE(anns.ok()) << anns.status();
+  ASSERT_EQ(anns->size(), 3u);
+  EXPECT_EQ((*anns)[0].table, "users");
+  EXPECT_EQ((*anns)[0].column, "email");
+  EXPECT_EQ((*anns)[0].sensitivity, db::Sensitivity::kPii);
+  EXPECT_EQ((*anns)[1].column, "bio");
+  EXPECT_EQ((*anns)[1].sensitivity, db::Sensitivity::kQuasi);
+  EXPECT_EQ((*anns)[2].sensitivity, db::Sensitivity::kPublic);
+}
+
+TEST(TaintTest, AnnotationParseErrorsNameTheLine) {
+  auto bad_level = ParseSensitivityAnnotations("users.email: radioactive\n");
+  ASSERT_FALSE(bad_level.ok());
+  EXPECT_NE(bad_level.status().message().find("line 1"), std::string::npos);
+
+  auto no_colon = ParseSensitivityAnnotations("\nusers.email pii\n");
+  ASSERT_FALSE(no_colon.ok());
+  EXPECT_NE(no_colon.status().message().find("line 2"), std::string::npos);
+
+  auto no_dot = ParseSensitivityAnnotations("email: pii\n");
+  EXPECT_FALSE(no_dot.ok());
+}
+
+TEST(TaintTest, AnnotationsOverrideAndRejectUnknownTargets) {
+  db::Schema schema = TaintSchema();
+  // Downgrade posts.content to public: the leak from RetainedPiiPathIsAnError
+  // disappears.
+  auto anns = ParseSensitivityAnnotations("posts.content: public\n");
+  ASSERT_TRUE(anns.ok());
+  ASSERT_TRUE(ApplySensitivityAnnotations(*anns, &schema).ok());
+  DisguiseSpec spec = Parse(R"(
+disguise_name: "Leaky"
+user_to_disguise: $UID
+table users:
+  transformations:
+    Remove(pred: "id" = $UID)
+)");
+  EXPECT_FALSE(HasFinding(AnalyzeTaint(spec, schema), "pii-retained", "posts"));
+
+  auto bad_table = ParseSensitivityAnnotations("nope.col: pii\n");
+  ASSERT_TRUE(bad_table.ok());
+  EXPECT_FALSE(ApplySensitivityAnnotations(*bad_table, &schema).ok());
+  auto bad_col = ParseSensitivityAnnotations("users.nope: pii\n");
+  ASSERT_TRUE(bad_col.ok());
+  EXPECT_FALSE(ApplySensitivityAnnotations(*bad_col, &schema).ok());
+}
+
+TEST(TaintTest, ShippedSpecsHaveNoTaintErrors) {
+  db::Schema hotcrp_schema = hotcrp::BuildSchema();
+  for (auto fn : {hotcrp::GdprSpec, hotcrp::GdprPlusSpec, hotcrp::ConfAnonSpec}) {
+    auto spec = fn();
+    ASSERT_TRUE(spec.ok());
+    auto findings = AnalyzeTaint(*spec, hotcrp_schema);
+    EXPECT_FALSE(HasErrors(findings))
+        << spec->name() << ":\n"
+        << (findings.empty() ? "" : findings.front().ToString());
+  }
+  auto lob = lobsters::GdprSpec();
+  ASSERT_TRUE(lob.ok());
+  auto findings = AnalyzeTaint(*lob, lobsters::BuildSchema());
+  EXPECT_FALSE(HasErrors(findings))
+      << (findings.empty() ? "" : findings.front().ToString());
+}
+
+}  // namespace
+}  // namespace edna::analysis

@@ -2,6 +2,9 @@
 // data decay (§2), including reversibility of expiration on user return.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "src/common/clock.h"
 #include "src/core/engine.h"
 #include "src/core/scheduler.h"
@@ -225,6 +228,74 @@ TEST_F(SchedulerTest, PolicyValidation) {
                                                 {.age = 5, .spec_name = "Decay2"}},
                                      .created_at = SourceFromColumn("createdAt")})
                    .ok());
+}
+
+TEST_F(SchedulerTest, ConcurrentTicksFireEachPolicyOnce) {
+  // Deployments drive Tick from a timer thread while reveal paths call
+  // ResetUser; the scheduler's mutex must serialize them. Run under the
+  // `tsan` preset (ctest --preset tsan-scheduler) to prove it race-free.
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(400 * kDay);
+
+  constexpr int kThreads = 8;
+  std::atomic<size_t> total_applied{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, &total_applied, &failures] {
+      for (int round = 0; round < 10; ++round) {
+        auto r = scheduler_->Tick();
+        if (!r.ok()) {
+          ++failures;
+          return;
+        }
+        total_applied += r->expirations_applied;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // Bea fired exactly once across all concurrent ticks; Axl never.
+  EXPECT_EQ(total_applied.load(), 1u);
+  EXPECT_EQ(engine_->log().size(), 1u);
+  EXPECT_EQ(Email(1), "<null>");
+  EXPECT_EQ(Email(2), "axl@x");
+}
+
+TEST_F(SchedulerTest, ConcurrentResetAndTickStaySerialized) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  clock_.Set(400 * kDay);
+  std::atomic<int> failures{0};
+  std::thread ticker([this, &failures] {
+    for (int round = 0; round < 50; ++round) {
+      if (!scheduler_->Tick().ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  std::thread resetter([this] {
+    for (int round = 0; round < 50; ++round) {
+      scheduler_->ResetUser(Value::Int(2));  // Axl never fires; re-arm is a no-op
+    }
+  });
+  ticker.join();
+  resetter.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(Email(1), "<null>");
 }
 
 TEST_F(SchedulerTest, ExpiredDisguisesBecomeIrreversibleViaVaultExpiry) {

@@ -80,6 +80,57 @@ TEST(DisguisectlTest, SpecsAndLint) {
   ASSERT_EQ(lint_lob.exit_code, 0) << lint_lob.output;
 }
 
+TEST(DisguisectlTest, LintJson) {
+  RunResult lint = RunCli("lint hotcrp --json");
+  ASSERT_EQ(lint.exit_code, 0) << lint.output;
+  EXPECT_EQ(lint.output.front(), '[');
+  EXPECT_NE(lint.output.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(lint.output.find("\"code\":"), std::string::npos);
+  EXPECT_EQ(lint.output.find("=="), std::string::npos);  // no text-mode headers
+}
+
+TEST(DisguisectlTest, AnalyzeShippedSpecsIsClean) {
+  // The CI gate: shipped disguises must analyze with zero errors.
+  RunResult hotcrp = RunCli("analyze hotcrp");
+  ASSERT_EQ(hotcrp.exit_code, 0) << hotcrp.output;
+  EXPECT_NE(hotcrp.output.find("0 error(s)"), std::string::npos);
+
+  RunResult lobsters = RunCli("analyze lobsters");
+  ASSERT_EQ(lobsters.exit_code, 0) << lobsters.output;
+  EXPECT_NE(lobsters.output.find("0 error(s)"), std::string::npos);
+
+  RunResult json = RunCli("analyze lobsters --json");
+  ASSERT_EQ(json.exit_code, 0);
+  EXPECT_NE(json.output.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.output.find("\"errors\": 0"), std::string::npos);
+
+  EXPECT_EQ(RunCli("analyze nosuchapp").exit_code, 2);
+}
+
+TEST(DisguisectlTest, AnalyzeFlagsSeededBadSpec) {
+  // A per-user spec that only hashes the email: every other PII column and
+  // FK-linked table is retained, so analyze must fail the spec.
+  std::string spec_path = ::testing::TempDir() + "/bad_spec.txt";
+  {
+    FILE* f = std::fopen(spec_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "disguise_name: \"BadSpec\"\n"
+        "user_to_disguise: $UID\n"
+        "table ContactInfo:\n"
+        "  transformations:\n"
+        "    Modify(pred: \"contactId\" = $UID, column: \"email\", value: Hash)\n",
+        f);
+    std::fclose(f);
+  }
+  RunResult r = RunCli("analyze hotcrp " + spec_path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("pii-retained"), std::string::npos);
+  // Findings name a concrete retention path through the FK graph.
+  EXPECT_NE(r.output.find("-[ActionLog.contactId]-> ContactInfo"), std::string::npos);
+  std::remove(spec_path.c_str());
+}
+
 TEST(DisguisectlTest, ExplainAndApplyRoundTrip) {
   std::string db = TempDbPath("cli_apply");
   ASSERT_EQ(RunCli("demo hotcrp --out " + db + " --scale 0.1 --seed 7").exit_code, 0);

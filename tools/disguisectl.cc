@@ -10,9 +10,17 @@
 //       Count and show matching rows.
 //   disguisectl specs <hotcrp|lobsters>
 //       Print the application's shipped disguise specifications.
-//   disguisectl lint <hotcrp|lobsters> [spec-file]
+//   disguisectl lint <hotcrp|lobsters> [spec-file] [--json]
 //       Lint a spec (shipped specs when no file is given) against the
-//       application schema.
+//       application schema. --json emits machine-readable findings.
+//   disguisectl analyze <hotcrp|lobsters> [spec-file...] [--json]
+//                       [--annotations FILE] [--identity TABLE]
+//       Run the full static analyzer (lint + PII taint flow + composition
+//       conflicts) over the shipped disguises, or over the given spec
+//       files, against the application schema. --annotations overlays a
+//       sensitivity sidecar file (docs/FORMATS.md); --identity overrides
+//       the derived identity table. Exit 1 iff errors were found, so the
+//       command gates CI.
 //   disguisectl explain <db.edb> --spec NAME|FILE [--uid N]
 //       Dry-run: report what applying the disguise would touch.
 //   disguisectl apply <db.edb> --spec NAME|FILE [--uid N] [--optimize]
@@ -38,6 +46,9 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analyzer.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/taint.h"
 #include "src/apps/hotcrp/disguises.h"
 #include "src/apps/hotcrp/schema.h"
 #include "src/apps/hotcrp/generator.h"
@@ -47,7 +58,6 @@
 #include "src/common/clock.h"
 #include "src/core/engine.h"
 #include "src/db/storage.h"
-#include "src/disguise/lint.h"
 #include "src/disguise/spec_parser.h"
 #include "src/sql/parser.h"
 #include "src/vault/offline_vault.h"
@@ -62,7 +72,8 @@ using edna::sql::Value;
 int Usage() {
   std::fprintf(stderr,
                "usage: disguisectl "
-               "<demo|info|schema|query|specs|lint|explain|apply|audit|recover> ...\n"
+               "<demo|info|schema|query|specs|lint|analyze|explain|apply|audit|recover>"
+               " ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
   return 2;
@@ -256,57 +267,124 @@ int CmdSpecs(const Args& args) {
   return 2;
 }
 
+// Resolves the <hotcrp|lobsters> positional plus optional spec-file
+// positionals into a schema and the list of specs to analyze. Spec files
+// replace the shipped specs.
+Status LoadAppSpecs(const Args& args, edna::db::Schema* schema,
+                    std::vector<edna::disguise::DisguiseSpec>* specs) {
+  const std::string& app = args.positional[0];
+  if (app == "hotcrp") {
+    *schema = edna::hotcrp::BuildSchema();
+    if (args.positional.size() == 1) {
+      specs->push_back(*edna::hotcrp::GdprSpec());
+      specs->push_back(*edna::hotcrp::GdprPlusSpec());
+      specs->push_back(*edna::hotcrp::ConfAnonSpec());
+    }
+  } else if (app == "lobsters") {
+    *schema = edna::lobsters::BuildSchema();
+    if (args.positional.size() == 1) {
+      specs->push_back(*edna::lobsters::GdprSpec());
+    }
+  } else {
+    return edna::InvalidArgument("unknown application \"" + app + "\"");
+  }
+  for (size_t i = 1; i < args.positional.size(); ++i) {
+    ASSIGN_OR_RETURN(edna::disguise::DisguiseSpec spec, ResolveSpec(args.positional[i]));
+    specs->push_back(std::move(spec));
+  }
+  return edna::OkStatus();
+}
+
 int CmdLint(const Args& args) {
-  if (args.positional.empty() || args.positional.size() > 2) {
-    std::fprintf(stderr, "usage: disguisectl lint <hotcrp|lobsters> [spec-file]\n");
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: disguisectl lint <hotcrp|lobsters> [spec-file] [--json]\n");
+    return 2;
+  }
+  if (args.positional[0] != "hotcrp" && args.positional[0] != "lobsters") {
+    std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
     return 2;
   }
   edna::db::Schema schema;
   std::vector<edna::disguise::DisguiseSpec> specs;
-  if (args.positional[0] == "hotcrp") {
-    schema = edna::hotcrp::BuildSchema();
-    if (args.positional.size() == 1) {
-      specs.push_back(*edna::hotcrp::GdprSpec());
-      specs.push_back(*edna::hotcrp::GdprPlusSpec());
-      specs.push_back(*edna::hotcrp::ConfAnonSpec());
-    }
-  } else if (args.positional[0] == "lobsters") {
-    schema = edna::lobsters::BuildSchema();
-    if (args.positional.size() == 1) {
-      specs.push_back(*edna::lobsters::GdprSpec());
-    }
-  } else {
-    std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
-    return 2;
-  }
-  if (args.positional.size() == 2) {
-    auto spec = ResolveSpec(args.positional[1]);
-    if (!spec.ok()) {
-      return Fail(spec.status());
-    }
-    specs.clear();
-    specs.push_back(*std::move(spec));
+  Status loaded = LoadAppSpecs(args, &schema, &specs);
+  if (!loaded.ok()) {
+    return Fail(loaded);
   }
 
+  const bool json = args.Has("json");
+  std::vector<edna::analysis::Finding> all;
   bool any_errors = false;
   for (const edna::disguise::DisguiseSpec& spec : specs) {
     Status valid = spec.Validate(schema);
-    std::printf("== %s ==\n", spec.name().c_str());
+    if (!json) {
+      std::printf("== %s ==\n", spec.name().c_str());
+    }
     if (!valid.ok()) {
-      std::printf("[error] validation: %s\n", valid.ToString().c_str());
+      edna::analysis::Finding f{edna::analysis::Severity::kError, "invalid-spec",
+                                spec.name(), "", "", valid.ToString()};
+      if (!json) {
+        std::printf("%s\n", f.ToString().c_str());
+      }
+      all.push_back(std::move(f));
       any_errors = true;
       continue;
     }
-    auto findings = edna::disguise::LintSpec(spec, schema);
-    if (findings.empty()) {
-      std::printf("clean\n");
+    auto findings = edna::analysis::LintSpec(spec, schema);
+    if (!json) {
+      if (findings.empty()) {
+        std::printf("clean\n");
+      }
+      for (const edna::analysis::Finding& f : findings) {
+        std::printf("%s\n", f.ToString().c_str());
+      }
     }
-    for (const edna::disguise::LintFinding& f : findings) {
-      std::printf("%s\n", f.ToString().c_str());
-    }
-    any_errors = any_errors || edna::disguise::HasLintErrors(findings);
+    any_errors = any_errors || edna::analysis::HasErrors(findings);
+    all.insert(all.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  if (json) {
+    std::printf("%s\n", edna::analysis::FindingsToJson(all).c_str());
   }
   return any_errors ? 1 : 0;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: disguisectl analyze <hotcrp|lobsters> [spec-file...] [--json] "
+                 "[--annotations FILE] [--identity TABLE]\n");
+    return 2;
+  }
+  if (args.positional[0] != "hotcrp" && args.positional[0] != "lobsters") {
+    std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
+    return 2;
+  }
+  edna::db::Schema schema;
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  Status loaded = LoadAppSpecs(args, &schema, &specs);
+  if (!loaded.ok()) {
+    return Fail(loaded);
+  }
+  if (args.Has("annotations")) {
+    auto text = ReadFile(args.Get("annotations"));
+    if (!text.ok()) {
+      return Fail(text.status());
+    }
+    auto annotations = edna::analysis::ParseSensitivityAnnotations(*text);
+    if (!annotations.ok()) {
+      return Fail(annotations.status());
+    }
+    Status applied = edna::analysis::ApplySensitivityAnnotations(*annotations, &schema);
+    if (!applied.ok()) {
+      return Fail(applied);
+    }
+  }
+  edna::analysis::AnalyzerOptions options;
+  options.taint.identity_table = args.Get("identity");
+  edna::analysis::AnalysisReport report = edna::analysis::Analyze(specs, schema, options);
+  std::printf("%s", args.Has("json") ? report.ToJson().c_str()
+                                     : report.ToString().c_str());
+  return report.HasErrors() ? 1 : 0;
 }
 
 // Shared setup for explain/apply/audit/recover: load db, build engine.
@@ -481,7 +559,8 @@ int main(int argc, char** argv) {
   }
   std::string cmd = argv[1];
   Args args = ParseArgs(argc - 2, argv + 2, {"out", "scale", "seed", "table", "where",
-                                             "limit", "spec", "uid", "vault"});
+                                             "limit", "spec", "uid", "vault",
+                                             "annotations", "identity"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
@@ -499,6 +578,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "lint") {
     return CmdLint(args);
+  }
+  if (cmd == "analyze") {
+    return CmdAnalyze(args);
   }
   if (cmd == "explain") {
     return CmdExplain(args);
