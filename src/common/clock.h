@@ -4,6 +4,7 @@
 #ifndef SRC_COMMON_CLOCK_H_
 #define SRC_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -36,17 +37,19 @@ class SystemClock : public Clock {
   }
 };
 
-// Manually-advanced clock for tests and policy simulations.
+// Manually-advanced clock for tests and policy simulations. Reads and
+// advances are atomic so worker threads may consult the clock while a test
+// driver moves time forward.
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(TimePoint start = 0) : now_(start) {}
 
-  TimePoint Now() const override { return now_; }
-  void Advance(Duration d) { now_ += d; }
-  void Set(TimePoint t) { now_ = t; }
+  TimePoint Now() const override { return now_.load(std::memory_order_relaxed); }
+  void Advance(Duration d) { now_.fetch_add(d, std::memory_order_relaxed); }
+  void Set(TimePoint t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  TimePoint now_;
+  std::atomic<TimePoint> now_;
 };
 
 }  // namespace edna

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }
@@ -58,6 +60,7 @@ Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::mov
 Status Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
 }
+Status Aborted(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
 
 std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
 

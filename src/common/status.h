@@ -23,6 +23,7 @@ enum class StatusCode {
   kPermissionDenied,  // vault access without the required key/approval
   kInternal,          // invariant broken inside the library (bug)
   kUnimplemented,
+  kAborted,           // write-write conflict under concurrency; safe to retry
 };
 
 // Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
@@ -66,6 +67,7 @@ Status IntegrityViolation(std::string msg);
 Status PermissionDenied(std::string msg);
 Status Internal(std::string msg);
 Status Unimplemented(std::string msg);
+Status Aborted(std::string msg);
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
 

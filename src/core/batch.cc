@@ -1,0 +1,230 @@
+#include "src/core/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <utility>
+
+#include "src/common/failpoint.h"
+#include "src/common/strings.h"
+
+namespace edna::core {
+
+std::string BatchReport::ToString() const {
+  return StrFormat(
+      "batch: submitted=%zu succeeded=%zu failed=%zu conflict_retries=%zu "
+      "queries=%llu wall=%.3fs%s\n",
+      submitted, succeeded, failed, conflict_retries,
+      static_cast<unsigned long long>(queries), wall_seconds,
+      halted ? " HALTED" : "");
+}
+
+BatchExecutor::BatchExecutor(DisguiseEngine* engine, BatchOptions options)
+    : engine_(engine), options_(options) {
+  // The log's mirror table is normally created on demand by the first
+  // apply — DDL that would race with the other workers' schema reads.
+  // Create it here, while this thread is still the only one touching the
+  // engine. AlreadyExists (a prior batch or serial apply made it) is fine.
+  Status mirror = engine_->EnsureLogMirror();
+  if (!mirror.ok() && mirror.code() != StatusCode::kAlreadyExists) {
+    std::fprintf(stderr, "batch: cannot create log mirror table: %s\n",
+                 mirror.ToString().c_str());
+    std::abort();
+  }
+  int n = std::max(1, options_.num_threads);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  workers_.reserve(static_cast<size_t>(n));
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(workers_[static_cast<size_t>(i)].get()); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() {
+  shutdown_.store(true);
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->not_empty.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void BatchExecutor::Submit(BatchTask task) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!timing_started_) {
+      timing_started_ = true;
+      batch_start_ = std::chrono::steady_clock::now();
+    }
+    index = submitted_++;
+  }
+  // Per-user FIFO: every task of one uid routes to one worker, whose queue
+  // preserves submission order. Global tasks all route to worker 0.
+  size_t wi = task.uid.is_null()
+                  ? 0
+                  : std::hash<std::string>{}(task.uid.ToSqlString()) % workers_.size();
+  Worker& w = *workers_[wi];
+  std::unique_lock<std::mutex> lock(w.mu);
+  w.not_full.wait(lock, [&] { return w.queue.size() < options_.queue_capacity; });
+  w.queue.push_back(Item{std::move(task), index});
+  w.not_empty.notify_one();
+}
+
+BatchReport BatchExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  all_done_.wait(lock, [&] { return completed_ == submitted_; });
+
+  BatchReport report;
+  report.submitted = submitted_;
+  report.conflict_retries = conflict_retries_;
+  report.halted = halted_.load();
+  report.results = std::move(results_);
+  std::sort(report.results.begin(), report.results.end(),
+            [](const BatchTaskResult& a, const BatchTaskResult& b) {
+              return a.index < b.index;
+            });
+  for (const BatchTaskResult& r : report.results) {
+    if (r.status.ok()) {
+      ++report.succeeded;
+      report.queries += r.queries;
+    } else {
+      ++report.failed;
+    }
+  }
+  if (timing_started_) {
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start_)
+            .count();
+  }
+
+  // Reset for the next batch. A halted executor stays usable after the
+  // caller runs Recover() on the engine.
+  submitted_ = 0;
+  completed_ = 0;
+  conflict_retries_ = 0;
+  results_.clear();
+  timing_started_ = false;
+  halted_.store(false);
+  return report;
+}
+
+void BatchExecutor::WorkerLoop(Worker* worker) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->not_empty.wait(
+          lock, [&] { return shutdown_.load() || !worker->queue.empty(); });
+      if (worker->queue.empty()) {
+        return;  // shutdown with nothing left to do
+      }
+      item = std::move(worker->queue.front());
+      worker->queue.pop_front();
+      worker->not_full.notify_one();
+    }
+    Execute(std::move(item));
+  }
+}
+
+Status BatchExecutor::RunOnce(const BatchTask& task, BatchTaskResult* result) {
+  switch (task.kind) {
+    case BatchTask::Kind::kApply: {
+      StatusOr<ApplyResult> applied =
+          task.uid.is_null() ? engine_->Apply(task.spec_name, {})
+                             : engine_->ApplyForUser(task.spec_name, task.uid);
+      if (!applied.ok()) {
+        return applied.status();
+      }
+      result->disguise_id = applied->disguise_id;
+      result->queries = applied->queries;
+      return OkStatus();
+    }
+    case BatchTask::Kind::kReveal: {
+      uint64_t id = task.disguise_id;
+      if (id == 0) {
+        std::optional<LogEntry> entry =
+            engine_->log().LatestActiveFor(task.spec_name, task.uid);
+        if (!entry.has_value()) {
+          return NotFound("no active disguise \"" + task.spec_name + "\" for " +
+                          task.uid.ToSqlString());
+        }
+        id = entry->id;
+      }
+      StatusOr<RevealResult> revealed = engine_->Reveal(id);
+      if (!revealed.ok()) {
+        return revealed.status();
+      }
+      result->disguise_id = id;
+      result->queries = revealed->queries;
+      return OkStatus();
+    }
+  }
+  return Internal("unknown batch task kind");
+}
+
+void BatchExecutor::Execute(Item item) {
+  BatchTaskResult result;
+  result.index = item.index;
+  result.task = item.task;
+  size_t retries = 0;
+
+  if (halted_.load()) {
+    result.status = Aborted("batch halted by a simulated crash; recover, then resubmit");
+  } else {
+    const bool global = item.task.uid.is_null();
+    for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+      result.attempts = attempt;
+      Status status;
+      if (global) {
+        std::unique_lock<std::shared_mutex> gate(exec_gate_);
+        status = RunOnce(item.task, &result);
+      } else {
+        std::shared_lock<std::shared_mutex> gate(exec_gate_);
+        status = RunOnce(item.task, &result);
+      }
+      result.status = status;
+      if (status.ok()) {
+        break;
+      }
+      if (FailPoints::IsSimulatedCrash(status)) {
+        // Process death: freeze the whole batch. Nothing may compensate; the
+        // caller repairs with DisguiseEngine::Recover().
+        halted_.store(true);
+        break;
+      }
+      if (status.code() != StatusCode::kAborted || halted_.load() ||
+          attempt == options_.max_attempts) {
+        break;  // permanent failure, or out of retry budget
+      }
+      // First-writer-wins conflict: back off (capped exponential) and retry.
+      // Deterministic rng mode reuses the attempt's seed, so the retried
+      // operation produces the same disguise it would have the first time.
+      ++retries;
+      int64_t delay_us = static_cast<int64_t>(options_.backoff_base_us)
+                         << std::min(attempt - 1, 20);
+      delay_us = std::min<int64_t>(delay_us, options_.backoff_max_us);
+      if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  results_.push_back(std::move(result));
+  conflict_retries_ += retries;
+  ++completed_;
+  if (completed_ == submitted_) {
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace edna::core

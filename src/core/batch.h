@@ -1,0 +1,151 @@
+// BatchExecutor: parallel application/reversal of many independent disguise
+// invocations (HotCRP-style mass deletion, GDPR backlogs) over one engine.
+//
+// Execution model:
+//  * A fixed pool of worker threads, each with its own bounded FIFO queue.
+//    Submit() routes a task by hash of its user id, so all tasks of one user
+//    land on one worker and run in submission order — preserving the per-user
+//    apply/reveal composition ordering of §5 without any global serialization.
+//    Submit() blocks while the target queue is full (backpressure).
+//  * Tasks of DIFFERENT users run concurrently; the thread-safe Database
+//    detects write-write conflicts (first-writer-wins) and aborts the loser
+//    with kAborted. The executor retries aborted tasks with capped
+//    exponential backoff, up to BatchOptions::max_attempts.
+//  * Global disguises (null uid) take the executor's shared/exclusive gate
+//    exclusively: they touch every user's rows, so running them alongside
+//    per-user tasks would mostly generate conflict livelock.
+//  * A simulated crash (fail-point) anywhere halts the whole batch — state
+//    freezes exactly as a process death would leave it. Remaining tasks
+//    complete with kAborted; run DisguiseEngine::Recover() before the
+//    next batch.
+//
+// Drain() waits for everything submitted so far and returns an aggregated
+// BatchReport; the executor is reusable afterwards.
+#ifndef SRC_CORE_BATCH_H_
+#define SRC_CORE_BATCH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/engine.h"
+#include "src/sql/value.h"
+
+namespace edna::core {
+
+struct BatchTask {
+  enum class Kind { kApply, kReveal };
+  Kind kind = Kind::kApply;
+  std::string spec_name;
+  sql::Value uid = sql::Value::Null();  // Null = global disguise
+  // Reveal only: 0 means "the latest active disguise of (spec_name, uid)",
+  // resolved at execution time — batch scripts cannot know ids assigned
+  // concurrently.
+  uint64_t disguise_id = 0;
+
+  static BatchTask Apply(std::string spec_name, sql::Value uid) {
+    return {Kind::kApply, std::move(spec_name), std::move(uid), 0};
+  }
+  static BatchTask Reveal(std::string spec_name, sql::Value uid, uint64_t disguise_id = 0) {
+    return {Kind::kReveal, std::move(spec_name), std::move(uid), disguise_id};
+  }
+};
+
+struct BatchTaskResult {
+  size_t index = 0;  // submission order
+  BatchTask task;
+  Status status = OkStatus();
+  uint64_t disguise_id = 0;  // id applied or revealed (when known)
+  int attempts = 0;          // 1 = no conflict retries
+  uint64_t queries = 0;      // statements issued by the final attempt
+};
+
+struct BatchOptions {
+  int num_threads = 4;
+  size_t queue_capacity = 64;  // per worker; Submit blocks when full
+  int max_attempts = 5;        // total tries for a task aborted by conflicts
+  int backoff_base_us = 50;    // first retry delay; doubles per attempt
+  int backoff_max_us = 5000;
+};
+
+struct BatchReport {
+  size_t submitted = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+  size_t conflict_retries = 0;  // extra attempts caused by kAborted
+  uint64_t queries = 0;         // statements across all successful attempts
+  double wall_seconds = 0;      // first Submit to last completion
+  bool halted = false;          // a simulated crash froze the batch
+  std::vector<BatchTaskResult> results;  // in submission order
+
+  std::string ToString() const;
+};
+
+class BatchExecutor {
+ public:
+  // `engine` must outlive the executor and have all specs registered before
+  // the first Submit (spec registration is not thread-safe).
+  explicit BatchExecutor(DisguiseEngine* engine, BatchOptions options = {});
+  ~BatchExecutor();  // finishes queued work and joins the pool
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  // Enqueues a task on its user's worker; blocks while that queue is full.
+  void Submit(BatchTask task);
+
+  // Blocks until every task submitted so far completed, then returns the
+  // aggregated report and resets the executor for the next batch.
+  BatchReport Drain();
+
+ private:
+  struct Item {
+    BatchTask task;
+    size_t index = 0;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Item> queue;
+  };
+
+  void WorkerLoop(Worker* worker);
+  void Execute(Item item);
+  // One engine call; no retry logic. Fills disguise_id/queries on success.
+  Status RunOnce(const BatchTask& task, BatchTaskResult* result);
+
+  DisguiseEngine* engine_;
+  BatchOptions options_;
+
+  // Per-user tasks hold this shared; global tasks hold it exclusively.
+  std::shared_mutex exec_gate_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_mu_;
+  std::condition_variable all_done_;
+  size_t submitted_ = 0;   // under state_mu_
+  size_t completed_ = 0;   // under state_mu_
+  size_t conflict_retries_ = 0;
+  std::vector<BatchTaskResult> results_;
+  std::chrono::steady_clock::time_point batch_start_;
+  bool timing_started_ = false;
+
+  std::atomic<bool> halted_{false};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_BATCH_H_

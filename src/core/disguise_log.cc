@@ -60,6 +60,9 @@ StatusOr<uint64_t> DisguiseLog::Append(std::string spec_name, sql::ParamMap para
                                        sql::Value user_id, TimePoint applied_at,
                                        bool reversible) {
   EDNA_FAIL_POINT(failpoints::kLogAppend);
+  // Held across the mirror write: id assignment, in-memory order, and DB
+  // mirror order stay mutually consistent under concurrent appends.
+  std::lock_guard<std::mutex> lock(mu_);
   LogEntry e;
   e.id = next_id_++;
   e.spec_name = std::move(spec_name);
@@ -75,6 +78,7 @@ StatusOr<uint64_t> DisguiseLog::Append(std::string spec_name, sql::ParamMap para
 
 Status DisguiseLog::MarkRevealed(uint64_t id) {
   EDNA_FAIL_POINT(failpoints::kLogMarkRevealed);
+  std::lock_guard<std::mutex> lock(mu_);
   for (LogEntry& e : entries_) {
     if (e.id == id) {
       if (!e.active) {
@@ -89,6 +93,7 @@ Status DisguiseLog::MarkRevealed(uint64_t id) {
 
 Status DisguiseLog::Unappend(uint64_t id) {
   EDNA_FAIL_POINT(failpoints::kLogUnappend);
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.empty() || entries_.back().id != id) {
     return FailedPrecondition("Unappend: id is not the most recent entry");
   }
@@ -99,6 +104,7 @@ Status DisguiseLog::Unappend(uint64_t id) {
 
 Status DisguiseLog::DropEntry(uint64_t id) {
   EDNA_FAIL_POINT(failpoints::kLogUnappend);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const LogEntry& e) { return e.id == id; });
   if (it == entries_.end()) {
@@ -119,6 +125,7 @@ Status DisguiseLog::DropEntry(uint64_t id) {
 }
 
 Status DisguiseLog::MarkIrreversible(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const LogEntry& e) { return e.id == id; });
   if (it == entries_.end()) {
@@ -137,7 +144,16 @@ Status DisguiseLog::MarkIrreversible(uint64_t id) {
   return db_->Update(kDisguiseLogTableName, pred.get(), params, assigns).status();
 }
 
+Status DisguiseLog::EnsureMirror() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (db_ == nullptr || db_->HasTable(kDisguiseLogTableName)) {
+    return OkStatus();
+  }
+  return db_->CreateTable(LogSchema());
+}
+
 Status DisguiseLog::LoadFromMirror() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!entries_.empty()) {
     return FailedPrecondition("LoadFromMirror: log already has in-memory entries");
   }
@@ -179,6 +195,7 @@ Status DisguiseLog::LoadFromMirror() {
 }
 
 const LogEntry* DisguiseLog::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const LogEntry& e : entries_) {
     if (e.id == id) {
       return &e;
@@ -187,7 +204,46 @@ const LogEntry* DisguiseLog::Find(uint64_t id) const {
   return nullptr;
 }
 
+std::optional<LogEntry> DisguiseLog::FindCopy(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LogEntry& e : entries_) {
+    if (e.id == id) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<LogEntry> DisguiseLog::ActiveAfterCopy(uint64_t after_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEntry> out;
+  for (const LogEntry& e : entries_) {
+    if (e.id > after_id && e.active) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<LogEntry> DisguiseLog::LatestActiveFor(const std::string& spec_name,
+                                                     const sql::Value& uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<LogEntry> latest;
+  for (const LogEntry& e : entries_) {
+    if (!e.active || e.spec_name != spec_name) {
+      continue;
+    }
+    bool owner_matches = uid.is_null() ? e.user_id.is_null()
+                                       : (!e.user_id.is_null() && e.user_id.SqlEquals(uid));
+    if (owner_matches) {
+      latest = e;  // entries_ is in apply order; the last match wins
+    }
+  }
+  return latest;
+}
+
 std::vector<const LogEntry*> DisguiseLog::ActiveAfter(uint64_t after_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const LogEntry*> out;
   for (const LogEntry& e : entries_) {
     if (e.id > after_id && e.active) {
@@ -198,6 +254,7 @@ std::vector<const LogEntry*> DisguiseLog::ActiveAfter(uint64_t after_id) const {
 }
 
 std::vector<const LogEntry*> DisguiseLog::ActiveBefore(uint64_t before_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const LogEntry*> out;
   for (const LogEntry& e : entries_) {
     if (e.id < before_id && e.active) {

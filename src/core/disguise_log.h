@@ -8,6 +8,8 @@
 #define SRC_CORE_DISGUISE_LOG_H_
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,13 @@ struct LogEntry {
   bool active = true;       // false once permanently revealed
 };
 
+// Thread-safe: an internal mutex guards the entry list, held across the DB
+// mirror write so log order and mirror order agree (lock order: log mutex
+// before any db lock; the Database never calls back into the log).
+//
+// The pointer-returning accessors (Find, entries, ActiveAfter/Before) are
+// for single-threaded use: returned pointers are invalidated by a concurrent
+// Append. Concurrent callers (the batch executor) use the *Copy accessors.
 class DisguiseLog {
  public:
   // Mirrors entries into `db` (reserved table created on demand); `db` may
@@ -63,6 +72,12 @@ class DisguiseLog {
   // mirror table. Fails if the log already has in-memory entries.
   Status LoadFromMirror();
 
+  // Creates the mirror table now if it does not exist. Appends normally
+  // create it on demand, but that is DDL — a schema mutation concurrent
+  // apply paths would race with — so parallel executors call this from a
+  // single-threaded point before any worker starts.
+  Status EnsureMirror();
+
   const LogEntry* Find(uint64_t id) const;
   const std::vector<LogEntry>& entries() const { return entries_; }
 
@@ -74,13 +89,27 @@ class DisguiseLog {
   // disguises a new application may need to compose with.
   std::vector<const LogEntry*> ActiveBefore(uint64_t before_id) const;
 
-  size_t size() const { return entries_.size(); }
+  // Concurrency-safe copies of the above.
+  std::optional<LogEntry> FindCopy(uint64_t id) const;
+  std::vector<LogEntry> ActiveAfterCopy(uint64_t after_id) const;
+
+  // Most recent ACTIVE entry for (spec, uid), if any. Lets a batch reveal
+  // task name a disguise by what it means ("the GDPR disguise of user 7")
+  // instead of by an id assigned concurrently.
+  std::optional<LogEntry> LatestActiveFor(const std::string& spec_name,
+                                          const sql::Value& uid) const;
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   Status MirrorAppend(const LogEntry& e);
   Status MirrorMarkRevealed(uint64_t id);
 
   db::Database* db_;
+  mutable std::mutex mu_;
   std::vector<LogEntry> entries_;
   uint64_t next_id_ = 1;
 };

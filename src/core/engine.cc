@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
+#include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -29,6 +31,115 @@ Status FoldStatus(Status primary, const Status& secondary, const char* what) {
   }
   return Status(primary.code(), primary.message() + " (additionally, " + what +
                                     " failed: " + secondary.ToString() + ")");
+}
+
+namespace {
+
+// Engine-op depth per (engine, thread). A plain member would exempt every
+// thread from the write guard while any one thread runs an engine operation.
+thread_local std::unordered_map<const void*, int> tls_engine_op_depth;
+
+// FNV-1a, fixing the operation identity into a 64-bit seed component.
+uint64_t HashOpKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string OpKey(char kind, const std::string& spec_name, const sql::Value& uid) {
+  return std::string(1, kind) + ":" + spec_name + ":" + uid.ToSqlString();
+}
+
+}  // namespace
+
+// A row this operation selected but that is NotFound by the time we touch
+// it was removed by a concurrently COMMITTED transaction (row intents
+// already turn conflicts with LIVE transactions into kAborted); likewise a
+// row-level IntegrityViolation means a committed neighbor changed the FK
+// neighborhood after this operation's relevant stage ran (e.g. a reveal
+// re-inserted a RESTRICT child of a row this apply is deleting). Surface
+// both races as kAborted so a batch executor retries: the retry observes
+// the committed state from the start and proceeds — the same outcome as a
+// serial schedule where the other transaction ran first. A persistent
+// integrity violation (a genuinely broken spec) exhausts the retry budget
+// and is reported with the original message preserved below.
+Status DisguiseEngine::RaceToAborted(const Status& s) {
+  if (s.code() == StatusCode::kNotFound) {
+    return Aborted("row removed by a concurrent transaction: " + s.message());
+  }
+  if (s.code() == StatusCode::kIntegrityViolation) {
+    return Aborted("FK neighborhood changed by a concurrent transaction: " +
+                   s.message());
+  }
+  return s;
+}
+
+void DisguiseEngine::EnterEngineOp() { ++tls_engine_op_depth[this]; }
+
+void DisguiseEngine::ExitEngineOp() {
+  auto it = tls_engine_op_depth.find(this);
+  if (it != tls_engine_op_depth.end() && --it->second <= 0) {
+    tls_engine_op_depth.erase(it);
+  }
+}
+
+bool DisguiseEngine::InEngineOp() const {
+  auto it = tls_engine_op_depth.find(this);
+  return it != tls_engine_op_depth.end() && it->second > 0;
+}
+
+Rng DisguiseEngine::OpRng(char kind, const std::string& spec_name, const sql::Value& uid) {
+  if (options_.deterministic_rng) {
+    std::string key = OpKey(kind, spec_name, uid);
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(seq_mu_);
+      seq = op_seq_[key];  // peek only: a retried (aborted) op reuses its seed
+    }
+    return Rng(options_.rng_seed ^ HashOpKey(key) ^ (seq * 0x9e3779b97f4a7c15ull));
+  }
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.Fork(++rng_stream_);
+}
+
+void DisguiseEngine::CommitOpSeq(char kind, const std::string& spec_name,
+                                 const sql::Value& uid) {
+  if (!options_.deterministic_rng) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  ++op_seq_[OpKey(kind, spec_name, uid)];
+}
+
+StatusOr<db::RowId> DisguiseEngine::InsertPlaceholderRow(
+    const std::string& table, std::map<std::string, sql::Value> values, Rng* rng) {
+  const db::TableSchema* ts = db_->schema().FindTable(table);
+  bool pk_drawable = false;
+  if (options_.deterministic_rng && ts != nullptr && ts->primary_key().size() == 1) {
+    const db::ColumnDef* pk = ts->FindColumn(ts->primary_key()[0]);
+    pk_drawable = pk != nullptr && pk->type == db::ColumnType::kInt &&
+                  pk->auto_increment && values.count(pk->name) == 0;
+  }
+  if (!pk_drawable) {
+    return db_->InsertValues(table, values);
+  }
+  // Deterministic placeholder identity: draw the PK from the operation's own
+  // stream, in a sparse band far above the dense application id range, so it
+  // does not depend on how concurrent operations interleave on the shared
+  // auto-increment counter. Collisions are vanishingly rare; redraw on one.
+  const std::string& pk_col = ts->primary_key()[0];
+  constexpr uint64_t kBand = 1ull << 40;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    values[pk_col] = sql::Value::Int(static_cast<int64_t>(kBand + rng->NextBounded(kBand)));
+    StatusOr<db::RowId> id = db_->InsertValues(table, values);
+    if (id.ok() || id.status().code() != StatusCode::kAlreadyExists) {
+      return id;
+    }
+  }
+  return Internal("could not draw a fresh placeholder key for \"" + table + "\"");
 }
 
 DisguiseEngine::DisguiseEngine(db::Database* db, vault::Vault* vault, const Clock* clock,
@@ -76,13 +187,13 @@ StatusOr<sql::Value> DisguiseEngine::CreatePlaceholder(ApplyContext* ctx,
   }
   std::map<std::string, sql::Value> values;
   disguise::GenContext gen_ctx;
-  gen_ctx.rng = &rng_;
+  gen_ctx.rng = &ctx->rng;
   gen_ctx.params = &ctx->params;
   for (const disguise::PlaceholderColumn& pc : td->placeholder) {
     ASSIGN_OR_RETURN(sql::Value v, pc.generator.Generate(gen_ctx));
     values.emplace(pc.column, std::move(v));
   }
-  ASSIGN_OR_RETURN(db::RowId id, db_->InsertValues(table, values));
+  ASSIGN_OR_RETURN(db::RowId id, InsertPlaceholderRow(table, std::move(values), &ctx->rng));
   ++ctx->result.placeholders_created;
   if (ctx->spec->reversible()) {
     RevealOp op = RevealOp::DropPlaceholder(table, id);
@@ -129,7 +240,7 @@ Status DisguiseEngine::RunDecorrelates(ApplyContext* ctx) {
         if (options_.batch_operations) {
           ctx->pending_batches[td.table].push_back({id, fk_col, placeholder_pk});
         } else {
-          RETURN_IF_ERROR(db_->SetColumn(td.table, id, fk_col, placeholder_pk));
+          RETURN_IF_ERROR(RaceToAborted(db_->SetColumn(td.table, id, fk_col, placeholder_pk)));
         }
         ++ctx->result.rows_decorrelated;
       }
@@ -155,10 +266,14 @@ Status DisguiseEngine::RunModifies(ApplyContext* ctx) {
       }
       int col_idx = ts->ColumnIndex(tr.column());
       for (db::RowId id : ids) {
-        ASSIGN_OR_RETURN(db::Row row, db_->GetRow(td.table, id));
+        auto row_or = db_->GetRow(td.table, id);
+        if (!row_or.ok()) {
+          return RaceToAborted(row_or.status());
+        }
+        db::Row row = *std::move(row_or);
         sql::Value old = row[static_cast<size_t>(col_idx)];
         disguise::GenContext gen_ctx;
-        gen_ctx.rng = &rng_;
+        gen_ctx.rng = &ctx->rng;
         gen_ctx.original = &old;
         gen_ctx.row = db::MakeRowResolver(*ts, row);
         gen_ctx.params = &ctx->params;
@@ -173,7 +288,7 @@ Status DisguiseEngine::RunModifies(ApplyContext* ctx) {
         if (options_.batch_operations) {
           ctx->pending_batches[td.table].push_back({id, tr.column(), next});
         } else {
-          RETURN_IF_ERROR(db_->SetColumn(td.table, id, tr.column(), next));
+          RETURN_IF_ERROR(RaceToAborted(db_->SetColumn(td.table, id, tr.column(), next)));
         }
         ++ctx->result.rows_modified;
       }
@@ -251,7 +366,11 @@ Status DisguiseEngine::RemoveWithClosure(ApplyContext* ctx, const std::string& t
   if (depth > 32) {
     return IntegrityViolation("remove closure too deep (FK cycle?)");
   }
-  ASSIGN_OR_RETURN(db::Row row, db_->GetRow(table, id));
+  auto row_or = db_->GetRow(table, id);
+  if (!row_or.ok()) {
+    return RaceToAborted(row_or.status());
+  }
+  db::Row row = *std::move(row_or);
   const db::TableSchema* ts = db_->schema().FindTable(table);
 
   // Children referencing this row, by declared FK delete action.
@@ -271,12 +390,15 @@ Status DisguiseEngine::RemoveWithClosure(ApplyContext* ctx, const std::string& t
         }
         switch (fk.on_delete) {
           case db::FkAction::kRestrict:
-            // The spec must have decorrelated or removed these first; if it
-            // did not, surface the integrity error (spec bug).
-            return IntegrityViolation(
+            // The spec must have decorrelated or removed these first. A
+            // violation is either a spec bug (persistent: survives the
+            // batch retry budget and is reported) or a concurrent reveal
+            // re-inserting a child after this apply's stage for the child
+            // table ran (transient: RaceToAborted makes the retry see it).
+            return RaceToAborted(IntegrityViolation(
                 "removing \"" + table + "\" row " + pk_value.ToSqlString() +
                 " would orphan " + std::to_string(kids.size()) + " row(s) of \"" +
-                child.name() + "\" (RESTRICT)");
+                child.name() + "\" (RESTRICT)"));
           case db::FkAction::kCascade: {
             std::vector<db::RowId> kid_ids;
             kid_ids.reserve(kids.size());
@@ -284,7 +406,7 @@ Status DisguiseEngine::RemoveWithClosure(ApplyContext* ctx, const std::string& t
               kid_ids.push_back(k.id);
             }
             for (db::RowId kid : kid_ids) {
-              if (db_->FindTable(child.name())->Contains(kid)) {
+              if (db_->RowExists(child.name(), kid)) {
                 RETURN_IF_ERROR(RemoveWithClosure(ctx, child.name(), kid, depth + 1));
               }
             }
@@ -300,8 +422,8 @@ Status DisguiseEngine::RemoveWithClosure(ApplyContext* ctx, const std::string& t
                 ctx->record.ops.push_back(RevealOp::RestoreColumn(
                     child.name(), kid, fk.column, pk_value, sql::Value::Null()));
               }
-              RETURN_IF_ERROR(
-                  db_->SetColumn(child.name(), kid, fk.column, sql::Value::Null()));
+              RETURN_IF_ERROR(RaceToAborted(
+                  db_->SetColumn(child.name(), kid, fk.column, sql::Value::Null())));
             }
             break;
           }
@@ -315,7 +437,7 @@ Status DisguiseEngine::RemoveWithClosure(ApplyContext* ctx, const std::string& t
   if (ctx->spec->reversible()) {
     ctx->record.ops.push_back(RevealOp::RestoreRow(table, id, row));
   }
-  RETURN_IF_ERROR(db_->DeleteRow(table, id));
+  RETURN_IF_ERROR(RaceToAborted(db_->DeleteRow(table, id)));
   ++ctx->result.rows_removed;
   return OkStatus();
 }
@@ -336,7 +458,7 @@ Status DisguiseEngine::RunRemoves(ApplyContext* ctx) {
         ids.push_back(ref.id);
       }
       for (db::RowId id : ids) {
-        if (!db_->FindTable(table)->Contains(id)) {
+        if (!db_->RowExists(table, id)) {
           continue;  // removed by an earlier closure walk
         }
         RETURN_IF_ERROR(RemoveWithClosure(ctx, table, id, 0));
@@ -360,28 +482,37 @@ Status DisguiseEngine::CheckAssertions(const DisguiseSpec& spec,
 }
 
 void DisguiseEngine::EnsureGuardInstalled() {
+  // guard_mu_ -> db catalog (SetWriteGuard). The guard lambda itself runs
+  // under a db stripe lock and takes prot_mu_, which is why ProtectRows must
+  // install the guard BEFORE taking prot_mu_: holding prot_mu_ across
+  // SetWriteGuard would invert stripe->prot_mu_ with prot_mu_->catalog.
+  std::lock_guard<std::mutex> lock(guard_mu_);
   if (guard_installed_) {
     return;
   }
   guard_installed_ = true;
   db_->SetWriteGuard([this](const std::string& table, db::RowId id,
                             const std::string& column) -> Status {
-    if (engine_ops_depth_ > 0) {
+    if (InEngineOp()) {
       return OkStatus();
     }
-    if (protected_rows_.count({table, id}) > 0) {
-      return FailedPrecondition(
-          "row " + std::to_string(id) + " of \"" + table +
-          "\" is under an active disguise" +
-          (column.empty() ? std::string() : " (column \"" + column + "\")") +
-          "; reveal the disguise before modifying it");
+    {
+      std::lock_guard<std::mutex> prot_lock(prot_mu_);
+      if (protected_rows_.count({table, id}) == 0) {
+        return OkStatus();
+      }
     }
-    return OkStatus();
+    return FailedPrecondition(
+        "row " + std::to_string(id) + " of \"" + table +
+        "\" is under an active disguise" +
+        (column.empty() ? std::string() : " (column \"" + column + "\")") +
+        "; reveal the disguise before modifying it");
   });
 }
 
 void DisguiseEngine::ProtectRows(uint64_t disguise_id, const vault::RevealRecord& record) {
   EnsureGuardInstalled();
+  std::lock_guard<std::mutex> lock(prot_mu_);
   std::vector<std::pair<std::string, db::RowId>>& owned =
       protected_by_disguise_[disguise_id];
   for (const RevealOp& op : record.ops) {
@@ -395,6 +526,7 @@ void DisguiseEngine::ProtectRows(uint64_t disguise_id, const vault::RevealRecord
 }
 
 void DisguiseEngine::UnprotectRows(uint64_t disguise_id) {
+  std::lock_guard<std::mutex> lock(prot_mu_);
   auto it = protected_by_disguise_.find(disguise_id);
   if (it == protected_by_disguise_.end()) {
     return;
@@ -411,7 +543,7 @@ void DisguiseEngine::UnprotectRows(uint64_t disguise_id) {
 Status DisguiseEngine::FlushBatches(ApplyContext* ctx) {
   for (auto& [table, updates] : ctx->pending_batches) {
     if (!updates.empty()) {
-      RETURN_IF_ERROR(db_->BatchSetColumns(table, updates).status());
+      RETURN_IF_ERROR(RaceToAborted(db_->BatchSetColumns(table, updates).status()));
       updates.clear();
     }
   }

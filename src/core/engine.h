@@ -26,6 +26,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,12 @@ struct EngineOptions {
   // Batch row mutations through multi-row statements where possible
   // (ablation B). Off = one statement per row, as Edna issues them.
   bool batch_operations = false;
+  // Derive each Apply/Reveal's randomness (generated values, placeholder
+  // primary keys) purely from (seed, spec, uid, per-pair invocation count)
+  // instead of a shared stream. Makes an operation's effect independent of
+  // how concurrent operations interleave, so a parallel batch run can be
+  // checked against a serial replay oracle (tests/core_batch_test.cc).
+  bool deterministic_rng = false;
   uint64_t rng_seed = 0x5eed;
 };
 
@@ -132,6 +139,12 @@ class DisguiseEngine {
   // and recovery see the persisted disguise history.
   Status LoadLogFromMirror() { return log_.LoadFromMirror(); }
 
+  // Creates the disguise log's DB mirror table if it is missing. Table
+  // creation is DDL, which is not safe against concurrent applies reading
+  // the schema; BatchExecutor calls this before starting its workers so
+  // no apply ever triggers the on-demand creation mid-batch.
+  Status EnsureLogMirror() { return log_.EnsureMirror(); }
+
   const DisguiseLog& log() const { return log_; }
   const CommitJournal& journal() const { return journal_; }
   CommitJournal& journal() { return journal_; }
@@ -142,6 +155,12 @@ class DisguiseEngine {
 
  private:
   struct ApplyContext;
+
+  // Maps row-level kNotFound / kIntegrityViolation — races with concurrently
+  // COMMITTED transactions that write intents cannot catch — to kAborted, so
+  // batch executors retry and the retry reproduces the serial-schedule
+  // outcome. Applied at every per-row site of the apply and reveal paths.
+  static Status RaceToAborted(const Status& s);
 
   // --- Apply phases ---------------------------------------------------------
   // Clean-abort compensation: drops stored vault shards, the log entry, and
@@ -187,12 +206,36 @@ class DisguiseEngine {
   struct InterimTransform;
   std::vector<InterimTransform> CollectInterimTransforms(uint64_t disguise_id) const;
 
+  // --- Per-operation randomness ----------------------------------------------
+  // Every Apply/Reveal draws from its own Rng. Legacy mode forks it off the
+  // shared stream (under rng_mu_); deterministic mode derives it from
+  // (rng_seed, kind, spec, uid, success count) — retries of an aborted
+  // operation reuse the same stream because the count only advances on
+  // success (CommitOpSeq).
+  Rng OpRng(char kind, const std::string& spec_name, const sql::Value& uid);
+  void CommitOpSeq(char kind, const std::string& spec_name, const sql::Value& uid);
+
+  // InsertValues wrapper for placeholder rows: in deterministic mode, draws
+  // the row's auto-increment PK from `rng` (sparse 2^40+ range, redrawn on
+  // collision) so placeholder identity does not depend on the global
+  // auto-increment counter's interleaving.
+  StatusOr<db::RowId> InsertPlaceholderRow(const std::string& table,
+                                           std::map<std::string, sql::Value> values,
+                                           Rng* rng);
+
   // --- Strict mode (§7) -------------------------------------------------------
   // Rows owned by active reversible disguises; the installed WriteGuard
-  // rejects application writes to them while engine_ops_depth_ == 0.
+  // rejects application writes to them unless the calling thread is inside
+  // an engine operation.
   void ProtectRows(uint64_t disguise_id, const vault::RevealRecord& record);
   void UnprotectRows(uint64_t disguise_id);
   void EnsureGuardInstalled();
+
+  // Per-thread engine-operation depth (the guard exemption must not leak to
+  // other threads' application writes running concurrently with an apply).
+  void EnterEngineOp();
+  void ExitEngineOp();
+  bool InEngineOp() const;
 
   class EngineOpScope;  // RAII: marks engine-internal mutations guard-exempt
 
@@ -200,13 +243,25 @@ class DisguiseEngine {
   vault::Vault* vault_;
   const Clock* clock_;
   EngineOptions options_;
-  Rng rng_;
+
+  // Lock hierarchy inside the engine: guard_mu_ -> (db catalog, via
+  // SetWriteGuard); any db stripe -> prot_mu_ (the write guard takes it);
+  // rng_mu_ and seq_mu_ are leaves. None is ever held across an engine phase.
+  mutable std::mutex rng_mu_;
+  Rng rng_;             // legacy shared stream; forked per op under rng_mu_
+  uint64_t rng_stream_ = 0;
+
+  mutable std::mutex seq_mu_;
+  std::map<std::string, uint64_t> op_seq_;  // "kind:spec:uid" -> successes
+
   DisguiseLog log_;
   CommitJournal journal_;
-  std::map<std::string, disguise::DisguiseSpec> specs_;
+  std::map<std::string, disguise::DisguiseSpec> specs_;  // frozen before batching
 
-  int engine_ops_depth_ = 0;
+  std::mutex guard_mu_;
   bool guard_installed_ = false;
+
+  mutable std::mutex prot_mu_;  // leaf: guards the two maps below
   std::map<std::pair<std::string, db::RowId>, int> protected_rows_;  // refcount
   std::map<uint64_t, std::vector<std::pair<std::string, db::RowId>>> protected_by_disguise_;
 };

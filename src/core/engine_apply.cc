@@ -71,8 +71,7 @@ Status DisguiseEngine::RecorrelateForUser(ApplyContext* ctx) {
           op.old_value.is_null()) {
         continue;
       }
-      const db::Table* t = db_->FindTable(op.table);
-      if (t == nullptr || !t->Contains(op.row_id)) {
+      if (!db_->RowExists(op.table, op.row_id)) {
         continue;  // row has since been removed
       }
       ASSIGN_OR_RETURN(sql::Value current, db_->GetColumn(op.table, op.row_id, op.column));
@@ -158,8 +157,7 @@ Status DisguiseEngine::RedisguiseLeftovers(ApplyContext* ctx) {
   // (remove, re-decorrelate, or modify) must go back to its disguised state:
   // revealing it permanently would violate the prior disguise's goal.
   for (const ApplyContext::Recorrelated& r : ctx->recorrelated) {
-    const db::Table* t = db_->FindTable(r.table);
-    if (t == nullptr || !t->Contains(r.row_id)) {
+    if (!db_->RowExists(r.table, r.row_id)) {
       continue;  // the new disguise removed the row
     }
     ASSIGN_OR_RETURN(sql::Value current, db_->GetColumn(r.table, r.row_id, r.column));
@@ -193,8 +191,11 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
   ctx.record.disguise_name = spec->name();
   ctx.record.user_id = ctx.uid;
   ctx.record.created = clock_->Now();
+  ctx.rng = OpRng('A', spec->name(), ctx.uid);
 
-  uint64_t queries_before = db_->stats().queries;
+  // Per-thread statement counter: under a concurrent batch, the global
+  // stats().queries counts everyone's statements.
+  uint64_t queries_before = db::Database::ThreadStatements();
 
   // Engine-internal mutations are exempt from the strict-mode write guard.
   EngineOpScope engine_scope(this);
@@ -335,8 +336,9 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
     }
   }
   journal_.Complete(journal_id);
+  CommitOpSeq('A', spec->name(), ctx.uid);
 
-  ctx.result.queries = db_->stats().queries - queries_before;
+  ctx.result.queries = db::Database::ThreadStatements() - queries_before;
   return ctx.result;
 }
 

@@ -21,17 +21,22 @@ using vault::RevealRecord;
 
 std::vector<DisguiseEngine::InterimTransform> DisguiseEngine::CollectInterimTransforms(
     uint64_t disguise_id) const {
+  // Snapshot semantics: ActiveAfterCopy pins the set of interim disguises at
+  // this instant; params/spec names are copied because a concurrent Append
+  // may reallocate the log's storage. The transform pointers stay valid —
+  // they point into registered specs, which are frozen before operations run.
   std::vector<InterimTransform> out;
-  for (const LogEntry* entry : log_.ActiveAfter(disguise_id)) {
-    const DisguiseSpec* spec = FindSpec(entry->spec_name);
+  for (const LogEntry& entry : log_.ActiveAfterCopy(disguise_id)) {
+    const DisguiseSpec* spec = FindSpec(entry.spec_name);
     if (spec == nullptr) {
-      EDNA_LOG(kWarning) << "log references unregistered spec \"" << entry->spec_name
+      EDNA_LOG(kWarning) << "log references unregistered spec \"" << entry.spec_name
                          << "\"; its transformations cannot be re-applied";
       continue;
     }
     for (const disguise::TableDisguise& td : spec->tables()) {
       for (const Transformation& tr : td.transformations) {
-        out.push_back(InterimTransform{entry->id, td.table, &tr, &entry->params});
+        out.push_back(InterimTransform{entry.id, td.table, &tr, entry.params,
+                                       entry.spec_name});
       }
     }
   }
@@ -51,8 +56,8 @@ StatusOr<bool> PredicateMatches(const Transformation& tr, const db::TableSchema&
 }  // namespace
 
 StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
-  const LogEntry* entry = log_.Find(disguise_id);
-  if (entry == nullptr) {
+  std::optional<LogEntry> entry = log_.FindCopy(disguise_id);
+  if (!entry.has_value()) {
     return NotFound("no disguise with id " + std::to_string(disguise_id));
   }
   if (!entry->active) {
@@ -70,7 +75,8 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
 
   RevealResult result;
   result.disguise_id = disguise_id;
-  uint64_t queries_before = db_->stats().queries;
+  Rng op_rng = OpRng('R', entry->spec_name, entry->user_id);
+  uint64_t queries_before = db::Database::ThreadStatements();
 
   // Engine-internal mutations are exempt from the strict-mode write guard.
   EngineOpScope engine_scope(this);
@@ -103,13 +109,15 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
         }
         switch (op.kind) {
           case RevealOp::Kind::kRestoreColumn: {
-            const db::Table* t = db_->FindTable(op.table);
-            if (t == nullptr || !t->Contains(op.row_id)) {
+            if (!db_->RowExists(op.table, op.row_id)) {
               ++result.rows_suppressed;  // row removed since; nothing to restore
               break;
             }
-            ASSIGN_OR_RETURN(sql::Value current,
-                             db_->GetColumn(op.table, op.row_id, op.column));
+            auto current_or = db_->GetColumn(op.table, op.row_id, op.column);
+            if (!current_or.ok()) {
+              return RaceToAborted(current_or.status());
+            }
+            sql::Value current = *std::move(current_or);
             if (!current.SqlEquals(op.new_value) ||
                 current.is_null() != op.new_value.is_null()) {
               // A later disguise (or the application) rewrote this value; it
@@ -119,7 +127,11 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
             }
             // Build the hypothetical restored row and filter it through
             // interim transformations.
-            ASSIGN_OR_RETURN(db::Row candidate_row, db_->GetRow(op.table, op.row_id));
+            auto candidate_row_or = db_->GetRow(op.table, op.row_id);
+            if (!candidate_row_or.ok()) {
+              return RaceToAborted(candidate_row_or.status());
+            }
+            db::Row candidate_row = *std::move(candidate_row_or);
             int col_idx = schema->ColumnIndex(op.column);
             candidate_row[static_cast<size_t>(col_idx)] = op.old_value;
             sql::Value candidate = op.old_value;
@@ -129,7 +141,7 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                 continue;
               }
               ASSIGN_OR_RETURN(bool match, PredicateMatches(*it.transform, *schema,
-                                                            candidate_row, *it.params));
+                                                            candidate_row, it.params));
               if (!match) {
                 continue;
               }
@@ -142,10 +154,10 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                 case TransformKind::kModify:
                   if (it.transform->column() == op.column) {
                     disguise::GenContext gen_ctx;
-                    gen_ctx.rng = &rng_;
+                    gen_ctx.rng = &op_rng;
                     gen_ctx.original = &candidate;
                     gen_ctx.row = db::MakeRowResolver(*schema, candidate_row);
-                    gen_ctx.params = it.params;
+                    gen_ctx.params = &it.params;
                     ASSIGN_OR_RETURN(sql::Value next,
                                      it.transform->generator().Generate(gen_ctx));
                     candidate = next;
@@ -183,13 +195,13 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
               ++result.rows_suppressed;
               break;
             }
-            RETURN_IF_ERROR(db_->SetColumn(op.table, op.row_id, op.column, candidate));
+            RETURN_IF_ERROR(RaceToAborted(
+                db_->SetColumn(op.table, op.row_id, op.column, candidate)));
             ++result.columns_restored;
             break;
           }
           case RevealOp::Kind::kRestoreRow: {
-            const db::Table* t = db_->FindTable(op.table);
-            if (t != nullptr && t->Contains(op.row_id)) {
+            if (db_->RowExists(op.table, op.row_id)) {
               break;  // already present (should not happen)
             }
             db::Row candidate = op.row;
@@ -212,7 +224,7 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                 continue;
               }
               ASSIGN_OR_RETURN(bool match, PredicateMatches(*it.transform, *schema,
-                                                            candidate, *it.params));
+                                                            candidate, it.params));
               if (!match) {
                 continue;
               }
@@ -224,10 +236,10 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                   int col_idx = schema->ColumnIndex(it.transform->column());
                   sql::Value original = candidate[static_cast<size_t>(col_idx)];
                   disguise::GenContext gen_ctx;
-                  gen_ctx.rng = &rng_;
+                  gen_ctx.rng = &op_rng;
                   gen_ctx.original = &original;
                   gen_ctx.row = db::MakeRowResolver(*schema, candidate);
-                  gen_ctx.params = it.params;
+                  gen_ctx.params = &it.params;
                   ASSIGN_OR_RETURN(sql::Value next,
                                    it.transform->generator().Generate(gen_ctx));
                   candidate[static_cast<size_t>(col_idx)] = next;
@@ -237,7 +249,7 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                 case TransformKind::kDecorrelate: {
                   // Point the restored row's FK at a fresh placeholder made
                   // from the *later* disguise's recipe.
-                  const DisguiseSpec* later = FindSpec(log_.Find(it.disguise_id)->spec_name);
+                  const DisguiseSpec* later = FindSpec(it.spec_name);
                   const disguise::TableDisguise* parent_td =
                       later->FindTable(it.transform->foreign_key().parent_table);
                   if (parent_td == nullptr || parent_td->placeholder.empty()) {
@@ -245,14 +257,15 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
                   }
                   std::map<std::string, sql::Value> values;
                   disguise::GenContext gen_ctx;
-                  gen_ctx.rng = &rng_;
-                  gen_ctx.params = it.params;
+                  gen_ctx.rng = &op_rng;
+                  gen_ctx.params = &it.params;
                   for (const disguise::PlaceholderColumn& pc : parent_td->placeholder) {
                     ASSIGN_OR_RETURN(sql::Value v, pc.generator.Generate(gen_ctx));
                     values.emplace(pc.column, std::move(v));
                   }
                   const std::string& parent = it.transform->foreign_key().parent_table;
-                  ASSIGN_OR_RETURN(db::RowId pid, db_->InsertValues(parent, values));
+                  ASSIGN_OR_RETURN(db::RowId pid,
+                                   InsertPlaceholderRow(parent, std::move(values), &op_rng));
                   const db::TableSchema* pts = db_->schema().FindTable(parent);
                   ASSIGN_OR_RETURN(sql::Value ppk,
                                    db_->GetColumn(parent, pid, pts->primary_key()[0]));
@@ -298,13 +311,12 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
               ++result.rows_suppressed;
               break;
             }
-            RETURN_IF_ERROR(db_->RestoreRow(op.table, op.row_id, candidate));
+            RETURN_IF_ERROR(RaceToAborted(db_->RestoreRow(op.table, op.row_id, candidate)));
             ++result.rows_restored;
             break;
           }
           case RevealOp::Kind::kDropPlaceholder: {
-            const db::Table* t = db_->FindTable(op.table);
-            if (t == nullptr || !t->Contains(op.row_id)) {
+            if (!db_->RowExists(op.table, op.row_id)) {
               break;
             }
             Status dropped = db_->DeleteRow(op.table, op.row_id);
@@ -383,7 +395,8 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
   }
   UnprotectRows(disguise_id);
   journal_.Complete(journal_id);
-  result.queries = db_->stats().queries - queries_before;
+  CommitOpSeq('R', entry->spec_name, entry->user_id);
+  result.queries = db::Database::ThreadStatements() - queries_before;
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include "src/core/recovery.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 #include "src/common/logging.h"
@@ -40,6 +41,7 @@ const char* JournalPhaseName(JournalPhase phase) {
 
 uint64_t CommitJournal::Begin(JournalOp op, std::string spec_name, sql::ParamMap params,
                               sql::Value user_id, uint64_t disguise_id, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalEntry e;
   e.journal_id = next_id_++;
   e.op = op;
@@ -54,6 +56,7 @@ uint64_t CommitJournal::Begin(JournalOp op, std::string spec_name, sql::ParamMap
 }
 
 void CommitJournal::SetDisguiseId(uint64_t journal_id, uint64_t disguise_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (JournalEntry& e : pending_) {
     if (e.journal_id == journal_id) {
       e.disguise_id = disguise_id;
@@ -63,6 +66,7 @@ void CommitJournal::SetDisguiseId(uint64_t journal_id, uint64_t disguise_id) {
 }
 
 void CommitJournal::Advance(uint64_t journal_id, JournalPhase phase) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (JournalEntry& e : pending_) {
     if (e.journal_id == journal_id) {
       if (static_cast<uint8_t>(phase) > static_cast<uint8_t>(e.phase)) {
@@ -74,17 +78,24 @@ void CommitJournal::Advance(uint64_t journal_id, JournalPhase phase) {
 }
 
 void CommitJournal::Complete(uint64_t journal_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(pending_,
                 [&](const JournalEntry& e) { return e.journal_id == journal_id; });
 }
 
 const JournalEntry* CommitJournal::Find(uint64_t journal_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const JournalEntry& e : pending_) {
     if (e.journal_id == journal_id) {
       return &e;
     }
   }
   return nullptr;
+}
+
+std::vector<JournalEntry> CommitJournal::PendingCopy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
 }
 
 namespace {
@@ -99,6 +110,7 @@ constexpr uint8_t kJournalVersion = 1;
 }  // namespace
 
 std::vector<uint8_t> CommitJournal::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
   sql::ByteWriter w;
   w.Bytes(reinterpret_cast<const uint8_t*>(kJournalMagic), 4);
   w.U8(kJournalVersion);
@@ -208,14 +220,17 @@ StatusOr<RecoveryReport> DisguiseEngine::Recover() {
   // 1. An open transaction means the crash hit mid-mutation; the undo log
   //    still holds the inverses of everything uncommitted (including the
   //    log's mirror row and, for the in-database vault model, vault rows).
-  if (db_->InTransaction()) {
-    RETURN_IF_ERROR(db_->Rollback());
+  //    Under parallel batching the crash may have frozen several workers
+  //    mid-transaction, so roll back every thread's open transaction, not
+  //    just the calling thread's.
+  if (db_->AnyTransactionActive()) {
+    RETURN_IF_ERROR(db_->RollbackAll());
     ++report.transactions_rolled_back;
   }
 
   // 2. Unwind pending journal entries, newest first (LIFO, like the apply
   //    stack they model).
-  std::vector<JournalEntry> pending = journal_.pending();
+  std::vector<JournalEntry> pending = journal_.PendingCopy();
   for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
     const JournalEntry& e = *it;
     if (e.op == JournalOp::kApply) {
@@ -288,8 +303,11 @@ StatusOr<RecoveryReport> DisguiseEngine::Recover() {
 
   // 5. Strict mode: the protected-row map is process state; rebuild it from
   //    the surviving vault records so the write guard matches reality.
-  protected_rows_.clear();
-  protected_by_disguise_.clear();
+  {
+    std::lock_guard<std::mutex> prot_lock(prot_mu_);
+    protected_rows_.clear();
+    protected_by_disguise_.clear();
+  }
   if (options_.protect_disguised_data) {
     for (const LogEntry& entry : log_.entries()) {
       if (!entry.active || !entry.reversible) {
@@ -306,6 +324,7 @@ StatusOr<RecoveryReport> DisguiseEngine::Recover() {
       for (const RevealRecord& rec : *records) {
         ProtectRows(entry.id, rec);
       }
+      std::lock_guard<std::mutex> prot_lock(prot_mu_);
       report.protected_rows_rebuilt += protected_by_disguise_[entry.id].size();
     }
   }
@@ -318,14 +337,14 @@ StatusOr<ConsistencyReport> DisguiseEngine::AuditConsistency() {
   ConsistencyReport report;
   auto violation = [&](std::string msg) { report.violations.push_back(std::move(msg)); };
 
-  // 1. No transaction may be open between API calls.
-  if (db_->InTransaction()) {
+  // 1. No transaction may be open between API calls, on any thread.
+  if (db_->AnyTransactionActive()) {
     violation("a database transaction is open outside any engine operation");
   }
 
   // 2. The journal must be empty: a pending entry is an interrupted
   //    operation nobody recovered.
-  for (const JournalEntry& e : journal_.pending()) {
+  for (const JournalEntry& e : journal_.PendingCopy()) {
     violation(StrFormat("journal entry %llu (%s \"%s\", phase %s) was never completed",
                         static_cast<unsigned long long>(e.journal_id), JournalOpName(e.op),
                         e.spec_name.c_str(), JournalPhaseName(e.phase)));
@@ -407,7 +426,17 @@ StatusOr<ConsistencyReport> DisguiseEngine::AuditConsistency() {
 
   // 7. Strict mode: the protected-row map names exactly the active
   //    reversible disguises (no stale protection, no unprotected disguise).
-  for (const auto& [disguise_id, rows] : protected_by_disguise_) {
+  //    Snapshot the ids first: querying the log while holding prot_mu_ would
+  //    invert the log-mutex -> db-stripe -> prot_mu_ order the write guard
+  //    establishes.
+  std::set<uint64_t> protected_ids;
+  {
+    std::lock_guard<std::mutex> prot_lock(prot_mu_);
+    for (const auto& [disguise_id, rows] : protected_by_disguise_) {
+      protected_ids.insert(disguise_id);
+    }
+  }
+  for (uint64_t disguise_id : protected_ids) {
     const LogEntry* entry = log_.Find(disguise_id);
     if (entry == nullptr || !entry->active) {
       violation(StrFormat("write protection still installed for %s disguise %llu",
@@ -417,8 +446,7 @@ StatusOr<ConsistencyReport> DisguiseEngine::AuditConsistency() {
   }
   if (options_.protect_disguised_data) {
     for (const LogEntry& entry : log_.entries()) {
-      if (entry.active && entry.reversible &&
-          protected_by_disguise_.count(entry.id) == 0) {
+      if (entry.active && entry.reversible && protected_ids.count(entry.id) == 0) {
         violation(StrFormat("strict mode is on but active reversible disguise %llu has "
                             "no write protection",
                             static_cast<unsigned long long>(entry.id)));

@@ -37,7 +37,9 @@
 #define SRC_CORE_RECOVERY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -74,6 +76,18 @@ struct JournalEntry {
 // process state. See DESIGN.md, "Crash consistency".
 class CommitJournal {
  public:
+  CommitJournal() = default;
+
+  // Moves are for the serial restore path (Deserialize hands the journal
+  // over by value); they are not themselves thread-safe.
+  CommitJournal(CommitJournal&& o) noexcept
+      : pending_(std::move(o.pending_)), next_id_(o.next_id_) {}
+  CommitJournal& operator=(CommitJournal&& o) noexcept {
+    pending_ = std::move(o.pending_);
+    next_id_ = o.next_id_;
+    return *this;
+  }
+
   // Journals the intent to run `op`; returns the journal id.
   uint64_t Begin(JournalOp op, std::string spec_name, sql::ParamMap params,
                  sql::Value user_id, uint64_t disguise_id, TimePoint now);
@@ -88,14 +102,23 @@ class CommitJournal {
   // all compensation applied).
   void Complete(uint64_t journal_id);
 
+  // Single-threaded accessors; pointers/references are invalidated by a
+  // concurrent Begin/Complete. Concurrent callers use PendingCopy().
   const JournalEntry* Find(uint64_t journal_id) const;
   const std::vector<JournalEntry>& pending() const { return pending_; }
-  size_t size() const { return pending_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+  // Concurrency-safe snapshot of the pending entries.
+  std::vector<JournalEntry> PendingCopy() const;
 
   std::vector<uint8_t> Serialize() const;
   static StatusOr<CommitJournal> Deserialize(const std::vector<uint8_t>& wire);
 
  private:
+  mutable std::mutex mu_;
   std::vector<JournalEntry> pending_;  // operations not yet completed
   uint64_t next_id_ = 1;
 };

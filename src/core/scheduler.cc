@@ -5,7 +5,6 @@
 namespace edna::core {
 
 Status PolicyScheduler::AddExpirationPolicy(ExpirationPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (engine_->FindSpec(policy.spec_name) == nullptr) {
     return NotFound("expiration policy \"" + policy.name + "\" references unregistered spec \"" +
                     policy.spec_name + "\"");
@@ -17,12 +16,12 @@ Status PolicyScheduler::AddExpirationPolicy(ExpirationPolicy policy) {
     return InvalidArgument("expiration policy \"" + policy.name +
                            "\" needs a positive inactivity threshold");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   expirations_.push_back(std::move(policy));
   return OkStatus();
 }
 
 Status PolicyScheduler::AddDecayPolicy(DecayPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (policy.stages.empty()) {
     return InvalidArgument("decay policy \"" + policy.name + "\" has no stages");
   }
@@ -41,25 +40,43 @@ Status PolicyScheduler::AddDecayPolicy(DecayPolicy policy) {
   if (!policy.created_at) {
     return InvalidArgument("decay policy \"" + policy.name + "\" has no creation-time source");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   decays_.push_back(std::move(policy));
   return OkStatus();
 }
 
 StatusOr<TickResult> PolicyScheduler::Tick() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock discipline: tick_mu_ makes concurrent Ticks take turns (so a
+  // (policy, user) cannot fire twice from two racing Ticks), while mu_ is
+  // only held for map accesses. The engine and the application's time-source
+  // callbacks run with NO scheduler mutex that ResetUser needs — either may
+  // call back into ResetUser without deadlocking.
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
   TickResult result;
   TimePoint now = clock_->Now();
 
-  for (const ExpirationPolicy& policy : expirations_) {
+  std::vector<ExpirationPolicy> expirations;
+  std::vector<DecayPolicy> decays;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expirations = expirations_;
+    decays = decays_;
+  }
+
+  for (const ExpirationPolicy& policy : expirations) {
     ASSIGN_OR_RETURN(std::vector<UserTime> activity, policy.last_active());
-    std::set<std::string>& fired = fired_expirations_[policy.name];
     for (const UserTime& ut : activity) {
       if (now - ut.when < policy.inactivity) {
         continue;
       }
       std::string key = UserKey(ut.uid);
-      if (fired.count(key) > 0) {
-        continue;
+      uint64_t gen;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fired_expirations_[policy.name].count(key) > 0) {
+          continue;
+        }
+        gen = reset_gen_[key];
       }
       auto applied = engine_->ApplyForUser(policy.spec_name, ut.uid);
       if (!applied.ok()) {
@@ -67,31 +84,56 @@ StatusOr<TickResult> PolicyScheduler::Tick() {
                            << key << ": " << applied.status();
         continue;
       }
-      fired.insert(key);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // A ResetUser racing the apply wins: leave the policy re-armed.
+        if (reset_gen_[key] == gen) {
+          fired_expirations_[policy.name].insert(key);
+        }
+      }
       ++result.expirations_applied;
       result.disguise_ids.push_back(applied->disguise_id);
     }
   }
 
-  for (const DecayPolicy& policy : decays_) {
+  for (const DecayPolicy& policy : decays) {
     ASSIGN_OR_RETURN(std::vector<UserTime> created, policy.created_at());
-    std::map<std::string, size_t>& fired = fired_decay_stages_[policy.name];
     for (const UserTime& ut : created) {
       std::string key = UserKey(ut.uid);
-      size_t next_stage = fired.count(key) > 0 ? fired[key] : 0;
-      while (next_stage < policy.stages.size() &&
-             now - ut.when >= policy.stages[next_stage].age) {
+      for (;;) {
+        size_t next_stage;
+        uint64_t gen;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto& fired = fired_decay_stages_[policy.name];
+          auto it = fired.find(key);
+          next_stage = it == fired.end() ? 0 : it->second;
+          gen = reset_gen_[key];
+        }
+        if (next_stage >= policy.stages.size() ||
+            now - ut.when < policy.stages[next_stage].age) {
+          break;
+        }
         auto applied = engine_->ApplyForUser(policy.stages[next_stage].spec_name, ut.uid);
         if (!applied.ok()) {
           EDNA_LOG(kWarning) << "decay policy \"" << policy.name << "\" stage " << next_stage
                              << " failed for " << key << ": " << applied.status();
           break;
         }
-        ++next_stage;
         ++result.decay_stages_applied;
         result.disguise_ids.push_back(applied->disguise_id);
+        bool was_reset;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          was_reset = reset_gen_[key] != gen;
+          if (!was_reset) {
+            fired_decay_stages_[policy.name][key] = next_stage + 1;
+          }
+        }
+        if (was_reset) {
+          break;  // the user's decay chain restarted under us; stop advancing
+        }
       }
-      fired[key] = next_stage;
     }
   }
 
@@ -107,6 +149,7 @@ void PolicyScheduler::ResetUser(const sql::Value& uid) {
   for (auto& [name, fired] : fired_decay_stages_) {
     fired.erase(key);
   }
+  ++reset_gen_[key];
 }
 
 }  // namespace edna::core

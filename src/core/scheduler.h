@@ -69,9 +69,14 @@ class PolicyScheduler {
   // Applies every policy that is due at clock->Now(). Idempotent per
   // (policy, stage, user): each fires at most once unless reset.
   //
-  // Thread-safe: concurrent Tick/ResetUser/Add* calls serialize on an
-  // internal mutex (timer threads and user-facing reveal paths race in real
-  // deployments), so each (policy, user) still fires at most once.
+  // Thread-safe, with a strict lock discipline: Ticks serialize against each
+  // other on tick_mu_, but the state mutex mu_ (shared with ResetUser/Add*)
+  // is only ever held for map reads/writes — NEVER across an engine call or
+  // an application callback. A callback or engine operation may therefore
+  // call back into ResetUser (a returning user revealing mid-tick) without
+  // deadlocking. A ResetUser that lands between a policy firing and its
+  // bookkeeping wins: the fired marker is not recorded, so the policy can
+  // re-arm (tracked with per-user reset generations).
   StatusOr<TickResult> Tick();
 
   // Forgets that policies fired for `uid` (call when a user returns and
@@ -81,7 +86,8 @@ class PolicyScheduler {
  private:
   static std::string UserKey(const sql::Value& uid) { return uid.ToSqlString(); }
 
-  std::mutex mu_;
+  std::mutex tick_mu_;  // serializes whole Ticks; never held by ResetUser/Add*
+  std::mutex mu_;       // guards the maps below; leaf — no engine/callback under it
   DisguiseEngine* engine_;
   const Clock* clock_;
   std::vector<ExpirationPolicy> expirations_;
@@ -90,6 +96,8 @@ class PolicyScheduler {
   // user key -> highest fired stage index + 1 (decay).
   std::map<std::string, std::set<std::string>> fired_expirations_;
   std::map<std::string, std::map<std::string, size_t>> fired_decay_stages_;
+  // Bumped by ResetUser; lets Tick detect a reset that raced its engine call.
+  std::map<std::string, uint64_t> reset_gen_;
 };
 
 }  // namespace edna::core

@@ -1,12 +1,22 @@
 #include "src/db/database.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
 namespace edna::db {
+
+namespace {
+
+// Per-thread statement counter (see Database::ThreadStatements). One global
+// counter is enough: a thread computes deltas around one operation on one
+// database at a time, so cross-instance bleed cannot occur within a delta.
+thread_local uint64_t tls_statements = 0;
+
+}  // namespace
 
 sql::ColumnResolver MakeRowResolver(const TableSchema& schema, const Row& row) {
   return [&schema, &row](const std::string& table,
@@ -23,45 +33,146 @@ sql::ColumnResolver MakeRowResolver(const TableSchema& schema, const Row& row) {
   };
 }
 
+// --- Locking -----------------------------------------------------------------
+
+size_t Database::StripeOf(const std::string& table) {
+  return std::hash<std::string>{}(table) % kNumStripes;
+}
+
+Database::TableLock::TableLock(const Database* db) : db_(db) {
+  db_->catalog_mu_.lock_shared();
+}
+
+void Database::TableLock::Lock(const std::vector<std::string>& exclusive,
+                               const std::vector<std::string>& shared) {
+  // Collapse table names onto stripes; if a stripe is wanted in both modes,
+  // exclusive wins. Acquisition in ascending stripe order makes every
+  // multi-stripe statement take locks in the same global order (deadlock
+  // freedom); each stripe is acquired at most once (shared_mutex is not
+  // recursive).
+  std::map<size_t, bool> want;
+  for (const std::string& t : exclusive) {
+    want[StripeOf(t)] = true;
+  }
+  for (const std::string& t : shared) {
+    want.emplace(StripeOf(t), false);
+  }
+  held_.reserve(want.size());
+  for (const auto& [stripe, excl] : want) {
+    if (excl) {
+      db_->stripes_[stripe].lock();
+    } else {
+      db_->stripes_[stripe].lock_shared();
+    }
+    held_.emplace_back(stripe, excl);
+  }
+}
+
+void Database::TableLock::LockAllShared() {
+  held_.reserve(kNumStripes);
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    db_->stripes_[i].lock_shared();
+    held_.emplace_back(i, false);
+  }
+}
+
+Database::TableLock::~TableLock() {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    if (it->second) {
+      db_->stripes_[it->first].unlock();
+    } else {
+      db_->stripes_[it->first].unlock_shared();
+    }
+  }
+  db_->catalog_mu_.unlock_shared();
+}
+
+Database::TxnState& Database::Txn() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  return txns_[std::this_thread::get_id()];  // node-stable; owner-thread access after
+}
+
+void Database::CountStatement() const {
+  ++stats_.queries;
+  ++tls_statements;
+}
+
+uint64_t Database::ThreadStatements() { return tls_statements; }
+
+// --- Write intents (first-writer-wins) ---------------------------------------
+
+Status Database::ClaimIntent(TxnState& tx, const std::string& table, RowId id) {
+  std::lock_guard<std::mutex> lock(intents_mu_);
+  auto key = std::make_pair(table, id);
+  auto [it, inserted] = write_intents_.try_emplace(key, std::this_thread::get_id());
+  if (!inserted && it->second != std::this_thread::get_id()) {
+    return Aborted(StrFormat("write conflict: row %llu of \"%s\" is being written by a "
+                             "concurrent transaction",
+                             static_cast<unsigned long long>(id), table.c_str()));
+  }
+  if (inserted) {
+    tx.intents.push_back(std::move(key));
+  }
+  return OkStatus();
+}
+
+void Database::ReleaseIntents(TxnState& tx, size_t from) {
+  if (tx.intents.size() <= from) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(intents_mu_);
+  while (tx.intents.size() > from) {
+    write_intents_.erase(tx.intents.back());
+    tx.intents.pop_back();
+  }
+}
+
 // RAII: wraps a single statement in an implicit transaction when no explicit
 // one is active, so a mid-statement failure (e.g. cascade hitting RESTRICT)
-// leaves the database unchanged.
+// leaves the database unchanged. Statement-scoped intents are released on
+// implicit commit/abort; inside an explicit transaction they are kept until
+// the transaction ends (conservative: a reverted row stays claimed).
 class Database::StatementScope {
  public:
-  explicit StatementScope(Database* db) : db_(db), implicit_(!db->in_txn_) {
+  StatementScope(Database* db, TxnState& tx) : db_(db), tx_(tx), implicit_(!tx.in_txn) {
     if (implicit_) {
-      db_->in_txn_ = true;
+      tx_.in_txn = true;
     }
-    mark_ = db_->undo_log_.size();
+    mark_ = tx_.undo_log.size();
   }
   ~StatementScope() {
-    if (!done_ && implicit_) {
-      // Statement failed: roll back just this statement's effects.
-      db_->ApplyUndo(mark_);
-      db_->in_txn_ = false;
-    } else if (!done_) {
-      // Inside an explicit transaction a failed statement also unwinds its
-      // own partial effects; the enclosing transaction stays open.
-      db_->ApplyUndo(mark_);
+    if (!done_) {
+      // Statement failed: roll back just this statement's effects. Inside an
+      // explicit transaction the enclosing transaction stays open.
+      db_->ApplyUndo(tx_, mark_);
+      if (implicit_) {
+        tx_.in_txn = false;
+        db_->ReleaseIntents(tx_, 0);
+      }
     }
   }
   void Commit() {
     done_ = true;
     if (implicit_) {
-      db_->undo_log_.clear();
-      db_->in_txn_ = false;
+      tx_.undo_log.clear();
+      tx_.in_txn = false;
+      db_->ReleaseIntents(tx_, 0);
     }
   }
 
  private:
   Database* db_;
+  TxnState& tx_;
   bool implicit_;
   bool done_ = false;
   size_t mark_ = 0;
 };
 
+// --- DDL ---------------------------------------------------------------------
+
 Status Database::CreateTable(TableSchema schema) {
   RETURN_IF_ERROR(schema.Validate());
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
   if (tables_.count(schema.name()) > 0) {
     return AlreadyExists("table \"" + schema.name() + "\" already exists");
   }
@@ -80,11 +191,13 @@ Status Database::AdoptSchema(const Schema& schema) {
 }
 
 const Table* Database::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second;
 }
 
 Table* Database::MutableTable(const std::string& name) {
+  // Callers hold the catalog (shared) and the table's stripe already.
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : &it->second;
 }
@@ -101,11 +214,43 @@ std::vector<Database::ChildRef> Database::ChildrenOf(const std::string& parent_t
   return out;
 }
 
+std::vector<std::string> Database::DeleteClosure(const std::string& table) const {
+  std::vector<std::string> closure{table};
+  std::set<std::string> seen{table};
+  for (size_t i = 0; i < closure.size(); ++i) {
+    for (const ChildRef& child : ChildrenOf(closure[i])) {
+      if (seen.insert(child.child_table).second) {
+        closure.push_back(child.child_table);
+      }
+    }
+  }
+  return closure;
+}
+
+std::vector<std::string> Database::ParentTables(const std::string& table) const {
+  std::vector<std::string> out;
+  if (const TableSchema* ts = schema_.FindTable(table); ts != nullptr) {
+    for (const ForeignKeyDef& fk : ts->foreign_keys()) {
+      out.push_back(fk.parent_table);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Database::ChildTables(const std::string& table) const {
+  std::vector<std::string> out;
+  for (const ChildRef& child : ChildrenOf(table)) {
+    out.push_back(child.child_table);
+  }
+  return out;
+}
+
 Status Database::CheckFkTarget(const ForeignKeyDef& fk, const sql::Value& v) const {
   if (v.is_null()) {
     return OkStatus();
   }
-  const Table* parent = FindTable(fk.parent_table);
+  auto it = tables_.find(fk.parent_table);
+  const Table* parent = it == tables_.end() ? nullptr : &it->second;
   if (parent == nullptr) {
     return Internal("FK parent table \"" + fk.parent_table + "\" missing");
   }
@@ -127,24 +272,24 @@ Status Database::CheckRowFks(const TableSchema& schema, const Row& row) const {
   return OkStatus();
 }
 
-void Database::LogInsert(const std::string& table, RowId id) {
+void Database::LogInsert(TxnState& tx, const std::string& table, RowId id) {
   UndoEntry e;
   e.kind = UndoEntry::Kind::kInsert;
   e.table = table;
   e.id = id;
-  undo_log_.push_back(std::move(e));
+  tx.undo_log.push_back(std::move(e));
 }
 
-void Database::LogDelete(const std::string& table, RowId id, Row row) {
+void Database::LogDelete(TxnState& tx, const std::string& table, RowId id, Row row) {
   UndoEntry e;
   e.kind = UndoEntry::Kind::kDelete;
   e.table = table;
   e.id = id;
   e.row = std::move(row);
-  undo_log_.push_back(std::move(e));
+  tx.undo_log.push_back(std::move(e));
 }
 
-void Database::LogUpdate(const std::string& table, RowId id, size_t col_idx,
+void Database::LogUpdate(TxnState& tx, const std::string& table, RowId id, size_t col_idx,
                          sql::Value old_value) {
   UndoEntry e;
   e.kind = UndoEntry::Kind::kUpdate;
@@ -152,13 +297,13 @@ void Database::LogUpdate(const std::string& table, RowId id, size_t col_idx,
   e.id = id;
   e.col_idx = col_idx;
   e.old_value = std::move(old_value);
-  undo_log_.push_back(std::move(e));
+  tx.undo_log.push_back(std::move(e));
 }
 
-void Database::ApplyUndo(size_t from_mark) {
-  while (undo_log_.size() > from_mark) {
-    UndoEntry e = std::move(undo_log_.back());
-    undo_log_.pop_back();
+void Database::ApplyUndo(TxnState& tx, size_t from_mark) {
+  while (tx.undo_log.size() > from_mark) {
+    UndoEntry e = std::move(tx.undo_log.back());
+    tx.undo_log.pop_back();
     Table* t = MutableTable(e.table);
     if (t == nullptr) {
       EDNA_LOG(kError) << "undo references missing table " << e.table;
@@ -190,41 +335,53 @@ void Database::ApplyUndo(size_t from_mark) {
   }
 }
 
+// --- DML ---------------------------------------------------------------------
+
 StatusOr<RowId> Database::Insert(const std::string& table, Row row) {
+  TableLock lock(this);
+  lock.Lock({table}, ParentTables(table));
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  StatementScope scope(this);
-  ++stats_.queries;
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();
   RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
   ASSIGN_OR_RETURN(RowId id, t->Insert(std::move(row)));
   ++stats_.rows_inserted;
-  LogInsert(table, id);
+  LogInsert(tx, table, id);
+  // Claim the fresh row so a concurrent transaction cannot delete or update
+  // it before this one commits (it can only see it through reads).
+  RETURN_IF_ERROR(ClaimIntent(tx, table, id));
   scope.Commit();
   return id;
 }
 
 StatusOr<RowId> Database::InsertValues(const std::string& table,
                                        const std::map<std::string, sql::Value>& values) {
-  const Table* t = FindTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  const TableSchema& schema = t->schema();
-  Row row(schema.num_columns(), sql::Value::Null());
-  for (const auto& [name, value] : values) {
-    int idx = schema.ColumnIndex(name);
-    if (idx < 0) {
-      return NotFound("unknown column \"" + name + "\" in table \"" + table + "\"");
+  Row row;
+  {
+    std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return NotFound("no table \"" + table + "\"");
     }
-    row[static_cast<size_t>(idx)] = value;
-  }
-  // Fill defaults for unspecified columns.
-  for (size_t i = 0; i < schema.num_columns(); ++i) {
-    const ColumnDef& col = schema.columns()[i];
-    if (values.count(col.name) == 0 && col.default_value.has_value()) {
-      row[i] = *col.default_value;
+    const TableSchema& schema = it->second.schema();
+    row.assign(schema.num_columns(), sql::Value::Null());
+    for (const auto& [name, value] : values) {
+      int idx = schema.ColumnIndex(name);
+      if (idx < 0) {
+        return NotFound("unknown column \"" + name + "\" in table \"" + table + "\"");
+      }
+      row[static_cast<size_t>(idx)] = value;
+    }
+    // Fill defaults for unspecified columns.
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      const ColumnDef& col = schema.columns()[i];
+      if (values.count(col.name) == 0 && col.default_value.has_value()) {
+        row[i] = *col.default_value;
+      }
     }
   }
   return Insert(table, std::move(row));
@@ -302,11 +459,14 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
 
 StatusOr<std::vector<RowRef>> Database::Select(const std::string& table, const sql::Expr* pred,
                                                const sql::ParamMap& params) const {
-  const Table* t = FindTable(table);
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  ++stats_.queries;
+  CountStatement();
   ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
   std::vector<RowRef> out;
   out.reserve(ids.size());
@@ -316,13 +476,39 @@ StatusOr<std::vector<RowRef>> Database::Select(const std::string& table, const s
   return out;
 }
 
-StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred,
-                                 const sql::ParamMap& params) const {
-  const Table* t = FindTable(table);
+StatusOr<std::vector<Row>> Database::SelectRows(const std::string& table,
+                                                const sql::Expr* pred,
+                                                const sql::ParamMap& params) const {
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  ++stats_.queries;
+  CountStatement();
+  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+  std::vector<Row> out;
+  out.reserve(ids.size());
+  for (RowId id : ids) {
+    const Row* row = t->Find(id);
+    if (row != nullptr) {
+      out.push_back(*row);
+    }
+  }
+  return out;
+}
+
+StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred,
+                                 const sql::ParamMap& params) const {
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
+  if (t == nullptr) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  CountStatement();
   ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
   return ids.size();
 }
@@ -330,6 +516,13 @@ StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred
 StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pred,
                                   const sql::ParamMap& params,
                                   const std::vector<Assignment>& assignments) {
+  TableLock lock(this);
+  {
+    std::vector<std::string> shared = ParentTables(table);
+    std::vector<std::string> children = ChildTables(table);
+    shared.insert(shared.end(), children.begin(), children.end());
+    lock.Lock({table}, shared);
+  }
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
@@ -346,8 +539,9 @@ StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pre
     col_indices.push_back(static_cast<size_t>(idx));
   }
 
-  StatementScope scope(this);
-  ++stats_.queries;  // the SELECT phase
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();  // the SELECT phase
   ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
 
   size_t updated = 0;
@@ -365,10 +559,10 @@ StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pre
       new_values.push_back(std::move(v));
     }
     for (size_t k = 0; k < assignments.size(); ++k) {
-      RETURN_IF_ERROR(SetColumnInTxn(table, t, id, col_indices[k], std::move(new_values[k])));
+      RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, col_indices[k], std::move(new_values[k])));
     }
     ++updated;
-    ++stats_.queries;  // one UPDATE statement per row, as Edna issues them
+    CountStatement();  // one UPDATE statement per row, as Edna issues them
   }
   scope.Commit();
   return updated;
@@ -376,10 +570,11 @@ StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pre
 
 // Private helper is declared inline here: performs an FK-checked single
 // column write assuming a StatementScope/transaction is already active.
-Status Database::SetColumnInTxn(const std::string& table_name, Table* t, RowId id,
-                                size_t col_idx, sql::Value value) {
+Status Database::SetColumnInTxn(TxnState& tx, const std::string& table_name, Table* t,
+                                RowId id, size_t col_idx, sql::Value value) {
   const TableSchema& schema = t->schema();
   const ColumnDef& col = schema.columns()[col_idx];
+  RETURN_IF_ERROR(ClaimIntent(tx, table_name, id));
   if (write_guard_) {
     RETURN_IF_ERROR(write_guard_(table_name, id, col.name));
   }
@@ -401,7 +596,8 @@ Status Database::SetColumnInTxn(const std::string& table_name, Table* t, RowId i
         if (child.fk.parent_column != col.name) {
           continue;
         }
-        const Table* ct = FindTable(child.child_table);
+        auto cit = tables_.find(child.child_table);
+        const Table* ct = cit == tables_.end() ? nullptr : &cit->second;
         std::vector<RowId> kids;
         ++stats_.index_lookups;
         ct->IndexLookup(child.fk.column, old, &kids);
@@ -415,24 +611,32 @@ Status Database::SetColumnInTxn(const std::string& table_name, Table* t, RowId i
   }
   ASSIGN_OR_RETURN(sql::Value old, t->UpdateColumn(id, col_idx, std::move(value)));
   ++stats_.rows_updated;
-  LogUpdate(table_name, id, col_idx, std::move(old));
+  LogUpdate(tx, table_name, id, col_idx, std::move(old));
   return OkStatus();
 }
 
 StatusOr<size_t> Database::BatchSetColumns(const std::string& table,
                                            const std::vector<BatchUpdate>& updates) {
+  TableLock lock(this);
+  {
+    std::vector<std::string> shared = ParentTables(table);
+    std::vector<std::string> children = ChildTables(table);
+    shared.insert(shared.end(), children.begin(), children.end());
+    lock.Lock({table}, shared);
+  }
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  StatementScope scope(this);
-  ++stats_.queries;  // one multi-row statement
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();  // one multi-row statement
   for (const BatchUpdate& u : updates) {
     int idx = t->schema().ColumnIndex(u.column);
     if (idx < 0) {
       return NotFound("unknown column \"" + u.column + "\" in table \"" + table + "\"");
     }
-    RETURN_IF_ERROR(SetColumnInTxn(table, t, u.id, static_cast<size_t>(idx), u.value));
+    RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, u.id, static_cast<size_t>(idx), u.value));
   }
   scope.Commit();
   return updates.size();
@@ -440,30 +644,35 @@ StatusOr<size_t> Database::BatchSetColumns(const std::string& table,
 
 StatusOr<size_t> Database::Delete(const std::string& table, const sql::Expr* pred,
                                   const sql::ParamMap& params) {
+  TableLock lock(this);
+  lock.Lock(DeleteClosure(table), {});
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  StatementScope scope(this);
-  ++stats_.queries;
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();
   ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
   size_t deleted = 0;
   for (RowId id : ids) {
     if (!t->Contains(id)) {
       continue;  // removed by an earlier cascade in this statement
     }
-    RETURN_IF_ERROR(DeleteRowInternal(table, id, 0));
+    RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
     ++deleted;
-    ++stats_.queries;  // one DELETE statement per row
+    CountStatement();  // one DELETE statement per row
   }
   scope.Commit();
   return deleted;
 }
 
-Status Database::DeleteRowInternal(const std::string& table, RowId id, int depth) {
+Status Database::DeleteRowInternal(TxnState& tx, const std::string& table, RowId id,
+                                   int depth) {
   if (depth > kMaxCascadeDepth) {
     return IntegrityViolation("cascade depth limit exceeded (cycle in FK graph?)");
   }
+  RETURN_IF_ERROR(ClaimIntent(tx, table, id));
   if (write_guard_) {
     RETURN_IF_ERROR(write_guard_(table, id, ""));
   }
@@ -509,18 +718,19 @@ Status Database::DeleteRowInternal(const std::string& table, RowId id, int depth
         case FkAction::kCascade:
           for (RowId kid : kids) {
             if (ct->Contains(kid)) {
-              RETURN_IF_ERROR(DeleteRowInternal(child.child_table, kid, depth + 1));
+              RETURN_IF_ERROR(DeleteRowInternal(tx, child.child_table, kid, depth + 1));
             }
           }
           break;
         case FkAction::kSetNull: {
           int col_idx = ct->schema().ColumnIndex(child.fk.column);
           for (RowId kid : kids) {
+            RETURN_IF_ERROR(ClaimIntent(tx, child.child_table, kid));
             ASSIGN_OR_RETURN(sql::Value old,
                              ct->UpdateColumn(kid, static_cast<size_t>(col_idx),
                                               sql::Value::Null()));
             ++stats_.rows_updated;
-            LogUpdate(child.child_table, kid, static_cast<size_t>(col_idx), std::move(old));
+            LogUpdate(tx, child.child_table, kid, static_cast<size_t>(col_idx), std::move(old));
           }
           break;
         }
@@ -532,13 +742,16 @@ Status Database::DeleteRowInternal(const std::string& table, RowId id, int depth
 
   ASSIGN_OR_RETURN(Row removed, t->Erase(id));
   ++stats_.rows_deleted;
-  LogDelete(table, id, std::move(removed));
+  LogDelete(tx, table, id, std::move(removed));
   return OkStatus();
 }
 
 StatusOr<sql::Value> Database::GetColumn(const std::string& table, RowId id,
                                          const std::string& column) const {
-  const Table* t = FindTable(table);
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
@@ -556,7 +769,10 @@ StatusOr<sql::Value> Database::GetColumn(const std::string& table, RowId id,
 }
 
 StatusOr<Row> Database::GetRow(const std::string& table, RowId id) const {
-  const Table* t = FindTable(table);
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
@@ -569,8 +785,22 @@ StatusOr<Row> Database::GetRow(const std::string& table, RowId id) const {
   return *row;
 }
 
+bool Database::RowExists(const std::string& table, RowId id) const {
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  return it != tables_.end() && it->second.Contains(id);
+}
+
 Status Database::SetColumn(const std::string& table, RowId id, const std::string& column,
                            sql::Value value) {
+  TableLock lock(this);
+  {
+    std::vector<std::string> shared = ParentTables(table);
+    std::vector<std::string> children = ChildTables(table);
+    shared.insert(shared.end(), children.begin(), children.end());
+    lock.Lock({table}, shared);
+  }
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
@@ -579,37 +809,47 @@ Status Database::SetColumn(const std::string& table, RowId id, const std::string
   if (idx < 0) {
     return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
   }
-  StatementScope scope(this);
-  ++stats_.queries;
-  RETURN_IF_ERROR(SetColumnInTxn(table, t, id, static_cast<size_t>(idx), std::move(value)));
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();
+  RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, static_cast<size_t>(idx), std::move(value)));
   scope.Commit();
   return OkStatus();
 }
 
 Status Database::DeleteRow(const std::string& table, RowId id) {
-  StatementScope scope(this);
-  ++stats_.queries;
-  RETURN_IF_ERROR(DeleteRowInternal(table, id, 0));
+  TableLock lock(this);
+  lock.Lock(DeleteClosure(table), {});
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();
+  RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
   scope.Commit();
   return OkStatus();
 }
 
 Status Database::RestoreRow(const std::string& table, RowId id, Row row) {
+  TableLock lock(this);
+  lock.Lock({table}, ParentTables(table));
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
-  StatementScope scope(this);
-  ++stats_.queries;
+  TxnState& tx = Txn();
+  StatementScope scope(this, tx);
+  CountStatement();
+  RETURN_IF_ERROR(ClaimIntent(tx, table, id));
   RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
   RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
   ++stats_.rows_inserted;
-  LogInsert(table, id);
+  LogInsert(tx, table, id);
   scope.Commit();
   return OkStatus();
 }
 
 Status Database::BulkLoadRow(const std::string& table, RowId id, Row row) {
+  TableLock lock(this);
+  lock.Lock({table}, {});
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
@@ -620,6 +860,8 @@ Status Database::BulkLoadRow(const std::string& table, RowId id, Row row) {
 }
 
 Status Database::EnsureAutoCounterAtLeast(const std::string& table, int64_t v) {
+  TableLock lock(this);
+  lock.Lock({table}, {});
   Table* t = MutableTable(table);
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
@@ -629,7 +871,10 @@ Status Database::EnsureAutoCounterAtLeast(const std::string& table, int64_t v) {
 }
 
 StatusOr<RowId> Database::LookupPk(const std::string& table, const PkKey& key) const {
-  const Table* t = FindTable(table);
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  const Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
@@ -639,10 +884,12 @@ StatusOr<RowId> Database::LookupPk(const std::string& table, const PkKey& key) c
 
 Status Database::AddColumnToTable(const std::string& table, ColumnDef col,
                                   sql::Value fill) {
-  if (in_txn_) {
+  if (InTransaction()) {
     return FailedPrecondition("cannot evolve the schema inside a transaction");
   }
-  Table* t = MutableTable(table);
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+  auto it = tables_.find(table);
+  Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
@@ -655,70 +902,143 @@ Status Database::AddColumnToTable(const std::string& table, ColumnDef col,
     }
     col.default_value = sql::Value::Null();
   }
-  TableSchema* catalog = schema_.FindMutableTable(table);
+  TableSchema* catalog_entry = schema_.FindMutableTable(table);
   RETURN_IF_ERROR(t->AddColumn(col, fill));
-  catalog->AddColumn(std::move(col));
+  catalog_entry->AddColumn(std::move(col));
   return OkStatus();
 }
 
 Status Database::CreateIndex(const std::string& table, const std::string& column) {
-  Table* t = MutableTable(table);
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+  auto it = tables_.find(table);
+  Table* t = it == tables_.end() ? nullptr : &it->second;
   if (t == nullptr) {
     return NotFound("no table \"" + table + "\"");
   }
   RETURN_IF_ERROR(t->BuildIndex(column));
-  TableSchema* catalog = schema_.FindMutableTable(table);
-  if (!catalog->HasColumn(column)) {
+  TableSchema* catalog_entry = schema_.FindMutableTable(table);
+  if (!catalog_entry->HasColumn(column)) {
     return Internal("catalog desync after index build");
   }
   bool listed = false;
-  for (const IndexDef& idx : catalog->indexes()) {
+  for (const IndexDef& idx : catalog_entry->indexes()) {
     if (idx.column == column) {
       listed = true;
     }
   }
   if (!listed) {
-    catalog->AddIndex(column);
+    catalog_entry->AddIndex(column);
   }
   return OkStatus();
 }
 
+// --- Transactions ------------------------------------------------------------
+
 Status Database::Begin() {
   EDNA_FAIL_POINT(failpoints::kDbBegin);
-  if (in_txn_) {
+  TxnState& tx = Txn();
+  if (tx.in_txn) {
     return FailedPrecondition("transaction already active");
   }
-  in_txn_ = true;
-  undo_log_.clear();
+  tx.in_txn = true;
+  tx.undo_log.clear();
   return OkStatus();
 }
 
 Status Database::Commit() {
   EDNA_FAIL_POINT(failpoints::kDbCommit);
-  if (!in_txn_) {
+  TxnState& tx = Txn();
+  if (!tx.in_txn) {
     return FailedPrecondition("no active transaction");
   }
-  in_txn_ = false;
-  undo_log_.clear();
+  tx.in_txn = false;
+  tx.undo_log.clear();
+  ReleaseIntents(tx, 0);
   return OkStatus();
 }
 
 Status Database::Rollback() {
   EDNA_FAIL_POINT(failpoints::kDbRollback);
-  if (!in_txn_) {
+  TxnState& tx = Txn();
+  if (!tx.in_txn) {
     return FailedPrecondition("no active transaction");
   }
-  ApplyUndo(0);
-  in_txn_ = false;
+  {
+    std::vector<std::string> touched;
+    for (const UndoEntry& e : tx.undo_log) {
+      touched.push_back(e.table);
+    }
+    TableLock lock(this);
+    lock.Lock(touched, {});
+    ApplyUndo(tx, 0);
+  }
+  tx.in_txn = false;
+  ReleaseIntents(tx, 0);
   return OkStatus();
 }
 
+bool Database::InTransaction() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = txns_.find(std::this_thread::get_id());
+  return it != txns_.end() && it->second.in_txn;
+}
+
+bool Database::AnyTransactionActive() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  for (const auto& [tid, tx] : txns_) {
+    if (tx.in_txn) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Database::RollbackAll() {
+  // Collect every open transaction's state first (txn_mu_ is below the
+  // stripes in the hierarchy, so it cannot be held while locking them).
+  std::vector<TxnState*> open;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    for (auto& [tid, tx] : txns_) {
+      if (tx.in_txn) {
+        open.push_back(&tx);
+      }
+    }
+  }
+  if (open.empty()) {
+    return OkStatus();
+  }
+  TableLock lock(this);
+  {
+    std::vector<std::string> touched;
+    for (TxnState* tx : open) {
+      for (const UndoEntry& e : tx->undo_log) {
+        touched.push_back(e.table);
+      }
+    }
+    lock.Lock(touched, {});
+  }
+  // Intents keep concurrent transactions' writes disjoint, so the undo of
+  // one frozen transaction never collides with another's.
+  for (TxnState* tx : open) {
+    ApplyUndo(*tx, 0);
+    tx->in_txn = false;
+    ReleaseIntents(*tx, 0);
+  }
+  return OkStatus();
+}
+
+// --- Integrity & maintenance -------------------------------------------------
+
 Status Database::CheckIntegrity() const {
+  TableLock lock(this);
+  lock.LockAllShared();
   for (const auto& [name, table] : tables_) {
     RETURN_IF_ERROR(table.CheckIndexConsistency());
     const TableSchema& schema = table.schema();
     for (const ForeignKeyDef& fk : schema.foreign_keys()) {
-      const Table* parent = FindTable(fk.parent_table);
+      auto pit = tables_.find(fk.parent_table);
+      const Table* parent = pit == tables_.end() ? nullptr : &pit->second;
       if (parent == nullptr) {
         return IntegrityViolation("missing parent table \"" + fk.parent_table + "\"");
       }
@@ -746,6 +1066,8 @@ Status Database::CheckIntegrity() const {
 }
 
 std::unique_ptr<Database> Database::Snapshot() const {
+  TableLock lock(this);
+  lock.LockAllShared();
   auto copy = std::make_unique<Database>();
   copy->schema_ = schema_;
   for (const auto& [name, table] : tables_) {
@@ -755,11 +1077,23 @@ std::unique_ptr<Database> Database::Snapshot() const {
 }
 
 size_t Database::TotalRows() const {
+  TableLock lock(this);
+  lock.LockAllShared();
   size_t total = 0;
   for (const auto& [name, table] : tables_) {
     total += table.num_rows();
   }
   return total;
+}
+
+void Database::SetWriteGuard(WriteGuard guard) {
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+  write_guard_ = std::move(guard);
+}
+
+bool Database::HasWriteGuard() const {
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  return static_cast<bool>(write_guard_);
 }
 
 }  // namespace edna::db

@@ -9,14 +9,36 @@
 //    atomicity, implemented with an undo log,
 //  * query statistics (statement and row-touch counters) used by the paper's
 //    linear-scaling experiment,
-//  * whole-database snapshot/restore for benchmarks.
+//  * whole-database snapshot/restore for benchmarks,
+//  * thread safety for parallel batch disguising (see DESIGN.md, "Parallel
+//    disguising"): striped shared_mutex locking at table granularity, a
+//    per-thread transaction/undo state, and first-writer-wins row intents
+//    that turn write-write conflicts into retryable kAborted statuses.
+//
+// Concurrency model in one paragraph: every statement acquires the stripes
+// covering the tables it touches — shared for reads, exclusive for writes —
+// in ascending stripe order (deadlock-free), holds them for the statement,
+// and releases them at statement end. Transactions therefore do NOT hold
+// table locks between statements; isolation across transactions comes from
+// row-level write intents: the first transaction to write a row owns it
+// until commit/rollback, and any other transaction writing the same row
+// gets kAborted immediately (no blocking, hence no deadlock). Readers are
+// never blocked by intents, so reads are "read committed at best" — the
+// disguise engine's batch workloads partition writes by user, which is what
+// makes this sufficient (see DESIGN.md for the precise claim).
 #ifndef SRC_DB_DATABASE_H_
 #define SRC_DB_DATABASE_H_
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -30,14 +52,31 @@ namespace edna::db {
 // Statement / row-touch counters. "Queries" counts logical statements the
 // way a SQL client would issue them: one per select/insert/delete statement
 // and one per row-level update, mirroring how Edna talks to MySQL.
+//
+// Counters are atomics so concurrent statements account exactly (no lost
+// increments); the copy operations take a relaxed snapshot so existing
+// by-value uses (`DbStats before = db.stats();`) keep compiling.
 struct DbStats {
-  uint64_t queries = 0;
-  uint64_t rows_read = 0;
-  uint64_t rows_inserted = 0;
-  uint64_t rows_updated = 0;
-  uint64_t rows_deleted = 0;
-  uint64_t index_lookups = 0;
-  uint64_t full_scans = 0;
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> rows_read{0};
+  std::atomic<uint64_t> rows_inserted{0};
+  std::atomic<uint64_t> rows_updated{0};
+  std::atomic<uint64_t> rows_deleted{0};
+  std::atomic<uint64_t> index_lookups{0};
+  std::atomic<uint64_t> full_scans{0};
+
+  DbStats() = default;
+  DbStats(const DbStats& o) { *this = o; }
+  DbStats& operator=(const DbStats& o) {
+    queries = o.queries.load(std::memory_order_relaxed);
+    rows_read = o.rows_read.load(std::memory_order_relaxed);
+    rows_inserted = o.rows_inserted.load(std::memory_order_relaxed);
+    rows_updated = o.rows_updated.load(std::memory_order_relaxed);
+    rows_deleted = o.rows_deleted.load(std::memory_order_relaxed);
+    index_lookups = o.index_lookups.load(std::memory_order_relaxed);
+    full_scans = o.full_scans.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = DbStats{}; }
 };
@@ -54,6 +93,9 @@ struct Assignment {
 // scope, unwinds the enclosing statement). Used by the disguise engine's
 // strict mode to prohibit application updates to disguised data (§7).
 // `column` is empty for whole-row operations (delete/restore).
+//
+// The guard runs while the statement's table locks are held; it must not
+// call back into the Database (lock hierarchy: stripes before guard state).
 using WriteGuard = std::function<Status(const std::string& table, RowId id,
                                         const std::string& column)>;
 
@@ -65,6 +107,8 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   // --- DDL -----------------------------------------------------------------
+  // DDL takes the catalog lock exclusively, so it must not run concurrently
+  // with itself from inside a transaction (AddColumnToTable checks).
 
   // Adds a table. FK targets must already exist or arrive before first use;
   // Validate() checks the full catalog.
@@ -84,6 +128,11 @@ class Database {
 
   const Schema& schema() const { return schema_; }
   bool HasTable(const std::string& name) const { return FindTable(name) != nullptr; }
+
+  // Raw table access. The returned pointer is stable (tables are never
+  // dropped), but reading rows through it is NOT synchronized against
+  // concurrent writers; concurrent callers must use the locked row APIs
+  // (RowExists / GetRow / Select) instead.
   const Table* FindTable(const std::string& name) const;
 
   // --- DML -----------------------------------------------------------------
@@ -97,9 +146,17 @@ class Database {
                                const std::map<std::string, sql::Value>& values);
 
   // Rows matching `pred` (nullptr = all rows). Results reference live storage
-  // and are invalidated by any mutation.
+  // and are invalidated by any mutation of the same rows — under concurrency
+  // only the owning transaction's rows are stable (write intents keep other
+  // writers out of them). Readers racing with arbitrary writers should use
+  // SelectRows instead.
   StatusOr<std::vector<RowRef>> Select(const std::string& table, const sql::Expr* pred,
                                        const sql::ParamMap& params) const;
+
+  // Like Select but returns row COPIES made while the table lock is held,
+  // so the result stays valid regardless of concurrent writers.
+  StatusOr<std::vector<Row>> SelectRows(const std::string& table, const sql::Expr* pred,
+                                        const sql::ParamMap& params) const;
 
   // Count of matching rows without materializing.
   StatusOr<size_t> Count(const std::string& table, const sql::Expr* pred,
@@ -133,6 +190,10 @@ class Database {
                                  const std::string& column) const;
   StatusOr<Row> GetRow(const std::string& table, RowId id) const;
 
+  // Locked existence probe (safe replacement for FindTable()->Contains()
+  // under concurrency). False for unknown tables.
+  bool RowExists(const std::string& table, RowId id) const;
+
   // Single-column write with FK validation and undo logging.
   Status SetColumn(const std::string& table, RowId id, const std::string& column,
                    sql::Value value);
@@ -156,11 +217,20 @@ class Database {
 
   // --- Transactions ----------------------------------------------------------
 
-  // Explicit transaction; nesting is not supported.
+  // Explicit transaction, scoped to the CALLING THREAD; nesting is not
+  // supported. Each thread may run its own transaction concurrently.
   Status Begin();
   Status Commit();
   Status Rollback();
-  bool InTransaction() const { return in_txn_; }
+  bool InTransaction() const;
+
+  // True if ANY thread has an open transaction (recovery/audit hook).
+  bool AnyTransactionActive() const;
+
+  // Recovery hook: rolls back every thread's open transaction, including
+  // those of worker threads frozen by a simulated crash. Only call when no
+  // other thread is actively executing statements.
+  Status RollbackAll();
 
   // --- Integrity & maintenance ----------------------------------------------
 
@@ -177,10 +247,17 @@ class Database {
   const DbStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Monotonic count of logical statements issued BY THE CALLING THREAD
+  // across all Database instances. Deltas around an operation give an exact
+  // per-operation statement count even while other threads run (the global
+  // stats().queries delta would fold their traffic in).
+  static uint64_t ThreadStatements();
+
   // Installs (or clears, with nullptr) the write guard. At most one guard;
-  // the engine toggles it around its own operations.
-  void SetWriteGuard(WriteGuard guard) { write_guard_ = std::move(guard); }
-  bool HasWriteGuard() const { return static_cast<bool>(write_guard_); }
+  // the engine toggles it around its own operations. Excludes concurrent
+  // statements via the catalog lock.
+  void SetWriteGuard(WriteGuard guard);
+  bool HasWriteGuard() const;
 
  private:
   struct UndoEntry {
@@ -192,6 +269,18 @@ class Database {
     sql::Value old_value; // kUpdate
   };
 
+  // Per-thread transaction state. Entries live in a node-stable map keyed by
+  // thread id; after lookup only the owning thread touches its entry (except
+  // RollbackAll, which runs while workers are quiescent).
+  struct TxnState {
+    bool in_txn = false;
+    std::vector<UndoEntry> undo_log;
+    // Row intents this transaction claimed (released at txn end).
+    std::vector<std::pair<std::string, RowId>> intents;
+  };
+
+  TxnState& Txn() const;
+
   Table* MutableTable(const std::string& name);
 
   // Children referencing `parent_table`: (child table name, fk).
@@ -201,6 +290,15 @@ class Database {
   };
   std::vector<ChildRef> ChildrenOf(const std::string& parent_table) const;
 
+  // Transitive child closure of `table` along FK edges (tables a delete in
+  // `table` may touch through CASCADE / SET NULL), including `table` itself.
+  std::vector<std::string> DeleteClosure(const std::string& table) const;
+
+  // FK parent tables of `table` (read during FK checks on writes).
+  std::vector<std::string> ParentTables(const std::string& table) const;
+  // Child tables referencing `table` (read during PK-change checks).
+  std::vector<std::string> ChildTables(const std::string& table) const;
+
   // FK existence check for one value (non-NULL) against the parent table.
   Status CheckFkTarget(const ForeignKeyDef& fk, const sql::Value& v) const;
 
@@ -208,21 +306,54 @@ class Database {
   Status CheckRowFks(const TableSchema& schema, const Row& row) const;
 
   // Recursive delete honoring FK actions; appends undo entries.
-  Status DeleteRowInternal(const std::string& table, RowId id, int depth);
+  Status DeleteRowInternal(TxnState& tx, const std::string& table, RowId id, int depth);
 
   // FK-checked single-column write; assumes a transaction scope is active.
-  Status SetColumnInTxn(const std::string& table_name, Table* t, RowId id, size_t col_idx,
-                        sql::Value value);
+  Status SetColumnInTxn(TxnState& tx, const std::string& table_name, Table* t, RowId id,
+                        size_t col_idx, sql::Value value);
 
   // Predicate evaluation: builds the ColumnResolver for (schema,row).
   StatusOr<std::vector<RowId>> MatchRows(const Table& table, const sql::Expr* pred,
                                          const sql::ParamMap& params) const;
 
   // Undo-log helpers.
-  void LogInsert(const std::string& table, RowId id);
-  void LogDelete(const std::string& table, RowId id, Row row);
-  void LogUpdate(const std::string& table, RowId id, size_t col_idx, sql::Value old_value);
-  void ApplyUndo(size_t from_mark);
+  void LogInsert(TxnState& tx, const std::string& table, RowId id);
+  void LogDelete(TxnState& tx, const std::string& table, RowId id, Row row);
+  void LogUpdate(TxnState& tx, const std::string& table, RowId id, size_t col_idx,
+                 sql::Value old_value);
+  void ApplyUndo(TxnState& tx, size_t from_mark);
+
+  // --- Row write intents (first-writer-wins) --------------------------------
+
+  // Claims (table,id) for the calling thread's transaction. kAborted if
+  // another live transaction holds it. Idempotent per transaction.
+  Status ClaimIntent(TxnState& tx, const std::string& table, RowId id);
+  // Releases every intent the transaction claimed past index `from`.
+  void ReleaseIntents(TxnState& tx, size_t from);
+
+  // --- Locking ---------------------------------------------------------------
+
+  static size_t StripeOf(const std::string& table);
+
+  // RAII statement lock: catalog shared + the stripes covering the named
+  // tables, exclusive/shared as requested, acquired in ascending stripe
+  // order. Construct, then call Lock() exactly once (the two-phase shape
+  // lets the lock-set computation read the catalog safely).
+  class TableLock {
+   public:
+    explicit TableLock(const Database* db);
+    ~TableLock();
+    void Lock(const std::vector<std::string>& exclusive,
+              const std::vector<std::string>& shared);
+    void LockAllShared();     // CheckIntegrity / Snapshot / TotalRows
+
+   private:
+    const Database* db_;
+    std::vector<std::pair<size_t, bool>> held_;  // (stripe, exclusive), ascending
+  };
+
+  // Counts one logical statement (global atomic + calling thread's counter).
+  void CountStatement() const;
 
   // Implicit-transaction guard for single statements.
   class StatementScope;
@@ -231,8 +362,18 @@ class Database {
   std::map<std::string, Table> tables_;
   mutable DbStats stats_;
 
-  bool in_txn_ = false;
-  std::vector<UndoEntry> undo_log_;
+  // Lock hierarchy (acquire strictly downward):
+  //   catalog_mu_  ->  stripes_[i] (ascending i)  ->  txn_mu_ / intents_mu_
+  static constexpr size_t kNumStripes = 32;
+  mutable std::shared_mutex catalog_mu_;
+  mutable std::array<std::shared_mutex, kNumStripes> stripes_;
+
+  mutable std::mutex txn_mu_;
+  mutable std::unordered_map<std::thread::id, TxnState> txns_;
+
+  mutable std::mutex intents_mu_;
+  std::map<std::pair<std::string, RowId>, std::thread::id> write_intents_;
+
   WriteGuard write_guard_;
 
   static constexpr int kMaxCascadeDepth = 32;

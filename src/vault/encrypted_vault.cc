@@ -14,12 +14,18 @@ std::string EncryptedVault::RenderOwner(const sql::Value& uid) {
 }
 
 void EncryptedVault::RegisterUser(const sql::Value& uid, const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
   fingerprints_[RenderOwner(uid)] = fingerprint;
 }
 
-const std::string* EncryptedVault::FindFingerprint(const sql::Value& uid) const {
+const std::string* EncryptedVault::FindFingerprintLocked(const sql::Value& uid) const {
   auto it = fingerprints_.find(RenderOwner(uid));
   return it == fingerprints_.end() ? nullptr : &it->second;
+}
+
+const std::string* EncryptedVault::FindFingerprint(const sql::Value& uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindFingerprintLocked(uid);
 }
 
 StatusOr<std::vector<uint8_t>> EncryptedVault::KeyFor(const sql::Value& uid) {
@@ -32,7 +38,7 @@ StatusOr<std::vector<uint8_t>> EncryptedVault::KeyFor(const sql::Value& uid) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> key, keys_(uid));
   // Verify against the registered fingerprint when one exists, so a wrong
   // key fails loudly instead of producing a MAC error deep in a reveal.
-  const std::string* fp = FindFingerprint(uid);
+  const std::string* fp = FindFingerprintLocked(uid);
   if (fp != nullptr && crypto::KeyFingerprint(key) != *fp) {
     return PermissionDenied("supplied key does not match registered fingerprint for " +
                             uid.ToSqlString());
@@ -42,6 +48,7 @@ StatusOr<std::vector<uint8_t>> EncryptedVault::KeyFor(const sql::Value& uid) {
 
 Status EncryptedVault::Store(const RevealRecord& record) {
   EDNA_FAIL_POINT(failpoints::kVaultStore);
+  std::lock_guard<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(record.user_id));
   Entry e;
   e.disguise_id = record.disguise_id;
@@ -70,6 +77,7 @@ StatusOr<RevealRecord> EncryptedVault::OpenEntry(const Entry& e,
 }
 
 StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForUser(const sql::Value& uid) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   std::vector<RevealRecord> out;
   bool any = false;
@@ -90,6 +98,7 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForUser(const sql::Valu
 }
 
 StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForDisguise(uint64_t disguise_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   std::vector<RevealRecord> out;
   for (const Entry& e : entries_) {
@@ -105,6 +114,7 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForDisguise(uint64_t di
 }
 
 StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchGlobal() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   std::vector<RevealRecord> out;
   for (const Entry& e : entries_) {
@@ -120,11 +130,13 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchGlobal() {
 
 Status EncryptedVault::Remove(uint64_t disguise_id) {
   EDNA_FAIL_POINT(failpoints::kVaultRemove);
+  std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
   return OkStatus();
 }
 
 StatusOr<std::vector<uint64_t>> EncryptedVault::ListDisguiseIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<uint64_t> ids;
   for (const Entry& e : entries_) {
     ids.insert(e.disguise_id);
@@ -133,6 +145,7 @@ StatusOr<std::vector<uint64_t>> EncryptedVault::ListDisguiseIds() const {
 }
 
 StatusOr<size_t> EncryptedVault::ExpireBefore(TimePoint cutoff) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t before = entries_.size();
   std::erase_if(entries_, [&](const Entry& e) { return e.created < cutoff; });
   return before - entries_.size();

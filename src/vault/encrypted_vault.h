@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/common/rng.h"
@@ -45,7 +46,10 @@ class EncryptedVault : public Vault {
   Status Remove(uint64_t disguise_id) override;
   StatusOr<std::vector<uint64_t>> ListDisguiseIds() const override;
   StatusOr<size_t> ExpireBefore(TimePoint cutoff) override;
-  size_t NumRecords() const override { return entries_.size(); }
+  size_t NumRecords() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -58,9 +62,15 @@ class EncryptedVault : public Vault {
   StatusOr<std::vector<uint8_t>> KeyFor(const sql::Value& uid);
   static std::string RenderOwner(const sql::Value& uid);
   StatusOr<RevealRecord> OpenEntry(const Entry& e, const std::vector<uint8_t>& key);
+  const std::string* FindFingerprintLocked(const sql::Value& uid) const;
 
   std::vector<uint8_t> app_key_;
   KeyProvider keys_;
+  // One mutex guards entries_, fingerprints_, and the nonce rng. Crypto runs
+  // under the lock: this backend models the per-user-approval deployment and
+  // is not on the parallel-batch fast path (OfflineVault is); the KeyProvider
+  // callback must not call back into the vault.
+  mutable std::mutex mu_;
   Rng rng_;
   std::map<std::string, std::string> fingerprints_;  // rendered uid -> fp
   std::vector<Entry> entries_;

@@ -21,6 +21,7 @@ void OfflineVault::SimulateAccess() const {
 Status OfflineVault::Store(const RevealRecord& record) {
   EDNA_FAIL_POINT(failpoints::kVaultStore);
   SimulateAccess();
+  // Serialize outside the lock; only the list append is critical.
   Entry e;
   e.disguise_id = record.disguise_id;
   e.user_id = record.user_id;
@@ -28,6 +29,7 @@ Status OfflineVault::Store(const RevealRecord& record) {
   e.wire = record.Serialize();
   stats_.bytes_stored += e.wire.size();
   ++stats_.stores;
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.push_back(std::move(e));
   return OkStatus();
 }
@@ -35,13 +37,22 @@ Status OfflineVault::Store(const RevealRecord& record) {
 StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForUser(const sql::Value& uid) {
   SimulateAccess();
   ++stats_.fetches;
-  std::vector<RevealRecord> out;
-  for (const Entry& e : entries_) {
-    if (!e.user_id.is_null() && e.user_id.SqlEquals(uid)) {
-      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
-      out.push_back(std::move(rec));
-      ++stats_.records_fetched;
+  // Copy the matching wire images under the lock, decode outside it.
+  std::vector<std::vector<uint8_t>> wires;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (!e.user_id.is_null() && e.user_id.SqlEquals(uid)) {
+        wires.push_back(e.wire);
+      }
     }
+  }
+  std::vector<RevealRecord> out;
+  out.reserve(wires.size());
+  for (const std::vector<uint8_t>& wire : wires) {
+    ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(wire));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
   }
   return out;
 }
@@ -49,13 +60,21 @@ StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForUser(const sql::Value&
 StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForDisguise(uint64_t disguise_id) {
   SimulateAccess();
   ++stats_.fetches;
-  std::vector<RevealRecord> out;
-  for (const Entry& e : entries_) {
-    if (e.disguise_id == disguise_id) {
-      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
-      out.push_back(std::move(rec));
-      ++stats_.records_fetched;
+  std::vector<std::vector<uint8_t>> wires;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.disguise_id == disguise_id) {
+        wires.push_back(e.wire);
+      }
     }
+  }
+  std::vector<RevealRecord> out;
+  out.reserve(wires.size());
+  for (const std::vector<uint8_t>& wire : wires) {
+    ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(wire));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
   }
   return out;
 }
@@ -63,13 +82,21 @@ StatusOr<std::vector<RevealRecord>> OfflineVault::FetchForDisguise(uint64_t disg
 StatusOr<std::vector<RevealRecord>> OfflineVault::FetchGlobal() {
   SimulateAccess();
   ++stats_.fetches;
-  std::vector<RevealRecord> out;
-  for (const Entry& e : entries_) {
-    if (e.user_id.is_null()) {
-      ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(e.wire));
-      out.push_back(std::move(rec));
-      ++stats_.records_fetched;
+  std::vector<std::vector<uint8_t>> wires;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.user_id.is_null()) {
+        wires.push_back(e.wire);
+      }
     }
+  }
+  std::vector<RevealRecord> out;
+  out.reserve(wires.size());
+  for (const std::vector<uint8_t>& wire : wires) {
+    ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(wire));
+    out.push_back(std::move(rec));
+    ++stats_.records_fetched;
   }
   return out;
 }
@@ -77,12 +104,14 @@ StatusOr<std::vector<RevealRecord>> OfflineVault::FetchGlobal() {
 Status OfflineVault::Remove(uint64_t disguise_id) {
   EDNA_FAIL_POINT(failpoints::kVaultRemove);
   SimulateAccess();
+  std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(entries_, [&](const Entry& e) { return e.disguise_id == disguise_id; });
   return OkStatus();
 }
 
 StatusOr<std::vector<uint64_t>> OfflineVault::ListDisguiseIds() const {
   std::set<uint64_t> ids;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Entry& e : entries_) {
     ids.insert(e.disguise_id);
   }
@@ -90,6 +119,7 @@ StatusOr<std::vector<uint64_t>> OfflineVault::ListDisguiseIds() const {
 }
 
 StatusOr<size_t> OfflineVault::ExpireBefore(TimePoint cutoff) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t before = entries_.size();
   std::erase_if(entries_, [&](const Entry& e) { return e.created < cutoff; });
   return before - entries_.size();

@@ -7,12 +7,16 @@
 #define SRC_VAULT_OFFLINE_VAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/vault/vault.h"
 
 namespace edna::vault {
 
+// Thread-safe: an internal mutex guards the entry list; (de)serialization
+// and the simulated access latency run outside the lock so concurrent batch
+// workers overlap the expensive part.
 class OfflineVault : public Vault {
  public:
   // `access_delay_us`: simulated per-operation storage latency (0 = none).
@@ -28,7 +32,10 @@ class OfflineVault : public Vault {
   Status Remove(uint64_t disguise_id) override;
   StatusOr<std::vector<uint64_t>> ListDisguiseIds() const override;
   StatusOr<size_t> ExpireBefore(TimePoint cutoff) override;
-  size_t NumRecords() const override { return entries_.size(); }
+  size_t NumRecords() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -41,6 +48,7 @@ class OfflineVault : public Vault {
   void SimulateAccess() const;
 
   uint64_t access_delay_us_;
+  mutable std::mutex mu_;
   std::vector<Entry> entries_;  // insertion (= time) order
 };
 

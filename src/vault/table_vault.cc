@@ -66,12 +66,14 @@ StatusOr<std::vector<RevealRecord>> TableVault::FetchWhere(const std::string& pr
                                                            const sql::ParamMap& params) {
   ++stats_.fetches;
   ASSIGN_OR_RETURN(sql::ExprPtr pred, sql::ParseExpression(predicate));
-  ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
-                   db_->Select(kVaultTableName, pred.get(), params));
+  // SelectRows copies under the table lock: a concurrent Store/Remove from
+  // another batch worker cannot invalidate the result mid-deserialize.
+  ASSIGN_OR_RETURN(std::vector<db::Row> rows,
+                   db_->SelectRows(kVaultTableName, pred.get(), params));
   std::vector<RevealRecord> out;
   out.reserve(rows.size());
-  for (const db::RowRef& ref : rows) {
-    const sql::Value& payload = (*ref.row)[kColPayload];
+  for (const db::Row& row : rows) {
+    const sql::Value& payload = row[kColPayload];
     ASSIGN_OR_RETURN(RevealRecord rec, RevealRecord::Deserialize(payload.AsBlob()));
     out.push_back(std::move(rec));
     ++stats_.records_fetched;
@@ -104,14 +106,15 @@ Status TableVault::Remove(uint64_t disguise_id) {
 }
 
 StatusOr<std::vector<uint64_t>> TableVault::ListDisguiseIds() const {
-  const db::Table* t = db_->FindTable(kVaultTableName);
-  if (t == nullptr) {
+  if (!db_->HasTable(kVaultTableName)) {
     return std::vector<uint64_t>{};
   }
+  ASSIGN_OR_RETURN(std::vector<db::Row> rows,
+                   db_->SelectRows(kVaultTableName, nullptr, {}));
   std::set<uint64_t> ids;
-  t->Scan([&](db::RowId, const db::Row& row) {
+  for (const db::Row& row : rows) {
     ids.insert(static_cast<uint64_t>(row[kColDisguiseId].AsInt()));
-  });
+  }
   return std::vector<uint64_t>(ids.begin(), ids.end());
 }
 
@@ -123,8 +126,8 @@ StatusOr<size_t> TableVault::ExpireBefore(TimePoint cutoff) {
 }
 
 size_t TableVault::NumRecords() const {
-  const db::Table* t = db_->FindTable(kVaultTableName);
-  return t == nullptr ? 0 : t->num_rows();
+  auto count = db_->Count(kVaultTableName, nullptr, {});
+  return count.ok() ? *count : 0;
 }
 
 }  // namespace edna::vault

@@ -5,6 +5,7 @@
 #ifndef SRC_VAULT_VAULT_H_
 #define SRC_VAULT_VAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,12 +17,25 @@
 namespace edna::vault {
 
 // Access-cost accounting so the vault-model ablation can compare backends.
+// Counters are atomics (vaults are shared by batch worker threads); copies
+// take a relaxed snapshot so by-value uses keep compiling.
 struct VaultStats {
-  uint64_t stores = 0;
-  uint64_t fetches = 0;
-  uint64_t records_fetched = 0;
-  uint64_t bytes_stored = 0;
-  uint64_t crypto_ops = 0;  // seal/open operations (encrypted backends)
+  std::atomic<uint64_t> stores{0};
+  std::atomic<uint64_t> fetches{0};
+  std::atomic<uint64_t> records_fetched{0};
+  std::atomic<uint64_t> bytes_stored{0};
+  std::atomic<uint64_t> crypto_ops{0};  // seal/open operations (encrypted backends)
+
+  VaultStats() = default;
+  VaultStats(const VaultStats& o) { *this = o; }
+  VaultStats& operator=(const VaultStats& o) {
+    stores = o.stores.load(std::memory_order_relaxed);
+    fetches = o.fetches.load(std::memory_order_relaxed);
+    records_fetched = o.records_fetched.load(std::memory_order_relaxed);
+    bytes_stored = o.bytes_stored.load(std::memory_order_relaxed);
+    crypto_ops = o.crypto_ops.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = VaultStats{}; }
 };

@@ -20,6 +20,7 @@
 #include "src/common/clock.h"
 #include "src/common/failpoint.h"
 #include "src/common/rng.h"
+#include "src/core/batch.h"
 #include "src/core/engine.h"
 #include "src/db/storage.h"
 #include "src/disguise/spec_parser.h"
@@ -646,6 +647,92 @@ TEST_F(FaultInjectionTest, RandomizedCrashSchedulesOnHotCrpStayConsistent) {
       ASSERT_TRUE(audit.ok()) << audit.status();
       ASSERT_TRUE(audit->ok()) << "round " << round << ":\n" << audit->ToString();
       ASSERT_TRUE(db.CheckIntegrity().ok());
+    }
+  }
+}
+
+// Batch crash schedules (the healthy parallel path lives in
+// tests/core_batch_test.cc): a simulated crash inside ONE worker's apply
+// halts the whole BatchExecutor run — tasks not yet started abort without
+// touching the engine, exactly as a process death would strand them. The
+// crash site varies across the commit protocol: mid vault-shard write,
+// just before the database commit (transaction must roll back), and just
+// after it (the apply is durable and must roll FORWARD). In every schedule
+// Recover() repairs the frozen state — including the crashed worker's open
+// transaction — the audit comes back clean, and resubmitting the
+// not-yet-applied users through a fresh batch completes the job.
+TEST_F(FaultInjectionTest, BatchCrashSchedulesRecoverConsistently) {
+  struct Schedule {
+    const char* site;
+    uint64_t hit;
+  };
+  const Schedule schedules[] = {
+      {failpoints::kVaultStore, 4},
+      {failpoints::kApplyBeforeCommit, 3},
+      {failpoints::kApplyAfterCommit, 2},
+  };
+  constexpr int kExtraUsers = 20;  // on top of World's baseline 3
+  const int total_users = 3 + kExtraUsers;
+
+  for (const Schedule& s : schedules) {
+    SCOPED_TRACE(std::string(s.site) + " hit=" + std::to_string(s.hit));
+    World w;
+    for (int i = 0; i < kExtraUsers; ++i) {
+      w.InsertUser("u" + std::to_string(i), "u" + std::to_string(i) + "@x");
+      w.InsertNote(4 + i, "batch note");
+    }
+
+    FailPoints::Instance().Enable(s.site, {.action = FailPointAction::kCrash,
+                                           .trigger = FailPointTrigger::kOneShot,
+                                           .n = s.hit});
+    BatchReport report;
+    {
+      BatchExecutor executor(w.engine.get(), {.num_threads = 4});
+      for (int uid = 1; uid <= total_users; ++uid) {
+        executor.Submit(BatchTask::Apply("Scrub", Value::Int(uid)));
+      }
+      report = executor.Drain();
+    }
+    FailPoints::Instance().DisableAll();
+
+    EXPECT_TRUE(report.halted) << report.ToString();
+    EXPECT_GE(report.failed, 1u);
+    bool saw_crash = false;
+    for (const BatchTaskResult& r : report.results) {
+      saw_crash = saw_crash || FailPoints::IsSimulatedCrash(r.status);
+    }
+    EXPECT_TRUE(saw_crash) << "no task surfaced the simulated crash";
+
+    auto recovered = w.engine->Recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ExpectConsistent(&w, "after batch crash recovery");
+    EXPECT_FALSE(w.db.AnyTransactionActive())
+        << "crashed worker's transaction survived recovery";
+    EXPECT_EQ(w.engine->journal().size(), 0u);
+
+    // Finish the job: resubmit every user recovery left undisguised (an
+    // after-commit crash rolls FORWARD, so its user needs no resubmission).
+    BatchExecutor executor(w.engine.get(), {.num_threads = 4});
+    size_t resubmitted = 0;
+    for (const BatchTaskResult& r : report.results) {
+      if (r.status.ok() ||
+          w.engine->log().LatestActiveFor("Scrub", r.task.uid).has_value()) {
+        continue;
+      }
+      executor.Submit(r.task);
+      ++resubmitted;
+    }
+    BatchReport second = executor.Drain();
+    EXPECT_FALSE(second.halted);
+    EXPECT_EQ(second.failed, 0u) << second.ToString();
+    EXPECT_EQ(second.succeeded, resubmitted);
+    ExpectConsistent(&w, "after resubmitted batch");
+
+    // Every user ended up disguised exactly once.
+    for (int uid = 1; uid <= total_users; ++uid) {
+      EXPECT_TRUE(
+          w.engine->log().LatestActiveFor("Scrub", Value::Int(uid)).has_value())
+          << "user " << uid << " not disguised after recovery + resubmission";
     }
   }
 }

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/core/engine.h"
@@ -314,6 +317,49 @@ TEST_F(SchedulerTest, ExpiredDisguisesBecomeIrreversibleViaVaultExpiry) {
   ASSERT_TRUE(vault_.ExpireBefore(clock_.Now() - 2 * 365 * kDay).ok());
   EXPECT_EQ(engine_->Reveal(r->disguise_ids[0]).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// Regression for the scheduler's lock discipline: an application time-source
+// callback that calls back into ResetUser (a returning user revealing in the
+// middle of a tick) used to deadlock, because Tick held the state mutex
+// across the callback. Now mu_ is a leaf — the reentrant call must complete,
+// and the mid-tick reset must re-arm the already-fired expiration.
+TEST_F(SchedulerTest, ResetUserFromCallbackDoesNotDeadlockAndRearms) {
+  ASSERT_TRUE(scheduler_
+                  ->AddExpirationPolicy({.name = "exp",
+                                         .spec_name = "Expire",
+                                         .inactivity = 365 * kDay,
+                                         .last_active = SourceFromColumn("lastLogin")})
+                  .ok());
+  // Decay policies run AFTER expirations within a tick; this one's callback
+  // resets Bea reentrantly and then reports no users (so it never fires).
+  std::atomic<int> resets{0};
+  ASSERT_TRUE(scheduler_
+                  ->AddDecayPolicy(
+                      {.name = "reset-hook",
+                       .stages = {{.age = 9000 * kDay, .spec_name = "Decay1"}},
+                       .created_at = [this, &resets]() -> StatusOr<std::vector<UserTime>> {
+                         scheduler_->ResetUser(Value::Int(1));
+                         ++resets;
+                         return std::vector<UserTime>{};
+                       }})
+                  .ok());
+
+  clock_.Set(400 * kDay);  // Bea (lastLogin 0) is overdue
+  auto tick = std::async(std::launch::async, [&] { return scheduler_->Tick(); });
+  ASSERT_EQ(tick.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+      << "Tick deadlocked on the reentrant ResetUser";
+  auto r1 = tick.get();
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1->expirations_applied, 1u);
+  EXPECT_EQ(resets.load(), 1);
+
+  // The reset landed after the expiration fired, so its marker was erased:
+  // the next tick fires it again instead of treating Bea as done.
+  auto r2 = scheduler_->Tick();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->expirations_applied, 1u);
+  EXPECT_EQ(resets.load(), 2);
 }
 
 }  // namespace

@@ -1,0 +1,381 @@
+// Concurrency battery for the thread-safe Database (DESIGN.md, "Parallel
+// disguising"): mixed reader/writer threads per table with a torn-row
+// invariant, first-writer-wins write intents (kAborted, no blocking),
+// FK integrity under concurrent cascading deletes, exact per-thread and
+// global statement accounting, and auto-increment uniqueness under
+// concurrent inserts. Runs under the tsan preset (DbConcurrencyTest).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/sql/parser.h"
+
+namespace edna::db {
+namespace {
+
+using sql::Value;
+
+// cells(id, a, b) with the invariant a == b maintained by every writer;
+// a reader observing a != b saw a torn write.
+void BuildCells(Database* db, int rows) {
+  TableSchema cells("cells");
+  cells
+      .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "a", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "b", .type = ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"});
+  ASSERT_TRUE(db->CreateTable(std::move(cells)).ok());
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(
+        db->InsertValues("cells", {{"a", Value::Int(0)}, {"b", Value::Int(0)}}).ok());
+  }
+}
+
+// owners(id, name) <- items(id, owner_id ON DELETE CASCADE, payload)
+void BuildOwnersItems(Database* db) {
+  TableSchema owners("owners");
+  owners
+      .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = ColumnType::kString, .nullable = false})
+      .SetPrimaryKey({"id"});
+  ASSERT_TRUE(db->CreateTable(std::move(owners)).ok());
+
+  TableSchema items("items");
+  items
+      .AddColumn({.name = "id", .type = ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "owner_id", .type = ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "payload", .type = ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "owner_id", .parent_table = "owners",
+                      .parent_column = "id", .on_delete = FkAction::kCascade});
+  ASSERT_TRUE(db->CreateTable(std::move(items)).ok());
+}
+
+// Mixed readers and writers on one table. Writers bump both columns of a row
+// in ONE update statement; the statement-scoped stripe lock means a reader's
+// SelectRows must never observe a row where the two columns disagree.
+TEST(DbConcurrencyTest, MixedReadersWritersSeeNoTornRows) {
+  constexpr int kRows = 16;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kWritesPerThread = 150;
+
+  Database db;
+  BuildCells(&db, kRows);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> reader_errors{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto rows = db.SelectRows("cells", nullptr, {});
+        if (!rows.ok()) {
+          ++reader_errors;
+          continue;
+        }
+        for (const Row& row : *rows) {
+          // Columns: id, a, b.
+          if (row[1].AsInt() != row[2].AsInt()) {
+            ++torn;
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  std::atomic<int> write_failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        int64_t id = 1 + (w * 7 + i) % kRows;  // overlapping row sets
+        auto pred = sql::ParseExpression("\"id\" = " + std::to_string(id));
+        if (!pred.ok()) {
+          ++write_failures;
+          continue;
+        }
+        std::vector<Assignment> assigns;
+        assigns.push_back({.column = "a", .expr = std::move(*sql::ParseExpression("\"a\" + 1"))});
+        assigns.push_back({.column = "b", .expr = std::move(*sql::ParseExpression("\"b\" + 1"))});
+        auto updated = db.Update("cells", pred->get(), {}, assigns);
+        if (!updated.ok() || *updated != 1) {
+          ++write_failures;
+        }
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0) << "readers observed torn rows";
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(write_failures.load(), 0)
+      << "single-statement updates serialize on the stripe; none may fail";
+
+  // Every increment landed exactly once: total across rows == total writes.
+  auto rows = db.SelectRows("cells", nullptr, {});
+  ASSERT_TRUE(rows.ok());
+  int64_t total = 0;
+  for (const Row& row : *rows) {
+    EXPECT_EQ(row[1].AsInt(), row[2].AsInt());
+    total += row[1].AsInt();
+  }
+  EXPECT_EQ(total, int64_t{kWriters} * kWritesPerThread);
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+// First-writer-wins: a transaction writing a row another live transaction
+// already wrote gets kAborted immediately (no blocking), and after rollback
+// of the loser the winner commits its value.
+TEST(DbConcurrencyTest, WriteWriteConflictAbortsSecondWriter) {
+  Database db;
+  BuildCells(&db, 2);
+
+  std::promise<void> first_wrote;
+  std::promise<void> second_done;
+
+  std::thread winner([&] {
+    ASSERT_TRUE(db.Begin().ok());
+    ASSERT_TRUE(db.SetColumn("cells", 1, "a", Value::Int(100)).ok());
+    ASSERT_TRUE(db.SetColumn("cells", 1, "b", Value::Int(100)).ok());
+    first_wrote.set_value();
+    second_done.get_future().wait();
+    ASSERT_TRUE(db.Commit().ok());
+  });
+
+  std::thread loser([&] {
+    first_wrote.get_future().wait();
+    ASSERT_TRUE(db.Begin().ok());
+    // Same row: must abort, not block.
+    Status s = db.SetColumn("cells", 1, "a", Value::Int(-1));
+    EXPECT_EQ(s.code(), StatusCode::kAborted) << s;
+    // A DIFFERENT row is free: intents are per-row, not per-table.
+    EXPECT_TRUE(db.SetColumn("cells", 2, "a", Value::Int(7)).ok());
+    EXPECT_TRUE(db.SetColumn("cells", 2, "b", Value::Int(7)).ok());
+    ASSERT_TRUE(db.Rollback().ok());
+    second_done.set_value();
+  });
+
+  winner.join();
+  loser.join();
+
+  auto a = db.GetColumn("cells", 1, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->AsInt(), 100) << "winner's committed write lost";
+  auto a2 = db.GetColumn("cells", 2, "a");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->AsInt(), 0) << "loser's rolled-back write survived";
+  EXPECT_FALSE(db.AnyTransactionActive());
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+// Intents release at commit: once the winner commits, the same row is
+// writable again by anyone.
+TEST(DbConcurrencyTest, IntentsReleaseAtTransactionEnd) {
+  Database db;
+  BuildCells(&db, 1);
+
+  ASSERT_TRUE(db.Begin().ok());
+  ASSERT_TRUE(db.SetColumn("cells", 1, "a", Value::Int(1)).ok());
+  ASSERT_TRUE(db.Commit().ok());
+
+  std::thread other([&] {
+    ASSERT_TRUE(db.Begin().ok());
+    EXPECT_TRUE(db.SetColumn("cells", 1, "a", Value::Int(2)).ok());
+    ASSERT_TRUE(db.Commit().ok());
+  });
+  other.join();
+
+  auto a = db.GetColumn("cells", 1, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->AsInt(), 2);
+}
+
+// Concurrent cascading deletes with concurrent readers: every delete takes
+// the FK closure's stripes for the statement, so readers never observe an
+// orphan item and the final state passes the full integrity audit.
+TEST(DbConcurrencyTest, CascadingDeletesKeepFkIntegrity) {
+  constexpr int kOwners = 40;
+  constexpr int kItemsPerOwner = 3;
+  constexpr int kDeleters = 4;
+
+  Database db;
+  BuildOwnersItems(&db);
+  for (int i = 0; i < kOwners; ++i) {
+    ASSERT_TRUE(
+        db.InsertValues("owners", {{"name", Value::String("o" + std::to_string(i))}})
+            .ok());
+    for (int j = 0; j < kItemsPerOwner; ++j) {
+      ASSERT_TRUE(db.InsertValues("items", {{"owner_id", Value::Int(i + 1)},
+                                            {"payload", Value::String("p")}})
+                      .ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> orphans{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto items = db.SelectRows("items", nullptr, {});
+      if (!items.ok()) continue;
+      auto owners = db.SelectRows("owners", nullptr, {});
+      if (!owners.ok()) continue;
+      // Owners snapshot taken AFTER items: an item's owner may only be
+      // missing if it was deleted between the two statements — but a
+      // cascade deletes items BEFORE (with) their owner in one statement,
+      // so any item in the first snapshot whose owner is gone in the
+      // second was deleted together with it; probing the live table for
+      // the item must then also miss.
+      std::set<int64_t> owner_ids;
+      for (const Row& o : *owners) owner_ids.insert(o[0].AsInt());
+      for (const Row& it : *items) {
+        if (owner_ids.count(it[1].AsInt()) == 0 &&
+            db.RowExists("items", static_cast<RowId>(it[0].AsInt()))) {
+          ++orphans;
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> deleters;
+  std::atomic<int> deleted{0};
+  for (int d = 0; d < kDeleters; ++d) {
+    deleters.emplace_back([&, d] {
+      // Disjoint owner sets per thread: d, d+kDeleters, ...
+      for (int i = d; i < kOwners; i += kDeleters) {
+        Status s = db.DeleteRow("owners", static_cast<RowId>(i + 1));
+        if (s.ok()) ++deleted;
+      }
+    });
+  }
+  for (auto& t : deleters) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(orphans.load(), 0) << "reader observed an orphaned item";
+  EXPECT_EQ(deleted.load(), kOwners);
+  EXPECT_EQ(db.TotalRows(), 0u) << "cascade left rows behind";
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+// Statement accounting is exact under concurrency: the global atomic counter
+// equals the sum of per-thread deltas, and each thread's delta counts exactly
+// its own statements (no cross-thread bleed).
+TEST(DbConcurrencyTest, StatementCountersAreExactPerThread) {
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 50;
+
+  Database db;
+  BuildCells(&db, kThreads);
+
+  uint64_t global_before = db.stats().queries.load();
+  std::vector<uint64_t> thread_deltas(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t before = Database::ThreadStatements();
+      auto pred = sql::ParseExpression("\"id\" = " + std::to_string(t + 1));
+      ASSERT_TRUE(pred.ok());
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // 1 select + an update that counts its SELECT phase plus one
+        // row-level UPDATE = exactly 3 statements per loop.
+        ASSERT_TRUE(db.SelectRows("cells", pred->get(), {}).ok());
+        std::vector<Assignment> assigns;
+        assigns.push_back(
+            {.column = "a", .expr = std::move(*sql::ParseExpression("\"a\" + 1"))});
+        ASSERT_TRUE(db.Update("cells", pred->get(), {}, assigns).ok());
+      }
+      thread_deltas[t] = Database::ThreadStatements() - before;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(thread_deltas[t], uint64_t{3} * kOpsPerThread)
+        << "thread " << t << " delta polluted by other threads' statements";
+    sum += thread_deltas[t];
+  }
+  EXPECT_EQ(db.stats().queries.load() - global_before, sum)
+      << "global counter lost increments under concurrency";
+}
+
+// Concurrent inserts: auto-increment never hands out a duplicate, every
+// insert succeeds, and the table ends with exactly the expected rows.
+TEST(DbConcurrencyTest, ConcurrentInsertsGetUniqueAutoIncrementIds) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 60;
+
+  Database db;
+  BuildCells(&db, 0);
+
+  std::vector<std::vector<int64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto id = db.InsertValues(
+            "cells", {{"a", Value::Int(t)}, {"b", Value::Int(t)}});
+        if (id.ok()) {
+          ids[t].push_back(static_cast<int64_t>(*id));
+        } else {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  std::set<int64_t> unique;
+  for (const auto& per_thread : ids) {
+    for (int64_t id : per_thread) {
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate row id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), size_t{kThreads} * kPerThread);
+  EXPECT_EQ(db.TotalRows(), size_t{kThreads} * kPerThread);
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+// RollbackAll sweeps transactions left open by threads that died (the
+// recovery hook batch crash-handling relies on).
+TEST(DbConcurrencyTest, RollbackAllSweepsAbandonedTransactions) {
+  Database db;
+  BuildCells(&db, 1);
+
+  std::thread abandoned([&] {
+    ASSERT_TRUE(db.Begin().ok());
+    ASSERT_TRUE(db.SetColumn("cells", 1, "a", Value::Int(99)).ok());
+    // Thread exits without commit/rollback — simulating a crashed worker.
+  });
+  abandoned.join();
+
+  EXPECT_TRUE(db.AnyTransactionActive());
+  EXPECT_FALSE(db.InTransaction()) << "the abandoned txn is not ours";
+  ASSERT_TRUE(db.RollbackAll().ok());
+  EXPECT_FALSE(db.AnyTransactionActive());
+
+  auto a = db.GetColumn("cells", 1, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->AsInt(), 0) << "abandoned transaction's write survived";
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace edna::db

@@ -200,6 +200,58 @@ TEST(DisguisectlTest, AuditAndRecoverOnPersistedVault) {
   std::remove(db.c_str());
 }
 
+TEST(DisguisectlTest, BatchAppliesForEveryListedUser) {
+  std::string db = TempDbPath("cli_batch");
+  ASSERT_EQ(RunCli("demo hotcrp --out " + db + " --scale 0.1 --seed 7").exit_code, 0);
+
+  // One id per line; comments and surrounding whitespace are tolerated.
+  std::string uids_path = ::testing::TempDir() + "/cli_batch_uids.txt";
+  {
+    FILE* f = std::fopen(uids_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# mass GDPR deletion wave\n2\n3\n  4\n5\n", f);
+    std::fclose(f);
+  }
+
+  RunResult batch = RunCli("batch " + db + " --spec HotCRP-GDPR --uids-file " +
+                           uids_path + " --threads 4 --vault table");
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  EXPECT_NE(batch.output.find("submitted=4 succeeded=4 failed=0"), std::string::npos);
+  EXPECT_NE(batch.output.find("consistent"), std::string::npos);
+  EXPECT_NE(batch.output.find("saved"), std::string::npos);
+
+  // Every listed user is gone from the saved image.
+  for (int uid : {2, 3, 4, 5}) {
+    RunResult query = RunCli("query " + db + " --table ContactInfo --where '\"contactId\" = " +
+                             std::to_string(uid) + "'");
+    ASSERT_EQ(query.exit_code, 0);
+    EXPECT_NE(query.output.find("0 row(s) match"), std::string::npos) << query.output;
+  }
+  std::remove(uids_path.c_str());
+  std::remove(db.c_str());
+}
+
+TEST(DisguisectlTest, BatchRejectsBadInputs) {
+  std::string db = TempDbPath("cli_batch_err");
+  ASSERT_EQ(RunCli("demo hotcrp --out " + db + " --scale 0.1 --seed 7").exit_code, 0);
+  // Missing required flags is a usage error.
+  EXPECT_EQ(RunCli("batch " + db + " --spec HotCRP-GDPR").exit_code, 2);
+  // A malformed uids file names the offending line.
+  std::string uids_path = ::testing::TempDir() + "/cli_batch_bad_uids.txt";
+  {
+    FILE* f = std::fopen(uids_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("2\nnot-a-number\n", f);
+    std::fclose(f);
+  }
+  RunResult bad = RunCli("batch " + db + " --spec HotCRP-GDPR --uids-file " + uids_path);
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("bad user id"), std::string::npos);
+  EXPECT_NE(bad.output.find(":2"), std::string::npos);
+  std::remove(uids_path.c_str());
+  std::remove(db.c_str());
+}
+
 TEST(DisguisectlTest, ErrorsSurfaceCleanly) {
   EXPECT_EQ(RunCli("info /no/such/file.edb").exit_code, 1);
   EXPECT_EQ(RunCli("demo nosuchapp --out /tmp/x.edb").exit_code, 2);

@@ -29,6 +29,15 @@
 //       demonstrate reversibility) and save the database back. With
 //       --vault table the reveal records live in the database's reserved
 //       vault table and survive in the saved image.
+//   disguisectl batch <db.edb> --spec NAME|FILE --uids-file FILE
+//                     [--threads N] [--max-attempts N] [--no-save]
+//                     [--vault offline|table]
+//       Apply the disguise for every user id listed in FILE (one id per
+//       line, '#' comments allowed) through the worker-pool batch
+//       executor. Tasks for different users run in parallel; write-write
+//       conflicts abort-and-retry until --max-attempts. Prints the batch
+//       report, audits consistency, and saves the database back. Exit 1
+//       if any task failed or the audit found violations.
 //   disguisectl audit <db.edb>
 //       Check the cross-store consistency invariants (database, vault
 //       table, disguise log, commit journal). Exit 1 if violations found.
@@ -56,6 +65,7 @@
 #include "src/apps/lobsters/schema.h"
 #include "src/apps/lobsters/generator.h"
 #include "src/common/clock.h"
+#include "src/core/batch.h"
 #include "src/core/engine.h"
 #include "src/db/storage.h"
 #include "src/disguise/spec_parser.h"
@@ -72,7 +82,8 @@ using edna::sql::Value;
 int Usage() {
   std::fprintf(stderr,
                "usage: disguisectl "
-               "<demo|info|schema|query|specs|lint|analyze|explain|apply|audit|recover>"
+               "<demo|info|schema|query|specs|lint|analyze|explain|apply|batch|audit|"
+               "recover>"
                " ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
@@ -502,6 +513,97 @@ int CmdApply(const Args& args) {
   return 0;
 }
 
+// Parses a uids file: one integer id per line; blank lines and lines
+// starting with '#' are skipped.
+StatusOr<std::vector<int64_t>> ReadUidsFile(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  std::vector<int64_t> uids;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    char* end = nullptr;
+    long long uid = std::strtoll(line.c_str() + begin, &end, 10);
+    while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+      ++end;
+    }
+    if (end == line.c_str() + begin || (end != nullptr && *end != '\0')) {
+      return edna::InvalidArgument("bad user id at " + path + ":" +
+                                   std::to_string(lineno) + ": \"" + line + "\"");
+    }
+    uids.push_back(uid);
+  }
+  return uids;
+}
+
+int CmdBatch(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("spec") || !args.Has("uids-file")) {
+    std::fprintf(stderr,
+                 "usage: disguisectl batch <db.edb> --spec NAME|FILE --uids-file FILE "
+                 "[--threads N] [--max-attempts N] [--no-save] [--vault offline|table]\n");
+    return 2;
+  }
+  auto uids = ReadUidsFile(args.Get("uids-file"));
+  if (!uids.ok()) {
+    return Fail(uids.status());
+  }
+  if (uids->empty()) {
+    std::fprintf(stderr, "error: %s lists no user ids\n",
+                 args.Get("uids-file").c_str());
+    return 1;
+  }
+  auto setup = SetUpEngine(args, args.Has("optimize"), /*want_spec=*/true);
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+
+  edna::core::BatchOptions options;
+  options.num_threads = static_cast<int>(
+      std::strtoll(args.Get("threads", "4").c_str(), nullptr, 10));
+  options.max_attempts = static_cast<int>(
+      std::strtoll(args.Get("max-attempts", "64").c_str(), nullptr, 10));
+  if (options.num_threads < 1 || options.max_attempts < 1) {
+    std::fprintf(stderr, "error: --threads and --max-attempts must be >= 1\n");
+    return 2;
+  }
+  edna::core::BatchExecutor executor(setup->engine.get(), options);
+  for (int64_t uid : *uids) {
+    executor.Submit(edna::core::BatchTask::Apply(setup->spec_name, Value::Int(uid)));
+  }
+  edna::core::BatchReport report = executor.Drain();
+  std::printf("%s", report.ToString().c_str());
+  for (const auto& result : report.results) {
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "task %zu (uid=%s): %s\n", result.index,
+                   result.task.uid.ToSqlString().c_str(),
+                   result.status.ToString().c_str());
+    }
+  }
+
+  auto audit = setup->engine->AuditConsistency();
+  if (!audit.ok()) {
+    return Fail(audit.status());
+  }
+  std::printf("%s", audit->ToString().c_str());
+  Status integrity = setup->db->CheckIntegrity();
+  if (!integrity.ok()) {
+    return Fail(integrity);
+  }
+  if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+    if (!saved.ok()) {
+      return Fail(saved);
+    }
+    std::printf("saved %s\n", args.positional[0].c_str());
+  }
+  return (report.failed == 0 && !report.halted && audit->ok()) ? 0 : 1;
+}
+
 int CmdAudit(const Args& args) {
   if (args.positional.size() != 1) {
     std::fprintf(stderr, "usage: disguisectl audit <db.edb>\n");
@@ -560,7 +662,8 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   Args args = ParseArgs(argc - 2, argv + 2, {"out", "scale", "seed", "table", "where",
                                              "limit", "spec", "uid", "vault",
-                                             "annotations", "identity"});
+                                             "annotations", "identity", "uids-file",
+                                             "threads", "max-attempts"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
@@ -587,6 +690,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "apply") {
     return CmdApply(args);
+  }
+  if (cmd == "batch") {
+    return CmdBatch(args);
   }
   if (cmd == "audit") {
     return CmdAudit(args);
