@@ -59,7 +59,9 @@ TableSchema ContactInfo() {
       .AddColumn(IntCol("creationTime"))
       .AddColumn(Pii(StrCol("collaborators")))
       .AddColumn(StrCol("defaultWatch"))
-      .SetPrimaryKey({"contactId"});
+      .SetPrimaryKey({"contactId"})
+      // ConfAnon selects active accounts by `"disabled" = FALSE`.
+      .AddIndex("disabled");
   return t;
 }
 
@@ -89,7 +91,9 @@ TableSchema PaperConflict() {
       .AddColumn(IntCol("conflictType"))
       .SetPrimaryKey({"paperId", "contactId"})
       .AddForeignKey(Fk("paperId", "Paper", "paperId"))
-      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"));
+      .AddForeignKey(Fk("contactId", "ContactInfo", "contactId"))
+      // ConfAnon decorrelates conflicts via `"conflictType" >= 0` (range).
+      .AddIndex("conflictType");
   return t;
 }
 

@@ -33,9 +33,15 @@ BatchExecutor::BatchExecutor(DisguiseEngine* engine, BatchOptions options)
                  mirror.ToString().c_str());
     std::abort();
   }
-  int n = std::max(1, options_.num_threads);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
   options_.max_attempts = std::max(1, options_.max_attempts);
+  // Single-threaded batches skip the pool entirely: Submit() runs the task
+  // inline, so a serial caller pays no queue hand-off or thread wakeup.
+  inline_ = options_.num_threads <= 1;
+  if (inline_) {
+    return;
+  }
+  int n = options_.num_threads;
   workers_.reserve(static_cast<size_t>(n));
   threads_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -66,6 +72,10 @@ void BatchExecutor::Submit(BatchTask task) {
       batch_start_ = std::chrono::steady_clock::now();
     }
     index = submitted_++;
+  }
+  if (inline_) {
+    Execute(Item{std::move(task), index});
+    return;
   }
   // Per-user FIFO: every task of one uid routes to one worker, whose queue
   // preserves submission order. Global tasks all route to worker 0.

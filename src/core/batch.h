@@ -70,6 +70,9 @@ struct BatchTaskResult {
 };
 
 struct BatchOptions {
+  // <= 1 selects the inline fast path: Submit() executes the task on the
+  // calling thread — no workers, queues, or wakeups. Semantics (FIFO per
+  // batch, retries, crash halt, Drain report) are identical.
   int num_threads = 4;
   size_t queue_capacity = 64;  // per worker; Submit blocks when full
   int max_attempts = 5;        // total tries for a task aborted by conflicts
@@ -126,6 +129,7 @@ class BatchExecutor {
 
   DisguiseEngine* engine_;
   BatchOptions options_;
+  bool inline_ = false;  // num_threads <= 1: run tasks on the Submit thread
 
   // Per-user tasks hold this shared; global tasks hold it exclusively.
   std::shared_mutex exec_gate_;

@@ -24,6 +24,9 @@ std::string ExplainReport::ToString() const {
     if (e.nulled_references > 0) {
       out += StrFormat("  +%zu nulled ref(s)", e.nulled_references);
     }
+    if (!e.plan.empty()) {
+      out += "  via " + e.plan;
+    }
     out += "\n";
   }
   out += StrFormat("  total: %zu row(s) affected, %zu placeholder(s) created\n",
@@ -119,6 +122,11 @@ StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
       ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
                        db_->Select(td.table, tr.predicate(), params));
       entry.matching_rows = rows.size();
+      if (tr.predicate() != nullptr) {
+        ASSIGN_OR_RETURN(entry.plan, db_->DescribePlan(td.table, *tr.predicate()));
+      } else {
+        entry.plan = "all rows";
+      }
       switch (tr.kind()) {
         case TransformKind::kRemove: {
           std::vector<db::RowId> ids;

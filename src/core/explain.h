@@ -27,6 +27,9 @@ struct ExplainEntry {
   // delete (CASCADE) or null out (SET NULL).
   size_t cascaded_rows = 0;
   size_t nulled_references = 0;
+  // How the database would find the matching rows ("probe(eq(contactId =
+  // $UID))", "scan(Paper)", ...); from Database::DescribePlan.
+  std::string plan;
 };
 
 struct ExplainReport {

@@ -179,6 +179,7 @@ Status Database::CreateTable(TableSchema schema) {
   RETURN_IF_ERROR(schema_.AddTable(schema));
   std::string name = schema.name();  // read before the move below
   tables_.emplace(std::move(name), Table(std::move(schema)));
+  InvalidatePlans();
   return OkStatus();
 }
 
@@ -389,6 +390,191 @@ StatusOr<RowId> Database::InsertValues(const std::string& table,
 
 StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::Expr* pred,
                                                  const sql::ParamMap& params) const {
+  // No WHERE clause: a deliberate whole-table read, not a planner miss —
+  // full_scans stays untouched (it counts predicates that FELL BACK to
+  // scanning).
+  if (pred == nullptr) {
+    std::vector<RowId> candidates = table.AllRowIds();
+    stats_.rows_read += candidates.size();
+    return candidates;
+  }
+
+  if (planner_mode() == PlannerMode::kInterpreted) {
+    return MatchRowsInterpreted(table, pred, params);
+  }
+
+  // Fast path: `col = <literal or $param>` on an indexed column. The
+  // engine's hot path is dominated by this shape — literal one-shots (one
+  // statement per placeholder row) and spec predicates like
+  // `"contactId" = $UID` — so going through the cache would pay a ToString
+  // key (plus, for one-shots, an insert) per statement. The shape is exact
+  // (see plan.h): the probe decides, no residual.
+  if (pred->kind() == sql::ExprKind::kBinary &&
+      pred->binary_op() == sql::BinaryOp::kEq) {
+    const sql::Expr* col = pred->children()[0].get();
+    const sql::Expr* val = pred->children()[1].get();
+    if (col->kind() != sql::ExprKind::kColumnRef) {
+      std::swap(col, val);
+    }
+    const sql::Value* value = nullptr;
+    if (val->kind() == sql::ExprKind::kLiteral) {
+      value = &val->literal();
+    } else if (val->kind() == sql::ExprKind::kParam) {
+      auto it = params.find(val->param_name());
+      if (it != params.end()) {
+        value = &it->second;
+      }
+      // Unbound param: fall through; the cached path surfaces the same
+      // error the interpreter would.
+    }
+    if (value != nullptr && col->kind() == sql::ExprKind::kColumnRef &&
+        (col->table().empty() || col->table() == table.schema().name()) &&
+        table.HasIndexOn(col->column())) {
+      std::vector<RowId> out;
+      if (value->is_null()) {
+        return out;  // col = NULL is UNKNOWN for every row
+      }
+      if (table.IndexLookup(col->column(), *value, &out)) {
+        ++stats_.index_lookups;
+        stats_.rows_read += out.size();
+        return out;
+      }
+    }
+  }
+
+  ASSIGN_OR_RETURN(std::shared_ptr<const TablePlan> plan, GetPlan(table, *pred));
+
+  // Constant predicate: one evaluation decides for every row.
+  if (plan->access == TablePlan::Access::kConstant) {
+    auto value = sql::EvaluateConstant(*plan->constant, params);
+    // The interpreter evaluates per row, so an empty table never surfaces
+    // a constant-predicate error; preserve that.
+    if (!value.ok()) {
+      if (table.num_rows() == 0) {
+        return std::vector<RowId>{};
+      }
+      return value.status();
+    }
+    Status truth_error = OkStatus();
+    sql::Truth truth = sql::TruthOf(*value, &truth_error);
+    if (!truth_error.ok()) {
+      if (table.num_rows() == 0) {
+        return std::vector<RowId>{};
+      }
+      return truth_error;
+    }
+    if (truth != sql::Truth::kTrue) {
+      return std::vector<RowId>{};
+    }
+    std::vector<RowId> candidates = table.AllRowIds();
+    stats_.rows_read += candidates.size();
+    return candidates;
+  }
+
+  // Access path: seed candidates from the plan's probes.
+  std::vector<RowId> candidates;
+  bool scanned = false;
+  switch (plan->access) {
+    case TablePlan::Access::kProbe: {
+      // Intersect all probe row sets, seeded from the smallest. Probes are
+      // rank-ordered (equality first), so bail out early on an empty seed.
+      bool seeded = false;
+      std::vector<RowId> probe_rows;
+      for (const IndexProbe& probe : plan->probes) {
+        ASSIGN_OR_RETURN(bool probed, ExecuteProbe(table, probe, params, &probe_rows));
+        if (!probed) {
+          continue;  // index unavailable (defensive); rely on other probes
+        }
+        if (!seeded) {
+          candidates = std::move(probe_rows);
+          seeded = true;
+        } else {
+          std::vector<RowId> merged;
+          merged.reserve(std::min(candidates.size(), probe_rows.size()));
+          std::set_intersection(candidates.begin(), candidates.end(), probe_rows.begin(),
+                                probe_rows.end(), std::back_inserter(merged));
+          candidates = std::move(merged);
+        }
+        probe_rows.clear();
+        if (seeded && candidates.empty()) {
+          break;
+        }
+      }
+      if (!seeded) {
+        candidates = table.AllRowIds();
+        scanned = true;
+      }
+      break;
+    }
+    case TablePlan::Access::kUnion: {
+      bool all_probed = true;
+      std::vector<RowId> probe_rows;
+      for (const IndexProbe& probe : plan->union_arms) {
+        ASSIGN_OR_RETURN(bool probed, ExecuteProbe(table, probe, params, &probe_rows));
+        if (!probed) {
+          all_probed = false;  // an arm we cannot probe may match anything
+          break;
+        }
+        candidates.insert(candidates.end(), probe_rows.begin(), probe_rows.end());
+        probe_rows.clear();
+      }
+      if (all_probed) {
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+      } else {
+        candidates = table.AllRowIds();
+        scanned = true;
+      }
+      break;
+    }
+    case TablePlan::Access::kFullScan:
+    default:
+      candidates = table.AllRowIds();
+      scanned = true;
+      break;
+  }
+  if (scanned) {
+    if (plan->exact) {
+      // An exact plan has no residual to filter a scan with; this only
+      // happens if a probe found its index missing (defensive — plans are
+      // invalidated on DDL and indexes are never dropped). The interpreter
+      // is the safety net; it does its own counter accounting.
+      return MatchRowsInterpreted(table, pred, params);
+    }
+    ++stats_.full_scans;
+  }
+
+  // Exact plan: the probes' row set IS the answer (see plan.h). Skipping
+  // the per-row filter matches the interpreter on these shapes because the
+  // index groups rows by the same value ordering SQL comparison uses.
+  if (plan->exact) {
+    stats_.rows_read += candidates.size();
+    return candidates;
+  }
+
+  // Residual filter: the FULL compiled predicate over every candidate.
+  sql::BoundParams bound = plan->residual->BindParams(params);
+  sql::EvalScratch scratch;
+  std::vector<RowId> out;
+  for (RowId id : candidates) {
+    const Row* row = table.Find(id);
+    if (row == nullptr) {
+      continue;
+    }
+    ++stats_.rows_read;
+    ++stats_.rows_examined;
+    ASSIGN_OR_RETURN(bool match,
+                     plan->residual->Matches(row->data(), row->size(), bound, &scratch));
+    if (match) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<RowId>> Database::MatchRowsInterpreted(
+    const Table& table, const sql::Expr* pred, const sql::ParamMap& params) const {
   std::vector<RowId> candidates;
   bool used_index = false;
 
@@ -455,6 +641,111 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
     }
   }
   return out;
+}
+
+StatusOr<std::shared_ptr<const TablePlan>> Database::GetPlan(const Table& table,
+                                                             const sql::Expr& pred) const {
+  std::string key = table.schema().name();
+  key += '\x1f';  // cannot appear in a table name; separates name from pred
+  key += pred.ToString();
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_cache_hits;
+      return it->second;
+    }
+  }
+  ++stats_.plan_cache_misses;
+  // Build outside plan_mu_ (compilation is slow); first insert wins if two
+  // threads raced on the same key.
+  ASSIGN_OR_RETURN(std::shared_ptr<const TablePlan> plan, PlanPredicate(table, pred));
+  std::unique_lock<std::shared_mutex> lock(plan_mu_);
+  // The engine's hot path emits unbounded streams of one-shot literal
+  // predicates (`"id" = 42` per placeholder row); an epoch-style reset keeps
+  // the cache from growing without bound. Reusable (parameterized) plans
+  // re-enter within one statement each after a reset.
+  if (plan_cache_.size() >= kMaxCachedPlans) {
+    plan_cache_.clear();
+  }
+  auto [it, inserted] = plan_cache_.emplace(std::move(key), std::move(plan));
+  return it->second;
+}
+
+StatusOr<bool> Database::ExecuteProbe(const Table& table, const IndexProbe& probe,
+                                      const sql::ParamMap& params,
+                                      std::vector<RowId>* out) const {
+  out->clear();
+  switch (probe.kind) {
+    case IndexProbe::Kind::kEq: {
+      ASSIGN_OR_RETURN(sql::Value value, sql::EvaluateConstant(*probe.eq_value, params));
+      if (value.is_null()) {
+        // col = NULL is UNKNOWN for every row: empty probe, no index touch.
+        return true;
+      }
+      if (!table.IndexLookup(probe.column, value, out)) {
+        return false;
+      }
+      ++stats_.index_lookups;
+      return true;  // IndexLookup output is already sorted
+    }
+    case IndexProbe::Kind::kIn: {
+      std::vector<RowId> item_rows;
+      for (const sql::ExprPtr& item : probe.in_items) {
+        ASSIGN_OR_RETURN(sql::Value value, sql::EvaluateConstant(*item, params));
+        if (value.is_null()) {
+          continue;  // col = NULL item never matches
+        }
+        if (!table.IndexLookup(probe.column, value, &item_rows)) {
+          return false;
+        }
+        ++stats_.index_lookups;
+        out->insert(out->end(), item_rows.begin(), item_rows.end());
+      }
+      std::sort(out->begin(), out->end());
+      out->erase(std::unique(out->begin(), out->end()), out->end());
+      return true;
+    }
+    case IndexProbe::Kind::kRange: {
+      sql::Value lo, hi;
+      if (probe.lo != nullptr) {
+        ASSIGN_OR_RETURN(lo, sql::EvaluateConstant(*probe.lo, params));
+      }
+      if (probe.hi != nullptr) {
+        ASSIGN_OR_RETURN(hi, sql::EvaluateConstant(*probe.hi, params));
+      }
+      if (!table.RangeLookup(probe.column, probe.lo != nullptr ? &lo : nullptr,
+                             probe.lo_inclusive, probe.hi != nullptr ? &hi : nullptr,
+                             probe.hi_inclusive, out)) {
+        return false;
+      }
+      ++stats_.range_probes;
+      return true;
+    }
+    case IndexProbe::Kind::kIsNull: {
+      if (!table.NullLookup(probe.column, out)) {
+        return false;
+      }
+      ++stats_.index_lookups;
+      return true;  // null set iterates in ascending RowId order
+    }
+  }
+  return false;
+}
+
+StatusOr<std::string> Database::DescribePlan(const std::string& table,
+                                             const sql::Expr& pred) const {
+  TableLock lock(this);
+  lock.Lock({}, {table});
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return NotFound("no table \"" + table + "\"");
+  }
+  if (planner_mode() == PlannerMode::kInterpreted) {
+    return std::string("interpreted");
+  }
+  ASSIGN_OR_RETURN(std::shared_ptr<const TablePlan> plan, GetPlan(it->second, pred));
+  return plan->description;
 }
 
 StatusOr<std::vector<RowRef>> Database::Select(const std::string& table, const sql::Expr* pred,
@@ -905,6 +1196,7 @@ Status Database::AddColumnToTable(const std::string& table, ColumnDef col,
   TableSchema* catalog_entry = schema_.FindMutableTable(table);
   RETURN_IF_ERROR(t->AddColumn(col, fill));
   catalog_entry->AddColumn(std::move(col));
+  InvalidatePlans();
   return OkStatus();
 }
 
@@ -929,6 +1221,7 @@ Status Database::CreateIndex(const std::string& table, const std::string& column
   if (!listed) {
     catalog_entry->AddIndex(column);
   }
+  InvalidatePlans();
   return OkStatus();
 }
 

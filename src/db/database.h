@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/db/plan.h"
 #include "src/db/schema.h"
 #include "src/db/table.h"
 #include "src/sql/ast.h"
@@ -63,10 +64,22 @@ struct DbStats {
   std::atomic<uint64_t> rows_updated{0};
   std::atomic<uint64_t> rows_deleted{0};
   std::atomic<uint64_t> index_lookups{0};
+  // Predicate-bearing statements that had to scan the whole table. Reads
+  // with no WHERE clause at all (NumRecords-style whole-table reads) are
+  // deliberate and do NOT count.
   std::atomic<uint64_t> full_scans{0};
+  // Candidate rows the residual filter evaluated (per-row predicate work;
+  // an effective plan keeps this close to the matching-row count).
+  std::atomic<uint64_t> rows_examined{0};
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> range_probes{0};
 
   DbStats() = default;
   DbStats(const DbStats& o) { *this = o; }
+  // Hand-written because atomics are not copyable. When adding a counter,
+  // add it here too — DbPlannerTest.StatsCopyRoundTripsEveryCounter fails
+  // on any field this list misses.
   DbStats& operator=(const DbStats& o) {
     queries = o.queries.load(std::memory_order_relaxed);
     rows_read = o.rows_read.load(std::memory_order_relaxed);
@@ -75,10 +88,24 @@ struct DbStats {
     rows_deleted = o.rows_deleted.load(std::memory_order_relaxed);
     index_lookups = o.index_lookups.load(std::memory_order_relaxed);
     full_scans = o.full_scans.load(std::memory_order_relaxed);
+    rows_examined = o.rows_examined.load(std::memory_order_relaxed);
+    plan_cache_hits = o.plan_cache_hits.load(std::memory_order_relaxed);
+    plan_cache_misses = o.plan_cache_misses.load(std::memory_order_relaxed);
+    range_probes = o.range_probes.load(std::memory_order_relaxed);
     return *this;
   }
 
   void Reset() { *this = DbStats{}; }
+};
+
+// How MatchRows turns a WHERE clause into candidate rows. kPlanned is the
+// production path (plan cache + index probes + compiled residual);
+// kInterpreted preserves the legacy path — single equality-probe attempt,
+// then per-row AST interpretation — as the ablation baseline (EXPERIMENTS.md
+// Ablation H).
+enum class PlannerMode {
+  kPlanned,
+  kInterpreted,
 };
 
 // One column assignment in an UPDATE: column <- expression (evaluated per
@@ -247,6 +274,19 @@ class Database {
   const DbStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Planner mode knob (see PlannerMode). Safe to flip between statements;
+  // flipping during a statement is racy but benign (both paths are correct).
+  void SetPlannerMode(PlannerMode mode) {
+    planner_mode_.store(mode, std::memory_order_relaxed);
+  }
+  PlannerMode planner_mode() const {
+    return planner_mode_.load(std::memory_order_relaxed);
+  }
+
+  // EXPLAIN surface: the plan description MatchRows would use for `pred`
+  // on `table` ("probe(eq(contactId = $UID))", "scan(papers)", ...).
+  StatusOr<std::string> DescribePlan(const std::string& table, const sql::Expr& pred) const;
+
   // Monotonic count of logical statements issued BY THE CALLING THREAD
   // across all Database instances. Deltas around an operation give an exact
   // per-operation statement count even while other threads run (the global
@@ -312,9 +352,33 @@ class Database {
   Status SetColumnInTxn(TxnState& tx, const std::string& table_name, Table* t, RowId id,
                         size_t col_idx, sql::Value value);
 
-  // Predicate evaluation: builds the ColumnResolver for (schema,row).
+  // Candidate rows matching `pred` (nullptr = all rows). Dispatches on
+  // planner_mode_: planned path (plan cache + probes + compiled residual)
+  // or the legacy interpreted path.
   StatusOr<std::vector<RowId>> MatchRows(const Table& table, const sql::Expr* pred,
                                          const sql::ParamMap& params) const;
+
+  // Legacy matcher: one equality-probe attempt, then per-row AST
+  // interpretation. Kept verbatim as the Ablation H baseline.
+  StatusOr<std::vector<RowId>> MatchRowsInterpreted(const Table& table, const sql::Expr* pred,
+                                                    const sql::ParamMap& params) const;
+
+  // Drops every cached plan. Call from DDL while holding catalog_mu_
+  // exclusively (no statement can then be mid-MatchRows).
+  void InvalidatePlans() const {
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    plan_cache_.clear();
+  }
+
+  // Plan-cache lookup / build for (table, pred). Thread-safe; first insert
+  // wins when two threads build the same plan concurrently.
+  StatusOr<std::shared_ptr<const TablePlan>> GetPlan(const Table& table,
+                                                     const sql::Expr& pred) const;
+
+  // Runs one index probe, appending sorted row ids to `out`. Returns false
+  // if the expected index is unavailable (caller falls back to a scan).
+  StatusOr<bool> ExecuteProbe(const Table& table, const IndexProbe& probe,
+                              const sql::ParamMap& params, std::vector<RowId>* out) const;
 
   // Undo-log helpers.
   void LogInsert(TxnState& tx, const std::string& table, RowId id);
@@ -364,6 +428,7 @@ class Database {
 
   // Lock hierarchy (acquire strictly downward):
   //   catalog_mu_  ->  stripes_[i] (ascending i)  ->  txn_mu_ / intents_mu_
+  //                                                   / plan_mu_ (all leaves)
   static constexpr size_t kNumStripes = 32;
   mutable std::shared_mutex catalog_mu_;
   mutable std::array<std::shared_mutex, kNumStripes> stripes_;
@@ -373,6 +438,19 @@ class Database {
 
   mutable std::mutex intents_mu_;
   std::map<std::pair<std::string, RowId>, std::thread::id> write_intents_;
+
+  // Plan cache, keyed by table name + predicate fingerprint (ToString).
+  // Schema changes invalidate: every DDL entry point clears the cache while
+  // holding catalog_mu_ exclusively, so no MatchRows (catalog shared) can
+  // be mid-flight with a stale plan. plan_mu_ is a leaf lock: never take
+  // another Database lock while holding it.
+  // Cap on cached plans: one-shot literal predicates would otherwise grow
+  // the cache without bound (GetPlan clears it epoch-style at the cap).
+  static constexpr size_t kMaxCachedPlans = 4096;
+  mutable std::shared_mutex plan_mu_;  // shared: lookup; exclusive: insert/clear
+  mutable std::unordered_map<std::string, std::shared_ptr<const TablePlan>> plan_cache_;
+
+  std::atomic<PlannerMode> planner_mode_{PlannerMode::kPlanned};
 
   WriteGuard write_guard_;
 

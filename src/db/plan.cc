@@ -1,0 +1,305 @@
+#include "src/db/plan.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/sql/eval.h"
+
+namespace edna::db {
+
+namespace {
+
+void FlattenAnd(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
+  if (e->kind() == sql::ExprKind::kBinary && e->binary_op() == sql::BinaryOp::kAnd) {
+    FlattenAnd(e->children()[0].get(), out);
+    FlattenAnd(e->children()[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void FlattenOr(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
+  if (e->kind() == sql::ExprKind::kBinary && e->binary_op() == sql::BinaryOp::kOr) {
+    FlattenOr(e->children()[0].get(), out);
+    FlattenOr(e->children()[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// A column reference the probe machinery can use: unqualified, or qualified
+// with the planned table's own name.
+bool IsOwnColumn(const sql::Expr& e, const Table& table) {
+  return e.kind() == sql::ExprKind::kColumnRef &&
+         (e.table().empty() || e.table() == table.schema().name());
+}
+
+// Mirror a comparison across `=`: 5 < col  ==  col > 5.
+sql::BinaryOp FlipComparison(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kLt:
+      return sql::BinaryOp::kGt;
+    case sql::BinaryOp::kLe:
+      return sql::BinaryOp::kGe;
+    case sql::BinaryOp::kGt:
+      return sql::BinaryOp::kLt;
+    case sql::BinaryOp::kGe:
+      return sql::BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+// Classifies one AND conjunct as an index probe, or nullopt if no index
+// supports it (it then rides along in the residual filter only).
+std::optional<IndexProbe> ClassifyConjunct(const Table& table, const sql::Expr& e) {
+  switch (e.kind()) {
+    case sql::ExprKind::kBinary: {
+      sql::BinaryOp op = e.binary_op();
+      if (op != sql::BinaryOp::kEq && op != sql::BinaryOp::kLt &&
+          op != sql::BinaryOp::kLe && op != sql::BinaryOp::kGt &&
+          op != sql::BinaryOp::kGe) {
+        return std::nullopt;
+      }
+      const sql::Expr* lhs = e.children()[0].get();
+      const sql::Expr* rhs = e.children()[1].get();
+      if (!IsOwnColumn(*lhs, table)) {
+        std::swap(lhs, rhs);
+        op = FlipComparison(op);
+      }
+      if (!IsOwnColumn(*lhs, table) || !sql::IsConstantExpression(*rhs)) {
+        return std::nullopt;
+      }
+      IndexProbe probe;
+      probe.column = lhs->column();
+      if (op == sql::BinaryOp::kEq) {
+        if (!table.HasIndexOn(probe.column)) {
+          return std::nullopt;
+        }
+        probe.kind = IndexProbe::Kind::kEq;
+        probe.eq_value = rhs->Clone();
+        return probe;
+      }
+      if (!table.HasOrderedIndexOn(probe.column)) {
+        return std::nullopt;
+      }
+      probe.kind = IndexProbe::Kind::kRange;
+      if (op == sql::BinaryOp::kGt || op == sql::BinaryOp::kGe) {
+        probe.lo = rhs->Clone();
+        probe.lo_inclusive = op == sql::BinaryOp::kGe;
+      } else {
+        probe.hi = rhs->Clone();
+        probe.hi_inclusive = op == sql::BinaryOp::kLe;
+      }
+      return probe;
+    }
+    case sql::ExprKind::kIn: {
+      // NOT IN cannot narrow (its matches are everything OUTSIDE the list).
+      if (e.negated() || !IsOwnColumn(*e.children()[0], table) ||
+          !table.HasIndexOn(e.children()[0]->column())) {
+        return std::nullopt;
+      }
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        if (!sql::IsConstantExpression(*e.children()[i])) {
+          return std::nullopt;
+        }
+      }
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kIn;
+      probe.column = e.children()[0]->column();
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        probe.in_items.push_back(e.children()[i]->Clone());
+      }
+      return probe;
+    }
+    case sql::ExprKind::kBetween: {
+      if (e.negated() || !IsOwnColumn(*e.children()[0], table) ||
+          !table.HasOrderedIndexOn(e.children()[0]->column()) ||
+          !sql::IsConstantExpression(*e.children()[1]) ||
+          !sql::IsConstantExpression(*e.children()[2])) {
+        return std::nullopt;
+      }
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kRange;
+      probe.column = e.children()[0]->column();
+      probe.lo = e.children()[1]->Clone();
+      probe.hi = e.children()[2]->Clone();
+      return probe;
+    }
+    case sql::ExprKind::kIsNull: {
+      // IS NOT NULL matches nearly everything; probing it would not narrow.
+      if (e.negated() || !IsOwnColumn(*e.children()[0], table) ||
+          !table.HasNullTrackingOn(e.children()[0]->column())) {
+        return std::nullopt;
+      }
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kIsNull;
+      probe.column = e.children()[0]->column();
+      return probe;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Rank for intersection seeding: equality-style probes first (smallest
+// expected row sets), ranges last. Stable across runs for determinism.
+int ProbeRank(const IndexProbe& p) {
+  switch (p.kind) {
+    case IndexProbe::Kind::kEq:
+      return 0;
+    case IndexProbe::Kind::kIsNull:
+      return 1;
+    case IndexProbe::Kind::kIn:
+      return 2;
+    case IndexProbe::Kind::kRange:
+      return 3;
+  }
+  return 4;
+}
+
+std::string DescribeProbes(const std::vector<IndexProbe>& probes, const char* sep) {
+  std::vector<std::string> parts;
+  parts.reserve(probes.size());
+  for (const IndexProbe& p : probes) {
+    parts.push_back(p.Describe());
+  }
+  return StrJoin(parts, sep);
+}
+
+}  // namespace
+
+std::string IndexProbe::Describe() const {
+  switch (kind) {
+    case Kind::kEq:
+      return "eq(" + column + " = " + eq_value->ToString() + ")";
+    case Kind::kIn:
+      return StrFormat("in(%s, %zu items)", column.c_str(), in_items.size());
+    case Kind::kRange: {
+      std::string s = "range(";
+      if (lo != nullptr) {
+        s += lo->ToString() + (lo_inclusive ? " <= " : " < ");
+      }
+      s += column;
+      if (hi != nullptr) {
+        s += (hi_inclusive ? " <= " : " < ") + hi->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kIsNull:
+      return "null(" + column + ")";
+  }
+  return "?";
+}
+
+StatusOr<std::shared_ptr<const TablePlan>> PlanPredicate(const Table& table,
+                                                         const sql::Expr& pred) {
+  auto plan = std::make_shared<TablePlan>();
+
+  if (sql::IsConstantExpression(pred)) {
+    plan->access = TablePlan::Access::kConstant;
+    plan->constant = pred.Clone();
+    plan->description = "constant(" + pred.ToString() + ")";
+    return std::shared_ptr<const TablePlan>(std::move(plan));
+  }
+
+  // Non-constant plans filter candidates through the full compiled
+  // predicate — unless the probes alone are exact. Unknown columns become
+  // deferred errors (lazy, like the interpreter), so binding failures never
+  // fail planning. Compiled lazily below: the engine's hot path emits many
+  // one-shot literal predicates whose plans are exact, and compiling a
+  // residual for each would cost more than it ever saves.
+  const TableSchema& schema = table.schema();
+  auto compile_residual = [&]() -> Status {
+    sql::ColumnBinder binder = [&schema](const std::string& tbl,
+                                         const std::string& column) -> StatusOr<size_t> {
+      if (!tbl.empty() && tbl != schema.name()) {
+        return NotFound("unknown table qualifier \"" + tbl + "\" (row is from \"" +
+                        schema.name() + "\")");
+      }
+      int idx = schema.ColumnIndex(column);
+      if (idx < 0) {
+        return NotFound("unknown column \"" + column + "\" in table \"" + schema.name() +
+                        "\"");
+      }
+      return static_cast<size_t>(idx);
+    };
+    ASSIGN_OR_RETURN(sql::CompiledPredicate compiled,
+                     sql::CompiledPredicate::Compile(pred, binder));
+    plan->residual.emplace(std::move(compiled));
+    return OkStatus();
+  };
+
+  // AND of conjuncts: collect every indexable conjunct; the executor
+  // intersects their row sets, seeding from the smallest.
+  std::vector<const sql::Expr*> conjuncts;
+  FlattenAnd(&pred, &conjuncts);
+  for (const sql::Expr* c : conjuncts) {
+    if (auto probe = ClassifyConjunct(table, *c)) {
+      plan->probes.push_back(std::move(*probe));
+    }
+  }
+  if (!plan->probes.empty()) {
+    std::stable_sort(plan->probes.begin(), plan->probes.end(),
+                     [](const IndexProbe& a, const IndexProbe& b) {
+                       return ProbeRank(a) < ProbeRank(b);
+                     });
+    plan->access = TablePlan::Access::kProbe;
+    // One conjunct that IS the probe: the probe decides, no residual.
+    plan->exact = conjuncts.size() == 1 && plan->probes.size() == 1;
+    if (!plan->exact) {
+      RETURN_IF_ERROR(compile_residual());
+    }
+    plan->description = "probe(" + DescribeProbes(plan->probes, " & ") + ")";
+    return std::shared_ptr<const TablePlan>(std::move(plan));
+  }
+
+  // OR whose every arm contains an indexable conjunct: the union of one
+  // probe per arm is a superset of the OR's matches (each arm's probe
+  // covers at least that arm).
+  if (pred.kind() == sql::ExprKind::kBinary &&
+      pred.binary_op() == sql::BinaryOp::kOr) {
+    std::vector<const sql::Expr*> arms;
+    FlattenOr(&pred, &arms);
+    std::vector<IndexProbe> union_arms;
+    bool all_indexable = true;
+    bool all_exact = true;
+    for (const sql::Expr* arm : arms) {
+      std::vector<const sql::Expr*> arm_conjuncts;
+      FlattenAnd(arm, &arm_conjuncts);
+      std::optional<IndexProbe> best;
+      for (const sql::Expr* c : arm_conjuncts) {
+        auto probe = ClassifyConjunct(table, *c);
+        if (probe && (!best || ProbeRank(*probe) < ProbeRank(*best))) {
+          best = std::move(probe);
+        }
+      }
+      if (!best) {
+        all_indexable = false;
+        break;
+      }
+      all_exact = all_exact && arm_conjuncts.size() == 1;
+      union_arms.push_back(std::move(*best));
+    }
+    if (all_indexable) {
+      plan->access = TablePlan::Access::kUnion;
+      plan->union_arms = std::move(union_arms);
+      // Every arm IS its probe: the deduplicated union decides outright.
+      plan->exact = all_exact;
+      if (!plan->exact) {
+        RETURN_IF_ERROR(compile_residual());
+      }
+      plan->description = "union(" + DescribeProbes(plan->union_arms, " | ") + ")";
+      return std::shared_ptr<const TablePlan>(std::move(plan));
+    }
+  }
+
+  plan->access = TablePlan::Access::kFullScan;
+  plan->description = "scan(" + schema.name() + ")";
+  RETURN_IF_ERROR(compile_residual());
+  return std::shared_ptr<const TablePlan>(std::move(plan));
+}
+
+}  // namespace edna::db

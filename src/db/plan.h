@@ -1,0 +1,95 @@
+// Query planning for predicate-driven DML.
+//
+// PlanPredicate inspects a WHERE clause once and produces an immutable
+// TablePlan: which index probes narrow the candidate set (equality,
+// IN-list, range/BETWEEN, IS NULL), how multiple probes combine
+// (intersection for AND conjuncts, union for OR arms), and the compiled
+// residual predicate that every candidate is still filtered through.
+// Probes only ever NARROW — they must yield a superset of the matching
+// rows — so planning can be conservative: anything unrecognized simply
+// stays in the residual, and a predicate with no indexable part degrades
+// to a full scan plus compiled filter.
+//
+// Plans are immutable after construction and shared across threads via
+// shared_ptr (Database keeps a cache keyed by table + predicate
+// fingerprint). All per-invocation state — bound parameter values, the
+// evaluation register file — lives with the caller, so one plan can serve
+// concurrent statements without synchronization.
+#ifndef SRC_DB_PLAN_H_
+#define SRC_DB_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/table.h"
+#include "src/sql/ast.h"
+#include "src/sql/compile.h"
+
+namespace edna::db {
+
+// One index access. Value expressions are column-free clones taken from the
+// predicate; they may reference $params, so they are evaluated per statement
+// (EvaluateConstant) and the results probed against the index.
+struct IndexProbe {
+  enum class Kind {
+    kEq,      // hash/PK equality bucket
+    kIn,      // one equality probe per IN-list item
+    kRange,   // ordered-index range, from </<=/>/>= or BETWEEN
+    kIsNull,  // the index's NULL row set
+  };
+  Kind kind = Kind::kEq;
+  std::string column;
+
+  sql::ExprPtr eq_value;               // kEq
+  std::vector<sql::ExprPtr> in_items;  // kIn
+  sql::ExprPtr lo, hi;                 // kRange; either may be null = open
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+
+  std::string Describe() const;
+};
+
+// Access plan for one (table, predicate) pair.
+struct TablePlan {
+  enum class Access {
+    kConstant,  // no column refs: evaluate once per statement, not per row
+    kProbe,     // intersect the probes' row sets, then filter by residual
+    kUnion,     // union the arms' row sets, then filter by residual
+    kFullScan,  // no usable index: scan every row, filter by residual
+  };
+  Access access = Access::kFullScan;
+  std::vector<IndexProbe> probes;      // kProbe
+  std::vector<IndexProbe> union_arms;  // kUnion
+  sql::ExprPtr constant;               // kConstant: clone of the predicate
+
+  // The FULL predicate, compiled. Probes narrow, they never decide: every
+  // candidate row still runs through this filter. Unset for kConstant and
+  // for exact plans (below).
+  std::optional<sql::CompiledPredicate> residual;
+
+  // Exact plan: the probe set IS the predicate — a single conjunct that
+  // classified as a probe, or an OR whose every arm is such a conjunct.
+  // Probe semantics match SQL row-by-row evaluation for these shapes (NULL
+  // needles/bounds/items all yield "no match", as UNKNOWN does), so the
+  // residual filter is skipped entirely. This is what keeps one-shot
+  // literal predicates (`"id" = 42` statements generated per row by the
+  // engine) from paying a predicate compilation per statement.
+  bool exact = false;
+
+  // Human-readable plan line for EXPLAIN surfaces.
+  std::string description;
+};
+
+// Plans `pred` against `table`'s indexes. Unknown columns do NOT fail
+// planning — they lower to deferred errors inside the compiled residual,
+// matching the interpreter's lazy binding under short-circuit. Only
+// internal inconsistencies return an error.
+StatusOr<std::shared_ptr<const TablePlan>> PlanPredicate(const Table& table,
+                                                         const sql::Expr& pred);
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_PLAN_H_

@@ -46,12 +46,12 @@ std::string PkKey::ToString() const { return "[" + JoinValues(values) + "]"; }
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   for (const IndexDef& idx : schema_.indexes()) {
-    secondary_.emplace(idx.column, HashIndex{});
+    secondary_[idx.column].ordered = true;  // declared indexes support ranges
   }
   // Index every foreign-key column implicitly: child lookups during deletes
   // and decorrelation are the engine's hottest operation.
   for (const ForeignKeyDef& fk : schema_.foreign_keys()) {
-    secondary_.emplace(fk.column, HashIndex{});
+    secondary_.emplace(fk.column, SecondaryIndex{});
   }
 }
 
@@ -98,8 +98,13 @@ PkKey Table::ExtractPk(const Row& row) const {
 void Table::IndexInsert(RowId id, const Row& row) {
   for (auto& [column, index] : secondary_) {
     const sql::Value& v = row[static_cast<size_t>(schema_.ColumnIndex(column))];
-    if (!v.is_null()) {
-      index[v].insert(id);
+    if (v.is_null()) {
+      index.nulls.insert(id);
+      continue;
+    }
+    index.eq[v].insert(id);
+    if (index.ordered) {
+      index.sorted[v].insert(id);
     }
   }
 }
@@ -108,13 +113,23 @@ void Table::IndexErase(RowId id, const Row& row) {
   for (auto& [column, index] : secondary_) {
     const sql::Value& v = row[static_cast<size_t>(schema_.ColumnIndex(column))];
     if (v.is_null()) {
+      index.nulls.erase(id);
       continue;
     }
-    auto it = index.find(v);
-    if (it != index.end()) {
+    auto it = index.eq.find(v);
+    if (it != index.eq.end()) {
       it->second.erase(id);
       if (it->second.empty()) {
-        index.erase(it);
+        index.eq.erase(it);
+      }
+    }
+    if (index.ordered) {
+      auto oit = index.sorted.find(v);
+      if (oit != index.sorted.end()) {
+        oit->second.erase(id);
+        if (oit->second.empty()) {
+          index.sorted.erase(oit);
+        }
       }
     }
   }
@@ -251,17 +266,34 @@ StatusOr<sql::Value> Table::UpdateColumn(RowId id, size_t col_idx, sql::Value va
   // Secondary index maintenance.
   auto sec = secondary_.find(col.name);
   if (sec != secondary_.end()) {
-    if (!old.is_null()) {
-      auto bucket = sec->second.find(old);
-      if (bucket != sec->second.end()) {
+    SecondaryIndex& index = sec->second;
+    if (old.is_null()) {
+      index.nulls.erase(id);
+    } else {
+      auto bucket = index.eq.find(old);
+      if (bucket != index.eq.end()) {
         bucket->second.erase(id);
         if (bucket->second.empty()) {
-          sec->second.erase(bucket);
+          index.eq.erase(bucket);
+        }
+      }
+      if (index.ordered) {
+        auto obucket = index.sorted.find(old);
+        if (obucket != index.sorted.end()) {
+          obucket->second.erase(id);
+          if (obucket->second.empty()) {
+            index.sorted.erase(obucket);
+          }
         }
       }
     }
-    if (!value.is_null()) {
-      sec->second[value].insert(id);
+    if (value.is_null()) {
+      index.nulls.insert(id);
+    } else {
+      index.eq[value].insert(id);
+      if (index.ordered) {
+        index.sorted[value].insert(id);
+      }
     }
   }
 
@@ -311,8 +343,8 @@ bool Table::IndexLookup(const std::string& column, const sql::Value& value,
   if (sec == secondary_.end()) {
     return false;
   }
-  auto bucket = sec->second.find(value);
-  if (bucket != sec->second.end()) {
+  auto bucket = sec->second.eq.find(value);
+  if (bucket != sec->second.eq.end()) {
     out->assign(bucket->second.begin(), bucket->second.end());
     std::sort(out->begin(), out->end());
   }
@@ -323,6 +355,80 @@ bool Table::HasIndexOn(const std::string& column) const {
   if (schema_.primary_key().size() == 1 && schema_.primary_key()[0] == column) {
     return true;
   }
+  return secondary_.count(column) > 0;
+}
+
+bool Table::RangeLookup(const std::string& column, const sql::Value* lo, bool lo_inclusive,
+                        const sql::Value* hi, bool hi_inclusive,
+                        std::vector<RowId>* out) const {
+  out->clear();
+  // A NULL bound compares UNKNOWN against everything: no row can match.
+  if ((lo != nullptr && lo->is_null()) || (hi != nullptr && hi->is_null())) {
+    return HasOrderedIndexOn(column);
+  }
+  // Empty range (lo past hi): answer [] without iterating — begin/end
+  // iterators would cross otherwise.
+  if (lo != nullptr && hi != nullptr) {
+    int c = lo->Compare(*hi);
+    if (c > 0 || (c == 0 && !(lo_inclusive && hi_inclusive))) {
+      return HasOrderedIndexOn(column);
+    }
+  }
+  // Whole-PK fast path: pk_index_ is already ordered by value.
+  if (schema_.primary_key().size() == 1 && schema_.primary_key()[0] == column) {
+    auto begin = pk_index_.begin();
+    auto end = pk_index_.end();
+    if (lo != nullptr) {
+      PkKey key;
+      key.values.push_back(*lo);
+      begin = lo_inclusive ? pk_index_.lower_bound(key) : pk_index_.upper_bound(key);
+    }
+    if (hi != nullptr) {
+      PkKey key;
+      key.values.push_back(*hi);
+      end = hi_inclusive ? pk_index_.upper_bound(key) : pk_index_.lower_bound(key);
+    }
+    for (auto it = begin; it != end; ++it) {
+      out->push_back(it->second);
+    }
+    std::sort(out->begin(), out->end());
+    return true;
+  }
+  auto sec = secondary_.find(column);
+  if (sec == secondary_.end() || !sec->second.ordered) {
+    return false;
+  }
+  const OrderedIndex& sorted = sec->second.sorted;
+  auto begin = lo == nullptr ? sorted.begin()
+                             : (lo_inclusive ? sorted.lower_bound(*lo) : sorted.upper_bound(*lo));
+  auto end = hi == nullptr ? sorted.end()
+                           : (hi_inclusive ? sorted.upper_bound(*hi) : sorted.lower_bound(*hi));
+  for (auto it = begin; it != end; ++it) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+bool Table::HasOrderedIndexOn(const std::string& column) const {
+  if (schema_.primary_key().size() == 1 && schema_.primary_key()[0] == column) {
+    return true;
+  }
+  auto sec = secondary_.find(column);
+  return sec != secondary_.end() && sec->second.ordered;
+}
+
+bool Table::NullLookup(const std::string& column, std::vector<RowId>* out) const {
+  out->clear();
+  auto sec = secondary_.find(column);
+  if (sec == secondary_.end()) {
+    return false;
+  }
+  out->assign(sec->second.nulls.begin(), sec->second.nulls.end());
+  return true;
+}
+
+bool Table::HasNullTrackingOn(const std::string& column) const {
   return secondary_.count(column) > 0;
 }
 
@@ -368,15 +474,27 @@ Status Table::BuildIndex(const std::string& column) {
   if (idx < 0) {
     return NotFound("no column \"" + column + "\" in table \"" + schema_.name() + "\"");
   }
-  if (secondary_.count(column) > 0) {
-    return OkStatus();  // already indexed
+  if (auto it = secondary_.find(column); it != secondary_.end()) {
+    // Already indexed. An implicit FK index may lack the ordered mirror a
+    // declared index carries; upgrade it in place.
+    if (!it->second.ordered) {
+      it->second.ordered = true;
+      for (const auto& [value, ids] : it->second.eq) {
+        it->second.sorted[value].insert(ids.begin(), ids.end());
+      }
+    }
+    return OkStatus();
   }
   schema_.AddIndex(column);
-  HashIndex& index = secondary_[column];
+  SecondaryIndex& index = secondary_[column];
+  index.ordered = true;
   for (const auto& [id, row] : rows_) {
     const sql::Value& v = row[static_cast<size_t>(idx)];
-    if (!v.is_null()) {
-      index[v].insert(id);
+    if (v.is_null()) {
+      index.nulls.insert(id);
+    } else {
+      index.eq[v].insert(id);
+      index.sorted[v].insert(id);
     }
   }
   return OkStatus();
@@ -394,17 +512,19 @@ Status Table::CheckIndexConsistency() const {
   if (pk_index_.size() != rows_.size()) {
     return Internal("pk_index size mismatch in table \"" + schema_.name() + "\"");
   }
-  // 2. Secondary indexes exactly cover non-null column values.
+  // 2. Secondary indexes exactly cover non-null column values; the null set
+  //    exactly covers the NULL values; the ordered mirror (when present)
+  //    agrees with the hash buckets entry-for-entry.
   for (const auto& [column, index] : secondary_) {
+    const size_t col_idx = static_cast<size_t>(schema_.ColumnIndex(column));
     size_t indexed = 0;
-    for (const auto& [value, ids] : index) {
+    for (const auto& [value, ids] : index.eq) {
       for (RowId id : ids) {
         const Row* row = Find(id);
         if (row == nullptr) {
           return Internal("secondary index on \"" + column + "\" holds dead row id");
         }
-        const sql::Value& actual =
-            (*row)[static_cast<size_t>(schema_.ColumnIndex(column))];
+        const sql::Value& actual = (*row)[col_idx];
         if (!actual.SqlEquals(value)) {
           return Internal("secondary index on \"" + column + "\" holds stale value");
         }
@@ -412,14 +532,51 @@ Status Table::CheckIndexConsistency() const {
       }
     }
     size_t expected = 0;
+    size_t expected_null = 0;
     for (const auto& [id, row] : rows_) {
-      if (!row[static_cast<size_t>(schema_.ColumnIndex(column))].is_null()) {
+      if (row[col_idx].is_null()) {
+        ++expected_null;
+        if (index.nulls.count(id) == 0) {
+          return Internal("secondary index on \"" + column +
+                          "\" null set missing a NULL row");
+        }
+      } else {
         ++expected;
       }
     }
     if (indexed != expected) {
       return Internal(StrFormat("secondary index on \"%s\" covers %zu rows, expected %zu",
                                 column.c_str(), indexed, expected));
+    }
+    if (index.nulls.size() != expected_null) {
+      return Internal(StrFormat(
+          "secondary index on \"%s\" null set holds %zu rows, expected %zu",
+          column.c_str(), index.nulls.size(), expected_null));
+    }
+    if (index.ordered) {
+      size_t sorted_count = 0;
+      for (const auto& [value, ids] : index.sorted) {
+        sorted_count += ids.size();
+        auto eq_it = index.eq.find(value);
+        if (eq_it == index.eq.end()) {
+          return Internal("ordered index on \"" + column +
+                          "\" holds a value absent from the hash index");
+        }
+        for (RowId id : ids) {
+          if (eq_it->second.count(id) == 0) {
+            return Internal("ordered index on \"" + column +
+                            "\" holds a row absent from the hash bucket");
+          }
+        }
+      }
+      if (sorted_count != indexed) {
+        return Internal(StrFormat(
+            "ordered index on \"%s\" covers %zu rows, hash index covers %zu",
+            column.c_str(), sorted_count, indexed));
+      }
+    } else if (!index.sorted.empty()) {
+      return Internal("hash-only index on \"" + column +
+                      "\" carries ordered entries");
     }
   }
   return OkStatus();

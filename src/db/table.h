@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -80,6 +81,25 @@ class Table {
   // single-column primary key).
   bool HasIndexOn(const std::string& column) const;
 
+  // Ordered range probe over `column`: row ids whose value lies in
+  // [lo, hi] (either bound may be nullptr = open; inclusivity per flag).
+  // NULL column values never match; a NULL bound matches nothing (any
+  // comparison with it is UNKNOWN). Returns false when the column has no
+  // ordered index (declared secondary, or single-column PK).
+  bool RangeLookup(const std::string& column, const sql::Value* lo, bool lo_inclusive,
+                   const sql::Value* hi, bool hi_inclusive, std::vector<RowId>* out) const;
+
+  // True if `column` supports RangeLookup.
+  bool HasOrderedIndexOn(const std::string& column) const;
+
+  // Row ids whose `column` IS NULL, via the secondary index's null set.
+  // Returns false when the column has no secondary index (the PK fast path
+  // does not apply: PK columns are NOT NULL).
+  bool NullLookup(const std::string& column, std::vector<RowId>* out) const;
+
+  // True if `column` supports NullLookup.
+  bool HasNullTrackingOn(const std::string& column) const;
+
   // Iterates all rows in RowId order; callback may not mutate the table.
   void Scan(const std::function<void(RowId, const Row&)>& fn) const;
 
@@ -115,11 +135,25 @@ class Table {
   int64_t auto_counter_ = 0;
 
   std::map<PkKey, RowId> pk_index_;
-  // column name -> value -> row ids
+  // value -> row ids (non-NULL values only).
   using HashIndex =
       std::unordered_map<sql::Value, std::unordered_set<RowId>, sql::ValueHash,
                          sql::ValueSqlEq>;
-  std::unordered_map<std::string, HashIndex> secondary_;
+  // Value::Compare total order; used for range probes.
+  using OrderedIndex = std::map<sql::Value, std::set<RowId>>;
+
+  // One secondary index: equality buckets plus the rows whose value IS NULL
+  // (so `col IS NULL` plans as a probe). Declared indexes (IndexDef /
+  // CreateIndex) additionally maintain an ordered mirror for range/BETWEEN;
+  // implicit FK indexes stay hash-only — FK probes are equality-only and the
+  // FK columns sit on the engine's hottest write path.
+  struct SecondaryIndex {
+    HashIndex eq;
+    std::set<RowId> nulls;
+    bool ordered = false;
+    OrderedIndex sorted;
+  };
+  std::unordered_map<std::string, SecondaryIndex> secondary_;
 };
 
 }  // namespace edna::db

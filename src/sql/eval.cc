@@ -6,10 +6,7 @@
 
 namespace edna::sql {
 
-namespace {
-
-// Kleene truth value: FALSE / UNKNOWN / TRUE.
-enum class Truth { kFalse = 0, kUnknown = 1, kTrue = 2 };
+// --- Shared kernels (declared in eval.h; also used by compile.cc) ------------
 
 Truth TruthOf(const Value& v, Status* error) {
   if (v.is_null()) {
@@ -38,8 +35,6 @@ Value TruthToValue(Truth t) {
   return Value::Null();
 }
 
-// Compares under SQL semantics; returns Null value if either side is NULL.
-// `op` is one of the six comparison BinaryOps.
 StatusOr<Value> CompareValues(BinaryOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) {
     return Value::Null();
@@ -79,7 +74,7 @@ StatusOr<Value> CompareValues(BinaryOp op, const Value& a, const Value& b) {
   return Value::Bool(result);
 }
 
-StatusOr<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
+StatusOr<Value> ArithmeticValues(BinaryOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) {
     return Value::Null();
   }
@@ -132,7 +127,7 @@ StatusOr<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
-std::string Stringify(const Value& v) {
+std::string StringifyValue(const Value& v) {
   if (v.is_string()) {
     return v.AsString();
   }
@@ -142,7 +137,8 @@ std::string Stringify(const Value& v) {
   return v.ToSqlString();
 }
 
-StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& args) {
+StatusOr<Value> CallScalarFunction(const std::string& name,
+                                   const std::vector<Value>& args) {
   auto arity = [&](size_t want) -> Status {
     if (args.size() != want) {
       return InvalidArgument(
@@ -156,14 +152,14 @@ StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& 
     if (args[0].is_null()) {
       return Value::Null();
     }
-    return Value::String(AsciiLower(Stringify(args[0])));
+    return Value::String(AsciiLower(StringifyValue(args[0])));
   }
   if (name == "UPPER") {
     RETURN_IF_ERROR(arity(1));
     if (args[0].is_null()) {
       return Value::Null();
     }
-    return Value::String(AsciiUpper(Stringify(args[0])));
+    return Value::String(AsciiUpper(StringifyValue(args[0])));
   }
   if (name == "LENGTH") {
     RETURN_IF_ERROR(arity(1));
@@ -173,7 +169,7 @@ StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& 
     if (args[0].is_blob()) {
       return Value::Int(static_cast<int64_t>(args[0].AsBlob().size()));
     }
-    return Value::Int(static_cast<int64_t>(Stringify(args[0]).size()));
+    return Value::Int(static_cast<int64_t>(StringifyValue(args[0]).size()));
   }
   if (name == "ABS") {
     RETURN_IF_ERROR(arity(1));
@@ -209,7 +205,7 @@ StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& 
     if (args[0].is_null() || args[1].is_null()) {
       return Value::Null();
     }
-    std::string s = Stringify(args[0]);
+    std::string s = StringifyValue(args[0]);
     ASSIGN_OR_RETURN(double startd, args[1].ToNumber());
     int64_t start = static_cast<int64_t>(startd);  // 1-based, SQL style
     if (start < 1) {
@@ -235,13 +231,13 @@ StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& 
       return Value::Null();
     }
     return Value::String(
-        StrReplaceAll(Stringify(args[0]), Stringify(args[1]), Stringify(args[2])));
+        StrReplaceAll(StringifyValue(args[0]), StringifyValue(args[1]), StringifyValue(args[2])));
   }
   if (name == "CONCAT") {
     std::string out;
     for (const Value& a : args) {
       if (!a.is_null()) {
-        out += Stringify(a);
+        out += StringifyValue(a);
       }
     }
     return Value::String(std::move(out));
@@ -265,6 +261,8 @@ StatusOr<Value> CallFunction(const std::string& name, const std::vector<Value>& 
   }
   return InvalidArgument("unknown function: " + name);
 }
+
+namespace {
 
 class Evaluator {
  public:
@@ -390,7 +388,7 @@ class Evaluator {
           ASSIGN_OR_RETURN(Value v, Eval(*c));
           args.push_back(std::move(v));
         }
-        return CallFunction(e.function(), args);
+        return CallScalarFunction(e.function(), args);
       }
     }
     return Internal("bad expression kind");
@@ -426,7 +424,7 @@ class Evaluator {
       case BinaryOp::kMul:
       case BinaryOp::kDiv:
       case BinaryOp::kMod:
-        return Arithmetic(op, a, b);
+        return ArithmeticValues(op, a, b);
       case BinaryOp::kEq:
       case BinaryOp::kNe:
       case BinaryOp::kLt:
@@ -438,7 +436,7 @@ class Evaluator {
         if (a.is_null() || b.is_null()) {
           return Value::Null();
         }
-        return Value::String(Stringify(a) + Stringify(b));
+        return Value::String(StringifyValue(a) + StringifyValue(b));
       }
       default:
         return Internal("bad binary op");

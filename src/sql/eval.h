@@ -24,6 +24,40 @@ using ColumnResolver =
 // Named parameter bindings ($NAME -> value). Names are case-sensitive.
 using ParamMap = std::map<std::string, Value>;
 
+// --- Shared evaluation kernels ----------------------------------------------
+// Used by both the tree-walking interpreter below and the compiled-predicate
+// executor (src/sql/compile.cc). Exposing one set of kernels is what keeps
+// the two evaluators semantically identical; the differential fuzz test in
+// tests/sql_compile_test.cc checks the composition, these keep the parts.
+
+// Kleene truth value, ordered so AND = min and OR = max.
+enum class Truth { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+// Truthiness: NULL -> UNKNOWN, bool -> itself, numerics -> (v != 0); any
+// other type sets *error and returns UNKNOWN.
+Truth TruthOf(const Value& v, Status* error);
+
+// kFalse -> Bool(false), kUnknown -> Null, kTrue -> Bool(true).
+Value TruthToValue(Truth t);
+
+// SQL comparison (`op` one of kEq..kGe): NULL operand -> Null result;
+// cross-class comparisons (number vs string) are type errors.
+StatusOr<Value> CompareValues(BinaryOp op, const Value& a, const Value& b);
+
+// SQL arithmetic (`op` one of kAdd..kMod): int-preserving where possible,
+// NULL-propagating, division/modulo by zero are errors.
+StatusOr<Value> ArithmeticValues(BinaryOp op, const Value& a, const Value& b);
+
+// Renders a value for string contexts (CONCAT and friends); NULL -> "".
+std::string StringifyValue(const Value& v);
+
+// Scalar function dispatch (LOWER/UPPER/LENGTH/...); unknown names are
+// errors at call time, not parse time.
+StatusOr<Value> CallScalarFunction(const std::string& name,
+                                   const std::vector<Value>& args);
+
+// ----------------------------------------------------------------------------
+
 // Evaluates `expr` to a Value (which may be Null).
 StatusOr<Value> Evaluate(const Expr& expr, const ColumnResolver& columns,
                          const ParamMap& params);

@@ -437,5 +437,49 @@ TEST(BatchTest, ReportCarriesPerTaskMetadata) {
   EXPECT_NE(report.ToString().find("submitted=10"), std::string::npos);
 }
 
+// num_threads <= 1 takes the inline fast path: tasks execute on the Submit
+// thread with no queue or worker wakeups. Semantics must be indistinguishable
+// from the pool — same per-task results, FIFO order, reusable Drain — and
+// the final database must match the pooled run bit-for-bit.
+TEST(BatchTest, SingleThreadInlineFastPathMatchesPool) {
+  constexpr int kUsers = 40;
+  const std::vector<BatchTask> tasks = MixedTasks(kUsers);
+
+  World pooled(kUsers);
+  {
+    BatchExecutor executor(pooled.engine.get(), {.num_threads = 4});
+    for (const BatchTask& t : tasks) executor.Submit(t);
+    BatchReport report = executor.Drain();
+    ASSERT_EQ(report.failed, 0u) << report.ToString();
+  }
+
+  for (int threads : {0, 1}) {
+    World inline_world(kUsers);
+    BatchOptions options;
+    options.num_threads = threads;
+    BatchExecutor executor(inline_world.engine.get(), options);
+    // Inline mode runs eagerly on the Submit thread: the first apply is in
+    // the disguise log before Drain is ever called.
+    executor.Submit(tasks[0]);
+    EXPECT_EQ(inline_world.engine->log().size(), 1u)
+        << "inline Submit did not execute the task synchronously";
+    for (size_t i = 1; i < tasks.size(); ++i) {
+      executor.Submit(tasks[i]);
+    }
+    BatchReport report = executor.Drain();
+    EXPECT_EQ(report.submitted, tasks.size());
+    EXPECT_EQ(report.failed, 0u) << report.ToString();
+    EXPECT_EQ(report.succeeded, tasks.size());
+    for (size_t i = 0; i < report.results.size(); ++i) {
+      EXPECT_EQ(report.results[i].index, i) << "inline mode broke FIFO order";
+      EXPECT_EQ(report.results[i].attempts, 1)
+          << "inline mode has no concurrency, so no retries";
+    }
+    ExpectAuditClean(&inline_world, "after inline batch");
+    EXPECT_EQ(Fingerprint(&inline_world.db), Fingerprint(&pooled.db))
+        << "threads=" << threads << " diverged from the pooled run";
+  }
+}
+
 }  // namespace
 }  // namespace edna::core
