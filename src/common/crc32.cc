@@ -1,0 +1,43 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace edna {
+
+namespace {
+
+// Table generated once at first use from the reflected IEEE polynomial.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  return Crc32Finish(Crc32Update(Crc32Init(), data, len));
+}
+
+}  // namespace edna

@@ -1,0 +1,30 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320): the checksum used to
+// frame every durable artifact — WAL records and database image bodies —
+// so a torn write or a flipped bit is detected at load time instead of
+// surfacing later as a referential-integrity mystery.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edna {
+
+// One-shot checksum of `len` bytes.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+// Incremental form: feed `crc` from a previous call to extend the checksum
+// over discontiguous buffers. Start from Crc32Init(), finish with
+// Crc32Finish().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, const uint8_t* data, size_t len);
+uint32_t Crc32Finish(uint32_t crc);
+
+}  // namespace edna
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -58,6 +58,15 @@ inline constexpr char kApplyBeforeCommit[] = "apply.before_commit";
 inline constexpr char kApplyAfterCommit[] = "apply.after_commit";
 inline constexpr char kRevealBeforeCommit[] = "reveal.before_commit";
 inline constexpr char kRevealAfterCommit[] = "reveal.after_commit";
+// Durability layer (src/db/wal.h, src/db/durable.h): one site per step of
+// the append / fsync / checkpoint / replay pipeline.
+inline constexpr char kWalAppend[] = "wal.append";
+inline constexpr char kWalSync[] = "wal.sync";
+inline constexpr char kWalTruncate[] = "wal.truncate";
+inline constexpr char kWalReplay[] = "wal.replay";
+inline constexpr char kSnapshotWrite[] = "snapshot.write";
+inline constexpr char kSnapshotRename[] = "snapshot.rename";
+inline constexpr char kJournalPersist[] = "journal.persist";
 }  // namespace failpoints
 
 enum class FailPointAction : uint8_t { kReturnError, kCrash };

@@ -115,6 +115,13 @@ BatchReport BatchExecutor::Drain() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start_)
             .count();
   }
+  if (options_.drain_flush) {
+    // One group-durability point for the whole batch (options docs). Skipped
+    // when a crash halted the batch: frozen state must stay frozen.
+    if (!report.halted) {
+      report.flush_status = options_.drain_flush();
+    }
+  }
 
   // Reset for the next batch. A halted executor stays usable after the
   // caller runs Recover() on the engine.

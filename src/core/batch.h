@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -78,6 +79,11 @@ struct BatchOptions {
   int max_attempts = 5;        // total tries for a task aborted by conflicts
   int backoff_base_us = 50;    // first retry delay; doubles per attempt
   int backoff_max_us = 5000;
+  // Called once at the end of Drain(), after every task completed — e.g.
+  // DurableEngine::Flush, so a batch run under WalOptions::SyncMode::kNone
+  // becomes fsync-durable in one final group instead of per commit. Its
+  // result lands in BatchReport::flush_status.
+  std::function<Status()> drain_flush;
 };
 
 struct BatchReport {
@@ -88,6 +94,7 @@ struct BatchReport {
   uint64_t queries = 0;         // statements across all successful attempts
   double wall_seconds = 0;      // first Submit to last completion
   bool halted = false;          // a simulated crash froze the batch
+  Status flush_status = OkStatus();      // BatchOptions::drain_flush outcome
   std::vector<BatchTaskResult> results;  // in submission order
 
   std::string ToString() const;

@@ -1,0 +1,109 @@
+// DurableEngine: end-to-end durable open/recovery for the disguise engine.
+// See durable_engine.h for the layering.
+#include "src/core/durable_engine.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace edna::core {
+
+namespace {
+
+// Stateless process-wide default; outlives every engine.
+const Clock* DefaultClock() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace
+
+DurableEngine::DurableEngine(std::unique_ptr<db::DurableDatabase> durable,
+                             std::unique_ptr<vault::TableVault> vault,
+                             std::unique_ptr<DisguiseEngine> engine)
+    : durable_(std::move(durable)), vault_(std::move(vault)), engine_(std::move(engine)) {}
+
+DurableEngine::~DurableEngine() {
+  // Detach both directions before members start dying: the engine must stop
+  // persisting deltas, and checkpoints must stop asking the engine for its
+  // journal image.
+  engine_->SetJournalDurability(nullptr);
+  durable_->SetSidecarSnapshotProvider(nullptr);
+}
+
+StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const std::string& dir, const DurableEngineOptions& options,
+    DurableEngineReport* report) {
+  DurableEngineReport local_report;
+  if (report == nullptr) {
+    report = &local_report;
+  }
+
+  // 1. Database: snapshot + WAL replay + torn-tail repair (src/db/durable.h).
+  ASSIGN_OR_RETURN(std::unique_ptr<db::DurableDatabase> durable,
+                   db::DurableDatabase::Open(dir, options.durable, &report->db));
+
+  // 2. Vault handle. Creates the reserved table on first open; on a reopen
+  //    the replayed catalog already has it. Either way the mutation (if any)
+  //    flows through the WAL like any other DDL.
+  ASSIGN_OR_RETURN(std::unique_ptr<vault::TableVault> vault,
+                   vault::TableVault::Create(durable->db()));
+
+  const Clock* clock = options.clock != nullptr ? options.clock : DefaultClock();
+  auto engine = std::make_unique<DisguiseEngine>(durable->db(), vault.get(), clock,
+                                                 options.engine);
+
+  // 3. Commit journal: newest checkpointed image first, then the WAL deltas
+  //    that postdate it, in LSN order. ApplyDelta is idempotent and monotone,
+  //    so deltas the image already reflects converge to the same state.
+  if (!report->db.journal_image.empty()) {
+    StatusOr<CommitJournal> restored = CommitJournal::Deserialize(report->db.journal_image);
+    if (!restored.ok()) {
+      return Status(restored.status().code(),
+                    "restoring checkpointed commit journal: " + restored.status().message());
+    }
+    engine->journal() = std::move(restored).value();
+    report->journal_restored_from_image = true;
+  }
+  for (const auto& [lsn, delta] : report->db.journal_deltas) {
+    Status applied = engine->journal().ApplyDelta(delta);
+    if (!applied.ok()) {
+      return Status(applied.code(), "replaying journal delta at lsn " +
+                                        std::to_string(lsn) + ": " + applied.message());
+    }
+    ++report->journal_deltas_applied;
+  }
+
+  auto out = std::unique_ptr<DurableEngine>(
+      new DurableEngine(std::move(durable), std::move(vault), std::move(engine)));
+
+  // 4. Attach durability BEFORE Recover(): the repairs Recover makes (and the
+  //    journal entries it retires) must themselves be logged, or a crash
+  //    during recovery would resurrect already-repaired work.
+  out->engine_->SetJournalDurability(out.get());
+  out->durable_->SetSidecarSnapshotProvider(
+      [eng = out->engine_.get()] { return eng->journal().Serialize(); });
+
+  // 5. Disguise log: mirror table first (DDL, unsafe mid-batch), then the
+  //    in-memory rebuild recovery and audits read from.
+  RETURN_IF_ERROR(out->engine_->EnsureLogMirror());
+  RETURN_IF_ERROR(out->engine_->LoadLogFromMirror());
+
+  // 6. Engine-level repair of whatever operation the crash interrupted.
+  ASSIGN_OR_RETURN(report->recovery, out->engine_->Recover());
+  if (report->recovery.TotalRepairs() > 0) {
+    EDNA_LOG(kInfo) << "durable open repaired interrupted work: "
+                    << report->recovery.ToString();
+  }
+  return out;
+}
+
+Status DurableEngine::AppendJournalDelta(std::vector<uint8_t> delta) {
+  return durable_->AppendSidecar(std::move(delta)).status();
+}
+
+void DurableEngine::StageJournalDelta(std::vector<uint8_t> delta) {
+  durable_->StageAttachment(std::move(delta));
+}
+
+}  // namespace edna::core

@@ -1,0 +1,94 @@
+// DurableEngine: a DisguiseEngine bound to an on-disk data directory.
+//
+// Composes the durable database (src/db/durable.h) with the engine's
+// crash-consistency machinery (src/core/recovery.h) so that BOTH recovery
+// stories survive a real process death, not just a simulated freeze:
+//
+//  * every database commit is WAL-logged by the DurableDatabase;
+//  * every commit-journal mutation is mirrored into the SAME WAL — Begin /
+//    SetDisguiseId / Advance / Complete as standalone kSidecar deltas, and
+//    the kCommitted advance inside the very commit record it must be atomic
+//    with (a staged attachment, so the phase marker and the data commit
+//    become durable together and Recover() always picks the right repair
+//    direction);
+//  * checkpoints store the serialized journal beside the snapshot, so
+//    reopening = snapshot + journal image + WAL replay (rows AND deltas).
+//
+// Open() is the whole recovery pipeline: recover the database, rebuild the
+// vault handle and the engine, restore the journal (image, then deltas in
+// LSN order), reload the disguise log from its mirror table, and run
+// DisguiseEngine::Recover() to repair any operation the crash interrupted.
+// After Open() succeeds, AuditConsistency() reports zero violations.
+#ifndef SRC_CORE_DURABLE_ENGINE_H_
+#define SRC_CORE_DURABLE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/engine.h"
+#include "src/core/recovery.h"
+#include "src/db/durable.h"
+#include "src/vault/table_vault.h"
+
+namespace edna::core {
+
+struct DurableEngineOptions {
+  db::DurableOptions durable;
+  EngineOptions engine;
+  // Timestamp source for the engine (journal / log entries). Defaults to an
+  // owned SystemClock; tests inject a ManualClock so a crashed-and-reopened
+  // run stays bit-identical to its never-crashed reference.
+  const Clock* clock = nullptr;
+};
+
+// What Open() recovered, layer by layer.
+struct DurableEngineReport {
+  db::DurableOpenReport db;                 // snapshot + WAL scan + replay
+  bool journal_restored_from_image = false; // journal-<L>.ednj was present
+  size_t journal_deltas_applied = 0;        // WAL deltas replayed on top
+  RecoveryReport recovery;                  // DisguiseEngine::Recover()
+};
+
+class DurableEngine : public JournalDurability {
+ public:
+  // Opens (creating if needed) the data directory and runs end-to-end
+  // recovery. `options.clock`, when set, must outlive the engine.
+  static StatusOr<std::unique_ptr<DurableEngine>> Open(
+      const std::string& dir, const DurableEngineOptions& options,
+      DurableEngineReport* report = nullptr);
+
+  ~DurableEngine() override;
+
+  DurableEngine(const DurableEngine&) = delete;
+  DurableEngine& operator=(const DurableEngine&) = delete;
+
+  DisguiseEngine* engine() { return engine_.get(); }
+  db::Database* db() { return durable_->db(); }
+  db::DurableDatabase* durable() { return durable_.get(); }
+  vault::Vault* vault() { return vault_.get(); }
+
+  // Compaction and durability passthroughs (src/db/durable.h).
+  Status Checkpoint() { return durable_->Checkpoint(); }
+  Status MaybeCheckpoint() { return durable_->MaybeCheckpoint(); }
+  Status Flush() { return durable_->Flush(); }
+
+  // --- JournalDurability (called by the DisguiseEngine) ----------------------
+  Status AppendJournalDelta(std::vector<uint8_t> delta) override;
+  void StageJournalDelta(std::vector<uint8_t> delta) override;
+
+ private:
+  DurableEngine(std::unique_ptr<db::DurableDatabase> durable,
+                std::unique_ptr<vault::TableVault> vault,
+                std::unique_ptr<DisguiseEngine> engine);
+
+  std::unique_ptr<db::DurableDatabase> durable_;
+  std::unique_ptr<vault::TableVault> vault_;
+  std::unique_ptr<DisguiseEngine> engine_;
+};
+
+}  // namespace edna::core
+
+#endif  // SRC_CORE_DURABLE_ENGINE_H_

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/core/engine_internal.h"
@@ -146,6 +147,33 @@ DisguiseEngine::DisguiseEngine(db::Database* db, vault::Vault* vault, const Cloc
                                EngineOptions options)
     : db_(db), vault_(vault), clock_(clock), options_(options), rng_(options.rng_seed),
       log_(db) {}
+
+Status DisguiseEngine::PersistJournalDelta(std::vector<uint8_t> delta) {
+  if (journal_wal_ == nullptr || delta.empty()) {
+    return OkStatus();
+  }
+  EDNA_FAIL_POINT(failpoints::kJournalPersist);
+  return journal_wal_->AppendJournalDelta(std::move(delta));
+}
+
+void DisguiseEngine::StageCommittedAdvance(uint64_t journal_id) {
+  if (journal_wal_ == nullptr) {
+    return;
+  }
+  journal_wal_->StageJournalDelta(
+      CommitJournal::EncodeAdvance(journal_id, JournalPhase::kCommitted));
+}
+
+Status DisguiseEngine::RetireJournalEntry(uint64_t journal_id) {
+  Status persisted = PersistJournalDelta(CommitJournal::EncodeComplete(journal_id));
+  if (!persisted.ok()) {
+    // Entry stays pending in memory AND on disk: a reopen (or Recover())
+    // sees the same picture either way, and finishes the retirement.
+    return persisted;
+  }
+  journal_.Complete(journal_id);
+  return OkStatus();
+}
 
 Status DisguiseEngine::RegisterSpec(DisguiseSpec spec) {
   RETURN_IF_ERROR(spec.Validate(db_->schema()));

@@ -94,6 +94,22 @@ struct EngineOptions {
   uint64_t rng_seed = 0x5eed;
 };
 
+// Installed by the durable engine (src/core/durable_engine.h) so every
+// commit-journal mutation is mirrored into the database's write-ahead log.
+// Begin / SetDisguiseId / Advance / Complete ride standalone sidecar WAL
+// records; the kCommitted advance that must be atomic with the operation's
+// database commit is staged to travel inside that commit's WAL record.
+class JournalDurability {
+ public:
+  virtual ~JournalDurability() = default;
+  // Appends one journal delta (recovery.h, CommitJournal::ApplyDelta wire
+  // form) as a standalone WAL record.
+  virtual Status AppendJournalDelta(std::vector<uint8_t> delta) = 0;
+  // Stages a delta that the calling thread's next committed database
+  // transaction carries atomically inside its commit record.
+  virtual void StageJournalDelta(std::vector<uint8_t> delta) = 0;
+};
+
 class DisguiseEngine {
  public:
   // `db`, `vault`, and `clock` must outlive the engine.
@@ -145,6 +161,12 @@ class DisguiseEngine {
   // no apply ever triggers the on-demand creation mid-batch.
   Status EnsureLogMirror() { return log_.EnsureMirror(); }
 
+  // Attaches the journal-durability hooks (nullptr detaches). Must be called
+  // before concurrent operations start; `hooks` must outlive the engine or
+  // be detached first. When attached, every journal mutation is persisted
+  // through it, and a persistence failure fails the surrounding operation.
+  void SetJournalDurability(JournalDurability* hooks) { journal_wal_ = hooks; }
+
   const DisguiseLog& log() const { return log_; }
   const CommitJournal& journal() const { return journal_; }
   CommitJournal& journal() { return journal_; }
@@ -155,6 +177,23 @@ class DisguiseEngine {
 
  private:
   struct ApplyContext;
+
+  // --- Journal durability ----------------------------------------------------
+  // Mirrors one journal mutation into the WAL via the attached hooks. No-op
+  // without hooks (in-memory engines) or for an empty delta. Runs the
+  // journal.persist fail point, so a simulated crash here freezes state with
+  // the in-memory mutation applied but the delta unlogged — exactly what a
+  // process death between the two would leave.
+  Status PersistJournalDelta(std::vector<uint8_t> delta);
+
+  // Stages the kCommitted advance to ride the next db commit on this thread.
+  void StageCommittedAdvance(uint64_t journal_id);
+
+  // Retires a journal entry durably: persists the complete delta FIRST, and
+  // only erases the in-memory entry once the delta is logged, so memory
+  // never runs ahead of disk. On failure the entry stays pending (in both)
+  // for Recover() to finish. Returns the persistence status.
+  Status RetireJournalEntry(uint64_t journal_id);
 
   // Maps row-level kNotFound / kIntegrityViolation — races with concurrently
   // COMMITTED transactions that write intents cannot catch — to kAborted, so
@@ -256,6 +295,7 @@ class DisguiseEngine {
 
   DisguiseLog log_;
   CommitJournal journal_;
+  JournalDurability* journal_wal_ = nullptr;
   std::map<std::string, disguise::DisguiseSpec> specs_;  // frozen before batching
 
   std::mutex guard_mu_;

@@ -206,11 +206,24 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
   // Recover() repairs from the journal's phase marker.
   uint64_t journal_id = journal_.Begin(JournalOp::kApply, spec->name(), ctx.params,
                                        ctx.uid, /*disguise_id=*/0, ctx.record.created);
+  Status journaled = PersistJournalDelta(journal_.EncodeBegin(journal_id));
+  if (!journaled.ok()) {
+    if (!FailPoints::IsSimulatedCrash(journaled)) {
+      journal_.Complete(journal_id);  // intent never durable; nothing mutated
+    }
+    return journaled;
+  }
 
   Status begun = db_->Begin();
   if (!begun.ok()) {
     if (!FailPoints::IsSimulatedCrash(begun)) {
-      journal_.Complete(journal_id);  // nothing mutated; clean abort
+      // Nothing mutated; clean abort. A persistence failure here leaves the
+      // intent entry on disk for Recover() to no-op over.
+      Status retired = RetireJournalEntry(journal_id);
+      if (FailPoints::IsSimulatedCrash(retired)) {
+        return retired;
+      }
+      begun = FoldStatus(std::move(begun), retired, "journal retire");
     }
     return begun;
   }
@@ -251,6 +264,16 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
   uint64_t disguise_id = *appended;
   ctx.result.disguise_id = disguise_id;
   journal_.SetDisguiseId(journal_id, disguise_id);
+  {
+    Status persisted = PersistJournalDelta(
+        CommitJournal::EncodeSetDisguiseId(journal_id, disguise_id));
+    if (!persisted.ok()) {
+      if (FailPoints::IsSimulatedCrash(persisted)) {
+        return persisted;
+      }
+      return UnwindFailedApply(journal_id, disguise_id, std::move(persisted));
+    }
+  }
   if (spec->reversible()) {
     ctx.record.disguise_id = disguise_id;
     if (options_.protect_disguised_data) {
@@ -305,6 +328,16 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
     }
   }
   journal_.Advance(journal_id, JournalPhase::kVaultStored);
+  {
+    Status persisted = PersistJournalDelta(
+        CommitJournal::EncodeAdvance(journal_id, JournalPhase::kVaultStored));
+    if (!persisted.ok()) {
+      if (FailPoints::IsSimulatedCrash(persisted)) {
+        return persisted;
+      }
+      return UnwindFailedApply(journal_id, disguise_id, std::move(persisted));
+    }
+  }
 
   {
     Status pre = FailPoints::Instance().Check(failpoints::kApplyBeforeCommit);
@@ -316,6 +349,10 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
     }
   }
 
+  // The kCommitted advance must be atomic with the commit itself (else a
+  // crash between them makes Recover() pick the wrong repair direction), so
+  // it rides inside the commit's own WAL record.
+  StageCommittedAdvance(journal_id);
   Status committed = db_->Commit();
   if (!committed.ok()) {
     if (FailPoints::IsSimulatedCrash(committed)) {
@@ -335,7 +372,15 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
       return post;
     }
   }
-  journal_.Complete(journal_id);
+  {
+    Status retired = RetireJournalEntry(journal_id);
+    if (!retired.ok()) {
+      // The disguise is fully durable; only its journal retirement is not.
+      // Pending at kCommitted, Recover() rolls it forward.
+      EDNA_LOG(kError) << "apply committed but retiring journal entry failed: " << retired;
+      return retired;
+    }
+  }
   CommitOpSeq('A', spec->name(), ctx.uid);
 
   ctx.result.queries = db::Database::ThreadStatements() - queries_before;
@@ -386,7 +431,14 @@ Status DisguiseEngine::UnwindFailedApply(uint64_t journal_id, uint64_t disguise_
   // Only a fully compensated abort retires the journal entry; a double
   // fault leaves it pending so Recover() can finish the repair.
   if (compensated) {
-    journal_.Complete(journal_id);
+    Status retired = RetireJournalEntry(journal_id);
+    if (!retired.ok()) {
+      if (FailPoints::IsSimulatedCrash(retired)) {
+        return retired;
+      }
+      EDNA_LOG(kError) << "journal retire while unwinding failed apply failed: " << retired;
+      cause = FoldStatus(std::move(cause), retired, "journal retire");
+    }
   }
   return cause;
 }

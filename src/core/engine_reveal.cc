@@ -88,11 +88,24 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
   uint64_t journal_id = journal_.Begin(JournalOp::kReveal, entry->spec_name,
                                        entry->params, entry->user_id, disguise_id,
                                        clock_->Now());
+  Status journaled = PersistJournalDelta(journal_.EncodeBegin(journal_id));
+  if (!journaled.ok()) {
+    if (!FailPoints::IsSimulatedCrash(journaled)) {
+      journal_.Complete(journal_id);  // intent never durable; nothing mutated
+    }
+    return journaled;
+  }
 
   Status begun = db_->Begin();
   if (!begun.ok()) {
     if (!FailPoints::IsSimulatedCrash(begun)) {
-      journal_.Complete(journal_id);  // nothing mutated; clean abort
+      // Nothing mutated; clean abort (a pending intent left on disk is
+      // harmless — Recover() rolls a kIntent reveal back without repairs).
+      Status retired = RetireJournalEntry(journal_id);
+      if (FailPoints::IsSimulatedCrash(retired)) {
+        return retired;
+      }
+      begun = FoldStatus(std::move(begun), retired, "journal retire");
     }
     return begun;
   }
@@ -351,7 +364,11 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
       EDNA_LOG(kError) << "rollback after failed reveal also failed: " << rb;
       status = FoldStatus(std::move(status), rb, "rollback");
     }
-    journal_.Complete(journal_id);
+    Status retired = RetireJournalEntry(journal_id);
+    if (FailPoints::IsSimulatedCrash(retired)) {
+      return retired;
+    }
+    status = FoldStatus(std::move(status), retired, "journal retire");
     return status;
   }
 
@@ -360,6 +377,9 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
   // that the rollback could not undo for external vaults. With commit first,
   // any post-commit failure leaves the journal entry pending at kCommitted
   // and Recover() rolls the bookkeeping forward.
+  // The kCommitted advance rides inside the commit's WAL record so the phase
+  // marker and the restore become durable atomically.
+  StageCommittedAdvance(journal_id);
   Status committed = db_->Commit();
   if (!committed.ok()) {
     if (FailPoints::IsSimulatedCrash(committed)) {
@@ -370,7 +390,11 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
       EDNA_LOG(kError) << "rollback after failed reveal commit also failed: " << rb;
       committed = FoldStatus(std::move(committed), rb, "rollback");
     }
-    journal_.Complete(journal_id);
+    Status retired = RetireJournalEntry(journal_id);
+    if (FailPoints::IsSimulatedCrash(retired)) {
+      return retired;
+    }
+    committed = FoldStatus(std::move(committed), retired, "journal retire");
     return committed;
   }
   journal_.Advance(journal_id, JournalPhase::kCommitted);
@@ -394,7 +418,15 @@ StatusOr<RevealResult> DisguiseEngine::Reveal(uint64_t disguise_id) {
     return removed;  // journal pending; Recover() retries the bookkeeping
   }
   UnprotectRows(disguise_id);
-  journal_.Complete(journal_id);
+  {
+    Status retired = RetireJournalEntry(journal_id);
+    if (!retired.ok()) {
+      // Restore and bookkeeping are durable; pending at kCommitted, so
+      // Recover() re-runs the (idempotent) bookkeeping and retires it.
+      EDNA_LOG(kError) << "reveal finished but retiring journal entry failed: " << retired;
+      return retired;
+    }
+  }
   CommitOpSeq('R', entry->spec_name, entry->user_id);
   result.queries = db::Database::ThreadStatements() - queries_before;
   return result;

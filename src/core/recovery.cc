@@ -107,6 +107,59 @@ namespace {
 constexpr char kJournalMagic[] = "EDNJ";
 constexpr uint8_t kJournalVersion = 1;
 
+// Durability-delta wire form: u8 delta kind, then the body (no magic or
+// version of its own — deltas travel inside CRC-framed, versioned WAL
+// records; see docs/FORMATS.md, "Journal deltas").
+enum : uint8_t {
+  kDeltaBegin = 1,          // full entry image (per-entry layout above)
+  kDeltaSetDisguiseId = 2,  // u64 journal_id, u64 disguise_id
+  kDeltaAdvance = 3,        // u64 journal_id, u8 phase
+  kDeltaComplete = 4,       // u64 journal_id
+};
+
+void WriteEntry(sql::ByteWriter& w, const JournalEntry& e) {
+  w.U64(e.journal_id);
+  w.U8(static_cast<uint8_t>(e.op));
+  w.U8(static_cast<uint8_t>(e.phase));
+  w.String(e.spec_name);
+  w.Value(e.user_id);
+  w.U64(e.disguise_id);
+  w.I64(e.created);
+  w.U32(static_cast<uint32_t>(e.params.size()));
+  for (const auto& [name, value] : e.params) {
+    w.String(name);
+    w.Value(value);
+  }
+}
+
+StatusOr<JournalEntry> ReadEntry(sql::ByteReader& r) {
+  JournalEntry e;
+  ASSIGN_OR_RETURN(e.journal_id, r.U64());
+  ASSIGN_OR_RETURN(uint8_t op, r.U8());
+  if (op != static_cast<uint8_t>(JournalOp::kApply) &&
+      op != static_cast<uint8_t>(JournalOp::kReveal)) {
+    return InvalidArgument("bad journal op " + std::to_string(op));
+  }
+  e.op = static_cast<JournalOp>(op);
+  ASSIGN_OR_RETURN(uint8_t phase, r.U8());
+  if (phase < static_cast<uint8_t>(JournalPhase::kIntent) ||
+      phase > static_cast<uint8_t>(JournalPhase::kCommitted)) {
+    return InvalidArgument("bad journal phase " + std::to_string(phase));
+  }
+  e.phase = static_cast<JournalPhase>(phase);
+  ASSIGN_OR_RETURN(e.spec_name, r.String());
+  ASSIGN_OR_RETURN(e.user_id, r.Value());
+  ASSIGN_OR_RETURN(e.disguise_id, r.U64());
+  ASSIGN_OR_RETURN(e.created, r.I64());
+  ASSIGN_OR_RETURN(uint32_t nparams, r.U32());
+  for (uint32_t p = 0; p < nparams; ++p) {
+    ASSIGN_OR_RETURN(std::string name, r.String());
+    ASSIGN_OR_RETURN(sql::Value value, r.Value());
+    e.params.emplace(std::move(name), std::move(value));
+  }
+  return e;
+}
+
 }  // namespace
 
 std::vector<uint8_t> CommitJournal::Serialize() const {
@@ -117,18 +170,7 @@ std::vector<uint8_t> CommitJournal::Serialize() const {
   w.U64(next_id_);
   w.U32(static_cast<uint32_t>(pending_.size()));
   for (const JournalEntry& e : pending_) {
-    w.U64(e.journal_id);
-    w.U8(static_cast<uint8_t>(e.op));
-    w.U8(static_cast<uint8_t>(e.phase));
-    w.String(e.spec_name);
-    w.Value(e.user_id);
-    w.U64(e.disguise_id);
-    w.I64(e.created);
-    w.U32(static_cast<uint32_t>(e.params.size()));
-    for (const auto& [name, value] : e.params) {
-      w.String(name);
-      w.Value(value);
-    }
+    WriteEntry(w, e);
   }
   return w.Take();
 }
@@ -149,36 +191,122 @@ StatusOr<CommitJournal> CommitJournal::Deserialize(const std::vector<uint8_t>& w
   ASSIGN_OR_RETURN(journal.next_id_, r.U64());
   ASSIGN_OR_RETURN(uint32_t count, r.U32());
   for (uint32_t i = 0; i < count; ++i) {
-    JournalEntry e;
-    ASSIGN_OR_RETURN(e.journal_id, r.U64());
-    ASSIGN_OR_RETURN(uint8_t op, r.U8());
-    if (op != static_cast<uint8_t>(JournalOp::kApply) &&
-        op != static_cast<uint8_t>(JournalOp::kReveal)) {
-      return InvalidArgument("bad journal op " + std::to_string(op));
-    }
-    e.op = static_cast<JournalOp>(op);
-    ASSIGN_OR_RETURN(uint8_t phase, r.U8());
-    if (phase < static_cast<uint8_t>(JournalPhase::kIntent) ||
-        phase > static_cast<uint8_t>(JournalPhase::kCommitted)) {
-      return InvalidArgument("bad journal phase " + std::to_string(phase));
-    }
-    e.phase = static_cast<JournalPhase>(phase);
-    ASSIGN_OR_RETURN(e.spec_name, r.String());
-    ASSIGN_OR_RETURN(e.user_id, r.Value());
-    ASSIGN_OR_RETURN(e.disguise_id, r.U64());
-    ASSIGN_OR_RETURN(e.created, r.I64());
-    ASSIGN_OR_RETURN(uint32_t nparams, r.U32());
-    for (uint32_t p = 0; p < nparams; ++p) {
-      ASSIGN_OR_RETURN(std::string name, r.String());
-      ASSIGN_OR_RETURN(sql::Value value, r.Value());
-      e.params.emplace(std::move(name), std::move(value));
-    }
+    ASSIGN_OR_RETURN(JournalEntry e, ReadEntry(r));
     journal.pending_.push_back(std::move(e));
   }
   if (!r.AtEnd()) {
     return InvalidArgument("trailing bytes in commit journal image");
   }
   return journal;
+}
+
+// --- Durability deltas -------------------------------------------------------
+
+std::vector<uint8_t> CommitJournal::EncodeBegin(uint64_t journal_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const JournalEntry& e : pending_) {
+    if (e.journal_id == journal_id) {
+      sql::ByteWriter w;
+      w.U8(kDeltaBegin);
+      WriteEntry(w, e);
+      return w.Take();
+    }
+  }
+  return {};
+}
+
+std::vector<uint8_t> CommitJournal::EncodeSetDisguiseId(uint64_t journal_id,
+                                                        uint64_t disguise_id) {
+  sql::ByteWriter w;
+  w.U8(kDeltaSetDisguiseId);
+  w.U64(journal_id);
+  w.U64(disguise_id);
+  return w.Take();
+}
+
+std::vector<uint8_t> CommitJournal::EncodeAdvance(uint64_t journal_id, JournalPhase phase) {
+  sql::ByteWriter w;
+  w.U8(kDeltaAdvance);
+  w.U64(journal_id);
+  w.U8(static_cast<uint8_t>(phase));
+  return w.Take();
+}
+
+std::vector<uint8_t> CommitJournal::EncodeComplete(uint64_t journal_id) {
+  sql::ByteWriter w;
+  w.U8(kDeltaComplete);
+  w.U64(journal_id);
+  return w.Take();
+}
+
+Status CommitJournal::ApplyDelta(const std::vector<uint8_t>& delta) {
+  sql::ByteReader r(delta);
+  ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (kind) {
+    case kDeltaBegin: {
+      ASSIGN_OR_RETURN(JournalEntry e, ReadEntry(r));
+      if (!r.AtEnd()) {
+        return InvalidArgument("trailing bytes in journal begin delta");
+      }
+      if (e.journal_id >= next_id_) {
+        next_id_ = e.journal_id + 1;
+      }
+      for (JournalEntry& existing : pending_) {
+        if (existing.journal_id == e.journal_id) {
+          existing = std::move(e);
+          return OkStatus();
+        }
+      }
+      pending_.push_back(std::move(e));
+      return OkStatus();
+    }
+    case kDeltaSetDisguiseId: {
+      ASSIGN_OR_RETURN(uint64_t journal_id, r.U64());
+      ASSIGN_OR_RETURN(uint64_t disguise_id, r.U64());
+      if (!r.AtEnd()) {
+        return InvalidArgument("trailing bytes in journal set-disguise-id delta");
+      }
+      for (JournalEntry& e : pending_) {
+        if (e.journal_id == journal_id) {
+          e.disguise_id = disguise_id;
+          break;
+        }
+      }
+      return OkStatus();
+    }
+    case kDeltaAdvance: {
+      ASSIGN_OR_RETURN(uint64_t journal_id, r.U64());
+      ASSIGN_OR_RETURN(uint8_t phase, r.U8());
+      if (phase < static_cast<uint8_t>(JournalPhase::kIntent) ||
+          phase > static_cast<uint8_t>(JournalPhase::kCommitted)) {
+        return InvalidArgument("bad phase in journal advance delta");
+      }
+      if (!r.AtEnd()) {
+        return InvalidArgument("trailing bytes in journal advance delta");
+      }
+      for (JournalEntry& e : pending_) {
+        if (e.journal_id == journal_id) {
+          if (phase > static_cast<uint8_t>(e.phase)) {
+            e.phase = static_cast<JournalPhase>(phase);
+          }
+          break;
+        }
+      }
+      return OkStatus();
+    }
+    case kDeltaComplete: {
+      ASSIGN_OR_RETURN(uint64_t journal_id, r.U64());
+      if (!r.AtEnd()) {
+        return InvalidArgument("trailing bytes in journal complete delta");
+      }
+      std::erase_if(pending_,
+                    [&](const JournalEntry& e) { return e.journal_id == journal_id; });
+      return OkStatus();
+    }
+    default:
+      return InvalidArgument("unknown journal delta kind " + std::to_string(kind));
+  }
 }
 
 // --- Reports -----------------------------------------------------------------
@@ -267,7 +395,10 @@ StatusOr<RecoveryReport> DisguiseEngine::Recover() {
         ++report.reveals_rolled_back;
       }
     }
-    journal_.Complete(e.journal_id);
+    // Durable retirement: the complete delta is logged before the in-memory
+    // erase, so a crash mid-recovery re-runs at most this entry's repairs
+    // (all idempotent) on the next Recover().
+    RETURN_IF_ERROR(RetireJournalEntry(e.journal_id));
   }
 
   // 3. Orphan vault records: a disguise id the log does not know (or knows

@@ -117,6 +117,29 @@ class CommitJournal {
   std::vector<uint8_t> Serialize() const;
   static StatusOr<CommitJournal> Deserialize(const std::vector<uint8_t>& wire);
 
+  // --- Durability deltas ------------------------------------------------------
+  // One blob per journal mutation, carried in the durable database's WAL
+  // (src/core/durable_engine.h): Begin / SetDisguiseId / Advance ride
+  // kSidecar records; the kCommitted advance that must be atomic with a
+  // database commit rides that commit record as a staged attachment.
+  //
+  // ApplyDelta replay is idempotent and monotone — begin upserts the full
+  // entry (and raises next_id past it), set-disguise-id and advance update an
+  // existing entry (advance forward-only) and ignore a missing one, complete
+  // erases if present — so replaying WAL deltas that a newer journal image
+  // already reflects converges on the same journal state.
+
+  // Encodes the pending entry's full image as a begin delta; call directly
+  // after Begin(). Returns an empty blob if the entry is already gone.
+  std::vector<uint8_t> EncodeBegin(uint64_t journal_id) const;
+  static std::vector<uint8_t> EncodeSetDisguiseId(uint64_t journal_id, uint64_t disguise_id);
+  static std::vector<uint8_t> EncodeAdvance(uint64_t journal_id, JournalPhase phase);
+  static std::vector<uint8_t> EncodeComplete(uint64_t journal_id);
+
+  // Replays one delta blob. Malformed blobs are kInvalidArgument; deltas for
+  // unknown journal ids are fine (already superseded) and return OK.
+  Status ApplyDelta(const std::vector<uint8_t>& delta);
+
  private:
   mutable std::mutex mu_;
   std::vector<JournalEntry> pending_;  // operations not yet completed

@@ -151,13 +151,34 @@ class Database::StatementScope {
       }
     }
   }
-  void Commit() {
+  // Commits the statement. When this scope IS the implicit transaction and a
+  // durability sink is attached, the statement's net changes are appended to
+  // the WAL before write intents are released; `*wal_lsn` receives the LSN
+  // the caller must sync AFTER dropping its table locks (group commit may
+  // linger). A simulated crash out of the append freezes the statement —
+  // done_ set, no undo, intents kept — so the in-memory state matches what a
+  // real process death mid-commit would leave for recovery to roll back.
+  // Any other append failure rolls the statement back via the destructor.
+  Status Commit(uint64_t* wal_lsn) {
+    if (implicit_ && tx_.undo_log.size() > mark_) {
+      StatusOr<uint64_t> lsn = db_->AppendCommitToWal(tx_, mark_);
+      if (!lsn.ok()) {
+        if (FailPoints::IsSimulatedCrash(lsn.status())) {
+          done_ = true;
+        }
+        return lsn.status();
+      }
+      if (wal_lsn != nullptr) {
+        *wal_lsn = *lsn;
+      }
+    }
     done_ = true;
     if (implicit_) {
       tx_.undo_log.clear();
       tx_.in_txn = false;
       db_->ReleaseIntents(tx_, 0);
     }
+    return OkStatus();
   }
 
  private:
@@ -168,19 +189,121 @@ class Database::StatementScope {
   size_t mark_ = 0;
 };
 
+// --- Durability --------------------------------------------------------------
+
+void Database::SetWalSink(WalSink* sink) {
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+  wal_sink_ = sink;
+}
+
+bool Database::HasWalSink() const {
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  return wal_sink_ != nullptr;
+}
+
+StatusOr<uint64_t> Database::AppendCommitToWal(TxnState& tx, size_t from_mark) {
+  if (wal_sink_ == nullptr || tx.undo_log.size() <= from_mark) {
+    return static_cast<uint64_t>(0);
+  }
+  WalCommit commit;
+  // The undo log holds one entry per primitive mutation; the NET change of a
+  // row is (prior existence, current state). The FIRST undo entry touching a
+  // row tells whether it existed before the transaction (kInsert: no;
+  // kDelete/kUpdate: yes), and the table holds its final image now.
+  std::set<std::pair<std::string, RowId>> seen;
+  std::set<std::string> touched_tables;
+  for (size_t i = from_mark; i < tx.undo_log.size(); ++i) {
+    const UndoEntry& e = tx.undo_log[i];
+    touched_tables.insert(e.table);
+    if (!seen.insert({e.table, e.id}).second) {
+      continue;
+    }
+    Table* t = MutableTable(e.table);
+    if (t == nullptr) {
+      return Internal("commit references missing table \"" + e.table + "\"");
+    }
+    const Row* now = t->Find(e.id);
+    WalChange change;
+    change.table = e.table;
+    change.id = e.id;
+    if (now == nullptr) {
+      if (e.kind == UndoEntry::Kind::kInsert) {
+        continue;  // created and deleted within the transaction: net no-op
+      }
+      change.erase = true;
+    } else {
+      change.row = *now;
+    }
+    commit.changes.push_back(std::move(change));
+  }
+  // Auto-increment counters ride along so a replayed database hands out the
+  // same ids. Replay raises to the max seen, so a stale value from an
+  // interleaved explicit commit is harmless.
+  for (const std::string& name : touched_tables) {
+    if (Table* t = MutableTable(name); t != nullptr) {
+      commit.counters.emplace_back(name, t->PeekAutoIncrement() - 1);
+    }
+  }
+  return wal_sink_->AppendCommit(std::move(commit));
+}
+
+Status Database::WaitWalDurable(uint64_t lsn) {
+  if (lsn == 0) {
+    return OkStatus();
+  }
+  WalSink* sink = nullptr;
+  {
+    // Read the pointer under the catalog lock, but sync OUTSIDE it: the
+    // group-commit linger must not block DDL.
+    std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+    sink = wal_sink_;
+  }
+  if (sink == nullptr) {
+    return OkStatus();
+  }
+  return sink->SyncCommit(lsn);
+}
+
+Status Database::ApplyWalChange(const WalChange& change) {
+  TableLock lock(this);
+  lock.Lock({change.table}, {});
+  Table* t = MutableTable(change.table);
+  if (t == nullptr) {
+    return NotFound("WAL change references missing table \"" + change.table + "\"");
+  }
+  if (t->Contains(change.id)) {
+    RETURN_IF_ERROR(t->Erase(change.id).status());
+  }
+  if (!change.erase) {
+    RETURN_IF_ERROR(t->InsertWithId(change.id, Row(change.row)));
+  }
+  return OkStatus();
+}
+
 // --- DDL ---------------------------------------------------------------------
 
 Status Database::CreateTable(TableSchema schema) {
   RETURN_IF_ERROR(schema.Validate());
-  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
-  if (tables_.count(schema.name()) > 0) {
-    return AlreadyExists("table \"" + schema.name() + "\" already exists");
+  uint64_t wal_lsn = 0;
+  {
+    std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+    if (tables_.count(schema.name()) > 0) {
+      return AlreadyExists("table \"" + schema.name() + "\" already exists");
+    }
+    // Write-ahead: log the DDL before the catalog mutation, so a crash
+    // between the two replays the table into existence rather than losing it.
+    if (wal_sink_ != nullptr) {
+      WalRecord rec;
+      rec.kind = WalRecord::Kind::kCreateTable;
+      rec.schema = schema;
+      ASSIGN_OR_RETURN(wal_lsn, wal_sink_->AppendDdl(rec));
+    }
+    RETURN_IF_ERROR(schema_.AddTable(schema));
+    std::string name = schema.name();  // read before the move below
+    tables_.emplace(std::move(name), Table(std::move(schema)));
+    InvalidatePlans();
   }
-  RETURN_IF_ERROR(schema_.AddTable(schema));
-  std::string name = schema.name();  // read before the move below
-  tables_.emplace(std::move(name), Table(std::move(schema)));
-  InvalidatePlans();
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::AdoptSchema(const Schema& schema) {
@@ -339,23 +462,28 @@ void Database::ApplyUndo(TxnState& tx, size_t from_mark) {
 // --- DML ---------------------------------------------------------------------
 
 StatusOr<RowId> Database::Insert(const std::string& table, Row row) {
-  TableLock lock(this);
-  lock.Lock({table}, ParentTables(table));
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  uint64_t wal_lsn = 0;
+  RowId id = kInvalidRowId;
+  {
+    TableLock lock(this);
+    lock.Lock({table}, ParentTables(table));
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();
+    RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
+    ASSIGN_OR_RETURN(id, t->Insert(std::move(row)));
+    ++stats_.rows_inserted;
+    LogInsert(tx, table, id);
+    // Claim the fresh row so a concurrent transaction cannot delete or update
+    // it before this one commits (it can only see it through reads).
+    RETURN_IF_ERROR(ClaimIntent(tx, table, id));
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();
-  RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
-  ASSIGN_OR_RETURN(RowId id, t->Insert(std::move(row)));
-  ++stats_.rows_inserted;
-  LogInsert(tx, table, id);
-  // Claim the fresh row so a concurrent transaction cannot delete or update
-  // it before this one commits (it can only see it through reads).
-  RETURN_IF_ERROR(ClaimIntent(tx, table, id));
-  scope.Commit();
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
   return id;
 }
 
@@ -807,55 +935,59 @@ StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred
 StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pred,
                                   const sql::ParamMap& params,
                                   const std::vector<Assignment>& assignments) {
-  TableLock lock(this);
-  {
-    std::vector<std::string> shared = ParentTables(table);
-    std::vector<std::string> children = ChildTables(table);
-    shared.insert(shared.end(), children.begin(), children.end());
-    lock.Lock({table}, shared);
-  }
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  const TableSchema& schema = t->schema();
-  // Pre-validate assignment columns.
-  std::vector<size_t> col_indices;
-  col_indices.reserve(assignments.size());
-  for (const Assignment& a : assignments) {
-    int idx = schema.ColumnIndex(a.column);
-    if (idx < 0) {
-      return NotFound("unknown column \"" + a.column + "\" in table \"" + table + "\"");
-    }
-    col_indices.push_back(static_cast<size_t>(idx));
-  }
-
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();  // the SELECT phase
-  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
-
+  uint64_t wal_lsn = 0;
   size_t updated = 0;
-  for (RowId id : ids) {
-    const Row* row = t->Find(id);
-    if (row == nullptr) {
-      continue;
+  {
+    TableLock lock(this);
+    {
+      std::vector<std::string> shared = ParentTables(table);
+      std::vector<std::string> children = ChildTables(table);
+      shared.insert(shared.end(), children.begin(), children.end());
+      lock.Lock({table}, shared);
     }
-    // Evaluate all assignment expressions against the pre-update row.
-    std::vector<sql::Value> new_values;
-    new_values.reserve(assignments.size());
-    sql::ColumnResolver resolver = MakeRowResolver(schema, *row);
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    const TableSchema& schema = t->schema();
+    // Pre-validate assignment columns.
+    std::vector<size_t> col_indices;
+    col_indices.reserve(assignments.size());
     for (const Assignment& a : assignments) {
-      ASSIGN_OR_RETURN(sql::Value v, sql::Evaluate(*a.expr, resolver, params));
-      new_values.push_back(std::move(v));
+      int idx = schema.ColumnIndex(a.column);
+      if (idx < 0) {
+        return NotFound("unknown column \"" + a.column + "\" in table \"" + table + "\"");
+      }
+      col_indices.push_back(static_cast<size_t>(idx));
     }
-    for (size_t k = 0; k < assignments.size(); ++k) {
-      RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, col_indices[k], std::move(new_values[k])));
+
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();  // the SELECT phase
+    ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+
+    for (RowId id : ids) {
+      const Row* row = t->Find(id);
+      if (row == nullptr) {
+        continue;
+      }
+      // Evaluate all assignment expressions against the pre-update row.
+      std::vector<sql::Value> new_values;
+      new_values.reserve(assignments.size());
+      sql::ColumnResolver resolver = MakeRowResolver(schema, *row);
+      for (const Assignment& a : assignments) {
+        ASSIGN_OR_RETURN(sql::Value v, sql::Evaluate(*a.expr, resolver, params));
+        new_values.push_back(std::move(v));
+      }
+      for (size_t k = 0; k < assignments.size(); ++k) {
+        RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, col_indices[k], std::move(new_values[k])));
+      }
+      ++updated;
+      CountStatement();  // one UPDATE statement per row, as Edna issues them
     }
-    ++updated;
-    CountStatement();  // one UPDATE statement per row, as Edna issues them
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  scope.Commit();
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
   return updated;
 }
 
@@ -908,53 +1040,61 @@ Status Database::SetColumnInTxn(TxnState& tx, const std::string& table_name, Tab
 
 StatusOr<size_t> Database::BatchSetColumns(const std::string& table,
                                            const std::vector<BatchUpdate>& updates) {
-  TableLock lock(this);
+  uint64_t wal_lsn = 0;
   {
-    std::vector<std::string> shared = ParentTables(table);
-    std::vector<std::string> children = ChildTables(table);
-    shared.insert(shared.end(), children.begin(), children.end());
-    lock.Lock({table}, shared);
-  }
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();  // one multi-row statement
-  for (const BatchUpdate& u : updates) {
-    int idx = t->schema().ColumnIndex(u.column);
-    if (idx < 0) {
-      return NotFound("unknown column \"" + u.column + "\" in table \"" + table + "\"");
+    TableLock lock(this);
+    {
+      std::vector<std::string> shared = ParentTables(table);
+      std::vector<std::string> children = ChildTables(table);
+      shared.insert(shared.end(), children.begin(), children.end());
+      lock.Lock({table}, shared);
     }
-    RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, u.id, static_cast<size_t>(idx), u.value));
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();  // one multi-row statement
+    for (const BatchUpdate& u : updates) {
+      int idx = t->schema().ColumnIndex(u.column);
+      if (idx < 0) {
+        return NotFound("unknown column \"" + u.column + "\" in table \"" + table + "\"");
+      }
+      RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, u.id, static_cast<size_t>(idx), u.value));
+    }
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  scope.Commit();
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
   return updates.size();
 }
 
 StatusOr<size_t> Database::Delete(const std::string& table, const sql::Expr* pred,
                                   const sql::ParamMap& params) {
-  TableLock lock(this);
-  lock.Lock(DeleteClosure(table), {});
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();
-  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+  uint64_t wal_lsn = 0;
   size_t deleted = 0;
-  for (RowId id : ids) {
-    if (!t->Contains(id)) {
-      continue;  // removed by an earlier cascade in this statement
+  {
+    TableLock lock(this);
+    lock.Lock(DeleteClosure(table), {});
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
     }
-    RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
-    ++deleted;
-    CountStatement();  // one DELETE statement per row
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();
+    ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+    for (RowId id : ids) {
+      if (!t->Contains(id)) {
+        continue;  // removed by an earlier cascade in this statement
+      }
+      RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
+      ++deleted;
+      CountStatement();  // one DELETE statement per row
+    }
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  scope.Commit();
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
   return deleted;
 }
 
@@ -1085,57 +1225,66 @@ bool Database::RowExists(const std::string& table, RowId id) const {
 
 Status Database::SetColumn(const std::string& table, RowId id, const std::string& column,
                            sql::Value value) {
-  TableLock lock(this);
+  uint64_t wal_lsn = 0;
   {
-    std::vector<std::string> shared = ParentTables(table);
-    std::vector<std::string> children = ChildTables(table);
-    shared.insert(shared.end(), children.begin(), children.end());
-    lock.Lock({table}, shared);
+    TableLock lock(this);
+    {
+      std::vector<std::string> shared = ParentTables(table);
+      std::vector<std::string> children = ChildTables(table);
+      shared.insert(shared.end(), children.begin(), children.end());
+      lock.Lock({table}, shared);
+    }
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    int idx = t->schema().ColumnIndex(column);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
+    }
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();
+    RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, static_cast<size_t>(idx), std::move(value)));
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  int idx = t->schema().ColumnIndex(column);
-  if (idx < 0) {
-    return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
-  }
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();
-  RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, static_cast<size_t>(idx), std::move(value)));
-  scope.Commit();
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::DeleteRow(const std::string& table, RowId id) {
-  TableLock lock(this);
-  lock.Lock(DeleteClosure(table), {});
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();
-  RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
-  scope.Commit();
-  return OkStatus();
+  uint64_t wal_lsn = 0;
+  {
+    TableLock lock(this);
+    lock.Lock(DeleteClosure(table), {});
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();
+    RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
+  }
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::RestoreRow(const std::string& table, RowId id, Row row) {
-  TableLock lock(this);
-  lock.Lock({table}, ParentTables(table));
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  uint64_t wal_lsn = 0;
+  {
+    TableLock lock(this);
+    lock.Lock({table}, ParentTables(table));
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    TxnState& tx = Txn();
+    StatementScope scope(this, tx);
+    CountStatement();
+    RETURN_IF_ERROR(ClaimIntent(tx, table, id));
+    RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
+    RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
+    ++stats_.rows_inserted;
+    LogInsert(tx, table, id);
+    RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  TxnState& tx = Txn();
-  StatementScope scope(this, tx);
-  CountStatement();
-  RETURN_IF_ERROR(ClaimIntent(tx, table, id));
-  RETURN_IF_ERROR(CheckRowFks(t->schema(), row));
-  RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
-  ++stats_.rows_inserted;
-  LogInsert(tx, table, id);
-  scope.Commit();
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::BulkLoadRow(const std::string& table, RowId id, Row row) {
@@ -1178,51 +1327,94 @@ Status Database::AddColumnToTable(const std::string& table, ColumnDef col,
   if (InTransaction()) {
     return FailedPrecondition("cannot evolve the schema inside a transaction");
   }
-  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
-  auto it = tables_.find(table);
-  Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  // A default makes the column restorable for pre-evolution reveal records;
-  // require one (possibly NULL for nullable columns).
-  if (!col.default_value.has_value()) {
-    if (!col.nullable) {
-      return InvalidArgument("new NOT NULL column \"" + col.name +
-                             "\" needs a default value");
+  uint64_t wal_lsn = 0;
+  {
+    std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+    auto it = tables_.find(table);
+    Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
     }
-    col.default_value = sql::Value::Null();
+    // A default makes the column restorable for pre-evolution reveal records;
+    // require one (possibly NULL for nullable columns).
+    if (!col.default_value.has_value()) {
+      if (!col.nullable) {
+        return InvalidArgument("new NOT NULL column \"" + col.name +
+                               "\" needs a default value");
+      }
+      col.default_value = sql::Value::Null();
+    }
+    // Pre-run Table::AddColumn's own checks, so the write-ahead append below
+    // can precede a then-infallible mutation (a logged DDL that failed in
+    // memory would poison replay).
+    if (t->schema().HasColumn(col.name)) {
+      return AlreadyExists("column \"" + col.name + "\" already in table \"" +
+                           table + "\"");
+    }
+    if (!ValueMatchesType(fill, col.type)) {
+      return InvalidArgument("fill value " + fill.ToSqlString() +
+                             " does not match new column type " + ColumnTypeName(col.type));
+    }
+    if (fill.is_null() && !col.nullable) {
+      return InvalidArgument("NULL fill for NOT NULL column \"" + col.name + "\"");
+    }
+    if (col.auto_increment) {
+      return InvalidArgument("cannot add an auto-increment column to a populated table");
+    }
+    if (wal_sink_ != nullptr) {
+      WalRecord rec;
+      rec.kind = WalRecord::Kind::kAddColumn;
+      rec.table = table;
+      rec.column = col;  // post-fixup, so replay sees the same default
+      rec.fill = fill;
+      ASSIGN_OR_RETURN(wal_lsn, wal_sink_->AppendDdl(rec));
+    }
+    TableSchema* catalog_entry = schema_.FindMutableTable(table);
+    RETURN_IF_ERROR(t->AddColumn(col, fill));
+    catalog_entry->AddColumn(std::move(col));
+    InvalidatePlans();
   }
-  TableSchema* catalog_entry = schema_.FindMutableTable(table);
-  RETURN_IF_ERROR(t->AddColumn(col, fill));
-  catalog_entry->AddColumn(std::move(col));
-  InvalidatePlans();
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::CreateIndex(const std::string& table, const std::string& column) {
-  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
-  auto it = tables_.find(table);
-  Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  RETURN_IF_ERROR(t->BuildIndex(column));
-  TableSchema* catalog_entry = schema_.FindMutableTable(table);
-  if (!catalog_entry->HasColumn(column)) {
-    return Internal("catalog desync after index build");
-  }
-  bool listed = false;
-  for (const IndexDef& idx : catalog_entry->indexes()) {
-    if (idx.column == column) {
-      listed = true;
+  uint64_t wal_lsn = 0;
+  {
+    std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+    auto it = tables_.find(table);
+    Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
     }
+    // Write-ahead once the only failure BuildIndex can hit (missing column)
+    // is excluded; index builds are idempotent on replay.
+    if (t->schema().ColumnIndex(column) < 0) {
+      return NotFound("no column \"" + column + "\" in table \"" + table + "\"");
+    }
+    if (wal_sink_ != nullptr) {
+      WalRecord rec;
+      rec.kind = WalRecord::Kind::kCreateIndex;
+      rec.table = table;
+      rec.index_column = column;
+      ASSIGN_OR_RETURN(wal_lsn, wal_sink_->AppendDdl(rec));
+    }
+    RETURN_IF_ERROR(t->BuildIndex(column));
+    TableSchema* catalog_entry = schema_.FindMutableTable(table);
+    if (!catalog_entry->HasColumn(column)) {
+      return Internal("catalog desync after index build");
+    }
+    bool listed = false;
+    for (const IndexDef& idx : catalog_entry->indexes()) {
+      if (idx.column == column) {
+        listed = true;
+      }
+    }
+    if (!listed) {
+      catalog_entry->AddIndex(column);
+    }
+    InvalidatePlans();
   }
-  if (!listed) {
-    catalog_entry->AddIndex(column);
-  }
-  InvalidatePlans();
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 // --- Transactions ------------------------------------------------------------
@@ -1244,10 +1436,42 @@ Status Database::Commit() {
   if (!tx.in_txn) {
     return FailedPrecondition("no active transaction");
   }
+  uint64_t wal_lsn = 0;
+  if (HasWalSink() && !tx.undo_log.empty()) {
+    // Build and append the net-change record under SHARED locks on the
+    // touched tables: intents keep concurrent writers out of our rows, and
+    // counter records replay as raise-to-max, so shared suffices — and it
+    // lets independent explicit commits append concurrently.
+    StatusOr<uint64_t> appended = [&]() -> StatusOr<uint64_t> {
+      std::vector<std::string> touched;
+      touched.reserve(tx.undo_log.size());
+      for (const UndoEntry& e : tx.undo_log) {
+        touched.push_back(e.table);
+      }
+      TableLock lock(this);
+      lock.Lock({}, touched);
+      return AppendCommitToWal(tx, 0);
+    }();
+    if (!appended.ok()) {
+      if (FailPoints::IsSimulatedCrash(appended.status())) {
+        // Freeze: the transaction stays open (undo intact, intents held) so
+        // recovery sees the same state a process death mid-commit leaves.
+        return appended.status();
+      }
+      // The durability layer refused the commit; roll back so memory agrees
+      // with the log, which carries no record of this transaction.
+      Status rb = Rollback();
+      if (!rb.ok()) {
+        EDNA_LOG(kError) << "rollback after failed WAL append: " << rb;
+      }
+      return appended.status();
+    }
+    wal_lsn = *appended;
+  }
   tx.in_txn = false;
   tx.undo_log.clear();
   ReleaseIntents(tx, 0);
-  return OkStatus();
+  return WaitWalDurable(wal_lsn);
 }
 
 Status Database::Rollback() {
@@ -1256,6 +1480,7 @@ Status Database::Rollback() {
   if (!tx.in_txn) {
     return FailedPrecondition("no active transaction");
   }
+  WalSink* sink = nullptr;
   {
     std::vector<std::string> touched;
     for (const UndoEntry& e : tx.undo_log) {
@@ -1264,9 +1489,13 @@ Status Database::Rollback() {
     TableLock lock(this);
     lock.Lock(touched, {});
     ApplyUndo(tx, 0);
+    sink = wal_sink_;
   }
   tx.in_txn = false;
   ReleaseIntents(tx, 0);
+  if (sink != nullptr) {
+    sink->OnRollback();
+  }
   return OkStatus();
 }
 
@@ -1361,6 +1590,29 @@ Status Database::CheckIntegrity() const {
 std::unique_ptr<Database> Database::Snapshot() const {
   TableLock lock(this);
   lock.LockAllShared();
+  auto copy = std::make_unique<Database>();
+  copy->schema_ = schema_;
+  for (const auto& [name, table] : tables_) {
+    copy->tables_.emplace(name, table.Clone());
+  }
+  return copy;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::SnapshotForCheckpoint(
+    uint64_t* wal_mark) const {
+  TableLock lock(this);
+  lock.LockAllShared();
+  // With every stripe held shared, no statement is mid-mutation and no open
+  // transaction can add one; a transaction still open HERE has uncommitted
+  // rows sitting in the tables, which must not reach a snapshot.
+  if (AnyTransactionActive()) {
+    return FailedPrecondition(
+        "checkpoint requires quiescent transactions (an open transaction's "
+        "uncommitted rows would leak into the snapshot)");
+  }
+  if (wal_mark != nullptr) {
+    *wal_mark = wal_sink_ != nullptr ? wal_sink_->AppendedLsn() : 0;
+  }
   auto copy = std::make_unique<Database>();
   copy->schema_ = schema_;
   for (const auto& [name, table] : tables_) {

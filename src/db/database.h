@@ -45,6 +45,7 @@
 #include "src/db/plan.h"
 #include "src/db/schema.h"
 #include "src/db/table.h"
+#include "src/db/wal.h"
 #include "src/sql/ast.h"
 #include "src/sql/eval.h"
 
@@ -125,6 +126,27 @@ struct Assignment {
 // call back into the Database (lock hierarchy: stripes before guard state).
 using WriteGuard = std::function<Status(const std::string& table, RowId id,
                                         const std::string& column)>;
+
+// Durability sink, implemented by the durable layer (src/db/durable.h). The
+// Database stays storage-agnostic: with a sink attached, every commit hands
+// over its net row changes (physical redo) BEFORE releasing write intents —
+// so the log order of any one row equals its commit order — and every DDL
+// entry point writes ahead before mutating the catalog.
+//
+// Locking contract: AppendCommit runs while the committing statement's table
+// locks are held (it must only append, never fsync); AppendDdl runs under
+// the exclusive catalog lock; SyncCommit runs with NO Database locks held
+// (group commit may block for the flush window); OnRollback runs from
+// Rollback/RollbackAll so the sink can discard per-thread staged state.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual StatusOr<uint64_t> AppendCommit(WalCommit commit) = 0;
+  virtual StatusOr<uint64_t> AppendDdl(const WalRecord& record) = 0;
+  virtual Status SyncCommit(uint64_t lsn) = 0;
+  virtual uint64_t AppendedLsn() const = 0;
+  virtual void OnRollback() = 0;
+};
 
 class Database {
  public:
@@ -299,6 +321,27 @@ class Database {
   void SetWriteGuard(WriteGuard guard);
   bool HasWriteGuard() const;
 
+  // --- Durability -----------------------------------------------------------
+
+  // Installs (or clears, with nullptr) the durability sink. Excludes
+  // concurrent statements via the catalog lock; the durable layer attaches
+  // the sink only AFTER replay, so recovery writes never re-log.
+  void SetWalSink(WalSink* sink);
+  bool HasWalSink() const;
+
+  // Replay primitive: applies one WAL row change idempotently (drop the row
+  // if present, then insert the post-image unless the change is an erase).
+  // No FK checks and no undo logging — the change was validated when first
+  // committed; callers run CheckIntegrity() after the last record
+  // (src/db/durable.cc does).
+  Status ApplyWalChange(const WalChange& change);
+
+  // Checkpoint-consistent deep copy: acquires every stripe shared, refuses
+  // (kFailedPrecondition) while any transaction is open — its uncommitted
+  // rows would leak into the copy — and reports the WAL high-water mark the
+  // copy corresponds to (0 with no sink attached).
+  StatusOr<std::unique_ptr<Database>> SnapshotForCheckpoint(uint64_t* wal_mark) const;
+
  private:
   struct UndoEntry {
     enum class Kind { kInsert, kDelete, kUpdate } kind;
@@ -387,6 +430,16 @@ class Database {
                  sql::Value old_value);
   void ApplyUndo(TxnState& tx, size_t from_mark);
 
+  // Builds the net-change commit record from undo_log[from_mark..] plus the
+  // touched tables' current state and hands it to the sink. Returns the
+  // appended LSN, or 0 when there is no sink / nothing to log. Caller must
+  // hold the statement's table locks (append order = lock order).
+  StatusOr<uint64_t> AppendCommitToWal(TxnState& tx, size_t from_mark);
+
+  // Post-release durability wait: blocks until `lsn` is fsync-covered.
+  // Never call with table locks held (group commit lingers).
+  Status WaitWalDurable(uint64_t lsn);
+
   // --- Row write intents (first-writer-wins) --------------------------------
 
   // Claims (table,id) for the calling thread's transaction. kAborted if
@@ -453,6 +506,7 @@ class Database {
   std::atomic<PlannerMode> planner_mode_{PlannerMode::kPlanned};
 
   WriteGuard write_guard_;
+  WalSink* wal_sink_ = nullptr;
 
   static constexpr int kMaxCascadeDepth = 32;
 };

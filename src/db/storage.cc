@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/common/crc32.h"
 #include "src/common/failpoint.h"
 #include "src/common/strings.h"
 #include "src/sql/codec.h"
@@ -12,10 +13,14 @@ namespace {
 
 // Image header: magic + version. Bump kVersion on format changes.
 constexpr uint32_t kMagic = 0x45444201;  // "EDB" + 1
-// Version history: 1 = initial; 2 = per-column sensitivity byte.
-constexpr uint32_t kVersion = 2;
+// Version history: 1 = initial; 2 = per-column sensitivity byte;
+// 3 = u32 CRC32 of the body between version and body (v2 still loads).
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kLegacyVersion = 2;
 
-void WriteColumn(sql::ByteWriter* w, const ColumnDef& col) {
+}  // namespace
+
+void SerializeColumnDef(sql::ByteWriter* w, const ColumnDef& col) {
   w->String(col.name);
   w->U8(static_cast<uint8_t>(col.type));
   w->U8(static_cast<uint8_t>(col.sensitivity));
@@ -27,7 +32,7 @@ void WriteColumn(sql::ByteWriter* w, const ColumnDef& col) {
   }
 }
 
-StatusOr<ColumnDef> ReadColumn(sql::ByteReader* r) {
+StatusOr<ColumnDef> DeserializeColumnDef(sql::ByteReader* r) {
   ColumnDef col;
   ASSIGN_OR_RETURN(col.name, r->String());
   ASSIGN_OR_RETURN(uint8_t type, r->U8());
@@ -52,11 +57,11 @@ StatusOr<ColumnDef> ReadColumn(sql::ByteReader* r) {
   return col;
 }
 
-void WriteTableSchema(sql::ByteWriter* w, const TableSchema& ts) {
+void SerializeTableSchema(sql::ByteWriter* w, const TableSchema& ts) {
   w->String(ts.name());
   w->U32(static_cast<uint32_t>(ts.columns().size()));
   for (const ColumnDef& col : ts.columns()) {
-    WriteColumn(w, col);
+    SerializeColumnDef(w, col);
   }
   w->U32(static_cast<uint32_t>(ts.primary_key().size()));
   for (const std::string& pk : ts.primary_key()) {
@@ -75,12 +80,12 @@ void WriteTableSchema(sql::ByteWriter* w, const TableSchema& ts) {
   }
 }
 
-StatusOr<TableSchema> ReadTableSchema(sql::ByteReader* r) {
+StatusOr<TableSchema> DeserializeTableSchema(sql::ByteReader* r) {
   ASSIGN_OR_RETURN(std::string name, r->String());
   TableSchema ts(name);
   ASSIGN_OR_RETURN(uint32_t num_cols, r->U32());
   for (uint32_t i = 0; i < num_cols; ++i) {
-    ASSIGN_OR_RETURN(ColumnDef col, ReadColumn(r));
+    ASSIGN_OR_RETURN(ColumnDef col, DeserializeColumnDef(r));
     ts.AddColumn(std::move(col));
   }
   ASSIGN_OR_RETURN(uint32_t num_pk, r->U32());
@@ -111,16 +116,16 @@ StatusOr<TableSchema> ReadTableSchema(sql::ByteReader* r) {
   return ts;
 }
 
-}  // namespace
+namespace {
 
-std::vector<uint8_t> SerializeDatabase(const Database& db) {
+// The version-independent image body: table schemas, then per table the
+// auto-increment counter and rows.
+std::vector<uint8_t> SerializeBody(const Database& db) {
   sql::ByteWriter w;
-  w.U32(kMagic);
-  w.U32(kVersion);
   const Schema& schema = db.schema();
   w.U32(static_cast<uint32_t>(schema.num_tables()));
   for (const TableSchema& ts : schema.tables()) {
-    WriteTableSchema(&w, ts);
+    SerializeTableSchema(&w, ts);
   }
   for (const TableSchema& ts : schema.tables()) {
     const Table* t = db.FindTable(ts.name());
@@ -137,36 +142,27 @@ std::vector<uint8_t> SerializeDatabase(const Database& db) {
   return w.Take();
 }
 
-StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_t>& wire) {
-  sql::ByteReader r(wire);
-  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
-  if (magic != kMagic) {
-    return InvalidArgument("not a database image (bad magic)");
-  }
-  ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kVersion) {
-    return InvalidArgument(StrFormat("unsupported database image version %u", version));
-  }
+StatusOr<std::unique_ptr<Database>> DeserializeBody(sql::ByteReader* r) {
   auto db = std::make_unique<Database>();
-  ASSIGN_OR_RETURN(uint32_t num_tables, r.U32());
+  ASSIGN_OR_RETURN(uint32_t num_tables, r->U32());
   std::vector<std::string> table_order;
   for (uint32_t i = 0; i < num_tables; ++i) {
-    ASSIGN_OR_RETURN(TableSchema ts, ReadTableSchema(&r));
+    ASSIGN_OR_RETURN(TableSchema ts, DeserializeTableSchema(r));
     table_order.push_back(ts.name());
     RETURN_IF_ERROR(db->CreateTable(std::move(ts)));
   }
   RETURN_IF_ERROR(db->schema().Validate());
 
   for (const std::string& table : table_order) {
-    ASSIGN_OR_RETURN(uint64_t auto_counter, r.U64());
-    ASSIGN_OR_RETURN(uint64_t num_rows, r.U64());
+    ASSIGN_OR_RETURN(uint64_t auto_counter, r->U64());
+    ASSIGN_OR_RETURN(uint64_t num_rows, r->U64());
     for (uint64_t i = 0; i < num_rows; ++i) {
-      ASSIGN_OR_RETURN(uint64_t id, r.U64());
-      ASSIGN_OR_RETURN(uint32_t width, r.U32());
+      ASSIGN_OR_RETURN(uint64_t id, r->U64());
+      ASSIGN_OR_RETURN(uint32_t width, r->U32());
       Row row;
       row.reserve(width);
       for (uint32_t c = 0; c < width; ++c) {
-        ASSIGN_OR_RETURN(sql::Value v, r.Value());
+        ASSIGN_OR_RETURN(sql::Value v, r->Value());
         row.push_back(std::move(v));
       }
       // FK checks deferred: tables load in image order, and rows may
@@ -176,11 +172,47 @@ StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_
     }
     db->EnsureAutoCounterAtLeast(table, static_cast<int64_t>(auto_counter));
   }
-  if (!r.AtEnd()) {
+  if (!r->AtEnd()) {
     return InvalidArgument("trailing bytes in database image");
   }
   RETURN_IF_ERROR(db->CheckIntegrity());
   return db;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDatabase(const Database& db) {
+  std::vector<uint8_t> body = SerializeBody(db);
+  sql::ByteWriter w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(Crc32(body));
+  w.Bytes(body.data(), body.size());
+  return w.Take();
+}
+
+StatusOr<std::unique_ptr<Database>> DeserializeDatabase(const std::vector<uint8_t>& wire) {
+  sql::ByteReader r(wire);
+  ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return InvalidArgument("not a database image (bad magic)");
+  }
+  ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version == kVersion) {
+    ASSIGN_OR_RETURN(uint32_t expected_crc, r.U32());
+    // Everything after the CRC field is the body; checksum before parsing so
+    // corruption fails fast with a precise diagnosis.
+    constexpr size_t kBodyOffset = 12;  // magic + version + crc
+    uint32_t actual_crc = Crc32(wire.data() + kBodyOffset, wire.size() - kBodyOffset);
+    if (actual_crc != expected_crc) {
+      return InvalidArgument(
+          StrFormat("database image checksum mismatch (stored %08x, computed %08x)",
+                    expected_crc, actual_crc));
+    }
+  } else if (version != kLegacyVersion) {
+    return InvalidArgument(StrFormat("unsupported database image version %u", version));
+  }
+  return DeserializeBody(&r);
 }
 
 Status SaveDatabaseToFile(const Database& db, const std::string& path) {
@@ -202,7 +234,7 @@ StatusOr<std::unique_ptr<Database>> LoadDatabaseFromFile(const std::string& path
   EDNA_FAIL_POINT(failpoints::kStorageLoad);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return NotFound("cannot open \"" + path + "\"");
+    return NotFound("no database image at \"" + path + "\"");
   }
   std::fseek(f, 0, SEEK_END);
   long size = std::ftell(f);
@@ -215,9 +247,15 @@ StatusOr<std::unique_ptr<Database>> LoadDatabaseFromFile(const std::string& path
   size_t got = std::fread(wire.data(), 1, wire.size(), f);
   std::fclose(f);
   if (got != wire.size()) {
-    return Internal("short read from \"" + path + "\"");
+    return Internal(StrFormat("short read from \"%s\" (%zu of %zu bytes)", path.c_str(),
+                              got, wire.size()));
   }
-  return DeserializeDatabase(wire);
+  StatusOr<std::unique_ptr<Database>> db = DeserializeDatabase(wire);
+  if (!db.ok() && db.status().code() == StatusCode::kInvalidArgument) {
+    return InvalidArgument("corrupt database image \"" + path +
+                           "\": " + db.status().message());
+  }
+  return db;
 }
 
 }  // namespace edna::db

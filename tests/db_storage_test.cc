@@ -149,6 +149,44 @@ TEST(StorageTest, FileRoundTrip) {
   EXPECT_EQ(LoadDatabaseFromFile(path).status().code(), StatusCode::kNotFound);
 }
 
+// Property: no prefix of a valid image deserializes. Every cut point must
+// fail with a clean status — short reads can't produce a partial database.
+TEST(StorageTest, EveryTruncationPointRejectedCleanly) {
+  Database db;
+  FillSmallDb(&db);
+  std::vector<uint8_t> wire = SerializeDatabase(db);
+  ASSERT_GT(wire.size(), 16u);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<uint8_t> truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    auto loaded = DeserializeDatabase(truncated);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes deserialized";
+  }
+}
+
+// Property: flipping any single byte is either detected (the whole-image
+// checksum gates acceptance) or — never — silently changes the content.
+TEST(StorageTest, EverySingleByteFlipDetected) {
+  Database db;
+  FillSmallDb(&db);
+  std::vector<uint8_t> wire = SerializeDatabase(db);
+  std::string pristine = Dump(db);
+  // 0x01 can turn the version byte into the legacy (pre-checksum) format id,
+  // so the sweep also proves misparsing an image under the wrong version
+  // never yields different content.
+  for (uint8_t mask : {uint8_t{0x20}, uint8_t{0x01}}) {
+    for (size_t i = 0; i < wire.size(); ++i) {
+      std::vector<uint8_t> flipped = wire;
+      flipped[i] ^= mask;
+      auto loaded = DeserializeDatabase(flipped);
+      if (loaded.ok()) {
+        EXPECT_EQ(Dump(**loaded), pristine)
+            << "flip of byte " << i << " with mask " << int(mask)
+            << " loaded with different content";
+      }
+    }
+  }
+}
+
 TEST(StorageTest, FullLobstersDatabaseRoundTrips) {
   Database db;
   lobsters::Config config;

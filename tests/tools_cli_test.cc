@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #ifndef DISGUISECTL_PATH
@@ -252,9 +253,55 @@ TEST(DisguisectlTest, BatchRejectsBadInputs) {
   std::remove(db.c_str());
 }
 
+// Durable mode round trip on the HotCRP schema: init a data directory,
+// apply through the WAL, checkpoint, recover, audit — each step a separate
+// process, so state flows only through the directory on disk.
+TEST(DisguisectlTest, DurableDataDirRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/cli_durable_dir";
+  std::string rmrf = "rm -rf " + dir;
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+
+  RunResult demo = RunCli("demo hotcrp --data-dir " + dir + " --scale 0.1 --seed 7");
+  ASSERT_EQ(demo.exit_code, 0) << demo.output;
+  EXPECT_NE(demo.output.find("initialized"), std::string::npos);
+  // A second init must refuse to clobber the directory.
+  EXPECT_EQ(RunCli("demo hotcrp --data-dir " + dir).exit_code, 1);
+
+  RunResult apply =
+      RunCli("apply --data-dir " + dir + " --spec HotCRP-GDPR --uid 3");
+  ASSERT_EQ(apply.exit_code, 0) << apply.output;
+  EXPECT_NE(apply.output.find("applied \"HotCRP-GDPR\""), std::string::npos);
+  EXPECT_NE(apply.output.find("WAL-logged"), std::string::npos);
+
+  RunResult checkpoint = RunCli("checkpoint --data-dir " + dir);
+  ASSERT_EQ(checkpoint.exit_code, 0) << checkpoint.output;
+  EXPECT_NE(checkpoint.output.find("checkpointed"), std::string::npos);
+  // Compaction truncated the log back to its bare header.
+  EXPECT_NE(checkpoint.output.find("-> 16 bytes"), std::string::npos);
+
+  RunResult recover = RunCli("recover --data-dir " + dir);
+  ASSERT_EQ(recover.exit_code, 0) << recover.output;
+  EXPECT_NE(recover.output.find("no violations"), std::string::npos);
+
+  RunResult audit = RunCli("audit --data-dir " + dir);
+  ASSERT_EQ(audit.exit_code, 0) << audit.output;
+
+  // The disguise (and its reveal records) survived every restart: the vault
+  // table holds the user's data and info still sees all 25 HotCRP tables.
+  RunResult info = RunCli("info --data-dir " + dir);
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("ContactInfo"), std::string::npos);
+  EXPECT_NE(info.output.find("__edna_vault"), std::string::npos);
+
+  // Usage errors: durable mode takes no positional; checkpoint requires it.
+  EXPECT_EQ(RunCli("apply x.edb --data-dir " + dir + " --spec HotCRP-GDPR").exit_code, 2);
+  EXPECT_EQ(RunCli("checkpoint").exit_code, 2);
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+}
+
 TEST(DisguisectlTest, ErrorsSurfaceCleanly) {
   EXPECT_EQ(RunCli("info /no/such/file.edb").exit_code, 1);
-  EXPECT_EQ(RunCli("demo nosuchapp --out /tmp/x.edb").exit_code, 2);
+  EXPECT_EQ(RunCli("demo nosuchapp --out /tmp/x.edb").exit_code, 1);
   std::string db = TempDbPath("cli_err");
   ASSERT_EQ(RunCli("demo lobsters --out " + db + " --scale 0.1").exit_code, 0);
   // Per-user spec without --uid.

@@ -44,6 +44,16 @@
 //   disguisectl recover <db.edb> [--no-save]
 //       Run crash recovery on the image: repair half-applied disguises,
 //       drop orphan vault records, then re-audit and save the result.
+//   disguisectl checkpoint --data-dir DIR
+//       Compact a durable data directory: snapshot the database (plus the
+//       commit-journal sidecar) and truncate the WAL.
+//
+// Durable mode: demo/info/apply/batch/audit/recover also accept
+// --data-dir DIR in place of the <db.edb> positional. The directory holds a
+// write-ahead log plus snapshots (docs/FORMATS.md); every commit is logged,
+// so there is nothing to save — kill -9 at any point and the next command
+// replays and repairs. `recover --data-dir DIR` runs the full end-to-end
+// recovery pipeline (snapshot + WAL replay + journal repair) and audits.
 //
 // Shipped spec names: HotCRP-GDPR, HotCRP-GDPR+, HotCRP-ConfAnon,
 // Lobsters-GDPR. Exit code 0 on success, 1 on error, 2 on usage error.
@@ -66,7 +76,9 @@
 #include "src/apps/lobsters/generator.h"
 #include "src/common/clock.h"
 #include "src/core/batch.h"
+#include "src/core/durable_engine.h"
 #include "src/core/engine.h"
+#include "src/db/durable.h"
 #include "src/db/storage.h"
 #include "src/disguise/spec_parser.h"
 #include "src/sql/parser.h"
@@ -83,7 +95,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: disguisectl "
                "<demo|info|schema|query|specs|lint|analyze|explain|apply|batch|audit|"
-               "recover>"
+               "recover|checkpoint>"
                " ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
@@ -122,6 +134,13 @@ Args ParseArgs(int argc, char** argv, const std::vector<std::string>& value_flag
   return args;
 }
 
+// True when the db argument is malformed: file mode takes exactly the
+// <db.edb> positional, durable mode exactly --data-dir and no positional.
+bool BadDbArg(const Args& args) {
+  return args.Has("data-dir") ? !args.positional.empty()
+                              : args.positional.size() != 1;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
@@ -155,34 +174,64 @@ StatusOr<edna::disguise::DisguiseSpec> ResolveSpec(const std::string& arg) {
   return edna::disguise::ParseDisguiseSpec(text);
 }
 
+// Populates `db` with the named demo application. Shared by the --out
+// (image file) and --data-dir (durable directory) variants of CmdDemo.
+Status PopulateDemo(const std::string& app, double scale, uint64_t seed,
+                    edna::db::Database* db) {
+  if (app == "hotcrp") {
+    edna::hotcrp::Config config;
+    config.seed = seed;
+    return edna::hotcrp::Populate(db, config.Scaled(scale)).status();
+  }
+  if (app == "lobsters") {
+    edna::lobsters::Config config;
+    config.seed = seed;
+    return edna::lobsters::Populate(db, config.Scaled(scale)).status();
+  }
+  return edna::InvalidArgument("unknown application \"" + app + "\"");
+}
+
 int CmdDemo(const Args& args) {
-  if (args.positional.size() != 1 || !args.Has("out")) {
-    std::fprintf(stderr, "usage: disguisectl demo <hotcrp|lobsters> --out <db.edb> "
-                         "[--scale F] [--seed N]\n");
+  if (args.positional.size() != 1 || (!args.Has("out") && !args.Has("data-dir"))) {
+    std::fprintf(stderr, "usage: disguisectl demo <hotcrp|lobsters> "
+                         "--out <db.edb>|--data-dir DIR [--scale F] [--seed N]\n");
     return 2;
   }
   double scale = args.Has("scale") ? std::strtod(args.Get("scale").c_str(), nullptr) : 1.0;
   uint64_t seed = args.Has("seed") ? std::strtoull(args.Get("seed").c_str(), nullptr, 10)
                                    : 42;
-  edna::db::Database db;
   const std::string& app = args.positional[0];
-  if (app == "hotcrp") {
-    edna::hotcrp::Config config;
-    config.seed = seed;
-    auto gen = edna::hotcrp::Populate(&db, config.Scaled(scale));
-    if (!gen.ok()) {
-      return Fail(gen.status());
+  if (args.Has("data-dir")) {
+    // Populate straight through a durable database: every insert is
+    // WAL-logged, then one checkpoint compacts the load into a snapshot.
+    edna::db::DurableOpenReport report;
+    auto dd = edna::db::DurableDatabase::Open(args.Get("data-dir"), {}, &report);
+    if (!dd.ok()) {
+      return Fail(dd.status());
     }
-  } else if (app == "lobsters") {
-    edna::lobsters::Config config;
-    config.seed = seed;
-    auto gen = edna::lobsters::Populate(&db, config.Scaled(scale));
-    if (!gen.ok()) {
-      return Fail(gen.status());
+    if ((*dd)->db()->schema().num_tables() > 0) {
+      std::fprintf(stderr, "error: %s already holds a database\n",
+                   args.Get("data-dir").c_str());
+      return 1;
     }
-  } else {
-    std::fprintf(stderr, "unknown application \"%s\"\n", app.c_str());
-    return 2;
+    Status populated = PopulateDemo(app, scale, seed, (*dd)->db());
+    if (!populated.ok()) {
+      return Fail(populated);
+    }
+    Status compacted = (*dd)->Checkpoint();
+    if (!compacted.ok()) {
+      return Fail(compacted);
+    }
+    std::printf("initialized %s: %zu tables, %zu rows (snapshot lsn %llu)\n",
+                args.Get("data-dir").c_str(), (*dd)->db()->schema().num_tables(),
+                (*dd)->db()->TotalRows(),
+                static_cast<unsigned long long>((*dd)->wal()->appended_lsn()));
+    return 0;
+  }
+  edna::db::Database db;
+  Status populated = PopulateDemo(app, scale, seed, &db);
+  if (!populated.ok()) {
+    return Fail(populated);
   }
   Status saved = edna::db::SaveDatabaseToFile(db, args.Get("out"));
   if (!saved.ok()) {
@@ -194,20 +243,35 @@ int CmdDemo(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
-  if (args.positional.size() != 1) {
-    std::fprintf(stderr, "usage: disguisectl info <db.edb>\n");
+  if (BadDbArg(args)) {
+    std::fprintf(stderr, "usage: disguisectl info <db.edb>|--data-dir DIR\n");
     return 2;
   }
-  auto db = edna::db::LoadDatabaseFromFile(args.positional[0]);
-  if (!db.ok()) {
-    return Fail(db.status());
+  std::unique_ptr<edna::db::DurableDatabase> durable;
+  std::unique_ptr<edna::db::Database> owned;
+  edna::db::Database* db = nullptr;
+  if (args.Has("data-dir")) {
+    edna::db::DurableOpenReport report;
+    auto opened = edna::db::DurableDatabase::Open(args.Get("data-dir"), {}, &report);
+    if (!opened.ok()) {
+      return Fail(opened.status());
+    }
+    durable = *std::move(opened);
+    db = durable->db();
+  } else {
+    auto loaded = edna::db::LoadDatabaseFromFile(args.positional[0]);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    owned = *std::move(loaded);
+    db = owned.get();
   }
   std::printf("%-28s %10s\n", "table", "rows");
-  for (const edna::db::TableSchema& ts : (*db)->schema().tables()) {
+  for (const edna::db::TableSchema& ts : db->schema().tables()) {
     std::printf("%-28s %10zu\n", ts.name().c_str(),
-                (*db)->FindTable(ts.name())->num_rows());
+                db->FindTable(ts.name())->num_rows());
   }
-  std::printf("%-28s %10zu\n", "(total)", (*db)->TotalRows());
+  std::printf("%-28s %10zu\n", "(total)", db->TotalRows());
   return 0;
 }
 
@@ -398,33 +462,66 @@ int CmdAnalyze(const Args& args) {
   return report.HasErrors() ? 1 : 0;
 }
 
-// Shared setup for explain/apply/audit/recover: load db, build engine.
+// Shared setup for explain/apply/audit/recover/checkpoint. Two modes:
+//  * file mode: load <db.edb>, build an in-memory engine, save explicitly;
+//  * durable mode (--data-dir): DurableEngine::Open runs the whole recovery
+//    pipeline and every later commit is WAL-logged — nothing to save.
 struct EngineSetup {
+  // File mode owns these three; durable mode owns `durable` instead.
   std::unique_ptr<edna::db::Database> db;
   std::unique_ptr<edna::vault::Vault> vault;
   std::unique_ptr<edna::SystemClock> clock;
-  std::unique_ptr<edna::core::DisguiseEngine> engine;
+  std::unique_ptr<edna::core::DisguiseEngine> file_engine;
+  std::unique_ptr<edna::core::DurableEngine> durable;
+
+  edna::core::DisguiseEngine* engine = nullptr;  // either mode
+  edna::db::Database* database = nullptr;        // either mode
+  bool durable_mode = false;
   std::string spec_name;
 };
 
 StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize, bool want_spec) {
   EngineSetup setup;
-  ASSIGN_OR_RETURN(setup.db, edna::db::LoadDatabaseFromFile(args.positional[0]));
-  std::string vault_kind = args.Get("vault", want_spec ? "offline" : "table");
-  if (vault_kind == "table") {
-    ASSIGN_OR_RETURN(setup.vault, edna::vault::TableVault::Create(setup.db.get()));
-  } else if (vault_kind == "offline") {
-    setup.vault = std::make_unique<edna::vault::OfflineVault>();
-  } else {
-    return edna::InvalidArgument("unknown vault kind \"" + vault_kind +
-                                 "\" (expected offline or table)");
-  }
-  setup.clock = std::make_unique<edna::SystemClock>();
   edna::core::EngineOptions options;
   options.reuse_decorrelation = optimize;
-  setup.engine = std::make_unique<edna::core::DisguiseEngine>(
-      setup.db.get(), setup.vault.get(), setup.clock.get(), options);
-  RETURN_IF_ERROR(setup.engine->LoadLogFromMirror());
+  if (args.Has("data-dir")) {
+    edna::core::DurableEngineOptions dopts;
+    dopts.engine = options;
+    edna::core::DurableEngineReport report;
+    ASSIGN_OR_RETURN(setup.durable, edna::core::DurableEngine::Open(
+                                        args.Get("data-dir"), dopts, &report));
+    setup.durable_mode = true;
+    setup.engine = setup.durable->engine();
+    setup.database = setup.durable->db();
+    for (const std::string& note : report.db.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    if (report.db.wal.torn_bytes_dropped > 0) {
+      std::printf("note: dropped %llu torn WAL byte(s): %s\n",
+                  static_cast<unsigned long long>(report.db.wal.torn_bytes_dropped),
+                  report.db.wal.torn_reason.c_str());
+    }
+    if (report.recovery.TotalRepairs() > 0) {
+      std::printf("%s", report.recovery.ToString().c_str());
+    }
+  } else {
+    ASSIGN_OR_RETURN(setup.db, edna::db::LoadDatabaseFromFile(args.positional[0]));
+    std::string vault_kind = args.Get("vault", want_spec ? "offline" : "table");
+    if (vault_kind == "table") {
+      ASSIGN_OR_RETURN(setup.vault, edna::vault::TableVault::Create(setup.db.get()));
+    } else if (vault_kind == "offline") {
+      setup.vault = std::make_unique<edna::vault::OfflineVault>();
+    } else {
+      return edna::InvalidArgument("unknown vault kind \"" + vault_kind +
+                                   "\" (expected offline or table)");
+    }
+    setup.clock = std::make_unique<edna::SystemClock>();
+    setup.file_engine = std::make_unique<edna::core::DisguiseEngine>(
+        setup.db.get(), setup.vault.get(), setup.clock.get(), options);
+    RETURN_IF_ERROR(setup.file_engine->LoadLogFromMirror());
+    setup.engine = setup.file_engine.get();
+    setup.database = setup.db.get();
+  }
   if (want_spec) {
     ASSIGN_OR_RETURN(edna::disguise::DisguiseSpec spec, ResolveSpec(args.Get("spec")));
     setup.spec_name = spec.name();
@@ -443,8 +540,9 @@ edna::sql::ParamMap ParamsFromArgs(const Args& args) {
 }
 
 int CmdExplain(const Args& args) {
-  if (args.positional.size() != 1 || !args.Has("spec")) {
-    std::fprintf(stderr, "usage: disguisectl explain <db.edb> --spec NAME|FILE [--uid N]\n");
+  if (BadDbArg(args) || !args.Has("spec")) {
+    std::fprintf(stderr, "usage: disguisectl explain <db.edb>|--data-dir DIR "
+                         "--spec NAME|FILE [--uid N]\n");
     return 2;
   }
   auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/true);
@@ -460,9 +558,10 @@ int CmdExplain(const Args& args) {
 }
 
 int CmdApply(const Args& args) {
-  if (args.positional.size() != 1 || !args.Has("spec")) {
-    std::fprintf(stderr, "usage: disguisectl apply <db.edb> --spec NAME|FILE [--uid N] "
-                         "[--optimize] [--reveal] [--no-save]\n");
+  if (BadDbArg(args) || !args.Has("spec")) {
+    std::fprintf(stderr, "usage: disguisectl apply <db.edb>|--data-dir DIR "
+                         "--spec NAME|FILE [--uid N] [--optimize] [--reveal] "
+                         "[--no-save]\n");
     return 2;
   }
   auto setup = SetUpEngine(args, args.Has("optimize"), /*want_spec=*/true);
@@ -493,12 +592,18 @@ int CmdApply(const Args& args) {
                 revealed->placeholders_dropped);
   }
 
-  Status integrity = setup->db->CheckIntegrity();
+  Status integrity = setup->database->CheckIntegrity();
   if (!integrity.ok()) {
     return Fail(integrity);
   }
-  if (!args.Has("no-save")) {
-    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+  if (setup->durable_mode) {
+    Status flushed = setup->durable->Flush();
+    if (!flushed.ok()) {
+      return Fail(flushed);
+    }
+    std::printf("durable: WAL-logged in %s\n", args.Get("data-dir").c_str());
+  } else if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->database, args.positional[0]);
     if (!saved.ok()) {
       return Fail(saved);
     }
@@ -542,10 +647,11 @@ StatusOr<std::vector<int64_t>> ReadUidsFile(const std::string& path) {
 }
 
 int CmdBatch(const Args& args) {
-  if (args.positional.size() != 1 || !args.Has("spec") || !args.Has("uids-file")) {
+  if (BadDbArg(args) || !args.Has("spec") || !args.Has("uids-file")) {
     std::fprintf(stderr,
-                 "usage: disguisectl batch <db.edb> --spec NAME|FILE --uids-file FILE "
-                 "[--threads N] [--max-attempts N] [--no-save] [--vault offline|table]\n");
+                 "usage: disguisectl batch <db.edb>|--data-dir DIR --spec NAME|FILE "
+                 "--uids-file FILE [--threads N] [--max-attempts N] [--no-save] "
+                 "[--vault offline|table]\n");
     return 2;
   }
   auto uids = ReadUidsFile(args.Get("uids-file"));
@@ -571,7 +677,12 @@ int CmdBatch(const Args& args) {
     std::fprintf(stderr, "error: --threads and --max-attempts must be >= 1\n");
     return 2;
   }
-  edna::core::BatchExecutor executor(setup->engine.get(), options);
+  if (setup->durable_mode) {
+    // One group-durability point for the whole batch instead of per task.
+    edna::core::DurableEngine* durable = setup->durable.get();
+    options.drain_flush = [durable] { return durable->Flush(); };
+  }
+  edna::core::BatchExecutor executor(setup->engine, options);
   for (int64_t uid : *uids) {
     executor.Submit(edna::core::BatchTask::Apply(setup->spec_name, Value::Int(uid)));
   }
@@ -590,12 +701,17 @@ int CmdBatch(const Args& args) {
     return Fail(audit.status());
   }
   std::printf("%s", audit->ToString().c_str());
-  Status integrity = setup->db->CheckIntegrity();
+  Status integrity = setup->database->CheckIntegrity();
   if (!integrity.ok()) {
     return Fail(integrity);
   }
-  if (!args.Has("no-save")) {
-    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+  if (setup->durable_mode) {
+    if (!report.flush_status.ok()) {
+      return Fail(report.flush_status);
+    }
+    std::printf("durable: WAL-logged in %s\n", args.Get("data-dir").c_str());
+  } else if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->database, args.positional[0]);
     if (!saved.ok()) {
       return Fail(saved);
     }
@@ -605,8 +721,8 @@ int CmdBatch(const Args& args) {
 }
 
 int CmdAudit(const Args& args) {
-  if (args.positional.size() != 1) {
-    std::fprintf(stderr, "usage: disguisectl audit <db.edb>\n");
+  if (BadDbArg(args)) {
+    std::fprintf(stderr, "usage: disguisectl audit <db.edb>|--data-dir DIR\n");
     return 2;
   }
   auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/false);
@@ -622,8 +738,9 @@ int CmdAudit(const Args& args) {
 }
 
 int CmdRecover(const Args& args) {
-  if (args.positional.size() != 1) {
-    std::fprintf(stderr, "usage: disguisectl recover <db.edb> [--no-save]\n");
+  if (BadDbArg(args)) {
+    std::fprintf(stderr,
+                 "usage: disguisectl recover <db.edb> [--no-save] | --data-dir DIR\n");
     return 2;
   }
   auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/false);
@@ -643,13 +760,43 @@ int CmdRecover(const Args& args) {
   if (!audit->ok()) {
     return 1;
   }
-  if (!args.Has("no-save")) {
-    Status saved = edna::db::SaveDatabaseToFile(*setup->db, args.positional[0]);
+  if (setup->durable_mode) {
+    Status flushed = setup->durable->Flush();
+    if (!flushed.ok()) {
+      return Fail(flushed);
+    }
+  } else if (!args.Has("no-save")) {
+    Status saved = edna::db::SaveDatabaseToFile(*setup->database, args.positional[0]);
     if (!saved.ok()) {
       return Fail(saved);
     }
     std::printf("saved %s\n", args.positional[0].c_str());
   }
+  return 0;
+}
+
+int CmdCheckpoint(const Args& args) {
+  if (!args.Has("data-dir") || !args.positional.empty()) {
+    std::fprintf(stderr, "usage: disguisectl checkpoint --data-dir DIR\n");
+    return 2;
+  }
+  // Open through the full engine so the checkpoint stores the commit-journal
+  // sidecar beside the snapshot (and recovery repairs run first if needed).
+  auto setup = SetUpEngine(args, /*optimize=*/false, /*want_spec=*/false);
+  if (!setup.ok()) {
+    return Fail(setup.status());
+  }
+  edna::db::WriteAheadLog* wal = setup->durable->durable()->wal();
+  uint64_t before = wal->SizeBytes();
+  Status compacted = setup->durable->Checkpoint();
+  if (!compacted.ok()) {
+    return Fail(compacted);
+  }
+  std::printf("checkpointed %s at lsn %llu: wal %llu -> %llu bytes\n",
+              args.Get("data-dir").c_str(),
+              static_cast<unsigned long long>(wal->appended_lsn()),
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(wal->SizeBytes()));
   return 0;
 }
 
@@ -663,7 +810,7 @@ int main(int argc, char** argv) {
   Args args = ParseArgs(argc - 2, argv + 2, {"out", "scale", "seed", "table", "where",
                                              "limit", "spec", "uid", "vault",
                                              "annotations", "identity", "uids-file",
-                                             "threads", "max-attempts"});
+                                             "threads", "max-attempts", "data-dir"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
@@ -699,6 +846,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "recover") {
     return CmdRecover(args);
+  }
+  if (cmd == "checkpoint") {
+    return CmdCheckpoint(args);
   }
   return Usage();
 }
