@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/coverage.h"
 #include "src/analysis/findings.h"
+#include "src/analysis/lifecycle.h"
 #include "src/analysis/taint.h"
 #include "src/db/schema.h"
 #include "src/disguise/spec.h"
@@ -40,6 +42,38 @@ struct AnalysisReport {
 // analysis never aborts.
 AnalysisReport Analyze(const std::vector<disguise::DisguiseSpec>& specs,
                        const db::Schema& schema, const AnalyzerOptions& options = {});
+
+// --- `disguisectl verify`: the deep lifecycle pipeline -----------------------
+
+struct VerifyOptions {
+  LifecycleOptions lifecycle;
+  CoverageOptions coverage;
+  // Compile every transformation and assertion predicate against its table,
+  // run the static program checker (sql/verify.h), and prove the program
+  // equivalent to its AST via decompilation + the symbolic engine.
+  bool run_program_checks = true;
+};
+
+struct VerifyReport {
+  std::vector<Finding> findings;
+  LifecycleStats stats;
+
+  FindingCounts Counts() const { return CountFindings(findings); }
+  bool HasErrors() const { return Counts().errors > 0; }
+
+  // Same shapes as AnalysisReport, plus a stats block in the JSON
+  // (docs/FORMATS.md §5).
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// Model-checks the registered spec set end-to-end: per-spec reversibility,
+// vault completeness and idempotence, reveal-order safety of every spec
+// combination up to lifecycle.max_k, whole-registry PII coverage, and the
+// compiled-program checks. Invalid specs get "invalid-spec" errors and are
+// excluded, as in Analyze().
+VerifyReport Verify(const std::vector<disguise::DisguiseSpec>& specs,
+                    const db::Schema& schema, const VerifyOptions& options = {});
 
 }  // namespace edna::analysis
 

@@ -1,0 +1,143 @@
+#include "src/analysis/coverage.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/taint.h"
+
+namespace edna::analysis {
+namespace {
+
+using disguise::DisguiseSpec;
+using disguise::TableDisguise;
+using disguise::Transformation;
+using disguise::TransformKind;
+
+// Tables whose rows can link to an identity row: BFS from the identity
+// tables along reverse FK edges (child -> parent chains reversed).
+std::set<std::string> ReachableTables(const db::Schema& schema,
+                                      const std::set<std::string>& identity,
+                                      size_t max_depth) {
+  std::set<std::string> reachable = identity;
+  std::vector<std::string> frontier(identity.begin(), identity.end());
+  for (size_t depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<std::string> next;
+    for (const db::TableSchema& ts : schema.tables()) {
+      if (reachable.count(ts.name()) != 0) {
+        continue;
+      }
+      for (const db::ForeignKeyDef& fk : ts.foreign_keys()) {
+        bool hit = false;
+        for (const std::string& f : frontier) {
+          hit = hit || fk.parent_table == f;
+        }
+        if (hit || reachable.count(fk.parent_table) != 0) {
+          reachable.insert(ts.name());
+          next.push_back(ts.name());
+          break;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return reachable;
+}
+
+bool SpecTouches(const DisguiseSpec& spec, const std::string& table,
+                 const std::string& column) {
+  const TableDisguise* td = spec.FindTable(table);
+  if (td == nullptr) {
+    return false;
+  }
+  for (const Transformation& tr : td->transformations) {
+    switch (tr.kind()) {
+      case TransformKind::kRemove:
+        return true;  // removing the row disguises every column of it
+      case TransformKind::kModify:
+        if (tr.column() == column &&
+            tr.generator().kind() != disguise::Generator::Kind::kKeep) {
+          return true;
+        }
+        break;
+      case TransformKind::kDecorrelate:
+        if (tr.foreign_key().column == column) {
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzePiiCoverage(const std::vector<const DisguiseSpec*>& specs,
+                                        const db::Schema& schema,
+                                        const CoverageOptions& options) {
+  std::vector<Finding> findings;
+
+  std::set<std::string> identity;
+  if (!options.identity_table.empty()) {
+    identity.insert(options.identity_table);
+  } else {
+    for (const DisguiseSpec* s : specs) {
+      if (s == nullptr || !s->per_user()) {
+        continue;
+      }
+      std::string derived = DeriveIdentityTable(*s, schema);
+      if (!derived.empty()) {
+        identity.insert(derived);
+      }
+    }
+  }
+  if (identity.empty()) {
+    findings.push_back(Finding{
+        Severity::kInfo, "coverage-skipped", "", "", "",
+        "no identity table could be derived from the registered specs (and none "
+        "was given); PII coverage was not analyzed"});
+    return findings;
+  }
+
+  std::string identity_names;
+  for (const std::string& t : identity) {
+    if (!identity_names.empty()) {
+      identity_names += ", ";
+    }
+    identity_names += "\"" + t + "\"";
+  }
+
+  std::set<std::string> reachable =
+      ReachableTables(schema, identity, options.max_depth);
+  for (const db::TableSchema& ts : schema.tables()) {
+    if (reachable.count(ts.name()) == 0) {
+      continue;
+    }
+    for (const db::ColumnDef& cd : ts.columns()) {
+      if (cd.sensitivity == db::Sensitivity::kPublic) {
+        continue;
+      }
+      bool touched = false;
+      for (const DisguiseSpec* s : specs) {
+        touched = touched || (s != nullptr && SpecTouches(*s, ts.name(), cd.name));
+      }
+      if (touched) {
+        continue;
+      }
+      findings.push_back(Finding{
+          cd.sensitivity == db::Sensitivity::kPii ? Severity::kWarning
+                                                  : Severity::kInfo,
+          "pii-uncovered", "", ts.name(), cd.name,
+          std::string(db::SensitivityName(cd.sensitivity)) + " column is linked to " +
+              identity_names + " through the FK graph but no registered disguise "
+              "Removes, Modifies, or Decorrelates it: there is no way to hide "
+              "this data"});
+    }
+  }
+
+  DedupFindings(&findings);
+  return findings;
+}
+
+}  // namespace edna::analysis

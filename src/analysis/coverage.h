@@ -1,0 +1,35 @@
+// PII coverage: the cross-spec complement of the taint pass. Taint asks
+// "does THIS spec unlink everything it should"; coverage asks "is there
+// sensitive data NO registered disguise ever touches". A Sensitive-annotated
+// column that is reachable from an identity table in the FK graph but that
+// no spec Removes, Modifies, or Decorrelates is a `pii-uncovered` finding
+// (warning for pii, info for quasi): the application has privacy-relevant
+// state its disguise library cannot hide at all.
+#ifndef SRC_ANALYSIS_COVERAGE_H_
+#define SRC_ANALYSIS_COVERAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/findings.h"
+#include "src/db/schema.h"
+#include "src/disguise/spec.h"
+
+namespace edna::analysis {
+
+struct CoverageOptions {
+  // Identity-table override; empty = derive one per per-user spec (taint.h's
+  // DeriveIdentityTable) and take the union.
+  std::string identity_table;
+  // FK reachability bound (hops from an identity table).
+  size_t max_depth = 8;
+};
+
+// Analyzes the whole registered spec set at once. Null entries are ignored.
+std::vector<Finding> AnalyzePiiCoverage(
+    const std::vector<const disguise::DisguiseSpec*>& specs,
+    const db::Schema& schema, const CoverageOptions& options = {});
+
+}  // namespace edna::analysis
+
+#endif  // SRC_ANALYSIS_COVERAGE_H_

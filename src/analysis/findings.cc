@@ -67,11 +67,22 @@ FindingCounts CountFindings(const std::vector<Finding>& findings) {
 void SortFindings(std::vector<Finding>* findings) {
   std::stable_sort(findings->begin(), findings->end(),
                    [](const Finding& a, const Finding& b) {
-                     return std::make_tuple(-static_cast<int>(a.severity), a.spec, a.table,
-                                            a.column, a.code) <
-                            std::make_tuple(-static_cast<int>(b.severity), b.spec, b.table,
-                                            b.column, b.code);
+                     return std::make_tuple(-static_cast<int>(a.severity), a.table,
+                                            a.column, a.spec, a.code, a.message) <
+                            std::make_tuple(-static_cast<int>(b.severity), b.table,
+                                            b.column, b.spec, b.code, b.message);
                    });
+}
+
+void DedupFindings(std::vector<Finding>* findings) {
+  SortFindings(findings);
+  findings->erase(std::unique(findings->begin(), findings->end(),
+                              [](const Finding& a, const Finding& b) {
+                                return a.severity == b.severity && a.code == b.code &&
+                                       a.spec == b.spec && a.table == b.table &&
+                                       a.column == b.column && a.message == b.message;
+                              }),
+                  findings->end());
 }
 
 namespace {

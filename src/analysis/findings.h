@@ -39,8 +39,15 @@ FindingCounts CountFindings(const std::vector<Finding>& findings);
 // True if any finding is an error.
 bool HasErrors(const std::vector<Finding>& findings);
 
-// Sorts by severity (errors first), then spec, table, column, code.
+// Sorts by severity (errors first), then table, column, spec, code, message
+// — anchored to the schema location first so `--json` output diffs cleanly
+// in CI when specs are renamed or passes reorder their output.
 void SortFindings(std::vector<Finding>* findings);
+
+// Sorts, then drops findings that are identical in every field: multiple
+// passes (e.g. the pairwise predictor and the lifecycle verifier) may report
+// the same fact, and CI diffs should see it once.
+void DedupFindings(std::vector<Finding>* findings);
 
 // JSON array of finding objects, e.g.
 //   [{"severity":"error","code":"pii-retained","spec":"gdpr",...}]

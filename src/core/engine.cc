@@ -206,6 +206,15 @@ std::vector<std::string> DisguiseEngine::SpecNames() const {
   return out;
 }
 
+std::vector<const DisguiseSpec*> DisguiseEngine::Specs() const {
+  std::vector<const DisguiseSpec*> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) {
+    out.push_back(&spec);
+  }
+  return out;
+}
+
 StatusOr<sql::Value> DisguiseEngine::CreatePlaceholder(ApplyContext* ctx,
                                                        const std::string& table,
                                                        const sql::Value& owner) {

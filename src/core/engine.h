@@ -120,6 +120,10 @@ class DisguiseEngine {
   Status RegisterSpec(disguise::DisguiseSpec spec);
   const disguise::DisguiseSpec* FindSpec(const std::string& name) const;
   std::vector<std::string> SpecNames() const;
+  // The whole registry, for registry-wide analyses (the lifecycle verifier
+  // and PII coverage run over every registered spec at once). Pointers stay
+  // valid as long as the engine lives.
+  std::vector<const disguise::DisguiseSpec*> Specs() const;
 
   // Applies a registered disguise. Per-user specs require params["UID"].
   StatusOr<ApplyResult> Apply(const std::string& spec_name, const sql::ParamMap& params);

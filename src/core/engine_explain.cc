@@ -2,6 +2,8 @@
 #include "src/common/strings.h"
 #include "src/core/engine_internal.h"
 #include "src/core/explain.h"
+#include "src/sql/compile.h"
+#include "src/sql/verify.h"
 
 namespace edna::core {
 
@@ -26,6 +28,10 @@ std::string ExplainReport::ToString() const {
     }
     if (!e.plan.empty()) {
       out += "  via " + e.plan;
+    }
+    if (e.program_instructions > 0) {
+      out += StrFormat("  program(%zu insn, %zu reg, %s)", e.program_instructions,
+                       e.program_registers, e.program_verified ? "ok" : "UNCHECKED");
     }
     out += "\n";
   }
@@ -124,6 +130,32 @@ StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
       entry.matching_rows = rows.size();
       if (tr.predicate() != nullptr) {
         ASSIGN_OR_RETURN(entry.plan, db_->DescribePlan(td.table, *tr.predicate()));
+        // Surface the compiled hot-path form of the rule and run the static
+        // program checker over it, so `explain` doubles as a verification
+        // report for the plan the engine will execute.
+        const db::TableSchema* ts = db_->schema().FindTable(td.table);
+        if (ts != nullptr) {
+          sql::ColumnBinder binder = [ts](const std::string& tbl,
+                                          const std::string& column) -> StatusOr<size_t> {
+            if (!tbl.empty() && tbl != ts->name()) {
+              return NotFound("unknown table \"" + tbl + "\"");
+            }
+            int idx = ts->ColumnIndex(column);
+            if (idx < 0) {
+              return NotFound("unknown column \"" + column + "\"");
+            }
+            return static_cast<size_t>(idx);
+          };
+          StatusOr<sql::CompiledPredicate> program =
+              sql::CompiledPredicate::Compile(*tr.predicate(), binder);
+          if (program.ok()) {
+            entry.program_instructions = program->num_instructions();
+            entry.program_registers = program->num_registers();
+            sql::ProgramCheckOptions check;
+            check.row_width = static_cast<int>(ts->num_columns());
+            entry.program_verified = sql::VerifyProgram(*program, check).ok();
+          }
+        }
       } else {
         entry.plan = "all rows";
       }

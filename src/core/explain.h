@@ -30,6 +30,12 @@ struct ExplainEntry {
   // How the database would find the matching rows ("probe(eq(contactId =
   // $UID))", "scan(Paper)", ...); from Database::DescribePlan.
   std::string plan;
+  // The compiled form of the predicate on the hot path: instruction and
+  // register counts, and whether the static program checker (sql/verify.h)
+  // accepted it.
+  size_t program_instructions = 0;
+  size_t program_registers = 0;
+  bool program_verified = false;
 };
 
 struct ExplainReport {

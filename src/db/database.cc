@@ -6,6 +6,7 @@
 #include "src/common/failpoint.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/sql/verify.h"
 
 namespace edna::db {
 
@@ -788,6 +789,16 @@ StatusOr<std::shared_ptr<const TablePlan>> Database::GetPlan(const Table& table,
   // Build outside plan_mu_ (compilation is slow); first insert wins if two
   // threads raced on the same key.
   ASSIGN_OR_RETURN(std::shared_ptr<const TablePlan> plan, PlanPredicate(table, pred));
+#ifndef NDEBUG
+  // Debug builds statically check every compiled program before it enters
+  // the cache: a malformed residual would otherwise run on every matching
+  // row. Release builds skip this (tests cover the compiler exhaustively).
+  if (plan->residual.has_value()) {
+    sql::ProgramCheckOptions check;
+    check.row_width = static_cast<int>(table.schema().num_columns());
+    RETURN_IF_ERROR(sql::VerifyProgram(*plan->residual, check));
+  }
+#endif
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   // The engine's hot path emits unbounded streams of one-shot literal
   // predicates (`"id" = 42` per placeholder row); an epoch-style reset keeps

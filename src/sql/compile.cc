@@ -34,9 +34,12 @@ class CompiledPredicate::Builder {
           Emit(std::move(in));
         } else {
           // Deferred: the interpreter only errors if the reference is
-          // actually evaluated (short-circuit may skip it).
+          // actually evaluated (short-circuit may skip it). dst records the
+          // register the value would have landed in — kFail "defines" it by
+          // raising, which the static checker (verify.h) relies on.
           Insn in;
         in.op = Op::kFail;
+          in.dst = r;
           in.error = ordinal.status();
           Emit(std::move(in));
         }
@@ -293,6 +296,17 @@ StatusOr<CompiledPredicate> CompiledPredicate::Compile(const Expr& expr,
   p.num_regs_ = builder.num_regs();
   p.result_reg_ = result;
   p.param_names_ = builder.TakeParams();
+  return p;
+}
+
+CompiledPredicate CompiledPredicate::AssembleForTest(std::vector<Insn> code,
+                                                     size_t num_regs, int result_reg,
+                                                     std::vector<std::string> param_names) {
+  CompiledPredicate p;
+  p.code_ = std::move(code);
+  p.num_regs_ = num_regs;
+  p.result_reg_ = result_reg;
+  p.param_names_ = std::move(param_names);
   return p;
 }
 

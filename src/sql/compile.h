@@ -59,31 +59,9 @@ struct EvalScratch {
 
 class CompiledPredicate {
  public:
-  // Lowers `expr` against `binder`. Only internal inconsistencies fail;
-  // unknown columns become deferred errors (see file comment).
-  static StatusOr<CompiledPredicate> Compile(const Expr& expr, const ColumnBinder& binder);
-
-  CompiledPredicate(CompiledPredicate&&) = default;
-  CompiledPredicate& operator=(CompiledPredicate&&) = default;
-
-  // Resolves `params` to slots. Cheap; do once per statement.
-  BoundParams BindParams(const ParamMap& params) const;
-
-  // Evaluates against one row (positional values, `row_width` columns).
-  // Result may be Null (UNKNOWN).
-  StatusOr<Value> EvalRow(const Value* row, size_t row_width, const BoundParams& params,
-                          EvalScratch* scratch) const;
-
-  // Predicate form: NULL and FALSE are "no match", matching
-  // sql::EvaluatePredicate.
-  StatusOr<bool> Matches(const Value* row, size_t row_width, const BoundParams& params,
-                         EvalScratch* scratch) const;
-
-  size_t num_instructions() const { return code_.size(); }
-  size_t num_registers() const { return num_regs_; }
-  const std::vector<std::string>& param_names() const { return param_names_; }
-
- private:
+  // The instruction set is public: the static program checker
+  // (src/sql/verify.h) validates it and decompiles programs back to ASTs,
+  // and tests hand-build malformed programs to exercise the checker.
   enum class Op : uint8_t {
     kConst,        // regs[dst] = imm
     kColumn,       // regs[dst] = row[a]
@@ -126,6 +104,41 @@ class CompiledPredicate {
     std::vector<int> args;  // kCall argument registers
   };
 
+  // Lowers `expr` against `binder`. Only internal inconsistencies fail;
+  // unknown columns become deferred errors (see file comment).
+  static StatusOr<CompiledPredicate> Compile(const Expr& expr, const ColumnBinder& binder);
+
+  CompiledPredicate(CompiledPredicate&&) = default;
+  CompiledPredicate& operator=(CompiledPredicate&&) = default;
+
+  // Resolves `params` to slots. Cheap; do once per statement.
+  BoundParams BindParams(const ParamMap& params) const;
+
+  // Evaluates against one row (positional values, `row_width` columns).
+  // Result may be Null (UNKNOWN).
+  StatusOr<Value> EvalRow(const Value* row, size_t row_width, const BoundParams& params,
+                          EvalScratch* scratch) const;
+
+  // Predicate form: NULL and FALSE are "no match", matching
+  // sql::EvaluatePredicate.
+  StatusOr<bool> Matches(const Value* row, size_t row_width, const BoundParams& params,
+                         EvalScratch* scratch) const;
+
+  size_t num_instructions() const { return code_.size(); }
+  size_t num_registers() const { return num_regs_; }
+  const std::vector<std::string>& param_names() const { return param_names_; }
+
+  // Program introspection for verify.h and tests.
+  const std::vector<Insn>& code() const { return code_; }
+  int result_reg() const { return result_reg_; }
+
+  // Test-only constructor: assembles a program directly so the checker's
+  // negative cases can exercise malformed shapes Compile() never emits.
+  static CompiledPredicate AssembleForTest(std::vector<Insn> code, size_t num_regs,
+                                           int result_reg,
+                                           std::vector<std::string> param_names);
+
+ private:
   class Builder;
 
   CompiledPredicate() = default;

@@ -1,0 +1,423 @@
+#include "src/sql/verify.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace edna::sql {
+namespace {
+
+using Op = CompiledPredicate::Op;
+using Insn = CompiledPredicate::Insn;
+
+std::string At(size_t pc) { return "insn " + std::to_string(pc) + ": "; }
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// What last defined a register: needed for the 3VL protocol checks.
+enum class DefKind { kUndefined, kValue, kTruth, kSawNullFlag };
+
+class Checker {
+ public:
+  Checker(const CompiledPredicate& program, const ProgramCheckOptions& options)
+      : program_(program),
+        options_(options),
+        nregs_(static_cast<int>(program.num_registers())),
+        defined_(program.num_registers(), DefKind::kUndefined) {}
+
+  Status Run() {
+    const std::vector<Insn>& code = program_.code();
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+      RETURN_IF_ERROR(CheckInsn(pc, code[pc]));
+    }
+    const int result = program_.result_reg();
+    if (result < 0 || result >= nregs_) {
+      return InvalidArgument("result register " + std::to_string(result) +
+                             " out of bounds (" + std::to_string(nregs_) + " registers)");
+    }
+    // kFail-only programs legitimately leave the result undefined: they raise
+    // before producing a value.
+    if (defined_[result] == DefKind::kUndefined && !has_fail_) {
+      return InvalidArgument("result register " + std::to_string(result) +
+                             " is never defined");
+    }
+    return OkStatus();
+  }
+
+ private:
+  Status CheckRead(size_t pc, int reg, const char* role) {
+    if (reg < 0 || reg >= nregs_) {
+      return InvalidArgument(At(pc) + std::string(role) + " register " +
+                             std::to_string(reg) + " out of bounds");
+    }
+    // Define-before-use in instruction order: the builder only emits forward
+    // jumps, so a textually later definition can never reach an earlier
+    // read. (A jump may skip a definition, but then it skips every read of
+    // it too — the skipped range is straight-line.)
+    if (defined_[reg] == DefKind::kUndefined) {
+      return InvalidArgument(At(pc) + std::string(role) + " register " +
+                             std::to_string(reg) + " read before definition");
+    }
+    return OkStatus();
+  }
+
+  Status CheckWrite(size_t pc, int reg, DefKind kind) {
+    if (reg < 0 || reg >= nregs_) {
+      return InvalidArgument(At(pc) + "destination register " + std::to_string(reg) +
+                             " out of bounds");
+    }
+    defined_[reg] = kind;
+    return OkStatus();
+  }
+
+  Status CheckJump(size_t pc, int target) {
+    // Forward-only, at most one past the end (jump-to-exit).
+    if (target <= static_cast<int>(pc) ||
+        target > static_cast<int>(program_.code().size())) {
+      return InvalidArgument(At(pc) + "jump target " + std::to_string(target) +
+                             " is not strictly forward in [" + std::to_string(pc + 1) +
+                             ", " + std::to_string(program_.code().size()) + "]");
+    }
+    return OkStatus();
+  }
+
+  // The 3VL protocol: short-circuit jumps and Kleene combines are only sound
+  // over truth-coerced registers (Bool / Null). A raw value register (e.g.
+  // the integer 0) would short-circuit incorrectly.
+  Status CheckTruthOperand(size_t pc, int reg, const char* role) {
+    RETURN_IF_ERROR(CheckRead(pc, reg, role));
+    if (defined_[reg] != DefKind::kTruth) {
+      return InvalidArgument(At(pc) + std::string(role) + " register " +
+                             std::to_string(reg) +
+                             " is not truth-coerced (3VL short-circuit over a raw "
+                             "value is unsound)");
+    }
+    return OkStatus();
+  }
+
+  Status CheckInsn(size_t pc, const Insn& in) {
+    switch (in.op) {
+      case Op::kConst:
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kColumn:
+        if (in.a < 0 ||
+            (options_.row_width >= 0 && in.a >= options_.row_width)) {
+          return InvalidArgument(At(pc) + "column ordinal " + std::to_string(in.a) +
+                                 " out of row bounds");
+        }
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kParam:
+        if (in.a < 0 || in.a >= static_cast<int>(program_.param_names().size())) {
+          return InvalidArgument(At(pc) + "parameter slot " + std::to_string(in.a) +
+                                 " out of bounds (" +
+                                 std::to_string(program_.param_names().size()) +
+                                 " params)");
+        }
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kFail:
+        if (in.error.ok()) {
+          return InvalidArgument(At(pc) + "kFail carries an OK status");
+        }
+        has_fail_ = true;
+        // Raising "defines" dst: execution cannot fall through to a read of
+        // it, so downstream insns in the same straight-line region check out.
+        if (in.dst >= 0) {
+          return CheckWrite(pc, in.dst, DefKind::kValue);
+        }
+        return OkStatus();
+      case Op::kNot:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        return CheckWrite(pc, in.dst, DefKind::kTruth);  // NOT truth-coerces
+      case Op::kNeg:
+      case Op::kPlusOp:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kCompare:
+        if (!IsComparison(in.bop)) {
+          return InvalidArgument(At(pc) + "kCompare with non-comparison operator " +
+                                 BinaryOpName(in.bop));
+        }
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "lhs"));
+        RETURN_IF_ERROR(CheckRead(pc, in.b, "rhs"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kArith:
+        if (!IsArithmetic(in.bop)) {
+          return InvalidArgument(At(pc) + "kArith with non-arithmetic operator " +
+                                 BinaryOpName(in.bop));
+        }
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "lhs"));
+        RETURN_IF_ERROR(CheckRead(pc, in.b, "rhs"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kConcatOp:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "lhs"));
+        RETURN_IF_ERROR(CheckRead(pc, in.b, "rhs"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kTruth:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        return CheckWrite(pc, in.dst, DefKind::kTruth);
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+        RETURN_IF_ERROR(CheckTruthOperand(pc, in.a, "condition"));
+        return CheckJump(pc, in.target);
+      case Op::kAndCombine:
+      case Op::kOrCombine:
+        RETURN_IF_ERROR(CheckTruthOperand(pc, in.a, "lhs"));
+        RETURN_IF_ERROR(CheckTruthOperand(pc, in.b, "rhs"));
+        return CheckWrite(pc, in.dst, DefKind::kTruth);
+      case Op::kIsNullOp:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kInInit:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "needle"));
+        RETURN_IF_ERROR(CheckJump(pc, in.target));
+        RETURN_IF_ERROR(CheckWrite(pc, in.b, DefKind::kSawNullFlag));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kInStep:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "needle"));
+        RETURN_IF_ERROR(CheckSawNull(pc, in.b));
+        RETURN_IF_ERROR(CheckRead(pc, in.c, "item"));
+        RETURN_IF_ERROR(CheckJump(pc, in.target));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kInFinish:
+        RETURN_IF_ERROR(CheckSawNull(pc, in.b));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kBetweenOp:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        RETURN_IF_ERROR(CheckRead(pc, in.b, "low"));
+        RETURN_IF_ERROR(CheckRead(pc, in.c, "high"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kLikeOp:
+        RETURN_IF_ERROR(CheckRead(pc, in.a, "operand"));
+        RETURN_IF_ERROR(CheckRead(pc, in.b, "pattern"));
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+      case Op::kCall:
+        for (int arg : in.args) {
+          RETURN_IF_ERROR(CheckRead(pc, arg, "argument"));
+        }
+        return CheckWrite(pc, in.dst, DefKind::kValue);
+    }
+    return InvalidArgument(At(pc) + "unknown opcode " +
+                           std::to_string(static_cast<int>(in.op)));
+  }
+
+  // The IN protocol's saw-null flag must come from kInInit (or an earlier
+  // kInStep write, which preserves the kind).
+  Status CheckSawNull(size_t pc, int reg) {
+    if (reg < 0 || reg >= nregs_) {
+      return InvalidArgument(At(pc) + "saw-null register " + std::to_string(reg) +
+                             " out of bounds");
+    }
+    if (defined_[reg] != DefKind::kSawNullFlag) {
+      return InvalidArgument(At(pc) + "saw-null register " + std::to_string(reg) +
+                             " was not initialized by kInInit");
+    }
+    return OkStatus();
+  }
+
+  const CompiledPredicate& program_;
+  const ProgramCheckOptions& options_;
+  const int nregs_;
+  std::vector<DefKind> defined_;
+  bool has_fail_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Decompilation: symbolic execution of the instruction stream. Jumps carry
+// no data (they only skip work the combine makes redundant), so a linear
+// pass that ignores them reconstructs exactly the expression the builder
+// lowered: kTruth copies its operand, combines rebuild AND/OR, the IN
+// protocol accumulates its item list.
+
+struct InState {
+  ExprPtr needle;
+  std::vector<ExprPtr> items;
+  bool negated = false;
+};
+
+class Decompiler {
+ public:
+  Decompiler(const CompiledPredicate& program, const ColumnNamer& namer)
+      : program_(program), namer_(namer), regs_(program.num_registers()) {}
+
+  StatusOr<ExprPtr> Run() {
+    for (size_t pc = 0; pc < program_.code().size(); ++pc) {
+      RETURN_IF_ERROR(Step(pc, program_.code()[pc]));
+    }
+    return Read(program_.code().size(), program_.result_reg(), "result");
+  }
+
+ private:
+  StatusOr<ExprPtr> Read(size_t pc, int reg, const char* role) {
+    if (reg < 0 || reg >= static_cast<int>(regs_.size()) || regs_[reg] == nullptr) {
+      return InvalidArgument(At(pc) + std::string(role) + " register " +
+                             std::to_string(reg) + " holds no expression");
+    }
+    return regs_[reg]->Clone();
+  }
+
+  Status Write(size_t pc, int reg, ExprPtr e) {
+    if (reg < 0 || reg >= static_cast<int>(regs_.size())) {
+      return InvalidArgument(At(pc) + "destination register " + std::to_string(reg) +
+                             " out of bounds");
+    }
+    regs_[reg] = std::move(e);
+    return OkStatus();
+  }
+
+  Status Step(size_t pc, const Insn& in) {
+    switch (in.op) {
+      case Op::kConst:
+        return Write(pc, in.dst, Expr::Literal(in.imm));
+      case Op::kColumn: {
+        if (!namer_) {
+          return InvalidArgument(At(pc) + "no column namer provided");
+        }
+        ASSIGN_OR_RETURN(std::string name, namer_(static_cast<size_t>(in.a)));
+        return Write(pc, in.dst, Expr::ColumnRef("", std::move(name)));
+      }
+      case Op::kParam:
+        return Write(pc, in.dst, Expr::Param(in.text));
+      case Op::kFail:
+        return FailedPrecondition(
+            At(pc) + "program contains a deferred binding error (" +
+            in.error.message() + "); it has no source expression");
+      case Op::kNot: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        return Write(pc, in.dst, Expr::Unary(UnaryOp::kNot, std::move(a)));
+      }
+      case Op::kNeg: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        return Write(pc, in.dst, Expr::Unary(UnaryOp::kNeg, std::move(a)));
+      }
+      case Op::kPlusOp: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        return Write(pc, in.dst, Expr::Unary(UnaryOp::kPlus, std::move(a)));
+      }
+      case Op::kCompare:
+      case Op::kArith:
+      case Op::kConcatOp: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "lhs"));
+        ASSIGN_OR_RETURN(ExprPtr b, Read(pc, in.b, "rhs"));
+        BinaryOp bop = in.op == Op::kConcatOp ? BinaryOp::kConcat : in.bop;
+        return Write(pc, in.dst, Expr::Binary(bop, std::move(a), std::move(b)));
+      }
+      case Op::kTruth: {
+        // Truth-coercion is implicit in the AST's AND/OR semantics; the
+        // operand expression itself is the value.
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        return Write(pc, in.dst, std::move(a));
+      }
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+        return OkStatus();  // pure control flow; the combine rebuilds the node
+      case Op::kAndCombine:
+      case Op::kOrCombine: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "lhs"));
+        ASSIGN_OR_RETURN(ExprPtr b, Read(pc, in.b, "rhs"));
+        return Write(pc, in.dst,
+                     Expr::Binary(in.op == Op::kAndCombine ? BinaryOp::kAnd
+                                                           : BinaryOp::kOr,
+                                  std::move(a), std::move(b)));
+      }
+      case Op::kIsNullOp: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        return Write(pc, in.dst, Expr::IsNull(std::move(a), in.negated));
+      }
+      case Op::kInInit: {
+        ASSIGN_OR_RETURN(ExprPtr needle, Read(pc, in.a, "needle"));
+        InState st;
+        st.needle = std::move(needle);
+        in_states_[in.dst] = std::move(st);
+        return OkStatus();
+      }
+      case Op::kInStep: {
+        auto it = in_states_.find(in.dst);
+        if (it == in_states_.end()) {
+          return InvalidArgument(At(pc) + "kInStep without a preceding kInInit");
+        }
+        ASSIGN_OR_RETURN(ExprPtr item, Read(pc, in.c, "item"));
+        it->second.items.push_back(std::move(item));
+        it->second.negated = in.negated;
+        return OkStatus();
+      }
+      case Op::kInFinish: {
+        auto it = in_states_.find(in.dst);
+        if (it == in_states_.end()) {
+          return InvalidArgument(At(pc) + "kInFinish without a preceding kInInit");
+        }
+        InState st = std::move(it->second);
+        in_states_.erase(it);
+        return Write(pc, in.dst,
+                     Expr::In(std::move(st.needle), std::move(st.items),
+                              in.negated || st.negated));
+      }
+      case Op::kBetweenOp: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        ASSIGN_OR_RETURN(ExprPtr lo, Read(pc, in.b, "low"));
+        ASSIGN_OR_RETURN(ExprPtr hi, Read(pc, in.c, "high"));
+        return Write(pc, in.dst,
+                     Expr::Between(std::move(a), std::move(lo), std::move(hi),
+                                   in.negated));
+      }
+      case Op::kLikeOp: {
+        ASSIGN_OR_RETURN(ExprPtr a, Read(pc, in.a, "operand"));
+        ASSIGN_OR_RETURN(ExprPtr pat, Read(pc, in.b, "pattern"));
+        return Write(pc, in.dst, Expr::Like(std::move(a), std::move(pat), in.negated));
+      }
+      case Op::kCall: {
+        std::vector<ExprPtr> args;
+        for (int arg : in.args) {
+          ASSIGN_OR_RETURN(ExprPtr a, Read(pc, arg, "argument"));
+          args.push_back(std::move(a));
+        }
+        return Write(pc, in.dst, Expr::Call(in.text, std::move(args)));
+      }
+    }
+    return InvalidArgument(At(pc) + "unknown opcode " +
+                           std::to_string(static_cast<int>(in.op)));
+  }
+
+  const CompiledPredicate& program_;
+  const ColumnNamer& namer_;
+  std::vector<ExprPtr> regs_;
+  std::map<int, InState> in_states_;
+};
+
+}  // namespace
+
+Status VerifyProgram(const CompiledPredicate& program,
+                     const ProgramCheckOptions& options) {
+  return Checker(program, options).Run();
+}
+
+StatusOr<ExprPtr> DecompileProgram(const CompiledPredicate& program,
+                                   const ColumnNamer& namer) {
+  return Decompiler(program, namer).Run();
+}
+
+}  // namespace edna::sql

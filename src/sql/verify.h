@@ -1,0 +1,51 @@
+// Static checker for compiled predicate programs (compile.h).
+//
+// A CompiledPredicate is trusted on the disguise hot path: the planner
+// caches it and every matching row runs it. VerifyProgram() validates the
+// program shape without executing it — register bounds, per-op arity and
+// operand kinds, forward-only jump targets, define-before-use, and the
+// three-valued-logic protocol (short-circuit jumps and Kleene combines must
+// consume truth-coerced registers, the IN protocol's saw-null flag must flow
+// through kInInit/kInStep). DecompileProgram() reconstructs the source AST
+// from the instruction stream, which lets callers that link the symbolic
+// predicate engine (src/analysis) prove a program equivalent to the
+// expression it was compiled from; tests and `disguisectl verify` do this
+// exhaustively, and Database::GetPlan runs VerifyProgram at plan-cache
+// insert in debug builds.
+#ifndef SRC_SQL_VERIFY_H_
+#define SRC_SQL_VERIFY_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sql/ast.h"
+#include "src/sql/compile.h"
+
+namespace edna::sql {
+
+struct ProgramCheckOptions {
+  // When >= 0, kColumn ordinals must be < row_width (the table's column
+  // count); negative skips the bound check.
+  int row_width = -1;
+};
+
+// Validates well-formedness of the instruction stream. Returns the first
+// problem found as InvalidArgument, naming the instruction index.
+Status VerifyProgram(const CompiledPredicate& program,
+                     const ProgramCheckOptions& options = {});
+
+// Resolves a kColumn ordinal back to a column name for decompilation.
+using ColumnNamer = std::function<StatusOr<std::string>(size_t ordinal)>;
+
+// Reconstructs the expression a program computes by symbolically executing
+// the instruction stream (jumps become the AND/OR/IN structure they encode).
+// Fails on malformed programs and on programs with deferred binding errors
+// (kFail): those have no well-defined source expression.
+StatusOr<ExprPtr> DecompileProgram(const CompiledPredicate& program,
+                                   const ColumnNamer& namer);
+
+}  // namespace edna::sql
+
+#endif  // SRC_SQL_VERIFY_H_

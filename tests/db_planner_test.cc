@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "src/db/database.h"
+#include "src/sql/compile.h"
 #include "src/sql/parser.h"
+#include "src/sql/verify.h"
 
 namespace edna::db {
 namespace {
@@ -368,6 +370,65 @@ TEST(DbPlannerTest, StatsCopyRoundTripsEveryCounter) {
   EXPECT_EQ(copy.queries, 0u);
   EXPECT_EQ(copy.range_probes, 0u);
   EXPECT_EQ(stats.queries, 1u);  // Reset touches only the copy
+}
+
+// --- Static program checker over the planner corpus --------------------------
+
+TEST(DbPlannerTest, PlannerCorpusProgramsPassTheStaticChecker) {
+  // Every predicate shape this suite plans also compiles to a register
+  // program the engine may run as a residual. Each one must pass the static
+  // checker (Database::GetPlan asserts this at cache-insert in debug builds)
+  // and decompile back to exactly the expression it was compiled from.
+  const std::vector<std::string> kLayout = {"id", "user_id", "score", "kind", "note"};
+  sql::ColumnBinder binder = [&kLayout](const std::string& table,
+                                        const std::string& column) ->
+      StatusOr<size_t> {
+    if (!table.empty() && table != "events") {
+      return NotFound("unknown table \"" + table + "\"");
+    }
+    for (size_t i = 0; i < kLayout.size(); ++i) {
+      if (kLayout[i] == column) {
+        return i;
+      }
+    }
+    return NotFound("unknown column \"" + column + "\"");
+  };
+  sql::ColumnNamer namer = [&kLayout](size_t ordinal) -> StatusOr<std::string> {
+    if (ordinal >= kLayout.size()) {
+      return NotFound("ordinal out of range");
+    }
+    return kLayout[ordinal];
+  };
+
+  const char* kCorpus[] = {
+      "\"score\" >= 10 AND \"score\" < 15",
+      "\"score\" BETWEEN 7 AND 9",
+      "\"id\" <= 3",
+      "\"score\" IN (3, 17, 99)",
+      "\"user_id\" = 2 AND \"kind\" = 'click'",
+      "\"user_id\" = 1 OR \"kind\" = 'view'",
+      "\"user_id\" = 1 OR \"note\" = 'n3'",
+      "\"user_id\" IS NULL",
+      "\"user_id\" IS NOT NULL",
+      "\"note\" = 'n7'",
+      "TRUE",
+      "\"user_id\" = $UID",
+      "\"user_id\" = $UID AND \"score\" > $MIN",
+      "NOT (\"kind\" = 'click' AND \"score\" < 10)",
+      "\"kind\" LIKE 'cl%'",
+  };
+  for (const char* text : kCorpus) {
+    sql::ExprPtr expr = Pred(text);
+    auto program = sql::CompiledPredicate::Compile(*expr, binder);
+    ASSERT_TRUE(program.ok()) << text << ": " << program.status();
+    sql::ProgramCheckOptions check;
+    check.row_width = static_cast<int>(kLayout.size());
+    Status verified = sql::VerifyProgram(*program, check);
+    EXPECT_TRUE(verified.ok()) << text << ": " << verified;
+    auto back = sql::DecompileProgram(*program, namer);
+    ASSERT_TRUE(back.ok()) << text << ": " << back.status();
+    EXPECT_EQ((*back)->ToString(), expr->ToString()) << text;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,431 @@
+// Static program checker (src/sql/verify.{h,cc}): VerifyProgram accepts
+// everything Compile() emits and rejects hand-assembled malformed shapes;
+// DecompileProgram reconstructs the source AST, which a differential fuzzer
+// cross-checks against the original expression — by exact text round-trip
+// where the lowering is structure-preserving, and by agreement of the two
+// interpreters otherwise. Runs in the default ctest battery.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/sql/compile.h"
+#include "src/sql/eval.h"
+#include "src/sql/parser.h"
+#include "src/sql/verify.h"
+
+namespace edna::sql {
+namespace {
+
+using Op = CompiledPredicate::Op;
+using Insn = CompiledPredicate::Insn;
+
+// Fixed row layout the compiled programs bind against: c0..c3.
+const std::vector<std::string> kColumns = {"c0", "c1", "c2", "c3"};
+
+ColumnBinder TestBinder() {
+  return [](const std::string& table, const std::string& column) -> StatusOr<size_t> {
+    if (!table.empty() && table != "t") {
+      return NotFound("unknown table qualifier \"" + table + "\"");
+    }
+    for (size_t i = 0; i < kColumns.size(); ++i) {
+      if (kColumns[i] == column) {
+        return i;
+      }
+    }
+    return NotFound("unknown column \"" + column + "\"");
+  };
+}
+
+ColumnNamer TestNamer() {
+  return [](size_t ordinal) -> StatusOr<std::string> {
+    if (ordinal >= kColumns.size()) {
+      return NotFound("ordinal out of range");
+    }
+    return kColumns[ordinal];
+  };
+}
+
+ColumnResolver TestResolver(const std::vector<Value>& row) {
+  return [&row](const std::string& table, const std::string& column) -> StatusOr<Value> {
+    if (!table.empty() && table != "t") {
+      return NotFound("unknown table qualifier \"" + table + "\"");
+    }
+    for (size_t i = 0; i < kColumns.size(); ++i) {
+      if (kColumns[i] == column) {
+        return row[i];
+      }
+    }
+    return NotFound("unknown column \"" + column + "\"");
+  };
+}
+
+ExprPtr Parse(const std::string& text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status();
+  return std::move(*e);
+}
+
+CompiledPredicate MustCompile(const Expr& expr) {
+  auto p = CompiledPredicate::Compile(expr, TestBinder());
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(*p);
+}
+
+// --- VerifyProgram: positive corpus ----------------------------------------
+
+// Every shape the compiler can emit: comparisons, 3VL AND/OR chains, IN
+// (empty, with NULL, negated), BETWEEN, LIKE, IS NULL, arithmetic, concat,
+// function calls, params, deferred binding errors.
+const char* kCorpus[] = {
+    "\"c0\" = 1",
+    "\"c0\" <> 'x'",
+    "\"c0\" = 1 AND \"c1\" > 2",
+    "\"c0\" = 1 OR \"c1\" > 2 OR \"c2\" IS NULL",
+    "NOT (\"c0\" = 1 AND (\"c1\" < 2 OR \"c2\" >= 3))",
+    "\"c0\" IN (1, 2, 3)",
+    "\"c0\" NOT IN ('a', NULL)",
+    "\"c0\" IN ()",
+    "\"c1\" BETWEEN 1 AND 10",
+    "\"c1\" NOT BETWEEN \"c2\" AND \"c3\"",
+    "\"c2\" LIKE 'a%'",
+    "\"c2\" NOT LIKE '%z'",
+    "\"c0\" IS NOT NULL",
+    "\"c0\" + \"c1\" * 2 - 1 = 7",
+    "-\"c0\" = +\"c1\"",
+    "\"c2\" || 'suffix' = 'xsuffix'",
+    "LOWER(\"c2\") = 'abc'",
+    "COALESCE(\"c0\", \"c1\", 0) > 5",
+    "\"c0\" = $UID",
+    "\"c0\" = $UID AND \"c1\" <> $OTHER",
+    "TRUE",
+    "FALSE AND \"c0\" = 1",
+    "\"no_such_column\" = 1",  // deferred kFail; still a valid program
+};
+
+TEST(VerifyProgramTest, AcceptsEverythingTheCompilerEmits) {
+  for (const char* text : kCorpus) {
+    ExprPtr expr = Parse(text);
+    CompiledPredicate program = MustCompile(*expr);
+    ProgramCheckOptions check;
+    check.row_width = static_cast<int>(kColumns.size());
+    Status ok = VerifyProgram(program, check);
+    EXPECT_TRUE(ok.ok()) << text << ": " << ok;
+  }
+}
+
+TEST(VerifyProgramTest, RowWidthBoundsColumnOrdinals) {
+  ExprPtr expr = Parse("\"c3\" = 1");
+  CompiledPredicate program = MustCompile(*expr);
+  ProgramCheckOptions narrow;
+  narrow.row_width = 3;  // c3 is ordinal 3: out of a 3-column row
+  Status bad = VerifyProgram(program, narrow);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("column ordinal"), std::string::npos) << bad;
+  // Negative row_width skips the bound check.
+  EXPECT_TRUE(VerifyProgram(program).ok());
+}
+
+// --- VerifyProgram: hand-assembled negative cases ---------------------------
+// Compile() never emits these shapes, which is exactly why the checker must
+// reject them: it guards against future compiler bugs, not current ones.
+
+Insn MakeInsn(Op op, int dst = -1, int a = -1, int b = -1, int c = -1) {
+  Insn in;
+  in.op = op;
+  in.dst = dst;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  return in;
+}
+
+void ExpectRejects(std::vector<Insn> code, size_t num_regs, int result_reg,
+                   const std::string& want_substring) {
+  CompiledPredicate program = CompiledPredicate::AssembleForTest(
+      std::move(code), num_regs, result_reg, /*param_names=*/{});
+  Status s = VerifyProgram(program);
+  ASSERT_FALSE(s.ok()) << "expected rejection mentioning \"" << want_substring << "\"";
+  EXPECT_NE(s.ToString().find(want_substring), std::string::npos) << s;
+}
+
+TEST(VerifyProgramTest, RejectsDestinationRegisterOutOfBounds) {
+  Insn in = MakeInsn(Op::kConst, /*dst=*/5);
+  in.imm = Value::Int(1);
+  ExpectRejects({in}, /*num_regs=*/2, /*result_reg=*/0, "destination register 5");
+}
+
+TEST(VerifyProgramTest, RejectsReadBeforeDefinition) {
+  ExpectRejects({MakeInsn(Op::kNot, /*dst=*/0, /*a=*/1)}, 2, 0,
+                "read before definition");
+}
+
+TEST(VerifyProgramTest, RejectsBackwardJump) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Bool(true);
+  Insn truth = MakeInsn(Op::kTruth, 0, 0);
+  Insn jump = MakeInsn(Op::kJumpIfFalse, -1, 0);
+  jump.target = 1;  // backwards: an infinite loop at run time
+  ExpectRejects({c0, truth, jump}, 1, 0, "not strictly forward");
+}
+
+TEST(VerifyProgramTest, RejectsJumpPastProgramEnd) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Bool(true);
+  Insn truth = MakeInsn(Op::kTruth, 0, 0);
+  Insn jump = MakeInsn(Op::kJumpIfTrue, -1, 0);
+  jump.target = 9;  // > code.size() == 3
+  ExpectRejects({c0, truth, jump}, 1, 0, "not strictly forward");
+}
+
+TEST(VerifyProgramTest, RejectsShortCircuitOverRawValue) {
+  // Jumping on a raw (non-truth-coerced) register: the integer 0 is not
+  // FALSE under 3VL, so short-circuiting on it would be unsound.
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Int(0);
+  Insn jump = MakeInsn(Op::kJumpIfFalse, -1, 0);
+  jump.target = 2;
+  ExpectRejects({c0, jump}, 1, 0, "not truth-coerced");
+}
+
+TEST(VerifyProgramTest, RejectsCombineOverRawValue) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Bool(true);
+  Insn truth = MakeInsn(Op::kTruth, 1, 0);
+  // lhs is the raw constant, not the truth-coerced copy.
+  Insn combine = MakeInsn(Op::kAndCombine, 2, 0, 1);
+  ExpectRejects({c0, truth, combine}, 3, 2, "not truth-coerced");
+}
+
+TEST(VerifyProgramTest, RejectsUninitializedSawNullFlag) {
+  Insn needle = MakeInsn(Op::kConst, 0);
+  needle.imm = Value::Int(1);
+  Insn item = MakeInsn(Op::kConst, 1);
+  item.imm = Value::Int(2);
+  // kInStep whose saw-null register was never written by kInInit.
+  Insn step = MakeInsn(Op::kInStep, /*dst=*/3, /*a=*/0, /*b=*/2, /*c=*/1);
+  step.target = 3;
+  ExpectRejects({needle, item, step}, 4, 3, "not initialized by kInInit");
+}
+
+TEST(VerifyProgramTest, RejectsCompareWithArithmeticOperator) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Int(1);
+  Insn cmp = MakeInsn(Op::kCompare, 1, 0, 0);
+  cmp.bop = BinaryOp::kAdd;
+  ExpectRejects({c0, cmp}, 2, 1, "non-comparison operator");
+}
+
+TEST(VerifyProgramTest, RejectsArithWithComparisonOperator) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Int(1);
+  Insn arith = MakeInsn(Op::kArith, 1, 0, 0);
+  arith.bop = BinaryOp::kLt;
+  ExpectRejects({c0, arith}, 2, 1, "non-arithmetic operator");
+}
+
+TEST(VerifyProgramTest, RejectsUndefinedResultRegister) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Int(1);
+  ExpectRejects({c0}, 2, /*result_reg=*/1, "never defined");
+}
+
+TEST(VerifyProgramTest, RejectsResultRegisterOutOfBounds) {
+  Insn c0 = MakeInsn(Op::kConst, 0);
+  c0.imm = Value::Int(1);
+  ExpectRejects({c0}, 1, /*result_reg=*/7, "out of bounds");
+}
+
+TEST(VerifyProgramTest, RejectsFailWithOkStatus) {
+  Insn fail = MakeInsn(Op::kFail);
+  ExpectRejects({fail, MakeInsn(Op::kConst, 0)}, 1, 0, "OK status");
+}
+
+TEST(VerifyProgramTest, RejectsParamSlotOutOfBounds) {
+  Insn param = MakeInsn(Op::kParam, 0, /*a=*/3);
+  param.text = "UID";
+  ExpectRejects({param}, 1, 0, "parameter slot 3 out of bounds");
+}
+
+// --- DecompileProgram -------------------------------------------------------
+
+TEST(DecompileProgramTest, RoundTripsStructurePreservingLowerings) {
+  // For these shapes the lowering is exactly structure-preserving, so the
+  // decompiled AST renders to the same text as the parse of the source.
+  const char* kExact[] = {
+      "\"c0\" = 1",
+      "\"c0\" = 1 AND \"c1\" > 2",
+      "\"c0\" = 1 OR \"c1\" > 2 OR \"c2\" IS NULL",
+      "\"c0\" IN (1, 2, 3)",
+      "\"c0\" NOT IN ('a', NULL)",
+      "\"c1\" BETWEEN 1 AND 10",
+      "\"c2\" LIKE 'a%'",
+      "\"c0\" IS NOT NULL",
+      "\"c0\" + \"c1\" * 2 - 1 = 7",
+      "LOWER(\"c2\") = 'abc'",
+      "\"c0\" = $UID",
+  };
+  for (const char* text : kExact) {
+    ExprPtr expr = Parse(text);
+    CompiledPredicate program = MustCompile(*expr);
+    auto back = DecompileProgram(program, TestNamer());
+    ASSERT_TRUE(back.ok()) << text << ": " << back.status();
+    EXPECT_EQ((*back)->ToString(), expr->ToString()) << text;
+  }
+}
+
+TEST(DecompileProgramTest, FailsOnDeferredBindingErrors) {
+  ExprPtr expr = Parse("\"no_such_column\" = 1");
+  CompiledPredicate program = MustCompile(*expr);
+  auto back = DecompileProgram(program, TestNamer());
+  EXPECT_FALSE(back.ok());
+  EXPECT_NE(back.status().ToString().find("deferred binding error"), std::string::npos)
+      << back.status();
+}
+
+// --- AST-equivalence differential fuzz --------------------------------------
+// compile -> verify -> decompile, then check the decompiled AST computes the
+// same function as the original by running both through the tree-walking
+// interpreter over random rows. Catches decompiler drift AND checker holes
+// (a program the checker accepts but that lost structure in lowering).
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(uint32_t seed) : rng_(seed) {}
+
+  ExprPtr RandomExpr(int depth) {
+    if (depth <= 0 || Chance(30)) {
+      return RandomLeaf();
+    }
+    switch (Pick(7)) {
+      case 0:
+        return Expr::Unary(static_cast<UnaryOp>(Pick(3)), RandomExpr(depth - 1));
+      case 1: {
+        auto op = static_cast<BinaryOp>(Pick(14));
+        return Expr::Binary(op, RandomExpr(depth - 1), RandomExpr(depth - 1));
+      }
+      case 2:
+        return Expr::IsNull(RandomExpr(depth - 1), Chance(50));
+      case 3: {
+        std::vector<ExprPtr> items;
+        size_t n = Pick(4);
+        items.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          items.push_back(RandomExpr(depth - 1));
+        }
+        return Expr::In(RandomExpr(depth - 1), std::move(items), Chance(50));
+      }
+      case 4:
+        return Expr::Between(RandomExpr(depth - 1), RandomExpr(depth - 1),
+                             RandomExpr(depth - 1), Chance(50));
+      case 5:
+        return Expr::Like(RandomExpr(depth - 1), RandomExpr(depth - 1), Chance(50));
+      default: {
+        // Only total functions: a BOGUS_FN error would make interpreter
+        // agreement depend on evaluation-order details the decompiled tree
+        // does not preserve bit-for-bit.
+        static const char* kFns[] = {"LOWER", "UPPER", "LENGTH", "ABS",
+                                     "COALESCE", "IFNULL", "CONCAT"};
+        std::vector<ExprPtr> args;
+        size_t n = 1 + Pick(2);
+        for (size_t i = 0; i < n; ++i) {
+          args.push_back(RandomExpr(depth - 1));
+        }
+        return Expr::Call(kFns[Pick(7)], std::move(args));
+      }
+    }
+  }
+
+  std::vector<Value> RandomRow() {
+    std::vector<Value> row;
+    row.reserve(kColumns.size());
+    for (size_t i = 0; i < kColumns.size(); ++i) {
+      row.push_back(RandomValue());
+    }
+    return row;
+  }
+
+  ParamMap RandomParams() {
+    ParamMap params;
+    params["UID"] = RandomValue();
+    params["OTHER"] = RandomValue();
+    return params;
+  }
+
+ private:
+  ExprPtr RandomLeaf() {
+    switch (Pick(4)) {
+      case 0:
+        return Expr::Literal(RandomValue());
+      case 1:
+        // Known columns only, so no kFail blocks decompilation.
+        return Expr::ColumnRef("", kColumns[Pick(kColumns.size())]);
+      case 2:
+        return Expr::Param(Chance(50) ? "UID" : "OTHER");
+      default:
+        return Expr::Literal(Value::Null());
+    }
+  }
+
+  Value RandomValue() {
+    switch (Pick(5)) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Int(static_cast<int64_t>(Pick(7)) - 3);
+      case 2:
+        return Value::Bool(Chance(50));
+      case 3: {
+        static const char* kStrings[] = {"", "a", "abc", "a%", "zzz"};
+        return Value::String(kStrings[Pick(5)]);
+      }
+      default:
+        return Value::Int(0);
+    }
+  }
+
+  size_t Pick(size_t n) { return rng_() % n; }
+  bool Chance(int percent) { return static_cast<int>(rng_() % 100) < percent; }
+
+  std::mt19937 rng_;
+};
+
+TEST(DecompileProgramTest, DifferentialFuzzAgainstOriginalAst) {
+  Fuzzer fuzz(20260809);
+  size_t decompiled_count = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    ExprPtr expr = fuzz.RandomExpr(3);
+    auto program = CompiledPredicate::Compile(*expr, TestBinder());
+    ASSERT_TRUE(program.ok()) << expr->ToString() << ": " << program.status();
+    // The checker must accept every compiled program.
+    ProgramCheckOptions check;
+    check.row_width = static_cast<int>(kColumns.size());
+    Status verified = VerifyProgram(*program, check);
+    ASSERT_TRUE(verified.ok()) << expr->ToString() << ": " << verified;
+
+    auto back = DecompileProgram(*program, TestNamer());
+    ASSERT_TRUE(back.ok()) << expr->ToString() << ": " << back.status();
+    ++decompiled_count;
+
+    // The decompiled tree must compute the same function: same value or
+    // same error, on the same interpreter, across random rows and params.
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<Value> row = fuzz.RandomRow();
+      ParamMap params = fuzz.RandomParams();
+      StatusOr<Value> original = Evaluate(*expr, TestResolver(row), params);
+      StatusOr<Value> recovered = Evaluate(**back, TestResolver(row), params);
+      ASSERT_EQ(original.ok(), recovered.ok())
+          << expr->ToString() << " vs " << (*back)->ToString() << ": "
+          << (original.ok() ? recovered.status() : original.status());
+      if (original.ok()) {
+        EXPECT_EQ(*original, *recovered)
+            << expr->ToString() << " vs " << (*back)->ToString();
+      }
+    }
+  }
+  EXPECT_EQ(decompiled_count, 400u);
+}
+
+}  // namespace
+}  // namespace edna::sql

@@ -132,6 +132,72 @@ TEST(DisguisectlTest, AnalyzeFlagsSeededBadSpec) {
   std::remove(spec_path.c_str());
 }
 
+TEST(DisguisectlTest, VerifyShippedSpecsIsClean) {
+  // The CI gate: the lifecycle verifier must prove the shipped registries
+  // reversible at the maximum supported interleaving depth.
+  RunResult hotcrp = RunCli("verify hotcrp --k 3");
+  ASSERT_EQ(hotcrp.exit_code, 0) << hotcrp.output;
+  EXPECT_NE(hotcrp.output.find("0 error(s)"), std::string::npos);
+  EXPECT_NE(hotcrp.output.find("combo(s)"), std::string::npos);
+  EXPECT_NE(hotcrp.output.find("region(s)"), std::string::npos);
+
+  RunResult lobsters = RunCli("verify lobsters");
+  ASSERT_EQ(lobsters.exit_code, 0) << lobsters.output;
+  EXPECT_NE(lobsters.output.find("0 error(s)"), std::string::npos);
+
+  RunResult json = RunCli("verify lobsters --json");
+  ASSERT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.output.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.output.find("\"errors\": 0"), std::string::npos);
+
+  EXPECT_EQ(RunCli("verify nosuchapp").exit_code, 2);
+}
+
+TEST(DisguisectlTest, FailOnThresholdGatesExitCodes) {
+  // Shipped hotcrp verifies with zero errors but nonzero warnings (genuine
+  // reveal-order hazards with a documented safe order), so raising the
+  // threshold to `warning` must flip the exit code without changing output.
+  EXPECT_EQ(RunCli("verify hotcrp").exit_code, 0);
+  RunResult strict = RunCli("verify hotcrp --fail-on warning");
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_NE(strict.output.find("reveal-order-unsafe"), std::string::npos);
+
+  // Same flag wired through analyze.
+  EXPECT_EQ(RunCli("analyze hotcrp").exit_code, 0);
+  EXPECT_EQ(RunCli("analyze hotcrp --fail-on warning").exit_code, 1);
+  EXPECT_EQ(RunCli("analyze hotcrp --fail-on error").exit_code, 0);
+
+  // Bad inputs are usage errors, not findings.
+  EXPECT_EQ(RunCli("verify hotcrp --fail-on bogus").exit_code, 2);
+  EXPECT_EQ(RunCli("verify hotcrp --k 9").exit_code, 2);
+  EXPECT_EQ(RunCli("verify hotcrp --k 0").exit_code, 2);
+}
+
+TEST(DisguisectlTest, VerifyFlagsSeededBadSpec) {
+  // An irreversible-by-construction spec: claims reversible but the Expr
+  // transform has no inverse the verifier can prove, and the untouched
+  // predicate column makes re-application match the same rows.
+  std::string spec_path = ::testing::TempDir() + "/bad_verify_spec.txt";
+  {
+    FILE* f = std::fopen(spec_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "disguise_name: \"Sloppy\"\n"
+        "user_to_disguise: $UID\n"
+        "reversible: true\n"
+        "table ContactInfo:\n"
+        "  transformations:\n"
+        "    Modify(pred: \"contactId\" = $UID, column: \"email\", value: Hash)\n",
+        f);
+    std::fclose(f);
+  }
+  RunResult r = RunCli("verify hotcrp " + spec_path + " --fail-on warning");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("not-idempotent"), std::string::npos);
+  std::remove(spec_path.c_str());
+}
+
 TEST(DisguisectlTest, ExplainAndApplyRoundTrip) {
   std::string db = TempDbPath("cli_apply");
   ASSERT_EQ(RunCli("demo hotcrp --out " + db + " --scale 0.1 --seed 7").exit_code, 0);

@@ -15,12 +15,23 @@
 //       application schema. --json emits machine-readable findings.
 //   disguisectl analyze <hotcrp|lobsters> [spec-file...] [--json]
 //                       [--annotations FILE] [--identity TABLE]
+//                       [--fail-on error|warning]
 //       Run the full static analyzer (lint + PII taint flow + composition
 //       conflicts) over the shipped disguises, or over the given spec
 //       files, against the application schema. --annotations overlays a
 //       sensitivity sidecar file (docs/FORMATS.md); --identity overrides
-//       the derived identity table. Exit 1 iff errors were found, so the
-//       command gates CI.
+//       the derived identity table. Exit 1 iff findings at or above the
+//       --fail-on level (default: error) were found, so the command
+//       gates CI.
+//   disguisectl verify <hotcrp|lobsters> [spec-file...] [--json] [--k N]
+//                      [--annotations FILE] [--identity TABLE]
+//                      [--fail-on error|warning]
+//       Run the lifecycle verifier: symbolic model checking of every
+//       disguise combination up to --k specs (reversibility, vault
+//       completeness, idempotence, reveal-order safety), whole-registry
+//       PII coverage analysis, and the compiled-program checker over all
+//       predicates. Same flags and exit convention as analyze; --json
+//       emits the schema in docs/FORMATS.md §5.
 //   disguisectl explain <db.edb> --spec NAME|FILE [--uid N]
 //       Dry-run: report what applying the disguise would touch.
 //   disguisectl apply <db.edb> --spec NAME|FILE [--uid N] [--optimize]
@@ -58,6 +69,7 @@
 // Shipped spec names: HotCRP-GDPR, HotCRP-GDPR+, HotCRP-ConfAnon,
 // Lobsters-GDPR. Exit code 0 on success, 1 on error, 2 on usage error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -94,8 +106,8 @@ using edna::sql::Value;
 int Usage() {
   std::fprintf(stderr,
                "usage: disguisectl "
-               "<demo|info|schema|query|specs|lint|analyze|explain|apply|batch|audit|"
-               "recover|checkpoint>"
+               "<demo|info|schema|query|specs|lint|analyze|verify|explain|apply|batch|"
+               "audit|recover|checkpoint>"
                " ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
@@ -423,11 +435,38 @@ int CmdLint(const Args& args) {
   return any_errors ? 1 : 0;
 }
 
+// Overlays a --annotations sensitivity sidecar onto the schema, if given.
+Status ApplyAnnotationsFlag(const Args& args, edna::db::Schema* schema) {
+  if (!args.Has("annotations")) {
+    return edna::OkStatus();
+  }
+  ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("annotations")));
+  ASSIGN_OR_RETURN(auto annotations,
+                   edna::analysis::ParseSensitivityAnnotations(text));
+  return edna::analysis::ApplySensitivityAnnotations(annotations, schema);
+}
+
+// Exit policy shared by analyze/verify: --fail-on error (default) fails the
+// command on errors only; --fail-on warning fails on warnings too. Returns 2
+// (usage error) on an unknown level.
+int ExitForFindings(const Args& args, const edna::analysis::FindingCounts& counts) {
+  const std::string level = args.Get("fail-on", "error");
+  if (level == "error") {
+    return counts.errors > 0 ? 1 : 0;
+  }
+  if (level == "warning") {
+    return counts.errors > 0 || counts.warnings > 0 ? 1 : 0;
+  }
+  std::fprintf(stderr, "unknown --fail-on level \"%s\" (want error|warning)\n",
+               level.c_str());
+  return 2;
+}
+
 int CmdAnalyze(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: disguisectl analyze <hotcrp|lobsters> [spec-file...] [--json] "
-                 "[--annotations FILE] [--identity TABLE]\n");
+                 "[--annotations FILE] [--identity TABLE] [--fail-on error|warning]\n");
     return 2;
   }
   if (args.positional[0] != "hotcrp" && args.positional[0] != "lobsters") {
@@ -440,26 +479,55 @@ int CmdAnalyze(const Args& args) {
   if (!loaded.ok()) {
     return Fail(loaded);
   }
-  if (args.Has("annotations")) {
-    auto text = ReadFile(args.Get("annotations"));
-    if (!text.ok()) {
-      return Fail(text.status());
-    }
-    auto annotations = edna::analysis::ParseSensitivityAnnotations(*text);
-    if (!annotations.ok()) {
-      return Fail(annotations.status());
-    }
-    Status applied = edna::analysis::ApplySensitivityAnnotations(*annotations, &schema);
-    if (!applied.ok()) {
-      return Fail(applied);
-    }
+  Status annotated = ApplyAnnotationsFlag(args, &schema);
+  if (!annotated.ok()) {
+    return Fail(annotated);
   }
   edna::analysis::AnalyzerOptions options;
   options.taint.identity_table = args.Get("identity");
   edna::analysis::AnalysisReport report = edna::analysis::Analyze(specs, schema, options);
   std::printf("%s", args.Has("json") ? report.ToJson().c_str()
                                      : report.ToString().c_str());
-  return report.HasErrors() ? 1 : 0;
+  return ExitForFindings(args, report.Counts());
+}
+
+int CmdVerify(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: disguisectl verify <hotcrp|lobsters> [spec-file...] [--json] "
+                 "[--k N] [--annotations FILE] [--identity TABLE] "
+                 "[--fail-on error|warning]\n");
+    return 2;
+  }
+  if (args.positional[0] != "hotcrp" && args.positional[0] != "lobsters") {
+    std::fprintf(stderr, "unknown application \"%s\"\n", args.positional[0].c_str());
+    return 2;
+  }
+  edna::db::Schema schema;
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  Status loaded = LoadAppSpecs(args, &schema, &specs);
+  if (!loaded.ok()) {
+    return Fail(loaded);
+  }
+  Status annotated = ApplyAnnotationsFlag(args, &schema);
+  if (!annotated.ok()) {
+    return Fail(annotated);
+  }
+  edna::analysis::VerifyOptions options;
+  options.coverage.identity_table = args.Get("identity");
+  if (args.Has("k")) {
+    int k = std::atoi(args.Get("k").c_str());
+    if (k < 1 || k > 3) {
+      std::fprintf(stderr, "--k must be 1, 2, or 3 (got \"%s\")\n",
+                   args.Get("k").c_str());
+      return 2;
+    }
+    options.lifecycle.max_k = k;
+  }
+  edna::analysis::VerifyReport report = edna::analysis::Verify(specs, schema, options);
+  std::printf("%s", args.Has("json") ? report.ToJson().c_str()
+                                     : report.ToString().c_str());
+  return ExitForFindings(args, report.Counts());
 }
 
 // Shared setup for explain/apply/audit/recover/checkpoint. Two modes:
@@ -810,7 +878,8 @@ int main(int argc, char** argv) {
   Args args = ParseArgs(argc - 2, argv + 2, {"out", "scale", "seed", "table", "where",
                                              "limit", "spec", "uid", "vault",
                                              "annotations", "identity", "uids-file",
-                                             "threads", "max-attempts", "data-dir"});
+                                             "threads", "max-attempts", "data-dir",
+                                             "fail-on", "k"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
@@ -831,6 +900,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "analyze") {
     return CmdAnalyze(args);
+  }
+  if (cmd == "verify") {
+    return CmdVerify(args);
   }
   if (cmd == "explain") {
     return CmdExplain(args);
