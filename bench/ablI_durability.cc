@@ -144,6 +144,72 @@ BENCHMARK(BM_DisguiseDurability)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 
+// Cache-pressure mode: the same apply/reveal workload under a shrinking
+// page-cache budget (arg = KiB; 0 = effectively unbounded). The timed region
+// pays eviction writebacks at every statement boundary and extent refaults
+// on every touch of a spilled page; the counters report exactly how much of
+// each a given budget costs, plus where the resident gauge settled.
+void BM_DisguiseCachePressure(benchmark::State& state) {
+  static SimulatedClock clock(0);
+  uint64_t hits = 0, misses = 0, evictions = 0, writebacks = 0, resident = 0;
+  std::unique_ptr<TempDataDir> tmp;
+  std::unique_ptr<edna::core::DurableEngine> deng;
+  for (auto _ : state) {
+    state.PauseTiming();
+    deng.reset();
+    tmp = std::make_unique<TempDataDir>();
+    edna::core::DurableEngineOptions options;
+    options.durable.wal.sync_mode = edna::db::WalOptions::SyncMode::kGroup;
+    options.durable.cache.max_resident_bytes =
+        state.range(0) == 0 ? (uint64_t{1} << 32)
+                            : static_cast<uint64_t>(state.range(0)) << 10;
+    options.clock = &clock;
+    auto opened = edna::core::DurableEngine::Open(tmp->dir, options);
+    CheckOk(opened.status(), "open");
+    deng = *std::move(opened);
+    edna::hotcrp::Config config;
+    auto generated = edna::hotcrp::Populate(deng->db(), config.Scaled(kScale));
+    CheckOk(generated.status(), "populate");
+    for (auto spec_fn : {hotcrp::GdprSpec, hotcrp::GdprPlusSpec, hotcrp::ConfAnonSpec}) {
+      auto spec = spec_fn();
+      CheckOk(spec.status(), "spec");
+      CheckOk(deng->engine()->RegisterSpec(*std::move(spec)), "register");
+    }
+    CheckOk(deng->Checkpoint(), "checkpoint");
+    deng->db()->ResetStats();
+    edna::core::DurableEngine* raw = deng.get();
+    state.ResumeTiming();
+    RunWorkload(deng->engine(), generated->all_contact_ids,
+                [raw] { return raw->Flush(); });
+    state.PauseTiming();
+    const edna::db::DbStats& stats = deng->db()->stats();
+    hits += stats.page_hits.load();
+    misses += stats.page_misses.load();
+    evictions += stats.page_evictions.load();
+    writebacks += stats.page_writebacks.load();
+    resident = stats.resident_bytes.load();
+    CheckOk(deng->db()->CheckIntegrity(), "integrity");
+    state.ResumeTiming();
+  }
+  if (state.iterations() > 0) {
+    auto iters = static_cast<double>(state.iterations());
+    state.counters["page_hits"] = static_cast<double>(hits) / iters;
+    state.counters["page_misses"] = static_cast<double>(misses) / iters;
+    state.counters["evictions"] = static_cast<double>(evictions) / iters;
+    state.counters["writebacks"] = static_cast<double>(writebacks) / iters;
+    state.counters["resident_bytes"] = static_cast<double>(resident);
+  }
+  state.counters["users"] = kApplyUsers;
+}
+BENCHMARK(BM_DisguiseCachePressure)
+    ->Arg(0)
+    ->Arg(4096)
+    ->Arg(1024)
+    ->Arg(256)
+    ->ArgNames({"cache_kb"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 }  // namespace
 
 int main(int argc, char** argv) {

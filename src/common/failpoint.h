@@ -67,6 +67,10 @@ inline constexpr char kWalReplay[] = "wal.replay";
 inline constexpr char kSnapshotWrite[] = "snapshot.write";
 inline constexpr char kSnapshotRename[] = "snapshot.rename";
 inline constexpr char kJournalPersist[] = "journal.persist";
+// Page cache (src/db/pagecache.h): eviction writeback of dirty pages into
+// an extent frame, and the fault-path extent read.
+inline constexpr char kPagecacheWriteback[] = "pagecache.writeback";
+inline constexpr char kExtentRead[] = "extent.read";
 }  // namespace failpoints
 
 enum class FailPointAction : uint8_t { kReturnError, kCrash };

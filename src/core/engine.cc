@@ -250,19 +250,22 @@ Status DisguiseEngine::RunDecorrelates(ApplyContext* ctx) {
         continue;
       }
       const std::string& fk_col = tr.foreign_key().column;
-      ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
-                       db_->Select(td.table, tr.predicate(), ctx->params));
+      // SelectRowsWithIds (not Select): the placeholder inserts below run
+      // their own statements, whose boundary eviction may spill the selected
+      // pages — RowRef pointers would read cleared payloads.
+      ASSIGN_OR_RETURN(auto rows,
+                       db_->SelectRowsWithIds(td.table, tr.predicate(), ctx->params));
       // Materialize (id, old value) pairs before mutating.
       std::vector<std::pair<db::RowId, sql::Value>> targets;
       const db::TableSchema* ts = db_->schema().FindTable(td.table);
       int fk_idx = ts->ColumnIndex(fk_col);
       targets.reserve(rows.size());
-      for (const db::RowRef& ref : rows) {
-        const sql::Value& old = (*ref.row)[static_cast<size_t>(fk_idx)];
+      for (const auto& [id, row] : rows) {
+        const sql::Value& old = row[static_cast<size_t>(fk_idx)];
         if (old.is_null()) {
           continue;  // nothing to decorrelate
         }
-        targets.emplace_back(ref.id, old);
+        targets.emplace_back(id, old);
       }
       for (const auto& [id, old] : targets) {
         // One fresh placeholder per row: "making it seem as if a different

@@ -125,8 +125,11 @@ StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
       ExplainEntry entry;
       entry.table = td.table;
       entry.kind = tr.kind();
-      ASSIGN_OR_RETURN(std::vector<db::RowRef> rows,
-                       db_->Select(td.table, tr.predicate(), params));
+      // SelectRowsWithIds (not Select): explain holds the result across
+      // further statements (DescribePlan, CountClosure), whose boundary
+      // eviction may clear payloads RowRef pointers would still reference.
+      ASSIGN_OR_RETURN(auto rows,
+                       db_->SelectRowsWithIds(td.table, tr.predicate(), params));
       entry.matching_rows = rows.size();
       if (tr.predicate() != nullptr) {
         ASSIGN_OR_RETURN(entry.plan, db_->DescribePlan(td.table, *tr.predicate()));
@@ -163,8 +166,8 @@ StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
         case TransformKind::kRemove: {
           std::vector<db::RowId> ids;
           ids.reserve(rows.size());
-          for (const db::RowRef& ref : rows) {
-            ids.push_back(ref.id);
+          for (const auto& [id, row] : rows) {
+            ids.push_back(id);
           }
           RETURN_IF_ERROR(CountClosure(*db_, td.table, ids, 0, &entry.cascaded_rows,
                                        &entry.nulled_references));
@@ -180,8 +183,8 @@ StatusOr<ExplainReport> DisguiseEngine::Explain(const std::string& spec_name,
           const db::TableSchema* ts = db_->schema().FindTable(td.table);
           int fk_idx = ts->ColumnIndex(tr.foreign_key().column);
           size_t non_null = 0;
-          for (const db::RowRef& ref : rows) {
-            if (!(*ref.row)[static_cast<size_t>(fk_idx)].is_null()) {
+          for (const auto& [id, row] : rows) {
+            if (!row[static_cast<size_t>(fk_idx)].is_null()) {
               ++non_null;
             }
           }

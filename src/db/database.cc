@@ -103,16 +103,26 @@ uint64_t Database::ThreadStatements() { return tls_statements; }
 // --- Write intents (first-writer-wins) ---------------------------------------
 
 Status Database::ClaimIntent(TxnState& tx, const std::string& table, RowId id) {
-  std::lock_guard<std::mutex> lock(intents_mu_);
-  auto key = std::make_pair(table, id);
-  auto [it, inserted] = write_intents_.try_emplace(key, std::this_thread::get_id());
-  if (!inserted && it->second != std::this_thread::get_id()) {
-    return Aborted(StrFormat("write conflict: row %llu of \"%s\" is being written by a "
-                             "concurrent transaction",
-                             static_cast<unsigned long long>(id), table.c_str()));
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(intents_mu_);
+    auto key = std::make_pair(table, id);
+    auto [it, inserted] = write_intents_.try_emplace(key, std::this_thread::get_id());
+    if (!inserted && it->second != std::this_thread::get_id()) {
+      return Aborted(StrFormat("write conflict: row %llu of \"%s\" is being written by a "
+                               "concurrent transaction",
+                               static_cast<unsigned long long>(id), table.c_str()));
+    }
+    if (inserted) {
+      tx.intents.push_back(std::move(key));
+      fresh = true;
+    }
   }
-  if (inserted) {
-    tx.intents.push_back(std::move(key));
+  // Pin outside intents_mu_: the cache mutex and intents_mu_ are sibling
+  // leaves and must never nest. A pinned page is unevictable, which keeps
+  // every row in the undo log resident until the intent is released.
+  if (fresh && cache_ != nullptr) {
+    cache_->PinRow(table, id);
   }
   return OkStatus();
 }
@@ -121,10 +131,19 @@ void Database::ReleaseIntents(TxnState& tx, size_t from) {
   if (tx.intents.size() <= from) {
     return;
   }
-  std::lock_guard<std::mutex> lock(intents_mu_);
-  while (tx.intents.size() > from) {
-    write_intents_.erase(tx.intents.back());
-    tx.intents.pop_back();
+  std::vector<std::pair<std::string, RowId>> released;
+  {
+    std::lock_guard<std::mutex> lock(intents_mu_);
+    while (tx.intents.size() > from) {
+      write_intents_.erase(tx.intents.back());
+      released.push_back(std::move(tx.intents.back()));
+      tx.intents.pop_back();
+    }
+  }
+  if (cache_ != nullptr) {
+    for (const auto& [table, id] : released) {
+      cache_->UnpinRow(table, id);
+    }
   }
 }
 
@@ -228,6 +247,9 @@ StatusOr<uint64_t> Database::AppendCommitToWal(TxnState& tx, size_t from_mark) {
     change.table = e.table;
     change.id = e.id;
     if (now == nullptr) {
+      // Undo-logged rows are intent-pinned, so Find cannot have fault-failed
+      // here; the sticky check is defensive against that invariant breaking.
+      RETURN_IF_ERROR(StickyCacheError());
       if (e.kind == UndoEntry::Kind::kInsert) {
         continue;  // created and deleted within the transaction: net no-op
       }
@@ -263,6 +285,88 @@ Status Database::WaitWalDurable(uint64_t lsn) {
     return OkStatus();
   }
   return sink->SyncCommit(lsn);
+}
+
+// --- Page cache --------------------------------------------------------------
+
+Status Database::StickyCacheError() const {
+  return cache_ == nullptr ? OkStatus() : cache_->ConsumeStickyError();
+}
+
+Status Database::CacheFaultOr(Status fallback) const {
+  // A Find that returned nullptr is ambiguous with a pager attached: the row
+  // may be gone (fallback, usually kNotFound) or its page may have failed to
+  // fault in. Surface the fault — mapping an extent I/O error to kNotFound
+  // would silently report a live row as missing.
+  if (cache_ != nullptr) {
+    Status sticky = cache_->ConsumeStickyError();
+    if (!sticky.ok()) {
+      return sticky;
+    }
+  }
+  return fallback;
+}
+
+Status Database::AttachPageCache(const CacheOptions& options,
+                                 const std::string& extents_dir) {
+  std::unique_lock<std::shared_mutex> catalog(catalog_mu_);
+  if (cache_ != nullptr) {
+    return FailedPrecondition("page cache already attached");
+  }
+  if (options.max_resident_bytes == 0) {
+    return InvalidArgument("page cache needs a nonzero max_resident_bytes");
+  }
+  auto cache = std::make_unique<PageCache>(options, extents_dir, &stats_);
+  RETURN_IF_ERROR(cache->Init());
+  for (auto& [name, table] : tables_) {
+    const uint32_t table_id = cache->RegisterTable(name, &table);
+    table.SetPager(cache.get(), table_id, cache->rows_per_page());
+  }
+  cache_ = std::move(cache);
+  return OkStatus();
+}
+
+Status Database::MaybeEvictPages() const {
+  PageCache* cache = cache_.get();
+  if (cache == nullptr || !cache->OverBudget()) {
+    return OkStatus();
+  }
+  // Called at statement boundaries with NO locks held. Lock order here is
+  // the canonical one (catalog shared, then one stripe), but only try_lock
+  // on the stripe: a statement blocked on eviction would invert the
+  // "eviction never delays readers" goal, and the budget is soft anyway —
+  // the next statement boundary retries.
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  for (int round = 0; round < 4 && cache->OverBudget(); ++round) {
+    std::vector<PageCache::EvictGroup> plan = cache->PlanEviction();
+    if (plan.empty()) {
+      break;  // everything evictable is pinned or already spilled
+    }
+    bool progressed = false;
+    for (PageCache::EvictGroup& g : plan) {
+      const size_t stripe = StripeOf(g.table);
+      if (!stripes_[stripe].try_lock()) {
+        cache->Requeue(g.table_id, g.pages);
+        continue;
+      }
+      StatusOr<bool> evicted = cache->EvictPages(g.table_id, g.pages);
+      stripes_[stripe].unlock();
+      if (!evicted.ok()) {
+        if (FailPoints::IsSimulatedCrash(evicted.status())) {
+          return evicted.status();  // joins the crash battery
+        }
+        // The statement already committed; a failed spill costs memory
+        // headroom, never correctness. Log and let the budget ride.
+        EDNA_LOG(kWarning) << "page eviction failed: " << evicted.status();
+        return OkStatus();
+      }
+      progressed = progressed || *evicted;
+    }
+    if (!progressed) {
+      break;
+    }
+  }
+  return OkStatus();
 }
 
 Status Database::ApplyWalChange(const WalChange& change) {
@@ -301,7 +405,12 @@ Status Database::CreateTable(TableSchema schema) {
     }
     RETURN_IF_ERROR(schema_.AddTable(schema));
     std::string name = schema.name();  // read before the move below
-    tables_.emplace(std::move(name), Table(std::move(schema)));
+    auto [it, inserted] =
+        tables_.emplace(std::move(name), Table(std::move(schema)));
+    if (cache_ != nullptr) {
+      const uint32_t table_id = cache_->RegisterTable(it->first, &it->second);
+      it->second.SetPager(cache_.get(), table_id, cache_->rows_per_page());
+    }
     InvalidatePlans();
   }
   return WaitWalDurable(wal_lsn);
@@ -485,6 +594,7 @@ StatusOr<RowId> Database::Insert(const std::string& table, Row row) {
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
   RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  RETURN_IF_ERROR(MaybeEvictPages());
   return id;
 }
 
@@ -699,6 +809,9 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
       out.push_back(id);
     }
   }
+  // With a pager, a nullptr Find above may be a fault failure, not a gone
+  // row; surface it instead of silently dropping candidates.
+  RETURN_IF_ERROR(StickyCacheError());
   return out;
 }
 
@@ -769,6 +882,7 @@ StatusOr<std::vector<RowId>> Database::MatchRowsInterpreted(
       out.push_back(id);
     }
   }
+  RETURN_IF_ERROR(StickyCacheError());
   return out;
 }
 
@@ -903,44 +1017,85 @@ StatusOr<std::vector<RowRef>> Database::Select(const std::string& table, const s
   for (RowId id : ids) {
     out.push_back(RowRef{id, t->Find(id)});
   }
+  // No MaybeEvictPages here on purpose: the returned pointers live past the
+  // stripe lock, and a later statement's eviction may clear any payload not
+  // pinned by an open intent. Callers that hold rows across statements use
+  // SelectRowsWithIds.
+  RETURN_IF_ERROR(StickyCacheError());
   return out;
 }
 
 StatusOr<std::vector<Row>> Database::SelectRows(const std::string& table,
                                                 const sql::Expr* pred,
                                                 const sql::ParamMap& params) const {
-  TableLock lock(this);
-  lock.Lock({}, {table});
-  auto it = tables_.find(table);
-  const Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
-  }
-  CountStatement();
-  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
   std::vector<Row> out;
-  out.reserve(ids.size());
-  for (RowId id : ids) {
-    const Row* row = t->Find(id);
-    if (row != nullptr) {
-      out.push_back(*row);
+  {
+    TableLock lock(this);
+    lock.Lock({}, {table});
+    auto it = tables_.find(table);
+    const Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
     }
+    CountStatement();
+    ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+    out.reserve(ids.size());
+    for (RowId id : ids) {
+      const Row* row = t->Find(id);
+      if (row != nullptr) {
+        out.push_back(*row);
+      }
+    }
+    RETURN_IF_ERROR(StickyCacheError());
   }
+  RETURN_IF_ERROR(MaybeEvictPages());
+  return out;
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>> Database::SelectRowsWithIds(
+    const std::string& table, const sql::Expr* pred,
+    const sql::ParamMap& params) const {
+  std::vector<std::pair<RowId, Row>> out;
+  {
+    TableLock lock(this);
+    lock.Lock({}, {table});
+    auto it = tables_.find(table);
+    const Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    CountStatement();
+    ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+    out.reserve(ids.size());
+    for (RowId id : ids) {
+      const Row* row = t->Find(id);
+      if (row != nullptr) {
+        out.emplace_back(id, *row);
+      }
+    }
+    RETURN_IF_ERROR(StickyCacheError());
+  }
+  RETURN_IF_ERROR(MaybeEvictPages());
   return out;
 }
 
 StatusOr<size_t> Database::Count(const std::string& table, const sql::Expr* pred,
                                  const sql::ParamMap& params) const {
-  TableLock lock(this);
-  lock.Lock({}, {table});
-  auto it = tables_.find(table);
-  const Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  size_t n = 0;
+  {
+    TableLock lock(this);
+    lock.Lock({}, {table});
+    auto it = tables_.find(table);
+    const Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    CountStatement();
+    ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
+    n = ids.size();
   }
-  CountStatement();
-  ASSIGN_OR_RETURN(std::vector<RowId> ids, MatchRows(*t, pred, params));
-  return ids.size();
+  RETURN_IF_ERROR(MaybeEvictPages());
+  return n;
 }
 
 StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pred,
@@ -996,9 +1151,13 @@ StatusOr<size_t> Database::Update(const std::string& table, const sql::Expr* pre
       ++updated;
       CountStatement();  // one UPDATE statement per row, as Edna issues them
     }
+    // A nullptr Find above may be a page-fault failure rather than a row
+    // deleted earlier in this statement; abort rather than under-update.
+    RETURN_IF_ERROR(StickyCacheError());
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
   RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  RETURN_IF_ERROR(MaybeEvictPages());
   return updated;
 }
 
@@ -1022,7 +1181,7 @@ Status Database::SetColumnInTxn(TxnState& tx, const std::string& table_name, Tab
   if (schema.IsPrimaryKeyColumn(col.name)) {
     const Row* row = t->Find(id);
     if (row == nullptr) {
-      return NotFound("row vanished during update");
+      return CacheFaultOr(NotFound("row vanished during update"));
     }
     const sql::Value& old = (*row)[col_idx];
     if (!old.SqlEquals(value)) {
@@ -1077,6 +1236,7 @@ StatusOr<size_t> Database::BatchSetColumns(const std::string& table,
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
   RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  RETURN_IF_ERROR(MaybeEvictPages());
   return updates.size();
 }
 
@@ -1106,6 +1266,7 @@ StatusOr<size_t> Database::Delete(const std::string& table, const sql::Expr* pre
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
   RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  RETURN_IF_ERROR(MaybeEvictPages());
   return deleted;
 }
 
@@ -1124,8 +1285,9 @@ Status Database::DeleteRowInternal(TxnState& tx, const std::string& table, RowId
   }
   const Row* row_ptr = t->Find(id);
   if (row_ptr == nullptr) {
-    return NotFound(StrFormat("row id %llu not in table \"%s\"",
-                              static_cast<unsigned long long>(id), table.c_str()));
+    return CacheFaultOr(NotFound(StrFormat("row id %llu not in table \"%s\"",
+                                           static_cast<unsigned long long>(id),
+                                           table.c_str())));
   }
   // Handle children referencing this row before removing it.
   const TableSchema& schema = t->schema();
@@ -1190,41 +1352,53 @@ Status Database::DeleteRowInternal(TxnState& tx, const std::string& table, RowId
 
 StatusOr<sql::Value> Database::GetColumn(const std::string& table, RowId id,
                                          const std::string& column) const {
-  TableLock lock(this);
-  lock.Lock({}, {table});
-  auto it = tables_.find(table);
-  const Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  sql::Value out;
+  {
+    TableLock lock(this);
+    lock.Lock({}, {table});
+    auto it = tables_.find(table);
+    const Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    const Row* row = t->Find(id);
+    if (row == nullptr) {
+      return CacheFaultOr(NotFound(StrFormat("row id %llu not in table \"%s\"",
+                                             static_cast<unsigned long long>(id),
+                                             table.c_str())));
+    }
+    int idx = t->schema().ColumnIndex(column);
+    if (idx < 0) {
+      return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
+    }
+    ++stats_.rows_read;
+    out = (*row)[static_cast<size_t>(idx)];
   }
-  const Row* row = t->Find(id);
-  if (row == nullptr) {
-    return NotFound(StrFormat("row id %llu not in table \"%s\"",
-                              static_cast<unsigned long long>(id), table.c_str()));
-  }
-  int idx = t->schema().ColumnIndex(column);
-  if (idx < 0) {
-    return NotFound("unknown column \"" + column + "\" in table \"" + table + "\"");
-  }
-  ++stats_.rows_read;
-  return (*row)[static_cast<size_t>(idx)];
+  RETURN_IF_ERROR(MaybeEvictPages());
+  return out;
 }
 
 StatusOr<Row> Database::GetRow(const std::string& table, RowId id) const {
-  TableLock lock(this);
-  lock.Lock({}, {table});
-  auto it = tables_.find(table);
-  const Table* t = it == tables_.end() ? nullptr : &it->second;
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  Row out;
+  {
+    TableLock lock(this);
+    lock.Lock({}, {table});
+    auto it = tables_.find(table);
+    const Table* t = it == tables_.end() ? nullptr : &it->second;
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    const Row* row = t->Find(id);
+    if (row == nullptr) {
+      return CacheFaultOr(NotFound(StrFormat("row id %llu not in table \"%s\"",
+                                             static_cast<unsigned long long>(id),
+                                             table.c_str())));
+    }
+    ++stats_.rows_read;
+    out = *row;
   }
-  const Row* row = t->Find(id);
-  if (row == nullptr) {
-    return NotFound(StrFormat("row id %llu not in table \"%s\"",
-                              static_cast<unsigned long long>(id), table.c_str()));
-  }
-  ++stats_.rows_read;
-  return *row;
+  RETURN_IF_ERROR(MaybeEvictPages());
+  return out;
 }
 
 bool Database::RowExists(const std::string& table, RowId id) const {
@@ -1259,7 +1433,8 @@ Status Database::SetColumn(const std::string& table, RowId id, const std::string
     RETURN_IF_ERROR(SetColumnInTxn(tx, table, t, id, static_cast<size_t>(idx), std::move(value)));
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  return WaitWalDurable(wal_lsn);
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  return MaybeEvictPages();
 }
 
 Status Database::DeleteRow(const std::string& table, RowId id) {
@@ -1273,7 +1448,8 @@ Status Database::DeleteRow(const std::string& table, RowId id) {
     RETURN_IF_ERROR(DeleteRowInternal(tx, table, id, 0));
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  return WaitWalDurable(wal_lsn);
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  return MaybeEvictPages();
 }
 
 Status Database::RestoreRow(const std::string& table, RowId id, Row row) {
@@ -1295,19 +1471,22 @@ Status Database::RestoreRow(const std::string& table, RowId id, Row row) {
     LogInsert(tx, table, id);
     RETURN_IF_ERROR(scope.Commit(&wal_lsn));
   }
-  return WaitWalDurable(wal_lsn);
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  return MaybeEvictPages();
 }
 
 Status Database::BulkLoadRow(const std::string& table, RowId id, Row row) {
-  TableLock lock(this);
-  lock.Lock({table}, {});
-  Table* t = MutableTable(table);
-  if (t == nullptr) {
-    return NotFound("no table \"" + table + "\"");
+  {
+    TableLock lock(this);
+    lock.Lock({table}, {});
+    Table* t = MutableTable(table);
+    if (t == nullptr) {
+      return NotFound("no table \"" + table + "\"");
+    }
+    RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
+    ++stats_.rows_inserted;
   }
-  RETURN_IF_ERROR(t->InsertWithId(id, std::move(row)));
-  ++stats_.rows_inserted;
-  return OkStatus();
+  return MaybeEvictPages();
 }
 
 Status Database::EnsureAutoCounterAtLeast(const std::string& table, int64_t v) {
@@ -1482,7 +1661,8 @@ Status Database::Commit() {
   tx.in_txn = false;
   tx.undo_log.clear();
   ReleaseIntents(tx, 0);
-  return WaitWalDurable(wal_lsn);
+  RETURN_IF_ERROR(WaitWalDurable(wal_lsn));
+  return MaybeEvictPages();
 }
 
 Status Database::Rollback() {
@@ -1507,7 +1687,7 @@ Status Database::Rollback() {
   if (sink != nullptr) {
     sink->OnRollback();
   }
-  return OkStatus();
+  return MaybeEvictPages();
 }
 
 bool Database::InTransaction() const {
@@ -1564,38 +1744,44 @@ Status Database::RollbackAll() {
 // --- Integrity & maintenance -------------------------------------------------
 
 Status Database::CheckIntegrity() const {
-  TableLock lock(this);
-  lock.LockAllShared();
-  for (const auto& [name, table] : tables_) {
-    RETURN_IF_ERROR(table.CheckIndexConsistency());
-    const TableSchema& schema = table.schema();
-    for (const ForeignKeyDef& fk : schema.foreign_keys()) {
-      auto pit = tables_.find(fk.parent_table);
-      const Table* parent = pit == tables_.end() ? nullptr : &pit->second;
-      if (parent == nullptr) {
-        return IntegrityViolation("missing parent table \"" + fk.parent_table + "\"");
+  {
+    TableLock lock(this);
+    lock.LockAllShared();
+    for (const auto& [name, table] : tables_) {
+      // With a pager attached this faults every page in (the audit reads all
+      // payloads); residency transiently exceeds the budget and the eviction
+      // pass below restores it.
+      RETURN_IF_ERROR(table.CheckIndexConsistency());
+      const TableSchema& schema = table.schema();
+      for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+        auto pit = tables_.find(fk.parent_table);
+        const Table* parent = pit == tables_.end() ? nullptr : &pit->second;
+        if (parent == nullptr) {
+          return IntegrityViolation("missing parent table \"" + fk.parent_table + "\"");
+        }
+        int col_idx = schema.ColumnIndex(fk.column);
+        Status bad = OkStatus();
+        table.Scan([&](RowId, const Row& row) {
+          if (!bad.ok()) {
+            return;
+          }
+          const sql::Value& v = row[static_cast<size_t>(col_idx)];
+          if (v.is_null()) {
+            return;
+          }
+          PkKey key;
+          key.values.push_back(v);
+          if (!parent->LookupPk(key).ok()) {
+            bad = IntegrityViolation("dangling foreign key \"" + name + "." + fk.column + "\" = " +
+                                     v.ToSqlString() + " -> \"" + fk.parent_table + "\"");
+          }
+        });
+        RETURN_IF_ERROR(bad);
+        RETURN_IF_ERROR(StickyCacheError());
       }
-      int col_idx = schema.ColumnIndex(fk.column);
-      Status bad = OkStatus();
-      table.Scan([&](RowId, const Row& row) {
-        if (!bad.ok()) {
-          return;
-        }
-        const sql::Value& v = row[static_cast<size_t>(col_idx)];
-        if (v.is_null()) {
-          return;
-        }
-        PkKey key;
-        key.values.push_back(v);
-        if (!parent->LookupPk(key).ok()) {
-          bad = IntegrityViolation("dangling foreign key \"" + name + "." + fk.column + "\" = " +
-                                   v.ToSqlString() + " -> \"" + fk.parent_table + "\"");
-        }
-      });
-      RETURN_IF_ERROR(bad);
     }
   }
-  return OkStatus();
+  return MaybeEvictPages();
 }
 
 std::unique_ptr<Database> Database::Snapshot() const {
@@ -1629,6 +1815,9 @@ StatusOr<std::unique_ptr<Database>> Database::SnapshotForCheckpoint(
   for (const auto& [name, table] : tables_) {
     copy->tables_.emplace(name, table.Clone());
   }
+  // Clone reads spilled pages through the extent files; a read failure is
+  // recorded sticky and must abort the checkpoint (the clone is incomplete).
+  RETURN_IF_ERROR(StickyCacheError());
   return copy;
 }
 

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/db/pagecache.h"
 #include "src/db/plan.h"
 #include "src/db/schema.h"
 #include "src/db/table.h"
@@ -75,6 +76,13 @@ struct DbStats {
   std::atomic<uint64_t> plan_cache_hits{0};
   std::atomic<uint64_t> plan_cache_misses{0};
   std::atomic<uint64_t> range_probes{0};
+  // Page cache (src/db/pagecache.h). resident_bytes is a gauge (current
+  // resident payload bytes), the others are monotone counters.
+  std::atomic<uint64_t> page_hits{0};
+  std::atomic<uint64_t> page_misses{0};
+  std::atomic<uint64_t> page_evictions{0};
+  std::atomic<uint64_t> page_writebacks{0};
+  std::atomic<uint64_t> resident_bytes{0};
 
   DbStats() = default;
   DbStats(const DbStats& o) { *this = o; }
@@ -93,6 +101,11 @@ struct DbStats {
     plan_cache_hits = o.plan_cache_hits.load(std::memory_order_relaxed);
     plan_cache_misses = o.plan_cache_misses.load(std::memory_order_relaxed);
     range_probes = o.range_probes.load(std::memory_order_relaxed);
+    page_hits = o.page_hits.load(std::memory_order_relaxed);
+    page_misses = o.page_misses.load(std::memory_order_relaxed);
+    page_evictions = o.page_evictions.load(std::memory_order_relaxed);
+    page_writebacks = o.page_writebacks.load(std::memory_order_relaxed);
+    resident_bytes = o.resident_bytes.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -198,7 +211,10 @@ class Database {
   // and are invalidated by any mutation of the same rows — under concurrency
   // only the owning transaction's rows are stable (write intents keep other
   // writers out of them). Readers racing with arbitrary writers should use
-  // SelectRows instead.
+  // SelectRows instead. With a page cache attached, a concurrent thread's
+  // statement-end eviction may additionally clear referenced payloads of
+  // rows NOT owned by an open transaction — callers that dereference
+  // `row` (not just `id`) outside a transaction must use SelectRowsWithIds.
   StatusOr<std::vector<RowRef>> Select(const std::string& table, const sql::Expr* pred,
                                        const sql::ParamMap& params) const;
 
@@ -206,6 +222,11 @@ class Database {
   // so the result stays valid regardless of concurrent writers.
   StatusOr<std::vector<Row>> SelectRows(const std::string& table, const sql::Expr* pred,
                                         const sql::ParamMap& params) const;
+
+  // SelectRows variant that keeps the row ids (copies made under the lock;
+  // safe against concurrent writers AND page-cache eviction).
+  StatusOr<std::vector<std::pair<RowId, Row>>> SelectRowsWithIds(
+      const std::string& table, const sql::Expr* pred, const sql::ParamMap& params) const;
 
   // Count of matching rows without materializing.
   StatusOr<size_t> Count(const std::string& table, const sql::Expr* pred,
@@ -342,6 +363,25 @@ class Database {
   // copy corresponds to (0 with no sink attached).
   StatusOr<std::unique_ptr<Database>> SnapshotForCheckpoint(uint64_t* wal_mark) const;
 
+  // --- Page cache (bounded residency; src/db/pagecache.h) -------------------
+
+  // Attaches a page cache over every current (and future) table. Call once,
+  // before concurrent use — the durable layer attaches it before WAL replay.
+  // `extents_dir` receives the per-table spill files (wiped by Init).
+  Status AttachPageCache(const CacheOptions& options, const std::string& extents_dir);
+
+  // Statement-boundary eviction: while over budget, plans victim pages and
+  // evicts them under per-table exclusive try_locks (busy stripes are
+  // skipped). Called with NO locks held at the end of every statement and
+  // periodically during replay. Real eviction errors are logged and
+  // swallowed (the statement already committed; the cache just stays over
+  // budget); an injected simulated-crash status (pagecache.writeback /
+  // extent.read crash drills) propagates so crash batteries can cover the
+  // writeback path.
+  Status MaybeEvictPages() const;
+
+  PageCache* page_cache() const { return cache_.get(); }
+
  private:
   struct UndoEntry {
     enum class Kind { kInsert, kDelete, kUpdate } kind;
@@ -440,6 +480,13 @@ class Database {
   // Never call with table locks held (group commit lingers).
   Status WaitWalDurable(uint64_t lsn);
 
+  // Sticky page-cache fault errors (recorded by Find/Scan/Clone, which have
+  // no status channel). StickyCacheError returns-and-clears the pending one;
+  // CacheFaultOr substitutes it for `fallback` so a fault failure is not
+  // misreported as kNotFound.
+  Status StickyCacheError() const;
+  Status CacheFaultOr(Status fallback) const;
+
   // --- Row write intents (first-writer-wins) --------------------------------
 
   // Claims (table,id) for the calling thread's transaction. kAborted if
@@ -507,6 +554,11 @@ class Database {
 
   WriteGuard write_guard_;
   WalSink* wal_sink_ = nullptr;
+
+  // Page cache: set once by AttachPageCache before concurrent use, read
+  // without a lock afterwards. Its internal mutex is a leaf alongside
+  // txn_mu_/intents_mu_/plan_mu_ (never nested with them).
+  std::unique_ptr<PageCache> cache_;
 
   static constexpr int kMaxCascadeDepth = 32;
 };

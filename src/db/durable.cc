@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
@@ -244,9 +245,23 @@ StatusOr<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
     }
   }
 
+  // Attach the page cache before replay so recovery itself runs under the
+  // memory budget. The EDNA_CACHE_MB environment variable is the test/CI
+  // hook for forcing a budget without threading options everywhere.
+  CacheOptions cache = options.cache;
+  if (cache.max_resident_bytes == 0) {
+    if (const char* env = std::getenv("EDNA_CACHE_MB"); env != nullptr) {
+      cache.max_resident_bytes = std::strtoull(env, nullptr, 10) << 20;
+    }
+  }
+  if (cache.max_resident_bytes > 0) {
+    RETURN_IF_ERROR(db->AttachPageCache(cache, dir + "/extents"));
+  }
+
   // Replay everything newer than the snapshot. Commit records are physical
   // redo (idempotent); DDL records are strict — a DDL that cannot re-apply
   // means the log and snapshot disagree, which must fail loudly.
+  size_t replayed_since_evict = 0;
   for (const WalRecord& rec : replay) {
     if (rec.lsn <= snapshot_lsn) {
       continue;  // already folded into the snapshot (journal deltas too)
@@ -286,9 +301,17 @@ StatusOr<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
       }
     }
     ++rep->records_replayed;
+    // Replay applies rows below the statement-boundary eviction hooks;
+    // sweep periodically so a long replay stays within the budget.
+    if (++replayed_since_evict >= 64) {
+      replayed_since_evict = 0;
+      RETURN_IF_ERROR(db->MaybeEvictPages());
+    }
   }
   // Replay applied rows without per-row FK checks (records may arrive in
   // any FK order within a commit); audit once, like the image loader does.
+  // With a page cache the audit faults every page in (transiently exceeding
+  // the budget); its trailing eviction pass restores the bound.
   RETURN_IF_ERROR(db->CheckIntegrity());
   rep->snapshot_lsn = snapshot_lsn;
 

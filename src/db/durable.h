@@ -49,6 +49,10 @@ struct DurableOptions {
   // MaybeCheckpoint() compacts once the WAL grows past this many bytes;
   // 0 disables automatic compaction (explicit Checkpoint() only).
   uint64_t checkpoint_threshold_bytes = 0;
+  // Page cache budget (src/db/pagecache.h). max_resident_bytes == 0 leaves
+  // the database fully resident unless the EDNA_CACHE_MB environment
+  // variable supplies a budget (test/CI hook).
+  CacheOptions cache;
 };
 
 // What recovery found, for callers that must compose further recovery on

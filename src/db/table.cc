@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/db/pagecache.h"
 
 namespace edna::db {
 
@@ -57,7 +59,21 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
 
 Table Table::Clone() const {
   Table copy(schema_);
-  copy.rows_ = rows_;
+  if (pager_ == nullptr) {
+    copy.rows_ = rows_;
+  } else {
+    // Read-through without admission: spilled pages are materialized into the
+    // clone from their extent frames, under the cache mutex so a concurrent
+    // shared-stripe reader's fault install cannot race the row copy. A read
+    // failure leaves those payloads empty and records a sticky error the
+    // caller (SnapshotForCheckpoint) surfaces.
+    Status st = pager_->SnapshotTableRows(table_id_, &copy.rows_);
+    if (!st.ok()) {
+      pager_->RecordStickyError(st);
+      EDNA_LOG(kError) << "clone read-through failed for table \"" << schema_.name()
+                       << "\": " << st.ToString();
+    }
+  }
   copy.next_row_id_ = next_row_id_;
   copy.auto_counter_ = auto_counter_;
   copy.pk_index_ = pk_index_;
@@ -160,10 +176,17 @@ StatusOr<RowId> Table::Insert(Row row) {
     return AlreadyExists("duplicate primary key " + key.ToString() + " in table \"" +
                          schema_.name() + "\"");
   }
+  // The new id's page must be resident before the row joins it, or a spilled
+  // page's extent frame would stop being an exact image.
+  RETURN_IF_ERROR(EnsureRowResident(next_row_id_));
   RowId id = next_row_id_++;
   pk_index_.emplace(key, id);
   IndexInsert(id, row);
+  const uint64_t bytes = pager_ == nullptr ? 0 : ApproxRowBytes(row);
   rows_.emplace(id, std::move(row));
+  if (pager_ != nullptr) {
+    pager_->OnMutation(table_id_, PageOf(id), static_cast<int64_t>(bytes));
+  }
   return id;
 }
 
@@ -188,16 +211,31 @@ Status Table::InsertWithId(RowId id, Row row) {
       auto_counter_ = std::max(auto_counter_, row[i].AsInt());
     }
   }
+  RETURN_IF_ERROR(EnsureRowResident(id));
   next_row_id_ = std::max(next_row_id_, id + 1);
   pk_index_.emplace(key, id);
   IndexInsert(id, row);
+  const uint64_t bytes = pager_ == nullptr ? 0 : ApproxRowBytes(row);
   rows_.emplace(id, std::move(row));
+  if (pager_ != nullptr) {
+    pager_->OnMutation(table_id_, PageOf(id), static_cast<int64_t>(bytes));
+  }
   return OkStatus();
 }
 
 const Row* Table::Find(RowId id) const {
   auto it = rows_.find(id);
-  return it == rows_.end() ? nullptr : &it->second;
+  if (it == rows_.end()) return nullptr;
+  if (pager_ != nullptr) {
+    Status st = pager_->Access(table_id_, PageOf(id));
+    if (!st.ok()) {
+      // No status channel here: report nullptr and leave the real error
+      // sticky on the cache for the statement boundary.
+      pager_->RecordStickyError(st);
+      return nullptr;
+    }
+  }
+  return &it->second;
 }
 
 StatusOr<RowId> Table::LookupPk(const PkKey& key) const {
@@ -215,10 +253,14 @@ StatusOr<Row> Table::Erase(RowId id) {
     return NotFound(StrFormat("row id %llu not in table \"%s\"",
                               static_cast<unsigned long long>(id), schema_.name().c_str()));
   }
+  RETURN_IF_ERROR(EnsureRowResident(id));
   Row row = std::move(it->second);
   pk_index_.erase(ExtractPk(row));
   IndexErase(id, row);
   rows_.erase(it);
+  if (pager_ != nullptr) {
+    pager_->OnMutation(table_id_, PageOf(id), -static_cast<int64_t>(ApproxRowBytes(row)));
+  }
   return row;
 }
 
@@ -231,6 +273,7 @@ StatusOr<sql::Value> Table::UpdateColumn(RowId id, size_t col_idx, sql::Value va
   if (col_idx >= schema_.num_columns()) {
     return InvalidArgument("column index out of range");
   }
+  RETURN_IF_ERROR(EnsureRowResident(id));
   const ColumnDef& col = schema_.columns()[col_idx];
   if (!ValueMatchesType(value, col.type)) {
     return InvalidArgument("value " + value.ToSqlString() + " does not match column \"" +
@@ -243,8 +286,13 @@ StatusOr<sql::Value> Table::UpdateColumn(RowId id, size_t col_idx, sql::Value va
   }
   Row& row = it->second;
   sql::Value old = row[col_idx];
+  const int64_t byte_delta =
+      pager_ == nullptr ? 0
+                        : static_cast<int64_t>(ApproxValueBytes(value)) -
+                              static_cast<int64_t>(ApproxValueBytes(old));
   if (old.SqlEquals(value) && old.is_null() == value.is_null()) {
     row[col_idx] = std::move(value);
+    if (pager_ != nullptr) pager_->OnMutation(table_id_, PageOf(id), byte_delta);
     return old;
   }
 
@@ -298,6 +346,7 @@ StatusOr<sql::Value> Table::UpdateColumn(RowId id, size_t col_idx, sql::Value va
   }
 
   row[col_idx] = std::move(value);
+  if (pager_ != nullptr) pager_->OnMutation(table_id_, PageOf(id), byte_delta);
   return old;
 }
 
@@ -314,12 +363,18 @@ Status Table::UpdateRow(RowId id, Row new_row) {
     return AlreadyExists("primary key update collides: " + new_key.ToString() + " in table \"" +
                          schema_.name() + "\"");
   }
+  RETURN_IF_ERROR(EnsureRowResident(id));
   Row& row = it->second;
+  const int64_t byte_delta =
+      pager_ == nullptr ? 0
+                        : static_cast<int64_t>(ApproxRowBytes(new_row)) -
+                              static_cast<int64_t>(ApproxRowBytes(row));
   pk_index_.erase(ExtractPk(row));
   IndexErase(id, row);
   pk_index_.emplace(new_key, id);
   IndexInsert(id, new_row);
   row = std::move(new_row);
+  if (pager_ != nullptr) pager_->OnMutation(table_id_, PageOf(id), byte_delta);
   return OkStatus();
 }
 
@@ -433,8 +488,29 @@ bool Table::HasNullTrackingOn(const std::string& column) const {
 }
 
 void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  if (pager_ == nullptr) {
+    for (const auto& [id, row] : rows_) {
+      fn(id, row);
+    }
+    return;
+  }
+  // Fault page-by-page; a page whose fault fails is skipped (its payloads are
+  // empty and callbacks index into them) with the error left sticky.
+  uint64_t current_page = ~uint64_t{0};
+  bool page_ok = true;
   for (const auto& [id, row] : rows_) {
-    fn(id, row);
+    const uint64_t page = PageOf(id);
+    if (page != current_page) {
+      current_page = page;
+      Status st = pager_->Access(table_id_, page);
+      page_ok = st.ok();
+      if (!page_ok) {
+        pager_->RecordStickyError(st);
+        EDNA_LOG(kError) << "scan fault failed for table \"" << schema_.name()
+                         << "\" page " << page << ": " << st.ToString();
+      }
+    }
+    if (page_ok) fn(id, row);
   }
 }
 
@@ -462,9 +538,13 @@ Status Table::AddColumn(ColumnDef col, const sql::Value& fill) {
   if (col.auto_increment) {
     return InvalidArgument("cannot add an auto-increment column to a populated table");
   }
+  RETURN_IF_ERROR(EnsureAllResident());
   schema_.AddColumn(std::move(col));
+  const int64_t fill_bytes =
+      pager_ == nullptr ? 0 : static_cast<int64_t>(ApproxValueBytes(fill));
   for (auto& [id, row] : rows_) {
     row.push_back(fill);
+    if (pager_ != nullptr) pager_->OnMutation(table_id_, PageOf(id), fill_bytes);
   }
   return OkStatus();
 }
@@ -474,6 +554,7 @@ Status Table::BuildIndex(const std::string& column) {
   if (idx < 0) {
     return NotFound("no column \"" + column + "\" in table \"" + schema_.name() + "\"");
   }
+  RETURN_IF_ERROR(EnsureAllResident());
   if (auto it = secondary_.find(column); it != secondary_.end()) {
     // Already indexed. An implicit FK index may lack the ordered mirror a
     // declared index carries; upgrade it in place.
@@ -501,6 +582,9 @@ Status Table::BuildIndex(const std::string& column) {
 }
 
 Status Table::CheckIndexConsistency() const {
+  // The audit reads every payload; transiently exceeding the cache budget
+  // here is accepted (the caller evicts afterwards; docs/DESIGN.md).
+  RETURN_IF_ERROR(EnsureAllResident());
   // 1. Every row's PK is in pk_index_ and maps back to it.
   for (const auto& [id, row] : rows_) {
     auto it = pk_index_.find(ExtractPk(row));
@@ -578,6 +662,76 @@ Status Table::CheckIndexConsistency() const {
       return Internal("hash-only index on \"" + column +
                       "\" carries ordered entries");
     }
+  }
+  return OkStatus();
+}
+
+void Table::SetPager(PageCache* pager, uint32_t table_id, uint32_t rows_per_page) {
+  pager_ = pager;
+  table_id_ = table_id;
+  rows_per_page_ = std::max<uint32_t>(1, rows_per_page);
+}
+
+Status Table::EnsureRowResident(RowId id) const {
+  if (pager_ == nullptr) return OkStatus();
+  return pager_->Access(table_id_, PageOf(id));
+}
+
+Status Table::EnsureAllResident() const {
+  if (pager_ == nullptr) return OkStatus();
+  uint64_t current_page = ~uint64_t{0};
+  for (const auto& [id, row] : rows_) {
+    const uint64_t page = PageOf(id);
+    if (page == current_page) continue;
+    current_page = page;
+    RETURN_IF_ERROR(pager_->Access(table_id_, page));
+  }
+  return OkStatus();
+}
+
+void Table::CollectPageRows(uint64_t page,
+                            std::vector<std::pair<RowId, const Row*>>* out) const {
+  const RowId first = page * rows_per_page_ + 1;
+  const RowId last = first + rows_per_page_ - 1;
+  for (auto it = rows_.lower_bound(first); it != rows_.end() && it->first <= last; ++it) {
+    out->emplace_back(it->first, &it->second);
+  }
+}
+
+void Table::DropPageRows(uint64_t page) {
+  const RowId first = page * rows_per_page_ + 1;
+  const RowId last = first + rows_per_page_ - 1;
+  for (auto it = rows_.lower_bound(first); it != rows_.end() && it->first <= last; ++it) {
+    Row().swap(it->second);  // swap releases the heap allocation, clear() keeps it
+  }
+}
+
+Status Table::InstallPageRows(uint64_t page, std::vector<std::pair<RowId, Row>>* rows) {
+  const RowId first = page * rows_per_page_ + 1;
+  const RowId last = first + rows_per_page_ - 1;
+  // Validate before mutating: the frame must hold exactly the page's live
+  // ids (a spilled page's id set cannot change — mutators fault first), with
+  // schema-width payloads. Frames store rows in ascending id order.
+  auto expected = rows->begin();
+  for (auto it = rows_.lower_bound(first); it != rows_.end() && it->first <= last; ++it) {
+    if (expected == rows->end() || expected->first != it->first) {
+      return Internal("extent frame row set does not match live rows of table \"" +
+                      schema_.name() + "\"");
+    }
+    if (expected->second.size() != schema_.num_columns()) {
+      return Internal("extent frame row width mismatch in table \"" + schema_.name() +
+                      "\"");
+    }
+    ++expected;
+  }
+  if (expected != rows->end()) {
+    return Internal("extent frame holds rows absent from table \"" + schema_.name() +
+                    "\"");
+  }
+  auto src = rows->begin();
+  for (auto it = rows_.lower_bound(first); it != rows_.end() && it->first <= last;
+       ++it, ++src) {
+    it->second = std::move(src->second);
   }
   return OkStatus();
 }

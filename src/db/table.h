@@ -20,6 +20,8 @@
 
 namespace edna::db {
 
+class PageCache;
+
 // Composite primary-key value with lexicographic ordering.
 struct PkKey {
   std::vector<sql::Value> values;
@@ -53,9 +55,12 @@ class Table {
   // not be live.
   Status InsertWithId(RowId id, Row row);
 
-  // Row access.
+  // Row access. With a pager attached, Find faults the row's page in; a
+  // fault failure returns nullptr and records a sticky error on the cache
+  // (the Database surfaces it at the statement boundary). Contains is
+  // payload-free on purpose: existence checks must never fault.
   const Row* Find(RowId id) const;
-  bool Contains(RowId id) const { return Find(id) != nullptr; }
+  bool Contains(RowId id) const { return rows_.count(id) > 0; }
 
   // Primary key lookup.
   StatusOr<RowId> LookupPk(const PkKey& key) const;
@@ -122,7 +127,36 @@ class Table {
   Status BuildIndex(const std::string& column);
 
   // Validates every internal index entry against the row heap (test hook).
+  // With a pager attached this faults every page in first (the audit reads
+  // all payloads); callers should evict afterwards.
   Status CheckIndexConsistency() const;
+
+  // ---- Page cache integration (src/db/pagecache.h) ----
+  //
+  // With a pager attached, row ids and all indexes stay fully resident while
+  // row PAYLOADS spill at page granularity: a spilled row keeps its map node
+  // with an empty payload vector, and every payload-touching method faults
+  // the page in via the pager first. A page is entirely resident or entirely
+  // spilled, and mutators fault before mutating, so a spilled page's extent
+  // frame is always an exact image of its live rows.
+
+  // Attaches the pager (once, before concurrent use; Database attach path).
+  void SetPager(PageCache* pager, uint32_t table_id, uint32_t rows_per_page);
+  bool has_pager() const { return pager_ != nullptr; }
+  uint64_t PageOf(RowId id) const { return (id - 1) / rows_per_page_; }
+
+  // Faults the row's page / every spilled page back in.
+  Status EnsureRowResident(RowId id) const;
+  Status EnsureAllResident() const;
+
+  // Page-granular payload plumbing, called back by PageCache under its
+  // mutex (eviction holds the stripe exclusively; faults hold at least a
+  // shared stripe — the cache mutex serializes concurrent installers).
+  void CollectPageRows(uint64_t page,
+                       std::vector<std::pair<RowId, const Row*>>* out) const;
+  void DropPageRows(uint64_t page);
+  Status InstallPageRows(uint64_t page, std::vector<std::pair<RowId, Row>>* rows);
+  const std::map<RowId, Row>& RawRows() const { return rows_; }
 
  private:
   Status ValidateRowShape(const Row& row) const;
@@ -133,6 +167,11 @@ class Table {
   std::map<RowId, Row> rows_;  // ordered so scans are deterministic
   RowId next_row_id_ = 1;
   int64_t auto_counter_ = 0;
+
+  // Page cache attachment (null = fully resident, the default).
+  PageCache* pager_ = nullptr;
+  uint32_t table_id_ = 0;
+  uint32_t rows_per_page_ = 1;
 
   std::map<PkKey, RowId> pk_index_;
   // value -> row ids (non-NULL values only).

@@ -107,11 +107,15 @@ struct Rig {
   SimulatedClock clock{1000};
   DurableEngineReport report;
   std::unique_ptr<DurableEngine> eng;
+  // Page-cache budget for every (re)open; 0 = fully resident (the default).
+  // Reopen() keeps the budget, so recovery itself runs bounded too.
+  uint64_t cache_budget_bytes = 0;
 
   Status Open() {
     DurableEngineOptions options;
     options.clock = &clock;
     options.engine.deterministic_rng = true;
+    options.durable.cache.max_resident_bytes = cache_budget_bytes;
     auto opened = DurableEngine::Open(tmp.data(), options, &report);
     if (!opened.ok()) {
       return opened.status();
@@ -240,9 +244,11 @@ std::vector<Step> CanonicalSchedule(bool with_checkpoint) {
 
 // dumps[0] = post-seed; dumps[i + 1] = after steps[i]. Every step of the
 // reference run must succeed.
-std::vector<std::string> RunReference(const std::vector<Step>& steps) {
+std::vector<std::string> RunReference(const std::vector<Step>& steps,
+                                      uint64_t cache_budget_bytes = 0) {
   std::vector<std::string> dumps;
   Rig rig;
+  rig.cache_budget_bytes = cache_budget_bytes;
   Status opened = rig.Open();
   EXPECT_TRUE(opened.ok()) << opened;
   if (!opened.ok()) {
@@ -276,8 +282,9 @@ const char* const kCrashSites[] = {
 // state was checked against the reference). On a crash, reopens and asserts
 // atomicity + consistency + usability against the reference dumps.
 int RunCrashTrial(const std::vector<Step>& steps, const std::vector<std::string>& dumps,
-                  const char* site, uint64_t hit) {
+                  const char* site, uint64_t hit, uint64_t cache_budget_bytes = 0) {
   Rig rig;
+  rig.cache_budget_bytes = cache_budget_bytes;
   Status opened = rig.Open();
   EXPECT_TRUE(opened.ok()) << opened;
   Status seeded = Seed(rig);
@@ -372,6 +379,98 @@ TEST_F(DurabilityCrash, EverySiteAtEveryHitRecoversBitIdentical) {
     }
     EXPECT_TRUE(fired) << site << " never fired — schedule lost coverage";
   }
+}
+
+// The whole battery again, starved: a 1-byte page-cache budget keeps every
+// statement over budget, so every step spills at its boundary and faults
+// pages back on the next access. Two cache-only sites join the sweep:
+// pagecache.writeback (crash inside the eviction frame write, after the
+// statement committed) and extent.read (crash while faulting a spilled page
+// back in). Extents are a spill, not a durability source, so the reference
+// dumps are the UNBOUNDED run's — recovery must land on the same states bit
+// for bit regardless of what was resident at the crash.
+TEST_F(DurabilityCrash, TinyCacheBudgetEverySiteRecoversBitIdentical) {
+  constexpr uint64_t kTinyBudget = 1;  // always over budget: maximal churn
+  std::vector<Step> steps = CanonicalSchedule(/*with_checkpoint=*/true);
+  std::vector<std::string> dumps = RunReference(steps);
+  ASSERT_EQ(dumps.size(), steps.size() + 1);
+
+  // A crash-free bounded run must be fingerprint-identical to the unbounded
+  // reference at EVERY step boundary (the dump faults spilled pages back in,
+  // so equal dumps mean spill + refault lost nothing).
+  std::vector<std::string> bounded = RunReference(steps, kTinyBudget);
+  ASSERT_EQ(bounded.size(), dumps.size());
+  for (size_t i = 0; i < dumps.size(); ++i) {
+    ASSERT_EQ(bounded[i], dumps[i]) << "bounded reference diverged at dump " << i;
+  }
+
+  std::vector<const char*> sites(std::begin(kCrashSites), std::end(kCrashSites));
+  sites.push_back(failpoints::kPagecacheWriteback);
+  sites.push_back(failpoints::kExtentRead);
+  for (const char* site : sites) {
+    bool fired = false;
+    for (uint64_t hit = 1; hit <= 24; ++hit) {
+      int crashed_at = RunCrashTrial(steps, dumps, site, hit, kTinyBudget);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "stopping bounded sweep at " << site << " hit " << hit;
+      }
+      if (crashed_at < 0) {
+        break;
+      }
+      fired = true;
+    }
+    EXPECT_TRUE(fired) << site << " never fired under the tiny budget";
+  }
+}
+
+TEST_F(DurabilityCrash, CacheErrorInjectionIsSurvivableWithoutReopen) {
+  // Non-crash failures at the two cache sites must degrade, not corrupt.
+  // extent.read: the statement that faulted fails loudly; the page stays
+  // spilled and the next access retries the fault and succeeds.
+  // pagecache.writeback: the statement already committed, so the eviction
+  // error is swallowed (the cache just stays over budget) and the statement
+  // reports success.
+  Rig rig;
+  rig.cache_budget_bytes = 1;
+  Status opened = rig.Open();
+  ASSERT_TRUE(opened.ok()) << opened;
+  Status seeded = Seed(rig);
+  ASSERT_TRUE(seeded.ok()) << seeded;
+
+  FailPoints::Instance().Enable(failpoints::kExtentRead,
+                                {.action = FailPointAction::kReturnError,
+                                 .trigger = FailPointTrigger::kOneShot,
+                                 .n = 1});
+  rig.clock.Set(1010);
+  auto failed = rig.eng->engine()->ApplyForUser("Scrub", Value::Int(1));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(FailPoints::IsSimulatedCrash(failed.status()));
+  FailPoints::Instance().DisableAll();
+
+  auto audit = rig.eng->engine()->AuditConsistency();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->ok()) << audit->ToString();
+  rig.clock.Set(1020);
+  EXPECT_TRUE(rig.eng->engine()->ApplyForUser("Scrub", Value::Int(1)).ok())
+      << "fault retry after an injected read error must succeed";
+
+  FailPoints::Instance().Enable(failpoints::kPagecacheWriteback,
+                                {.action = FailPointAction::kReturnError,
+                                 .trigger = FailPointTrigger::kOneShot,
+                                 .n = 1});
+  rig.clock.Set(1030);
+  EXPECT_TRUE(rig.eng->engine()->ApplyForUser("Scrub", Value::Int(2)).ok())
+      << "a failed eviction writeback must not fail the committed statement";
+  FailPoints::Instance().DisableAll();
+
+  auto audit2 = rig.eng->engine()->AuditConsistency();
+  ASSERT_TRUE(audit2.ok());
+  EXPECT_TRUE(audit2->ok()) << audit2->ToString();
+
+  // Everything above is on disk; a bounded reopen reproduces it exactly.
+  std::string before = rig.Fingerprint();
+  ASSERT_TRUE(rig.Reopen().ok());
+  EXPECT_EQ(rig.Fingerprint(), before);
 }
 
 TEST_F(DurabilityCrash, RandomizedSchedulesAndCrashPoints) {

@@ -348,6 +348,11 @@ TEST(DbPlannerTest, StatsCopyRoundTripsEveryCounter) {
   stats.plan_cache_hits = 9;
   stats.plan_cache_misses = 10;
   stats.range_probes = 11;
+  stats.page_hits = 12;
+  stats.page_misses = 13;
+  stats.page_evictions = 14;
+  stats.page_writebacks = 15;
+  stats.resident_bytes = 16;
 
   DbStats copy = stats;
   EXPECT_EQ(copy.queries, 1u);
@@ -361,10 +366,15 @@ TEST(DbPlannerTest, StatsCopyRoundTripsEveryCounter) {
   EXPECT_EQ(copy.plan_cache_hits, 9u);
   EXPECT_EQ(copy.plan_cache_misses, 10u);
   EXPECT_EQ(copy.range_probes, 11u);
+  EXPECT_EQ(copy.page_hits, 12u);
+  EXPECT_EQ(copy.page_misses, 13u);
+  EXPECT_EQ(copy.page_evictions, 14u);
+  EXPECT_EQ(copy.page_writebacks, 15u);
+  EXPECT_EQ(copy.resident_bytes, 16u);
 
-  // 11 counters. If this assert fires you added a DbStats field: extend
+  // 16 counters. If this assert fires you added a DbStats field: extend
   // operator=, the block above, and this count.
-  EXPECT_EQ(sizeof(DbStats), 11 * sizeof(std::atomic<uint64_t>));
+  EXPECT_EQ(sizeof(DbStats), 16 * sizeof(std::atomic<uint64_t>));
 
   copy.Reset();
   EXPECT_EQ(copy.queries, 0u);

@@ -158,6 +158,18 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Durable-mode options from the shared flags. --cache-mb N bounds resident
+// row memory via the page cache (src/db/pagecache.h); absent or 0 leaves the
+// database fully resident (EDNA_CACHE_MB can still force a budget).
+edna::db::DurableOptions DurableOptsFromArgs(const Args& args) {
+  edna::db::DurableOptions opts;
+  if (args.Has("cache-mb")) {
+    opts.cache.max_resident_bytes =
+        std::strtoull(args.Get("cache-mb").c_str(), nullptr, 10) << 20;
+  }
+  return opts;
+}
+
 StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -217,7 +229,8 @@ int CmdDemo(const Args& args) {
     // Populate straight through a durable database: every insert is
     // WAL-logged, then one checkpoint compacts the load into a snapshot.
     edna::db::DurableOpenReport report;
-    auto dd = edna::db::DurableDatabase::Open(args.Get("data-dir"), {}, &report);
+    auto dd = edna::db::DurableDatabase::Open(args.Get("data-dir"),
+                                              DurableOptsFromArgs(args), &report);
     if (!dd.ok()) {
       return Fail(dd.status());
     }
@@ -264,7 +277,8 @@ int CmdInfo(const Args& args) {
   edna::db::Database* db = nullptr;
   if (args.Has("data-dir")) {
     edna::db::DurableOpenReport report;
-    auto opened = edna::db::DurableDatabase::Open(args.Get("data-dir"), {}, &report);
+    auto opened = edna::db::DurableDatabase::Open(args.Get("data-dir"),
+                                                  DurableOptsFromArgs(args), &report);
     if (!opened.ok()) {
       return Fail(opened.status());
     }
@@ -554,6 +568,7 @@ StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize, bool want_spe
   options.reuse_decorrelation = optimize;
   if (args.Has("data-dir")) {
     edna::core::DurableEngineOptions dopts;
+    dopts.durable = DurableOptsFromArgs(args);
     dopts.engine = options;
     edna::core::DurableEngineReport report;
     ASSIGN_OR_RETURN(setup.durable, edna::core::DurableEngine::Open(
@@ -879,7 +894,7 @@ int main(int argc, char** argv) {
                                              "limit", "spec", "uid", "vault",
                                              "annotations", "identity", "uids-file",
                                              "threads", "max-attempts", "data-dir",
-                                             "fail-on", "k"});
+                                             "fail-on", "k", "cache-mb"});
   if (cmd == "demo") {
     return CmdDemo(args);
   }
