@@ -71,6 +71,12 @@ inline constexpr char kJournalPersist[] = "journal.persist";
 // an extent frame, and the fault-path extent read.
 inline constexpr char kPagecacheWriteback[] = "pagecache.writeback";
 inline constexpr char kExtentRead[] = "extent.read";
+// Disguise-as-a-service daemon (src/server/shard.h): the per-request
+// dispatch step, and the two-phase barrier that coordinates global
+// disguises across shards (checked once per phase, so a one-shot schedule
+// can crash between prepare and commit).
+inline constexpr char kServerDispatch[] = "server.dispatch";
+inline constexpr char kServerBarrier[] = "server.barrier";
 }  // namespace failpoints
 
 enum class FailPointAction : uint8_t { kReturnError, kCrash };

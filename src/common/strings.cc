@@ -1,8 +1,11 @@
 #include "src/common/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace edna {
 
@@ -214,6 +217,71 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+namespace {
+
+// Shared tail of the strict parsers: trims, rejects empty input, runs the
+// strto* conversion on a NUL-terminated copy, and demands full consumption.
+template <typename T, typename Fn>
+bool ParseStrict(std::string_view s, T* out, Fn convert) {
+  std::string_view trimmed = StrTrim(s);
+  if (trimmed.empty()) {
+    return false;
+  }
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  T value = convert(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  // strtoull accepts "-1" (wraps) and "0x" prefixes; forbid both explicitly.
+  std::string_view trimmed = StrTrim(s);
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return ParseStrict<uint64_t>(trimmed, out, [](const char* p, char** end) {
+    return std::strtoull(p, end, 10);
+  });
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  std::string_view trimmed = StrTrim(s);
+  for (size_t i = 0; i < trimmed.size(); ++i) {
+    char c = trimmed[i];
+    if (i == 0 && (c == '-' || c == '+')) {
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return ParseStrict<int64_t>(trimmed, out, [](const char* p, char** end) {
+    return std::strtoll(p, end, 10);
+  });
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  double value = 0;
+  if (!ParseStrict<double>(s, &value,
+                           [](const char* p, char** end) { return std::strtod(p, end); })) {
+    return false;
+  }
+  if (std::isnan(value) || std::isinf(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 size_t CountEffectiveLines(std::string_view text) {

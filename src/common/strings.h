@@ -53,6 +53,17 @@ std::string SqlQuote(std::string_view s);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Strict numeric parsing for flags and environment values: the whole string
+// (after trimming ASCII whitespace) must be one number — "12abc", "", "-",
+// "0x10", and out-of-range values all return false and leave *out untouched.
+// The strtoll-style "parse a prefix, silently ignore the rest" behavior is
+// exactly what these exist to replace (a mistyped --threads must be an
+// error, not thread count 4 from "4x").
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+// Decimal or scientific notation; rejects nan/inf and trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
 // Counts the non-empty, non-comment ("#" or "--" prefixed) lines in `text`.
 // Used by the Figure-4 spec-complexity experiment.
 size_t CountEffectiveLines(std::string_view text);

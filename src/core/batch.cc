@@ -63,7 +63,9 @@ BatchExecutor::~BatchExecutor() {
   }
 }
 
-void BatchExecutor::Submit(BatchTask task) {
+void BatchExecutor::Submit(BatchTask task) { Submit(std::move(task), nullptr); }
+
+void BatchExecutor::Submit(BatchTask task, BatchTaskCallback done) {
   size_t index;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -74,7 +76,7 @@ void BatchExecutor::Submit(BatchTask task) {
     index = submitted_++;
   }
   if (inline_) {
-    Execute(Item{std::move(task), index});
+    Execute(Item{std::move(task), index, std::move(done)});
     return;
   }
   // Per-user FIFO: every task of one uid routes to one worker, whose queue
@@ -85,8 +87,26 @@ void BatchExecutor::Submit(BatchTask task) {
   Worker& w = *workers_[wi];
   std::unique_lock<std::mutex> lock(w.mu);
   w.not_full.wait(lock, [&] { return w.queue.size() < options_.queue_capacity; });
-  w.queue.push_back(Item{std::move(task), index});
+  w.queue.push_back(Item{std::move(task), index, std::move(done)});
   w.not_empty.notify_one();
+}
+
+std::unique_lock<std::shared_mutex> BatchExecutor::AcquireExclusive() {
+  return std::unique_lock<std::shared_mutex>(exec_gate_);
+}
+
+void BatchExecutor::RunInline(const BatchTask& task, BatchTaskResult* result) {
+  result->task = task;
+  result->attempts = 1;
+  if (halted_.load()) {
+    result->status =
+        Aborted("batch halted by a simulated crash; recover, then resubmit");
+    return;
+  }
+  result->status = RunOnce(task, result);
+  if (FailPoints::IsSimulatedCrash(result->status)) {
+    halted_.store(true);
+  }
 }
 
 BatchReport BatchExecutor::Drain() {
@@ -163,6 +183,8 @@ Status BatchExecutor::RunOnce(const BatchTask& task, BatchTaskResult* result) {
       }
       result->disguise_id = applied->disguise_id;
       result->queries = applied->queries;
+      result->rows_touched = applied->rows_removed + applied->rows_modified +
+                             applied->rows_decorrelated + applied->placeholders_created;
       return OkStatus();
     }
     case BatchTask::Kind::kReveal: {
@@ -182,6 +204,8 @@ Status BatchExecutor::RunOnce(const BatchTask& task, BatchTaskResult* result) {
       }
       result->disguise_id = id;
       result->queries = revealed->queries;
+      result->rows_touched = revealed->rows_restored + revealed->columns_restored +
+                             revealed->placeholders_dropped;
       return OkStatus();
     }
   }
@@ -235,8 +259,16 @@ void BatchExecutor::Execute(Item item) {
     }
   }
 
+  // Callback tasks deliver their result directly (outside state_mu_: the
+  // callback may block on a waiting client) and are not accumulated — a
+  // daemon submitting forever must not grow results_ without bound.
+  if (item.done) {
+    item.done(result);
+  }
   std::lock_guard<std::mutex> lock(state_mu_);
-  results_.push_back(std::move(result));
+  if (!item.done) {
+    results_.push_back(std::move(result));
+  }
   conflict_retries_ += retries;
   ++completed_;
   if (completed_ == submitted_) {

@@ -68,7 +68,16 @@ struct BatchTaskResult {
   uint64_t disguise_id = 0;  // id applied or revealed (when known)
   int attempts = 0;          // 1 = no conflict retries
   uint64_t queries = 0;      // statements issued by the final attempt
+  // Rows the final attempt touched: removed+modified+decorrelated+
+  // placeholders for an apply, restored rows+columns+dropped placeholders
+  // for a reveal. The service wire protocol reports this per request.
+  uint64_t rows_touched = 0;
 };
+
+// Per-task completion hook (the Submit overload below). Runs on the worker
+// thread that finished the task — keep it cheap and never call back into
+// the executor from inside it.
+using BatchTaskCallback = std::function<void(const BatchTaskResult&)>;
 
 struct BatchOptions {
   // <= 1 selects the inline fast path: Submit() executes the task on the
@@ -113,14 +122,39 @@ class BatchExecutor {
   // Enqueues a task on its user's worker; blocks while that queue is full.
   void Submit(BatchTask task);
 
+  // Service variant: the result is delivered through `done` (on the worker
+  // thread) instead of being accumulated for Drain(). Counters (submitted,
+  // completed, conflict retries) still aggregate, so a long-running daemon
+  // does not grow an unbounded results vector.
+  void Submit(BatchTask task, BatchTaskCallback done);
+
   // Blocks until every task submitted so far completed, then returns the
   // aggregated report and resets the executor for the next batch.
   BatchReport Drain();
+
+  // --- Two-phase barrier surface (src/server/shard.h) ------------------------
+  // Phase one of a cross-shard global disguise: blocks until every in-flight
+  // task on this executor has finished and returns the held exclusive gate.
+  // Queued and newly submitted per-user tasks stall behind it until the
+  // lease is released. The coordinator acquires every shard's gate (in shard
+  // order, so two concurrent globals cannot deadlock) before phase two runs
+  // any engine work.
+  std::unique_lock<std::shared_mutex> AcquireExclusive();
+
+  // Runs one task on the calling thread with no queueing, gate, or retries —
+  // phase two of the barrier, where the coordinator already holds every
+  // gate exclusively and conflicts are impossible.
+  void RunInline(const BatchTask& task, BatchTaskResult* result);
+
+  // True once a simulated crash froze this executor; tasks complete with
+  // kAborted until the engine is recovered.
+  bool halted() const { return halted_.load(); }
 
  private:
   struct Item {
     BatchTask task;
     size_t index = 0;
+    BatchTaskCallback done;  // non-null: deliver result here, skip results_
   };
   struct Worker {
     std::mutex mu;

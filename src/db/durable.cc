@@ -251,7 +251,14 @@ StatusOr<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
   CacheOptions cache = options.cache;
   if (cache.max_resident_bytes == 0) {
     if (const char* env = std::getenv("EDNA_CACHE_MB"); env != nullptr) {
-      cache.max_resident_bytes = std::strtoull(env, nullptr, 10) << 20;
+      // Strict parse: a typo'd budget must fail the open, not silently run
+      // unbounded (strtoull("garbage") == 0 used to mean "no cache").
+      uint64_t mb = 0;
+      if (!ParseUint64(env, &mb)) {
+        return InvalidArgument(StrFormat(
+            "EDNA_CACHE_MB=\"%s\" is not an unsigned integer (megabytes)", env));
+      }
+      cache.max_resident_bytes = mb << 20;
     }
   }
   if (cache.max_resident_bytes > 0) {

@@ -1,0 +1,213 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/strings.h"
+
+namespace edna::server {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host, uint16_t port,
+                                                  int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument(StrFormat("bad address \"%s\"", host.c_str()));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Internal(StrFormat("socket: %s", std::strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<Client>(new Client(fd));
+    }
+    int err = errno;
+    ::close(fd);
+    // The daemon may still be binding (tests race its startup); retry
+    // connection-refused until the deadline.
+    if ((err != ECONNREFUSED && err != ETIMEDOUT) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return Internal(StrFormat("connect %s:%u: %s", host.c_str(), port,
+                                std::strerror(err)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status Client::SendAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Internal(StrFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return OkStatus();
+}
+
+Status Client::RecvAll(uint8_t* data, size_t n, bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, data + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return NotFound("connection closed by server");
+      }
+      return Internal(StrFormat("connection closed mid-frame (%zu of %zu bytes)", got, n));
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired — surface a timeout instead of spinning so fuzz
+      // tests can assert "replies or closes, never hangs".
+      return Internal(StrFormat("recv timed out (%zu of %zu bytes)", got, n));
+    }
+    return Internal(StrFormat("recv: %s", std::strerror(errno)));
+  }
+  return OkStatus();
+}
+
+Status Client::RawSend(const std::vector<uint8_t>& bytes) {
+  return SendAll(bytes.data(), bytes.size());
+}
+
+Status Client::RawSendFrame(Verb verb, uint64_t request_id,
+                            const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> frame = EncodeFrame(verb, request_id, body);
+  return SendAll(frame.data(), frame.size());
+}
+
+StatusOr<Frame> Client::RawReadFrame(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  uint8_t header[kFrameHeaderBytes];
+  bool clean_eof = false;
+  RETURN_IF_ERROR(RecvAll(header, sizeof(header), &clean_eof));
+  uint32_t payload_len = 0;
+  RETURN_IF_ERROR(DecodeFrameHeader(header, &payload_len));
+  std::vector<uint8_t> payload(payload_len);
+  RETURN_IF_ERROR(RecvAll(payload.data(), payload.size(), &clean_eof));
+  Frame frame;
+  RETURN_IF_ERROR(DecodeFramePayload(header, payload, &frame));
+  return frame;
+}
+
+StatusOr<Frame> Client::Call(Verb verb, const std::vector<uint8_t>& body,
+                             Verb expect_reply) {
+  const uint64_t id = next_request_id_++;
+  RETURN_IF_ERROR(RawSendFrame(verb, id, body));
+  // Generous timeout: audits/checkpoints over large shards are legitimately
+  // slow under sanitizers, and a wedged daemon still fails the call.
+  ASSIGN_OR_RETURN(Frame reply, RawReadFrame(/*timeout_ms=*/120000));
+  if (reply.verb == Verb::kError) {
+    ErrorReply err;
+    RETURN_IF_ERROR(DecodeErrorReply(reply.body, &err));
+    return err.ToStatus();
+  }
+  if (reply.verb != expect_reply) {
+    return Internal(StrFormat("unexpected reply verb 0x%02x (wanted 0x%02x)",
+                              static_cast<unsigned>(reply.verb),
+                              static_cast<unsigned>(expect_reply)));
+  }
+  if (reply.request_id != id) {
+    return Internal(StrFormat("reply correlates request %llu, expected %llu",
+                              static_cast<unsigned long long>(reply.request_id),
+                              static_cast<unsigned long long>(id)));
+  }
+  return reply;
+}
+
+StatusOr<std::string> Client::Ping(const std::string& echo) {
+  PingRequest req;
+  req.echo = echo;
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kPing, EncodePing(req), Verb::kPingReply));
+  PingRequest echoed;
+  RETURN_IF_ERROR(DecodePing(reply.body, &echoed));
+  return echoed.echo;
+}
+
+StatusOr<OpReply> Client::Apply(const std::string& spec_name, const sql::Value& uid) {
+  ApplyRequest req;
+  req.spec_name = spec_name;
+  req.uid = uid;
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kApply, EncodeApply(req), Verb::kApplyReply));
+  OpReply op;
+  RETURN_IF_ERROR(DecodeOpReply(reply.body, &op));
+  return op;
+}
+
+StatusOr<OpReply> Client::Reveal(const std::string& spec_name, const sql::Value& uid,
+                                 uint64_t disguise_id) {
+  RevealRequest req;
+  req.spec_name = spec_name;
+  req.uid = uid;
+  req.disguise_id = disguise_id;
+  ASSIGN_OR_RETURN(Frame reply,
+                   Call(Verb::kReveal, EncodeReveal(req), Verb::kRevealReply));
+  OpReply op;
+  RETURN_IF_ERROR(DecodeOpReply(reply.body, &op));
+  return op;
+}
+
+StatusOr<AuditReply> Client::Audit() {
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kAudit, {}, Verb::kAuditReply));
+  AuditReply audit;
+  RETURN_IF_ERROR(DecodeAuditReply(reply.body, &audit));
+  return audit;
+}
+
+StatusOr<CheckpointReply> Client::Checkpoint() {
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kCheckpoint, {}, Verb::kCheckpointReply));
+  CheckpointReply ckpt;
+  RETURN_IF_ERROR(DecodeCheckpointReply(reply.body, &ckpt));
+  return ckpt;
+}
+
+StatusOr<StatsReply> Client::Stats() {
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kStats, {}, Verb::kStatsReply));
+  StatsReply stats;
+  RETURN_IF_ERROR(DecodeStatsReply(reply.body, &stats));
+  return stats;
+}
+
+Status Client::Shutdown() {
+  ASSIGN_OR_RETURN(Frame reply, Call(Verb::kShutdown, {}, Verb::kShutdownReply));
+  (void)reply;
+  return OkStatus();
+}
+
+}  // namespace edna::server

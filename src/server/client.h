@@ -1,0 +1,78 @@
+// Client: blocking request/reply connection to a disguised daemon.
+//
+// One socket, one in-flight request at a time (request_id correlates the
+// pair; a mismatched reply is a protocol error, not silently dropped).
+// Thread-compatible, not thread-safe — concurrent callers open one client
+// each, which is also how the soak test models independent applications.
+//
+// The Raw* surface (send arbitrary bytes, read one frame) exists for the
+// protocol fuzz battery: it lets a test speak malformed frames through the
+// same connection plumbing the real client uses.
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/protocol.h"
+#include "src/sql/value.h"
+
+namespace edna::server {
+
+class Client {
+ public:
+  // Connects (with retries over `timeout_ms`, so tests can race the daemon's
+  // startup) and returns a ready client.
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host, uint16_t port,
+                                                   int timeout_ms = 5000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Verbs -----------------------------------------------------------------
+
+  // Round-trips `echo`; returns the server's echo back.
+  StatusOr<std::string> Ping(const std::string& echo);
+
+  // Null uid = global disguise.
+  StatusOr<OpReply> Apply(const std::string& spec_name, const sql::Value& uid);
+  // disguise_id 0 = latest active disguise of (spec_name, uid).
+  StatusOr<OpReply> Reveal(const std::string& spec_name, const sql::Value& uid,
+                           uint64_t disguise_id = 0);
+  StatusOr<AuditReply> Audit();
+  StatusOr<CheckpointReply> Checkpoint();
+  StatusOr<StatsReply> Stats();
+  // Asks the daemon to stop; OK once the shutdown reply arrives.
+  Status Shutdown();
+
+  // --- Raw surface (tests) ---------------------------------------------------
+
+  // Writes bytes verbatim — no framing, no validation.
+  Status RawSend(const std::vector<uint8_t>& bytes);
+  // Reads one well-formed frame off the socket (header + payload, CRC
+  // checked). kNotFound on clean EOF, kInternal on torn reads.
+  StatusOr<Frame> RawReadFrame(int timeout_ms = 5000);
+  // Sends a correctly framed request with an explicit body.
+  Status RawSendFrame(Verb verb, uint64_t request_id, const std::vector<uint8_t>& body);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  // One request -> its reply frame. Verifies the request_id round-trip and
+  // turns kError replies into their carried Status.
+  StatusOr<Frame> Call(Verb verb, const std::vector<uint8_t>& body, Verb expect_reply);
+
+  Status SendAll(const uint8_t* data, size_t n);
+  Status RecvAll(uint8_t* data, size_t n, bool* clean_eof);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace edna::server
+
+#endif  // SRC_SERVER_CLIENT_H_

@@ -1,0 +1,242 @@
+#include "src/server/protocol.h"
+
+#include "src/common/crc32.h"
+#include "src/common/strings.h"
+#include "src/sql/codec.h"
+
+namespace edna::server {
+
+namespace {
+
+// Little-endian u32 at `p` (the frame header is hand-framed so the payload
+// codec — sql::ByteWriter — never sees partially read bytes).
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void StoreU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+// A decoded body must consume every byte: trailing garbage means the frame
+// was assembled by something that disagrees about the schema — reject it
+// rather than silently ignore bytes.
+Status RequireEnd(const sql::ByteReader& reader, const char* what) {
+  if (reader.remaining() != 0) {
+    return InvalidArgument(StrFormat("%s: %zu trailing byte(s) after body", what,
+                                     reader.remaining()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+uint64_t StatsReply::Get(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+std::string StatsReply::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : counters) {
+    out += StrFormat("%-28s %llu\n", key.c_str(), static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeFrame(Verb verb, uint64_t request_id,
+                                 const std::vector<uint8_t>& body) {
+  sql::ByteWriter payload;
+  payload.U8(static_cast<uint8_t>(verb));
+  payload.U64(request_id);
+  payload.Bytes(body.data(), body.size());
+  std::vector<uint8_t> encoded = payload.Take();
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + encoded.size());
+  StoreU32(kFrameMagic, &frame);
+  StoreU32(static_cast<uint32_t>(encoded.size()), &frame);
+  StoreU32(Crc32(encoded), &frame);
+  frame.insert(frame.end(), encoded.begin(), encoded.end());
+  return frame;
+}
+
+uint32_t PeekFrameMagic(const uint8_t header[kFrameHeaderBytes]) {
+  return LoadU32(header);
+}
+
+Status DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes], uint32_t* payload_len) {
+  if (LoadU32(header) != kFrameMagic) {
+    return InvalidArgument(StrFormat("frame: bad magic 0x%08x", LoadU32(header)));
+  }
+  uint32_t len = LoadU32(header + 4);
+  if (len == 0) {
+    return InvalidArgument("frame: zero-length payload");
+  }
+  if (len > kMaxFrameBytes) {
+    return InvalidArgument(StrFormat("frame: payload of %u bytes exceeds the %u-byte cap",
+                                     len, kMaxFrameBytes));
+  }
+  *payload_len = len;
+  return OkStatus();
+}
+
+Status DecodeFramePayload(const uint8_t header[kFrameHeaderBytes],
+                          const std::vector<uint8_t>& payload, Frame* frame) {
+  uint32_t want_crc = LoadU32(header + 8);
+  uint32_t got_crc = Crc32(payload);
+  if (want_crc != got_crc) {
+    return InvalidArgument(
+        StrFormat("frame: payload crc mismatch (header 0x%08x, computed 0x%08x)",
+                  want_crc, got_crc));
+  }
+  sql::ByteReader reader(payload);
+  ASSIGN_OR_RETURN(uint8_t verb, reader.U8());
+  ASSIGN_OR_RETURN(frame->request_id, reader.U64());
+  frame->verb = static_cast<Verb>(verb);
+  frame->body.assign(payload.begin() + static_cast<long>(payload.size() - reader.remaining()),
+                     payload.end());
+  return OkStatus();
+}
+
+// --- Bodies ------------------------------------------------------------------
+
+std::vector<uint8_t> EncodePing(const PingRequest& req) {
+  sql::ByteWriter w;
+  w.String(req.echo);
+  return w.Take();
+}
+
+Status DecodePing(const std::vector<uint8_t>& body, PingRequest* req) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(req->echo, r.String());
+  return RequireEnd(r, "ping");
+}
+
+std::vector<uint8_t> EncodeApply(const ApplyRequest& req) {
+  sql::ByteWriter w;
+  w.String(req.spec_name);
+  w.Value(req.uid);
+  return w.Take();
+}
+
+Status DecodeApply(const std::vector<uint8_t>& body, ApplyRequest* req) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(req->spec_name, r.String());
+  ASSIGN_OR_RETURN(req->uid, r.Value());
+  return RequireEnd(r, "apply");
+}
+
+std::vector<uint8_t> EncodeReveal(const RevealRequest& req) {
+  sql::ByteWriter w;
+  w.String(req.spec_name);
+  w.Value(req.uid);
+  w.U64(req.disguise_id);
+  return w.Take();
+}
+
+Status DecodeReveal(const std::vector<uint8_t>& body, RevealRequest* req) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(req->spec_name, r.String());
+  ASSIGN_OR_RETURN(req->uid, r.Value());
+  ASSIGN_OR_RETURN(req->disguise_id, r.U64());
+  return RequireEnd(r, "reveal");
+}
+
+std::vector<uint8_t> EncodeOpReply(const OpReply& reply) {
+  sql::ByteWriter w;
+  w.U64(reply.disguise_id);
+  w.U32(reply.shard);
+  w.U32(reply.attempts);
+  w.U64(reply.queries);
+  w.U64(reply.rows_touched);
+  return w.Take();
+}
+
+Status DecodeOpReply(const std::vector<uint8_t>& body, OpReply* reply) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(reply->disguise_id, r.U64());
+  ASSIGN_OR_RETURN(reply->shard, r.U32());
+  ASSIGN_OR_RETURN(reply->attempts, r.U32());
+  ASSIGN_OR_RETURN(reply->queries, r.U64());
+  ASSIGN_OR_RETURN(reply->rows_touched, r.U64());
+  return RequireEnd(r, "op-reply");
+}
+
+std::vector<uint8_t> EncodeAuditReply(const AuditReply& reply) {
+  sql::ByteWriter w;
+  w.U32(reply.shards);
+  w.U64(reply.violations);
+  w.String(reply.summary);
+  return w.Take();
+}
+
+Status DecodeAuditReply(const std::vector<uint8_t>& body, AuditReply* reply) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(reply->shards, r.U32());
+  ASSIGN_OR_RETURN(reply->violations, r.U64());
+  ASSIGN_OR_RETURN(reply->summary, r.String());
+  return RequireEnd(r, "audit-reply");
+}
+
+std::vector<uint8_t> EncodeCheckpointReply(const CheckpointReply& reply) {
+  sql::ByteWriter w;
+  w.U32(reply.shards);
+  return w.Take();
+}
+
+Status DecodeCheckpointReply(const std::vector<uint8_t>& body, CheckpointReply* reply) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(reply->shards, r.U32());
+  return RequireEnd(r, "checkpoint-reply");
+}
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& reply) {
+  sql::ByteWriter w;
+  w.U32(static_cast<uint32_t>(reply.counters.size()));
+  for (const auto& [name, value] : reply.counters) {
+    w.String(name);
+    w.U64(value);
+  }
+  return w.Take();
+}
+
+Status DecodeStatsReply(const std::vector<uint8_t>& body, StatsReply* reply) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  reply->counters.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.String());
+    ASSIGN_OR_RETURN(uint64_t value, r.U64());
+    reply->counters.emplace_back(std::move(name), value);
+  }
+  return RequireEnd(r, "stats-reply");
+}
+
+std::vector<uint8_t> EncodeErrorReply(const ErrorReply& reply) {
+  sql::ByteWriter w;
+  w.U8(static_cast<uint8_t>(reply.code));
+  w.String(reply.message);
+  return w.Take();
+}
+
+Status DecodeErrorReply(const std::vector<uint8_t>& body, ErrorReply* reply) {
+  sql::ByteReader r(body);
+  ASSIGN_OR_RETURN(uint8_t code, r.U8());
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kAborted)) {
+    return InvalidArgument(StrFormat("error-reply: unknown status code %u", code));
+  }
+  reply->code = static_cast<StatusCode>(code);
+  ASSIGN_OR_RETURN(reply->message, r.String());
+  return RequireEnd(r, "error-reply");
+}
+
+}  // namespace edna::server

@@ -1,0 +1,171 @@
+// Wire protocol of the disguise-as-a-service daemon (docs/FORMATS.md §6).
+//
+// Every message — request or reply — travels as one length-prefixed,
+// CRC-framed binary frame over a byte stream:
+//
+//   frame   := magic u32 | payload_len u32 | payload_crc u32 | payload
+//   payload := verb u8 | request_id u64 | body
+//
+// All integers little-endian (sql::ByteWriter). The CRC covers the payload
+// only; the fixed 12-byte header is validated structurally (magic, bounded
+// length). Framing is deliberately the same shape as the WAL's record
+// framing (src/db/wal.h): a torn or bit-flipped frame is detected at the
+// boundary, never half-decoded into the engine.
+//
+// Error taxonomy (what a malformed input yields — the protocol fuzz battery
+// in tests/server_protocol_test.cc pins this contract):
+//   * bad magic                      -> connection closed (stream desynced;
+//                                       no resync is attempted)
+//   * payload_len 0 or > max         -> error reply, then connection closed
+//   * CRC mismatch                   -> error reply, connection stays open
+//                                       (framing was intact, payload wasn't)
+//   * undecodable / trailing body    -> error reply (kInvalidArgument)
+//   * unknown verb                   -> error reply (kUnimplemented)
+//   * engine-level failure           -> error reply carrying the engine's
+//                                       StatusCode verbatim
+// An error reply echoes the request_id when the payload got far enough to
+// carry one, 0 otherwise.
+#ifndef SRC_SERVER_PROTOCOL_H_
+#define SRC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/value.h"
+
+namespace edna::server {
+
+// "EDNP" as the first four bytes on the wire.
+inline constexpr uint32_t kFrameMagic = 0x504E4445u;
+// Hard ceiling on payload bytes; anything larger is rejected before
+// allocation. Large results (audit text, stats) stay far below this.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+// Fixed bytes before the payload: magic, length, crc.
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+enum class Verb : uint8_t {
+  kPing = 0x01,
+  kApply = 0x02,
+  kReveal = 0x03,
+  kAudit = 0x04,
+  kCheckpoint = 0x05,
+  kStats = 0x06,
+  kShutdown = 0x07,
+  // Replies set the high bit of the request verb; errors use kError.
+  kPingReply = 0x81,
+  kApplyReply = 0x82,
+  kRevealReply = 0x83,
+  kAuditReply = 0x84,
+  kCheckpointReply = 0x85,
+  kStatsReply = 0x86,
+  kShutdownReply = 0x87,
+  kError = 0xFF,
+};
+
+// One decoded payload: the verb, the client-chosen correlation id, and the
+// still-encoded body bytes (decoded by the per-verb structs below).
+struct Frame {
+  Verb verb = Verb::kError;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> body;
+};
+
+// --- Request bodies ----------------------------------------------------------
+
+struct PingRequest {
+  std::string echo;
+};
+
+struct ApplyRequest {
+  std::string spec_name;
+  sql::Value uid = sql::Value::Null();  // Null = global disguise (barrier path)
+};
+
+struct RevealRequest {
+  std::string spec_name;
+  sql::Value uid = sql::Value::Null();
+  // 0 = latest active disguise of (spec_name, uid), resolved server-side.
+  uint64_t disguise_id = 0;
+};
+
+// Audit, Checkpoint, Stats, and Shutdown carry empty bodies.
+
+// --- Reply bodies ------------------------------------------------------------
+
+// Shared by apply and reveal replies.
+struct OpReply {
+  uint64_t disguise_id = 0;
+  uint32_t shard = 0;       // shard that executed (first shard for globals)
+  uint32_t attempts = 0;    // 1 = no conflict retries
+  uint64_t queries = 0;
+  uint64_t rows_touched = 0;
+};
+
+struct AuditReply {
+  uint32_t shards = 0;
+  uint64_t violations = 0;
+  std::string summary;  // per-shard text, empty when clean
+};
+
+struct CheckpointReply {
+  uint32_t shards = 0;
+};
+
+// Stats travel as named counters so the set can grow without a wire bump.
+struct StatsReply {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  uint64_t Get(const std::string& name) const;  // 0 when absent
+  std::string ToString() const;                 // one "name value" per line
+};
+
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+// --- Encoding ----------------------------------------------------------------
+
+// Encodes a complete frame (header + payload) ready to write to a socket.
+std::vector<uint8_t> EncodeFrame(Verb verb, uint64_t request_id,
+                                 const std::vector<uint8_t>& body);
+
+// Validates a 12-byte header. On success stores the payload length to read
+// next; kInvalidArgument with a "frame:"-prefixed message otherwise.
+Status DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes], uint32_t* payload_len);
+
+// First header word. The server branches on it for the close-vs-reply
+// decision: bad magic means the stream is desynced (close silently), while a
+// bad length still travels on an intact frame boundary (error reply first).
+uint32_t PeekFrameMagic(const uint8_t header[kFrameHeaderBytes]);
+
+// Checks the CRC and splits the payload into verb / request_id / body.
+Status DecodeFramePayload(const uint8_t header[kFrameHeaderBytes],
+                          const std::vector<uint8_t>& payload, Frame* frame);
+
+// Per-verb body codecs. Decoders reject truncated and over-long bodies.
+std::vector<uint8_t> EncodePing(const PingRequest& req);
+Status DecodePing(const std::vector<uint8_t>& body, PingRequest* req);
+std::vector<uint8_t> EncodeApply(const ApplyRequest& req);
+Status DecodeApply(const std::vector<uint8_t>& body, ApplyRequest* req);
+std::vector<uint8_t> EncodeReveal(const RevealRequest& req);
+Status DecodeReveal(const std::vector<uint8_t>& body, RevealRequest* req);
+std::vector<uint8_t> EncodeOpReply(const OpReply& reply);
+Status DecodeOpReply(const std::vector<uint8_t>& body, OpReply* reply);
+std::vector<uint8_t> EncodeAuditReply(const AuditReply& reply);
+Status DecodeAuditReply(const std::vector<uint8_t>& body, AuditReply* reply);
+std::vector<uint8_t> EncodeCheckpointReply(const CheckpointReply& reply);
+Status DecodeCheckpointReply(const std::vector<uint8_t>& body, CheckpointReply* reply);
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& reply);
+Status DecodeStatsReply(const std::vector<uint8_t>& body, StatsReply* reply);
+std::vector<uint8_t> EncodeErrorReply(const ErrorReply& reply);
+Status DecodeErrorReply(const std::vector<uint8_t>& body, ErrorReply* reply);
+
+}  // namespace edna::server
+
+#endif  // SRC_SERVER_PROTOCOL_H_

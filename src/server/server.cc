@@ -1,0 +1,413 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/core/batch.h"
+
+namespace edna::server {
+
+namespace {
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+DisguisedServer::DisguisedServer(ShardSet* shards, ServerOptions options)
+    : shards_(shards), options_(std::move(options)) {}
+
+DisguisedServer::~DisguisedServer() { Stop(); }
+
+Status DisguisedServer::Start() {
+  if (running_.load()) {
+    return FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return InvalidArgument(StrFormat("bad listen address \"%s\"", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Internal(StrFormat("bind %s:%u: %s", options_.host.c_str(),
+                                  options_.port, std::strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status s = Internal(StrFormat("listen: %s", std::strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status s = Internal(StrFormat("getsockname: %s", std::strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopped_ = false;
+  }
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void DisguisedServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    WaitForShutdown();  // another stopper is at work; ride along
+    return;
+  }
+  if (!running_.load()) {
+    stopping_.store(false);
+    return;
+  }
+  // Unblock accept(), then every read still parked on a live connection.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // The accept loop is gone, so connections_ is frozen; drain it.
+  std::vector<std::unique_ptr<Connection>> drained;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    drained.swap(connections_);
+  }
+  for (auto& conn : drained) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+    CloseQuietly(conn->fd);
+  }
+  CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false);
+  {
+    // Notify under the lock: after the unlock a woken waiter may destroy
+    // the server, so this thread must be done touching it by then.
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  }
+}
+
+void DisguisedServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stopped_cv_.wait(lock, [&] { return stopped_; });
+}
+
+std::vector<std::pair<std::string, uint64_t>> DisguisedServer::Counters() const {
+  return {
+      {"srv_accepted", accepted_.load(std::memory_order_relaxed)},
+      {"srv_frames_ok", frames_ok_.load(std::memory_order_relaxed)},
+      {"srv_frames_rejected", frames_rejected_.load(std::memory_order_relaxed)},
+      {"srv_bytes_in", bytes_in_.load(std::memory_order_relaxed)},
+      {"srv_bytes_out", bytes_out_.load(std::memory_order_relaxed)},
+  };
+}
+
+void DisguisedServer::Reap() {
+  // Collect finished handlers so a long-lived daemon facing churny clients
+  // (the fuzz battery opens thousands of connections) does not accumulate
+  // dead threads. Joins outside conn_mu_; a done handler exits promptly.
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done.load()) {
+        finished.push_back(std::move(connections_[i]));
+        connections_[i] = std::move(connections_.back());
+        connections_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+}
+
+void DisguisedServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // listener is gone; nothing sane to do but stop accepting
+    }
+    if (stopping_.load()) {
+      CloseQuietly(fd);
+      return;
+    }
+    Reap();
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+int DisguisedServer::ReadFully(int fd, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      bytes_in_.fetch_add(static_cast<uint64_t>(r), std::memory_order_relaxed);
+      continue;
+    }
+    if (r == 0) {
+      return got == 0 ? 0 : -1;  // clean EOF only at a frame boundary
+    }
+    if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) && !stopping_.load()) {
+      continue;  // SO_RCVTIMEO tick; keep waiting unless the server stops
+    }
+    return -1;
+  }
+  return 1;
+}
+
+bool DisguisedServer::SendFrame(int fd, Verb verb, uint64_t request_id,
+                                const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> frame = EncodeFrame(verb, request_id, body);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stopping_.load()) {
+          return false;
+        }
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool DisguisedServer::SendError(int fd, uint64_t request_id, const Status& status) {
+  frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+  ErrorReply reply;
+  reply.code = status.code();
+  reply.message = status.message();
+  return SendFrame(fd, Verb::kError, request_id, EncodeErrorReply(reply));
+}
+
+void DisguisedServer::HandleConnection(Connection* conn) {
+  const int fd = conn->fd;
+  uint8_t header[kFrameHeaderBytes];
+  for (;;) {
+    int r = ReadFully(fd, header, sizeof(header));
+    if (r <= 0) {
+      break;  // clean EOF, torn header, or server stopping
+    }
+    if (PeekFrameMagic(header) != kFrameMagic) {
+      // The stream is desynced: nothing downstream of this byte can be
+      // trusted, and replying mid-garbage would only feed the desync.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    uint32_t payload_len = 0;
+    Status head = DecodeFrameHeader(header, &payload_len);
+    if (!head.ok()) {
+      // Framing boundary intact but the length is unusable (zero/oversized):
+      // tell the client why, then close — we cannot skip unknown bytes.
+      SendError(fd, 0, head);
+      break;
+    }
+    std::vector<uint8_t> payload(payload_len);
+    if (ReadFully(fd, payload.data(), payload.size()) != 1) {
+      break;  // torn payload
+    }
+    if (!HandleFrame(fd, header, payload)) {
+      break;
+    }
+  }
+  // Close under conn_mu_ and mark the slot dead first, so a concurrent
+  // Stop() never calls shutdown() on a recycled fd number.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn->fd = -1;
+    ::close(fd);
+  }
+  conn->done.store(true);
+}
+
+bool DisguisedServer::HandleFrame(int fd, const uint8_t* header,
+                                  const std::vector<uint8_t>& payload) {
+  Frame frame;
+  Status decoded = DecodeFramePayload(header, payload, &frame);
+  if (!decoded.ok()) {
+    // CRC mismatch: framing held, payload bits didn't. The stream is still
+    // in sync, so the connection survives.
+    return SendError(fd, 0, decoded);
+  }
+
+  switch (frame.verb) {
+    case Verb::kPing: {
+      PingRequest req;
+      Status s = DecodePing(frame.body, &req);
+      if (!s.ok()) {
+        return SendError(fd, frame.request_id, s);
+      }
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(fd, Verb::kPingReply, frame.request_id, EncodePing(req));
+    }
+    case Verb::kApply:
+    case Verb::kReveal: {
+      core::BatchTask task;
+      if (frame.verb == Verb::kApply) {
+        ApplyRequest req;
+        Status s = DecodeApply(frame.body, &req);
+        if (!s.ok()) {
+          return SendError(fd, frame.request_id, s);
+        }
+        task = core::BatchTask::Apply(std::move(req.spec_name), std::move(req.uid));
+      } else {
+        RevealRequest req;
+        Status s = DecodeReveal(frame.body, &req);
+        if (!s.ok()) {
+          return SendError(fd, frame.request_id, s);
+        }
+        task = core::BatchTask::Reveal(std::move(req.spec_name), std::move(req.uid),
+                                       req.disguise_id);
+      }
+      OpReply reply;
+      reply.shard = task.uid.is_null()
+                        ? 0
+                        : static_cast<uint32_t>(shards_->ShardFor(task.uid));
+      core::BatchTaskResult result = shards_->Dispatch(std::move(task));
+      if (!result.status.ok()) {
+        return SendError(fd, frame.request_id, result.status);
+      }
+      reply.disguise_id = result.disguise_id;
+      reply.attempts = static_cast<uint32_t>(result.attempts);
+      reply.queries = result.queries;
+      reply.rows_touched = result.rows_touched;
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(fd,
+                       frame.verb == Verb::kApply ? Verb::kApplyReply : Verb::kRevealReply,
+                       frame.request_id, EncodeOpReply(reply));
+    }
+    case Verb::kAudit: {
+      if (!frame.body.empty()) {
+        return SendError(fd, frame.request_id,
+                         InvalidArgument("audit: body must be empty"));
+      }
+      StatusOr<ShardAuditReport> audit = shards_->Audit();
+      if (!audit.ok()) {
+        return SendError(fd, frame.request_id, audit.status());
+      }
+      AuditReply reply;
+      reply.shards = static_cast<uint32_t>(audit->shards);
+      reply.violations = audit->violations;
+      reply.summary = audit->summary;
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(fd, Verb::kAuditReply, frame.request_id, EncodeAuditReply(reply));
+    }
+    case Verb::kCheckpoint: {
+      if (!frame.body.empty()) {
+        return SendError(fd, frame.request_id,
+                         InvalidArgument("checkpoint: body must be empty"));
+      }
+      Status s = shards_->Checkpoint();
+      if (!s.ok()) {
+        return SendError(fd, frame.request_id, s);
+      }
+      CheckpointReply reply;
+      reply.shards = static_cast<uint32_t>(shards_->num_shards());
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(fd, Verb::kCheckpointReply, frame.request_id,
+                       EncodeCheckpointReply(reply));
+    }
+    case Verb::kStats: {
+      if (!frame.body.empty()) {
+        return SendError(fd, frame.request_id,
+                         InvalidArgument("stats: body must be empty"));
+      }
+      StatsReply reply;
+      reply.counters = shards_->Stats();
+      for (auto& counter : Counters()) {
+        reply.counters.push_back(std::move(counter));
+      }
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(fd, Verb::kStatsReply, frame.request_id, EncodeStatsReply(reply));
+    }
+    case Verb::kShutdown: {
+      if (!options_.allow_remote_shutdown) {
+        return SendError(fd, frame.request_id,
+                         PermissionDenied("remote shutdown is disabled"));
+      }
+      frames_ok_.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(fd, Verb::kShutdownReply, frame.request_id, {});
+      // Stop() joins every handler thread — including this one — so it must
+      // run elsewhere. WaitForShutdown()'s stopped_ handshake keeps the
+      // detached thread's work visible to whoever waits.
+      std::thread([this] { Stop(); }).detach();
+      return false;
+    }
+    default:
+      return SendError(fd, frame.request_id,
+                       Unimplemented(StrFormat("unknown verb 0x%02x",
+                                               static_cast<unsigned>(frame.verb))));
+  }
+}
+
+}  // namespace edna::server

@@ -1,0 +1,124 @@
+// disguised: the disguise-as-a-service daemon's network front end.
+//
+// Accept-loop thread + one handler thread per connection. That is the right
+// shape for this service: each request blocks inside the shard set anyway
+// (per-user FIFO queue or the global barrier), so the handler thread IS the
+// backpressure — a client gets its reply exactly when its operation is
+// durable, and a slow shard slows only the clients talking to it.
+//
+// Frame handling implements the error taxonomy documented in protocol.h:
+// desynced streams (bad magic, torn read) close; well-framed garbage (CRC
+// mismatch, undecodable body, unknown verb) earns an error reply and the
+// connection lives on. A handler never lets malformed bytes past the decode
+// boundary, which is the property the protocol fuzz battery pins.
+//
+// Shutdown: Stop() (or a kShutdown frame, when allow_remote_shutdown) closes
+// the listener, shuts down every live connection socket, and joins all
+// threads. WaitForShutdown() parks the caller (the daemon's main thread)
+// until then.
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/protocol.h"
+#include "src/server/shard.h"
+
+namespace edna::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 = ephemeral; the bound port is readable via port() after Start().
+  uint16_t port = 0;
+  int backlog = 64;
+  // Per-read socket timeout. Reads retry on timeout until the server stops,
+  // so this bounds only shutdown latency, not connection lifetime.
+  int recv_timeout_ms = 250;
+  // Whether a kShutdown frame stops the whole daemon (tests and disguisectl
+  // use it; a production deployment would disable it and use signals).
+  bool allow_remote_shutdown = true;
+};
+
+class DisguisedServer {
+ public:
+  // `shards` must outlive the server.
+  DisguisedServer(ShardSet* shards, ServerOptions options);
+  ~DisguisedServer();  // implies Stop()
+
+  DisguisedServer(const DisguisedServer&) = delete;
+  DisguisedServer& operator=(const DisguisedServer&) = delete;
+
+  // Binds, listens, and spawns the accept loop. Fails (kUnavailable-ish
+  // kInternal) if the address cannot be bound.
+  Status Start();
+
+  // Idempotent. Closes the listener and every live connection, joins all
+  // threads, and releases WaitForShutdown().
+  void Stop();
+
+  // Blocks until Stop() (local or via a kShutdown frame) completes.
+  void WaitForShutdown();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  // Server-level counters, merged into every kStats reply next to the shard
+  // set's (srv_* prefix).
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;  // under conn_mu_ once the handler runs; -1 after close
+    std::thread thread;
+    std::atomic<bool> done{false};  // handler finished; safe to join + reap
+  };
+
+  void AcceptLoop();
+  // Joins and discards finished handlers (called from the accept loop, so a
+  // churny client population cannot accumulate dead threads/slots).
+  void Reap();
+  void HandleConnection(Connection* conn);
+  // One request frame -> one reply frame. Returns false when the connection
+  // must close (bad magic, oversized frame, shutdown verb, write failure).
+  bool HandleFrame(int fd, const uint8_t* header, const std::vector<uint8_t>& payload);
+  bool SendError(int fd, uint64_t request_id, const Status& status);
+  bool SendFrame(int fd, Verb verb, uint64_t request_id, const std::vector<uint8_t>& body);
+
+  // Reads exactly n bytes. 1 = ok, 0 = clean EOF before any byte, -1 = torn
+  // read / hard error / server stopping.
+  int ReadFully(int fd, uint8_t* buf, size_t n);
+
+  ShardSet* shards_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = true;  // under stop_mu_
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> frames_ok_{0};
+  std::atomic<uint64_t> frames_rejected_{0};  // any error reply or close-on-garbage
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace edna::server
+
+#endif  // SRC_SERVER_SERVER_H_

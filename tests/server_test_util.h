@@ -1,0 +1,252 @@
+// Shared rig for the disguise-as-a-service tests (server_protocol_test,
+// server_soak_test, server_crash_test): a ShardSet over a temp directory
+// populated with the core_batch_test world (users <- notes + site_stats),
+// the Scrub/RedactNotes/AnonAll specs, and an in-process DisguisedServer.
+#ifndef TESTS_SERVER_TEST_UTIL_H_
+#define TESTS_SERVER_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/batch.h"
+#include "src/core/durable_engine.h"
+#include "src/db/database.h"
+#include "src/disguise/spec_parser.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/shard.h"
+#include "src/sql/value.h"
+
+namespace edna::server::testing {
+
+using sql::Value;
+
+// Self-deleting temp directory for shard data.
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    char tmpl[] = "/tmp/edna_server_test_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::system(("rm -rf " + path).c_str()); }
+  std::string data() const { return path + "/data"; }
+};
+
+// users (id, name, email, disabled) <- notes (id, user_id, text); plus a
+// one-row site_stats table (kept for schema parity with core_batch_test).
+inline void BuildSchema(db::Database* db) {
+  db::TableSchema users("users");
+  users
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "name", .type = db::ColumnType::kString, .nullable = false})
+      .AddColumn({.name = "email", .type = db::ColumnType::kString, .nullable = true})
+      .AddColumn({.name = "disabled", .type = db::ColumnType::kBool, .nullable = false,
+                  .default_value = Value::Bool(false)})
+      .SetPrimaryKey({"id"});
+  ASSERT_TRUE(db->CreateTable(std::move(users)).ok());
+
+  db::TableSchema notes("notes");
+  notes
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false,
+                  .auto_increment = true})
+      .AddColumn({.name = "user_id", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "text", .type = db::ColumnType::kString})
+      .SetPrimaryKey({"id"})
+      .AddForeignKey({.column = "user_id", .parent_table = "users",
+                      .parent_column = "id", .on_delete = db::FkAction::kRestrict});
+  ASSERT_TRUE(db->CreateTable(std::move(notes)).ok());
+
+  db::TableSchema stats("site_stats");
+  stats
+      .AddColumn({.name = "id", .type = db::ColumnType::kInt, .nullable = false})
+      .AddColumn({.name = "disguised", .type = db::ColumnType::kInt, .nullable = false})
+      .SetPrimaryKey({"id"});
+  ASSERT_TRUE(db->CreateTable(std::move(stats)).ok());
+  ASSERT_TRUE(db->InsertValues("site_stats",
+                               {{"id", Value::Int(1)}, {"disguised", Value::Int(0)}})
+                  .ok());
+}
+
+// Per-user GDPR-style disguise: remove the account, detach the notes.
+inline constexpr char kScrubSpec[] = R"(
+disguise_name: "Scrub"
+user_to_disguise: $UID
+reversible: true
+table users:
+  generate_placeholder:
+    "name" <- Random
+    "email" <- Const(NULL)
+    "disabled" <- Const(TRUE)
+  transformations:
+    Remove(pred: "id" = $UID)
+table notes:
+  transformations:
+    Decorrelate(pred: "user_id" = $UID, foreign_key: ("user_id", users))
+)";
+
+// Per-user note redaction (composes on top of Scrub for re-disguised users).
+inline constexpr char kRedactNotesSpec[] = R"(
+disguise_name: "RedactNotes"
+user_to_disguise: $UID
+reversible: true
+table notes:
+  transformations:
+    Modify(pred: "user_id" = $UID, column: "text", value: Redact)
+)";
+
+// Global anonymization — exercises the two-phase cross-shard barrier.
+inline constexpr char kAnonAllSpec[] = R"(
+disguise_name: "AnonAll"
+reversible: true
+table users:
+  generate_placeholder:
+    "name" <- Random
+    "email" <- Const(NULL)
+    "disabled" <- Const(TRUE)
+table notes:
+  transformations:
+    Decorrelate(pred: TRUE, foreign_key: ("user_id", users))
+)";
+
+inline void PopulateUsers(db::Database* db, int num_users) {
+  for (int i = 0; i < num_users; ++i) {
+    std::string n = std::to_string(i);
+    ASSERT_TRUE(db->InsertValues("users", {{"name", Value::String("user" + n)},
+                                           {"email", Value::String("u" + n + "@x.org")}})
+                    .ok());
+  }
+  for (int i = 0; i < num_users; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      ASSERT_TRUE(
+          db->InsertValues("notes",
+                           {{"user_id", Value::Int(i + 1)},
+                            {"text", Value::String("note " + std::to_string(j) +
+                                                   " of user " + std::to_string(i))}})
+              .ok());
+    }
+  }
+}
+
+// A ShardSet over `dir` with every shard carrying the same demo world (the
+// shard a user routes to is decided by uid hash, so populating all shards
+// identically lets any uid disguise somewhere). Fresh shards are populated;
+// reopened shards keep their recovered state. Specs register either way.
+struct ShardRig {
+  TempDir tmp;
+  SimulatedClock clock{1000};
+  std::unique_ptr<ShardSet> shards;
+  std::unique_ptr<DisguisedServer> server;
+
+  // `seed` feeds deterministic_rng so parallel wire-level runs replay
+  // bit-identically against a serial in-memory oracle.
+  Status Open(int num_shards, int threads_per_shard, int num_users,
+              uint64_t seed = 0x5eed) {
+    ShardSetOptions sopts;
+    sopts.num_shards = num_shards;
+    sopts.threads_per_shard = threads_per_shard;
+    sopts.engine.deterministic_rng = true;
+    sopts.engine.rng_seed = seed;
+    sopts.clock = &clock;
+    ASSIGN_OR_RETURN(shards, ShardSet::Open(tmp.data(), sopts));
+    for (size_t i = 0; i < shards->num_shards(); ++i) {
+      core::DurableEngine* engine = shards->engine(i);
+      size_t app_tables = 0;
+      for (const auto& table : engine->db()->schema().tables()) {
+        if (table.name().rfind("__edna", 0) != 0) {
+          ++app_tables;
+        }
+      }
+      if (app_tables == 0) {
+        BuildSchema(engine->db());
+        PopulateUsers(engine->db(), num_users);
+        RETURN_IF_ERROR(engine->Checkpoint());
+      }
+      for (const char* text : {kScrubSpec, kRedactNotesSpec, kAnonAllSpec}) {
+        ASSIGN_OR_RETURN(disguise::DisguiseSpec spec,
+                         disguise::ParseDisguiseSpec(text));
+        RETURN_IF_ERROR(engine->engine()->RegisterSpec(std::move(spec)));
+      }
+    }
+    return OkStatus();
+  }
+
+  // Simulates process death: drops the server and the (possibly frozen)
+  // shard set without flushing anything beyond what already hit disk.
+  void Kill() {
+    if (server != nullptr) {
+      server->Stop();
+      server.reset();
+    }
+    shards.reset();
+  }
+
+  Status Serve() {
+    ServerOptions opts;  // ephemeral port
+    server = std::make_unique<DisguisedServer>(shards.get(), opts);
+    return server->Start();
+  }
+
+  StatusOr<std::unique_ptr<Client>> Connect() {
+    return Client::Connect("127.0.0.1", server->port());
+  }
+};
+
+// table name -> sorted stringified rows; equality = bit-identical contents.
+// Reserved "__edna*" tables are excluded (ids assigned in completion order
+// legitimately differ between interleavings).
+inline std::map<std::string, std::vector<std::string>> Fingerprint(db::Database* db) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const db::TableSchema& ts : db->schema().tables()) {
+    if (ts.name().rfind("__edna", 0) == 0) {
+      continue;
+    }
+    auto rows = db->SelectRows(ts.name(), nullptr, {});
+    EXPECT_TRUE(rows.ok()) << ts.name() << ": " << rows.status();
+    std::vector<std::string> reps;
+    if (rows.ok()) {
+      for (const db::Row& row : *rows) {
+        std::string rep;
+        for (const Value& v : row) {
+          rep += v.ToSqlString();
+          rep += "|";
+        }
+        reps.push_back(std::move(rep));
+      }
+    }
+    std::sort(reps.begin(), reps.end());
+    out[ts.name()] = std::move(reps);
+  }
+  return out;
+}
+
+// The soak/crash task mix (mirrors core_batch_test): every user gets a
+// Scrub; every third reveals it again; every fifth (non-third) composes
+// RedactNotes on top. Per-user order is meaningful.
+inline std::vector<core::BatchTask> MixedTasks(int num_users) {
+  std::vector<core::BatchTask> tasks;
+  for (int u = 1; u <= num_users; ++u) {
+    Value uid = Value::Int(u);
+    tasks.push_back(core::BatchTask::Apply("Scrub", uid));
+    if (u % 3 == 0) {
+      tasks.push_back(core::BatchTask::Reveal("Scrub", uid));
+    } else if (u % 5 == 0) {
+      tasks.push_back(core::BatchTask::Apply("RedactNotes", uid));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace edna::server::testing
+
+#endif  // TESTS_SERVER_TEST_UTIL_H_

@@ -377,4 +377,116 @@ TEST(DisguisectlTest, ErrorsSurfaceCleanly) {
   std::remove(db.c_str());
 }
 
+// Numeric flags must reject garbage loudly (exit 2 + a message naming the
+// flag) instead of silently falling back to defaults.
+TEST(DisguisectlTest, NumericFlagsRejectGarbage) {
+  RunResult scale = RunCli("demo hotcrp --out /tmp/nf.edb --scale bogus");
+  EXPECT_EQ(scale.exit_code, 2);
+  EXPECT_NE(scale.output.find("--scale"), std::string::npos) << scale.output;
+
+  RunResult seed = RunCli("demo hotcrp --out /tmp/nf.edb --seed 12x");
+  EXPECT_EQ(seed.exit_code, 2);
+  EXPECT_NE(seed.output.find("--seed"), std::string::npos) << seed.output;
+
+  std::string db = TempDbPath("cli_numflags");
+  ASSERT_EQ(RunCli("demo lobsters --out " + db + " --scale 0.1").exit_code, 0);
+  RunResult limit = RunCli("query " + db + " --table users --limit many");
+  EXPECT_EQ(limit.exit_code, 2);
+  EXPECT_NE(limit.output.find("--limit"), std::string::npos) << limit.output;
+  std::remove(db.c_str());
+
+  RunResult shards = RunCli("serve hotcrp --data-dir /tmp/nf-dir --shards abc");
+  EXPECT_EQ(shards.exit_code, 2);
+  EXPECT_NE(shards.output.find("--shards"), std::string::npos) << shards.output;
+
+  RunResult uid = RunCli("apply --connect 127.0.0.1:1 --spec X --uid 3.5x");
+  EXPECT_EQ(uid.exit_code, 2);
+  EXPECT_NE(uid.output.find("--uid"), std::string::npos) << uid.output;
+}
+
+// EDNA_CACHE_MB follows the same contract: garbage is an error naming the
+// variable, a valid value still works.
+TEST(DisguisectlTest, CacheMbEnvRejectsGarbage) {
+  std::string dir = ::testing::TempDir() + "/cli_cache_env";
+  std::string rmrf = "rm -rf " + dir;
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+
+  RunResult bad = RunCli("demo lobsters --durable --data-dir " + dir + " --scale 0.1",
+                         "EDNA_CACHE_MB=lots");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("EDNA_CACHE_MB"), std::string::npos) << bad.output;
+
+  RunResult good = RunCli("demo lobsters --durable --data-dir " + dir + " --scale 0.1",
+                          "EDNA_CACHE_MB=8");
+  EXPECT_EQ(good.exit_code, 0) << good.output;
+
+  RunResult bad_flag = RunCli("info --data-dir " + dir + " --cache-mb huge");
+  EXPECT_EQ(bad_flag.exit_code, 2);
+  EXPECT_NE(bad_flag.output.find("--cache-mb"), std::string::npos) << bad_flag.output;
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+}
+
+// End-to-end daemon smoke over the CLI: serve in the background, drive it
+// with --connect client commands, stop it with the shutdown verb.
+TEST(DisguisectlTest, ServeAndConnectRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/cli_serve";
+  std::string rmrf = "rm -rf " + dir;
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+  std::string port_file = dir + ".port";
+  std::remove(port_file.c_str());
+
+  std::string launch = std::string(DISGUISECTL_PATH) + " serve hotcrp --data-dir " +
+                       dir + " --shards 2 --scale 0.05 --port-file " + port_file +
+                       " > " + dir + ".log 2>&1 &";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+
+  // Wait for the daemon to publish its ephemeral port.
+  std::string port;
+  for (int i = 0; i < 300 && port.empty(); ++i) {
+    FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f != nullptr) {
+      char buf[16] = {0};
+      if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        port.assign(buf);
+        while (!port.empty() && (port.back() == '\n' || port.back() == '\r')) {
+          port.pop_back();
+        }
+      }
+      std::fclose(f);
+    }
+    if (port.empty()) {
+      std::system("sleep 0.1");
+    }
+  }
+  ASSERT_FALSE(port.empty()) << "daemon never wrote " << port_file;
+  std::string at = " --connect 127.0.0.1:" + port;
+
+  RunResult ping = RunCli("ping" + at + " --echo hello");
+  EXPECT_EQ(ping.exit_code, 0) << ping.output;
+  EXPECT_NE(ping.output.find("pong: hello"), std::string::npos);
+
+  RunResult apply = RunCli("apply" + at + " --spec HotCRP-GDPR --uid 2");
+  EXPECT_EQ(apply.exit_code, 0) << apply.output;
+  EXPECT_NE(apply.output.find("applied \"HotCRP-GDPR\""), std::string::npos);
+
+  RunResult reveal = RunCli("reveal" + at + " --spec HotCRP-GDPR --uid 2");
+  EXPECT_EQ(reveal.exit_code, 0) << reveal.output;
+
+  RunResult audit = RunCli("audit" + at);
+  EXPECT_EQ(audit.exit_code, 0) << audit.output;
+  EXPECT_NE(audit.output.find("clean"), std::string::npos);
+
+  RunResult stats = RunCli("stats" + at);
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("shards"), std::string::npos);
+
+  RunResult stop = RunCli("shutdown" + at);
+  EXPECT_EQ(stop.exit_code, 0) << stop.output;
+
+  // A second shutdown can no longer connect.
+  EXPECT_NE(RunCli("ping" + at + " --echo x").exit_code, 0);
+  std::remove(port_file.c_str());
+  ASSERT_EQ(std::system(rmrf.c_str()), 0);
+}
+
 }  // namespace

@@ -58,6 +58,23 @@
 //   disguisectl checkpoint --data-dir DIR
 //       Compact a durable data directory: snapshot the database (plus the
 //       commit-journal sidecar) and truncate the WAL.
+//   disguisectl serve <hotcrp|lobsters> --data-dir DIR [--shards N]
+//                     [--threads N] [--port N] [--port-file FILE]
+//                     [--scale F] [--seed N] [--cache-mb N]
+//                     [--no-remote-shutdown]
+//       Run the disguised daemon: N durable engine shards under DIR
+//       (created and demo-populated when empty), the application's shipped
+//       specs registered on every shard, and the wire protocol of
+//       docs/FORMATS.md §6 served on 127.0.0.1. --port 0 (default) picks an
+//       ephemeral port; --port-file writes the bound port for scripts.
+//       Blocks until SIGINT/SIGTERM or a client shutdown request.
+//   disguisectl ping|stats|shutdown --connect HOST:PORT
+//   disguisectl apply --connect HOST:PORT --spec NAME [--uid N]
+//   disguisectl reveal --connect HOST:PORT --spec NAME [--uid N] [--id N]
+//   disguisectl audit --connect HOST:PORT
+//   disguisectl checkpoint --connect HOST:PORT
+//       Client mode: run one verb against a live daemon instead of a local
+//       image/data dir. --spec must name a spec the daemon has registered.
 //
 // Durable mode: demo/info/apply/batch/audit/recover also accept
 // --data-dir DIR in place of the <db.edb> positional. The directory holds a
@@ -68,6 +85,8 @@
 //
 // Shipped spec names: HotCRP-GDPR, HotCRP-GDPR+, HotCRP-ConfAnon,
 // Lobsters-GDPR. Exit code 0 on success, 1 on error, 2 on usage error.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +94,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
@@ -87,7 +107,11 @@
 #include "src/apps/lobsters/schema.h"
 #include "src/apps/lobsters/generator.h"
 #include "src/common/clock.h"
+#include "src/common/strings.h"
 #include "src/core/batch.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/shard.h"
 #include "src/core/durable_engine.h"
 #include "src/core/engine.h"
 #include "src/db/durable.h"
@@ -107,7 +131,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: disguisectl "
                "<demo|info|schema|query|specs|lint|analyze|verify|explain|apply|batch|"
-               "audit|recover|checkpoint>"
+               "audit|recover|checkpoint|serve|ping|reveal|stats|shutdown>"
                " ...\n"
                "run with a command and no arguments for per-command help; see the\n"
                "header of tools/disguisectl.cc for the full synopsis.\n");
@@ -158,14 +182,59 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Bad flag values are usage errors (exit 2), like any other malformed
+// command line.
+int FailUsage(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+// Strict numeric flag access: "--threads 4x" is an error, never a silent
+// fall-back to the default (src/common/strings.h ParseUint64 semantics).
+StatusOr<uint64_t> UintFlag(const Args& args, const std::string& name, uint64_t dflt) {
+  if (!args.Has(name)) {
+    return dflt;
+  }
+  uint64_t v = 0;
+  if (!edna::ParseUint64(args.Get(name), &v)) {
+    return edna::InvalidArgument("--" + name + ": \"" + args.Get(name) +
+                                 "\" is not an unsigned integer");
+  }
+  return v;
+}
+
+StatusOr<int64_t> IntFlag(const Args& args, const std::string& name, int64_t dflt) {
+  if (!args.Has(name)) {
+    return dflt;
+  }
+  int64_t v = 0;
+  if (!edna::ParseInt64(args.Get(name), &v)) {
+    return edna::InvalidArgument("--" + name + ": \"" + args.Get(name) +
+                                 "\" is not an integer");
+  }
+  return v;
+}
+
+StatusOr<double> DoubleFlag(const Args& args, const std::string& name, double dflt) {
+  if (!args.Has(name)) {
+    return dflt;
+  }
+  double v = 0;
+  if (!edna::ParseDouble(args.Get(name), &v)) {
+    return edna::InvalidArgument("--" + name + ": \"" + args.Get(name) +
+                                 "\" is not a number");
+  }
+  return v;
+}
+
 // Durable-mode options from the shared flags. --cache-mb N bounds resident
 // row memory via the page cache (src/db/pagecache.h); absent or 0 leaves the
 // database fully resident (EDNA_CACHE_MB can still force a budget).
-edna::db::DurableOptions DurableOptsFromArgs(const Args& args) {
+StatusOr<edna::db::DurableOptions> DurableOptsFromArgs(const Args& args) {
   edna::db::DurableOptions opts;
   if (args.Has("cache-mb")) {
-    opts.cache.max_resident_bytes =
-        std::strtoull(args.Get("cache-mb").c_str(), nullptr, 10) << 20;
+    ASSIGN_OR_RETURN(uint64_t mb, UintFlag(args, "cache-mb", 0));
+    opts.cache.max_resident_bytes = mb << 20;
   }
   return opts;
 }
@@ -221,16 +290,24 @@ int CmdDemo(const Args& args) {
                          "--out <db.edb>|--data-dir DIR [--scale F] [--seed N]\n");
     return 2;
   }
-  double scale = args.Has("scale") ? std::strtod(args.Get("scale").c_str(), nullptr) : 1.0;
-  uint64_t seed = args.Has("seed") ? std::strtoull(args.Get("seed").c_str(), nullptr, 10)
-                                   : 42;
+  auto scale = DoubleFlag(args, "scale", 1.0);
+  auto seed = UintFlag(args, "seed", 42);
+  if (!scale.ok()) {
+    return FailUsage(scale.status());
+  }
+  if (!seed.ok()) {
+    return FailUsage(seed.status());
+  }
   const std::string& app = args.positional[0];
   if (args.Has("data-dir")) {
     // Populate straight through a durable database: every insert is
     // WAL-logged, then one checkpoint compacts the load into a snapshot.
+    auto dopts = DurableOptsFromArgs(args);
+    if (!dopts.ok()) {
+      return FailUsage(dopts.status());
+    }
     edna::db::DurableOpenReport report;
-    auto dd = edna::db::DurableDatabase::Open(args.Get("data-dir"),
-                                              DurableOptsFromArgs(args), &report);
+    auto dd = edna::db::DurableDatabase::Open(args.Get("data-dir"), *dopts, &report);
     if (!dd.ok()) {
       return Fail(dd.status());
     }
@@ -239,7 +316,7 @@ int CmdDemo(const Args& args) {
                    args.Get("data-dir").c_str());
       return 1;
     }
-    Status populated = PopulateDemo(app, scale, seed, (*dd)->db());
+    Status populated = PopulateDemo(app, *scale, *seed, (*dd)->db());
     if (!populated.ok()) {
       return Fail(populated);
     }
@@ -254,7 +331,7 @@ int CmdDemo(const Args& args) {
     return 0;
   }
   edna::db::Database db;
-  Status populated = PopulateDemo(app, scale, seed, &db);
+  Status populated = PopulateDemo(app, *scale, *seed, &db);
   if (!populated.ok()) {
     return Fail(populated);
   }
@@ -276,9 +353,13 @@ int CmdInfo(const Args& args) {
   std::unique_ptr<edna::db::Database> owned;
   edna::db::Database* db = nullptr;
   if (args.Has("data-dir")) {
+    auto dopts = DurableOptsFromArgs(args);
+    if (!dopts.ok()) {
+      return FailUsage(dopts.status());
+    }
     edna::db::DurableOpenReport report;
-    auto opened = edna::db::DurableDatabase::Open(args.Get("data-dir"),
-                                                  DurableOptsFromArgs(args), &report);
+    auto opened =
+        edna::db::DurableDatabase::Open(args.Get("data-dir"), *dopts, &report);
     if (!opened.ok()) {
       return Fail(opened.status());
     }
@@ -336,9 +417,11 @@ int CmdQuery(const Args& args) {
   if (!rows.ok()) {
     return Fail(rows.status());
   }
-  size_t limit = args.Has("limit")
-                     ? std::strtoull(args.Get("limit").c_str(), nullptr, 10)
-                     : 10;
+  auto limit_or = UintFlag(args, "limit", 10);
+  if (!limit_or.ok()) {
+    return FailUsage(limit_or.status());
+  }
+  size_t limit = static_cast<size_t>(*limit_or);
   std::printf("%zu row(s) match\n", rows->size());
   for (size_t i = 0; i < rows->size() && i < limit; ++i) {
     std::printf("  %s\n", edna::db::RowToString(*(*rows)[i].row).c_str());
@@ -530,13 +613,16 @@ int CmdVerify(const Args& args) {
   edna::analysis::VerifyOptions options;
   options.coverage.identity_table = args.Get("identity");
   if (args.Has("k")) {
-    int k = std::atoi(args.Get("k").c_str());
-    if (k < 1 || k > 3) {
+    auto k = IntFlag(args, "k", 0);
+    if (!k.ok()) {
+      return FailUsage(k.status());
+    }
+    if (*k < 1 || *k > 3) {
       std::fprintf(stderr, "--k must be 1, 2, or 3 (got \"%s\")\n",
                    args.Get("k").c_str());
       return 2;
     }
-    options.lifecycle.max_k = k;
+    options.lifecycle.max_k = static_cast<int>(*k);
   }
   edna::analysis::VerifyReport report = edna::analysis::Verify(specs, schema, options);
   std::printf("%s", args.Has("json") ? report.ToJson().c_str()
@@ -568,7 +654,7 @@ StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize, bool want_spe
   options.reuse_decorrelation = optimize;
   if (args.Has("data-dir")) {
     edna::core::DurableEngineOptions dopts;
-    dopts.durable = DurableOptsFromArgs(args);
+    ASSIGN_OR_RETURN(dopts.durable, DurableOptsFromArgs(args));
     dopts.engine = options;
     edna::core::DurableEngineReport report;
     ASSIGN_OR_RETURN(setup.durable, edna::core::DurableEngine::Open(
@@ -613,11 +699,11 @@ StatusOr<EngineSetup> SetUpEngine(const Args& args, bool optimize, bool want_spe
   return setup;
 }
 
-edna::sql::ParamMap ParamsFromArgs(const Args& args) {
+StatusOr<edna::sql::ParamMap> ParamsFromArgs(const Args& args) {
   edna::sql::ParamMap params;
   if (args.Has("uid")) {
-    params.emplace(edna::disguise::kUidParam,
-                   Value::Int(std::strtoll(args.Get("uid").c_str(), nullptr, 10)));
+    ASSIGN_OR_RETURN(int64_t uid, IntFlag(args, "uid", 0));
+    params.emplace(edna::disguise::kUidParam, Value::Int(uid));
   }
   return params;
 }
@@ -632,7 +718,11 @@ int CmdExplain(const Args& args) {
   if (!setup.ok()) {
     return Fail(setup.status());
   }
-  auto report = setup->engine->Explain(setup->spec_name, ParamsFromArgs(args));
+  auto params = ParamsFromArgs(args);
+  if (!params.ok()) {
+    return FailUsage(params.status());
+  }
+  auto report = setup->engine->Explain(setup->spec_name, *params);
   if (!report.ok()) {
     return Fail(report.status());
   }
@@ -651,7 +741,11 @@ int CmdApply(const Args& args) {
   if (!setup.ok()) {
     return Fail(setup.status());
   }
-  auto applied = setup->engine->Apply(setup->spec_name, ParamsFromArgs(args));
+  auto params = ParamsFromArgs(args);
+  if (!params.ok()) {
+    return FailUsage(params.status());
+  }
+  auto applied = setup->engine->Apply(setup->spec_name, *params);
   if (!applied.ok()) {
     return Fail(applied.status());
   }
@@ -752,10 +846,16 @@ int CmdBatch(const Args& args) {
   }
 
   edna::core::BatchOptions options;
-  options.num_threads = static_cast<int>(
-      std::strtoll(args.Get("threads", "4").c_str(), nullptr, 10));
-  options.max_attempts = static_cast<int>(
-      std::strtoll(args.Get("max-attempts", "64").c_str(), nullptr, 10));
+  auto threads = IntFlag(args, "threads", 4);
+  auto attempts = IntFlag(args, "max-attempts", 64);
+  if (!threads.ok()) {
+    return FailUsage(threads.status());
+  }
+  if (!attempts.ok()) {
+    return FailUsage(attempts.status());
+  }
+  options.num_threads = static_cast<int>(*threads);
+  options.max_attempts = static_cast<int>(*attempts);
   if (options.num_threads < 1 || options.max_attempts < 1) {
     std::fprintf(stderr, "error: --threads and --max-attempts must be >= 1\n");
     return 2;
@@ -883,6 +983,251 @@ int CmdCheckpoint(const Args& args) {
   return 0;
 }
 
+// --- Disguise-as-a-service (serve + client mode) -----------------------------
+
+// Signal-driven stop: the handler only flips a flag (async-signal-safe);
+// CmdServe's wait loop does the actual Stop().
+volatile std::sig_atomic_t g_stop_requested = 0;
+void RequestServeStop(int) { g_stop_requested = 1; }
+
+// Shipped specs of one application, the set a daemon registers per shard.
+Status ShippedSpecs(const std::string& app,
+                    std::vector<edna::disguise::DisguiseSpec>* specs) {
+  if (app == "hotcrp") {
+    specs->push_back(*edna::hotcrp::GdprSpec());
+    specs->push_back(*edna::hotcrp::GdprPlusSpec());
+    specs->push_back(*edna::hotcrp::ConfAnonSpec());
+    return edna::OkStatus();
+  }
+  if (app == "lobsters") {
+    specs->push_back(*edna::lobsters::GdprSpec());
+    return edna::OkStatus();
+  }
+  return edna::InvalidArgument("unknown application \"" + app + "\"");
+}
+
+int CmdServe(const Args& args) {
+  if (args.positional.size() != 1 || !args.Has("data-dir")) {
+    std::fprintf(stderr,
+                 "usage: disguisectl serve <hotcrp|lobsters> --data-dir DIR "
+                 "[--shards N] [--threads N] [--port N] [--port-file FILE] "
+                 "[--scale F] [--seed N] [--cache-mb N] [--no-remote-shutdown]\n");
+    return 2;
+  }
+  const std::string& app = args.positional[0];
+  auto shards = UintFlag(args, "shards", 2);
+  auto threads = UintFlag(args, "threads", 2);
+  auto port = UintFlag(args, "port", 0);
+  auto scale = DoubleFlag(args, "scale", 1.0);
+  auto seed = UintFlag(args, "seed", 42);
+  for (const Status& s : {shards.status(), threads.status(), port.status(),
+                          scale.status(), seed.status()}) {
+    if (!s.ok()) {
+      return FailUsage(s);
+    }
+  }
+  if (*shards < 1 || *threads < 1 || *port > 65535) {
+    std::fprintf(stderr,
+                 "error: --shards and --threads must be >= 1, --port <= 65535\n");
+    return 2;
+  }
+  std::vector<edna::disguise::DisguiseSpec> specs;
+  Status shipped = ShippedSpecs(app, &specs);
+  if (!shipped.ok()) {
+    return FailUsage(shipped);
+  }
+
+  edna::server::ShardSetOptions sopts;
+  sopts.num_shards = static_cast<int>(*shards);
+  sopts.threads_per_shard = static_cast<int>(*threads);
+  {
+    auto dopts = DurableOptsFromArgs(args);
+    if (!dopts.ok()) {
+      return FailUsage(dopts.status());
+    }
+    sopts.durable = *dopts;
+  }
+  // Specs register after the bootstrap below — a fresh shard has no schema
+  // for them to validate against yet.
+  auto set = edna::server::ShardSet::Open(args.Get("data-dir"), sopts);
+  if (!set.ok()) {
+    return Fail(set.status());
+  }
+  for (size_t i = 0; i < (*set)->num_shards(); ++i) {
+    edna::core::DurableEngine* engine = (*set)->engine(i);
+    // A fresh shard still carries the reserved "__edna*" tables (vault, log
+    // mirror) — only application tables decide whether to bootstrap demo data.
+    size_t app_tables = 0;
+    for (const auto& table : engine->db()->schema().tables()) {
+      if (!edna::StartsWith(table.name(), "__edna")) {
+        ++app_tables;
+      }
+    }
+    if (app_tables == 0) {
+      Status populated = PopulateDemo(app, *scale, *seed, engine->db());
+      if (!populated.ok()) {
+        return Fail(populated);
+      }
+      Status compacted = engine->Checkpoint();
+      if (!compacted.ok()) {
+        return Fail(compacted);
+      }
+      std::printf("shard %zu: populated %s demo (%zu rows)\n", i, app.c_str(),
+                  engine->db()->TotalRows());
+    }
+    for (const edna::disguise::DisguiseSpec& spec : specs) {
+      Status registered = engine->engine()->RegisterSpec(spec);
+      if (!registered.ok()) {
+        return Fail(registered);
+      }
+    }
+  }
+
+  edna::server::ServerOptions server_opts;
+  server_opts.port = static_cast<uint16_t>(*port);
+  server_opts.allow_remote_shutdown = !args.Has("no-remote-shutdown");
+  edna::server::DisguisedServer server(set->get(), server_opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    return Fail(started);
+  }
+  if (args.Has("port-file")) {
+    std::ofstream out(args.Get("port-file"), std::ios::trunc);
+    out << server.port() << "\n";
+    out.flush();
+    if (!out) {
+      server.Stop();
+      return Fail(edna::Internal("cannot write --port-file " + args.Get("port-file")));
+    }
+  }
+  std::printf("disguised: serving %s on 127.0.0.1:%u (%zu shard(s), %d thread(s) each)\n",
+              app.c_str(), server.port(), (*set)->num_shards(),
+              sopts.threads_per_shard);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, RequestServeStop);
+  std::signal(SIGTERM, RequestServeStop);
+  while (g_stop_requested == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("disguised: stopped%s\n", (*set)->frozen() ? " (frozen by a simulated crash)" : "");
+  return 0;
+}
+
+// Parses --connect HOST:PORT.
+StatusOr<std::pair<std::string, uint16_t>> ParseHostPort(const std::string& s) {
+  size_t colon = s.rfind(':');
+  uint64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !edna::ParseUint64(s.substr(colon + 1), &port) || port == 0 || port > 65535) {
+    return edna::InvalidArgument("--connect expects HOST:PORT, got \"" + s + "\"");
+  }
+  return std::make_pair(s.substr(0, colon), static_cast<uint16_t>(port));
+}
+
+// Client mode: one verb against a live daemon.
+int CmdClient(const std::string& cmd, const Args& args) {
+  auto hp = ParseHostPort(args.Get("connect"));
+  if (!hp.ok()) {
+    return FailUsage(hp.status());
+  }
+  // Validate per-verb flags before dialing: garbage must fail fast with a
+  // usage error, not after burning the connect timeout.
+  Value uid = Value::Null();
+  uint64_t reveal_id = 0;
+  if (cmd == "apply" || cmd == "reveal") {
+    if (!args.Has("spec")) {
+      std::fprintf(stderr, "usage: disguisectl %s --connect HOST:PORT --spec NAME "
+                           "[--uid N]%s\n",
+                   cmd.c_str(), cmd == "reveal" ? " [--id N]" : "");
+      return 2;
+    }
+    if (args.Has("uid")) {
+      auto parsed = IntFlag(args, "uid", 0);
+      if (!parsed.ok()) {
+        return FailUsage(parsed.status());
+      }
+      uid = Value::Int(*parsed);
+    }
+    if (cmd == "reveal") {
+      auto id = UintFlag(args, "id", 0);
+      if (!id.ok()) {
+        return FailUsage(id.status());
+      }
+      reveal_id = *id;
+    }
+  }
+  auto client = edna::server::Client::Connect(hp->first, hp->second);
+  if (!client.ok()) {
+    return Fail(client.status());
+  }
+  if (cmd == "ping") {
+    auto echoed = (*client)->Ping(args.Get("echo", "hello"));
+    if (!echoed.ok()) {
+      return Fail(echoed.status());
+    }
+    std::printf("pong: %s\n", echoed->c_str());
+    return 0;
+  }
+  if (cmd == "apply" || cmd == "reveal") {
+    StatusOr<edna::server::OpReply> op =
+        cmd == "apply" ? (*client)->Apply(args.Get("spec"), uid)
+                       : (*client)->Reveal(args.Get("spec"), uid, reveal_id);
+    if (!op.ok()) {
+      return Fail(op.status());
+    }
+    std::printf("%s \"%s\"%s: disguise id %llu on shard %u "
+                "(attempts=%u queries=%llu rows_touched=%llu)\n",
+                cmd == "apply" ? "applied" : "revealed", args.Get("spec").c_str(),
+                uid.is_null() ? " globally" : (" for uid " + uid.ToSqlString()).c_str(),
+                static_cast<unsigned long long>(op->disguise_id), op->shard,
+                op->attempts, static_cast<unsigned long long>(op->queries),
+                static_cast<unsigned long long>(op->rows_touched));
+    return 0;
+  }
+  if (cmd == "audit") {
+    auto audit = (*client)->Audit();
+    if (!audit.ok()) {
+      return Fail(audit.status());
+    }
+    if (audit->violations == 0) {
+      std::printf("audit: %u shard(s) clean\n", audit->shards);
+      return 0;
+    }
+    std::printf("audit: %llu violation(s) across %u shard(s)\n%s",
+                static_cast<unsigned long long>(audit->violations), audit->shards,
+                audit->summary.c_str());
+    return 1;
+  }
+  if (cmd == "checkpoint") {
+    auto ckpt = (*client)->Checkpoint();
+    if (!ckpt.ok()) {
+      return Fail(ckpt.status());
+    }
+    std::printf("checkpointed %u shard(s)\n", ckpt->shards);
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) {
+      return Fail(stats.status());
+    }
+    std::printf("%s", stats->ToString().c_str());
+    return 0;
+  }
+  if (cmd == "shutdown") {
+    Status stopped = (*client)->Shutdown();
+    if (!stopped.ok()) {
+      return Fail(stopped);
+    }
+    std::printf("daemon stopped\n");
+    return 0;
+  }
+  std::fprintf(stderr, "command \"%s\" does not support --connect\n", cmd.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -894,7 +1239,15 @@ int main(int argc, char** argv) {
                                              "limit", "spec", "uid", "vault",
                                              "annotations", "identity", "uids-file",
                                              "threads", "max-attempts", "data-dir",
-                                             "fail-on", "k", "cache-mb"});
+                                             "fail-on", "k", "cache-mb", "connect",
+                                             "shards", "port", "port-file", "echo",
+                                             "id"});
+  if (args.Has("connect")) {
+    return CmdClient(cmd, args);
+  }
+  if (cmd == "serve") {
+    return CmdServe(args);
+  }
   if (cmd == "demo") {
     return CmdDemo(args);
   }
