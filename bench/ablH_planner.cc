@@ -131,7 +131,11 @@ int main(int argc, char** argv) {
       "Ablation H: interpreted predicates + full scans vs. the query planner\n"
       "with compiled predicates. expected shape: planned=1 drops full_scans to\n"
       "zero and rows_examined by orders of magnitude; wall time improves most\n"
-      "on the mass-deletion workload, where per-statement scan cost dominates.\n\n");
+      "on the mass-deletion workload, where per-statement scan cost dominates.\n"
+      "exec mode: %s (EDNA_EXEC_MODE flips it; planned=0 is always row mode)\n\n",
+      edna::db::Database().exec_mode() == edna::db::ExecMode::kVectorized
+          ? "vectorized"
+          : "row-at-a-time");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -315,10 +315,17 @@ StatusOr<ApplyResult> DisguiseEngine::Apply(const std::string& spec_name,
         }
         it->second.ops.push_back(std::move(op));
       }
+      // One batched store: owner shards in discovery order, global last.
+      // Vault::StoreBatch preserves Store-loop semantics record by record
+      // (fail points, nonce draws, first-failure stop) while letting
+      // encrypted backends amortize key derivation across the batch.
+      std::vector<RevealRecord> batch;
+      batch.reserve(owner_order.size() + 1);
       for (const sql::Value& owner : owner_order) {
-        RETURN_IF_ERROR(vault_->Store(shards.at(owner.ToSqlString())));
+        batch.push_back(std::move(shards.at(owner.ToSqlString())));
       }
-      return vault_->Store(global);
+      batch.push_back(std::move(global));
+      return vault_->StoreBatch(batch);
     }();
     if (!stored.ok()) {
       if (FailPoints::IsSimulatedCrash(stored)) {

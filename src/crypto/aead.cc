@@ -8,32 +8,32 @@ namespace edna::crypto {
 
 namespace {
 
-ChaChaKey EncKey(const std::vector<uint8_t>& master) {
-  std::vector<uint8_t> k = DeriveKey(master, "edna-vault-enc", kChaChaKeySize);
-  ChaChaKey out{};
-  std::memcpy(out.data(), k.data(), out.size());
-  return out;
-}
-
-std::vector<uint8_t> MacKey(const std::vector<uint8_t>& master) {
-  return DeriveKey(master, "edna-vault-mac", 32);
-}
-
+// Serializes the MAC input (nonce || aad_len || aad || ciphertext) into
+// `buf`, which is reused across entries of a batch to avoid reallocating.
 Sha256Digest ComputeMac(const std::vector<uint8_t>& mac_key, const ChaChaNonce& nonce,
-                        std::string_view aad, const std::vector<uint8_t>& ciphertext) {
-  std::vector<uint8_t> buf;
-  buf.reserve(nonce.size() + 8 + aad.size() + ciphertext.size());
-  buf.insert(buf.end(), nonce.begin(), nonce.end());
+                        std::string_view aad, const std::vector<uint8_t>& ciphertext,
+                        std::vector<uint8_t>* buf) {
+  buf->clear();
+  buf->reserve(nonce.size() + 8 + aad.size() + ciphertext.size());
+  buf->insert(buf->end(), nonce.begin(), nonce.end());
   uint64_t aad_len = aad.size();
   for (int i = 0; i < 8; ++i) {
-    buf.push_back(static_cast<uint8_t>(aad_len >> (8 * i)));
+    buf->push_back(static_cast<uint8_t>(aad_len >> (8 * i)));
   }
-  buf.insert(buf.end(), aad.begin(), aad.end());
-  buf.insert(buf.end(), ciphertext.begin(), ciphertext.end());
-  return HmacSha256(mac_key, buf);
+  buf->insert(buf->end(), aad.begin(), aad.end());
+  buf->insert(buf->end(), ciphertext.begin(), ciphertext.end());
+  return HmacSha256(mac_key, *buf);
 }
 
 }  // namespace
+
+SealKeys DeriveSealKeys(const std::vector<uint8_t>& master_key) {
+  SealKeys keys;
+  std::vector<uint8_t> ek = DeriveKey(master_key, "edna-vault-enc", kChaChaKeySize);
+  std::memcpy(keys.enc.data(), ek.data(), keys.enc.size());
+  keys.mac = DeriveKey(master_key, "edna-vault-mac", 32);
+  return keys;
+}
 
 std::vector<uint8_t> SealedBox::Serialize() const {
   std::vector<uint8_t> wire;
@@ -55,27 +55,52 @@ StatusOr<SealedBox> SealedBox::Deserialize(const std::vector<uint8_t>& wire) {
   return box;
 }
 
-SealedBox Seal(const std::vector<uint8_t>& master_key, const ChaChaNonce& nonce,
-               const std::vector<uint8_t>& plaintext, std::string_view aad) {
+SealedBox SealWith(const SealKeys& keys, const ChaChaNonce& nonce,
+                   const std::vector<uint8_t>& plaintext, std::string_view aad) {
   SealedBox box;
   box.nonce = nonce;
   box.ciphertext = plaintext;
-  ChaChaKey ek = EncKey(master_key);
-  ChaCha20Xor(ek, nonce, 1, &box.ciphertext);
-  box.mac = ComputeMac(MacKey(master_key), nonce, aad, box.ciphertext);
+  ChaCha20Xor(keys.enc, nonce, 1, &box.ciphertext);
+  std::vector<uint8_t> scratch;
+  box.mac = ComputeMac(keys.mac, nonce, aad, box.ciphertext, &scratch);
   return box;
 }
 
-StatusOr<std::vector<uint8_t>> Open(const std::vector<uint8_t>& master_key,
-                                    const SealedBox& box, std::string_view aad) {
-  Sha256Digest expect = ComputeMac(MacKey(master_key), box.nonce, aad, box.ciphertext);
+StatusOr<std::vector<uint8_t>> OpenWith(const SealKeys& keys, const SealedBox& box,
+                                        std::string_view aad) {
+  std::vector<uint8_t> scratch;
+  Sha256Digest expect = ComputeMac(keys.mac, box.nonce, aad, box.ciphertext, &scratch);
   if (!DigestEqualConstantTime(expect, box.mac)) {
     return PermissionDenied("vault entry MAC check failed (wrong key or tampered data)");
   }
   std::vector<uint8_t> plaintext = box.ciphertext;
-  ChaChaKey ek = EncKey(master_key);
-  ChaCha20Xor(ek, box.nonce, 1, &plaintext);
+  ChaCha20Xor(keys.enc, box.nonce, 1, &plaintext);
   return plaintext;
+}
+
+SealedBox Seal(const std::vector<uint8_t>& master_key, const ChaChaNonce& nonce,
+               const std::vector<uint8_t>& plaintext, std::string_view aad) {
+  return SealWith(DeriveSealKeys(master_key), nonce, plaintext, aad);
+}
+
+StatusOr<std::vector<uint8_t>> Open(const std::vector<uint8_t>& master_key,
+                                    const SealedBox& box, std::string_view aad) {
+  return OpenWith(DeriveSealKeys(master_key), box, aad);
+}
+
+std::vector<SealedBox> SealBatch(const SealKeys& keys, const std::vector<SealItem>& items) {
+  std::vector<SealedBox> out;
+  out.reserve(items.size());
+  std::vector<uint8_t> scratch;
+  for (const SealItem& item : items) {
+    SealedBox box;
+    box.nonce = item.nonce;
+    box.ciphertext = *item.plaintext;
+    ChaCha20Xor(keys.enc, item.nonce, 1, &box.ciphertext);
+    box.mac = ComputeMac(keys.mac, item.nonce, item.aad, box.ciphertext, &scratch);
+    out.push_back(std::move(box));
+  }
+  return out;
 }
 
 }  // namespace edna::crypto

@@ -25,6 +25,17 @@ struct SealedBox {
   static StatusOr<SealedBox> Deserialize(const std::vector<uint8_t>& wire);
 };
 
+// The enc/MAC subkey pair split from one master key. Deriving it costs two
+// HMAC chains; callers sealing or opening N entries under the same master key
+// derive once and use the *With forms below instead of paying the derivation
+// per entry.
+struct SealKeys {
+  ChaChaKey enc{};
+  std::vector<uint8_t> mac;
+};
+
+SealKeys DeriveSealKeys(const std::vector<uint8_t>& master_key);
+
 // Encrypts `plaintext` under `master_key` (32 bytes) with the given nonce.
 // `aad` is authenticated but not encrypted (vault entry metadata).
 SealedBox Seal(const std::vector<uint8_t>& master_key, const ChaChaNonce& nonce,
@@ -34,6 +45,25 @@ SealedBox Seal(const std::vector<uint8_t>& master_key, const ChaChaNonce& nonce,
 // tampered entry).
 StatusOr<std::vector<uint8_t>> Open(const std::vector<uint8_t>& master_key,
                                     const SealedBox& box, std::string_view aad);
+
+// Pre-derived-key forms: byte-identical to Seal/Open for the same master key.
+SealedBox SealWith(const SealKeys& keys, const ChaChaNonce& nonce,
+                   const std::vector<uint8_t>& plaintext, std::string_view aad);
+StatusOr<std::vector<uint8_t>> OpenWith(const SealKeys& keys, const SealedBox& box,
+                                        std::string_view aad);
+
+// One entry of a batched seal: plaintext/aad in, nonce chosen by the caller
+// (each entry MUST get a distinct nonce under a given key).
+struct SealItem {
+  ChaChaNonce nonce{};
+  const std::vector<uint8_t>* plaintext = nullptr;
+  std::string_view aad;
+};
+
+// Seals N entries under one key pair, deriving subkeys once and reusing the
+// MAC scratch buffer across entries. Output order matches input order, and
+// entry i is byte-identical to Seal(master, items[i].nonce, ...).
+std::vector<SealedBox> SealBatch(const SealKeys& keys, const std::vector<SealItem>& items);
 
 }  // namespace edna::crypto
 

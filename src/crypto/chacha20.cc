@@ -1,5 +1,6 @@
 #include "src/crypto/chacha20.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace edna::crypto {
@@ -31,55 +32,91 @@ void Store32Le(uint8_t* p, uint32_t v) {
   p[3] = static_cast<uint8_t>(v >> 24);
 }
 
-// One 64-byte keystream block.
-void ChaChaBlock(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
-                 uint8_t out[64]) {
-  static const uint8_t kSigma[16] = {'e', 'x', 'p', 'a', 'n', 'd', ' ', '3',
-                                     '2', '-', 'b', 'y', 't', 'e', ' ', 'k'};
-  uint32_t state[16];
-  state[0] = Load32Le(kSigma);
-  state[1] = Load32Le(kSigma + 4);
-  state[2] = Load32Le(kSigma + 8);
-  state[3] = Load32Le(kSigma + 12);
-  for (int i = 0; i < 8; ++i) {
-    state[4 + i] = Load32Le(key.data() + 4 * i);
-  }
-  state[12] = counter;
-  state[13] = Load32Le(nonce.data());
-  state[14] = Load32Le(nonce.data() + 4);
-  state[15] = Load32Le(nonce.data() + 8);
+// The (key, nonce) half of the ChaCha state, loaded once per message rather
+// than once per 64-byte block; only word 12 (the counter) varies across
+// blocks of the same message.
+struct ChaChaState {
+  uint32_t words[16];
 
-  uint32_t working[16];
-  std::memcpy(working, state, sizeof(working));
-  for (int round = 0; round < 10; ++round) {
-    QuarterRound(working, 0, 4, 8, 12);
-    QuarterRound(working, 1, 5, 9, 13);
-    QuarterRound(working, 2, 6, 10, 14);
-    QuarterRound(working, 3, 7, 11, 15);
-    QuarterRound(working, 0, 5, 10, 15);
-    QuarterRound(working, 1, 6, 11, 12);
-    QuarterRound(working, 2, 7, 8, 13);
-    QuarterRound(working, 3, 4, 9, 14);
+  ChaChaState(const ChaChaKey& key, const ChaChaNonce& nonce) {
+    static const uint8_t kSigma[16] = {'e', 'x', 'p', 'a', 'n', 'd', ' ', '3',
+                                       '2', '-', 'b', 'y', 't', 'e', ' ', 'k'};
+    words[0] = Load32Le(kSigma);
+    words[1] = Load32Le(kSigma + 4);
+    words[2] = Load32Le(kSigma + 8);
+    words[3] = Load32Le(kSigma + 12);
+    for (int i = 0; i < 8; ++i) {
+      words[4 + i] = Load32Le(key.data() + 4 * i);
+    }
+    words[12] = 0;
+    words[13] = Load32Le(nonce.data());
+    words[14] = Load32Le(nonce.data() + 4);
+    words[15] = Load32Le(nonce.data() + 8);
   }
-  for (int i = 0; i < 16; ++i) {
-    Store32Le(out + 4 * i, working[i] + state[i]);
+
+  // One 64-byte keystream block at `counter`.
+  void Block(uint32_t counter, uint8_t out[64]) {
+    words[12] = counter;
+    uint32_t working[16];
+    std::memcpy(working, words, sizeof(working));
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(working, 0, 4, 8, 12);
+      QuarterRound(working, 1, 5, 9, 13);
+      QuarterRound(working, 2, 6, 10, 14);
+      QuarterRound(working, 3, 7, 11, 15);
+      QuarterRound(working, 0, 5, 10, 15);
+      QuarterRound(working, 1, 6, 11, 12);
+      QuarterRound(working, 2, 7, 8, 13);
+      QuarterRound(working, 3, 4, 9, 14);
+    }
+    for (int i = 0; i < 16; ++i) {
+      Store32Le(out + 4 * i, working[i] + words[i]);
+    }
+  }
+};
+
+// XORs `len` bytes of `stream` into `data` word-wise: 8 bytes per op through
+// the bulk, a byte tail for the remainder. memcpy keeps it alignment-safe and
+// compiles to plain 64-bit loads/stores on every target we build for.
+void XorWords(uint8_t* data, const uint8_t* stream, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t d;
+    uint64_t s;
+    std::memcpy(&d, data + i, 8);
+    std::memcpy(&s, stream + i, 8);
+    d ^= s;
+    std::memcpy(data + i, &d, 8);
+  }
+  for (; i < len; ++i) {
+    data[i] ^= stream[i];
   }
 }
 
 }  // namespace
 
 void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
-                 std::vector<uint8_t>* data) {
-  uint8_t block[64];
+                 uint8_t* data, size_t len) {
+  ChaChaState state(key, nonce);
+  uint8_t stream[kChaChaBatchBlocks * 64];
   size_t offset = 0;
-  while (offset < data->size()) {
-    ChaChaBlock(key, nonce, counter++, block);
-    size_t take = std::min<size_t>(64, data->size() - offset);
-    for (size_t i = 0; i < take; ++i) {
-      (*data)[offset + i] ^= block[i];
+  while (offset < len) {
+    // Generate a multi-block run of keystream, then XOR it in one word-wise
+    // sweep instead of interleaving per-byte XORs with block generation.
+    size_t want = len - offset;
+    size_t blocks = std::min<size_t>(kChaChaBatchBlocks, (want + 63) / 64);
+    for (size_t b = 0; b < blocks; ++b) {
+      state.Block(counter++, stream + 64 * b);
     }
+    size_t take = std::min(want, blocks * 64);
+    XorWords(data + offset, stream, take);
     offset += take;
   }
+}
+
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 std::vector<uint8_t>* data) {
+  ChaCha20Xor(key, nonce, counter, data->data(), data->size());
 }
 
 std::vector<uint8_t> ChaCha20Keystream(const ChaChaKey& key, const ChaChaNonce& nonce,

@@ -14,6 +14,11 @@ namespace edna::crypto {
 constexpr size_t kChaChaKeySize = 32;
 constexpr size_t kChaChaNonceSize = 12;
 
+// Keystream blocks generated per inner batch: the cipher fills this many
+// 64-byte blocks into a contiguous buffer, then XORs them into the message
+// word-wise, instead of interleaving per-byte XORs with block generation.
+constexpr size_t kChaChaBatchBlocks = 16;
+
 using ChaChaKey = std::array<uint8_t, kChaChaKeySize>;
 using ChaChaNonce = std::array<uint8_t, kChaChaNonceSize>;
 
@@ -21,6 +26,10 @@ using ChaChaNonce = std::array<uint8_t, kChaChaNonceSize>;
 // `counter`. Encryption and decryption are the same operation.
 void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
                  std::vector<uint8_t>* data);
+
+// Raw-buffer form for callers that encrypt in place inside larger frames.
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce, uint32_t counter,
+                 uint8_t* data, size_t len);
 
 // Produces `len` keystream bytes (used by tests against RFC 8439 vectors).
 std::vector<uint8_t> ChaCha20Keystream(const ChaChaKey& key, const ChaChaNonce& nonce,

@@ -1,0 +1,57 @@
+#include "src/db/column_store.h"
+
+#include <algorithm>
+
+namespace edna::db {
+
+void ColumnStore::Invalidate(RowId id) { InvalidateRange(id, id); }
+
+void ColumnStore::InvalidateRange(RowId first, RowId last) {
+  if (first == kInvalidRowId || last < first || slabs_.empty()) {
+    return;
+  }
+  const size_t lo = SlabIndexOf(first);
+  const size_t hi = std::min(SlabIndexOf(last), slabs_.size() - 1);
+  for (size_t i = lo; i <= hi && i < slabs_.size(); ++i) {
+    if (slabs_[i] != nullptr && slabs_[i]->valid) {
+      slabs_[i]->valid = false;
+      slabs_[i]->slab = ColumnSlab{};  // release column memory now
+    }
+  }
+}
+
+void ColumnStore::InvalidateAll() {
+  for (auto& entry : slabs_) {
+    if (entry != nullptr && entry->valid) {
+      entry->valid = false;
+      entry->slab = ColumnSlab{};
+    }
+  }
+}
+
+const ColumnSlab* ColumnStore::Acquire(size_t index,
+                                       const std::function<Status(ColumnSlab*)>& build,
+                                       Status* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= slabs_.size()) {
+    slabs_.resize(index + 1);
+  }
+  if (slabs_[index] == nullptr) {
+    slabs_[index] = std::make_unique<Entry>();
+  }
+  Entry& entry = *slabs_[index];
+  if (!entry.valid) {
+    entry.slab = ColumnSlab{};
+    Status built = build(&entry.slab);
+    if (!built.ok()) {
+      entry.slab = ColumnSlab{};
+      *error = built;
+      return nullptr;
+    }
+    entry.valid = true;
+    ++rebuilds_;
+  }
+  return &entry.slab;
+}
+
+}  // namespace edna::db

@@ -1,0 +1,104 @@
+// Column-major sidecar for vectorized scans (DESIGN.md, "Vectorized
+// execution").
+//
+// Row storage (src/db/table.h) keeps rows in a RowId-ordered map — ideal for
+// point access and undo logging, hostile to the disguise engine's scan-heavy
+// residual filters, which touch every row of a table to evaluate one
+// predicate. The sidecar slices each table into slabs of sql::kChunkLanes
+// (1024) row slots, lane = (RowId - 1) % kChunkLanes, and stores each slab
+// transposed: one contiguous Value vector per column plus a `present` lane
+// bitmap (live rows) and per-column null bitmaps. A slab feeds the batched
+// evaluator (sql::CompiledPredicate::MatchChunk) directly as a columnar
+// RowChunk with `present` as the active-lane mask.
+//
+// Slabs are copies, built lazily on first scan and invalidated — not
+// updated — by every row mutation of their RowId range, so the sidecar is
+// trivially coherent with write intents and transaction rollback: rollback
+// replays ordinary mutations (InsertWithId / Erase / UpdateColumn /
+// UpdateRow), each of which invalidates the affected slab. Page-cache
+// eviction likewise invalidates (Table::DropPageRows), releasing the slab's
+// memory along with the evicted payloads; a rebuild faults the covered
+// pages back in first. Slabs are in-memory only and never serialized — the
+// image format (docs/FORMATS.md) is unchanged.
+//
+// Concurrency: invalidation only happens under the table's exclusive stripe
+// lock (all mutators; eviction holds the stripe exclusively), while Acquire
+// runs under at least a shared stripe lock with an internal mutex
+// serializing concurrent rebuilds of the same slab. A built slab is
+// immutable until the next exclusive-lock invalidation, so readers may use
+// the returned pointer for the remainder of their statement without holding
+// the mutex.
+#ifndef SRC_DB_COLUMN_STORE_H_
+#define SRC_DB_COLUMN_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/row.h"
+#include "src/sql/compile.h"
+#include "src/sql/value.h"
+
+namespace edna::db {
+
+// One transposed slab of sql::kChunkLanes row slots.
+struct ColumnSlab {
+  RowId first_row = 0;  // RowId of lane 0
+  // Highest present lane + 1; column vectors are sized to this, so a sparse
+  // tail slab does not allocate kChunkLanes Values per column.
+  size_t lanes = 0;
+  size_t live_rows = 0;  // popcount(present)
+  // columns[col][lane]; lanes with no live row hold Null and are masked off
+  // by `present` (the batched evaluator never reads them).
+  std::vector<std::vector<sql::Value>> columns;
+  std::array<uint64_t, sql::kChunkWords> present{};
+  // Per-column null bitmaps (bit set: live row, value IS NULL). Redundant
+  // with Value::is_null on the stored Values; kept so future operators can
+  // skip null-free columns without touching the Values at all.
+  std::vector<std::array<uint64_t, sql::kChunkWords>> nulls;
+};
+
+class ColumnStore {
+ public:
+  static size_t SlabIndexOf(RowId id) {
+    return static_cast<size_t>((id - 1) / sql::kChunkLanes);
+  }
+  static size_t LaneOf(RowId id) {
+    return static_cast<size_t>((id - 1) % sql::kChunkLanes);
+  }
+
+  // Invalidation hooks (caller holds the table's exclusive stripe lock).
+  // Invalidated slabs release their memory immediately.
+  void Invalidate(RowId id);
+  void InvalidateRange(RowId first, RowId last);
+  void InvalidateAll();
+
+  // Returns the slab at `index`, rebuilding it via `build` when stale.
+  // Thread-safe under shared table locks. On build failure returns nullptr
+  // with the error in *error (the slab stays invalid).
+  const ColumnSlab* Acquire(size_t index, const std::function<Status(ColumnSlab*)>& build,
+                            Status* error);
+
+  // Monotone rebuild counter (coherence tests: a second scan of an
+  // unmodified table must not rebuild).
+  uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  // unique_ptr entries keep slab addresses stable while slabs_ grows.
+  struct Entry {
+    bool valid = false;
+    ColumnSlab slab;
+  };
+
+  mutable std::mutex mu_;  // serializes concurrent Acquire rebuilds
+  std::vector<std::unique_ptr<Entry>> slabs_;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace edna::db
+
+#endif  // SRC_DB_COLUMN_STORE_H_

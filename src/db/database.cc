@@ -1,6 +1,8 @@
 #include "src/db/database.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "src/common/failpoint.h"
@@ -18,6 +20,20 @@ namespace {
 thread_local uint64_t tls_statements = 0;
 
 }  // namespace
+
+Database::Database() {
+  if (const char* env = std::getenv("EDNA_EXEC_MODE"); env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "vectorized") == 0) {
+      exec_mode_.store(ExecMode::kVectorized, std::memory_order_relaxed);
+    } else if (std::strcmp(env, "row-at-a-time") == 0 || std::strcmp(env, "row") == 0) {
+      exec_mode_.store(ExecMode::kRowAtATime, std::memory_order_relaxed);
+    } else {
+      EDNA_LOG(kWarning) << "EDNA_EXEC_MODE=\"" << env
+                         << "\" is not \"vectorized\" or \"row-at-a-time\"; "
+                            "keeping row-at-a-time";
+    }
+  }
+}
 
 sql::ColumnResolver MakeRowResolver(const TableSchema& schema, const Row& row) {
   return [&schema, &row](const std::string& table,
@@ -710,7 +726,10 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
     return candidates;
   }
 
-  // Access path: seed candidates from the plan's probes.
+  // Access path: seed candidates from the plan's probes. Vectorized
+  // full scans skip materializing AllRowIds — they read the column sidecar's
+  // slabs in place instead of walking a candidate list.
+  const bool vectorized = exec_mode() == ExecMode::kVectorized;
   std::vector<RowId> candidates;
   bool scanned = false;
   switch (plan->access) {
@@ -740,8 +759,10 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
         }
       }
       if (!seeded) {
-        candidates = table.AllRowIds();
         scanned = true;
+        if (!vectorized || plan->exact) {
+          candidates = table.AllRowIds();
+        }
       }
       break;
     }
@@ -762,15 +783,20 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
         candidates.erase(std::unique(candidates.begin(), candidates.end()),
                          candidates.end());
       } else {
-        candidates = table.AllRowIds();
+        candidates.clear();
         scanned = true;
+        if (!vectorized || plan->exact) {
+          candidates = table.AllRowIds();
+        }
       }
       break;
     }
     case TablePlan::Access::kFullScan:
     default:
-      candidates = table.AllRowIds();
       scanned = true;
+      if (!vectorized || plan->exact) {
+        candidates = table.AllRowIds();
+      }
       break;
   }
   if (scanned) {
@@ -794,6 +820,12 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
 
   // Residual filter: the FULL compiled predicate over every candidate.
   sql::BoundParams bound = plan->residual->BindParams(params);
+  if (vectorized) {
+    if (scanned) {
+      return FilterScanVectorized(table, *plan->residual, bound);
+    }
+    return FilterCandidatesVectorized(table, candidates, *plan->residual, bound);
+  }
   sql::EvalScratch scratch;
   std::vector<RowId> out;
   for (RowId id : candidates) {
@@ -811,6 +843,123 @@ StatusOr<std::vector<RowId>> Database::MatchRows(const Table& table, const sql::
   }
   // With a pager, a nullptr Find above may be a fault failure, not a gone
   // row; surface it instead of silently dropping candidates.
+  RETURN_IF_ERROR(StickyCacheError());
+  return out;
+}
+
+namespace {
+
+// Shared by both vectorized filters: fold one MatchChunk run into the vector
+// counters and collect the matching lanes.
+struct VectorRunTotals {
+  uint64_t lanes = 0;
+  uint64_t matches = 0;
+};
+
+void AccountChunk(const sql::ChunkScratch& scratch, DbStats* stats,
+                  VectorRunTotals* totals) {
+  ++stats->chunks_scanned;
+  stats->vector_ops += scratch.insns_executed;
+  stats->vector_lanes += scratch.lanes_evaluated;
+  stats->rows_read += scratch.lanes_evaluated;
+  stats->rows_examined += scratch.lanes_evaluated;
+  totals->lanes += scratch.lanes_evaluated;
+  totals->matches += scratch.match_count;
+}
+
+void SettleDensity(const VectorRunTotals& totals, DbStats* stats) {
+  if (totals.lanes > 0) {
+    stats->selection_density_bp.store(totals.matches * 10000 / totals.lanes,
+                                      std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<RowId>> Database::FilterScanVectorized(
+    const Table& table, const sql::CompiledPredicate& residual,
+    const sql::BoundParams& bound) const {
+  static thread_local sql::ChunkScratch scratch;
+  const size_t width = table.schema().num_columns();
+  std::vector<const sql::Value*> col_ptrs(width);
+  std::vector<RowId> out;
+  VectorRunTotals totals;
+  const size_t num_slabs = table.NumColumnSlabs();
+  for (size_t s = 0; s < num_slabs; ++s) {
+    ASSIGN_OR_RETURN(const ColumnSlab* slab, table.GetColumnSlab(s));
+    if (slab->live_rows == 0) {
+      continue;
+    }
+    for (size_t c = 0; c < width; ++c) {
+      col_ptrs[c] = slab->columns[c].data();
+    }
+    sql::RowChunk chunk;
+    chunk.lanes = slab->lanes;
+    chunk.row_width = width;
+    chunk.columns = col_ptrs.data();
+    chunk.active = slab->present.data();
+    Status matched = residual.MatchChunk(chunk, bound, &scratch);
+    AccountChunk(scratch, &stats_, &totals);
+    RETURN_IF_ERROR(matched);
+    for (size_t w = 0; w * 64 < slab->lanes; ++w) {
+      uint64_t bits = scratch.match_bits[w];
+      while (bits != 0) {
+        const int lane = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        out.push_back(slab->first_row + static_cast<RowId>(w * 64 + lane));
+      }
+    }
+  }
+  SettleDensity(totals, &stats_);
+  return out;
+}
+
+StatusOr<std::vector<RowId>> Database::FilterCandidatesVectorized(
+    const Table& table, const std::vector<RowId>& candidates,
+    const sql::CompiledPredicate& residual, const sql::BoundParams& bound) const {
+  static thread_local sql::ChunkScratch scratch;
+  const size_t width = table.schema().num_columns();
+  std::vector<const sql::Value*> row_ptrs;
+  std::vector<RowId> lane_ids;
+  row_ptrs.reserve(std::min<size_t>(candidates.size(), sql::kChunkLanes));
+  lane_ids.reserve(row_ptrs.capacity());
+  std::vector<RowId> out;
+  VectorRunTotals totals;
+  size_t i = 0;
+  while (i < candidates.size()) {
+    // Gather up to one chunk of resident rows. Row pointers stay valid for
+    // the whole statement: eviction only runs at statement boundaries, and
+    // map nodes are stable.
+    row_ptrs.clear();
+    lane_ids.clear();
+    for (; i < candidates.size() && row_ptrs.size() < sql::kChunkLanes; ++i) {
+      const Row* row = table.Find(candidates[i]);
+      if (row == nullptr) {
+        continue;  // gone (or faulted — the sticky check below surfaces it)
+      }
+      row_ptrs.push_back(row->data());
+      lane_ids.push_back(candidates[i]);
+    }
+    if (row_ptrs.empty()) {
+      continue;
+    }
+    sql::RowChunk chunk;
+    chunk.lanes = row_ptrs.size();
+    chunk.row_width = width;
+    chunk.rows = row_ptrs.data();
+    Status matched = residual.MatchChunk(chunk, bound, &scratch);
+    AccountChunk(scratch, &stats_, &totals);
+    RETURN_IF_ERROR(matched);
+    for (size_t w = 0; w * 64 < chunk.lanes; ++w) {
+      uint64_t bits = scratch.match_bits[w];
+      while (bits != 0) {
+        const int lane = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        out.push_back(lane_ids[w * 64 + static_cast<size_t>(lane)]);
+      }
+    }
+  }
+  SettleDensity(totals, &stats_);
   RETURN_IF_ERROR(StickyCacheError());
   return out;
 }

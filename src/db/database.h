@@ -83,6 +83,16 @@ struct DbStats {
   std::atomic<uint64_t> page_evictions{0};
   std::atomic<uint64_t> page_writebacks{0};
   std::atomic<uint64_t> resident_bytes{0};
+  // Vectorized execution (ExecMode::kVectorized). chunks_scanned counts
+  // chunk dispatches into the batched evaluator, vector_ops its instruction
+  // dispatches with a non-empty selection, vector_lanes the lanes evaluated.
+  // selection_density_bp is a gauge, not a counter: matching lanes per
+  // evaluated lane of the most recent vectorized statement, in basis points
+  // (10000 = every lane matched).
+  std::atomic<uint64_t> chunks_scanned{0};
+  std::atomic<uint64_t> vector_ops{0};
+  std::atomic<uint64_t> vector_lanes{0};
+  std::atomic<uint64_t> selection_density_bp{0};
 
   DbStats() = default;
   DbStats(const DbStats& o) { *this = o; }
@@ -106,6 +116,10 @@ struct DbStats {
     page_evictions = o.page_evictions.load(std::memory_order_relaxed);
     page_writebacks = o.page_writebacks.load(std::memory_order_relaxed);
     resident_bytes = o.resident_bytes.load(std::memory_order_relaxed);
+    chunks_scanned = o.chunks_scanned.load(std::memory_order_relaxed);
+    vector_ops = o.vector_ops.load(std::memory_order_relaxed);
+    vector_lanes = o.vector_lanes.load(std::memory_order_relaxed);
+    selection_density_bp = o.selection_density_bp.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -120,6 +134,20 @@ struct DbStats {
 enum class PlannerMode {
   kPlanned,
   kInterpreted,
+};
+
+// How the planned path evaluates residual predicates over candidate rows.
+// kRowAtATime runs the compiled program row by row; kVectorized runs it one
+// INSTRUCTION across chunks of up to sql::kChunkLanes rows — full scans read
+// the tables' column-major sidecar slabs (src/db/column_store.h) in place
+// with the slab's present bitmap as the active-lane mask, probe candidates
+// are gathered into row-pointer chunks. Both modes execute the same compiled
+// program and are fingerprint-identical (tests/db_planner_test.cc,
+// tests/core_planner_test.cc pin this). Orthogonal to PlannerMode: the
+// kInterpreted ablation baseline is always row-at-a-time.
+enum class ExecMode {
+  kRowAtATime,
+  kVectorized,
 };
 
 // One column assignment in an UPDATE: column <- expression (evaluated per
@@ -163,7 +191,11 @@ class WalSink {
 
 class Database {
  public:
-  Database() = default;
+  // Reads the EDNA_EXEC_MODE environment variable ("vectorized" /
+  // "row-at-a-time") for the starting ExecMode, so CI can run the whole
+  // suite vectorized without touching call sites. Unknown values log a
+  // warning and keep the default (a constructor has no status channel).
+  Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -326,6 +358,11 @@ class Database {
     return planner_mode_.load(std::memory_order_relaxed);
   }
 
+  // Execution mode knob (see ExecMode); same flip-between-statements
+  // contract as SetPlannerMode.
+  void SetExecMode(ExecMode mode) { exec_mode_.store(mode, std::memory_order_relaxed); }
+  ExecMode exec_mode() const { return exec_mode_.load(std::memory_order_relaxed); }
+
   // EXPLAIN surface: the plan description MatchRows would use for `pred`
   // on `table` ("probe(eq(contactId = $UID))", "scan(papers)", ...).
   StatusOr<std::string> DescribePlan(const std::string& table, const sql::Expr& pred) const;
@@ -446,6 +483,18 @@ class Database {
   StatusOr<std::vector<RowId>> MatchRowsInterpreted(const Table& table, const sql::Expr* pred,
                                                     const sql::ParamMap& params) const;
 
+  // Vectorized residual filters (ExecMode::kVectorized). The scan form reads
+  // the table's column slabs in place; the gather form batches probe
+  // candidates into row-pointer chunks. Both surface the same first-in-RowId-
+  // order error the row-at-a-time loop would (MatchChunk reports the lowest
+  // errored lane; chunks run in ascending RowId order).
+  StatusOr<std::vector<RowId>> FilterScanVectorized(const Table& table,
+                                                    const sql::CompiledPredicate& residual,
+                                                    const sql::BoundParams& bound) const;
+  StatusOr<std::vector<RowId>> FilterCandidatesVectorized(
+      const Table& table, const std::vector<RowId>& candidates,
+      const sql::CompiledPredicate& residual, const sql::BoundParams& bound) const;
+
   // Drops every cached plan. Call from DDL while holding catalog_mu_
   // exclusively (no statement can then be mid-MatchRows).
   void InvalidatePlans() const {
@@ -551,6 +600,7 @@ class Database {
   mutable std::unordered_map<std::string, std::shared_ptr<const TablePlan>> plan_cache_;
 
   std::atomic<PlannerMode> planner_mode_{PlannerMode::kPlanned};
+  std::atomic<ExecMode> exec_mode_{ExecMode::kRowAtATime};
 
   WriteGuard write_guard_;
   WalSink* wal_sink_ = nullptr;

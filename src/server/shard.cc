@@ -280,6 +280,16 @@ std::vector<std::pair<std::string, uint64_t>> ShardSet::Stats() const {
     total.page_evictions += snapshot.page_evictions.load(std::memory_order_relaxed);
     total.page_writebacks += snapshot.page_writebacks.load(std::memory_order_relaxed);
     total.resident_bytes += snapshot.resident_bytes.load(std::memory_order_relaxed);
+    total.chunks_scanned += snapshot.chunks_scanned.load(std::memory_order_relaxed);
+    total.vector_ops += snapshot.vector_ops.load(std::memory_order_relaxed);
+    total.vector_lanes += snapshot.vector_lanes.load(std::memory_order_relaxed);
+    // Density is a gauge; summing across shards would be meaningless, so the
+    // aggregate reports the max (the busiest shard's most recent statement).
+    const uint64_t density =
+        snapshot.selection_density_bp.load(std::memory_order_relaxed);
+    if (density > total.selection_density_bp.load(std::memory_order_relaxed)) {
+      total.selection_density_bp.store(density, std::memory_order_relaxed);
+    }
     rows += shard.engine->db()->TotalRows();
     active_disguises += shard.engine->engine()->log().size();
   }
@@ -313,6 +323,10 @@ std::vector<std::pair<std::string, uint64_t>> ShardSet::Stats() const {
       {"db_page_evictions", load(total.page_evictions)},
       {"db_page_writebacks", load(total.page_writebacks)},
       {"db_resident_bytes", load(total.resident_bytes)},
+      {"db_chunks_scanned", load(total.chunks_scanned)},
+      {"db_vector_ops", load(total.vector_ops)},
+      {"db_vector_lanes", load(total.vector_lanes)},
+      {"db_selection_density_bp", load(total.selection_density_bp)},
   };
 }
 

@@ -19,9 +19,11 @@
 #ifndef SRC_SQL_COMPILE_H_
 #define SRC_SQL_COMPILE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -30,6 +32,13 @@
 #include "src/sql/value.h"
 
 namespace edna::sql {
+
+// Lane count of one evaluation chunk: compiled programs can run one
+// instruction across up to this many rows at a time (EvalChunk/MatchChunk
+// below), and the columnar sidecar in src/db slices tables into slabs of
+// this many row slots.
+constexpr size_t kChunkLanes = 1024;
+constexpr size_t kChunkWords = kChunkLanes / 64;
 
 // Resolves an (optionally table-qualified) column reference to its ordinal
 // in the row layout the program will run against. A non-OK status is
@@ -55,6 +64,49 @@ class BoundParams {
 // One per evaluating thread; pass the same instance across rows.
 struct EvalScratch {
   std::vector<Value> regs;
+};
+
+// One chunk of rows for batched evaluation, in either of two layouts:
+//   - row-pointer form (`rows`): rows[lane] points at `row_width` positional
+//     Values — how probe candidates are gathered out of row storage;
+//   - columnar form (`columns`): columns[ord] points at `lanes` Values of
+//     one column — how the sidecar's column slabs are scanned in place.
+// `active`, when set, is a lane bitmap restricting evaluation to set lanes
+// (a slab's present bitmap: slots whose row exists). Inactive lanes are
+// never read, never evaluated, and never match.
+struct RowChunk {
+  size_t lanes = 0;
+  size_t row_width = 0;
+  const Value* const* rows = nullptr;
+  const Value* const* columns = nullptr;
+  const uint64_t* active = nullptr;
+
+  const Value& At(size_t lane, size_t col) const {
+    return rows != nullptr ? rows[lane][col] : columns[col][lane];
+  }
+};
+
+// Reusable per-thread state for chunked evaluation: the vectorized register
+// file (truth-class registers as value/null bitmaps, everything else as a
+// Value vector per register), the selection vectors, and the outputs of the
+// last MatchChunk call. Steady state allocates nothing.
+struct ChunkScratch {
+  struct TruthBits {
+    std::vector<uint64_t> truth;  // lane bit: value is TRUE
+    std::vector<uint64_t> null;   // lane bit: value is UNKNOWN/Null
+  };
+  std::vector<std::vector<Value>> vals;  // value-class register lanes
+  std::vector<TruthBits> bits;           // truth-class register lanes
+  std::vector<uint32_t> sel;             // lanes executing the current insn
+  std::vector<std::vector<uint32_t>> pending;  // lanes parked at a jump target
+  std::vector<std::pair<uint32_t, Status>> lane_errors;
+
+  // MatchChunk outputs: matching lanes, lanes evaluated, instruction
+  // dispatches with a non-empty selection (feeds the db vector counters).
+  std::array<uint64_t, kChunkWords> match_bits{};
+  uint64_t lanes_evaluated = 0;
+  uint64_t match_count = 0;
+  uint64_t insns_executed = 0;
 };
 
 class CompiledPredicate {
@@ -124,6 +176,33 @@ class CompiledPredicate {
   StatusOr<bool> Matches(const Value* row, size_t row_width, const BoundParams& params,
                          EvalScratch* scratch) const;
 
+  // Batched evaluation: runs the program one INSTRUCTION across the whole
+  // chunk instead of one ROW through the whole program. Short-circuit jumps
+  // become selection-vector splits (jumping lanes park at the forward
+  // target; all jumps Compile() emits are forward), Kleene AND/OR combine
+  // truth bitmaps word-wise when every lane is live, and per-lane semantics
+  // — including evaluation order within a lane and every error message —
+  // match EvalRow exactly. A lane that raises is retired with its error;
+  // because row-at-a-time evaluation surfaces the first row's error, the
+  // lowest errored lane's status is the chunk's status.
+  //
+  // On OK, scratch->match_bits holds the lanes where the predicate is TRUE
+  // (NULL/FALSE filter out, as in Matches). On error, match bits are
+  // meaningless. scratch->lanes_evaluated / match_count / insns_executed
+  // describe the run either way.
+  Status MatchChunk(const RowChunk& chunk, const BoundParams& params,
+                    ChunkScratch* scratch) const;
+
+  // Differential-oracle form: per-lane value-or-error, element i holding
+  // exactly what EvalRow would return for row i. Lanes masked off by
+  // chunk.active are left as OK/Null.
+  void EvalChunk(const RowChunk& chunk, const BoundParams& params, ChunkScratch* scratch,
+                 std::vector<StatusOr<Value>>* out) const;
+
+  // Sorted, de-duplicated column ordinals the program reads (kColumn), so
+  // planners can materialize only the referenced columns of a chunk.
+  std::vector<size_t> ReferencedColumns() const;
+
   size_t num_instructions() const { return code_.size(); }
   size_t num_registers() const { return num_regs_; }
   const std::vector<std::string>& param_names() const { return param_names_; }
@@ -143,10 +222,17 @@ class CompiledPredicate {
 
   CompiledPredicate() = default;
 
+  // Marks registers whose every writer is a truth-encoding op (kTruth,
+  // kAndCombine, kOrCombine): those live as bitmaps in ChunkScratch.
+  void ClassifyRegisters();
+  void RunChunk(const RowChunk& chunk, const BoundParams& params,
+                ChunkScratch* scratch) const;
+
   std::vector<Insn> code_;
   size_t num_regs_ = 0;
   int result_reg_ = -1;
   std::vector<std::string> param_names_;  // slot -> name
+  std::vector<uint8_t> truth_class_;      // reg -> lives as truth bitmaps
 };
 
 }  // namespace edna::sql

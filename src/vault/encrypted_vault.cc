@@ -68,11 +68,47 @@ Status EncryptedVault::Store(const RevealRecord& record) {
   return OkStatus();
 }
 
+Status EncryptedVault::StoreBatch(const std::vector<RevealRecord>& records) {
+  if (!batched_crypto_) {
+    return Vault::StoreBatch(records);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seal keys derived once per distinct owner key across the batch. Keyed by
+  // the raw key bytes (not the owner) so a KeyProvider that rotates keys
+  // mid-batch can never pair a record with stale subkeys.
+  std::map<std::vector<uint8_t>, crypto::SealKeys> derived;
+  for (const RevealRecord& record : records) {
+    // Same per-record sequence as Store: fail point, key resolution, nonce
+    // draw, seal — so crash batteries and deterministic-rng fingerprints see
+    // an identical schedule, and output bytes match a Store loop exactly.
+    EDNA_FAIL_POINT(failpoints::kVaultStore);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(record.user_id));
+    auto [it, inserted] = derived.try_emplace(key);
+    if (inserted) {
+      it->second = crypto::DeriveSealKeys(key);
+    }
+    Entry e;
+    e.disguise_id = record.disguise_id;
+    e.user_id = record.user_id;
+    e.created = record.created;
+    crypto::ChaChaNonce nonce{};
+    std::vector<uint8_t> nbytes = rng_.NextBytes(nonce.size());
+    std::copy(nbytes.begin(), nbytes.end(), nonce.begin());
+    std::string aad = RenderOwner(e.user_id) + "#" + std::to_string(e.disguise_id);
+    e.box = crypto::SealWith(it->second, nonce, record.Serialize(), aad);
+    ++stats_.crypto_ops;
+    ++stats_.stores;
+    stats_.bytes_stored += e.box.ciphertext.size() + e.box.nonce.size() + e.box.mac.size();
+    entries_.push_back(std::move(e));
+  }
+  return OkStatus();
+}
+
 StatusOr<RevealRecord> EncryptedVault::OpenEntry(const Entry& e,
-                                                 const std::vector<uint8_t>& key) {
+                                                 const crypto::SealKeys& keys) {
   std::string aad = RenderOwner(e.user_id) + "#" + std::to_string(e.disguise_id);
   ++stats_.crypto_ops;
-  ASSIGN_OR_RETURN(std::vector<uint8_t> plain, crypto::Open(key, e.box, aad));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> plain, crypto::OpenWith(keys, e.box, aad));
   return RevealRecord::Deserialize(plain);
 }
 
@@ -82,15 +118,20 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForUser(const sql::Valu
   std::vector<RevealRecord> out;
   bool any = false;
   std::vector<uint8_t> key;
+  crypto::SealKeys keys;
   for (const Entry& e : entries_) {
     if (e.user_id.is_null() || uid.is_null() || !e.user_id.SqlEquals(uid)) {
       continue;
     }
     if (!any) {
       ASSIGN_OR_RETURN(key, KeyFor(uid));  // one approval per fetch, not per record
+      if (batched_crypto_) {
+        keys = crypto::DeriveSealKeys(key);  // ...and one subkey split per fetch
+      }
       any = true;
     }
-    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, key));
+    ASSIGN_OR_RETURN(RevealRecord rec,
+                     OpenEntry(e, batched_crypto_ ? keys : crypto::DeriveSealKeys(key)));
     out.push_back(std::move(rec));
     ++stats_.records_fetched;
   }
@@ -101,13 +142,23 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchForDisguise(uint64_t di
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   std::vector<RevealRecord> out;
+  std::map<std::vector<uint8_t>, crypto::SealKeys> derived;
   for (const Entry& e : entries_) {
     if (e.disguise_id != disguise_id) {
       continue;
     }
     ASSIGN_OR_RETURN(std::vector<uint8_t> key, KeyFor(e.user_id));
-    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, key));
-    out.push_back(std::move(rec));
+    if (batched_crypto_) {
+      auto [it, inserted] = derived.try_emplace(key);
+      if (inserted) {
+        it->second = crypto::DeriveSealKeys(key);
+      }
+      ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, it->second));
+      out.push_back(std::move(rec));
+    } else {
+      ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, crypto::DeriveSealKeys(key)));
+      out.push_back(std::move(rec));
+    }
     ++stats_.records_fetched;
   }
   return out;
@@ -117,11 +168,19 @@ StatusOr<std::vector<RevealRecord>> EncryptedVault::FetchGlobal() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   std::vector<RevealRecord> out;
+  bool have_keys = false;
+  crypto::SealKeys app_keys;
   for (const Entry& e : entries_) {
     if (!e.user_id.is_null()) {
       continue;
     }
-    ASSIGN_OR_RETURN(RevealRecord rec, OpenEntry(e, app_key_));
+    if (batched_crypto_ && !have_keys) {
+      app_keys = crypto::DeriveSealKeys(app_key_);
+      have_keys = true;
+    }
+    ASSIGN_OR_RETURN(
+        RevealRecord rec,
+        OpenEntry(e, batched_crypto_ ? app_keys : crypto::DeriveSealKeys(app_key_)));
     out.push_back(std::move(rec));
     ++stats_.records_fetched;
   }

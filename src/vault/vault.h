@@ -50,6 +50,19 @@ class Vault {
   // Persists one reveal record.
   virtual Status Store(const RevealRecord& record) = 0;
 
+  // Persists N reveal records in order, stopping at the first failure
+  // (records before the failure remain stored, matching a Store loop).
+  // Backends override this to amortize per-record costs — the encrypted
+  // vault derives its seal keys once per owner instead of once per record —
+  // but every override must keep the loop's observable behavior: same
+  // record order, same per-record fail-point hits, same nonce draw order.
+  virtual Status StoreBatch(const std::vector<RevealRecord>& records) {
+    for (const RevealRecord& record : records) {
+      RETURN_IF_ERROR(Store(record));
+    }
+    return OkStatus();
+  }
+
   // All records owned by `uid` (per-user disguises), oldest first.
   virtual StatusOr<std::vector<RevealRecord>> FetchForUser(const sql::Value& uid) = 0;
 

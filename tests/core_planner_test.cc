@@ -160,6 +160,48 @@ TEST_F(HotCrpPlannerTest, PlannedAndInterpretedAgreeOnComposition) {
   EXPECT_EQ(Fingerprint(&db_), Fingerprint(&other));
 }
 
+// Same contract for the execution mode: ExecMode::kVectorized (chunked
+// residual evaluation over the column sidecar) must land on a bit-identical
+// database for the full composition workload.
+TEST_F(HotCrpPlannerTest, VectorizedAgreesOnComposition) {
+  db::Database other;
+  {
+    hotcrp::Config config;
+    config.num_users = 60;
+    config.num_pc = 8;
+    config.num_papers = 40;
+    config.num_reviews = 120;
+    auto generated = hotcrp::Populate(&other, config);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+  }
+  auto other_vault = vault::TableVault::Create(&other);
+  ASSERT_TRUE(other_vault.ok());
+  SimulatedClock other_clock{0};
+  EngineOptions options;
+  options.deterministic_rng = true;
+  options.rng_seed = 0xab1e;
+  DisguiseEngine other_engine(&other, other_vault->get(), &other_clock, options);
+  ASSERT_TRUE(other_engine.RegisterSpec(*hotcrp::GdprPlusSpec()).ok());
+  ASSERT_TRUE(other_engine.RegisterSpec(*hotcrp::ConfAnonSpec()).ok());
+  other.SetExecMode(db::ExecMode::kVectorized);
+
+  engine_ = std::make_unique<DisguiseEngine>(&db_, vault_.get(), &clock_, options);
+  ASSERT_TRUE(engine_->RegisterSpec(*hotcrp::GdprPlusSpec()).ok());
+  ASSERT_TRUE(engine_->RegisterSpec(*hotcrp::ConfAnonSpec()).ok());
+
+  for (DisguiseEngine* e : {engine_.get(), &other_engine}) {
+    ASSERT_TRUE(e->Apply(hotcrp::kConfAnonName, {}).ok());
+    for (size_t i = 0; i < 4 && i < gen_.pc_contact_ids.size(); ++i) {
+      auto applied =
+          e->ApplyForUser(hotcrp::kGdprPlusName, Value::Int(gen_.pc_contact_ids[i]));
+      ASSERT_TRUE(applied.ok()) << applied.status();
+    }
+  }
+
+  EXPECT_EQ(Fingerprint(&db_), Fingerprint(&other));
+  ASSERT_TRUE(other.CheckIntegrity().ok());
+}
+
 // ---------------------------------------------------------------------------
 // ablG: mass deletion through the batch executor.
 // ---------------------------------------------------------------------------
@@ -292,6 +334,35 @@ TEST(PlannerBatchTest, BatchMatchesInterpretedOracle) {
   EXPECT_EQ(Fingerprint(&planned.db), Fingerprint(&interpreted.db));
   ASSERT_TRUE(planned.db.CheckIntegrity().ok());
   ASSERT_TRUE(interpreted.db.CheckIntegrity().ok());
+}
+
+// Ablation G's mass-deletion workload under ExecMode::kVectorized, with
+// workers scanning and mutating concurrently (the sidecar's invalidate-on-
+// mutation path under real contention), is bit-identical to row-at-a-time.
+TEST(PlannerBatchTest, VectorizedMassDeletionMatchesRowAtATime) {
+  constexpr int kUsers = 60;
+
+  MassWorld row_mode(kUsers);
+  MassWorld vectorized(kUsers);
+  vectorized.db.SetExecMode(db::ExecMode::kVectorized);
+
+  for (MassWorld* w : {&row_mode, &vectorized}) {
+    BatchOptions options;
+    options.num_threads = 4;
+    BatchExecutor executor(w->engine.get(), options);
+    for (int u = 1; u <= kUsers; ++u) {
+      executor.Submit(BatchTask::Apply("Scrub", Value::Int(u)));
+      if (u % 3 == 0) {
+        executor.Submit(BatchTask::Reveal("Scrub", Value::Int(u)));
+      }
+    }
+    BatchReport report = executor.Drain();
+    ASSERT_EQ(report.failed, 0u) << report.ToString();
+  }
+
+  EXPECT_EQ(Fingerprint(&row_mode.db), Fingerprint(&vectorized.db));
+  ASSERT_TRUE(row_mode.db.CheckIntegrity().ok());
+  ASSERT_TRUE(vectorized.db.CheckIntegrity().ok());
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "src/common/rng.h"
 #include "src/db/database.h"
 #include "src/db/durable.h"
+#include "src/sql/parser.h"
 
 namespace edna::db {
 namespace {
@@ -175,6 +176,50 @@ std::string ReopenAndDump(const std::string& dir, uint64_t budget) {
 }
 
 constexpr uint64_t kUnboundedBudget = 1ull << 30;  // 1 GiB: never evicts
+
+TEST(PageCachePropertyTest, VectorizedScanSurvivesEvictionAndMatchesRowMode) {
+  // The column sidecar must stay coherent with eviction: DropPageRows
+  // invalidates the covering slabs, and a vectorized rebuild faults spilled
+  // pages back in. Under a one-byte budget every statement boundary evicts,
+  // so each scan rebuilds from spilled extents — and must still return
+  // exactly the rows the row-at-a-time loop does.
+  TempDir tmp;
+  DurableOptions opts;
+  opts.cache.max_resident_bytes = 1;  // always over budget: everything spills
+  DurableOpenReport report;
+  auto opened = DurableDatabase::Open(tmp.Sub("vec"), opts, &report);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Database* db = (*opened)->db();
+  RunWorkload(db, /*seed=*/7);
+  Settle(db);
+  ASSERT_GT(db->stats().page_evictions.load(), 0u);
+
+  auto pred = sql::ParseExpression("\"num\" >= 0 AND \"payload\" <> ''");
+  ASSERT_TRUE(pred.ok()) << pred.status();
+  auto ids_in_mode = [&](ExecMode mode) {
+    db->SetExecMode(mode);
+    auto rows = db->Select("items", pred->get(), {});
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    std::vector<RowId> ids;
+    for (const RowRef& ref : *rows) {
+      ids.push_back(ref.id);
+    }
+    return ids;
+  };
+  std::vector<RowId> row_ids = ids_in_mode(ExecMode::kRowAtATime);
+  std::vector<RowId> vec_ids = ids_in_mode(ExecMode::kVectorized);
+  ASSERT_FALSE(row_ids.empty());
+  EXPECT_EQ(row_ids, vec_ids);
+
+  // A mutation between vectorized scans (with its own eviction round at the
+  // statement boundary) must be visible to the next rebuild.
+  ASSERT_TRUE(db->SetColumn("items", row_ids[0], "num", Value::Int(-1000)).ok());
+  db->SetExecMode(ExecMode::kVectorized);
+  auto after = db->Select("items", pred->get(), {});
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->size(), row_ids.size() - 1);
+  EXPECT_GT(db->stats().chunks_scanned.load(), 0u);
+}
 
 TEST(PageCachePropertyTest, BudgetSweepIsFingerprintIdenticalAndBounded) {
   TempDir tmp;
